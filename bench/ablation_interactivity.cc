@@ -1,0 +1,72 @@
+// Ablation: sensitivity of the measured hit probability to the viewer
+// interactivity rate (time between VCR operations).
+//
+// The paper's model has no interactivity-rate parameter, and the paper does
+// not state the rate its simulations used. This bench justifies both: the
+// hit probability is flat in the rate (it only scales how many resumes are
+// observed), so any reasonable choice reproduces Figure 7.
+
+#include <cstdio>
+#include <iostream>
+
+#include "common/check.h"
+#include "common/flags.h"
+#include "common/table.h"
+#include "core/hit_model.h"
+#include "dist/exponential.h"
+#include "sim/simulator.h"
+#include "workload/paper_presets.h"
+
+int main(int argc, char** argv) {
+  using namespace vod;
+  FlagSet flags("ablation_interactivity");
+  flags.AddInt64("streams", 40, "partition count n");
+  flags.AddDouble("wait", 1.0, "max wait w (minutes)");
+  flags.AddBool("csv", false, "emit CSV");
+  VOD_CHECK_OK(flags.Parse(argc, argv));
+
+  const auto layout = PartitionLayout::FromMaxWait(
+      paper::kFig7MovieLength, static_cast<int>(flags.GetInt64("streams")),
+      flags.GetDouble("wait"));
+  VOD_CHECK_OK(layout.status());
+  const auto model = AnalyticHitModel::Create(*layout, paper::Rates());
+  VOD_CHECK_OK(model.status());
+  const auto p_model = model->HitProbability(
+      VcrMix::PaperMixed(), VcrDurations::AllSame(paper::Fig7Duration()));
+  VOD_CHECK_OK(p_model.status());
+
+  std::printf("Ablation: measured P(hit) vs mean time between VCR ops\n");
+  std::printf("layout %s, mixed workload; model predicts %.4f "
+              "(rate-independent)\n\n",
+              layout->ToString().c_str(), *p_model);
+
+  TableWriter table({"mean gap (min)", "P(hit) in-partition", "P(hit) all",
+                     "resumes", "avg dedicated streams"});
+  for (double mean_gap : {5.0, 10.0, 20.0, 40.0, 80.0}) {
+    SimulationOptions options;
+    options.mean_interarrival_minutes = paper::kFig7MeanInterarrival;
+    options.behavior = paper::Fig7MixedBehavior();
+    options.behavior.interactivity =
+        std::make_shared<ExponentialDistribution>(mean_gap);
+    options.warmup_minutes = 2000.0;
+    options.measurement_minutes = 30000.0;
+    options.seed = 4242;
+    const auto report = RunSimulation(*layout, paper::Rates(), options);
+    VOD_CHECK_OK(report.status());
+    table.AddRow({FormatDouble(mean_gap, 0),
+                  FormatDouble(report->hit_probability_in_partition, 4),
+                  FormatDouble(report->hit_probability, 4),
+                  std::to_string(report->total_resumes),
+                  FormatDouble(report->mean_dedicated_streams, 2)});
+  }
+
+  if (flags.GetBool("csv")) {
+    table.RenderCsv(std::cout);
+  } else {
+    table.RenderText(std::cout);
+  }
+  std::printf("\nNote: the dedicated-stream demand DOES grow with the VCR "
+              "rate — more misses pin more streams — which is exactly why "
+              "the paper maximizes P(hit).\n");
+  return 0;
+}

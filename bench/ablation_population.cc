@@ -1,0 +1,88 @@
+// Ablation: the model's uniformity assumptions, population by population.
+//
+// The analytic model assumes every resuming viewer sits in a partition at a
+// uniform offset d ~ U[0, B/n] (paper §3.1, P(V_f) = 1/(B/n)). In the real
+// system two populations violate this: type-1 viewers enter at d = 0
+// exactly, and post-miss viewers drift in the *gap* between windows. This
+// bench splits the measured hit probability by the issuing population and
+// quantifies the §4 discrepancies per operation.
+
+#include <cstdio>
+#include <iostream>
+
+#include "common/check.h"
+#include "common/flags.h"
+#include "common/table.h"
+#include "core/hit_model.h"
+#include "sim/simulator.h"
+#include "workload/paper_presets.h"
+
+int main(int argc, char** argv) {
+  using namespace vod;
+  FlagSet flags("ablation_population");
+  flags.AddInt64("streams", 40, "partition count n");
+  flags.AddDouble("wait", 1.0, "max wait w (minutes)");
+  flags.AddBool("csv", false, "emit CSV");
+  VOD_CHECK_OK(flags.Parse(argc, argv));
+
+  const auto layout = PartitionLayout::FromMaxWait(
+      paper::kFig7MovieLength, static_cast<int>(flags.GetInt64("streams")),
+      flags.GetDouble("wait"));
+  VOD_CHECK_OK(layout.status());
+  const auto model = AnalyticHitModel::Create(*layout, paper::Rates());
+  VOD_CHECK_OK(model.status());
+
+  std::printf("Ablation: hit probability by issuing population, %s\n\n",
+              layout->ToString().c_str());
+
+  TableWriter table({"op", "model", "sim in-partition", "sim dedicated",
+                     "sim all", "in-partition share"});
+  for (VcrOp op : kAllVcrOps) {
+    const auto p_model = model->HitProbability(op, paper::Fig7Duration());
+    VOD_CHECK_OK(p_model.status());
+
+    SimulationOptions options;
+    options.mean_interarrival_minutes = paper::kFig7MeanInterarrival;
+    options.behavior = paper::Fig7SingleOpBehavior(op);
+    options.warmup_minutes = 2000.0;
+    options.measurement_minutes = 40000.0;
+    options.seed = 1234;
+    const auto report = RunSimulation(*layout, paper::Rates(), options);
+    VOD_CHECK_OK(report.status());
+
+    // Back out the dedicated-origin population from the totals.
+    const double all_hits =
+        report->hit_probability * static_cast<double>(report->total_resumes);
+    const double part_hits =
+        report->hit_probability_in_partition *
+        static_cast<double>(report->in_partition_resumes);
+    const auto dedicated_trials =
+        report->total_resumes - report->in_partition_resumes;
+    const double dedicated_rate =
+        dedicated_trials > 0 ? (all_hits - part_hits) / dedicated_trials
+                             : 0.0;
+
+    table.AddRow(
+        {VcrOpName(op), FormatDouble(*p_model, 4),
+         FormatDouble(report->hit_probability_in_partition, 4),
+         FormatDouble(dedicated_rate, 4),
+         FormatDouble(report->hit_probability, 4),
+         FormatDouble(static_cast<double>(report->in_partition_resumes) /
+                          static_cast<double>(report->total_resumes),
+                      3)});
+  }
+
+  if (flags.GetBool("csv")) {
+    table.RenderCsv(std::cout);
+  } else {
+    table.RenderText(std::cout);
+  }
+  std::printf(
+      "\nReading: 'in-partition' is the model's population (d ∈ [0, B/n]); "
+      "'dedicated' viewers sit in the gaps (effective phase beyond the "
+      "window), so their hit geometry differs from every modeled case. The "
+      "column differences isolate the paper's §4 discrepancies: compare "
+      "'model' vs 'sim in-partition' for the d-uniformity effect and vs "
+      "'sim all' for the population-mix effect.\n");
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Extension: viewer abandonment and the non-uniform position density.
+//
+// The paper assumes every VCR request is issued from a uniformly random
+// movie position (P(V_c) = 1/l, §3.1). Real viewers abandon sessions, so
+// active positions pile up near the start. This bench simulates exponential
+// patience and compares the measured FF hit probability against (a) the
+// paper's uniform model and (b) the extended model unconditioned over the
+// abandonment-induced position density q(v) ∝ e^{-v/mean} on [0, l].
+
+#include <cstdio>
+#include <iostream>
+
+#include "common/check.h"
+#include "common/flags.h"
+#include "common/table.h"
+#include "core/hit_model.h"
+#include "dist/exponential.h"
+#include "dist/transformed.h"
+#include "sim/simulator.h"
+#include "workload/paper_presets.h"
+
+int main(int argc, char** argv) {
+  using namespace vod;
+  FlagSet flags("ext_abandonment");
+  flags.AddBool("csv", false, "emit CSV");
+  VOD_CHECK_OK(flags.Parse(argc, argv));
+
+  const auto layout = PartitionLayout::FromBuffer(120.0, 40, 80.0);
+  VOD_CHECK_OK(layout.status());
+  const auto uniform_model =
+      AnalyticHitModel::Create(*layout, paper::Rates());
+  VOD_CHECK_OK(uniform_model.status());
+  const auto p_uniform = uniform_model->HitProbability(
+      VcrOp::kFastForward, paper::Fig7Duration());
+  VOD_CHECK_OK(p_uniform.status());
+
+  std::printf("Extension: abandonment skews viewer positions, %s, FF only\n",
+              layout->ToString().c_str());
+  std::printf("uniform-position model (the paper): P(hit|FF) = %.4f\n\n",
+              *p_uniform);
+
+  TableWriter table({"mean patience (min)", "abandon frac", "sim P(hit|FF)",
+                     "model (uniform V_c)", "model (skewed V_c)"});
+  for (double patience : {1e9, 240.0, 90.0, 45.0, 20.0}) {
+    SimulationOptions options;
+    options.behavior = paper::Fig7SingleOpBehavior(VcrOp::kFastForward);
+    if (patience < 1e8) {
+      options.patience =
+          std::make_shared<ExponentialDistribution>(patience);
+    }
+    options.warmup_minutes = 2000.0;
+    options.measurement_minutes = 40000.0;
+    options.seed = 808;
+    const auto report = RunSimulation(*layout, paper::Rates(), options);
+    VOD_CHECK_OK(report.status());
+
+    double p_skewed = *p_uniform;
+    if (patience < 1e8) {
+      HitModelOptions skew;
+      skew.position_density = std::make_shared<TruncatedDistribution>(
+          std::make_shared<ExponentialDistribution>(patience), 0.0,
+          layout->movie_length());
+      const auto model =
+          AnalyticHitModel::Create(*layout, paper::Rates(), skew);
+      VOD_CHECK_OK(model.status());
+      const auto p = model->HitProbability(VcrOp::kFastForward,
+                                           paper::Fig7Duration());
+      VOD_CHECK_OK(p.status());
+      p_skewed = *p;
+    }
+
+    const double departures = static_cast<double>(report->abandonments +
+                                                  report->completions);
+    table.AddRow({patience < 1e8 ? FormatDouble(patience, 0) : "inf",
+                  FormatDouble(departures > 0
+                                   ? report->abandonments / departures
+                                   : 0.0,
+                               3),
+                  FormatDouble(report->hit_probability_in_partition, 4),
+                  FormatDouble(*p_uniform, 4), FormatDouble(p_skewed, 4)});
+  }
+
+  if (flags.GetBool("csv")) {
+    table.RenderCsv(std::cout);
+  } else {
+    table.RenderText(std::cout);
+  }
+  std::printf("\nReading: as patience shrinks, the measured hit probability "
+              "drifts away from the paper's uniform-V_c prediction; the "
+              "q-weighted model follows it.\n");
+  return 0;
+}

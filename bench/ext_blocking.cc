@@ -1,0 +1,109 @@
+// Extension: VCR blocking versus the dynamic stream reserve.
+//
+// The paper motivates pre-allocation with the warning that poorly managed
+// VCR support "can easily result in consumption of large amounts of system
+// resources". This bench runs the multi-movie server simulator with a
+// finite shared reserve: when misses pin streams, the reserve drains,
+// further FF/RW requests are refused, and resumes stall. Piggyback merging
+// relieves the pressure.
+
+#include <cstdio>
+#include <iostream>
+
+#include "common/check.h"
+#include "common/flags.h"
+#include "common/table.h"
+#include "core/erlang.h"
+#include "sim/server.h"
+#include "sim/simulator.h"
+#include "workload/paper_presets.h"
+
+namespace {
+
+std::vector<vod::ServerMovieSpec> Movies() {
+  using namespace vod;
+  std::vector<ServerMovieSpec> movies;
+  auto layout_a = PartitionLayout::FromBuffer(120.0, 40, 60.0);
+  auto layout_b = PartitionLayout::FromBuffer(90.0, 30, 45.0);
+  auto layout_c = PartitionLayout::FromBuffer(105.0, 35, 52.5);
+  VOD_CHECK_OK(layout_a.status());
+  VOD_CHECK_OK(layout_b.status());
+  VOD_CHECK_OK(layout_c.status());
+  movies.push_back({"top-1", *layout_a, 0.5, paper::Fig7MixedBehavior()});
+  movies.push_back({"top-2", *layout_b, 0.33, paper::Fig7MixedBehavior()});
+  movies.push_back({"top-3", *layout_c, 0.25, paper::Fig7MixedBehavior()});
+  return movies;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace vod;
+  FlagSet flags("ext_blocking");
+  flags.AddBool("csv", false, "emit CSV");
+  flags.AddDouble("measure", 15000.0, "measured minutes");
+  VOD_CHECK_OK(flags.Parse(argc, argv));
+
+  std::printf("Extension: shared VCR stream reserve vs blocking "
+              "(3 movies, ~50%% buffer coverage, mixed VCR workload)\n\n");
+
+  // Offered load per policy: mean busy dedicated streams under unlimited
+  // supply (per movie, summed), which feeds the Erlang-B prediction.
+  double offered[2] = {0.0, 0.0};
+  for (int pb = 0; pb < 2; ++pb) {
+    for (const auto& movie : Movies()) {
+      SimulationOptions options;
+      options.mean_interarrival_minutes = 1.0 / movie.arrival_rate_per_minute;
+      options.behavior = movie.behavior;
+      options.warmup_minutes = 1000.0;
+      options.measurement_minutes = flags.GetDouble("measure");
+      options.seed = 901;
+      options.piggyback.enabled = pb == 1;
+      options.piggyback.speed_delta = 0.05;
+      const auto report =
+          RunSimulation(movie.layout, paper::Rates(), options);
+      VOD_CHECK_OK(report.status());
+      offered[pb] += report->mean_dedicated_streams;
+    }
+  }
+  std::printf("offered load (Erlangs): %.1f without piggyback, %.1f with\n\n",
+              offered[0], offered[1]);
+
+  TableWriter table({"reserve", "piggyback", "refusal prob", "Erlang-B pred",
+                     "blocked FF/RW", "stalled resumes", "reserve mean use",
+                     "reserve peak"});
+  for (bool piggyback : {false, true}) {
+    for (int64_t reserve : {10, 20, 40, 80, 160, 320}) {
+      ServerOptions options;
+      options.rates = paper::Rates();
+      options.dynamic_stream_reserve = reserve;
+      options.warmup_minutes = 1000.0;
+      options.measurement_minutes = flags.GetDouble("measure");
+      options.seed = 555;
+      options.piggyback.enabled = piggyback;
+      options.piggyback.speed_delta = 0.05;
+      const auto report = RunServerSimulation(Movies(), options);
+      VOD_CHECK_OK(report.status());
+      const auto predicted = ErlangBlockingProbability(
+          static_cast<int>(reserve), offered[piggyback ? 1 : 0]);
+      VOD_CHECK_OK(predicted.status());
+      table.AddRow({std::to_string(reserve), piggyback ? "on" : "off",
+                    FormatDouble(report->refusal_probability, 4),
+                    FormatDouble(*predicted, 4),
+                    std::to_string(report->total_blocked_vcr),
+                    std::to_string(report->total_stalls),
+                    FormatDouble(report->mean_reserve_in_use, 1),
+                    std::to_string(report->peak_reserve_in_use)});
+    }
+  }
+
+  if (flags.GetBool("csv")) {
+    table.RenderCsv(std::cout);
+  } else {
+    table.RenderText(std::cout);
+  }
+  std::printf("\nReading: without piggybacking the reserve must absorb "
+              "misses that pin streams for the rest of the movie; with it, "
+              "a far smaller reserve reaches zero refusals.\n");
+  return 0;
+}

@@ -1,0 +1,13 @@
+// Figure 7(a): model vs simulation, fast-forward requests only.
+
+#include "bench/fig7_common.h"
+
+int main(int argc, char** argv) {
+  vod::bench::Fig7Config config;
+  config.figure = "7(a)";
+  config.description = "fast-forward (FF) requests only";
+  config.behavior =
+      vod::paper::Fig7SingleOpBehavior(vod::VcrOp::kFastForward);
+  config.mix = vod::VcrMix::Only(vod::VcrOp::kFastForward);
+  return vod::bench::RunFig7(argc, argv, config);
+}

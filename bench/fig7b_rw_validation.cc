@@ -1,0 +1,12 @@
+// Figure 7(b): model vs simulation, rewind requests only.
+
+#include "bench/fig7_common.h"
+
+int main(int argc, char** argv) {
+  vod::bench::Fig7Config config;
+  config.figure = "7(b)";
+  config.description = "rewind (RW) requests only";
+  config.behavior = vod::paper::Fig7SingleOpBehavior(vod::VcrOp::kRewind);
+  config.mix = vod::VcrMix::Only(vod::VcrOp::kRewind);
+  return vod::bench::RunFig7(argc, argv, config);
+}

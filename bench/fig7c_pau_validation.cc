@@ -1,0 +1,12 @@
+// Figure 7(c): model vs simulation, pause requests only.
+
+#include "bench/fig7_common.h"
+
+int main(int argc, char** argv) {
+  vod::bench::Fig7Config config;
+  config.figure = "7(c)";
+  config.description = "pause (PAU) requests only";
+  config.behavior = vod::paper::Fig7SingleOpBehavior(vod::VcrOp::kPause);
+  config.mix = vod::VcrMix::Only(vod::VcrOp::kPause);
+  return vod::bench::RunFig7(argc, argv, config);
+}

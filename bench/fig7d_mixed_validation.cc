@@ -1,0 +1,13 @@
+// Figure 7(d): model vs simulation, mixed VCR workload with
+// P_FF = 0.2, P_RW = 0.2, P_PAU = 0.6.
+
+#include "bench/fig7_common.h"
+
+int main(int argc, char** argv) {
+  vod::bench::Fig7Config config;
+  config.figure = "7(d)";
+  config.description = "mixed workload (P_FF=0.2, P_RW=0.2, P_PAU=0.6)";
+  config.behavior = vod::paper::Fig7MixedBehavior();
+  config.mix = vod::VcrMix::PaperMixed();
+  return vod::bench::RunFig7(argc, argv, config);
+}

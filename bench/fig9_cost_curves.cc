@@ -1,0 +1,68 @@
+// Figure 9(a)–(f): normalized system cost φ·ΣB + Σn versus the total number
+// of I/O streams, for memory/stream price ratios φ ∈ {3, 4, 6, 10, 11, 16},
+// over Example 1's movie set.
+//
+// Expected shapes (paper §5): for large φ (memory dominates — 9(e), 9(f))
+// the minimum sits at the maximum feasible stream count; for small φ the
+// minimum moves into the interior of the curve.
+
+#include <cstdio>
+#include <iostream>
+
+#include "common/check.h"
+#include "common/flags.h"
+#include "common/table.h"
+#include "core/cost_model.h"
+#include "core/sizing.h"
+#include "workload/paper_presets.h"
+
+int main(int argc, char** argv) {
+  using namespace vod;
+  FlagSet flags("fig9_cost_curves");
+  flags.AddInt64("points", 25, "points per curve");
+  flags.AddBool("csv", false, "emit CSV");
+  VOD_CHECK_OK(flags.Parse(argc, argv));
+
+  // Per-movie feasibility bounds from the sizing model (P* = 0.5).
+  std::vector<MovieAllocationBound> bounds;
+  for (const MovieSizingSpec& spec : paper::Example1Movies()) {
+    const auto choice = MinimumBufferChoice(spec);
+    VOD_CHECK_OK(choice.status());
+    bounds.push_back({spec.name, spec.length_minutes, spec.max_wait_minutes,
+                      choice->streams});
+  }
+
+  std::printf("Figure 9: system cost vs number of I/O streams "
+              "(Example 1 movie set, P* = 0.5)\n\n");
+
+  TableWriter table({"phi", "streams", "buffer (min)",
+                     "cost (phi*B + n)", "minimum?"});
+  const char* subfig = "abcdef";
+  int idx = 0;
+  for (double phi : paper::Fig9PhiValues()) {
+    const auto curve = ComputeCostCurve(
+        bounds, phi, static_cast<int>(flags.GetInt64("points")));
+    VOD_CHECK_OK(curve.status());
+    const CostCurvePoint best = MinimumCostPoint(*curve);
+    std::printf("Figure 9(%c): phi = %.0f -> minimum cost %.0f at %d "
+                "streams (%s)\n",
+                subfig[idx++], phi, best.normalized_cost, best.total_streams,
+                best.total_streams == curve->back().total_streams
+                    ? "maximum feasible streams"
+                    : "interior optimum");
+    for (const auto& point : *curve) {
+      table.AddRow({FormatDouble(phi, 0), std::to_string(point.total_streams),
+                    FormatDouble(point.total_buffer_minutes, 1),
+                    FormatDouble(point.normalized_cost, 1),
+                    point.total_streams == best.total_streams ? "*" : ""});
+    }
+  }
+  std::printf("\n");
+
+  if (flags.GetBool("csv")) {
+    table.RenderCsv(std::cout);
+  } else {
+    table.RenderText(std::cout);
+  }
+  return 0;
+}

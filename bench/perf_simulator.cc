@@ -1,0 +1,70 @@
+// Microbenchmarks of the discrete-event simulator (google-benchmark).
+//
+// Reports simulated-minutes-per-second and event throughput for the
+// workloads the validation benches run, so regressions in the event kernel
+// or the partition lookup are visible.
+
+#include <benchmark/benchmark.h>
+
+#include "sim/event_queue.h"
+#include "sim/partition_schedule.h"
+#include "sim/simulator.h"
+#include "workload/paper_presets.h"
+
+namespace vod {
+namespace {
+
+void BM_SimulationRun(benchmark::State& state) {
+  const auto layout = PartitionLayout::FromMaxWait(120.0, 40, 1.0);
+  SimulationOptions options;
+  options.behavior = paper::Fig7MixedBehavior();
+  options.warmup_minutes = 100.0;
+  options.measurement_minutes = static_cast<double>(state.range(0));
+  uint64_t seed = 1;
+  for (auto _ : state) {
+    options.seed = seed++;
+    const auto report = RunSimulation(*layout, paper::Rates(), options);
+    benchmark::DoNotOptimize(report);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+  state.SetLabel("items = simulated minutes");
+}
+BENCHMARK(BM_SimulationRun)->Arg(1000)->Arg(10000)->Unit(benchmark::kMillisecond);
+
+void BM_EventQueueScheduleRun(benchmark::State& state) {
+  for (auto _ : state) {
+    EventQueue q;
+    int counter = 0;
+    for (int i = 0; i < 1000; ++i) {
+      q.Schedule(static_cast<double>((i * 7919) % 1000),
+                 [&counter] { ++counter; });
+    }
+    while (q.RunNext()) {
+    }
+    benchmark::DoNotOptimize(counter);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventQueueScheduleRun);
+
+void BM_PartitionLookup(benchmark::State& state) {
+  const auto layout = PartitionLayout::FromMaxWait(120.0, 40, 1.0);
+  PartitionSchedule schedule(*layout);
+  double t = 0.0;
+  double p = 0.0;
+  int64_t hits = 0;
+  for (auto _ : state) {
+    t += 0.37;
+    p += 0.73;
+    if (p > 120.0) p -= 120.0;
+    const auto covering = schedule.FindCoveringStream(t, p);
+    hits += covering.has_value() ? 1 : 0;
+  }
+  benchmark::DoNotOptimize(hits);
+}
+BENCHMARK(BM_PartitionLookup);
+
+}  // namespace
+}  // namespace vod
+
+BENCHMARK_MAIN();

@@ -1,0 +1,68 @@
+// Microbenchmarks of the sizing layer (google-benchmark): the costs an
+// operator pays per planning decision.
+
+#include <benchmark/benchmark.h>
+
+#include "core/cost_model.h"
+#include "core/erlang.h"
+#include "core/sizing.h"
+#include "workload/paper_presets.h"
+
+namespace vod {
+namespace {
+
+void BM_MinimumBufferChoice(benchmark::State& state) {
+  // Movie 2 of Example 1 (smallest n_max of the three).
+  const auto movies = paper::Example1Movies();
+  for (auto _ : state) {
+    const auto choice = MinimumBufferChoice(movies[1]);
+    benchmark::DoNotOptimize(choice);
+  }
+}
+BENCHMARK(BM_MinimumBufferChoice)->Unit(benchmark::kMillisecond);
+
+void BM_SizeSystemExample1(benchmark::State& state) {
+  const auto movies = paper::Example1Movies();
+  for (auto _ : state) {
+    const auto sized = SizeSystem(movies, 1230);
+    benchmark::DoNotOptimize(sized);
+  }
+}
+BENCHMARK(BM_SizeSystemExample1)->Unit(benchmark::kMillisecond);
+
+void BM_SizingCurve(benchmark::State& state) {
+  const auto movies = paper::Example1Movies();
+  const int step = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    const auto curve = ComputeSizingCurve(movies[2], step);
+    benchmark::DoNotOptimize(curve);
+  }
+}
+BENCHMARK(BM_SizingCurve)->Arg(1)->Arg(10)->Unit(benchmark::kMillisecond);
+
+void BM_CostCurve(benchmark::State& state) {
+  std::vector<MovieAllocationBound> bounds = {
+      {"movie-1", 75.0, 0.1, 360},
+      {"movie-2", 60.0, 0.5, 60},
+      {"movie-3", 90.0, 0.25, 182},
+  };
+  for (auto _ : state) {
+    const auto curve = ComputeCostCurve(bounds, 11.0, 200);
+    benchmark::DoNotOptimize(curve);
+  }
+}
+BENCHMARK(BM_CostCurve);
+
+void BM_ErlangB(benchmark::State& state) {
+  const int servers = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ErlangBlockingProbability(servers, 0.9 * servers));
+  }
+}
+BENCHMARK(BM_ErlangB)->Arg(100)->Arg(10000);
+
+}  // namespace
+}  // namespace vod
+
+BENCHMARK_MAIN();

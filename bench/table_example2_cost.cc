@@ -1,0 +1,79 @@
+// Example 2: deriving the cost constants C_b, C_n, and φ from hardware
+// parameters (1997 parts list), plus the resulting dollar cost of the
+// Example 1 allocation.
+
+#include <cstdio>
+#include <iostream>
+
+#include "common/check.h"
+#include "common/flags.h"
+#include "common/table.h"
+#include "core/cost_model.h"
+#include "core/sizing.h"
+#include "storage/disk_model.h"
+#include "workload/paper_presets.h"
+
+int main(int argc, char** argv) {
+  using namespace vod;
+  FlagSet flags("table_example2_cost");
+  flags.AddDouble("disk_price", 700.0, "disk price in dollars");
+  flags.AddDouble("disk_mbps", 5.0, "disk transfer rate, MB/s");
+  flags.AddDouble("mem_price", 25.0, "memory price, $/MB");
+  flags.AddDouble("video_mbps", 4.0, "video bitrate, Mbit/s");
+  flags.AddBool("csv", false, "emit CSV");
+  VOD_CHECK_OK(flags.Parse(argc, argv));
+
+  HardwareCosts costs;
+  costs.disk_price_dollars = flags.GetDouble("disk_price");
+  costs.disk_transfer_mbytes_per_sec = flags.GetDouble("disk_mbps");
+  costs.memory_price_per_mbyte = flags.GetDouble("mem_price");
+  costs.video_rate_mbits_per_sec = flags.GetDouble("video_mbps");
+  VOD_CHECK_OK(costs.Validate());
+
+  std::printf("Example 2: cost constants from hardware parameters\n");
+  std::printf("paper reference: C_b = $750/movie-minute, C_n = $70/stream, "
+              "phi ~= 11\n\n");
+
+  TableWriter table({"quantity", "value"});
+  table.AddRow({"disk price ($)", FormatDouble(costs.disk_price_dollars, 0)});
+  table.AddRow({"disk transfer (MB/s)",
+                FormatDouble(costs.disk_transfer_mbytes_per_sec, 1)});
+  table.AddRow({"memory price ($/MB)",
+                FormatDouble(costs.memory_price_per_mbyte, 2)});
+  table.AddRow({"video rate (Mbit/s)",
+                FormatDouble(costs.video_rate_mbits_per_sec, 1)});
+  table.AddRow({"streams per disk", FormatDouble(costs.StreamsPerDisk(), 1)});
+  table.AddRow({"C_n ($/stream)", FormatDouble(costs.StreamCost(), 2)});
+  table.AddRow({"C_b ($/movie-minute)",
+                FormatDouble(costs.BufferCostPerMovieMinute(), 2)});
+  table.AddRow({"phi = C_b / C_n", FormatDouble(costs.Phi(), 2)});
+
+  const auto disk_model = DiskModel::Create(
+      DiskSpec{2.0, costs.disk_transfer_mbytes_per_sec,
+               costs.disk_price_dollars},
+      VideoFormat{costs.video_rate_mbits_per_sec});
+  VOD_CHECK_OK(disk_model.status());
+  table.AddRow({"storage minutes per 2GB disk",
+                FormatDouble(disk_model->StorageMinutesPerDisk(), 1)});
+
+  // Price the Example 1 allocation with these constants.
+  const auto movies = paper::Example1Movies();
+  const auto sized = SizeSystem(movies, PureBatchingStreams(movies));
+  VOD_CHECK_OK(sized.status());
+  table.AddRow({"Example-1 allocation streams",
+                std::to_string(sized->total_streams)});
+  table.AddRow({"Example-1 allocation buffer (min)",
+                FormatDouble(sized->total_buffer_minutes, 1)});
+  table.AddRow({"Example-1 allocation cost ($)",
+                FormatDouble(AllocationCostDollars(*sized, costs), 0)});
+  table.AddRow({"disks for its bandwidth",
+                std::to_string(
+                    disk_model->DisksForBandwidth(sized->total_streams))});
+
+  if (flags.GetBool("csv")) {
+    table.RenderCsv(std::cout);
+  } else {
+    table.RenderText(std::cout);
+  }
+  return 0;
+}

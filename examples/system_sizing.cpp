@@ -1,0 +1,118 @@
+// System sizing walkthrough: per-movie feasible sets, minimum-buffer
+// choices, a shared stream budget, and the dollar cost — the paper's
+// Section 5 pipeline, applicable to any movie the user describes on the
+// command line.
+//
+//   ./build/examples/system_sizing                        # Example 1 movies
+//   ./build/examples/system_sizing --length=100 --wait=0.2 --pstar=0.6
+//       (a custom movie; add --duration='exp(4)' to change the VCR model)
+
+#include <cstdio>
+#include <iostream>
+
+#include "common/check.h"
+#include "common/flags.h"
+#include "common/table.h"
+#include "core/cost_model.h"
+#include "core/sizing.h"
+#include "workload/paper_presets.h"
+
+namespace {
+
+void PrintMovieSizing(const vod::MovieSizingSpec& spec) {
+  using namespace vod;
+  std::printf("movie '%s': l = %.0f min, w <= %.2f min, P* = %.2f, "
+              "durations %s\n",
+              spec.name.c_str(), spec.length_minutes, spec.max_wait_minutes,
+              spec.min_hit_probability,
+              spec.durations.fast_forward->ToString().c_str());
+
+  // Show a condensed trade-off curve (every ~10% of the stream range).
+  const int max_n = static_cast<int>(spec.length_minutes /
+                                     spec.max_wait_minutes);
+  const auto curve =
+      ComputeSizingCurve(spec, std::max(1, max_n / 10));
+  VOD_CHECK_OK(curve.status());
+  TableWriter table({"n", "B (min)", "P(hit)", "feasible"});
+  for (const auto& point : *curve) {
+    table.AddRow({std::to_string(point.streams),
+                  FormatDouble(point.buffer_minutes, 1),
+                  FormatDouble(point.hit_probability, 4),
+                  point.feasible ? "yes" : "no"});
+  }
+  table.RenderText(std::cout);
+
+  const auto choice = MinimumBufferChoice(spec);
+  if (!choice.ok()) {
+    std::printf("  -> infeasible: %s\n\n", choice.status().ToString().c_str());
+    return;
+  }
+  std::printf("  -> minimum-buffer choice: B* = %.1f min, n* = %d, "
+              "P(hit) = %.4f\n\n",
+              choice->buffer_minutes, choice->streams,
+              choice->hit_probability);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace vod;
+  FlagSet flags("system_sizing");
+  flags.AddDouble("length", 0.0, "custom movie length (min); 0 = Example 1");
+  flags.AddDouble("wait", 0.5, "custom movie max wait (min)");
+  flags.AddDouble("pstar", 0.5, "custom movie minimum hit probability");
+  flags.AddString("duration", "gamma(2,4)",
+                  "custom movie VCR duration distribution spec");
+  flags.AddInt64("budget", 0, "stream budget (0 = pure-batching count)");
+  VOD_CHECK_OK(flags.Parse(argc, argv));
+
+  std::vector<MovieSizingSpec> movies;
+  if (flags.GetDouble("length") > 0.0) {
+    MovieSizingSpec spec;
+    spec.name = "custom";
+    spec.length_minutes = flags.GetDouble("length");
+    spec.max_wait_minutes = flags.GetDouble("wait");
+    spec.min_hit_probability = flags.GetDouble("pstar");
+    spec.mix = VcrMix::Only(VcrOp::kFastForward);
+    const auto duration = ParseDistributionSpec(flags.GetString("duration"));
+    VOD_CHECK_OK(duration.status());
+    spec.durations = VcrDurations::AllSame(*duration);
+    spec.rates = paper::Rates();
+    movies.push_back(std::move(spec));
+  } else {
+    movies = paper::Example1Movies();
+  }
+
+  for (const auto& spec : movies) PrintMovieSizing(spec);
+
+  const int pure = PureBatchingStreams(movies);
+  int budget = static_cast<int>(flags.GetInt64("budget"));
+  if (budget <= 0) budget = pure;
+  const auto sized = SizeSystem(movies, budget);
+  VOD_CHECK_OK(sized.status());
+
+  std::printf("system: stream budget %d (pure batching would need %d)\n",
+              budget, pure);
+  for (const auto& m : sized->movies) {
+    std::printf("  %-10s  n = %4d   B = %6.1f min\n", m.name.c_str(),
+                m.streams, m.buffer_minutes);
+  }
+  std::printf("  total: %d streams + %.1f buffer-minutes "
+              "(saves %d streams)\n\n",
+              sized->total_streams, sized->total_buffer_minutes,
+              pure - sized->total_streams);
+
+  const HardwareCosts costs;  // the paper's 1997 parts list
+  std::printf("at 1997 prices (C_b = $%.0f/min, C_n = $%.0f/stream, "
+              "phi = %.1f):\n",
+              costs.BufferCostPerMovieMinute(), costs.StreamCost(),
+              costs.Phi());
+  std::printf("  sized allocation: $%.0f\n",
+              AllocationCostDollars(*sized, costs));
+  AllocationResult pure_allocation;
+  pure_allocation.total_streams = pure;
+  std::printf("  pure batching   : $%.0f (but P(hit) = 0 — every VCR "
+              "resume keeps its stream)\n",
+              AllocationCostDollars(pure_allocation, costs));
+  return 0;
+}

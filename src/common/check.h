@@ -1,0 +1,58 @@
+// Invariant-checking macros.
+//
+// VOD_CHECK* fire in all build types: they guard invariants whose violation
+// means a library bug, where continuing would silently corrupt results.
+// VOD_DCHECK* compile away in NDEBUG builds and guard hot-path invariants.
+
+#ifndef VOD_COMMON_CHECK_H_
+#define VOD_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace vod {
+namespace internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr, const char* msg) {
+  std::fprintf(stderr, "VOD_CHECK failed at %s:%d: %s%s%s\n", file, line, expr,
+               msg[0] != '\0' ? " — " : "", msg);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace vod
+
+#define VOD_CHECK(cond)                                                \
+  do {                                                                 \
+    if (!(cond)) {                                                     \
+      ::vod::internal::CheckFailed(__FILE__, __LINE__, #cond, "");     \
+    }                                                                  \
+  } while (0)
+
+#define VOD_CHECK_MSG(cond, msg)                                       \
+  do {                                                                 \
+    if (!(cond)) {                                                     \
+      ::vod::internal::CheckFailed(__FILE__, __LINE__, #cond, (msg));  \
+    }                                                                  \
+  } while (0)
+
+#define VOD_CHECK_OK(status_expr)                                          \
+  do {                                                                     \
+    const ::vod::Status& _st = (status_expr);                              \
+    if (!_st.ok()) {                                                       \
+      ::vod::internal::CheckFailed(__FILE__, __LINE__, #status_expr,       \
+                                   _st.ToString().c_str());                \
+    }                                                                      \
+  } while (0)
+
+#ifdef NDEBUG
+#define VOD_DCHECK(cond) \
+  do {                   \
+  } while (0)
+#else
+#define VOD_DCHECK(cond) VOD_CHECK(cond)
+#endif
+
+#endif  // VOD_COMMON_CHECK_H_

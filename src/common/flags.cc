@@ -1,0 +1,184 @@
+#include "common/flags.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace vod {
+
+FlagSet::FlagSet(std::string program) : program_(std::move(program)) {}
+
+void FlagSet::AddInt64(const std::string& name, int64_t default_value,
+                       const std::string& help) {
+  Flag f;
+  f.type = Type::kInt64;
+  f.help = help;
+  f.int_value = default_value;
+  f.default_text = std::to_string(default_value);
+  VOD_CHECK_MSG(flags_.emplace(name, std::move(f)).second, "duplicate flag");
+  order_.push_back(name);
+}
+
+void FlagSet::AddDouble(const std::string& name, double default_value,
+                        const std::string& help) {
+  Flag f;
+  f.type = Type::kDouble;
+  f.help = help;
+  f.double_value = default_value;
+  std::ostringstream os;
+  os << default_value;
+  f.default_text = os.str();
+  VOD_CHECK_MSG(flags_.emplace(name, std::move(f)).second, "duplicate flag");
+  order_.push_back(name);
+}
+
+void FlagSet::AddBool(const std::string& name, bool default_value,
+                      const std::string& help) {
+  Flag f;
+  f.type = Type::kBool;
+  f.help = help;
+  f.bool_value = default_value;
+  f.default_text = default_value ? "true" : "false";
+  VOD_CHECK_MSG(flags_.emplace(name, std::move(f)).second, "duplicate flag");
+  order_.push_back(name);
+}
+
+void FlagSet::AddString(const std::string& name,
+                        const std::string& default_value,
+                        const std::string& help) {
+  Flag f;
+  f.type = Type::kString;
+  f.help = help;
+  f.string_value = default_value;
+  f.default_text = default_value;
+  VOD_CHECK_MSG(flags_.emplace(name, std::move(f)).second, "duplicate flag");
+  order_.push_back(name);
+}
+
+Status FlagSet::SetFromText(const std::string& name, const std::string& text) {
+  auto it = flags_.find(name);
+  if (it == flags_.end()) {
+    return Status::InvalidArgument("unknown flag --" + name);
+  }
+  Flag& f = it->second;
+  errno = 0;
+  char* end = nullptr;
+  switch (f.type) {
+    case Type::kInt64: {
+      const long long v = std::strtoll(text.c_str(), &end, 10);
+      if (end == text.c_str() || *end != '\0' || errno == ERANGE) {
+        return Status::InvalidArgument("flag --" + name +
+                                       " expects an integer, got '" + text +
+                                       "'");
+      }
+      f.int_value = v;
+      break;
+    }
+    case Type::kDouble: {
+      const double v = std::strtod(text.c_str(), &end);
+      if (end == text.c_str() || *end != '\0' || errno == ERANGE) {
+        return Status::InvalidArgument("flag --" + name +
+                                       " expects a number, got '" + text +
+                                       "'");
+      }
+      f.double_value = v;
+      break;
+    }
+    case Type::kBool: {
+      if (text == "true" || text == "1" || text == "yes") {
+        f.bool_value = true;
+      } else if (text == "false" || text == "0" || text == "no") {
+        f.bool_value = false;
+      } else {
+        return Status::InvalidArgument("flag --" + name +
+                                       " expects true/false, got '" + text +
+                                       "'");
+      }
+      break;
+    }
+    case Type::kString:
+      f.string_value = text;
+      break;
+  }
+  f.was_set = true;
+  return Status::OK();
+}
+
+Status FlagSet::Parse(int argc, char** argv, bool exit_on_help) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(Usage().c_str(), stdout);
+      if (exit_on_help) std::exit(0);
+      continue;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      return Status::InvalidArgument("unexpected positional argument '" + arg +
+                                     "'");
+    }
+    arg = arg.substr(2);
+    std::string name;
+    std::string value;
+    const size_t eq = arg.find('=');
+    if (eq != std::string::npos) {
+      name = arg.substr(0, eq);
+      value = arg.substr(eq + 1);
+    } else {
+      name = arg;
+      auto it = flags_.find(name);
+      if (it != flags_.end() && it->second.type == Type::kBool) {
+        value = "true";  // bare --flag enables a bool
+      } else if (i + 1 < argc) {
+        value = argv[++i];
+      } else {
+        return Status::InvalidArgument("flag --" + name + " missing a value");
+      }
+    }
+    VOD_RETURN_IF_ERROR(SetFromText(name, value));
+  }
+  return Status::OK();
+}
+
+const FlagSet::Flag& FlagSet::Find(const std::string& name, Type type) const {
+  auto it = flags_.find(name);
+  VOD_CHECK_MSG(it != flags_.end(), "flag not registered");
+  VOD_CHECK_MSG(it->second.type == type, "flag type mismatch");
+  return it->second;
+}
+
+int64_t FlagSet::GetInt64(const std::string& name) const {
+  return Find(name, Type::kInt64).int_value;
+}
+
+double FlagSet::GetDouble(const std::string& name) const {
+  return Find(name, Type::kDouble).double_value;
+}
+
+bool FlagSet::GetBool(const std::string& name) const {
+  return Find(name, Type::kBool).bool_value;
+}
+
+const std::string& FlagSet::GetString(const std::string& name) const {
+  return Find(name, Type::kString).string_value;
+}
+
+bool FlagSet::WasSet(const std::string& name) const {
+  auto it = flags_.find(name);
+  VOD_CHECK_MSG(it != flags_.end(), "flag not registered");
+  return it->second.was_set;
+}
+
+std::string FlagSet::Usage() const {
+  std::ostringstream os;
+  os << "Usage: " << program_ << " [--flag=value ...]\n\nFlags:\n";
+  for (const auto& name : order_) {
+    const Flag& f = flags_.at(name);
+    os << "  --" << name << "  (default: " << f.default_text << ")\n      "
+       << f.help << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace vod

@@ -1,0 +1,57 @@
+// Leveled logging to stderr.
+//
+// The library itself logs nothing at default verbosity; simulation drivers
+// and benches raise the level for progress reporting. Not thread-safe beyond
+// the atomicity of a single fprintf — the simulator is single-threaded by
+// design (a discrete-event simulation has one logical clock).
+
+#ifndef VOD_COMMON_LOGGING_H_
+#define VOD_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace vod {
+
+enum class LogLevel : int {
+  kError = 0,
+  kWarning = 1,
+  kInfo = 2,
+  kDebug = 3,
+};
+
+/// Sets the global verbosity; messages above this level are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Emits one formatted log line; used by the VOD_LOG macro.
+void LogMessage(LogLevel level, const char* file, int line,
+                const std::string& msg);
+
+class LogCapture {
+ public:
+  LogCapture(LogLevel level, const char* file, int line)
+      : level_(level), file_(file), line_(line) {}
+  ~LogCapture() { LogMessage(level_, file_, line_, stream_.str()); }
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace vod
+
+/// VOD_LOG(kInfo) << "message"; — dropped entirely when below verbosity.
+#define VOD_LOG(level)                                                     \
+  if (::vod::LogLevel::level > ::vod::GetLogLevel()) {                     \
+  } else                                                                   \
+    ::vod::internal::LogCapture(::vod::LogLevel::level, __FILE__, __LINE__) \
+        .stream()
+
+#endif  // VOD_COMMON_LOGGING_H_

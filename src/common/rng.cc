@@ -1,0 +1,109 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace vod {
+
+namespace {
+
+inline uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) : seed_(seed) {
+  SplitMix64 mixer(seed);
+  for (auto& word : s_) word = mixer.Next();
+}
+
+uint64_t Rng::NextUint64() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::Uniform01() {
+  // 53 high bits -> double in [0, 1).
+  return static_cast<double>(NextUint64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::Uniform(double lo, double hi) {
+  VOD_DCHECK(lo <= hi);
+  return lo + (hi - lo) * Uniform01();
+}
+
+uint64_t Rng::UniformInt(uint64_t bound) {
+  VOD_DCHECK(bound > 0);
+  // Rejection sampling over the largest multiple of `bound`.
+  const uint64_t threshold = (~bound + 1) % bound;  // == 2^64 mod bound
+  for (;;) {
+    const uint64_t r = NextUint64();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+double Rng::Exponential(double mean) {
+  VOD_DCHECK(mean > 0);
+  // -mean * log(U), guarding against U == 0 via 1 - Uniform01() in (0, 1].
+  return -mean * std::log(1.0 - Uniform01());
+}
+
+double Rng::Normal() {
+  // Polar method: draw until inside the unit disc, return one variate.
+  for (;;) {
+    const double u = Uniform(-1.0, 1.0);
+    const double v = Uniform(-1.0, 1.0);
+    const double s = u * u + v * v;
+    if (s > 0.0 && s < 1.0) {
+      return u * std::sqrt(-2.0 * std::log(s) / s);
+    }
+  }
+}
+
+double Rng::Gamma(double shape, double scale) {
+  VOD_DCHECK(shape > 0 && scale > 0);
+  if (shape < 1.0) {
+    // Boost: Gamma(k) = Gamma(k + 1) * U^{1/k}.
+    const double u = 1.0 - Uniform01();  // in (0, 1]
+    return Gamma(shape + 1.0, scale) * std::pow(u, 1.0 / shape);
+  }
+  // Marsaglia & Tsang (2000).
+  const double d = shape - 1.0 / 3.0;
+  const double c = 1.0 / std::sqrt(9.0 * d);
+  for (;;) {
+    double x;
+    double v;
+    do {
+      x = Normal();
+      v = 1.0 + c * x;
+    } while (v <= 0.0);
+    v = v * v * v;
+    const double u = 1.0 - Uniform01();  // in (0, 1]
+    if (u < 1.0 - 0.0331 * (x * x) * (x * x)) return scale * d * v;
+    if (std::log(u) < 0.5 * x * x + d * (1.0 - v + std::log(v))) {
+      return scale * d * v;
+    }
+  }
+}
+
+bool Rng::Bernoulli(double p) {
+  VOD_DCHECK(p >= 0.0 && p <= 1.0);
+  return Uniform01() < p;
+}
+
+Rng Rng::MakeChild(uint64_t stream_class, uint64_t index) const {
+  // Derive a child seed by mixing (seed, class, index) through SplitMix64.
+  SplitMix64 mixer(seed_ ^ (stream_class * 0xD2B74407B1CE6E93ULL));
+  uint64_t child_seed = mixer.Next() ^ (index * 0xCA5A826395121157ULL);
+  SplitMix64 finisher(child_seed);
+  return Rng(finisher.Next());
+}
+
+}  // namespace vod

@@ -1,0 +1,171 @@
+// Status and Result<T>: exception-free error propagation for the public API.
+//
+// Modeled on the RocksDB/Arrow convention: functions that can fail return a
+// Status (or a Result<T> carrying a value), never throw across the library
+// boundary. A Status is cheap to copy in the OK case (no allocation).
+
+#ifndef VOD_COMMON_STATUS_H_
+#define VOD_COMMON_STATUS_H_
+
+#include <cstdint>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace vod {
+
+/// Error categories used across the library.
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  /// A caller-supplied argument is outside its documented domain.
+  kInvalidArgument = 1,
+  /// A numeric routine failed to converge or lost too much precision.
+  kNumericError = 2,
+  /// A constrained problem has no feasible solution.
+  kInfeasible = 3,
+  /// A resource pool (streams, buffers, disks) is exhausted.
+  kResourceExhausted = 4,
+  /// A lookup (movie id, session id, ...) found nothing.
+  kNotFound = 5,
+  /// An internal invariant was violated; indicates a library bug.
+  kInternal = 6,
+  /// The operation is not implemented for the given configuration.
+  kNotSupported = 7,
+};
+
+/// Human-readable name of a StatusCode (e.g. "InvalidArgument").
+const char* StatusCodeToString(StatusCode code);
+
+/// \brief Result of an operation that can fail without a value.
+///
+/// The OK status carries no message and no allocation. Error statuses carry
+/// a code and a message describing what went wrong.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with the given code and message.
+  Status(StatusCode code, std::string msg)
+      : code_(code), msg_(std::move(msg)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NumericError(std::string msg) {
+    return Status(StatusCode::kNumericError, std::move(msg));
+  }
+  static Status Infeasible(std::string msg) {
+    return Status(StatusCode::kInfeasible, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  bool IsInvalidArgument() const {
+    return code_ == StatusCode::kInvalidArgument;
+  }
+  bool IsNumericError() const { return code_ == StatusCode::kNumericError; }
+  bool IsInfeasible() const { return code_ == StatusCode::kInfeasible; }
+  bool IsResourceExhausted() const {
+    return code_ == StatusCode::kResourceExhausted;
+  }
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsInternal() const { return code_ == StatusCode::kInternal; }
+  bool IsNotSupported() const { return code_ == StatusCode::kNotSupported; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && msg_ == other.msg_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string msg_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+/// \brief Either a value of type T or an error Status.
+///
+/// Accessing the value of an errored Result aborts (see VOD_CHECK); callers
+/// must test ok() first or use ValueOr().
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (the common success path).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from an error status. Must not be OK.
+  Result(Status status)  // NOLINT(runtime/explicit)
+      : status_(std::move(status)) {
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return value_.has_value(); }
+
+  /// The error status; OK if the result holds a value.
+  const Status& status() const { return status_; }
+
+  /// The contained value. Precondition: ok().
+  const T& value() const& { return *value_; }
+  T& value() & { return *value_; }
+  T&& value() && { return *std::move(value_); }
+
+  /// The contained value, or `fallback` when errored.
+  T ValueOr(T fallback) const {
+    return value_.has_value() ? *value_ : std::move(fallback);
+  }
+
+  const T& operator*() const& { return *value_; }
+  T& operator*() & { return *value_; }
+  const T* operator->() const { return &*value_; }
+  T* operator->() { return &*value_; }
+
+ private:
+  std::optional<T> value_;
+  Status status_;  // OK iff value_ holds a value.
+};
+
+/// Propagates an error status from an expression returning Status.
+#define VOD_RETURN_IF_ERROR(expr)            \
+  do {                                       \
+    ::vod::Status _st = (expr);              \
+    if (!_st.ok()) return _st;               \
+  } while (0)
+
+/// Evaluates an expression returning Result<T>; on error returns its status,
+/// otherwise assigns the value to `lhs`.
+#define VOD_ASSIGN_OR_RETURN(lhs, expr)      \
+  auto VOD_CONCAT_(_res_, __LINE__) = (expr);              \
+  if (!VOD_CONCAT_(_res_, __LINE__).ok())                  \
+    return VOD_CONCAT_(_res_, __LINE__).status();          \
+  lhs = std::move(VOD_CONCAT_(_res_, __LINE__)).value()
+
+#define VOD_CONCAT_IMPL_(a, b) a##b
+#define VOD_CONCAT_(a, b) VOD_CONCAT_IMPL_(a, b)
+
+}  // namespace vod
+
+#endif  // VOD_COMMON_STATUS_H_

@@ -1,0 +1,53 @@
+// Plain-text table and CSV rendering for benchmark harnesses.
+//
+// Every bench binary prints (a) a human-readable aligned table mirroring the
+// paper's figure/table, and (b) optionally machine-readable CSV for plotting.
+
+#ifndef VOD_COMMON_TABLE_H_
+#define VOD_COMMON_TABLE_H_
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace vod {
+
+/// \brief Collects rows of string cells and renders them aligned or as CSV.
+///
+/// Usage:
+///   TableWriter t({"n", "w", "P(hit) model", "P(hit) sim"});
+///   t.AddRow({"40", "1.0", "0.6612", "0.6587"});
+///   t.RenderText(std::cout);
+class TableWriter {
+ public:
+  /// Creates a table with the given column headers.
+  explicit TableWriter(std::vector<std::string> headers);
+
+  /// Appends a row; the number of cells must equal the number of headers.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Convenience: formats each double with `precision` significant decimals.
+  void AddNumericRow(const std::vector<double>& values, int precision = 4);
+
+  size_t num_rows() const { return rows_.size(); }
+  size_t num_cols() const { return headers_.size(); }
+
+  /// Renders an aligned, boxed ASCII table.
+  void RenderText(std::ostream& os) const;
+
+  /// Renders RFC-4180-ish CSV (cells containing comma/quote/newline are
+  /// quoted, embedded quotes doubled).
+  void RenderCsv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision (helper for table cells).
+std::string FormatDouble(double v, int precision = 4);
+
+}  // namespace vod
+
+#endif  // VOD_COMMON_TABLE_H_

@@ -1,0 +1,82 @@
+#include "core/cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace vod {
+
+Status HardwareCosts::Validate() const {
+  if (!(disk_price_dollars > 0.0) || !(disk_transfer_mbytes_per_sec > 0.0) ||
+      !(memory_price_per_mbyte > 0.0) || !(video_rate_mbits_per_sec > 0.0)) {
+    return Status::InvalidArgument("hardware cost parameters must be positive");
+  }
+  if (StreamsPerDisk() < 1.0) {
+    return Status::InvalidArgument(
+        "disk transfer rate cannot sustain a single stream");
+  }
+  return Status::OK();
+}
+
+double AllocationCostDollars(const AllocationResult& allocation,
+                             const HardwareCosts& costs) {
+  return costs.BufferCostPerMovieMinute() * allocation.total_buffer_minutes +
+         costs.StreamCost() * allocation.total_streams;
+}
+
+double AllocationCostNormalized(const AllocationResult& allocation,
+                                double phi) {
+  return phi * allocation.total_buffer_minutes + allocation.total_streams;
+}
+
+Result<std::vector<CostCurvePoint>> ComputeCostCurve(
+    const std::vector<MovieAllocationBound>& bounds, double phi,
+    int max_points) {
+  if (!(phi > 0.0)) {
+    return Status::InvalidArgument("phi must be positive");
+  }
+  if (max_points < 2) {
+    return Status::InvalidArgument("max_points must be >= 2");
+  }
+  int n_min = static_cast<int>(bounds.size());
+  int n_max = 0;
+  for (const auto& b : bounds) n_max += b.max_feasible_streams;
+  if (n_max < n_min) {
+    return Status::InvalidArgument("allocation bounds are empty or invalid");
+  }
+
+  const int span = n_max - n_min;
+  const int points = std::min(max_points, span + 1);
+  std::vector<CostCurvePoint> curve;
+  curve.reserve(static_cast<size_t>(points));
+  int previous_budget = -1;
+  for (int k = 0; k < points; ++k) {
+    const int budget =
+        points == 1
+            ? n_min
+            : n_min + static_cast<int>(std::llround(
+                          static_cast<double>(span) * k / (points - 1)));
+    if (budget == previous_budget) continue;
+    previous_budget = budget;
+    VOD_ASSIGN_OR_RETURN(const AllocationResult allocation,
+                         AllocateStreamBudget(bounds, budget));
+    CostCurvePoint point;
+    point.total_streams = allocation.total_streams;
+    point.total_buffer_minutes = allocation.total_buffer_minutes;
+    point.normalized_cost = AllocationCostNormalized(allocation, phi);
+    curve.push_back(point);
+  }
+  return curve;
+}
+
+CostCurvePoint MinimumCostPoint(const std::vector<CostCurvePoint>& curve) {
+  VOD_CHECK_MSG(!curve.empty(), "cost curve is empty");
+  CostCurvePoint best = curve.front();
+  for (const auto& point : curve) {
+    if (point.normalized_cost < best.normalized_cost) best = point;
+  }
+  return best;
+}
+
+}  // namespace vod

@@ -1,0 +1,76 @@
+// Dollar-cost model for buffer and I/O resources (paper §5, Eq. 23).
+//
+// C = C_n · (φ · Σ B_i  +  Σ n_i),  φ = C_b / C_n,
+// where C_b is the cost of buffering one movie-minute and C_n the cost of
+// one I/O stream. Example 2 derives C_b = $750 and C_n = $70 (φ ≈ 11) from
+// 1997 hardware: a $700 2GB SCSI disk at 5 MB/s, $25/MB DRAM, 4 Mbps MPEG-2.
+
+#ifndef VOD_CORE_COST_MODEL_H_
+#define VOD_CORE_COST_MODEL_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "core/sizing.h"
+
+namespace vod {
+
+/// Hardware price/performance parameters (defaults reproduce Example 2).
+struct HardwareCosts {
+  double disk_price_dollars = 700.0;
+  double disk_transfer_mbytes_per_sec = 5.0;
+  double memory_price_per_mbyte = 25.0;
+  double video_rate_mbits_per_sec = 4.0;
+
+  /// C_b: dollars to buffer one minute of video.
+  /// 60 s · (rate/8) MB/s · $/MB — $750 with the defaults.
+  double BufferCostPerMovieMinute() const {
+    return 60.0 * (video_rate_mbits_per_sec / 8.0) * memory_price_per_mbyte;
+  }
+
+  /// Streams one disk sustains: transfer / (rate/8) — 10 with the defaults.
+  double StreamsPerDisk() const {
+    return disk_transfer_mbytes_per_sec / (video_rate_mbits_per_sec / 8.0);
+  }
+
+  /// C_n: dollars per I/O stream = disk price / streams-per-disk — $70 with
+  /// the defaults.
+  double StreamCost() const { return disk_price_dollars / StreamsPerDisk(); }
+
+  /// φ = C_b / C_n — ≈ 10.7 (the paper rounds to 11) with the defaults.
+  double Phi() const { return BufferCostPerMovieMinute() / StreamCost(); }
+
+  Status Validate() const;
+};
+
+/// Dollar cost of an allocation under Eq. (23).
+double AllocationCostDollars(const AllocationResult& allocation,
+                             const HardwareCosts& costs);
+
+/// Normalized cost φ·ΣB + Σn (units of C_n), as plotted in Figure 9.
+double AllocationCostNormalized(const AllocationResult& allocation,
+                                double phi);
+
+/// One point of a Figure-9 cost curve.
+struct CostCurvePoint {
+  int total_streams = 0;
+  double total_buffer_minutes = 0.0;
+  /// φ·ΣB + Σn.
+  double normalized_cost = 0.0;
+};
+
+/// \brief Cost versus total stream count (Figure 9).
+///
+/// For each stream budget N from #movies up to Σ n_i^max (subsampled to at
+/// most `max_points` points, always including both endpoints), computes the
+/// minimum-buffer allocation and its normalized cost for the given φ.
+Result<std::vector<CostCurvePoint>> ComputeCostCurve(
+    const std::vector<MovieAllocationBound>& bounds, double phi,
+    int max_points = 200);
+
+/// The cost-minimizing point of a curve (ties broken toward fewer streams).
+CostCurvePoint MinimumCostPoint(const std::vector<CostCurvePoint>& curve);
+
+}  // namespace vod
+
+#endif  // VOD_CORE_COST_MODEL_H_

@@ -1,0 +1,49 @@
+#include "core/erlang.h"
+
+namespace vod {
+
+Result<double> ErlangBlockingProbability(int servers, double offered_load) {
+  if (servers < 0) {
+    return Status::InvalidArgument("server count must be non-negative");
+  }
+  if (offered_load < 0.0) {
+    return Status::InvalidArgument("offered load must be non-negative");
+  }
+  if (offered_load == 0.0) return servers == 0 ? 1.0 : 0.0;
+  double blocking = 1.0;  // B(0, a)
+  for (int c = 1; c <= servers; ++c) {
+    blocking = offered_load * blocking /
+               (static_cast<double>(c) + offered_load * blocking);
+  }
+  return blocking;
+}
+
+Result<int> MinStreamsForBlocking(double offered_load, double target_blocking,
+                                  int max_servers) {
+  if (!(target_blocking > 0.0 && target_blocking <= 1.0)) {
+    return Status::InvalidArgument("target blocking must be in (0, 1]");
+  }
+  if (offered_load < 0.0) {
+    return Status::InvalidArgument("offered load must be non-negative");
+  }
+  if (max_servers < 0) {
+    return Status::InvalidArgument("max_servers must be non-negative");
+  }
+  if (offered_load == 0.0) return 0;
+  double blocking = 1.0;
+  if (blocking <= target_blocking) return 0;
+  for (int c = 1; c <= max_servers; ++c) {
+    blocking = offered_load * blocking /
+               (static_cast<double>(c) + offered_load * blocking);
+    if (blocking <= target_blocking) return c;
+  }
+  return Status::Infeasible("blocking target unreachable within max_servers");
+}
+
+Result<double> ErlangCarriedLoad(int servers, double offered_load) {
+  VOD_ASSIGN_OR_RETURN(const double blocking,
+                       ErlangBlockingProbability(servers, offered_load));
+  return offered_load * (1.0 - blocking);
+}
+
+}  // namespace vod

@@ -1,0 +1,156 @@
+#include "core/extended_equations.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "numerics/quadrature.h"
+
+namespace vod {
+
+int ExtendedMaxRewindJumpIndex(const PartitionLayout& layout,
+                               const PlaybackRates& rates) {
+  const double gamma = rates.Gamma();
+  const double period = layout.restart_period();
+  if (period <= 0.0) return 0;
+  const double bound =
+      (layout.movie_length() / gamma + layout.window()) / period;
+  return static_cast<int>(std::floor(bound + 1e-12));
+}
+
+namespace {
+
+Status ValidateInputs(const PartitionLayout& layout, int quadrature_points) {
+  if (quadrature_points < 2 || quadrature_points > 128) {
+    return Status::InvalidArgument("quadrature_points must be in [2, 128]");
+  }
+  if (layout.is_pure_batching()) {
+    return Status::InvalidArgument(
+        "the casewise equations assume B > 0 (P(V_f) = 1/(B/n))");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<ExtendedComponents> ExtendedRewindHitProbability(
+    const PartitionLayout& layout, const PlaybackRates& rates,
+    const Distribution& duration, int quadrature_points) {
+  VOD_RETURN_IF_ERROR(rates.Validate());
+  VOD_RETURN_IF_ERROR(ValidateInputs(layout, quadrature_points));
+
+  const double l = layout.movie_length();
+  const double window = layout.window();          // W = B/n
+  const double period = layout.restart_period();  // T = l/n
+  const double gamma = rates.Gamma();
+  const auto F = [&duration](double x) { return duration.Cdf(x); };
+  const int q = quadrature_points;
+
+  ExtendedComponents out;
+
+  // ---- P(hit_w | RW): resume within the partition of issue. --------------
+  //
+  // Given (V_c, V_f) with d = V_f − V_c: hit iff x ≤ γ(W − d) AND x ≤ V_c
+  // (cannot rewind past the start). Two cases split on which bound binds:
+  //   case a (V_c ≥ γ(W − d)): the movie start never interferes,
+  //     P = F(γ(W − d));
+  //   case b (V_c < γ(W − d)): a start-capped rewind,
+  //     P = F(V_c).
+  // Unconditioning uses P(V_f) = 1/(B/n) on [V_c, V_c + W] and
+  // P(V_c) = 1/l on [0, l]; the case boundary in V_f is
+  // d* = W − V_c/γ (case b applies for d < d*, possible only when
+  // V_c < γW).
+  {
+    const auto p_given_vc = [&](double vc) {
+      // Case boundary in d.
+      const double d_star = std::clamp(window - vc / gamma, 0.0, window);
+      // Case b: d ∈ [0, d*) — capped at the movie start.
+      const double part_b = d_star * F(vc);
+      // Case a: d ∈ [d*, W] — the own-window bound binds.
+      const double part_a =
+          GaussLegendre([&](double d) { return F(gamma * (window - d)); },
+                        d_star, window, q);
+      return (part_a + part_b) / window;
+    };
+    out.hit_within =
+        GaussLegendre(p_given_vc, 0.0, l, q) / l;
+  }
+
+  // ---- P(hit_j^j | RW): resume in the j-th partition behind. -------------
+  //
+  // Hit iff x ∈ γ·[jT − d, jT − d + W], clipped by the start bound x ≤ V_c.
+  // Three cases per (V_c, d):
+  //   complete: V_c ≥ γ(jT − d + W)       → F(hi) − F(lo)
+  //   partial:  γ(jT − d) < V_c < γ(...)  → F(V_c) − F(lo)
+  //   none:     V_c ≤ γ(jT − d)           → 0
+  const int j_max = ExtendedMaxRewindJumpIndex(layout, rates);
+  for (int j = 1; j <= j_max; ++j) {
+    const double shift = j * period;  // jT
+    const auto p_given_vc = [&](double vc) {
+      // Case boundaries in d for this (j, V_c):
+      //   complete for d ≥ d_c = jT + W − V_c/γ,
+      //   none     for d ≤ d_n = jT − V_c/γ.
+      const double d_c = std::clamp(shift + window - vc / gamma, 0.0, window);
+      const double d_n = std::clamp(shift - vc / gamma, 0.0, window);
+      // none: d ∈ [0, d_n] contributes 0.
+      // partial: d ∈ (d_n, d_c).
+      const double partial = GaussLegendre(
+          [&](double d) {
+            return std::max(F(vc) - F(gamma * (shift - d)), 0.0);
+          },
+          d_n, d_c, q);
+      // complete: d ∈ [d_c, W].
+      const double complete = GaussLegendre(
+          [&](double d) {
+            return F(gamma * (shift - d + window)) - F(gamma * (shift - d));
+          },
+          d_c, window, q);
+      return (partial + complete) / window;
+    };
+    out.hit_jump_per_partition.push_back(
+        GaussLegendre(p_given_vc, 0.0, l, q) / l);
+  }
+  return out;
+}
+
+Result<ExtendedComponents> ExtendedPauseHitProbability(
+    const PartitionLayout& layout, const Distribution& duration,
+    int quadrature_points, double tail_epsilon) {
+  VOD_RETURN_IF_ERROR(ValidateInputs(layout, quadrature_points));
+  if (!(tail_epsilon > 0.0 && tail_epsilon < 0.5)) {
+    return Status::InvalidArgument("tail_epsilon must be in (0, 0.5)");
+  }
+
+  const double window = layout.window();
+  const double period = layout.restart_period();
+  const auto F = [&duration](double x) { return duration.Cdf(x); };
+  const int q = quadrature_points;
+
+  ExtendedComponents out;
+
+  // ---- P(hit_w | PAU): own partition, no position boundary. --------------
+  // Hit iff x ≤ W − d (the trailing edge has not yet swept past).
+  out.hit_within =
+      GaussLegendre([&](double d) { return F(window - d); }, 0.0, window,
+                    q) /
+      window;
+
+  // ---- P(hit_j^j | PAU): the j-th window behind sweeps over the viewer
+  // during [jT − d, jT − d + W]. Restarts continue forever, so j is bounded
+  // only by the duration tail.
+  for (int j = 1;; ++j) {
+    const double shift = j * period;
+    if (1.0 - F(shift - window) < tail_epsilon) break;
+    const double p =
+        GaussLegendre(
+            [&](double d) {
+              return F(shift - d + window) - F(shift - d);
+            },
+            0.0, window, q) /
+        window;
+    out.hit_jump_per_partition.push_back(p);
+    if (j > 100000) break;  // safety against pathological inputs
+  }
+  return out;
+}
+
+}  // namespace vod

@@ -1,0 +1,72 @@
+// Case-by-case transcription of OUR rewind/pause derivations.
+//
+// The paper derives P(hit | FF) in full (Eqs. 3–21) and states that RW and
+// PAU "are derived in a manner similar" in tech report CS-TR-96-03, which
+// is not publicly available. DESIGN.md §5 reconstructs those derivations;
+// this module is their executable, case-by-case form — deliberately written
+// in the paper's style (explicit hit_w / hit_j^j decomposition, nested
+// unconditioning integrals, boundary cases spelled out) rather than the
+// production interval-geometry engine, so the two can be cross-checked the
+// same way paper_equations.cc cross-checks the FF case.
+//
+// Rewind geometry (γ = R_RW/(R_PB + R_RW), Eq. 1):
+//   hit_w  — resume in the partition of issue: the viewer's backward
+//            displacement relative to the window pattern is x/γ; he stays
+//            inside his own window while x ≤ γ(B/n − d), d = V_f − V_c.
+//   hit_j^j — resume in the j-th partition behind: x ∈ γ·[jT − d, jT − d + W].
+//   boundary — a rewind cannot pass the movie start: x > V_c is a MISS
+//            (the paper's §4 convention; the tech-report model matches).
+// Pause is the γ → 1 limit with no start boundary (the pattern is periodic
+// and restarts continue forever; x > l wraps).
+
+#ifndef VOD_CORE_EXTENDED_EQUATIONS_H_
+#define VOD_CORE_EXTENDED_EQUATIONS_H_
+
+#include <vector>
+
+#include "core/partition_layout.h"
+#include "core/types.h"
+#include "dist/distribution.h"
+
+namespace vod {
+
+/// Term-by-term rewind/pause result, mirroring PaperFfComponents.
+struct ExtendedComponents {
+  /// P(hit_w | op): hit within the partition of issue.
+  double hit_within = 0.0;
+  /// P(hit_j^j | op) for the j-th partition behind, j = 1, 2, ...
+  std::vector<double> hit_jump_per_partition;
+
+  double JumpTotal() const {
+    double sum = 0.0;
+    for (double p : hit_jump_per_partition) sum += p;
+    return sum;
+  }
+  double Total() const { return hit_within + JumpTotal(); }
+};
+
+/// \brief Evaluates the casewise rewind equations.
+///
+/// \param quadrature_points Gauss–Legendre order per nested integral.
+/// Cost O(j_max · points²); intended for validation, not sweeps.
+Result<ExtendedComponents> ExtendedRewindHitProbability(
+    const PartitionLayout& layout, const PlaybackRates& rates,
+    const Distribution& duration, int quadrature_points = 32);
+
+/// \brief Evaluates the casewise pause equations.
+///
+/// `tail_epsilon` bounds the enumerated windows: generation stops once the
+/// remaining duration mass is below it.
+Result<ExtendedComponents> ExtendedPauseHitProbability(
+    const PartitionLayout& layout, const Distribution& duration,
+    int quadrature_points = 32, double tail_epsilon = 1e-10);
+
+/// Largest behind-partition index a rewinding viewer can reach:
+/// the j-th window requires x ≥ γ(jT − d) with x ≤ V_c ≤ l, so
+/// j ≤ (l/γ + W)/T.
+int ExtendedMaxRewindJumpIndex(const PartitionLayout& layout,
+                               const PlaybackRates& rates);
+
+}  // namespace vod
+
+#endif  // VOD_CORE_EXTENDED_EQUATIONS_H_

@@ -1,0 +1,55 @@
+#include "core/hit_intervals.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace vod {
+
+IntervalSet BuildHitIntervals(VcrOp op, const PartitionLayout& layout,
+                              const PlaybackRates& rates, double lead_distance,
+                              double x_max) {
+  const double window = layout.window();          // W = B/n
+  const double period = layout.restart_period();  // T = l/n
+  VOD_DCHECK(lead_distance >= -1e-12 && lead_distance <= window + 1e-9);
+  const double d = std::clamp(lead_distance, 0.0, window);
+
+  IntervalSet set;
+  if (window <= 0.0) return set;  // pure batching: no buffered windows
+
+  // Scale factor from relative displacement to operation duration x.
+  double scale = 1.0;
+  switch (op) {
+    case VcrOp::kFastForward:
+      scale = rates.Alpha();
+      break;
+    case VcrOp::kRewind:
+      scale = rates.Gamma();
+      break;
+    case VcrOp::kPause:
+      scale = 1.0;
+      break;
+  }
+
+  if (op == VcrOp::kFastForward) {
+    // Window i >= 0 ahead: x ∈ α·[iT + d − W, iT + d].
+    for (int i = 0;; ++i) {
+      const double lo = scale * (i * period + d - window);
+      const double hi = scale * (i * period + d);
+      if (lo > x_max) break;
+      set.Add(Interval{std::max(lo, 0.0), hi});
+    }
+  } else {
+    // Window j >= 0 behind: x ∈ scale·[jT − d, jT − d + W].
+    for (int j = 0;; ++j) {
+      const double lo = scale * (j * period - d);
+      const double hi = scale * (j * period - d + window);
+      if (lo > x_max) break;
+      if (hi < 0.0) continue;
+      set.Add(Interval{std::max(lo, 0.0), hi});
+    }
+  }
+  return set;
+}
+
+}  // namespace vod

@@ -1,0 +1,54 @@
+// Hit-interval geometry for VCR resume events.
+//
+// Every VCR operation is reduced to a union of intervals of the duration
+// variable x (movie-minutes traversed for FF/RW, wall-minutes for PAU) in
+// which the resuming viewer lands inside some buffer partition. This is the
+// geometric core of the paper's Section 3: the paper's Eqs. (3) and (9) are
+// the i = 0 and i >= 1 fast-forward intervals.
+//
+// Derivation (DESIGN.md §5): work in the viewer's displacement relative to
+// the forward-moving window pattern. Windows have width W = B/n and leading
+// edges spaced T = l/n apart. A viewer at distance d ∈ [0, W] behind his
+// partition's leading edge:
+//  * FF traverses x movie-minutes, moving x/α forward relative to the
+//    pattern (α = R_FF/(R_FF − R_PB)); he is inside the i-th window ahead
+//    iff x ∈ α·[iT + d − W, iT + d].
+//  * RW traverses x movie-minutes, moving x/γ backward relative to the
+//    pattern (γ = R_RW/(R_PB + R_RW)); he is inside the j-th window behind
+//    iff x ∈ γ·[jT − d, jT − d + W].
+//  * PAU for x wall-minutes moves x backward relative to the pattern (the
+//    R_RW → ∞ limit of RW); he is inside the j-th window behind iff
+//    x ∈ [jT − d, jT − d + W].
+//
+// Boundary clips (movie start/end, FF-past-end) depend on the viewer
+// position V_c and are applied by the caller (AnalyticHitModel does this
+// analytically; see hit_model.cc).
+
+#ifndef VOD_CORE_HIT_INTERVALS_H_
+#define VOD_CORE_HIT_INTERVALS_H_
+
+#include "core/partition_layout.h"
+#include "core/types.h"
+#include "numerics/interval_set.h"
+
+namespace vod {
+
+/// \brief Builds the (V_c-independent) hit-interval union for one operation.
+///
+/// \param op              the VCR operation.
+/// \param layout          the movie's batching/buffering layout.
+/// \param rates           playback/FF/RW speeds (must validate).
+/// \param lead_distance   d = V_f − V_c ∈ [0, layout.window()], the viewer's
+///                        distance behind his partition's leading edge.
+/// \param x_max           enumeration cap: windows whose interval starts
+///                        beyond x_max are not generated (choose the
+///                        duration distribution's ~1−1e-10 quantile, or the
+///                        movie length for FF/RW, whichever is smaller).
+/// Intervals are clipped to x >= 0 and merged.
+IntervalSet BuildHitIntervals(VcrOp op, const PartitionLayout& layout,
+                              const PlaybackRates& rates, double lead_distance,
+                              double x_max);
+
+}  // namespace vod
+
+#endif  // VOD_CORE_HIT_INTERVALS_H_

@@ -1,0 +1,274 @@
+#include "core/hit_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "core/hit_intervals.h"
+#include "numerics/quadrature.h"
+
+namespace vod {
+
+Result<CompiledDuration> CompiledDuration::Create(
+    DistributionPtr duration, double movie_length, int table_cells,
+    double tail_epsilon, DistributionPtr position_density) {
+  if (duration == nullptr) {
+    return Status::InvalidArgument("duration distribution is null");
+  }
+  if (!(movie_length > 0.0)) {
+    return Status::InvalidArgument("movie length must be positive");
+  }
+  if (duration->SupportLower() < 0.0) {
+    return Status::InvalidArgument(
+        "VCR durations must be non-negative (support lower bound < 0)");
+  }
+  if (table_cells < 16) {
+    return Status::InvalidArgument("table_cells must be at least 16");
+  }
+  if (!(tail_epsilon > 0.0 && tail_epsilon < 0.5)) {
+    return Status::InvalidArgument("tail_epsilon must be in (0, 0.5)");
+  }
+  if (position_density != nullptr &&
+      (position_density->SupportLower() < -1e-9 ||
+       position_density->SupportUpper() > movie_length + 1e-9)) {
+    return Status::InvalidArgument(
+        "position density must be supported on [0, movie length]");
+  }
+  CompiledDuration compiled;
+  compiled.duration_ = duration;
+  compiled.position_density_ = position_density;
+  compiled.movie_length_ = movie_length;
+
+  // Position-weighted tables. With q uniform the weight is the constant
+  // 1/l and A_ff == A_rw == Fint/l, recovering the paper's Eqs. (7)/(8).
+  const double l = movie_length;
+  const auto weight_ff = [&](double c) {
+    const double w = position_density == nullptr
+                         ? 1.0 / l
+                         : position_density->Pdf(l - c);
+    return w * duration->Cdf(c);
+  };
+  const auto weight_rw = [&](double c) {
+    const double w = position_density == nullptr
+                         ? 1.0 / l
+                         : position_density->Pdf(c);
+    return w * duration->Cdf(c);
+  };
+  compiled.weighted_ff_ = std::make_shared<TabulatedAntiderivative>(
+      weight_ff, 0.0, movie_length, table_cells);
+  compiled.weighted_rw_ = std::make_shared<TabulatedAntiderivative>(
+      weight_rw, 0.0, movie_length, table_cells);
+
+  // Tail quantile; for distributions with bounded support Quantile may equal
+  // the support end.
+  if (duration->Cdf(duration->SupportUpper()) >= 1.0 &&
+      std::isfinite(duration->SupportUpper())) {
+    compiled.tail_quantile_ = duration->SupportUpper();
+  } else {
+    compiled.tail_quantile_ = duration->Quantile(1.0 - tail_epsilon);
+  }
+  return compiled;
+}
+
+double CompiledDuration::PositionCdf(double v) const {
+  if (position_density_ == nullptr) {
+    if (v <= 0.0) return 0.0;
+    if (v >= movie_length_) return 1.0;
+    return v / movie_length_;
+  }
+  return position_density_->Cdf(v);
+}
+
+double CompiledDuration::FastForwardClipAverage(double b) const {
+  // E_q[F(min(b, l − V_c))] = ∫_0^min(b,l) q(l−c)F(c)dc
+  //                           + F(b)·P(V_c < l − min(b,l)).
+  if (b <= 0.0) return 0.0;
+  const double capped = std::min(b, movie_length_);
+  return (*weighted_ff_)(capped) +
+         duration_->Cdf(b) * PositionCdf(movie_length_ - capped);
+}
+
+double CompiledDuration::RewindClipAverage(double b) const {
+  // E_q[F(min(b, V_c))] = ∫_0^min(b,l) q(c)F(c)dc + F(b)·P(V_c > min(b,l)).
+  if (b <= 0.0) return 0.0;
+  const double capped = std::min(b, movie_length_);
+  return (*weighted_rw_)(capped) +
+         duration_->Cdf(b) * (1.0 - PositionCdf(capped));
+}
+
+double CompiledDuration::EndReleaseProbability() const {
+  // E_q[1 − F(l − V_c)] = 1 − A_ff(l).
+  return 1.0 - (*weighted_ff_)(movie_length_);
+}
+
+Result<AnalyticHitModel> AnalyticHitModel::Create(
+    const PartitionLayout& layout, const PlaybackRates& rates,
+    const Options& options) {
+  VOD_RETURN_IF_ERROR(rates.Validate());
+  if (options.d_quadrature_points < 1 || options.d_quadrature_points > 128) {
+    return Status::InvalidArgument("d_quadrature_points must be in [1, 128]");
+  }
+  return AnalyticHitModel(layout, rates, options);
+}
+
+namespace {
+
+/// Measure of `set` through the op-specific V_c-averaged clipped CDF: the
+/// probability that the duration lands in `set` after clipping at the movie
+/// end (FF) or start (RW), averaged over the viewer position.
+double ClipAveragedMeasure(const CompiledDuration& duration,
+                           const IntervalSet& set, VcrOp op) {
+  double sum = 0.0;
+  for (const Interval& iv : set.intervals()) {
+    if (op == VcrOp::kFastForward) {
+      sum += duration.FastForwardClipAverage(iv.hi) -
+             duration.FastForwardClipAverage(iv.lo);
+    } else {
+      sum += duration.RewindClipAverage(iv.hi) -
+             duration.RewindClipAverage(iv.lo);
+    }
+  }
+  return sum;
+}
+
+}  // namespace
+
+HitProbabilityBreakdown AnalyticHitModel::BreakdownAtLeadDistance(
+    VcrOp op, const CompiledDuration& duration, double d) const {
+  HitProbabilityBreakdown out;
+  const double l = layout_.movie_length();
+  const double window = layout_.window();
+
+  // Enumeration cap: FF/RW traverse at most l movie-minutes before hitting a
+  // movie boundary; PAU durations are unbounded (periodic restarts).
+  double x_max = duration.tail_quantile();
+  if (op != VcrOp::kPause) x_max = std::min(x_max, l);
+
+  const IntervalSet set =
+      BuildHitIntervals(op, layout_, rates_, d, x_max);
+
+  // The "own partition" (i = 0 / j = 0) interval, for the within/jump split.
+  double own_hi = 0.0;
+  switch (op) {
+    case VcrOp::kFastForward:
+      own_hi = rates_.Alpha() * d;
+      break;
+    case VcrOp::kRewind:
+      own_hi = rates_.Gamma() * (window - d);
+      break;
+    case VcrOp::kPause:
+      own_hi = window - d;
+      break;
+  }
+  IntervalSet own;
+  own.Add(Interval{0.0, own_hi});
+
+  double total_hit = 0.0;
+  double within = 0.0;
+  if (op == VcrOp::kPause) {
+    // No position-dependent clip: measure directly through the CDF.
+    const auto cdf = [&duration](double x) { return duration.Cdf(x); };
+    total_hit = set.MeasureThrough(cdf);
+    within = own.MeasureThrough(cdf);
+  } else {
+    // FF clips at c = l − V_c, RW clips at c = V_c; both reduce to the
+    // position-averaged clipped CDF tables.
+    total_hit = ClipAveragedMeasure(duration, set, op);
+    within = ClipAveragedMeasure(duration, own, op);
+  }
+  out.within = within;
+  out.jump = std::max(total_hit - within, 0.0);
+
+  if (op == VcrOp::kFastForward && options_.include_end_release) {
+    // P(end) = E_q[1 − F(l − V_c)] (Eq. 20 under the position density).
+    // Duration mass beyond l also counts as reaching the end (a
+    // fast-forward longer than the remaining movie terminates there).
+    out.end = duration.EndReleaseProbability();
+  }
+  return out;
+}
+
+Result<HitProbabilityBreakdown> AnalyticHitModel::Breakdown(
+    VcrOp op, const CompiledDuration& duration) const {
+  if (std::fabs(duration.movie_length() - layout_.movie_length()) > 1e-9) {
+    return Status::InvalidArgument(
+        "CompiledDuration was built for a different movie length");
+  }
+  const double window = layout_.window();
+  if (window <= 0.0) {
+    // Pure batching: no buffered windows, only the FF end-release survives.
+    return BreakdownAtLeadDistance(op, duration, 0.0);
+  }
+  // Expectation over d ~ U[0, window] by Gauss–Legendre.
+  const GaussLegendreRule& rule =
+      GetGaussLegendreRule(options_.d_quadrature_points);
+  HitProbabilityBreakdown sum;
+  for (size_t i = 0; i < rule.nodes.size(); ++i) {
+    const double d = 0.5 * window * (1.0 + rule.nodes[i]);
+    const HitProbabilityBreakdown at =
+        BreakdownAtLeadDistance(op, duration, d);
+    // Weights sum to 2 over [-1, 1]; the 1/2 normalizes the average.
+    const double weight = 0.5 * rule.weights[i];
+    sum.within += weight * at.within;
+    sum.jump += weight * at.jump;
+    sum.end += weight * at.end;
+  }
+  return sum;
+}
+
+Result<double> AnalyticHitModel::HitProbability(
+    VcrOp op, const CompiledDuration& duration) const {
+  VOD_ASSIGN_OR_RETURN(const HitProbabilityBreakdown breakdown,
+                       Breakdown(op, duration));
+  return breakdown.total();
+}
+
+Result<HitProbabilityBreakdown> AnalyticHitModel::Breakdown(
+    VcrOp op, DistributionPtr duration) const {
+  VOD_ASSIGN_OR_RETURN(
+      const CompiledDuration compiled,
+      CompiledDuration::Create(std::move(duration), layout_.movie_length(),
+                               options_.cdf_table_cells,
+                               options_.tail_epsilon,
+                               options_.position_density));
+  return Breakdown(op, compiled);
+}
+
+Result<double> AnalyticHitModel::HitProbability(VcrOp op,
+                                                DistributionPtr duration) const {
+  VOD_ASSIGN_OR_RETURN(const HitProbabilityBreakdown breakdown,
+                       Breakdown(op, std::move(duration)));
+  return breakdown.total();
+}
+
+Result<double> AnalyticHitModel::HitProbability(
+    const VcrMix& mix, const VcrDurations& durations) const {
+  VOD_RETURN_IF_ERROR(mix.Validate());
+  double total = 0.0;
+  for (VcrOp op : kAllVcrOps) {
+    const double p_op = mix.Probability(op);
+    if (p_op <= 0.0) continue;
+    DistributionPtr dist;
+    switch (op) {
+      case VcrOp::kFastForward:
+        dist = durations.fast_forward;
+        break;
+      case VcrOp::kRewind:
+        dist = durations.rewind;
+        break;
+      case VcrOp::kPause:
+        dist = durations.pause;
+        break;
+    }
+    if (dist == nullptr) {
+      return Status::InvalidArgument(
+          std::string("mix assigns probability to ") + VcrOpName(op) +
+          " but no duration distribution was provided");
+    }
+    VOD_ASSIGN_OR_RETURN(const double p_hit, HitProbability(op, dist));
+    total += p_op * p_hit;
+  }
+  return total;
+}
+
+}  // namespace vod

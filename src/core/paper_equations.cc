@@ -1,0 +1,160 @@
+#include "core/paper_equations.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "numerics/quadrature.h"
+
+namespace vod {
+
+int PaperMaxJumpIndex(const PartitionLayout& layout,
+                      const PlaybackRates& rates) {
+  const double l = layout.movie_length();
+  const double n = layout.streams();
+  const double w = layout.max_wait();
+  const double alpha = rates.Alpha();
+  const double bound = (n * (l + w * alpha) - l * alpha) / (l * alpha);
+  if (bound < 0.0) return 0;
+  return static_cast<int>(std::floor(bound + 1e-12));
+}
+
+Result<PaperFfComponents> PaperFastForwardHitProbability(
+    const PartitionLayout& layout, const PlaybackRates& rates,
+    const Distribution& duration, int quadrature_points) {
+  VOD_RETURN_IF_ERROR(rates.Validate());
+  if (quadrature_points < 2 || quadrature_points > 128) {
+    return Status::InvalidArgument("quadrature_points must be in [2, 128]");
+  }
+  if (layout.is_pure_batching()) {
+    return Status::InvalidArgument(
+        "the paper's equations assume B > 0 (P(V_f) = 1/(B/n))");
+  }
+
+  const double l = layout.movie_length();
+  const double n = layout.streams();
+  const double alpha = rates.Alpha();
+  const double window = layout.window();  // B/n
+  const double b_alpha_n = layout.buffer_minutes() * alpha / n;
+  const auto F = [&duration](double x) { return duration.Cdf(x); };
+  const int q = quadrature_points;
+
+  PaperFfComponents out;
+
+  // ---- P(hit_w | FF): Eqs. (3)–(8). -------------------------------------
+  {
+    // Case a, Eq. (4): V_f ∈ [V_c, V_c + B/n], catch-up always possible.
+    const auto p_a_given_vc = [&](double vc) {
+      return GaussLegendre(
+                 [&](double vf) { return F(alpha * (vf - vc)); }, vc,
+                 vc + window, q) /
+             window;
+    };
+    // Case b, Eq. (6): V_t = (l + (α − 1)V_c)/α caps the catchable V_f.
+    const auto p_b_given_vc = [&](double vc) {
+      const double vt = std::clamp((l + (alpha - 1.0) * vc) / alpha, vc,
+                                   vc + window);
+      const double first =
+          GaussLegendre([&](double vf) { return F(alpha * (vf - vc)); }, vc,
+                        vt, q);
+      const double second = (vc + window - vt) * F(alpha * (vt - vc));
+      return (first + second) / window;
+    };
+    const double split = std::clamp(l - b_alpha_n, 0.0, l);
+    // Eq. (7): case a over V_c ∈ [0, l − Bα/n].
+    const double part_a =
+        GaussLegendre(p_a_given_vc, 0.0, split, q) / l;
+    // Eq. (8): case b over V_c ∈ [l − Bα/n, l].
+    const double part_b = GaussLegendre(p_b_given_vc, split, l, q) / l;
+    out.hit_within = part_a + part_b;
+  }
+
+  // ---- P(hit_j^i | FF): Eqs. (9)–(18). ----------------------------------
+  const int i_max = PaperMaxJumpIndex(layout, rates);
+  for (int i = 1; i <= i_max; ++i) {
+    const double shift = i * l / n;  // phase difference to the i-th partition
+    // Complete hit, Eq. (9): integrate f over [αΔ_jump_l, αΔ_jump_f].
+    const auto p_complete = [&](double vc, double vf) {
+      const double delta_f = shift + vf - vc;
+      const double delta_l = delta_f - window;
+      return F(alpha * delta_f) - F(alpha * delta_l);
+    };
+    // Partial hit, Eq. (10): upper limit becomes l − V_c.
+    const auto p_partial = [&](double vc, double vf) {
+      const double delta_l = shift + vf - vc - window;
+      return std::max(F(l - vc) - F(alpha * delta_l), 0.0);
+    };
+    const auto vt_i = [&](double vc) {
+      return (l + (alpha - 1.0) * vc - shift * alpha) / alpha;
+    };
+    const auto vt_prime_i = [&](double vc) {
+      return (l + (alpha - 1.0) * vc -
+              alpha * (i * l - layout.buffer_minutes()) / n) /
+             alpha;
+    };
+
+    // Ranges of V_c for the four cases (Eqs. 15–18), clamped to [0, l].
+    const double a_i = std::clamp(l - b_alpha_n - shift * alpha, 0.0, l);
+    const double c_i = std::clamp(l - shift * alpha, 0.0, l);
+    const double d_i =
+        std::clamp(l - (i * l - layout.buffer_minutes()) * alpha / n, 0.0, l);
+
+    // Eq. (15): complete hit over the full V_f window.
+    const double p1 =
+        GaussLegendre(
+            [&](double vc) {
+              return GaussLegendre(
+                         [&](double vf) { return p_complete(vc, vf); }, vc,
+                         vc + window, q) /
+                     window;
+            },
+            0.0, a_i, q) /
+        l;
+    // Eq. (16): complete hit for V_f ∈ [V_c, V_t].
+    const double p2 =
+        GaussLegendre(
+            [&](double vc) {
+              const double vt = std::clamp(vt_i(vc), vc, vc + window);
+              return GaussLegendre(
+                         [&](double vf) { return p_complete(vc, vf); }, vc,
+                         vt, q) /
+                     window;
+            },
+            a_i, c_i, q) /
+        l;
+    // Eq. (17): partial hit for V_f ∈ [V_t, V_c + B/n].
+    const double p3 =
+        GaussLegendre(
+            [&](double vc) {
+              const double vt = std::clamp(vt_i(vc), vc, vc + window);
+              return GaussLegendre(
+                         [&](double vf) { return p_partial(vc, vf); }, vt,
+                         vc + window, q) /
+                     window;
+            },
+            a_i, c_i, q) /
+        l;
+    // Eq. (18): partial hit only, V_f ∈ [V_c, V_t'].
+    const double p4 =
+        GaussLegendre(
+            [&](double vc) {
+              const double vtp = std::clamp(vt_prime_i(vc), vc, vc + window);
+              return GaussLegendre(
+                         [&](double vf) { return p_partial(vc, vf); }, vc,
+                         vtp, q) /
+                     window;
+            },
+            c_i, d_i, q) /
+        l;
+
+    out.hit_jump_per_partition.push_back(p1 + p2 + p3 + p4);
+  }
+
+  // ---- P(end): Eq. (20). -------------------------------------------------
+  out.end = GaussLegendre([&](double vc) { return F(l) - F(l - vc); }, 0.0,
+                          l, q) /
+            l;
+
+  return out;
+}
+
+}  // namespace vod

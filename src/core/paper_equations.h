@@ -1,0 +1,55 @@
+// Literal transcription of the paper's fast-forward derivation (Eqs. 3–21).
+//
+// This module exists as an executable specification: it follows the paper's
+// case-by-case integrals verbatim (hit within the partition, complete and
+// partial jumps to the i-th partition ahead, fast-forward to the end), with
+// plain nested numerical integration and no algebraic simplification. The
+// production path (AnalyticHitModel) uses the equivalent interval-geometry
+// formulation; tests assert the two agree to quadrature tolerance.
+
+#ifndef VOD_CORE_PAPER_EQUATIONS_H_
+#define VOD_CORE_PAPER_EQUATIONS_H_
+
+#include <vector>
+
+#include "core/partition_layout.h"
+#include "core/types.h"
+#include "dist/distribution.h"
+
+namespace vod {
+
+/// Term-by-term result of the paper's Eq. (21).
+struct PaperFfComponents {
+  /// P(hit_w | FF): Eqs. (7) + (8).
+  double hit_within = 0.0;
+  /// P(hit_j^i | FF) for i = 1, 2, ...: Eqs. (15)–(18) summed per i.
+  std::vector<double> hit_jump_per_partition;
+  /// P(end): Eq. (20).
+  double end = 0.0;
+
+  double JumpTotal() const {
+    double sum = 0.0;
+    for (double p : hit_jump_per_partition) sum += p;
+    return sum;
+  }
+  /// P(hit | FF), Eq. (21).
+  double Total() const { return hit_within + JumpTotal() + end; }
+};
+
+/// \brief Evaluates the paper's FF equations for the given configuration.
+///
+/// \param quadrature_points  Gauss–Legendre order used for each of the
+///        nested (V_f inner, V_c outer) integrals of every case.
+/// Cost grows as O(i_max · points²); intended for validation, not sweeps.
+Result<PaperFfComponents> PaperFastForwardHitProbability(
+    const PartitionLayout& layout, const PlaybackRates& rates,
+    const Distribution& duration, int quadrature_points = 32);
+
+/// The paper's Eq. (19): the largest partition index i a viewer can jump to,
+/// ⌊(n(l + wα) − lα) / (lα)⌋ (0 when negative).
+int PaperMaxJumpIndex(const PartitionLayout& layout,
+                      const PlaybackRates& rates);
+
+}  // namespace vod
+
+#endif  // VOD_CORE_PAPER_EQUATIONS_H_

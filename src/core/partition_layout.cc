@@ -1,0 +1,58 @@
+#include "core/partition_layout.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace vod {
+
+Result<PartitionLayout> PartitionLayout::FromBuffer(double movie_length,
+                                                    int streams,
+                                                    double buffer_minutes) {
+  if (!(movie_length > 0.0)) {
+    return Status::InvalidArgument("movie length must be positive");
+  }
+  if (streams < 1) {
+    return Status::InvalidArgument("stream count must be at least 1");
+  }
+  if (buffer_minutes < 0.0 || buffer_minutes > movie_length) {
+    return Status::InvalidArgument(
+        "buffer must lie in [0, movie length] (B <= l, paper Eq. 2)");
+  }
+  return PartitionLayout(movie_length, streams, buffer_minutes);
+}
+
+Result<PartitionLayout> PartitionLayout::FromMaxWait(double movie_length,
+                                                     int streams,
+                                                     double max_wait) {
+  if (max_wait < 0.0) {
+    return Status::InvalidArgument("max wait must be non-negative");
+  }
+  const double buffer = movie_length - streams * max_wait;
+  if (buffer < -1e-9) {
+    return Status::InvalidArgument(
+        "n * w exceeds the movie length; no feasible buffer (Eq. 2)");
+  }
+  return FromBuffer(movie_length, streams, std::max(buffer, 0.0));
+}
+
+Result<PartitionLayout> PartitionLayout::PureBatching(double movie_length,
+                                                      double max_wait) {
+  if (!(max_wait > 0.0)) {
+    return Status::InvalidArgument("max wait must be positive");
+  }
+  if (!(movie_length > 0.0)) {
+    return Status::InvalidArgument("movie length must be positive");
+  }
+  const int n = static_cast<int>(std::ceil(movie_length / max_wait - 1e-12));
+  return FromBuffer(movie_length, n, 0.0);
+}
+
+std::string PartitionLayout::ToString() const {
+  std::ostringstream os;
+  os << "PartitionLayout{l=" << movie_length_ << "min, n=" << streams_
+     << ", B=" << buffer_ << "min, window=" << window()
+     << "min, w=" << max_wait() << "min}";
+  return os.str();
+}
+
+}  // namespace vod

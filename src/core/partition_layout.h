@@ -1,0 +1,85 @@
+// Static partitioned-buffer layout (paper §3.1, Eq. 2).
+//
+// A popular movie of length l is restarted every l/n minutes; n I/O streams
+// are active at any time and each owns a buffer partition holding B/n
+// movie-minutes of frames. The maximum viewer waiting time is
+// w = (l − B)/n, realized by a viewer arriving just after the enrollment
+// window closes.
+
+#ifndef VOD_CORE_PARTITION_LAYOUT_H_
+#define VOD_CORE_PARTITION_LAYOUT_H_
+
+#include <string>
+
+#include "common/status.h"
+
+namespace vod {
+
+/// \brief Immutable description of a movie's batching/buffering layout.
+///
+/// Invariants: l > 0, n >= 1 integer, 0 <= B <= l. All quantities are in
+/// movie-minutes (buffer sizes are expressed as the playback time the
+/// buffered frames cover, as in the paper).
+class PartitionLayout {
+ public:
+  /// Layout from an explicit buffer budget B. Returns InvalidArgument if
+  /// l <= 0, n < 1, or B outside [0, l].
+  static Result<PartitionLayout> FromBuffer(double movie_length, int streams,
+                                            double buffer_minutes);
+
+  /// Layout from a target maximum waiting time w via Eq. (2): B = l − n·w.
+  /// Returns InvalidArgument if the implied B falls outside [0, l].
+  static Result<PartitionLayout> FromMaxWait(double movie_length, int streams,
+                                             double max_wait);
+
+  /// Pure batching (B = 0) with restart period equal to the target wait:
+  /// n = ceil(l / w) streams, zero buffer. This is the paper's baseline.
+  static Result<PartitionLayout> PureBatching(double movie_length,
+                                              double max_wait);
+
+  double movie_length() const { return movie_length_; }  ///< l
+  int streams() const { return streams_; }                ///< n
+  double buffer_minutes() const { return buffer_; }       ///< B
+
+  /// Restart period l/n — the spacing between partition leading edges.
+  double restart_period() const { return movie_length_ / streams_; }
+
+  /// Per-partition window width B/n — the viewer enrollment window length.
+  double window() const { return buffer_ / streams_; }
+
+  /// Maximum viewer waiting time w = (l − B)/n (Eq. 2); also the width of
+  /// the uncovered gap between consecutive partitions.
+  double max_wait() const {
+    return (movie_length_ - buffer_) / streams_;
+  }
+
+  /// Fraction of the movie resident in buffers, B/l ∈ [0, 1].
+  double coverage() const { return buffer_ / movie_length_; }
+
+  /// \brief Physical buffer including the per-partition refresh reserve δ.
+  ///
+  /// The paper's B is *net* of a reserve that keeps the first viewer of a
+  /// partition from overwriting frames the last viewer still needs
+  /// (§3.1: B = B' − n·δ). Memory provisioning must use the gross
+  /// B' = B + n·δ; the hit geometry and Eq. (2) use the net B.
+  double gross_buffer_minutes(double per_partition_reserve) const {
+    return buffer_ + streams_ * per_partition_reserve;
+  }
+
+  /// True if B == 0 (pure batching; hit probability degenerates).
+  bool is_pure_batching() const { return buffer_ == 0.0; }
+
+  std::string ToString() const;
+
+ private:
+  PartitionLayout(double movie_length, int streams, double buffer)
+      : movie_length_(movie_length), streams_(streams), buffer_(buffer) {}
+
+  double movie_length_;
+  int streams_;
+  double buffer_;
+};
+
+}  // namespace vod
+
+#endif  // VOD_CORE_PARTITION_LAYOUT_H_

@@ -1,0 +1,54 @@
+#include "core/piggyback.h"
+
+namespace vod {
+
+Status PiggybackOptions::Validate() const {
+  if (!enabled) return Status::OK();
+  if (!(speed_delta > 0.0) || speed_delta >= 1.0) {
+    return Status::InvalidArgument(
+        "piggyback speed_delta must lie in (0, 1)");
+  }
+  return Status::OK();
+}
+
+Result<PiggybackPlan> PlanPiggybackMerge(const PartitionLayout& layout,
+                                         double gap_phase,
+                                         const PiggybackOptions& options) {
+  VOD_RETURN_IF_ERROR(options.Validate());
+  if (!options.enabled) {
+    return Status::InvalidArgument("piggybacking is disabled");
+  }
+  const double window = layout.window();
+  const double period = layout.restart_period();
+  if (window <= 0.0 || window >= period) {
+    return Status::InvalidArgument(
+        "piggyback merging needs 0 < window < period");
+  }
+  if (gap_phase < window - 1e-9 || gap_phase > period + 1e-9) {
+    return Status::InvalidArgument("phase is not inside the gap");
+  }
+  const double to_ahead = gap_phase - window;  // shrink g by speeding up
+  const double to_behind = period - gap_phase;  // grow g by slowing down
+  PiggybackPlan plan;
+  if (to_ahead <= to_behind) {
+    plan.direction = PiggybackDirection::kSpeedUp;
+    plan.rate_factor = 1.0 + options.speed_delta;
+    plan.merge_minutes = to_ahead / options.speed_delta;
+  } else {
+    plan.direction = PiggybackDirection::kSlowDown;
+    plan.rate_factor = 1.0 - options.speed_delta;
+    plan.merge_minutes = to_behind / options.speed_delta;
+  }
+  return plan;
+}
+
+double ExpectedPiggybackMergeMinutes(const PartitionLayout& layout,
+                                     const PiggybackOptions& options) {
+  const double gap = layout.restart_period() - layout.window();  // == w
+  if (gap <= 0.0 || !options.enabled || options.speed_delta <= 0.0) {
+    return 0.0;
+  }
+  return gap / (4.0 * options.speed_delta);
+}
+
+}  // namespace vod

@@ -1,0 +1,73 @@
+// Piggyback merging for phase-2 misses (paper §2, citing Golubchik–Lui–Muntz
+// adaptive piggybacking).
+//
+// A viewer who misses on resume keeps a dedicated stream "until he can join
+// a partition, for instance, using the piggybacking technique". Piggyback
+// merging alters his playback speed by ±Δ so he drifts — relative to the
+// forward-moving window pattern — toward the nearest partition window; on
+// contact he joins it and releases the stream.
+//
+// Geometry: let T = l/n, W = B/n, and let g ∈ (W, T) be the viewer's
+// pattern phase (the time offset between him and the leading edge of the
+// nearest window ahead; g ≤ W would be a hit). Playing at (1 + Δ)·R_PB
+// shrinks g at rate Δ·R_PB until g = W (he catches the window ahead);
+// playing at (1 − Δ)·R_PB grows g until g = T ≡ 0 (the window behind
+// catches him). The time to merge toward the nearest edge is
+// min(g − W, T − g) / (Δ·R_PB).
+
+#ifndef VOD_CORE_PIGGYBACK_H_
+#define VOD_CORE_PIGGYBACK_H_
+
+#include "common/status.h"
+#include "core/partition_layout.h"
+#include "core/types.h"
+
+namespace vod {
+
+/// Phase-2 merge policy knobs (consumed by the simulator).
+struct PiggybackOptions {
+  /// Enable drift-to-merge after a miss.
+  bool enabled = false;
+  /// Speed offset Δ as a fraction of the playback rate. Classic piggyback
+  /// studies use ~5% (imperceptible to viewers).
+  double speed_delta = 0.05;
+
+  Status Validate() const;
+};
+
+/// Direction a piggybacking viewer drifts.
+enum class PiggybackDirection {
+  kSpeedUp,   ///< play at (1 + Δ): catch the window ahead
+  kSlowDown,  ///< play at (1 − Δ): let the window behind catch up
+};
+
+/// Merge plan for a viewer at a given pattern phase.
+struct PiggybackPlan {
+  PiggybackDirection direction = PiggybackDirection::kSpeedUp;
+  /// Playback-rate multiplier (1 ± Δ).
+  double rate_factor = 1.0;
+  /// Wall-minutes until the window edge is reached (with R_PB = 1).
+  double merge_minutes = 0.0;
+};
+
+/// \brief Merge plan for a miss at pattern phase `gap_phase` ∈ [W, T].
+///
+/// Chooses the faster direction. Returns InvalidArgument if the phase is
+/// not in the gap or the layout has no gap/window.
+Result<PiggybackPlan> PlanPiggybackMerge(const PartitionLayout& layout,
+                                         double gap_phase,
+                                         const PiggybackOptions& options);
+
+/// \brief Expected merge time over a uniformly random miss phase.
+///
+/// The distance to the nearest window edge is uniform on [0, (T − W)/2]
+/// (g ~ U(W, T) ⇒ min(g − W, T − g) uniform), so
+/// E[t_merge] = (T − W)/(4Δ) = w/(4Δ) wall-minutes at R_PB = 1. The
+/// simulator's measured mean differs slightly because resume phases are not
+/// exactly uniform in the gap.
+double ExpectedPiggybackMergeMinutes(const PartitionLayout& layout,
+                                     const PiggybackOptions& options);
+
+}  // namespace vod
+
+#endif  // VOD_CORE_PIGGYBACK_H_

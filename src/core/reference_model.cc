@@ -1,0 +1,79 @@
+#include "core/reference_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/hit_intervals.h"
+#include "numerics/interval_set.h"
+#include "numerics/quadrature.h"
+
+namespace vod {
+
+Result<double> ReferenceHitProbability(VcrOp op, const PartitionLayout& layout,
+                                       const PlaybackRates& rates,
+                                       const Distribution& duration,
+                                       const ReferenceModelOptions& options) {
+  VOD_RETURN_IF_ERROR(rates.Validate());
+  if (duration.SupportLower() < 0.0) {
+    return Status::InvalidArgument("VCR durations must be non-negative");
+  }
+  const double l = layout.movie_length();
+  const double window = layout.window();
+  const auto F = [&duration](double x) { return duration.Cdf(x); };
+
+  double x_max;
+  if (duration.Cdf(duration.SupportUpper()) >= 1.0 &&
+      std::isfinite(duration.SupportUpper())) {
+    x_max = duration.SupportUpper();
+  } else {
+    x_max = duration.Quantile(1.0 - options.tail_epsilon);
+  }
+  if (op != VcrOp::kPause) x_max = std::min(x_max, l);
+
+  // Hit probability for a fixed (V_c, d).
+  const auto hit_at = [&](double vc, double d) {
+    IntervalSet set = BuildHitIntervals(op, layout, rates, d, x_max);
+    switch (op) {
+      case VcrOp::kFastForward:
+        set.ClipTo(Interval{0.0, l - vc});
+        break;
+      case VcrOp::kRewind:
+        set.ClipTo(Interval{0.0, vc});
+        break;
+      case VcrOp::kPause:
+        break;  // no position clip; pattern is periodic
+    }
+    double p = set.MeasureThrough(F);
+    if (op == VcrOp::kFastForward && options.include_end_release) {
+      p += 1.0 - F(l - vc);  // reaching (or passing) the movie end releases
+    }
+    return p;
+  };
+
+  // Average over d for a fixed V_c.
+  const auto averaged_over_d = [&](double vc) {
+    if (window <= 0.0) return hit_at(vc, 0.0);
+    return GaussLegendre([&](double d) { return hit_at(vc, d); }, 0.0, window,
+                         options.d_points) /
+           window;
+  };
+
+  // Average over V_c — uniformly, or weighted by the position density.
+  if (options.position_density == nullptr) {
+    return CompositeGaussLegendre(averaged_over_d, 0.0, l, options.vc_panels,
+                                  options.vc_points) /
+           l;
+  }
+  const Distribution& q = *options.position_density;
+  if (q.SupportLower() < -1e-9 || q.SupportUpper() > l + 1e-9) {
+    return Status::InvalidArgument(
+        "position density must be supported on [0, movie length]");
+  }
+  const auto weighted = [&](double vc) {
+    return q.Pdf(vc) * averaged_over_d(vc);
+  };
+  return CompositeGaussLegendre(weighted, 0.0, l, options.vc_panels,
+                                options.vc_points);
+}
+
+}  // namespace vod

@@ -1,0 +1,40 @@
+// Brute-force 2D-quadrature reference for the analytic hit model.
+//
+// Integrates the hit probability directly over (V_c, d) with explicit
+// boundary clips, using the same hit-interval geometry as AnalyticHitModel
+// but none of its analytic V_c unconditioning. Exists to validate the fast
+// path for all three operations (the literal paper equations only cover FF).
+
+#ifndef VOD_CORE_REFERENCE_MODEL_H_
+#define VOD_CORE_REFERENCE_MODEL_H_
+
+#include "core/partition_layout.h"
+#include "core/types.h"
+#include "dist/distribution.h"
+
+namespace vod {
+
+/// Options for the reference quadrature.
+struct ReferenceModelOptions {
+  /// Panels of the composite rule over V_c ∈ [0, l].
+  int vc_panels = 256;
+  /// Gauss–Legendre order within each V_c panel.
+  int vc_points = 8;
+  /// Gauss–Legendre order over d ∈ [0, B/n].
+  int d_points = 32;
+  /// Tail cut for the hit-window enumeration.
+  double tail_epsilon = 1e-10;
+  /// Count FF-past-end as a release (paper Eq. 21).
+  bool include_end_release = true;
+  /// Viewer-position density q on [0, l]; null = uniform (the paper).
+  DistributionPtr position_density;
+};
+
+/// \brief P(hit | op) by direct 2D numerical integration.
+Result<double> ReferenceHitProbability(
+    VcrOp op, const PartitionLayout& layout, const PlaybackRates& rates,
+    const Distribution& duration, const ReferenceModelOptions& options = {});
+
+}  // namespace vod
+
+#endif  // VOD_CORE_REFERENCE_MODEL_H_

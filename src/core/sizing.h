@@ -1,0 +1,110 @@
+// Resource pre-allocation and system sizing (paper §5).
+//
+// Given per-movie performance requirements — maximum waiting time w_i and
+// minimum hit probability P*_i — the sizing layer:
+//   1. enumerates the feasible (B_i, n_i) pairs connected by Eq. (2)
+//      (B = l − n·w) whose model-predicted hit probability meets P*_i,
+//   2. picks the minimum-buffer pair per movie (the paper's objective
+//      min Σ B_i, since buffer dominates cost at 1997 prices), and
+//   3. allocates a shared stream budget n_s across movies, greedily trading
+//      streams for buffer at each movie's exchange rate w_i.
+
+#ifndef VOD_CORE_SIZING_H_
+#define VOD_CORE_SIZING_H_
+
+#include <string>
+#include <vector>
+
+#include "core/hit_model.h"
+#include "core/partition_layout.h"
+#include "core/types.h"
+
+namespace vod {
+
+/// Sizing inputs for one popular movie.
+struct MovieSizingSpec {
+  std::string name;
+  double length_minutes = 0.0;        ///< l_i
+  double max_wait_minutes = 0.0;      ///< w_i (constraint C1)
+  double min_hit_probability = 0.0;   ///< P*_i (constraint C2)
+  VcrMix mix = VcrMix::Only(VcrOp::kFastForward);
+  VcrDurations durations;
+  PlaybackRates rates;
+
+  Status Validate() const;
+};
+
+/// One point of a movie's trade-off curve.
+struct SizingPoint {
+  int streams = 0;              ///< n
+  double buffer_minutes = 0.0;  ///< B = l − n·w
+  double hit_probability = 0.0; ///< model P(hit)
+  bool feasible = false;        ///< hit_probability >= P*
+};
+
+/// \brief Full (B, n) sweep for one movie (Figure 8).
+///
+/// Evaluates n = 1, 1 + step, ... up to ⌊l/w⌋ (where B reaches 0). The
+/// evaluation reuses one compiled duration table per operation, so sweeps of
+/// hundreds of points stay fast.
+Result<std::vector<SizingPoint>> ComputeSizingCurve(
+    const MovieSizingSpec& spec, int stream_step = 1,
+    const AnalyticHitModel::Options& model_options = {});
+
+/// \brief Minimum-buffer feasible pair (B*, n*) for one movie.
+///
+/// Exploits that the hit probability is non-increasing in n at fixed w
+/// (more streams ⇒ less buffer ⇒ less coverage) to binary-search the
+/// largest feasible n; the result is verified against its neighbors.
+/// Returns Infeasible if even n = 1 misses P*.
+Result<SizingPoint> MinimumBufferChoice(
+    const MovieSizingSpec& spec,
+    const AnalyticHitModel::Options& model_options = {});
+
+/// Per-movie allocation bounds used by the budgeted allocator and the cost
+/// curves: all n in [1, max_feasible_streams] are assumed feasible.
+struct MovieAllocationBound {
+  std::string name;
+  double length_minutes = 0.0;
+  double max_wait_minutes = 0.0;
+  int max_feasible_streams = 0;
+};
+
+/// Result of allocating a shared stream budget across movies.
+struct AllocationResult {
+  struct PerMovie {
+    std::string name;
+    int streams = 0;
+    double buffer_minutes = 0.0;
+  };
+  std::vector<PerMovie> movies;
+  double total_buffer_minutes = 0.0;
+  int total_streams = 0;
+};
+
+/// \brief min Σ B_i subject to Σ n_i <= stream_budget, n_i ∈ [1, n_i^max].
+///
+/// Since B_i = l_i − n_i·w_i, the objective is linear and the greedy
+/// exchange (give surplus streams to the movie with the largest w_i) is
+/// optimal. Returns Infeasible when stream_budget < #movies.
+Result<AllocationResult> AllocateStreamBudget(
+    const std::vector<MovieAllocationBound>& bounds, int stream_budget);
+
+/// \brief Full sizing pipeline (paper §5 steps 1–3 + Example 1).
+///
+/// Computes each movie's minimum-buffer choice, then fits the shared stream
+/// budget n_s (and optional buffer budget B_s, ignored when <= 0). Returns
+/// Infeasible when the budgets cannot be met.
+Result<AllocationResult> SizeSystem(
+    const std::vector<MovieSizingSpec>& movies, int stream_budget,
+    double buffer_budget_minutes = -1.0,
+    const AnalyticHitModel::Options& model_options = {});
+
+/// Streams needed by the pure-batching baseline: Σ ⌈l_i / w_i⌉ (the paper's
+/// 1230-stream figure for Example 1, with zero buffer and zero hit
+/// probability).
+int PureBatchingStreams(const std::vector<MovieSizingSpec>& movies);
+
+}  // namespace vod
+
+#endif  // VOD_CORE_SIZING_H_

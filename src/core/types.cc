@@ -1,0 +1,60 @@
+#include "core/types.h"
+
+#include <cmath>
+
+namespace vod {
+
+const char* VcrOpName(VcrOp op) {
+  switch (op) {
+    case VcrOp::kFastForward:
+      return "FF";
+    case VcrOp::kRewind:
+      return "RW";
+    case VcrOp::kPause:
+      return "PAU";
+  }
+  return "?";
+}
+
+Status PlaybackRates::Validate() const {
+  if (playback <= 0.0) {
+    return Status::InvalidArgument("playback rate must be positive");
+  }
+  if (fast_forward <= playback) {
+    return Status::InvalidArgument(
+        "fast-forward rate must exceed the playback rate");
+  }
+  if (rewind <= 0.0) {
+    return Status::InvalidArgument("rewind rate must be positive");
+  }
+  return Status::OK();
+}
+
+VcrMix VcrMix::Only(VcrOp op) {
+  VcrMix mix;
+  switch (op) {
+    case VcrOp::kFastForward:
+      mix.p_fast_forward = 1.0;
+      break;
+    case VcrOp::kRewind:
+      mix.p_rewind = 1.0;
+      break;
+    case VcrOp::kPause:
+      mix.p_pause = 1.0;
+      break;
+  }
+  return mix;
+}
+
+Status VcrMix::Validate() const {
+  if (p_fast_forward < 0.0 || p_rewind < 0.0 || p_pause < 0.0) {
+    return Status::InvalidArgument("mix probabilities must be non-negative");
+  }
+  const double sum = p_fast_forward + p_rewind + p_pause;
+  if (std::fabs(sum - 1.0) > 1e-9) {
+    return Status::InvalidArgument("mix probabilities must sum to 1");
+  }
+  return Status::OK();
+}
+
+}  // namespace vod

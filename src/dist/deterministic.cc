@@ -1,0 +1,17 @@
+#include "dist/deterministic.h"
+
+#include <sstream>
+
+namespace vod {
+
+std::string DeterministicDistribution::ToString() const {
+  std::ostringstream os;
+  os << "det(" << value_ << ")";
+  return os.str();
+}
+
+std::unique_ptr<Distribution> DeterministicDistribution::Clone() const {
+  return std::make_unique<DeterministicDistribution>(value_);
+}
+
+}  // namespace vod

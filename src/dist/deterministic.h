@@ -1,0 +1,39 @@
+// Point-mass (degenerate) distribution.
+//
+// Useful for modeling fixed-length VCR operations (e.g. "skip exactly one
+// scene") and for making simulator tests exactly predictable.
+
+#ifndef VOD_DIST_DETERMINISTIC_H_
+#define VOD_DIST_DETERMINISTIC_H_
+
+#include "dist/distribution.h"
+
+namespace vod {
+
+/// Degenerate distribution concentrated at `value`.
+///
+/// Pdf() reports 0 everywhere (the density does not exist as a function);
+/// probabilistic statements must go through Cdf(), which is the step
+/// function 1{x >= value}.
+class DeterministicDistribution final : public Distribution {
+ public:
+  explicit DeterministicDistribution(double value) : value_(value) {}
+
+  double Pdf(double /*x*/) const override { return 0.0; }
+  double Cdf(double x) const override { return x >= value_ ? 1.0 : 0.0; }
+  double Mean() const override { return value_; }
+  double Variance() const override { return 0.0; }
+  double Sample(Rng* /*rng*/) const override { return value_; }
+  double SupportLower() const override { return value_; }
+  double SupportUpper() const override { return value_; }
+  double Quantile(double /*p*/) const override { return value_; }
+  std::string ToString() const override;
+  std::unique_ptr<Distribution> Clone() const override;
+
+ private:
+  double value_;
+};
+
+}  // namespace vod
+
+#endif  // VOD_DIST_DETERMINISTIC_H_

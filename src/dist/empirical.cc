@@ -1,0 +1,71 @@
+#include "dist/empirical.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace vod {
+
+EmpiricalDistribution::EmpiricalDistribution(std::vector<double> samples)
+    : sorted_(std::move(samples)) {
+  VOD_CHECK_MSG(sorted_.size() >= 2, "need at least 2 samples");
+  for (double s : sorted_) VOD_CHECK_MSG(std::isfinite(s), "samples finite");
+  std::sort(sorted_.begin(), sorted_.end());
+  double sum = 0.0;
+  for (double s : sorted_) sum += s;
+  mean_ = sum / static_cast<double>(sorted_.size());
+  double ss = 0.0;
+  for (double s : sorted_) ss += (s - mean_) * (s - mean_);
+  variance_ = ss / static_cast<double>(sorted_.size() - 1);
+}
+
+double EmpiricalDistribution::Cdf(double x) const {
+  if (x <= sorted_.front()) return x < sorted_.front() ? 0.0 : 0.0;
+  if (x >= sorted_.back()) return 1.0;
+  // Piecewise-linear CDF through points (x_(i), i/(n-1)).
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  const size_t i = static_cast<size_t>(it - sorted_.begin());  // i >= 1
+  const double x0 = sorted_[i - 1];
+  const double x1 = sorted_[i];
+  const double n1 = static_cast<double>(sorted_.size() - 1);
+  const double f0 = static_cast<double>(i - 1) / n1;
+  const double f1 = static_cast<double>(i) / n1;
+  if (x1 == x0) return f1;
+  return f0 + (f1 - f0) * (x - x0) / (x1 - x0);
+}
+
+double EmpiricalDistribution::Pdf(double x) const {
+  if (x < sorted_.front() || x > sorted_.back()) return 0.0;
+  // Slope of the piecewise-linear CDF on the containing segment.
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  size_t i = static_cast<size_t>(it - sorted_.begin());
+  if (i == 0) i = 1;
+  if (i == sorted_.size()) i = sorted_.size() - 1;
+  const double x0 = sorted_[i - 1];
+  const double x1 = sorted_[i];
+  if (x1 == x0) return 0.0;
+  const double n1 = static_cast<double>(sorted_.size() - 1);
+  return (1.0 / n1) / (x1 - x0);
+}
+
+double EmpiricalDistribution::Sample(Rng* rng) const {
+  const double u = rng->Uniform01() * static_cast<double>(sorted_.size() - 1);
+  const size_t i = static_cast<size_t>(u);
+  const double frac = u - static_cast<double>(i);
+  if (i + 1 >= sorted_.size()) return sorted_.back();
+  return sorted_[i] + frac * (sorted_[i + 1] - sorted_[i]);
+}
+
+std::string EmpiricalDistribution::ToString() const {
+  std::ostringstream os;
+  os << "empirical(n=" << sorted_.size() << ", mean=" << mean_ << ")";
+  return os.str();
+}
+
+std::unique_ptr<Distribution> EmpiricalDistribution::Clone() const {
+  return std::make_unique<EmpiricalDistribution>(sorted_);
+}
+
+}  // namespace vod

@@ -1,0 +1,48 @@
+// Empirical distribution built from observed samples.
+//
+// The paper notes that "the pdf of VCR requests can be obtained by statistics
+// while the movie is displayed" (§2.1): in deployment, an operator would fit
+// the model with measured durations. EmpiricalDistribution closes that loop —
+// feed it a duration log (or simulator output) and hand it to the analytic
+// model directly.
+
+#ifndef VOD_DIST_EMPIRICAL_H_
+#define VOD_DIST_EMPIRICAL_H_
+
+#include <vector>
+
+#include "dist/distribution.h"
+
+namespace vod {
+
+/// \brief Piecewise-linear empirical distribution from a sample vector.
+///
+/// The CDF linearly interpolates between order statistics (a continuous
+/// version of the ECDF); sampling draws a uniform index and interpolates,
+/// which is equivalent to inverse-CDF sampling of that piecewise-linear CDF.
+class EmpiricalDistribution final : public Distribution {
+ public:
+  /// Precondition: at least 2 samples, all finite.
+  explicit EmpiricalDistribution(std::vector<double> samples);
+
+  double Pdf(double x) const override;
+  double Cdf(double x) const override;
+  double Mean() const override { return mean_; }
+  double Variance() const override { return variance_; }
+  double Sample(Rng* rng) const override;
+  double SupportLower() const override { return sorted_.front(); }
+  double SupportUpper() const override { return sorted_.back(); }
+  std::string ToString() const override;
+  std::unique_ptr<Distribution> Clone() const override;
+
+  size_t sample_count() const { return sorted_.size(); }
+
+ private:
+  std::vector<double> sorted_;
+  double mean_ = 0.0;
+  double variance_ = 0.0;
+};
+
+}  // namespace vod
+
+#endif  // VOD_DIST_EMPIRICAL_H_

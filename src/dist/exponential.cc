@@ -1,0 +1,48 @@
+#include "dist/exponential.h"
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace vod {
+
+ExponentialDistribution::ExponentialDistribution(double mean) : mean_(mean) {
+  VOD_CHECK_MSG(mean > 0.0, "exponential mean must be positive");
+}
+
+double ExponentialDistribution::Pdf(double x) const {
+  if (x < 0.0) return 0.0;
+  return std::exp(-x / mean_) / mean_;
+}
+
+double ExponentialDistribution::Cdf(double x) const {
+  if (x <= 0.0) return 0.0;
+  return 1.0 - std::exp(-x / mean_);
+}
+
+double ExponentialDistribution::Sample(Rng* rng) const {
+  return rng->Exponential(mean_);
+}
+
+double ExponentialDistribution::SupportUpper() const {
+  return std::numeric_limits<double>::infinity();
+}
+
+double ExponentialDistribution::Quantile(double p) const {
+  VOD_CHECK_MSG(p > 0.0 && p < 1.0, "Quantile requires p in (0, 1)");
+  return -mean_ * std::log(1.0 - p);
+}
+
+std::string ExponentialDistribution::ToString() const {
+  std::ostringstream os;
+  os << "exp(" << mean_ << ")";
+  return os.str();
+}
+
+std::unique_ptr<Distribution> ExponentialDistribution::Clone() const {
+  return std::make_unique<ExponentialDistribution>(mean_);
+}
+
+}  // namespace vod

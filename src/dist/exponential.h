@@ -1,0 +1,37 @@
+// Exponential distribution, parameterized by its mean.
+//
+// The paper's Example 1 uses exponential VCR durations (means 5 and 2
+// minutes); Poisson viewer arrivals correspond to exponential interarrival
+// times with mean 1/λ.
+
+#ifndef VOD_DIST_EXPONENTIAL_H_
+#define VOD_DIST_EXPONENTIAL_H_
+
+#include "dist/distribution.h"
+
+namespace vod {
+
+/// Exponential(mean) with density (1/mean) e^{-x/mean} on [0, ∞).
+class ExponentialDistribution final : public Distribution {
+ public:
+  /// Precondition: mean > 0.
+  explicit ExponentialDistribution(double mean);
+
+  double Pdf(double x) const override;
+  double Cdf(double x) const override;
+  double Mean() const override { return mean_; }
+  double Variance() const override { return mean_ * mean_; }
+  double Sample(Rng* rng) const override;
+  double SupportLower() const override { return 0.0; }
+  double SupportUpper() const override;
+  double Quantile(double p) const override;
+  std::string ToString() const override;
+  std::unique_ptr<Distribution> Clone() const override;
+
+ private:
+  double mean_;
+};
+
+}  // namespace vod
+
+#endif  // VOD_DIST_EXPONENTIAL_H_

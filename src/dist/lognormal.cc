@@ -1,0 +1,60 @@
+#include "dist/lognormal.h"
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "common/check.h"
+#include "dist/special_functions.h"
+
+namespace vod {
+
+LognormalDistribution::LognormalDistribution(double mu, double sigma)
+    : mu_(mu), sigma_(sigma) {
+  VOD_CHECK_MSG(sigma > 0.0, "lognormal sigma must be positive");
+}
+
+double LognormalDistribution::Pdf(double x) const {
+  if (x <= 0.0) return 0.0;
+  const double z = (std::log(x) - mu_) / sigma_;
+  return std::exp(-0.5 * z * z) / (x * sigma_ * std::sqrt(2.0 * M_PI));
+}
+
+double LognormalDistribution::Cdf(double x) const {
+  if (x <= 0.0) return 0.0;
+  return StandardNormalCdf((std::log(x) - mu_) / sigma_);
+}
+
+double LognormalDistribution::Mean() const {
+  return std::exp(mu_ + 0.5 * sigma_ * sigma_);
+}
+
+double LognormalDistribution::Variance() const {
+  const double s2 = sigma_ * sigma_;
+  return (std::exp(s2) - 1.0) * std::exp(2.0 * mu_ + s2);
+}
+
+double LognormalDistribution::Sample(Rng* rng) const {
+  return std::exp(mu_ + sigma_ * rng->Normal());
+}
+
+double LognormalDistribution::SupportUpper() const {
+  return std::numeric_limits<double>::infinity();
+}
+
+double LognormalDistribution::Quantile(double p) const {
+  VOD_CHECK_MSG(p > 0.0 && p < 1.0, "Quantile requires p in (0, 1)");
+  return std::exp(mu_ + sigma_ * StandardNormalQuantile(p));
+}
+
+std::string LognormalDistribution::ToString() const {
+  std::ostringstream os;
+  os << "lognormal(" << mu_ << ", " << sigma_ << ")";
+  return os.str();
+}
+
+std::unique_ptr<Distribution> LognormalDistribution::Clone() const {
+  return std::make_unique<LognormalDistribution>(mu_, sigma_);
+}
+
+}  // namespace vod

@@ -1,0 +1,34 @@
+// Lognormal distribution (mu/sigma of the underlying normal).
+
+#ifndef VOD_DIST_LOGNORMAL_H_
+#define VOD_DIST_LOGNORMAL_H_
+
+#include "dist/distribution.h"
+
+namespace vod {
+
+/// Lognormal(μ, σ): X = exp(N(μ, σ²)) on (0, ∞).
+class LognormalDistribution final : public Distribution {
+ public:
+  /// Precondition: sigma > 0.
+  LognormalDistribution(double mu, double sigma);
+
+  double Pdf(double x) const override;
+  double Cdf(double x) const override;
+  double Mean() const override;
+  double Variance() const override;
+  double Sample(Rng* rng) const override;
+  double SupportLower() const override { return 0.0; }
+  double SupportUpper() const override;
+  double Quantile(double p) const override;
+  std::string ToString() const override;
+  std::unique_ptr<Distribution> Clone() const override;
+
+ private:
+  double mu_;
+  double sigma_;
+};
+
+}  // namespace vod
+
+#endif  // VOD_DIST_LOGNORMAL_H_

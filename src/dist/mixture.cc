@@ -1,0 +1,92 @@
+#include "dist/mixture.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace vod {
+
+MixtureDistribution::MixtureDistribution(
+    std::vector<MixtureComponent> components)
+    : components_(std::move(components)) {
+  VOD_CHECK_MSG(!components_.empty(), "mixture needs at least one component");
+  double total = 0.0;
+  for (const auto& c : components_) {
+    VOD_CHECK_MSG(c.distribution != nullptr, "component distribution null");
+    VOD_CHECK_MSG(c.weight > 0.0, "component weights must be positive");
+    total += c.weight;
+  }
+  for (auto& c : components_) c.weight /= total;
+}
+
+double MixtureDistribution::Pdf(double x) const {
+  double sum = 0.0;
+  for (const auto& c : components_) sum += c.weight * c.distribution->Pdf(x);
+  return sum;
+}
+
+double MixtureDistribution::Cdf(double x) const {
+  double sum = 0.0;
+  for (const auto& c : components_) sum += c.weight * c.distribution->Cdf(x);
+  return sum;
+}
+
+double MixtureDistribution::Mean() const {
+  double sum = 0.0;
+  for (const auto& c : components_) sum += c.weight * c.distribution->Mean();
+  return sum;
+}
+
+double MixtureDistribution::Variance() const {
+  // Var = Σ w_i (Var_i + Mean_i²) − Mean².
+  const double m = Mean();
+  double ex2 = 0.0;
+  for (const auto& c : components_) {
+    const double mi = c.distribution->Mean();
+    ex2 += c.weight * (c.distribution->Variance() + mi * mi);
+  }
+  return ex2 - m * m;
+}
+
+double MixtureDistribution::Sample(Rng* rng) const {
+  double u = rng->Uniform01();
+  for (const auto& c : components_) {
+    if (u < c.weight) return c.distribution->Sample(rng);
+    u -= c.weight;
+  }
+  return components_.back().distribution->Sample(rng);
+}
+
+double MixtureDistribution::SupportLower() const {
+  double lo = components_[0].distribution->SupportLower();
+  for (const auto& c : components_) {
+    lo = std::min(lo, c.distribution->SupportLower());
+  }
+  return lo;
+}
+
+double MixtureDistribution::SupportUpper() const {
+  double hi = components_[0].distribution->SupportUpper();
+  for (const auto& c : components_) {
+    hi = std::max(hi, c.distribution->SupportUpper());
+  }
+  return hi;
+}
+
+std::string MixtureDistribution::ToString() const {
+  std::ostringstream os;
+  os << "mixture(";
+  for (size_t i = 0; i < components_.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << components_[i].weight << "*" << components_[i].distribution->ToString();
+  }
+  os << ")";
+  return os.str();
+}
+
+std::unique_ptr<Distribution> MixtureDistribution::Clone() const {
+  return std::make_unique<MixtureDistribution>(components_);
+}
+
+}  // namespace vod

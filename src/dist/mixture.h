@@ -1,0 +1,48 @@
+// Finite mixture of distributions.
+//
+// Lets experiments model heterogeneous VCR behavior (e.g. "mostly short
+// skips, occasionally a long scan") without extending the analytic engine —
+// mixtures compose at the CDF level, which is all the model consumes.
+
+#ifndef VOD_DIST_MIXTURE_H_
+#define VOD_DIST_MIXTURE_H_
+
+#include <vector>
+
+#include "dist/distribution.h"
+
+namespace vod {
+
+/// One weighted component of a mixture.
+struct MixtureComponent {
+  DistributionPtr distribution;
+  double weight = 0.0;
+};
+
+/// \brief Convex combination of component distributions.
+///
+/// Weights must be positive; they are normalized to sum to 1.
+class MixtureDistribution final : public Distribution {
+ public:
+  /// Precondition: at least one component, all weights > 0.
+  explicit MixtureDistribution(std::vector<MixtureComponent> components);
+
+  double Pdf(double x) const override;
+  double Cdf(double x) const override;
+  double Mean() const override;
+  double Variance() const override;
+  double Sample(Rng* rng) const override;
+  double SupportLower() const override;
+  double SupportUpper() const override;
+  std::string ToString() const override;
+  std::unique_ptr<Distribution> Clone() const override;
+
+  size_t num_components() const { return components_.size(); }
+
+ private:
+  std::vector<MixtureComponent> components_;  // weights normalized
+};
+
+}  // namespace vod
+
+#endif  // VOD_DIST_MIXTURE_H_

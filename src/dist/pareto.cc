@@ -1,0 +1,69 @@
+#include "dist/pareto.h"
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace vod {
+
+LomaxDistribution::LomaxDistribution(double shape, double scale)
+    : shape_(shape), scale_(scale) {
+  VOD_CHECK_MSG(shape > 0.0 && scale > 0.0,
+                "Lomax shape and scale must be positive");
+}
+
+LomaxDistribution LomaxDistribution::FromMean(double mean, double shape) {
+  VOD_CHECK_MSG(shape > 1.0, "FromMean requires shape > 1 (finite mean)");
+  VOD_CHECK_MSG(mean > 0.0, "mean must be positive");
+  return LomaxDistribution(shape, mean * (shape - 1.0));
+}
+
+double LomaxDistribution::Pdf(double x) const {
+  if (x < 0.0) return 0.0;
+  return (shape_ / scale_) * std::pow(1.0 + x / scale_, -(shape_ + 1.0));
+}
+
+double LomaxDistribution::Cdf(double x) const {
+  if (x <= 0.0) return 0.0;
+  return 1.0 - std::pow(1.0 + x / scale_, -shape_);
+}
+
+double LomaxDistribution::Mean() const {
+  if (shape_ <= 1.0) return std::numeric_limits<double>::infinity();
+  return scale_ / (shape_ - 1.0);
+}
+
+double LomaxDistribution::Variance() const {
+  if (shape_ <= 2.0) return std::numeric_limits<double>::infinity();
+  const double a = shape_;
+  return scale_ * scale_ * a / ((a - 1.0) * (a - 1.0) * (a - 2.0));
+}
+
+double LomaxDistribution::Sample(Rng* rng) const {
+  // Inversion: x = s·(U^{-1/a} − 1) with U in (0, 1].
+  const double u = 1.0 - rng->Uniform01();
+  return scale_ * (std::pow(u, -1.0 / shape_) - 1.0);
+}
+
+double LomaxDistribution::SupportUpper() const {
+  return std::numeric_limits<double>::infinity();
+}
+
+double LomaxDistribution::Quantile(double p) const {
+  VOD_CHECK_MSG(p > 0.0 && p < 1.0, "Quantile requires p in (0, 1)");
+  return scale_ * (std::pow(1.0 - p, -1.0 / shape_) - 1.0);
+}
+
+std::string LomaxDistribution::ToString() const {
+  std::ostringstream os;
+  os << "lomax(" << shape_ << ", " << scale_ << ")";
+  return os.str();
+}
+
+std::unique_ptr<Distribution> LomaxDistribution::Clone() const {
+  return std::make_unique<LomaxDistribution>(shape_, scale_);
+}
+
+}  // namespace vod

@@ -1,0 +1,48 @@
+// Lomax (Pareto type II) distribution: a heavy-tailed duration model.
+//
+// VCR-duration measurements in later VOD studies show heavy tails (a few
+// viewers scan across most of the movie); Lomax provides that regime for
+// sensitivity studies while keeping support [0, ∞) like the paper's
+// exponential/gamma choices.
+
+#ifndef VOD_DIST_PARETO_H_
+#define VOD_DIST_PARETO_H_
+
+#include "dist/distribution.h"
+
+namespace vod {
+
+/// Lomax(shape a, scale s): CDF 1 − (1 + x/s)^{−a} on [0, ∞).
+/// Mean s/(a − 1) for a > 1; variance finite for a > 2.
+class LomaxDistribution final : public Distribution {
+ public:
+  /// Precondition: shape > 0, scale > 0.
+  LomaxDistribution(double shape, double scale);
+
+  double Pdf(double x) const override;
+  double Cdf(double x) const override;
+  /// Infinite for shape <= 1.
+  double Mean() const override;
+  /// Infinite for shape <= 2.
+  double Variance() const override;
+  double Sample(Rng* rng) const override;
+  double SupportLower() const override { return 0.0; }
+  double SupportUpper() const override;
+  double Quantile(double p) const override;
+  std::string ToString() const override;
+  std::unique_ptr<Distribution> Clone() const override;
+
+  double shape() const { return shape_; }
+  double scale() const { return scale_; }
+
+  /// The Lomax with the given shape (> 1) whose mean equals `mean`.
+  static LomaxDistribution FromMean(double mean, double shape);
+
+ private:
+  double shape_;
+  double scale_;
+};
+
+}  // namespace vod
+
+#endif  // VOD_DIST_PARETO_H_

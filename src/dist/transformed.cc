@@ -1,0 +1,125 @@
+#include "dist/transformed.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/check.h"
+#include "numerics/quadrature.h"
+
+namespace vod {
+
+TruncatedDistribution::TruncatedDistribution(DistributionPtr base, double lo,
+                                             double hi)
+    : base_(std::move(base)), lo_(lo), hi_(hi) {
+  VOD_CHECK_MSG(base_ != nullptr, "base distribution required");
+  VOD_CHECK_MSG(lo < hi, "truncation requires lo < hi");
+  f_lo_ = base_->Cdf(lo_);
+  mass_ = base_->Cdf(hi_) - f_lo_;
+  VOD_CHECK_MSG(mass_ > 0.0, "base has no mass on the truncation interval");
+}
+
+double TruncatedDistribution::Pdf(double x) const {
+  if (x < lo_ || x > hi_) return 0.0;
+  return base_->Pdf(x) / mass_;
+}
+
+double TruncatedDistribution::Cdf(double x) const {
+  if (x <= lo_) return 0.0;
+  if (x >= hi_) return 1.0;
+  return (base_->Cdf(x) - f_lo_) / mass_;
+}
+
+double TruncatedDistribution::Mean() const {
+  // E[X | lo <= X <= hi] = ∫ x f(x) dx / mass.
+  const auto integrand = [this](double x) { return x * base_->Pdf(x); };
+  return AdaptiveSimpson(integrand, lo_, hi_).value / mass_;
+}
+
+double TruncatedDistribution::Variance() const {
+  const double m = Mean();
+  const auto integrand = [this, m](double x) {
+    return (x - m) * (x - m) * base_->Pdf(x);
+  };
+  return AdaptiveSimpson(integrand, lo_, hi_).value / mass_;
+}
+
+double TruncatedDistribution::Sample(Rng* rng) const {
+  // Inversion: map U(0,1) into the CDF range of the truncation window.
+  const double u = f_lo_ + mass_ * rng->Uniform01();
+  const double clipped = std::min(std::max(u, 1e-15), 1.0 - 1e-15);
+  return std::min(std::max(base_->Quantile(clipped), lo_), hi_);
+}
+
+std::string TruncatedDistribution::ToString() const {
+  std::ostringstream os;
+  os << "truncated(" << base_->ToString() << ", [" << lo_ << ", " << hi_
+     << "])";
+  return os.str();
+}
+
+std::unique_ptr<Distribution> TruncatedDistribution::Clone() const {
+  return std::make_unique<TruncatedDistribution>(base_, lo_, hi_);
+}
+
+WrappedDistribution::WrappedDistribution(DistributionPtr base, double period)
+    : base_(std::move(base)), period_(period) {
+  VOD_CHECK_MSG(base_ != nullptr, "base distribution required");
+  VOD_CHECK_MSG(period > 0.0, "period must be positive");
+  VOD_CHECK_MSG(base_->SupportLower() >= 0.0,
+                "WrappedDistribution requires a non-negative base");
+}
+
+double WrappedDistribution::Pdf(double x) const {
+  if (x < 0.0 || x >= period_) return 0.0;
+  double sum = 0.0;
+  for (int k = 0; k < 10000; ++k) {
+    const double shifted = x + k * period_;
+    sum += base_->Pdf(shifted);
+    // Stop when the tail beyond the next period is negligible.
+    if (1.0 - base_->Cdf((k + 1) * period_) < 1e-12) break;
+  }
+  return sum;
+}
+
+double WrappedDistribution::Cdf(double x) const {
+  if (x <= 0.0) return 0.0;
+  if (x >= period_) return 1.0;
+  double sum = 0.0;
+  for (int k = 0; k < 10000; ++k) {
+    const double base_k = base_->Cdf(k * period_);
+    sum += base_->Cdf(x + k * period_) - base_k;
+    if (1.0 - base_->Cdf((k + 1) * period_) < 1e-12) break;
+  }
+  return std::min(sum, 1.0);
+}
+
+double WrappedDistribution::Mean() const {
+  // E[X] = ∫_0^period (1 - F(x)) dx for a non-negative variable on
+  // [0, period).
+  const auto survival = [this](double x) { return 1.0 - Cdf(x); };
+  return AdaptiveSimpson(survival, 0.0, period_).value;
+}
+
+double WrappedDistribution::Variance() const {
+  const double m = Mean();
+  // E[X^2] = ∫ 2x (1 - F(x)) dx on [0, period).
+  const auto integrand = [this](double x) { return 2.0 * x * (1.0 - Cdf(x)); };
+  const double ex2 = AdaptiveSimpson(integrand, 0.0, period_).value;
+  return ex2 - m * m;
+}
+
+double WrappedDistribution::Sample(Rng* rng) const {
+  return std::fmod(base_->Sample(rng), period_);
+}
+
+std::string WrappedDistribution::ToString() const {
+  std::ostringstream os;
+  os << "wrapped(" << base_->ToString() << ", mod " << period_ << ")";
+  return os.str();
+}
+
+std::unique_ptr<Distribution> WrappedDistribution::Clone() const {
+  return std::make_unique<WrappedDistribution>(base_, period_);
+}
+
+}  // namespace vod

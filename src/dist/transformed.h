@@ -1,0 +1,69 @@
+// Distribution adaptors: truncation and modular wrapping.
+//
+// The paper defines VCR-duration densities on [0, l] and folds longer pauses
+// with "a pause of x > l is equivalent to a pause of x mod l" (§2.1).
+// WrappedDistribution implements exactly that fold; TruncatedDistribution is
+// the alternative conditioning-on-[a,b] interpretation.
+
+#ifndef VOD_DIST_TRANSFORMED_H_
+#define VOD_DIST_TRANSFORMED_H_
+
+#include "dist/distribution.h"
+
+namespace vod {
+
+/// \brief Base distribution conditioned on the event X ∈ [lo, hi].
+///
+/// CDF: (F(x) − F(lo)) / (F(hi) − F(lo)). Sampling is by inversion through
+/// the base quantile function (exact, no rejection loop).
+class TruncatedDistribution final : public Distribution {
+ public:
+  /// Precondition: lo < hi and the base distribution puts positive mass on
+  /// [lo, hi].
+  TruncatedDistribution(DistributionPtr base, double lo, double hi);
+
+  double Pdf(double x) const override;
+  double Cdf(double x) const override;
+  double Mean() const override;
+  double Variance() const override;
+  double Sample(Rng* rng) const override;
+  double SupportLower() const override { return lo_; }
+  double SupportUpper() const override { return hi_; }
+  std::string ToString() const override;
+  std::unique_ptr<Distribution> Clone() const override;
+
+ private:
+  DistributionPtr base_;
+  double lo_;
+  double hi_;
+  double mass_;    // F(hi) - F(lo)
+  double f_lo_;    // F(lo)
+};
+
+/// \brief X mod period, for a non-negative base variable X.
+///
+/// CDF on [0, period): F_w(x) = Σ_{k≥0} [F(x + k·period) − F(k·period)].
+/// The series is truncated once the remaining tail mass is below 1e-12.
+class WrappedDistribution final : public Distribution {
+ public:
+  /// Precondition: period > 0 and base support ⊆ [0, ∞).
+  WrappedDistribution(DistributionPtr base, double period);
+
+  double Pdf(double x) const override;
+  double Cdf(double x) const override;
+  double Mean() const override;      // computed numerically from the CDF
+  double Variance() const override;  // computed numerically from the CDF
+  double Sample(Rng* rng) const override;
+  double SupportLower() const override { return 0.0; }
+  double SupportUpper() const override { return period_; }
+  std::string ToString() const override;
+  std::unique_ptr<Distribution> Clone() const override;
+
+ private:
+  DistributionPtr base_;
+  double period_;
+};
+
+}  // namespace vod
+
+#endif  // VOD_DIST_TRANSFORMED_H_

@@ -1,0 +1,44 @@
+#include "dist/uniform.h"
+
+#include <sstream>
+
+#include "common/check.h"
+
+namespace vod {
+
+UniformDistribution::UniformDistribution(double lo, double hi)
+    : lo_(lo), hi_(hi) {
+  VOD_CHECK_MSG(lo < hi, "uniform requires lo < hi");
+}
+
+double UniformDistribution::Pdf(double x) const {
+  if (x < lo_ || x > hi_) return 0.0;
+  return 1.0 / (hi_ - lo_);
+}
+
+double UniformDistribution::Cdf(double x) const {
+  if (x <= lo_) return 0.0;
+  if (x >= hi_) return 1.0;
+  return (x - lo_) / (hi_ - lo_);
+}
+
+double UniformDistribution::Sample(Rng* rng) const {
+  return rng->Uniform(lo_, hi_);
+}
+
+double UniformDistribution::Quantile(double p) const {
+  VOD_CHECK_MSG(p > 0.0 && p < 1.0, "Quantile requires p in (0, 1)");
+  return lo_ + p * (hi_ - lo_);
+}
+
+std::string UniformDistribution::ToString() const {
+  std::ostringstream os;
+  os << "uniform(" << lo_ << ", " << hi_ << ")";
+  return os.str();
+}
+
+std::unique_ptr<Distribution> UniformDistribution::Clone() const {
+  return std::make_unique<UniformDistribution>(lo_, hi_);
+}
+
+}  // namespace vod

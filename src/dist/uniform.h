@@ -1,0 +1,37 @@
+// Continuous uniform distribution on [lo, hi].
+
+#ifndef VOD_DIST_UNIFORM_H_
+#define VOD_DIST_UNIFORM_H_
+
+#include "dist/distribution.h"
+
+namespace vod {
+
+/// Uniform(lo, hi), lo < hi.
+class UniformDistribution final : public Distribution {
+ public:
+  /// Precondition: lo < hi.
+  UniformDistribution(double lo, double hi);
+
+  double Pdf(double x) const override;
+  double Cdf(double x) const override;
+  double Mean() const override { return 0.5 * (lo_ + hi_); }
+  double Variance() const override {
+    const double w = hi_ - lo_;
+    return w * w / 12.0;
+  }
+  double Sample(Rng* rng) const override;
+  double SupportLower() const override { return lo_; }
+  double SupportUpper() const override { return hi_; }
+  double Quantile(double p) const override;
+  std::string ToString() const override;
+  std::unique_ptr<Distribution> Clone() const override;
+
+ private:
+  double lo_;
+  double hi_;
+};
+
+}  // namespace vod
+
+#endif  // VOD_DIST_UNIFORM_H_

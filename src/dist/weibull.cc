@@ -1,0 +1,69 @@
+#include "dist/weibull.h"
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "common/check.h"
+#include "dist/special_functions.h"
+
+namespace vod {
+
+WeibullDistribution::WeibullDistribution(double shape, double scale)
+    : shape_(shape), scale_(scale) {
+  VOD_CHECK_MSG(shape > 0.0 && scale > 0.0,
+                "weibull shape and scale must be positive");
+}
+
+double WeibullDistribution::Pdf(double x) const {
+  if (x < 0.0) return 0.0;
+  if (x == 0.0) {
+    if (shape_ > 1.0) return 0.0;
+    if (shape_ == 1.0) return 1.0 / scale_;
+    return std::numeric_limits<double>::infinity();
+  }
+  const double z = x / scale_;
+  return (shape_ / scale_) * std::pow(z, shape_ - 1.0) *
+         std::exp(-std::pow(z, shape_));
+}
+
+double WeibullDistribution::Cdf(double x) const {
+  if (x <= 0.0) return 0.0;
+  return 1.0 - std::exp(-std::pow(x / scale_, shape_));
+}
+
+double WeibullDistribution::Mean() const {
+  return scale_ * std::exp(LogGamma(1.0 + 1.0 / shape_));
+}
+
+double WeibullDistribution::Variance() const {
+  const double g1 = std::exp(LogGamma(1.0 + 1.0 / shape_));
+  const double g2 = std::exp(LogGamma(1.0 + 2.0 / shape_));
+  return scale_ * scale_ * (g2 - g1 * g1);
+}
+
+double WeibullDistribution::Sample(Rng* rng) const {
+  const double u = 1.0 - rng->Uniform01();  // in (0, 1]
+  return scale_ * std::pow(-std::log(u), 1.0 / shape_);
+}
+
+double WeibullDistribution::SupportUpper() const {
+  return std::numeric_limits<double>::infinity();
+}
+
+double WeibullDistribution::Quantile(double p) const {
+  VOD_CHECK_MSG(p > 0.0 && p < 1.0, "Quantile requires p in (0, 1)");
+  return scale_ * std::pow(-std::log(1.0 - p), 1.0 / shape_);
+}
+
+std::string WeibullDistribution::ToString() const {
+  std::ostringstream os;
+  os << "weibull(" << shape_ << ", " << scale_ << ")";
+  return os.str();
+}
+
+std::unique_ptr<Distribution> WeibullDistribution::Clone() const {
+  return std::make_unique<WeibullDistribution>(shape_, scale_);
+}
+
+}  // namespace vod

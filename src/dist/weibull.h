@@ -1,0 +1,37 @@
+// Weibull distribution (shape/scale).
+//
+// Included as an alternative heavy/light-tailed VCR-duration model for
+// sensitivity studies beyond the paper's exponential and gamma choices.
+
+#ifndef VOD_DIST_WEIBULL_H_
+#define VOD_DIST_WEIBULL_H_
+
+#include "dist/distribution.h"
+
+namespace vod {
+
+/// Weibull(shape k, scale λ): CDF 1 - exp(-(x/λ)^k) on [0, ∞).
+class WeibullDistribution final : public Distribution {
+ public:
+  /// Precondition: shape > 0, scale > 0.
+  WeibullDistribution(double shape, double scale);
+
+  double Pdf(double x) const override;
+  double Cdf(double x) const override;
+  double Mean() const override;
+  double Variance() const override;
+  double Sample(Rng* rng) const override;
+  double SupportLower() const override { return 0.0; }
+  double SupportUpper() const override;
+  double Quantile(double p) const override;
+  std::string ToString() const override;
+  std::unique_ptr<Distribution> Clone() const override;
+
+ private:
+  double shape_;
+  double scale_;
+};
+
+}  // namespace vod
+
+#endif  // VOD_DIST_WEIBULL_H_

@@ -1,0 +1,41 @@
+#include "numerics/antiderivative.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace vod {
+
+TabulatedAntiderivative::TabulatedAntiderivative(
+    const std::function<double(double)>& f, double lo, double hi, int cells)
+    : lo_(lo), hi_(hi) {
+  VOD_CHECK_MSG(cells >= 1 && hi > lo, "need hi > lo and cells >= 1");
+  step_ = (hi - lo) / cells;
+  values_.resize(static_cast<size_t>(cells) + 1);
+  integral_.resize(static_cast<size_t>(cells) + 1);
+  for (int i = 0; i <= cells; ++i) values_[i] = f(lo + i * step_);
+  integral_[0] = 0.0;
+  for (int i = 0; i < cells; ++i) {
+    const double mid = f(lo + (i + 0.5) * step_);
+    // Simpson on the cell.
+    integral_[i + 1] =
+        integral_[i] + step_ / 6.0 * (values_[i] + 4.0 * mid + values_[i + 1]);
+  }
+}
+
+double TabulatedAntiderivative::operator()(double x) const {
+  if (x <= lo_) return 0.0;
+  const double offset = (x - lo_) / step_;
+  const auto cell = static_cast<size_t>(offset);
+  if (cell >= values_.size() - 1) return integral_.back();
+  const double frac = offset - static_cast<double>(cell);
+  const double h = frac * step_;
+  // Trapezoid within the cell using the linear interpolant of f.
+  const double f0 = values_[cell];
+  const double f1 = values_[cell + 1];
+  const double fx = f0 + (f1 - f0) * frac;
+  return integral_[cell] + 0.5 * (f0 + fx) * h;
+}
+
+}  // namespace vod

@@ -1,0 +1,83 @@
+#include "numerics/interval_set.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace vod {
+
+IntervalSet::IntervalSet(const std::vector<Interval>& intervals) {
+  for (const auto& iv : intervals) Add(iv);
+}
+
+void IntervalSet::Add(const Interval& interval) {
+  if (interval.empty()) return;
+  // Find the first existing interval whose hi >= interval.lo (possible
+  // overlap start) via linear scan from a binary-searched position.
+  auto it = std::lower_bound(
+      intervals_.begin(), intervals_.end(), interval,
+      [](const Interval& a, const Interval& b) { return a.lo < b.lo; });
+  // Step back one: the predecessor may overlap (its hi may reach into us).
+  if (it != intervals_.begin() && std::prev(it)->hi >= interval.lo) --it;
+
+  Interval merged = interval;
+  auto erase_begin = it;
+  while (it != intervals_.end() && it->lo <= merged.hi) {
+    merged.lo = std::min(merged.lo, it->lo);
+    merged.hi = std::max(merged.hi, it->hi);
+    ++it;
+  }
+  it = intervals_.erase(erase_begin, it);
+  intervals_.insert(it, merged);
+}
+
+void IntervalSet::ClipTo(const Interval& clip) {
+  std::vector<Interval> out;
+  out.reserve(intervals_.size());
+  for (const auto& iv : intervals_) {
+    Interval cut = iv.Intersect(clip);
+    if (!cut.empty()) out.push_back(cut);
+  }
+  intervals_ = std::move(out);
+}
+
+double IntervalSet::TotalLength() const {
+  double total = 0.0;
+  for (const auto& iv : intervals_) total += iv.length();
+  return total;
+}
+
+bool IntervalSet::Contains(double x) const {
+  auto it = std::upper_bound(
+      intervals_.begin(), intervals_.end(), x,
+      [](double v, const Interval& iv) { return v < iv.lo; });
+  if (it == intervals_.begin()) return false;
+  return std::prev(it)->Contains(x);
+}
+
+double IntervalSet::MeasureThrough(
+    const std::function<double(double)>& cdf) const {
+  double total = 0.0;
+  for (const auto& iv : intervals_) {
+    const double mass = cdf(iv.hi) - cdf(iv.lo);
+    VOD_DCHECK(mass >= -1e-12);
+    total += std::max(mass, 0.0);
+  }
+  return total;
+}
+
+IntervalSet IntervalSet::ComplementWithin(const Interval& bounds) const {
+  IntervalSet out;
+  if (bounds.empty()) return out;
+  double cursor = bounds.lo;
+  for (const auto& iv : intervals_) {
+    if (iv.hi < bounds.lo) continue;
+    if (iv.lo > bounds.hi) break;
+    if (iv.lo > cursor) out.Add(Interval{cursor, std::min(iv.lo, bounds.hi)});
+    cursor = std::max(cursor, iv.hi);
+  }
+  if (cursor < bounds.hi) out.Add(Interval{cursor, bounds.hi});
+  return out;
+}
+
+}  // namespace vod

@@ -1,0 +1,81 @@
+// Closed-interval set algebra on the real line.
+//
+// The analytic hit model reduces each VCR operation to a *union of hit
+// intervals* in the operation-duration variable x; the hit probability is the
+// measure of that union through the duration distribution's CDF. IntervalSet
+// maintains a normalized (sorted, disjoint) list of intervals and supports
+// the operations the model needs: union-insert, clipping, measure, and
+// point membership.
+
+#ifndef VOD_NUMERICS_INTERVAL_SET_H_
+#define VOD_NUMERICS_INTERVAL_SET_H_
+
+#include <functional>
+#include <vector>
+
+namespace vod {
+
+/// A closed interval [lo, hi]. Intervals with hi < lo are empty.
+struct Interval {
+  double lo = 0.0;
+  double hi = 0.0;
+
+  bool empty() const { return hi < lo; }
+  double length() const { return empty() ? 0.0 : hi - lo; }
+  bool Contains(double x) const { return x >= lo && x <= hi; }
+
+  /// Intersection with another interval (possibly empty).
+  Interval Intersect(const Interval& other) const {
+    return Interval{lo > other.lo ? lo : other.lo,
+                    hi < other.hi ? hi : other.hi};
+  }
+
+  bool operator==(const Interval& other) const = default;
+};
+
+/// \brief A normalized union of disjoint closed intervals.
+///
+/// Invariant: intervals_ is sorted by lo, pairwise disjoint, and contains no
+/// empty intervals. Adjacent intervals that touch (hi == next.lo) are merged;
+/// for measure purposes this is equivalent.
+class IntervalSet {
+ public:
+  IntervalSet() = default;
+
+  /// Constructs from arbitrary (possibly overlapping, unsorted) intervals.
+  explicit IntervalSet(const std::vector<Interval>& intervals);
+
+  /// Inserts an interval, merging overlaps. Empty intervals are ignored.
+  void Add(const Interval& interval);
+
+  /// Restricts the set to [clip.lo, clip.hi].
+  void ClipTo(const Interval& clip);
+
+  /// Lebesgue measure (total length) of the set.
+  double TotalLength() const;
+
+  /// True if x lies in some interval of the set.
+  bool Contains(double x) const;
+
+  /// \brief Measure of the set under a distribution, Σ [F(hi) − F(lo)].
+  ///
+  /// `cdf` must be a non-decreasing function. For a duration distribution F
+  /// this is exactly P(X ∈ set).
+  double MeasureThrough(const std::function<double(double)>& cdf) const;
+
+  /// Set complement within [bounds.lo, bounds.hi].
+  IntervalSet ComplementWithin(const Interval& bounds) const;
+
+  bool empty() const { return intervals_.empty(); }
+  size_t size() const { return intervals_.size(); }
+  const std::vector<Interval>& intervals() const { return intervals_; }
+
+  bool operator==(const IntervalSet& other) const = default;
+
+ private:
+  std::vector<Interval> intervals_;
+};
+
+}  // namespace vod
+
+#endif  // VOD_NUMERICS_INTERVAL_SET_H_

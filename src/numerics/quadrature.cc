@@ -1,0 +1,155 @@
+#include "numerics/quadrature.h"
+
+#include <cmath>
+#include <map>
+#include <mutex>
+
+#include "common/check.h"
+
+namespace vod {
+
+namespace {
+
+struct SimpsonFrame {
+  double fa, fm, fb;  // integrand at a, midpoint, b
+};
+
+// Recursive helper: refines [a, b] with known endpoint/midpoint values and a
+// whole-interval Simpson estimate.
+void SimpsonRecurse(const std::function<double(double)>& f, double a, double b,
+                    const SimpsonFrame& frame, double whole, double tol,
+                    int depth, const AdaptiveSimpsonOptions& options,
+                    QuadratureResult* result) {
+  const double m = 0.5 * (a + b);
+  const double lm = 0.5 * (a + m);
+  const double rm = 0.5 * (m + b);
+  const double flm = f(lm);
+  const double frm = f(rm);
+  result->evaluations += 2;
+
+  const double h = b - a;
+  const double left = (h / 12.0) * (frame.fa + 4.0 * flm + frame.fm);
+  const double right = (h / 12.0) * (frame.fm + 4.0 * frm + frame.fb);
+  const double refined = left + right;
+  const double delta = refined - whole;
+
+  if (depth >= options.max_depth) {
+    result->value += refined + delta / 15.0;
+    result->error_estimate += std::fabs(delta) / 15.0;
+    result->converged = false;
+    return;
+  }
+  if (std::fabs(delta) <= 15.0 * tol) {
+    result->value += refined + delta / 15.0;  // Richardson extrapolation
+    result->error_estimate += std::fabs(delta) / 15.0;
+    return;
+  }
+  SimpsonRecurse(f, a, m, SimpsonFrame{frame.fa, flm, frame.fm}, left,
+                 0.5 * tol, depth + 1, options, result);
+  SimpsonRecurse(f, m, b, SimpsonFrame{frame.fm, frm, frame.fb}, right,
+                 0.5 * tol, depth + 1, options, result);
+}
+
+}  // namespace
+
+QuadratureResult AdaptiveSimpson(const std::function<double(double)>& f,
+                                 double a, double b,
+                                 const AdaptiveSimpsonOptions& options) {
+  QuadratureResult result;
+  if (a == b) return result;
+  double sign = 1.0;
+  if (a > b) {
+    std::swap(a, b);
+    sign = -1.0;
+  }
+  const double m = 0.5 * (a + b);
+  SimpsonFrame frame{f(a), f(m), f(b)};
+  result.evaluations = 3;
+  const double whole =
+      ((b - a) / 6.0) * (frame.fa + 4.0 * frame.fm + frame.fb);
+  SimpsonRecurse(f, a, b, frame, whole, options.abs_tolerance, 0, options,
+                 &result);
+  result.value *= sign;
+  return result;
+}
+
+namespace {
+
+GaussLegendreRule ComputeGaussLegendre(int k) {
+  GaussLegendreRule rule;
+  rule.nodes.resize(k);
+  rule.weights.resize(k);
+  const int m = (k + 1) / 2;
+  for (int i = 0; i < m; ++i) {
+    // Chebyshev-based initial guess for the i-th root of P_k.
+    double x = std::cos(M_PI * (i + 0.75) / (k + 0.5));
+    double pp = 0.0;  // derivative P'_k(x)
+    for (int iter = 0; iter < 100; ++iter) {
+      // Evaluate P_k(x) by the three-term recurrence.
+      double p0 = 1.0;
+      double p1 = x;
+      for (int j = 2; j <= k; ++j) {
+        const double p2 = ((2.0 * j - 1.0) * x * p1 - (j - 1.0) * p0) / j;
+        p0 = p1;
+        p1 = p2;
+      }
+      // p1 = P_k(x), p0 = P_{k-1}(x).
+      pp = k * (x * p1 - p0) / (x * x - 1.0);
+      const double dx = p1 / pp;
+      x -= dx;
+      if (std::fabs(dx) < 1e-15) break;
+    }
+    rule.nodes[i] = -x;
+    rule.nodes[k - 1 - i] = x;
+    const double w = 2.0 / ((1.0 - x * x) * pp * pp);
+    rule.weights[i] = w;
+    rule.weights[k - 1 - i] = w;
+  }
+  if (k % 2 == 1) {
+    // For odd k the middle node is exactly 0; the loop above computed it,
+    // but pin it to avoid -0.0 artifacts.
+    rule.nodes[k / 2] = 0.0;
+  }
+  return rule;
+}
+
+}  // namespace
+
+const GaussLegendreRule& GetGaussLegendreRule(int k) {
+  VOD_CHECK_MSG(k >= 1 && k <= 128, "Gauss-Legendre order out of range");
+  static std::mutex mutex;
+  static std::map<int, GaussLegendreRule> cache;
+  std::lock_guard<std::mutex> lock(mutex);
+  auto it = cache.find(k);
+  if (it == cache.end()) {
+    it = cache.emplace(k, ComputeGaussLegendre(k)).first;
+  }
+  return it->second;
+}
+
+double GaussLegendre(const std::function<double(double)>& f, double a,
+                     double b, int points) {
+  if (a == b) return 0.0;
+  const GaussLegendreRule& rule = GetGaussLegendreRule(points);
+  const double mid = 0.5 * (a + b);
+  const double half = 0.5 * (b - a);
+  double sum = 0.0;
+  for (int i = 0; i < points; ++i) {
+    sum += rule.weights[i] * f(mid + half * rule.nodes[i]);
+  }
+  return sum * half;
+}
+
+double CompositeGaussLegendre(const std::function<double(double)>& f, double a,
+                              double b, int panels, int points_per_panel) {
+  VOD_CHECK(panels >= 1);
+  if (a == b) return 0.0;
+  const double h = (b - a) / panels;
+  double sum = 0.0;
+  for (int p = 0; p < panels; ++p) {
+    sum += GaussLegendre(f, a + p * h, a + (p + 1) * h, points_per_panel);
+  }
+  return sum;
+}
+
+}  // namespace vod

@@ -1,0 +1,71 @@
+// Numerical integration: adaptive Simpson and Gauss–Legendre rules.
+//
+// The analytic model unconditions hit probabilities over viewer position V_c
+// and leading-edge distance d; the integrands are piecewise smooth (kinks at
+// partition boundaries), so we provide both an adaptive rule with error
+// control and fixed composite Gauss–Legendre rules for fast sweeps.
+
+#ifndef VOD_NUMERICS_QUADRATURE_H_
+#define VOD_NUMERICS_QUADRATURE_H_
+
+#include <functional>
+#include <vector>
+
+#include "common/status.h"
+
+namespace vod {
+
+/// Outcome of an adaptive integration.
+struct QuadratureResult {
+  /// The integral estimate.
+  double value = 0.0;
+  /// An (approximate, usually conservative) absolute error bound.
+  double error_estimate = 0.0;
+  /// Number of integrand evaluations performed.
+  int evaluations = 0;
+  /// True if the requested tolerance was met everywhere; false if the depth
+  /// limit was hit on some subinterval (value is still the best estimate).
+  bool converged = true;
+};
+
+/// Options for AdaptiveSimpson.
+struct AdaptiveSimpsonOptions {
+  /// Target absolute error for the whole interval.
+  double abs_tolerance = 1e-9;
+  /// Maximum recursion depth; 2^depth subintervals in the worst case.
+  int max_depth = 40;
+};
+
+/// \brief Adaptive Simpson integration of f over [a, b].
+///
+/// Handles a > b by sign flip and a == b trivially. The integrand must be
+/// finite on [a, b].
+QuadratureResult AdaptiveSimpson(const std::function<double(double)>& f,
+                                 double a, double b,
+                                 const AdaptiveSimpsonOptions& options = {});
+
+/// \brief Nodes and weights of the k-point Gauss–Legendre rule on [-1, 1].
+///
+/// Computed by Newton iteration on Legendre polynomials and cached per k.
+/// Valid for 1 <= k <= 128.
+struct GaussLegendreRule {
+  std::vector<double> nodes;    ///< ascending in (-1, 1)
+  std::vector<double> weights;  ///< positive, summing to 2
+};
+
+/// Returns the cached k-point rule. Aborts for k outside [1, 128].
+const GaussLegendreRule& GetGaussLegendreRule(int k);
+
+/// \brief Fixed k-point Gauss–Legendre integral of f over [a, b].
+double GaussLegendre(const std::function<double(double)>& f, double a,
+                     double b, int points = 32);
+
+/// \brief Composite Gauss–Legendre: [a, b] split into `panels` equal panels,
+/// each integrated with a k-point rule. Robust for integrands with many kinks
+/// (the hit-model integrands have O(n) kinks across the movie).
+double CompositeGaussLegendre(const std::function<double(double)>& f, double a,
+                              double b, int panels, int points_per_panel = 8);
+
+}  // namespace vod
+
+#endif  // VOD_NUMERICS_QUADRATURE_H_

@@ -1,0 +1,55 @@
+#include "sim/event_queue.h"
+
+#include "common/check.h"
+
+namespace vod {
+
+EventToken EventQueue::Schedule(double time, std::function<void()> action) {
+  VOD_CHECK_MSG(time >= now_, "cannot schedule an event in the past");
+  const uint64_t seq = next_seq_++;
+  const EventToken token = seq;
+  heap_.push(Entry{time, seq, token, std::move(action)});
+  return token;
+}
+
+void EventQueue::Cancel(EventToken token) { cancelled_.insert(token); }
+
+bool EventQueue::RunNext() {
+  while (!heap_.empty()) {
+    // priority_queue::top returns const&; the action must be moved out, so
+    // copy the metadata and move via const_cast before pop (safe: the entry
+    // is removed immediately after).
+    Entry& top = const_cast<Entry&>(heap_.top());
+    const auto cancelled_it = cancelled_.find(top.token);
+    if (cancelled_it != cancelled_.end()) {
+      cancelled_.erase(cancelled_it);
+      heap_.pop();
+      continue;
+    }
+    const double time = top.time;
+    std::function<void()> action = std::move(top.action);
+    heap_.pop();
+    now_ = time;
+    action();
+    return true;
+  }
+  return false;
+}
+
+void EventQueue::RunUntil(double horizon) {
+  while (!heap_.empty()) {
+    // Drop cancelled heads first so the horizon check sees a live event.
+    const Entry& top = heap_.top();
+    const auto cancelled_it = cancelled_.find(top.token);
+    if (cancelled_it != cancelled_.end()) {
+      cancelled_.erase(cancelled_it);
+      heap_.pop();
+      continue;
+    }
+    if (top.time > horizon) break;
+    RunNext();
+  }
+  if (now_ < horizon) now_ = horizon;
+}
+
+}  // namespace vod

@@ -1,0 +1,68 @@
+// Discrete-event simulation kernel: a future-event list with cancellation.
+
+#ifndef VOD_SIM_EVENT_QUEUE_H_
+#define VOD_SIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+namespace vod {
+
+/// Handle identifying a scheduled event (for cancellation).
+using EventToken = uint64_t;
+
+/// \brief Future-event list ordered by (time, insertion sequence).
+///
+/// Insertion-sequence tiebreak makes simultaneous events run in schedule
+/// order, which keeps runs deterministic. Cancellation is lazy: cancelled
+/// tokens are skipped at pop time, so Cancel is O(1).
+class EventQueue {
+ public:
+  /// Schedules `action` at absolute time `time` (>= Now()). Returns a token
+  /// usable with Cancel.
+  EventToken Schedule(double time, std::function<void()> action);
+
+  /// Cancels a scheduled event. Cancelling an already-run or unknown token
+  /// is a no-op.
+  void Cancel(EventToken token);
+
+  /// Runs the earliest pending event, advancing Now(). Returns false when
+  /// the queue is empty.
+  bool RunNext();
+
+  /// Runs events until the queue empties or the next event is after
+  /// `horizon`; Now() ends at min(horizon, last event time). Events at
+  /// exactly `horizon` are executed.
+  void RunUntil(double horizon);
+
+  /// Current simulation time (time of the last executed event).
+  double Now() const { return now_; }
+
+  size_t pending() const { return heap_.size() - cancelled_.size(); }
+  bool empty() const { return pending() == 0; }
+
+ private:
+  struct Entry {
+    double time;
+    uint64_t seq;
+    EventToken token;
+    std::function<void()> action;
+
+    bool operator>(const Entry& other) const {
+      if (time != other.time) return time > other.time;
+      return seq > other.seq;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  std::unordered_set<EventToken> cancelled_;
+  double now_ = 0.0;
+  uint64_t next_seq_ = 0;
+};
+
+}  // namespace vod
+
+#endif  // VOD_SIM_EVENT_QUEUE_H_

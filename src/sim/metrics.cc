@@ -1,0 +1,66 @@
+#include "sim/metrics.h"
+
+namespace vod {
+
+void SimulationMetrics::RecordResume(double t, VcrOp op, ResumeOutcome outcome,
+                                     bool in_partition_before) {
+  if (!InMeasurement(t)) return;
+  ++total_resumes_;
+  ++outcome_counts_[static_cast<int>(outcome)];
+  const bool hit = outcome != ResumeOutcome::kMiss;
+  hit_all_.Add(hit);
+  hit_by_op_[static_cast<int>(op)].Add(hit);
+  if (in_partition_before) {
+    hit_in_partition_all_.Add(hit);
+    hit_in_partition_batches_.Add(hit ? 1.0 : 0.0);
+    hit_in_partition_[static_cast<int>(op)].Add(hit);
+  }
+}
+
+void SimulationMetrics::RecordAdmission(double t, double wait, bool type2) {
+  if (!InMeasurement(t)) return;
+  ++admissions_;
+  if (type2) ++type2_admissions_;
+  wait_time_.Add(wait);
+  wait_quantiles_.Add(wait);
+}
+
+void SimulationMetrics::RecordCompletion(double t) {
+  if (!InMeasurement(t)) return;
+  ++completions_;
+}
+
+void SimulationMetrics::RecordBlockedVcr(double t) {
+  if (!InMeasurement(t)) return;
+  ++blocked_vcr_;
+}
+
+void SimulationMetrics::RecordStall(double t, double wait) {
+  if (!InMeasurement(t)) return;
+  ++stalls_;
+  stall_time_.Add(wait);
+}
+
+void SimulationMetrics::RecordPiggybackMerge(double t, double drift) {
+  if (!InMeasurement(t)) return;
+  ++piggyback_merges_;
+  merge_drift_time_.Add(drift);
+}
+
+void SimulationMetrics::SetDedicatedStreams(double t, int64_t count) {
+  if (t < measurement_start_) {
+    dedicated_streams_.Reset(measurement_start_, static_cast<double>(count));
+  } else {
+    dedicated_streams_.Set(t, static_cast<double>(count));
+  }
+}
+
+void SimulationMetrics::SetConcurrentViewers(double t, int64_t count) {
+  if (t < measurement_start_) {
+    concurrent_viewers_.Reset(measurement_start_, static_cast<double>(count));
+  } else {
+    concurrent_viewers_.Set(t, static_cast<double>(count));
+  }
+}
+
+}  // namespace vod

@@ -1,0 +1,132 @@
+// Measurement collection for simulation runs.
+
+#ifndef VOD_SIM_METRICS_H_
+#define VOD_SIM_METRICS_H_
+
+#include <array>
+#include <cstdint>
+
+#include "core/types.h"
+#include "stats/batch_means.h"
+#include "stats/quantile.h"
+#include "stats/summary.h"
+#include "stats/time_weighted.h"
+
+namespace vod {
+
+/// Why a VCR resume released (or failed to release) its dedicated stream.
+enum class ResumeOutcome {
+  kHitWithin,   ///< rejoined the partition the operation started from
+  kHitJump,     ///< joined a different partition
+  kEndOfMovie,  ///< fast-forwarded to the end (released; paper's P(end))
+  kMiss,        ///< resumed in a gap; keeps the dedicated stream
+};
+
+/// \brief Accumulates everything a simulation run reports.
+///
+/// Metrics honor a warmup boundary: events before `measurement_start` are
+/// counted separately and excluded from the headline estimators.
+class SimulationMetrics {
+ public:
+  explicit SimulationMetrics(double measurement_start)
+      : measurement_start_(measurement_start) {
+    dedicated_streams_.Reset(measurement_start, 0.0);
+    concurrent_viewers_.Reset(measurement_start, 0.0);
+  }
+
+  double measurement_start() const { return measurement_start_; }
+
+  /// Records a VCR resume. `in_partition_before` marks viewers who were
+  /// sharing a partition when they issued the operation (the analytic model
+  /// assumes all are).
+  void RecordResume(double t, VcrOp op, ResumeOutcome outcome,
+                    bool in_partition_before);
+
+  /// Records a viewer admission. `wait` is the queueing delay before
+  /// playback starts (0 for type-2 viewers who join a partition on arrival).
+  void RecordAdmission(double t, double wait, bool type2);
+
+  void RecordCompletion(double t);
+
+  /// A FF/RW request refused because no dedicated stream was available.
+  void RecordBlockedVcr(double t);
+
+  /// A resume stalled (no stream for a miss); `wait` is the forced pause
+  /// until a partition window swept over the viewer's position.
+  void RecordStall(double t, double wait);
+
+  /// A piggyback merge completed `drift` minutes after the miss.
+  void RecordPiggybackMerge(double t, double drift);
+
+  /// Step changes of the dedicated-stream count / viewer count.
+  void SetDedicatedStreams(double t, int64_t count);
+  void SetConcurrentViewers(double t, int64_t count);
+
+  // ---- accessors ---------------------------------------------------------
+  const ProportionEstimator& hit_all() const { return hit_all_; }
+  const ProportionEstimator& hit_by_op(VcrOp op) const {
+    return hit_by_op_[static_cast<int>(op)];
+  }
+  /// Hit estimate restricted to resumes issued from inside a partition.
+  const ProportionEstimator& hit_in_partition(VcrOp op) const {
+    return hit_in_partition_[static_cast<int>(op)];
+  }
+  const ProportionEstimator& hit_in_partition_all() const {
+    return hit_in_partition_all_;
+  }
+  /// Batch-means view of the same estimator: autocorrelation-robust CI.
+  const BatchMeans& hit_in_partition_batches() const {
+    return hit_in_partition_batches_;
+  }
+
+  int64_t resumes(ResumeOutcome outcome) const {
+    return outcome_counts_[static_cast<int>(outcome)];
+  }
+  int64_t total_resumes() const { return total_resumes_; }
+  int64_t admissions() const { return admissions_; }
+  int64_t type2_admissions() const { return type2_admissions_; }
+  int64_t completions() const { return completions_; }
+  int64_t blocked_vcr() const { return blocked_vcr_; }
+  int64_t stalls() const { return stalls_; }
+  int64_t piggyback_merges() const { return piggyback_merges_; }
+  const RunningStats& stall_time() const { return stall_time_; }
+  const RunningStats& merge_drift_time() const { return merge_drift_time_; }
+  const RunningStats& wait_time() const { return wait_time_; }
+  /// Streaming p50/p90/p99 of admission waits.
+  const LatencyQuantiles& wait_quantiles() const { return wait_quantiles_; }
+  const TimeWeightedValue& dedicated_streams() const {
+    return dedicated_streams_;
+  }
+  const TimeWeightedValue& concurrent_viewers() const {
+    return concurrent_viewers_;
+  }
+
+ private:
+  bool InMeasurement(double t) const { return t >= measurement_start_; }
+
+  double measurement_start_;
+  ProportionEstimator hit_all_;
+  ProportionEstimator hit_in_partition_all_;
+  /// 500 resumes per batch keeps 20+ batches for the Fig-7 run lengths.
+  BatchMeans hit_in_partition_batches_{500};
+  std::array<ProportionEstimator, 3> hit_by_op_;
+  std::array<ProportionEstimator, 3> hit_in_partition_;
+  std::array<int64_t, 4> outcome_counts_ = {0, 0, 0, 0};
+  int64_t total_resumes_ = 0;
+  int64_t admissions_ = 0;
+  int64_t type2_admissions_ = 0;
+  int64_t completions_ = 0;
+  int64_t blocked_vcr_ = 0;
+  int64_t stalls_ = 0;
+  int64_t piggyback_merges_ = 0;
+  RunningStats stall_time_;
+  RunningStats merge_drift_time_;
+  RunningStats wait_time_;
+  LatencyQuantiles wait_quantiles_;
+  TimeWeightedValue dedicated_streams_;
+  TimeWeightedValue concurrent_viewers_;
+};
+
+}  // namespace vod
+
+#endif  // VOD_SIM_METRICS_H_

@@ -1,0 +1,441 @@
+#include "sim/movie_world.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <optional>
+#include <unordered_map>
+
+#include "common/check.h"
+#include "sim/trace.h"
+
+namespace vod {
+
+namespace {
+// Stream-class tags for deriving independent child RNGs.
+constexpr uint64_t kArrivalStream = 1;
+constexpr uint64_t kViewerStream = 2;
+}  // namespace
+
+Status ValidateMovieWorldInputs(const PlaybackRates& rates,
+                                const MovieWorldConfig& config) {
+  VOD_RETURN_IF_ERROR(rates.Validate());
+  if (std::fabs(rates.playback - 1.0) > 1e-12) {
+    return Status::InvalidArgument(
+        "the simulator's clock is in playback minutes; set R_PB = 1 and "
+        "express FF/RW as multiples (the analytic model is scale-invariant)");
+  }
+  VOD_RETURN_IF_ERROR(config.behavior.Validate());
+  VOD_RETURN_IF_ERROR(config.piggyback.Validate());
+  if (!(config.mean_interarrival_minutes > 0.0)) {
+    return Status::InvalidArgument("mean interarrival time must be positive");
+  }
+  return Status::OK();
+}
+
+class MovieWorld::Impl {
+ public:
+  Impl(const PartitionLayout& layout, const PlaybackRates& rates,
+       const MovieWorldConfig& config, Rng base_rng, EventQueue* queue,
+       StreamSupplier* supplier, SimulationMetrics* metrics)
+      : layout_(layout),
+        rates_(rates),
+        config_(config),
+        schedule_(layout, config.stationary_start),
+        base_rng_(base_rng),
+        arrival_rng_(base_rng_.MakeChild(kArrivalStream, 0)),
+        queue_(queue),
+        supplier_(supplier),
+        metrics_(metrics) {}
+
+  void Start() { ScheduleNextArrival(queue_->Now()); }
+
+  const PartitionLayout& layout() const { return layout_; }
+
+ private:
+  /// Internal per-viewer session state. Invariant: at most one pending
+  /// event per viewer; every transition schedules the next one.
+  struct Viewer {
+    uint64_t id = 0;
+    double position = 0.0;    ///< at the last state change
+    double state_time = 0.0;  ///< time of the last state change
+    double play_rate = 1.0;   ///< 1, or 1 ± Δ while piggybacking
+    bool dedicated = false;   ///< holds a stream from the supplier
+    double miss_time = 0.0;   ///< when the current dedicated stint began
+    /// Session deadline (abandonment); +inf when patience is unlimited.
+    double abandon_at = std::numeric_limits<double>::infinity();
+    std::optional<int64_t> home_stream;
+    Rng rng;
+
+    explicit Viewer(Rng r) : rng(r) {}
+
+    double PositionAt(double t) const {
+      return position + (t - state_time) * play_rate;
+    }
+  };
+
+  // ---- helpers -------------------------------------------------------------
+
+  /// Phase of movie position `pos` against the window pattern at time t:
+  /// the result is in [0, T); values <= W mean "inside a window".
+  double PatternPhase(double t, double pos) const {
+    const double period = layout_.restart_period();
+    double g = std::fmod(t - pos, period);
+    if (g < 0.0) g += period;
+    return g;
+  }
+
+  void AcquireDedicated(Viewer& viewer, double t) {
+    VOD_DCHECK(!viewer.dedicated);
+    // Callers check TryAcquire themselves when refusal is handled specially.
+    viewer.dedicated = true;
+    viewer.miss_time = t;
+    ++dedicated_count_;
+    metrics_->SetDedicatedStreams(t, dedicated_count_);
+  }
+
+  void ReleaseDedicated(Viewer& viewer, double t) {
+    VOD_DCHECK(viewer.dedicated);
+    supplier_->Release(t);
+    viewer.dedicated = false;
+    --dedicated_count_;
+    metrics_->SetDedicatedStreams(t, dedicated_count_);
+  }
+
+  void SetConcurrent(double t, int delta) {
+    concurrent_count_ += delta;
+    VOD_DCHECK(concurrent_count_ >= 0);
+    metrics_->SetConcurrentViewers(t, concurrent_count_);
+  }
+
+  // ---- arrivals --------------------------------------------------------------
+
+  void ScheduleNextArrival(double t) {
+    double next;
+    if (config_.arrivals != nullptr) {
+      next = config_.arrivals->NextArrivalAfter(t, &arrival_rng_);
+    } else {
+      next = t + arrival_rng_.Exponential(config_.mean_interarrival_minutes);
+    }
+    queue_->Schedule(next, [this] { OnArrival(); });
+  }
+
+  void OnArrival() {
+    const double t = queue_->Now();
+    ScheduleNextArrival(t);
+    const uint64_t id = next_viewer_id_++;
+    auto [it, inserted] = viewers_.emplace(
+        id, Viewer(base_rng_.MakeChild(kViewerStream, id)));
+    VOD_CHECK(inserted);
+    Viewer& viewer = it->second;
+    viewer.id = id;
+
+    const std::optional<int64_t> covering =
+        schedule_.FindCoveringStream(t, 0.0);
+    if (covering.has_value()) {
+      // Type-2 viewer: enrollment window open; read from the buffer now.
+      metrics_->RecordAdmission(t, 0.0, /*type2=*/true);
+      viewer.home_stream = covering;
+      ArmPatience(viewer, t);
+      SetConcurrent(t, +1);
+      SchedulePlayback(viewer, t, 0.0);
+    } else {
+      // Type-1 viewer: queue until the next restart.
+      const double start = schedule_.NextRestart(t);
+      const double wait = start - t;
+      queue_->Schedule(start, [this, id, wait] {
+        auto found = viewers_.find(id);
+        VOD_CHECK(found != viewers_.end());
+        Viewer& v = found->second;
+        const double now = queue_->Now();
+        metrics_->RecordAdmission(now, wait, /*type2=*/false);
+        if (now >= metrics_->measurement_start()) {
+          max_wait_seen_ = std::max(max_wait_seen_, wait);
+        }
+        v.home_stream = schedule_.FindCoveringStream(now, 0.0);
+        ArmPatience(v, now);
+        SetConcurrent(now, +1);
+        SchedulePlayback(v, now, 0.0);
+      });
+    }
+  }
+
+  /// Samples the viewer's session deadline at playback start.
+  void ArmPatience(Viewer& viewer, double t) {
+    if (config_.patience != nullptr) {
+      viewer.abandon_at = t + config_.patience->Sample(&viewer.rng);
+    }
+  }
+
+  /// The viewer walks away mid-session; all resources are released.
+  void OnAbandon(uint64_t id) {
+    auto it = viewers_.find(id);
+    VOD_CHECK(it != viewers_.end());
+    Viewer& viewer = it->second;
+    const double t = queue_->Now();
+    if (viewer.dedicated) ReleaseDedicated(viewer, t);
+    SetConcurrent(t, -1);
+    ++abandonments_;
+    viewers_.erase(it);
+  }
+
+  // ---- playback ---------------------------------------------------------------
+
+  /// Enters normal playback (or a piggyback drift segment, if the viewer is
+  /// dedicated and the merge policy is on) at `position`, and schedules the
+  /// next event: VCR initiation, piggyback merge, or finish — whichever
+  /// comes first.
+  void SchedulePlayback(Viewer& viewer, double t, double position,
+                        bool allow_piggyback = true) {
+    const double l = layout_.movie_length();
+    viewer.position = position;
+    viewer.state_time = t;
+    viewer.play_rate = 1.0;
+    const uint64_t id = viewer.id;
+
+    double merge_at = std::numeric_limits<double>::infinity();
+    if (viewer.dedicated && allow_piggyback && config_.piggyback.enabled &&
+        layout_.window() > 0.0 &&
+        layout_.window() < layout_.restart_period() && position < l - 1e-9) {
+      const double phase = PatternPhase(t, position);
+      if (phase > layout_.window()) {
+        const auto plan =
+            PlanPiggybackMerge(layout_, phase, config_.piggyback);
+        if (plan.ok()) {
+          viewer.play_rate = plan->rate_factor;
+          merge_at = t + plan->merge_minutes;
+        }
+      }
+    }
+
+    const double finish_at = t + (l - position) / viewer.play_rate;
+    double vcr_at = std::numeric_limits<double>::infinity();
+    if (!config_.behavior.passive()) {
+      vcr_at = t + config_.behavior.interactivity->Sample(&viewer.rng);
+    }
+
+    // The deadline may already have passed (e.g. during a VCR operation,
+    // which is allowed to finish): abandon immediately in that case.
+    const double abandon_at = std::max(viewer.abandon_at, t);
+    if (abandon_at <= vcr_at && abandon_at <= merge_at &&
+        abandon_at <= finish_at) {
+      queue_->Schedule(abandon_at, [this, id] { OnAbandon(id); });
+    } else if (vcr_at <= merge_at && vcr_at <= finish_at) {
+      queue_->Schedule(vcr_at, [this, id] { OnVcrInitiate(id); });
+    } else if (merge_at <= finish_at) {
+      queue_->Schedule(merge_at, [this, id] { OnPiggybackMerge(id); });
+    } else {
+      queue_->Schedule(finish_at, [this, id] { OnFinish(id); });
+    }
+  }
+
+  void OnFinish(uint64_t id) {
+    auto it = viewers_.find(id);
+    VOD_CHECK(it != viewers_.end());
+    Viewer& viewer = it->second;
+    const double t = queue_->Now();
+    if (viewer.dedicated) ReleaseDedicated(viewer, t);
+    SetConcurrent(t, -1);
+    metrics_->RecordCompletion(t);
+    viewers_.erase(it);
+  }
+
+  void OnPiggybackMerge(uint64_t id) {
+    auto it = viewers_.find(id);
+    VOD_CHECK(it != viewers_.end());
+    Viewer& viewer = it->second;
+    const double t = queue_->Now();
+    const double position = viewer.PositionAt(t);
+    const std::optional<int64_t> covering =
+        schedule_.FindCoveringStream(t, position);
+    if (covering.has_value()) {
+      metrics_->RecordPiggybackMerge(t, t - viewer.miss_time);
+      ReleaseDedicated(viewer, t);
+      viewer.home_stream = covering;
+      SchedulePlayback(viewer, t, position);
+    } else {
+      // Boundary corner (e.g. merged exactly at the movie end): keep the
+      // stream and finish normally without re-planning a drift.
+      SchedulePlayback(viewer, t, position, /*allow_piggyback=*/false);
+    }
+  }
+
+  // ---- VCR operations ------------------------------------------------------------
+
+  void OnVcrInitiate(uint64_t id) {
+    auto it = viewers_.find(id);
+    VOD_CHECK(it != viewers_.end());
+    Viewer& viewer = it->second;
+    const double t = queue_->Now();
+    const double position =
+        std::min(viewer.PositionAt(t), layout_.movie_length());
+
+    const VcrOp op = config_.behavior.SampleOp(&viewer.rng);
+    const double x = config_.behavior.SampleDuration(op, &viewer.rng);
+    if (config_.trace != nullptr) config_.trace->Record(t, op, x);
+    const bool in_partition_before = !viewer.dedicated;
+    const double l = layout_.movie_length();
+
+    double wall = 0.0;
+    double resume_position = position;
+    bool reaches_end = false;
+    switch (op) {
+      case VcrOp::kFastForward: {
+        const double traverse = std::min(x, l - position);
+        wall = traverse / rates_.fast_forward;
+        resume_position = position + traverse;
+        reaches_end = x >= l - position;
+        break;
+      }
+      case VcrOp::kRewind: {
+        const double traverse = std::min(x, position);
+        wall = traverse / rates_.rewind;
+        resume_position = position - traverse;
+        break;
+      }
+      case VcrOp::kPause: {
+        wall = x;
+        break;
+      }
+    }
+
+    // Phase-1 stream accounting. FF/RW display and need a dedicated stream;
+    // a refused request blocks the operation (the viewer keeps watching
+    // normally). A pause consumes nothing; a stream held from an earlier
+    // miss is returned during the pause.
+    const bool consumes_in_vcr = op != VcrOp::kPause;
+    if (consumes_in_vcr && !viewer.dedicated) {
+      if (!supplier_->TryAcquire(t)) {
+        metrics_->RecordBlockedVcr(t);
+        SchedulePlayback(viewer, t, position);
+        return;
+      }
+      AcquireDedicated(viewer, t);
+    } else if (!consumes_in_vcr && viewer.dedicated) {
+      ReleaseDedicated(viewer, t);
+    }
+
+    viewer.position = position;  // frozen during the operation
+    viewer.state_time = t;
+    viewer.play_rate = 0.0;  // position is explicit at completion
+    queue_->Schedule(
+        t + wall, [this, id, op, resume_position, reaches_end,
+                   in_partition_before, consumes_in_vcr] {
+          OnVcrComplete(id, op, resume_position, reaches_end,
+                        in_partition_before, consumes_in_vcr);
+        });
+  }
+
+  void OnVcrComplete(uint64_t id, VcrOp op, double resume_position,
+                     bool reaches_end, bool in_partition_before,
+                     bool was_consuming_in_vcr) {
+    auto it = viewers_.find(id);
+    VOD_CHECK(it != viewers_.end());
+    Viewer& viewer = it->second;
+    const double t = queue_->Now();
+
+    if (reaches_end) {
+      // Fast-forwarded to (or past) the end: the session terminates and all
+      // resources are released — a release per the paper's Eq. (21).
+      metrics_->RecordResume(t, op, ResumeOutcome::kEndOfMovie,
+                             in_partition_before);
+      if (viewer.dedicated) ReleaseDedicated(viewer, t);
+      SetConcurrent(t, -1);
+      metrics_->RecordCompletion(t);
+      viewers_.erase(it);
+      return;
+    }
+
+    const std::optional<int64_t> covering =
+        schedule_.FindCoveringStream(t, resume_position);
+    if (covering.has_value()) {
+      const bool within = viewer.home_stream.has_value() &&
+                          *viewer.home_stream == *covering;
+      metrics_->RecordResume(
+          t, op, within ? ResumeOutcome::kHitWithin : ResumeOutcome::kHitJump,
+          in_partition_before);
+      if (viewer.dedicated) ReleaseDedicated(viewer, t);
+      viewer.home_stream = covering;
+      SchedulePlayback(viewer, t, resume_position);
+      return;
+    }
+
+    metrics_->RecordResume(t, op, ResumeOutcome::kMiss, in_partition_before);
+    viewer.home_stream = std::nullopt;
+    if (!viewer.dedicated) {
+      VOD_DCHECK(!was_consuming_in_vcr);
+      if (!supplier_->TryAcquire(t)) {
+        // No stream for the miss: the viewer stalls (a forced pause) until
+        // the next partition window sweeps over his position, then joins it
+        // at the leading edge.
+        StallUntilCovered(viewer, t, resume_position);
+        return;
+      }
+      AcquireDedicated(viewer, t);
+    } else {
+      viewer.miss_time = t;  // the dedicated stint continues from this miss
+    }
+    (void)was_consuming_in_vcr;
+    SchedulePlayback(viewer, t, resume_position);
+  }
+
+  void StallUntilCovered(Viewer& viewer, double t, double position) {
+    const double period = layout_.restart_period();
+    const double phase = PatternPhase(t, position);
+    // The next leading edge reaches `position` when the phase wraps to 0.
+    const double wait = period - phase;
+    metrics_->RecordStall(t, wait);
+    const uint64_t id = viewer.id;
+    viewer.position = position;
+    viewer.state_time = t;
+    viewer.play_rate = 0.0;
+    queue_->Schedule(t + wait, [this, id, position] {
+      auto it = viewers_.find(id);
+      VOD_CHECK(it != viewers_.end());
+      Viewer& v = it->second;
+      const double now = queue_->Now();
+      v.home_stream = schedule_.FindCoveringStream(now, position);
+      SchedulePlayback(v, now, position);
+    });
+  }
+
+  PartitionLayout layout_;
+  PlaybackRates rates_;
+  MovieWorldConfig config_;
+  PartitionSchedule schedule_;
+  Rng base_rng_;
+  Rng arrival_rng_;
+  EventQueue* queue_;
+  StreamSupplier* supplier_;
+  SimulationMetrics* metrics_;
+  std::unordered_map<uint64_t, Viewer> viewers_;
+  uint64_t next_viewer_id_ = 0;
+  int64_t dedicated_count_ = 0;
+  int concurrent_count_ = 0;
+  int64_t abandonments_ = 0;
+  double max_wait_seen_ = 0.0;
+
+ public:
+  double max_wait_seen() const { return max_wait_seen_; }
+  int64_t abandonments() const { return abandonments_; }
+};
+
+MovieWorld::MovieWorld(const PartitionLayout& layout,
+                       const PlaybackRates& rates,
+                       const MovieWorldConfig& config, Rng base_rng,
+                       EventQueue* queue, StreamSupplier* supplier,
+                       SimulationMetrics* metrics)
+    : impl_(std::make_unique<Impl>(layout, rates, config, base_rng, queue,
+                                   supplier, metrics)) {}
+
+MovieWorld::~MovieWorld() = default;
+
+void MovieWorld::Start() { impl_->Start(); }
+
+const PartitionLayout& MovieWorld::layout() const { return impl_->layout(); }
+
+double MovieWorld::max_wait_seen() const { return impl_->max_wait_seen(); }
+
+int64_t MovieWorld::abandonments() const { return impl_->abandonments(); }
+
+}  // namespace vod

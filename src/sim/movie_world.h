@@ -1,0 +1,94 @@
+// Per-movie simulation engine.
+//
+// MovieWorld owns one movie's restart schedule, viewer population, and VCR
+// behavior, and runs against a shared EventQueue and StreamSupplier so that
+// several movies can be simulated together (the multi-movie server). The
+// single-movie RunSimulation() wraps exactly one MovieWorld over an
+// unlimited supplier.
+//
+// Time convention: the simulation clock is in movie-minutes of normal
+// playback, i.e. R_PB must be 1 (RunSimulation / ServerSimulation validate
+// this); FF/RW rates are multiples of it, as in the paper.
+
+#ifndef VOD_SIM_MOVIE_WORLD_H_
+#define VOD_SIM_MOVIE_WORLD_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "core/partition_layout.h"
+#include "core/piggyback.h"
+#include "core/types.h"
+#include "sim/arrival_process.h"
+#include "sim/event_queue.h"
+#include "sim/metrics.h"
+#include "sim/partition_schedule.h"
+#include "sim/stream_supplier.h"
+#include "sim/vcr_behavior.h"
+
+namespace vod {
+
+class VcrTrace;
+
+/// Static configuration of one movie's world.
+struct MovieWorldConfig {
+  /// Used when `arrivals` is null: homogeneous Poisson with this mean gap.
+  double mean_interarrival_minutes = 2.0;
+  /// Optional non-homogeneous arrival process; overrides the mean gap.
+  ArrivalProcessPtr arrivals;
+  VcrBehavior behavior;
+  bool stationary_start = true;
+  /// Phase-2 merge policy for miss-viewers.
+  PiggybackOptions piggyback;
+  /// Optional log of every VCR request (time, op, duration); must outlive
+  /// the world. Blocked requests are logged too — they are user behavior.
+  VcrTrace* trace = nullptr;
+  /// Optional viewer patience: wall-clock session lifetime from playback
+  /// start; the viewer abandons when it expires (during a playback segment;
+  /// an in-progress VCR operation finishes first). Null = watch to the end.
+  DistributionPtr patience;
+};
+
+/// \brief One movie's event logic over shared simulation infrastructure.
+///
+/// All randomness derives from the `base_rng` passed at construction, so
+/// worlds are deterministic and independent across movies.
+class MovieWorld {
+ public:
+  /// The pointers must outlive the world. `metrics` accumulates this
+  /// movie's measurements; `supplier` arbitrates dedicated streams.
+  MovieWorld(const PartitionLayout& layout, const PlaybackRates& rates,
+             const MovieWorldConfig& config, Rng base_rng, EventQueue* queue,
+             StreamSupplier* supplier, SimulationMetrics* metrics);
+  ~MovieWorld();
+
+  MovieWorld(const MovieWorld&) = delete;
+  MovieWorld& operator=(const MovieWorld&) = delete;
+
+  /// Schedules the first arrival; events then self-perpetuate until the
+  /// caller stops draining the queue.
+  void Start();
+
+  const PartitionLayout& layout() const;
+
+  /// Largest admission wait observed after warmup.
+  double max_wait_seen() const;
+
+  /// Viewers who walked away before the end (whole run, incl. warmup).
+  int64_t abandonments() const;
+
+ private:
+  class Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Validates a (rates, config) pair for simulation (R_PB == 1, behavior and
+/// piggyback options consistent).
+Status ValidateMovieWorldInputs(const PlaybackRates& rates,
+                                const MovieWorldConfig& config);
+
+}  // namespace vod
+
+#endif  // VOD_SIM_MOVIE_WORLD_H_

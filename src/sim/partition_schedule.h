@@ -1,0 +1,75 @@
+// Partition window geometry over simulated time.
+//
+// The movie is restarted every T = l/n minutes; stream k starts at time k·T
+// and its buffer partition holds the most recently read W = B/n minutes of
+// frames: positions [max(0, lead − W), min(lead, l)] where lead = t − k·T.
+// The stream reads from disk while lead ∈ [0, l]; the partition persists
+// (draining) until its trailing viewer finishes at lead = l + W.
+
+#ifndef VOD_SIM_PARTITION_SCHEDULE_H_
+#define VOD_SIM_PARTITION_SCHEDULE_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/partition_layout.h"
+
+namespace vod {
+
+/// \brief Pure (stateless) geometry of the restart schedule.
+///
+/// With `stationary` true, streams are assumed to have started at every
+/// k·T for all integers k (the system has been running forever), so the
+/// simulation begins in steady state. Otherwise only k >= 0 exist and the
+/// warm-up transient includes partition build-up.
+class PartitionSchedule {
+ public:
+  PartitionSchedule(const PartitionLayout& layout, bool stationary = true)
+      : layout_(layout), stationary_(stationary) {}
+
+  const PartitionLayout& layout() const { return layout_; }
+
+  /// Start time of stream k.
+  double StreamStart(int64_t k) const {
+    return static_cast<double>(k) * layout_.restart_period();
+  }
+
+  /// The read position ("lead") of stream k at time t: t − k·T. Callers
+  /// must interpret values outside [0, l + W] as "stream not active".
+  double StreamLead(int64_t k, double t) const {
+    return t - StreamStart(k);
+  }
+
+  /// First restart at or after time t.
+  double NextRestart(double t) const;
+
+  /// \brief Stream whose buffer covers movie position p at time t, if any.
+  ///
+  /// Covered means p ∈ [max(0, lead − W), min(lead, l)]. When several
+  /// streams qualify (possible only if W > T... i.e. never, since W <= T),
+  /// the youngest covering stream is returned. Returns nullopt for a miss.
+  std::optional<int64_t> FindCoveringStream(double t, double position) const;
+
+  /// True if a viewer arriving at t can start playback at position 0 from an
+  /// existing partition (the enrollment window of the latest stream is
+  /// open) — the paper's type-2 viewer.
+  bool EnrollmentOpen(double t) const {
+    return FindCoveringStream(t, 0.0).has_value();
+  }
+
+  /// All streams with any buffered content at time t (lead ∈ (0, l + W)),
+  /// oldest first. Size is at most n + 1.
+  std::vector<int64_t> ActiveStreams(double t) const;
+
+ private:
+  /// Smallest stream index that exists (0 unless stationary).
+  bool StreamExists(int64_t k) const { return stationary_ || k >= 0; }
+
+  PartitionLayout layout_;
+  bool stationary_;
+};
+
+}  // namespace vod
+
+#endif  // VOD_SIM_PARTITION_SCHEDULE_H_

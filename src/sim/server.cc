@@ -1,0 +1,87 @@
+#include "sim/server.h"
+
+#include <memory>
+
+#include "common/check.h"
+#include "sim/event_queue.h"
+#include "sim/stream_supplier.h"
+
+namespace vod {
+
+namespace {
+constexpr uint64_t kMovieWorldStream = 3;
+}  // namespace
+
+Result<ServerReport> RunServerSimulation(
+    const std::vector<ServerMovieSpec>& movies, const ServerOptions& options) {
+  if (movies.empty()) {
+    return Status::InvalidArgument("server needs at least one movie");
+  }
+  if (options.dynamic_stream_reserve < 0) {
+    return Status::InvalidArgument("reserve must be non-negative");
+  }
+  if (options.warmup_minutes < 0.0 || !(options.measurement_minutes > 0.0)) {
+    return Status::InvalidArgument(
+        "warmup must be >= 0 and measurement span positive");
+  }
+
+  EventQueue queue;
+  FiniteStreamSupplier supplier(options.dynamic_stream_reserve);
+  const Rng base_rng(options.seed);
+
+  std::vector<std::unique_ptr<SimulationMetrics>> metrics;
+  std::vector<std::unique_ptr<MovieWorld>> worlds;
+  metrics.reserve(movies.size());
+  worlds.reserve(movies.size());
+  for (size_t i = 0; i < movies.size(); ++i) {
+    const ServerMovieSpec& spec = movies[i];
+    if (!(spec.arrival_rate_per_minute > 0.0)) {
+      return Status::InvalidArgument("movie '" + spec.name +
+                                     "' needs a positive arrival rate");
+    }
+    MovieWorldConfig config;
+    config.mean_interarrival_minutes = 1.0 / spec.arrival_rate_per_minute;
+    config.behavior = spec.behavior;
+    config.stationary_start = options.stationary_start;
+    config.piggyback = options.piggyback;
+    VOD_RETURN_IF_ERROR(ValidateMovieWorldInputs(options.rates, config));
+
+    metrics.push_back(
+        std::make_unique<SimulationMetrics>(options.warmup_minutes));
+    worlds.push_back(std::make_unique<MovieWorld>(
+        spec.layout, options.rates, config,
+        base_rng.MakeChild(kMovieWorldStream, i), &queue, &supplier,
+        metrics.back().get()));
+    worlds.back()->Start();
+  }
+
+  const double horizon =
+      options.warmup_minutes + options.measurement_minutes;
+  queue.RunUntil(horizon);
+
+  ServerReport report;
+  report.reserve_capacity = supplier.capacity();
+  report.mean_reserve_in_use = supplier.MeanInUse(horizon);
+  report.peak_reserve_in_use = supplier.peak_in_use();
+  report.refused_acquisitions = supplier.refused();
+  report.granted_acquisitions = supplier.acquired();
+  const int64_t attempts =
+      report.refused_acquisitions + report.granted_acquisitions;
+  report.refusal_probability =
+      attempts > 0
+          ? static_cast<double>(report.refused_acquisitions) / attempts
+          : 0.0;
+  for (size_t i = 0; i < movies.size(); ++i) {
+    ServerReport::PerMovie per_movie;
+    per_movie.name = movies[i].name;
+    FillReportFromMetrics(*metrics[i], horizon, &per_movie.report);
+    per_movie.report.max_wait_minutes = worlds[i]->max_wait_seen();
+    report.total_blocked_vcr += per_movie.report.blocked_vcr_requests;
+    report.total_stalls += per_movie.report.stalled_resumes;
+    report.total_resumes += per_movie.report.total_resumes;
+    report.movies.push_back(std::move(per_movie));
+  }
+  return report;
+}
+
+}  // namespace vod

@@ -1,0 +1,72 @@
+// Multi-movie server simulation with a shared dynamic stream reserve.
+//
+// Several pre-allocated movies run in one event space; their VCR phase-1
+// and post-miss streams all come from one finite reserve. When it runs dry,
+// FF/RW requests are refused and missing resumes stall — quantifying the
+// paper's warning that "without careful resource management, the benefits
+// of these data sharing techniques can be lost": low hit probabilities pin
+// streams until the end of the movie, exhaust the reserve, and degrade
+// interactivity for everyone.
+
+#ifndef VOD_SIM_SERVER_H_
+#define VOD_SIM_SERVER_H_
+
+#include <string>
+#include <vector>
+
+#include "sim/movie_world.h"
+#include "sim/simulator.h"
+
+namespace vod {
+
+/// One movie hosted by the server.
+struct ServerMovieSpec {
+  std::string name;
+  PartitionLayout layout;
+  double arrival_rate_per_minute = 0.5;
+  VcrBehavior behavior;
+};
+
+/// Server-wide simulation knobs.
+struct ServerOptions {
+  PlaybackRates rates;
+  /// Streams in the shared dynamic reserve (beyond the per-movie batching
+  /// streams, which are implicit in each layout).
+  int64_t dynamic_stream_reserve = 100;
+  /// Phase-2 merge policy applied to every movie.
+  PiggybackOptions piggyback;
+  double warmup_minutes = 1000.0;
+  double measurement_minutes = 20000.0;
+  uint64_t seed = 42;
+  bool stationary_start = true;
+};
+
+/// Aggregated server outcome.
+struct ServerReport {
+  struct PerMovie {
+    std::string name;
+    SimulationReport report;
+  };
+  std::vector<PerMovie> movies;
+
+  int64_t reserve_capacity = 0;
+  double mean_reserve_in_use = 0.0;
+  int64_t peak_reserve_in_use = 0;
+  /// Refused acquisitions vs total attempts (refused + granted).
+  int64_t refused_acquisitions = 0;
+  int64_t granted_acquisitions = 0;
+  /// Fraction of dedicated-stream requests the reserve could not satisfy.
+  double refusal_probability = 0.0;
+  int64_t total_blocked_vcr = 0;
+  int64_t total_stalls = 0;
+  int64_t total_resumes = 0;
+};
+
+/// \brief Runs all movies to the common horizon. Deterministic in
+/// options.seed; movie i derives an independent RNG sub-stream.
+Result<ServerReport> RunServerSimulation(
+    const std::vector<ServerMovieSpec>& movies, const ServerOptions& options);
+
+}  // namespace vod
+
+#endif  // VOD_SIM_SERVER_H_

@@ -1,0 +1,110 @@
+#include "sim/simulator.h"
+
+#include <sstream>
+
+#include "common/check.h"
+#include "sim/event_queue.h"
+#include "sim/movie_world.h"
+#include "sim/stream_supplier.h"
+
+namespace vod {
+
+std::string SimulationReport::ToString() const {
+  std::ostringstream os;
+  os << "SimulationReport{P(hit)=" << hit_probability << " ["
+     << hit_probability_low << ", " << hit_probability_high << "]"
+     << ", resumes=" << total_resumes << " (within=" << hits_within
+     << ", jump=" << hits_jump << ", end=" << end_releases
+     << ", miss=" << misses << ")"
+     << ", admissions=" << admissions << " (type2=" << type2_admissions << ")"
+     << ", mean_wait=" << mean_wait_minutes
+     << ", max_wait=" << max_wait_minutes
+     << ", avg_dedicated_streams=" << mean_dedicated_streams;
+  if (piggyback_merges > 0) {
+    os << ", piggyback_merges=" << piggyback_merges
+       << ", mean_merge=" << mean_merge_minutes;
+  }
+  os << "}";
+  return os.str();
+}
+
+/// Fills the shared report fields from a movie's metrics.
+void FillReportFromMetrics(const SimulationMetrics& metrics, double horizon,
+                           SimulationReport* report) {
+  report->hit_probability = metrics.hit_all().estimate();
+  report->hit_probability_low = metrics.hit_all().WilsonLower();
+  report->hit_probability_high = metrics.hit_all().WilsonUpper();
+  for (VcrOp op : kAllVcrOps) {
+    const int idx = static_cast<int>(op);
+    report->hit_probability_by_op[idx] = metrics.hit_by_op(op).estimate();
+    report->resumes_by_op[idx] = metrics.hit_by_op(op).trials();
+  }
+  report->hit_probability_in_partition =
+      metrics.hit_in_partition_all().estimate();
+  report->hit_probability_in_partition_low =
+      metrics.hit_in_partition_all().WilsonLower();
+  report->hit_probability_in_partition_high =
+      metrics.hit_in_partition_all().WilsonUpper();
+  report->in_partition_resumes = metrics.hit_in_partition_all().trials();
+  const BatchMeansInterval bm = metrics.hit_in_partition_batches().Interval();
+  if (bm.valid) report->hit_probability_in_partition_bm_halfwidth = bm.half_width;
+  report->total_resumes = metrics.total_resumes();
+  report->hits_within = metrics.resumes(ResumeOutcome::kHitWithin);
+  report->hits_jump = metrics.resumes(ResumeOutcome::kHitJump);
+  report->end_releases = metrics.resumes(ResumeOutcome::kEndOfMovie);
+  report->misses = metrics.resumes(ResumeOutcome::kMiss);
+  report->admissions = metrics.admissions();
+  report->type2_admissions = metrics.type2_admissions();
+  report->completions = metrics.completions();
+  report->mean_wait_minutes = metrics.wait_time().mean();
+  if (metrics.wait_quantiles().count() > 0) {
+    report->p50_wait_minutes = metrics.wait_quantiles().p50();
+    report->p99_wait_minutes = metrics.wait_quantiles().p99();
+  }
+  report->mean_dedicated_streams =
+      metrics.dedicated_streams().TimeAverage(horizon);
+  report->peak_dedicated_streams = metrics.dedicated_streams().max();
+  report->mean_concurrent_viewers =
+      metrics.concurrent_viewers().TimeAverage(horizon);
+  report->piggyback_merges = metrics.piggyback_merges();
+  report->mean_merge_minutes = metrics.merge_drift_time().mean();
+  report->blocked_vcr_requests = metrics.blocked_vcr();
+  report->stalled_resumes = metrics.stalls();
+  report->simulated_minutes = horizon;
+}
+
+Result<SimulationReport> RunSimulation(const PartitionLayout& layout,
+                                       const PlaybackRates& rates,
+                                       const SimulationOptions& options) {
+  MovieWorldConfig config;
+  config.mean_interarrival_minutes = options.mean_interarrival_minutes;
+  config.arrivals = options.arrivals;
+  config.behavior = options.behavior;
+  config.stationary_start = options.stationary_start;
+  config.piggyback = options.piggyback;
+  config.trace = options.trace;
+  config.patience = options.patience;
+  VOD_RETURN_IF_ERROR(ValidateMovieWorldInputs(rates, config));
+  if (options.warmup_minutes < 0.0 || !(options.measurement_minutes > 0.0)) {
+    return Status::InvalidArgument(
+        "warmup must be >= 0 and measurement span positive");
+  }
+
+  EventQueue queue;
+  UnlimitedStreamSupplier supplier;
+  SimulationMetrics metrics(options.warmup_minutes);
+  MovieWorld world(layout, rates, config, Rng(options.seed), &queue,
+                   &supplier, &metrics);
+  world.Start();
+  const double horizon =
+      options.warmup_minutes + options.measurement_minutes;
+  queue.RunUntil(horizon);
+
+  SimulationReport report;
+  FillReportFromMetrics(metrics, horizon, &report);
+  report.max_wait_minutes = world.max_wait_seen();
+  report.abandonments = world.abandonments();
+  return report;
+}
+
+}  // namespace vod

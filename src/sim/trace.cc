@@ -1,0 +1,121 @@
+#include "sim/trace.h"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <string>
+
+#include "dist/empirical.h"
+
+namespace vod {
+
+int64_t VcrTrace::CountOf(VcrOp op) const {
+  int64_t count = 0;
+  for (const auto& record : records_) {
+    if (record.op == op) ++count;
+  }
+  return count;
+}
+
+std::vector<double> VcrTrace::DurationsOf(VcrOp op) const {
+  std::vector<double> durations;
+  for (const auto& record : records_) {
+    if (record.op == op) durations.push_back(record.duration);
+  }
+  return durations;
+}
+
+void VcrTrace::WriteCsv(std::ostream& os) const {
+  os << "time,op,duration\n";
+  for (const auto& record : records_) {
+    os << record.time << ',' << VcrOpName(record.op) << ','
+       << record.duration << '\n';
+  }
+}
+
+Result<VcrTrace> VcrTrace::ReadCsv(std::istream& is) {
+  VcrTrace trace;
+  std::string line;
+  if (!std::getline(is, line) || line.rfind("time,op,duration", 0) != 0) {
+    return Status::InvalidArgument("missing trace CSV header");
+  }
+  int line_number = 1;
+  while (std::getline(is, line)) {
+    ++line_number;
+    if (line.empty()) continue;
+    std::istringstream fields(line);
+    std::string time_text;
+    std::string op_text;
+    std::string duration_text;
+    if (!std::getline(fields, time_text, ',') ||
+        !std::getline(fields, op_text, ',') ||
+        !std::getline(fields, duration_text)) {
+      return Status::InvalidArgument("malformed trace line " +
+                                     std::to_string(line_number));
+    }
+    VcrTraceRecord record;
+    char* end = nullptr;
+    record.time = std::strtod(time_text.c_str(), &end);
+    if (end == time_text.c_str()) {
+      return Status::InvalidArgument("bad time on line " +
+                                     std::to_string(line_number));
+    }
+    if (op_text == "FF") {
+      record.op = VcrOp::kFastForward;
+    } else if (op_text == "RW") {
+      record.op = VcrOp::kRewind;
+    } else if (op_text == "PAU") {
+      record.op = VcrOp::kPause;
+    } else {
+      return Status::InvalidArgument("unknown op '" + op_text +
+                                     "' on line " +
+                                     std::to_string(line_number));
+    }
+    record.duration = std::strtod(duration_text.c_str(), &end);
+    if (end == duration_text.c_str()) {
+      return Status::InvalidArgument("bad duration on line " +
+                                     std::to_string(line_number));
+    }
+    trace.records_.push_back(record);
+  }
+  return trace;
+}
+
+Result<FittedVcrBehavior> FitBehaviorFromTrace(const VcrTrace& trace,
+                                               int min_samples_per_op) {
+  if (trace.empty()) {
+    return Status::InvalidArgument("cannot fit from an empty trace");
+  }
+  FittedVcrBehavior fitted;
+  fitted.samples = static_cast<int64_t>(trace.size());
+  const double total = static_cast<double>(trace.size());
+  double* mix_slot[3] = {&fitted.mix.p_fast_forward, &fitted.mix.p_rewind,
+                         &fitted.mix.p_pause};
+  for (VcrOp op : kAllVcrOps) {
+    const int64_t count = trace.CountOf(op);
+    *mix_slot[static_cast<int>(op)] = static_cast<double>(count) / total;
+    if (count == 0) continue;
+    if (count < min_samples_per_op) {
+      return Status::InvalidArgument(
+          std::string("too few samples for ") + VcrOpName(op) + " (" +
+          std::to_string(count) + " < " +
+          std::to_string(min_samples_per_op) + ")");
+    }
+    const auto empirical =
+        std::make_shared<EmpiricalDistribution>(trace.DurationsOf(op));
+    switch (op) {
+      case VcrOp::kFastForward:
+        fitted.durations.fast_forward = empirical;
+        break;
+      case VcrOp::kRewind:
+        fitted.durations.rewind = empirical;
+        break;
+      case VcrOp::kPause:
+        fitted.durations.pause = empirical;
+        break;
+    }
+  }
+  return fitted;
+}
+
+}  // namespace vod

@@ -1,0 +1,59 @@
+#include "stats/batch_means.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace vod {
+
+double StudentT975(int dof) {
+  static const double kTable[] = {
+      // dof = 1 .. 30
+      12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+      2.201,  2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+      2.080,  2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042};
+  VOD_CHECK_MSG(dof >= 1, "degrees of freedom must be positive");
+  if (dof <= 30) return kTable[dof - 1];
+  if (dof <= 40) return 2.021;
+  if (dof <= 60) return 2.000;
+  if (dof <= 120) return 1.980;
+  return 1.960;
+}
+
+BatchMeans::BatchMeans(int64_t batch_size) : batch_size_(batch_size) {
+  VOD_CHECK_MSG(batch_size >= 1, "batch size must be positive");
+}
+
+void BatchMeans::Add(double x) {
+  ++total_count_;
+  batch_sum_ += x;
+  ++in_batch_;
+  if (in_batch_ == batch_size_) {
+    batch_averages_.push_back(batch_sum_ /
+                              static_cast<double>(batch_size_));
+    batch_sum_ = 0.0;
+    in_batch_ = 0;
+  }
+}
+
+BatchMeansInterval BatchMeans::Interval() const {
+  BatchMeansInterval out;
+  const auto b = static_cast<int>(batch_averages_.size());
+  out.batches_used = b;
+  if (b < 2) return out;
+
+  double sum = 0.0;
+  for (double avg : batch_averages_) sum += avg;
+  out.mean = sum / b;
+
+  double ss = 0.0;
+  for (double avg : batch_averages_) {
+    ss += (avg - out.mean) * (avg - out.mean);
+  }
+  const double variance = ss / (b - 1);
+  out.half_width = StudentT975(b - 1) * std::sqrt(variance / b);
+  out.valid = true;
+  return out;
+}
+
+}  // namespace vod

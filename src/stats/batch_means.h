@@ -1,0 +1,65 @@
+// Batch-means confidence intervals for correlated simulation output.
+//
+// Consecutive resume outcomes in the simulator are weakly dependent (they
+// share partitions and viewers), so binomial (Wilson) intervals understate
+// the uncertainty. The method of batch means groups the stream into b
+// batches, treats the batch averages as approximately i.i.d. normal, and
+// builds a Student-t interval around the grand mean.
+
+#ifndef VOD_STATS_BATCH_MEANS_H_
+#define VOD_STATS_BATCH_MEANS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace vod {
+
+/// Result of a batch-means analysis.
+struct BatchMeansInterval {
+  double mean = 0.0;
+  double half_width = 0.0;  ///< 95% two-sided
+  int batches_used = 0;
+  bool valid = false;  ///< false when fewer than 2 complete batches exist
+
+  double lower() const { return mean - half_width; }
+  double upper() const { return mean + half_width; }
+};
+
+/// \brief Accumulates observations into fixed-size batches.
+///
+/// Choose `batch_size` so that 20–40 batches fit the expected run; larger
+/// batches absorb more autocorrelation.
+class BatchMeans {
+ public:
+  explicit BatchMeans(int64_t batch_size);
+
+  void Add(double x);
+
+  /// Number of completed batches.
+  int64_t completed_batches() const {
+    return static_cast<int64_t>(batch_averages_.size());
+  }
+  int64_t total_count() const { return total_count_; }
+  const std::vector<double>& batch_averages() const {
+    return batch_averages_;
+  }
+
+  /// 95% Student-t interval over the completed batch averages. The partial
+  /// final batch is ignored.
+  BatchMeansInterval Interval() const;
+
+ private:
+  int64_t batch_size_;
+  int64_t in_batch_ = 0;
+  double batch_sum_ = 0.0;
+  int64_t total_count_ = 0;
+  std::vector<double> batch_averages_;
+};
+
+/// Two-sided 97.5% Student-t quantile for `dof` degrees of freedom
+/// (tabulated for small dof, normal beyond 120).
+double StudentT975(int dof);
+
+}  // namespace vod
+
+#endif  // VOD_STATS_BATCH_MEANS_H_

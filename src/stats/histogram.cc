@@ -1,0 +1,71 @@
+#include "stats/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace vod {
+
+Histogram::Histogram(double lo, double hi, int bins) : lo_(lo) {
+  VOD_CHECK(bins >= 1 && lo < hi);
+  width_ = (hi - lo) / bins;
+  counts_.assign(bins, 0);
+}
+
+void Histogram::Add(double x) {
+  ++total_;
+  const double offset = (x - lo_) / width_;
+  if (offset < 0.0) {
+    ++underflow_;
+    return;
+  }
+  const auto bin = static_cast<int64_t>(offset);
+  if (bin >= static_cast<int64_t>(counts_.size())) {
+    ++overflow_;
+    return;
+  }
+  ++counts_[static_cast<size_t>(bin)];
+}
+
+double Histogram::Density(int i) const {
+  const int64_t in_range = total_ - underflow_ - overflow_;
+  if (in_range == 0) return 0.0;
+  return static_cast<double>(counts_[i]) /
+         (static_cast<double>(in_range) * width_);
+}
+
+double Histogram::EmpiricalCdf(double x) const {
+  const int64_t in_range = total_ - underflow_ - overflow_;
+  if (in_range == 0) return 0.0;
+  if (x <= lo_) return 0.0;
+  const double offset = (x - lo_) / width_;
+  const int full_bins = std::min(static_cast<int>(offset), num_bins());
+  int64_t below = 0;
+  for (int i = 0; i < full_bins; ++i) below += counts_[i];
+  double cdf = static_cast<double>(below);
+  if (full_bins < num_bins()) {
+    const double frac = offset - full_bins;
+    cdf += frac * static_cast<double>(counts_[full_bins]);
+  }
+  return std::min(1.0, cdf / static_cast<double>(in_range));
+}
+
+std::string Histogram::ToAscii(int max_width) const {
+  int64_t peak = 1;
+  for (int64_t c : counts_) peak = std::max(peak, c);
+  std::ostringstream os;
+  for (int i = 0; i < num_bins(); ++i) {
+    const int bar = static_cast<int>(
+        std::lround(static_cast<double>(counts_[i]) * max_width /
+                    static_cast<double>(peak)));
+    os.precision(3);
+    os << std::fixed << "[" << bin_lower(i) << ", " << bin_upper(i) << ") "
+       << std::string(static_cast<size_t>(bar), '#') << " " << counts_[i]
+       << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace vod

@@ -1,0 +1,54 @@
+// Fixed-width histogram over a bounded range, with overflow/underflow bins.
+
+#ifndef VOD_STATS_HISTOGRAM_H_
+#define VOD_STATS_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace vod {
+
+/// \brief Equal-width histogram on [lo, hi) with explicit out-of-range bins.
+///
+/// Used for viewer-position and resume-position diagnostics in the
+/// simulator, and to build EmpiricalDistribution inputs in tests.
+class Histogram {
+ public:
+  /// Creates `bins` equal-width bins covering [lo, hi). Precondition:
+  /// bins >= 1 and lo < hi.
+  Histogram(double lo, double hi, int bins);
+
+  void Add(double x);
+
+  int64_t total_count() const { return total_; }
+  int64_t underflow() const { return underflow_; }
+  int64_t overflow() const { return overflow_; }
+  int num_bins() const { return static_cast<int>(counts_.size()); }
+  int64_t bin_count(int i) const { return counts_[i]; }
+  double bin_lower(int i) const { return lo_ + i * width_; }
+  double bin_upper(int i) const { return lo_ + (i + 1) * width_; }
+  double bin_center(int i) const { return lo_ + (i + 0.5) * width_; }
+
+  /// In-range density estimate at bin i: count / (in_range_total * width).
+  double Density(int i) const;
+
+  /// Fraction of in-range samples at or below x (empirical CDF, linear
+  /// interpolation within a bin).
+  double EmpiricalCdf(double x) const;
+
+  /// Multi-line ASCII rendering (bar per bin), for diagnostics.
+  std::string ToAscii(int max_width = 50) const;
+
+ private:
+  double lo_;
+  double width_;
+  std::vector<int64_t> counts_;
+  int64_t total_ = 0;
+  int64_t underflow_ = 0;
+  int64_t overflow_ = 0;
+};
+
+}  // namespace vod
+
+#endif  // VOD_STATS_HISTOGRAM_H_

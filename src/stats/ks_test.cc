@@ -1,0 +1,41 @@
+#include "stats/ks_test.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vod {
+
+double KolmogorovSurvival(double t) {
+  if (t <= 0.0) return 1.0;
+  double sum = 0.0;
+  for (int k = 1; k <= 100; ++k) {
+    const double term = std::exp(-2.0 * k * k * t * t);
+    sum += (k % 2 == 1) ? term : -term;
+    if (term < 1e-16) break;
+  }
+  return std::clamp(2.0 * sum, 0.0, 1.0);
+}
+
+KsTestResult KolmogorovSmirnovTest(std::vector<double> samples,
+                                   const std::function<double(double)>& cdf) {
+  KsTestResult result;
+  result.sample_size = static_cast<int>(samples.size());
+  if (samples.empty()) return result;
+  std::sort(samples.begin(), samples.end());
+  const double n = static_cast<double>(samples.size());
+  double d = 0.0;
+  for (size_t i = 0; i < samples.size(); ++i) {
+    const double f = cdf(samples[i]);
+    const double above = (static_cast<double>(i) + 1.0) / n - f;
+    const double below = f - static_cast<double>(i) / n;
+    d = std::max({d, above, below});
+  }
+  result.statistic = d;
+  // Asymptotic p-value with the Stephens small-sample correction.
+  const double sqrt_n = std::sqrt(n);
+  const double t = d * (sqrt_n + 0.12 + 0.11 / sqrt_n);
+  result.p_value = KolmogorovSurvival(t);
+  return result;
+}
+
+}  // namespace vod

@@ -1,0 +1,36 @@
+// One-sample Kolmogorov–Smirnov goodness-of-fit test.
+//
+// Used by the test suite to verify that each Distribution's sampler actually
+// draws from the distribution described by its Cdf().
+
+#ifndef VOD_STATS_KS_TEST_H_
+#define VOD_STATS_KS_TEST_H_
+
+#include <functional>
+#include <vector>
+
+namespace vod {
+
+/// Result of a one-sample KS test.
+struct KsTestResult {
+  /// Supremum distance between the empirical CDF and the reference CDF.
+  double statistic = 0.0;
+  /// Asymptotic p-value (Kolmogorov distribution of sqrt(n) * D).
+  double p_value = 1.0;
+  int sample_size = 0;
+};
+
+/// \brief One-sample KS test of `samples` against the continuous CDF `cdf`.
+///
+/// `samples` is copied and sorted internally. The asymptotic p-value is
+/// accurate for sample sizes >= ~35, which all our tests exceed.
+KsTestResult KolmogorovSmirnovTest(std::vector<double> samples,
+                                   const std::function<double(double)>& cdf);
+
+/// Kolmogorov distribution survival function Q(t) = P(K > t); used for the
+/// p-value. Q(t) = 2 * sum_{k>=1} (-1)^{k-1} exp(-2 k^2 t^2).
+double KolmogorovSurvival(double t);
+
+}  // namespace vod
+
+#endif  // VOD_STATS_KS_TEST_H_

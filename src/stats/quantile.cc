@@ -1,0 +1,102 @@
+#include "stats/quantile.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+
+namespace vod {
+
+P2Quantile::P2Quantile(double q) : q_(q) {
+  VOD_CHECK_MSG(q > 0.0 && q < 1.0, "quantile must be in (0, 1)");
+  positions_ = {0, 1, 2, 3, 4};
+  desired_ = {0, 2.0 * q, 4.0 * q, 2.0 + 2.0 * q, 4.0};
+  increments_ = {0, q / 2.0, q, (1.0 + q) / 2.0, 1.0};
+}
+
+double P2Quantile::ParabolicAdjust(int i, double d) const {
+  // The piecewise-parabolic (P²) height update.
+  const double np = positions_[i];
+  const double nm = positions_[i - 1];
+  const double nn = positions_[i + 1];
+  const double hp = heights_[i];
+  const double hm = heights_[i - 1];
+  const double hn = heights_[i + 1];
+  return hp + d / (nn - nm) *
+                  ((np - nm + d) * (hn - hp) / (nn - np) +
+                   (nn - np - d) * (hp - hm) / (np - nm));
+}
+
+double P2Quantile::LinearAdjust(int i, double d) const {
+  const int j = i + static_cast<int>(d);
+  return heights_[i] + d * (heights_[j] - heights_[i]) /
+                           (positions_[j] - positions_[i]);
+}
+
+void P2Quantile::Add(double x) {
+  if (count_ < 5) {
+    heights_[count_] = x;
+    ++count_;
+    if (count_ == 5) {
+      std::sort(heights_.begin(), heights_.end());
+    }
+    return;
+  }
+  ++count_;
+
+  // Locate the cell of x and update extreme heights.
+  int k;
+  if (x < heights_[0]) {
+    heights_[0] = x;
+    k = 0;
+  } else if (x < heights_[1]) {
+    k = 0;
+  } else if (x < heights_[2]) {
+    k = 1;
+  } else if (x < heights_[3]) {
+    k = 2;
+  } else if (x <= heights_[4]) {
+    k = 3;
+  } else {
+    heights_[4] = x;
+    k = 3;
+  }
+
+  for (int i = k + 1; i < 5; ++i) positions_[i] += 1.0;
+  for (int i = 0; i < 5; ++i) desired_[i] += increments_[i];
+
+  // Adjust the three interior markers.
+  for (int i = 1; i <= 3; ++i) {
+    const double gap = desired_[i] - positions_[i];
+    if ((gap >= 1.0 && positions_[i + 1] - positions_[i] > 1.0) ||
+        (gap <= -1.0 && positions_[i - 1] - positions_[i] < -1.0)) {
+      const double d = gap >= 1.0 ? 1.0 : -1.0;
+      double candidate = ParabolicAdjust(i, d);
+      if (heights_[i - 1] < candidate && candidate < heights_[i + 1]) {
+        heights_[i] = candidate;
+      } else {
+        heights_[i] = LinearAdjust(i, d);
+      }
+      positions_[i] += d;
+    }
+  }
+}
+
+double P2Quantile::Estimate() const {
+  if (count_ == 0) return std::numeric_limits<double>::quiet_NaN();
+  if (count_ < 5) {
+    // Exact from the (unsorted) buffer.
+    std::array<double, 5> sorted = heights_;
+    std::sort(sorted.begin(), sorted.begin() + count_);
+    const double index = q_ * static_cast<double>(count_ - 1);
+    const auto lo = static_cast<int64_t>(index);
+    const auto hi = std::min(lo + 1, count_ - 1);
+    const double frac = index - static_cast<double>(lo);
+    return sorted[static_cast<size_t>(lo)] * (1.0 - frac) +
+           sorted[static_cast<size_t>(hi)] * frac;
+  }
+  return heights_[2];
+}
+
+}  // namespace vod

@@ -1,0 +1,90 @@
+#include "stats/summary.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vod {
+
+void RunningStats::Add(double x) {
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+void RunningStats::Merge(const RunningStats& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(count_);
+  const double nb = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double RunningStats::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double TwoSidedNormalQuantile(double alpha) {
+  if (alpha == 0.10) return 1.6448536269514722;
+  if (alpha == 0.01) return 2.5758293035489004;
+  return 1.959963984540054;  // alpha = 0.05 default
+}
+
+double RunningStats::ConfidenceHalfWidth(double alpha) const {
+  if (count_ < 2) return 0.0;
+  return TwoSidedNormalQuantile(alpha) * stddev() /
+         std::sqrt(static_cast<double>(count_));
+}
+
+namespace {
+
+// Wilson score interval at confidence z.
+void WilsonBounds(int64_t successes, int64_t trials, double z, double* lo,
+                  double* hi) {
+  if (trials == 0) {
+    *lo = 0.0;
+    *hi = 1.0;
+    return;
+  }
+  const double n = static_cast<double>(trials);
+  const double p = static_cast<double>(successes) / n;
+  const double z2 = z * z;
+  const double denom = 1.0 + z2 / n;
+  const double center = (p + z2 / (2.0 * n)) / denom;
+  const double half =
+      z * std::sqrt(p * (1.0 - p) / n + z2 / (4.0 * n * n)) / denom;
+  *lo = std::max(0.0, center - half);
+  *hi = std::min(1.0, center + half);
+}
+
+}  // namespace
+
+double ProportionEstimator::WilsonLower(double alpha) const {
+  double lo;
+  double hi;
+  WilsonBounds(successes_, trials_, TwoSidedNormalQuantile(alpha), &lo, &hi);
+  return lo;
+}
+
+double ProportionEstimator::WilsonUpper(double alpha) const {
+  double lo;
+  double hi;
+  WilsonBounds(successes_, trials_, TwoSidedNormalQuantile(alpha), &lo, &hi);
+  return hi;
+}
+
+}  // namespace vod

@@ -1,0 +1,74 @@
+// Streaming summary statistics and confidence intervals.
+
+#ifndef VOD_STATS_SUMMARY_H_
+#define VOD_STATS_SUMMARY_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace vod {
+
+/// \brief Numerically stable streaming mean/variance (Welford's algorithm),
+/// plus min/max tracking.
+class RunningStats {
+ public:
+  void Add(double x);
+
+  /// Merges another accumulator (parallel-composition form of Welford).
+  void Merge(const RunningStats& other);
+
+  int64_t count() const { return count_; }
+  double mean() const { return count_ > 0 ? mean_ : 0.0; }
+  /// Unbiased sample variance; 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double sum() const { return mean_ * static_cast<double>(count_); }
+
+  /// Half-width of the (1 - alpha) two-sided CI for the mean, using the
+  /// normal approximation (appropriate for the large sample counts the
+  /// simulator produces). alpha in {0.10, 0.05, 0.01} supported exactly;
+  /// other values fall back to 0.05.
+  double ConfidenceHalfWidth(double alpha = 0.05) const;
+
+ private:
+  int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// \brief Success/failure counter with Wilson-score interval.
+///
+/// Used for the hit/miss ratios the simulator reports: the Wilson interval
+/// behaves correctly near p = 0 and p = 1 where the Wald interval collapses.
+class ProportionEstimator {
+ public:
+  void AddSuccess() { ++successes_; ++trials_; }
+  void AddFailure() { ++trials_; }
+  void Add(bool success) { success ? AddSuccess() : AddFailure(); }
+
+  int64_t trials() const { return trials_; }
+  int64_t successes() const { return successes_; }
+  double estimate() const {
+    return trials_ > 0 ? static_cast<double>(successes_) / trials_ : 0.0;
+  }
+
+  /// Wilson score interval bounds at (1 - alpha) confidence.
+  double WilsonLower(double alpha = 0.05) const;
+  double WilsonUpper(double alpha = 0.05) const;
+
+ private:
+  int64_t trials_ = 0;
+  int64_t successes_ = 0;
+};
+
+/// Standard-normal upper quantile z such that P(Z <= z) = 1 - alpha/2 for the
+/// supported alpha values (0.10, 0.05, 0.01); others fall back to alpha=0.05.
+double TwoSidedNormalQuantile(double alpha);
+
+}  // namespace vod
+
+#endif  // VOD_STATS_SUMMARY_H_

@@ -1,0 +1,42 @@
+#include "stats/time_weighted.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace vod {
+
+void TimeWeightedValue::Reset(double t, double value) {
+  start_time_ = t;
+  last_time_ = t;
+  value_ = value;
+  area_ = 0.0;
+  max_ = value;
+  min_ = value;
+  initialized_ = true;
+}
+
+void TimeWeightedValue::Set(double t, double value) {
+  if (!initialized_) {
+    Reset(t, value);
+    return;
+  }
+  VOD_DCHECK(t >= last_time_);
+  area_ += value_ * (t - last_time_);
+  last_time_ = t;
+  value_ = value;
+  max_ = std::max(max_, value);
+  min_ = std::min(min_, value);
+}
+
+void TimeWeightedValue::Add(double t, double delta) {
+  Set(t, value_ + delta);
+}
+
+double TimeWeightedValue::TimeAverage(double t_end) const {
+  if (!initialized_ || t_end <= start_time_) return 0.0;
+  const double tail = value_ * (t_end - last_time_);
+  return (area_ + tail) / (t_end - start_time_);
+}
+
+}  // namespace vod

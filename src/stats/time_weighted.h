@@ -1,0 +1,45 @@
+// Time-weighted statistics for piecewise-constant signals.
+//
+// Tracks quantities like "dedicated I/O streams in use" that change at event
+// times and must be averaged over simulated time, not over events.
+
+#ifndef VOD_STATS_TIME_WEIGHTED_H_
+#define VOD_STATS_TIME_WEIGHTED_H_
+
+namespace vod {
+
+/// \brief Integrates a right-continuous step function of time.
+///
+/// Updates must have non-decreasing timestamps. `Reset` restarts the
+/// integration window (used to discard simulation warmup).
+class TimeWeightedValue {
+ public:
+  /// Starts tracking at time t with the given initial value.
+  void Reset(double t, double value);
+
+  /// Records a step to `value` at time t (t >= last update time).
+  void Set(double t, double value);
+
+  /// Adds `delta` to the current value at time t.
+  void Add(double t, double delta);
+
+  double current() const { return value_; }
+  double max() const { return max_; }
+  double min() const { return min_; }
+
+  /// Time average over [reset_time, t_end]; 0 if the window is empty.
+  double TimeAverage(double t_end) const;
+
+ private:
+  double start_time_ = 0.0;
+  double last_time_ = 0.0;
+  double value_ = 0.0;
+  double area_ = 0.0;
+  double max_ = 0.0;
+  double min_ = 0.0;
+  bool initialized_ = false;
+};
+
+}  // namespace vod
+
+#endif  // VOD_STATS_TIME_WEIGHTED_H_

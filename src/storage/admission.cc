@@ -1,0 +1,61 @@
+#include "storage/admission.h"
+
+namespace vod {
+
+AdmissionController::AdmissionController(int64_t total_streams,
+                                         double total_buffer_minutes)
+    : streams_(total_streams, "io-streams"),
+      buffer_(total_buffer_minutes, "buffer-minutes") {}
+
+Status AdmissionController::ReserveMovie(double t,
+                                         const MovieReservation& reservation) {
+  if (reservation.streams < 0 || reservation.buffer_minutes < 0.0) {
+    return Status::InvalidArgument("reservation amounts must be non-negative");
+  }
+  if (reservations_.count(reservation.movie) != 0) {
+    return Status::InvalidArgument("movie '" + reservation.movie +
+                                   "' already has a reservation");
+  }
+  VOD_RETURN_IF_ERROR(streams_.Acquire(t, reservation.streams));
+  const Status buffer_status = buffer_.Acquire(t, reservation.buffer_minutes);
+  if (!buffer_status.ok()) {
+    // Roll back the stream acquisition to keep the pools consistent.
+    Status rollback = streams_.Release(t, reservation.streams);
+    if (!rollback.ok()) return rollback;
+    return buffer_status;
+  }
+  reserved_streams_ += reservation.streams;
+  reserved_buffer_ += reservation.buffer_minutes;
+  reservations_.emplace(reservation.movie, reservation);
+  return Status::OK();
+}
+
+Status AdmissionController::ReleaseMovie(double t, const std::string& movie) {
+  auto it = reservations_.find(movie);
+  if (it == reservations_.end()) {
+    return Status::NotFound("movie '" + movie + "' has no reservation");
+  }
+  VOD_RETURN_IF_ERROR(streams_.Release(t, it->second.streams));
+  VOD_RETURN_IF_ERROR(buffer_.Release(t, it->second.buffer_minutes));
+  reserved_streams_ -= it->second.streams;
+  reserved_buffer_ -= it->second.buffer_minutes;
+  reservations_.erase(it);
+  return Status::OK();
+}
+
+Status AdmissionController::AcquireDynamicStream(double t) {
+  VOD_RETURN_IF_ERROR(streams_.Acquire(t, 1));
+  ++dynamic_in_use_;
+  return Status::OK();
+}
+
+Status AdmissionController::ReleaseDynamicStream(double t) {
+  if (dynamic_in_use_ <= 0) {
+    return Status::Internal("no dynamic streams are held");
+  }
+  VOD_RETURN_IF_ERROR(streams_.Release(t, 1));
+  --dynamic_in_use_;
+  return Status::OK();
+}
+
+}  // namespace vod

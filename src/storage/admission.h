@@ -1,0 +1,70 @@
+// Admission control over pre-allocated resources.
+//
+// Implements the paper's deployment story: the sizing layer decides, per
+// popular movie, how many streams and how much buffer to pre-allocate; the
+// admission controller commits those reservations against the physical pools
+// and arbitrates the leftover reserve used for VCR phase-1 allocations and
+// non-popular (unicast) requests.
+
+#ifndef VOD_STORAGE_ADMISSION_H_
+#define VOD_STORAGE_ADMISSION_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/status.h"
+#include "storage/resource_pool.h"
+
+namespace vod {
+
+/// A committed pre-allocation for one movie.
+struct MovieReservation {
+  std::string movie;
+  int64_t streams = 0;
+  double buffer_minutes = 0.0;
+};
+
+/// \brief Tracks pre-allocations plus a shared dynamic reserve.
+///
+/// Streams and buffer reserved for normal playback of popular movies are
+/// committed up-front (ReserveMovie). The remaining capacity forms the
+/// dynamic reserve that VCR phase-1 requests and unicast viewers draw from
+/// (AcquireDynamicStream / ReleaseDynamicStream).
+class AdmissionController {
+ public:
+  AdmissionController(int64_t total_streams, double total_buffer_minutes);
+
+  /// Commits a movie's pre-allocation. Fails with ResourceExhausted if the
+  /// pools cannot cover it; fails with InvalidArgument on duplicates.
+  Status ReserveMovie(double t, const MovieReservation& reservation);
+
+  /// Releases a movie's pre-allocation (e.g. demoted from the popular set).
+  Status ReleaseMovie(double t, const std::string& movie);
+
+  /// One dynamic (VCR / unicast) stream from the reserve.
+  Status AcquireDynamicStream(double t);
+  Status ReleaseDynamicStream(double t);
+
+  int64_t reserved_streams() const { return reserved_streams_; }
+  double reserved_buffer_minutes() const { return reserved_buffer_; }
+  int64_t dynamic_streams_in_use() const { return dynamic_in_use_; }
+
+  const StreamPool& stream_pool() const { return streams_; }
+  const BufferPool& buffer_pool() const { return buffer_; }
+  const std::map<std::string, MovieReservation>& reservations() const {
+    return reservations_;
+  }
+
+ private:
+  StreamPool streams_;
+  BufferPool buffer_;
+  std::map<std::string, MovieReservation> reservations_;
+  int64_t reserved_streams_ = 0;
+  double reserved_buffer_ = 0.0;
+  int64_t dynamic_in_use_ = 0;
+};
+
+}  // namespace vod
+
+#endif  // VOD_STORAGE_ADMISSION_H_

@@ -1,0 +1,66 @@
+#include "storage/disk_model.h"
+
+#include <cmath>
+
+namespace vod {
+
+Status DiskSpec::Validate() const {
+  if (!(capacity_gbytes > 0.0) || !(transfer_mbytes_per_sec > 0.0) ||
+      !(price_dollars > 0.0)) {
+    return Status::InvalidArgument("disk spec values must be positive");
+  }
+  return Status::OK();
+}
+
+Status VideoFormat::Validate() const {
+  if (!(bitrate_mbits_per_sec > 0.0)) {
+    return Status::InvalidArgument("video bitrate must be positive");
+  }
+  return Status::OK();
+}
+
+Result<DiskModel> DiskModel::Create(const DiskSpec& disk,
+                                    const VideoFormat& format) {
+  VOD_RETURN_IF_ERROR(disk.Validate());
+  VOD_RETURN_IF_ERROR(format.Validate());
+  const double streams =
+      disk.transfer_mbytes_per_sec / (format.bitrate_mbits_per_sec / 8.0);
+  if (streams < 1.0) {
+    return Status::InvalidArgument(
+        "disk transfer rate cannot sustain a single stream of this format");
+  }
+  return DiskModel(disk, format);
+}
+
+double DiskModel::StreamsPerDisk() const {
+  return disk_.transfer_mbytes_per_sec /
+         (format_.bitrate_mbits_per_sec / 8.0);
+}
+
+double DiskModel::CostPerStream() const {
+  return disk_.price_dollars / StreamsPerDisk();
+}
+
+double DiskModel::StorageMinutesPerDisk() const {
+  return disk_.capacity_gbytes * 1024.0 / format_.MBytesPerMinute();
+}
+
+int DiskModel::DisksForStorage(double total_minutes) const {
+  if (total_minutes <= 0.0) return 0;
+  return static_cast<int>(
+      std::ceil(total_minutes / StorageMinutesPerDisk() - 1e-12));
+}
+
+int DiskModel::DisksForBandwidth(int streams) const {
+  if (streams <= 0) return 0;
+  return static_cast<int>(
+      std::ceil(static_cast<double>(streams) / StreamsPerDisk() - 1e-12));
+}
+
+int DiskModel::DisksRequired(double total_minutes, int streams) const {
+  const int a = DisksForStorage(total_minutes);
+  const int b = DisksForBandwidth(streams);
+  return a > b ? a : b;
+}
+
+}  // namespace vod

@@ -1,0 +1,72 @@
+// Disk subsystem model.
+//
+// Converts hardware characteristics into the quantities the sizing layer
+// consumes: how many concurrent video streams one disk sustains, how many
+// disks a catalog needs for capacity vs bandwidth, and per-stream cost. The
+// defaults are the paper's Example-2 1997 hardware (2GB SCSI, 5 MB/s, $700).
+
+#ifndef VOD_STORAGE_DISK_MODEL_H_
+#define VOD_STORAGE_DISK_MODEL_H_
+
+#include "common/status.h"
+
+namespace vod {
+
+/// Characteristics of one disk drive.
+struct DiskSpec {
+  double capacity_gbytes = 2.0;
+  double transfer_mbytes_per_sec = 5.0;
+  double price_dollars = 700.0;
+
+  Status Validate() const;
+};
+
+/// Characteristics of one encoded video title.
+struct VideoFormat {
+  double bitrate_mbits_per_sec = 4.0;  ///< MPEG-2 in the paper
+
+  /// MB consumed per minute of video: 60 · rate/8.
+  double MBytesPerMinute() const { return 60.0 * bitrate_mbits_per_sec / 8.0; }
+
+  Status Validate() const;
+};
+
+/// \brief Capacity/bandwidth arithmetic over a homogeneous disk farm.
+class DiskModel {
+ public:
+  /// Returns InvalidArgument on nonsensical specs.
+  static Result<DiskModel> Create(const DiskSpec& disk,
+                                  const VideoFormat& format);
+
+  /// Concurrent streams one disk sustains (bandwidth-bound), >= 1.
+  double StreamsPerDisk() const;
+
+  /// Amortized dollars per concurrent stream (C_n of the paper's Eq. 23).
+  double CostPerStream() const;
+
+  /// Minutes of video one disk stores.
+  double StorageMinutesPerDisk() const;
+
+  /// Disks needed to *store* total_minutes of content.
+  int DisksForStorage(double total_minutes) const;
+
+  /// Disks needed to *sustain* `streams` concurrent streams.
+  int DisksForBandwidth(int streams) const;
+
+  /// max(storage, bandwidth) requirement: the farm must satisfy both.
+  int DisksRequired(double total_minutes, int streams) const;
+
+  const DiskSpec& disk() const { return disk_; }
+  const VideoFormat& format() const { return format_; }
+
+ private:
+  DiskModel(const DiskSpec& disk, const VideoFormat& format)
+      : disk_(disk), format_(format) {}
+
+  DiskSpec disk_;
+  VideoFormat format_;
+};
+
+}  // namespace vod
+
+#endif  // VOD_STORAGE_DISK_MODEL_H_

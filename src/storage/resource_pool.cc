@@ -1,0 +1,67 @@
+#include "storage/resource_pool.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace vod {
+
+StreamPool::StreamPool(int64_t capacity, std::string name)
+    : capacity_(capacity), name_(std::move(name)) {
+  VOD_CHECK_MSG(capacity >= 0, "pool capacity must be non-negative");
+  usage_.Reset(0.0, 0.0);
+}
+
+Status StreamPool::Acquire(double t, int64_t count) {
+  VOD_CHECK(count >= 0);
+  if (in_use_ + count > capacity_) {
+    ++rejected_;
+    return Status::ResourceExhausted(
+        name_ + ": need " + std::to_string(count) + ", available " +
+        std::to_string(available()));
+  }
+  in_use_ += count;
+  peak_ = std::max(peak_, in_use_);
+  usage_.Set(t, static_cast<double>(in_use_));
+  return Status::OK();
+}
+
+Status StreamPool::Release(double t, int64_t count) {
+  VOD_CHECK(count >= 0);
+  if (count > in_use_) {
+    return Status::Internal(name_ + ": releasing more than held");
+  }
+  in_use_ -= count;
+  usage_.Set(t, static_cast<double>(in_use_));
+  return Status::OK();
+}
+
+BufferPool::BufferPool(double capacity, std::string name)
+    : capacity_(capacity), name_(std::move(name)) {
+  VOD_CHECK_MSG(capacity >= 0.0, "pool capacity must be non-negative");
+  usage_.Reset(0.0, 0.0);
+}
+
+Status BufferPool::Acquire(double t, double amount) {
+  VOD_CHECK(amount >= 0.0);
+  if (in_use_ + amount > capacity_ + 1e-9) {
+    ++rejected_;
+    return Status::ResourceExhausted(name_ + ": buffer exhausted");
+  }
+  in_use_ += amount;
+  peak_ = std::max(peak_, in_use_);
+  usage_.Set(t, in_use_);
+  return Status::OK();
+}
+
+Status BufferPool::Release(double t, double amount) {
+  VOD_CHECK(amount >= 0.0);
+  if (amount > in_use_ + 1e-9) {
+    return Status::Internal(name_ + ": releasing more than held");
+  }
+  in_use_ = std::max(0.0, in_use_ - amount);
+  usage_.Set(t, in_use_);
+  return Status::OK();
+}
+
+}  // namespace vod

@@ -1,0 +1,97 @@
+// Counted resource pools with time-weighted usage statistics.
+//
+// Models the server's reserves of I/O streams and buffer space: pre-allocated
+// capacity is acquired and released by movie playback groups and by VCR
+// phase-1 allocations. Pools reject (rather than queue) requests beyond
+// capacity — admission control decides what to do with a rejection.
+
+#ifndef VOD_STORAGE_RESOURCE_POOL_H_
+#define VOD_STORAGE_RESOURCE_POOL_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "stats/time_weighted.h"
+
+namespace vod {
+
+/// \brief A pool of `capacity` interchangeable units (e.g. I/O streams).
+class StreamPool {
+ public:
+  /// Precondition: capacity >= 0.
+  explicit StreamPool(int64_t capacity, std::string name = "streams");
+
+  /// Acquires `count` units at time t; ResourceExhausted if unavailable
+  /// (nothing is acquired in that case).
+  Status Acquire(double t, int64_t count = 1);
+
+  /// Releases `count` units at time t. Releasing more than held is an
+  /// Internal error (indicates unbalanced accounting).
+  Status Release(double t, int64_t count = 1);
+
+  /// True if `count` units could be acquired right now.
+  bool CanAcquire(int64_t count = 1) const {
+    return in_use_ + count <= capacity_;
+  }
+
+  int64_t capacity() const { return capacity_; }
+  int64_t in_use() const { return in_use_; }
+  int64_t available() const { return capacity_ - in_use_; }
+  int64_t peak_in_use() const { return peak_; }
+  int64_t rejected() const { return rejected_; }
+
+  /// Time-averaged units in use over [t0, t_end].
+  double MeanInUse(double t_end) const { return usage_.TimeAverage(t_end); }
+
+  /// Fraction of capacity in use on time average.
+  double MeanUtilization(double t_end) const {
+    return capacity_ > 0
+               ? MeanInUse(t_end) / static_cast<double>(capacity_)
+               : 0.0;
+  }
+
+  const std::string& name() const { return name_; }
+
+ private:
+  int64_t capacity_;
+  int64_t in_use_ = 0;
+  int64_t peak_ = 0;
+  int64_t rejected_ = 0;
+  std::string name_;
+  TimeWeightedValue usage_;
+};
+
+/// \brief A pool of divisible capacity (buffer space, in movie-minutes or
+/// MB — the unit is the caller's convention).
+class BufferPool {
+ public:
+  /// Precondition: capacity >= 0.
+  explicit BufferPool(double capacity, std::string name = "buffer");
+
+  Status Acquire(double t, double amount);
+  Status Release(double t, double amount);
+  bool CanAcquire(double amount) const {
+    return in_use_ + amount <= capacity_ + 1e-9;
+  }
+
+  double capacity() const { return capacity_; }
+  double in_use() const { return in_use_; }
+  double available() const { return capacity_ - in_use_; }
+  double peak_in_use() const { return peak_; }
+  int64_t rejected() const { return rejected_; }
+  double MeanInUse(double t_end) const { return usage_.TimeAverage(t_end); }
+  const std::string& name() const { return name_; }
+
+ private:
+  double capacity_;
+  double in_use_ = 0.0;
+  double peak_ = 0.0;
+  int64_t rejected_ = 0;
+  std::string name_;
+  TimeWeightedValue usage_;
+};
+
+}  // namespace vod
+
+#endif  // VOD_STORAGE_RESOURCE_POOL_H_

@@ -1,0 +1,95 @@
+#include "storage/round_scheduler.h"
+
+#include <cmath>
+
+namespace vod {
+
+Status DiskGeometry::Validate() const {
+  if (!(max_seek_ms > 0.0) || !(track_to_track_ms > 0.0) ||
+      !(rotation_ms > 0.0) || !(transfer_mbytes_per_sec > 0.0)) {
+    return Status::InvalidArgument("disk geometry values must be positive");
+  }
+  if (track_to_track_ms > max_seek_ms) {
+    return Status::InvalidArgument(
+        "track-to-track seek cannot exceed the full-stroke seek");
+  }
+  return Status::OK();
+}
+
+double DiskGeometry::ScanSeekMs(int k) const {
+  if (k <= 0) return 0.0;
+  return track_to_track_ms + (max_seek_ms - track_to_track_ms) /
+                                 static_cast<double>(k);
+}
+
+Result<RoundScheduler> RoundScheduler::Create(const DiskGeometry& geometry,
+                                              double stream_mbits_per_sec) {
+  VOD_RETURN_IF_ERROR(geometry.Validate());
+  if (!(stream_mbits_per_sec > 0.0)) {
+    return Status::InvalidArgument("stream rate must be positive");
+  }
+  if (stream_mbits_per_sec / 8.0 >= geometry.transfer_mbytes_per_sec) {
+    return Status::InvalidArgument(
+        "stream rate meets or exceeds the disk transfer rate");
+  }
+  return RoundScheduler(geometry, stream_mbits_per_sec);
+}
+
+double RoundScheduler::BlockMBytes(double round_seconds) const {
+  return (stream_mbps_ / 8.0) * round_seconds;
+}
+
+double RoundScheduler::RoundServiceSeconds(int k,
+                                           double round_seconds) const {
+  if (k <= 0) return 0.0;
+  const double overhead_s =
+      static_cast<double>(k) *
+      (geometry_.ScanSeekMs(k) + geometry_.rotation_ms) / 1000.0;
+  const double transfer_s = static_cast<double>(k) *
+                            BlockMBytes(round_seconds) /
+                            geometry_.transfer_mbytes_per_sec;
+  return overhead_s + transfer_s;
+}
+
+int RoundScheduler::MaxStreamsPerDisk(double round_seconds) const {
+  if (!(round_seconds > 0.0)) return 0;
+  // Service time is increasing in k; the bandwidth bound caps the search.
+  const int cap = static_cast<int>(std::ceil(BandwidthBoundStreams())) + 1;
+  int best = 0;
+  for (int k = 1; k <= cap; ++k) {
+    if (RoundServiceSeconds(k, round_seconds) <= round_seconds) {
+      best = k;
+    } else {
+      break;
+    }
+  }
+  return best;
+}
+
+Result<double> RoundScheduler::MinRoundSecondsForStreams(int k) const {
+  if (k <= 0) return 0.0;
+  if (static_cast<double>(k) >= BandwidthBoundStreams()) {
+    return Status::Infeasible(
+        "stream count at or beyond the disk's bandwidth bound");
+  }
+  // Service(k, R) <= R is linear in R:
+  //   overhead(k) + k·(rate/8)·R/transfer <= R
+  //   R >= overhead(k) / (1 − k·(rate/8)/transfer).
+  const double overhead_s =
+      static_cast<double>(k) *
+      (geometry_.ScanSeekMs(k) + geometry_.rotation_ms) / 1000.0;
+  const double utilization = static_cast<double>(k) * (stream_mbps_ / 8.0) /
+                             geometry_.transfer_mbytes_per_sec;
+  return overhead_s / (1.0 - utilization);
+}
+
+double RoundScheduler::BandwidthBoundStreams() const {
+  return geometry_.transfer_mbytes_per_sec / (stream_mbps_ / 8.0);
+}
+
+double RoundScheduler::BufferPerDiskMBytes(int k,
+                                           double round_seconds) const {
+  return 2.0 * static_cast<double>(k) * BlockMBytes(round_seconds);
+}
+
+}  // namespace vod

@@ -1,0 +1,150 @@
+#include "workload/catalog.h"
+
+#include <cmath>
+#include <istream>
+#include <sstream>
+
+namespace vod {
+
+namespace {
+
+// Splits on commas that are not inside parentheses, so distribution specs
+// like "gamma(2,4)" survive as single fields.
+Status SplitCsvLine(const std::string& line, size_t expected,
+                    std::vector<std::string>* fields) {
+  fields->clear();
+  std::string field;
+  int depth = 0;
+  for (char ch : line) {
+    if (ch == '(') ++depth;
+    if (ch == ')') --depth;
+    if (ch == ',' && depth == 0) {
+      fields->push_back(field);
+      field.clear();
+    } else {
+      field += ch;
+    }
+  }
+  fields->push_back(field);
+  if (fields->size() != expected) {
+    return Status::InvalidArgument(
+        "expected " + std::to_string(expected) + " fields, got " +
+        std::to_string(fields->size()) + ": " + line);
+  }
+  return Status::OK();
+}
+
+Result<double> ParseCsvDouble(const std::string& text) {
+  char* end = nullptr;
+  const double v = std::strtod(text.c_str(), &end);
+  if (end == text.c_str() || *end != '\0') {
+    return Status::InvalidArgument("bad number '" + text + "'");
+  }
+  return v;
+}
+
+}  // namespace
+
+Result<Catalog> Catalog::Create(std::vector<MovieEntry> movies,
+                                double zipf_exponent,
+                                double total_arrivals_per_minute) {
+  if (movies.empty()) {
+    return Status::InvalidArgument("catalog needs at least one movie");
+  }
+  if (!(total_arrivals_per_minute > 0.0)) {
+    return Status::InvalidArgument("total arrival rate must be positive");
+  }
+  for (const auto& m : movies) {
+    if (!(m.length_minutes > 0.0) || !(m.max_wait_minutes > 0.0)) {
+      return Status::InvalidArgument("movie '" + m.title +
+                                     "' has invalid length or wait target");
+    }
+  }
+  VOD_ASSIGN_OR_RETURN(
+      ZipfDistribution zipf,
+      ZipfDistribution::Create(static_cast<int>(movies.size()),
+                               zipf_exponent));
+  return Catalog(std::move(movies), std::move(zipf),
+                 total_arrivals_per_minute);
+}
+
+double Catalog::ArrivalRate(int rank) const {
+  return total_rate_ * zipf_.Probability(rank);
+}
+
+Result<Catalog> Catalog::FromCsv(std::istream& is, double zipf_exponent,
+                                 double total_arrivals_per_minute) {
+  static const char kHeader[] =
+      "title,length,max_wait,min_hit_probability,p_ff,p_rw,p_pau,"
+      "duration,interactivity";
+  std::string line;
+  if (!std::getline(is, line) || line.rfind(kHeader, 0) != 0) {
+    return Status::InvalidArgument(
+        std::string("catalog CSV must start with header '") + kHeader + "'");
+  }
+  std::vector<MovieEntry> movies;
+  std::vector<std::string> fields;
+  int line_number = 1;
+  while (std::getline(is, line)) {
+    ++line_number;
+    if (line.empty()) continue;
+    const Status split = SplitCsvLine(line, 9, &fields);
+    if (!split.ok()) {
+      return Status::InvalidArgument("line " + std::to_string(line_number) +
+                                     ": " + split.message());
+    }
+    MovieEntry entry;
+    entry.title = fields[0];
+    VOD_ASSIGN_OR_RETURN(entry.length_minutes, ParseCsvDouble(fields[1]));
+    VOD_ASSIGN_OR_RETURN(entry.max_wait_minutes, ParseCsvDouble(fields[2]));
+    VOD_ASSIGN_OR_RETURN(entry.min_hit_probability,
+                         ParseCsvDouble(fields[3]));
+    VOD_ASSIGN_OR_RETURN(const double p_ff, ParseCsvDouble(fields[4]));
+    VOD_ASSIGN_OR_RETURN(const double p_rw, ParseCsvDouble(fields[5]));
+    VOD_ASSIGN_OR_RETURN(const double p_pau, ParseCsvDouble(fields[6]));
+    const double total_mix = p_ff + p_rw + p_pau;
+    if (total_mix > 0.0) {
+      entry.behavior.mix = VcrMix{p_ff, p_rw, p_pau};
+      const Status mix_status = entry.behavior.mix.Validate();
+      if (!mix_status.ok()) {
+        return Status::InvalidArgument("line " +
+                                       std::to_string(line_number) + ": " +
+                                       mix_status.message());
+      }
+      VOD_ASSIGN_OR_RETURN(const DistributionPtr duration,
+                           ParseDistributionSpec(fields[7]));
+      entry.behavior.durations = VcrDurations::AllSame(duration);
+      VOD_ASSIGN_OR_RETURN(entry.behavior.interactivity,
+                           ParseDistributionSpec(fields[8]));
+    } else {
+      entry.behavior.interactivity = nullptr;  // passive title
+    }
+    movies.push_back(std::move(entry));
+  }
+  return Create(std::move(movies), zipf_exponent, total_arrivals_per_minute);
+}
+
+Result<Catalog> Catalog::Synthetic(int count, double zipf_exponent,
+                                   double total_arrivals_per_minute,
+                                   const VcrBehavior& behavior) {
+  if (count < 1) {
+    return Status::InvalidArgument("count must be >= 1");
+  }
+  static const double kLengths[] = {90.0, 105.0, 120.0, 135.0};
+  std::vector<MovieEntry> movies;
+  movies.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    MovieEntry entry;
+    std::ostringstream title;
+    title << "movie-" << (i + 1);
+    entry.title = title.str();
+    entry.length_minutes = kLengths[i % 4];
+    entry.max_wait_minutes = 1.0;
+    entry.min_hit_probability = 0.5;
+    entry.behavior = behavior;
+    movies.push_back(std::move(entry));
+  }
+  return Create(std::move(movies), zipf_exponent, total_arrivals_per_minute);
+}
+
+}  // namespace vod

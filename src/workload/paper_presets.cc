@@ -1,0 +1,78 @@
+#include "workload/paper_presets.h"
+
+#include "dist/exponential.h"
+#include "dist/gamma.h"
+
+namespace vod {
+namespace paper {
+
+PlaybackRates Rates() {
+  PlaybackRates rates;
+  rates.playback = 1.0;
+  rates.fast_forward = 3.0;
+  rates.rewind = 3.0;
+  return rates;
+}
+
+DistributionPtr Fig7Duration() {
+  return std::make_shared<GammaDistribution>(2.0, 4.0);
+}
+
+DistributionPtr DefaultInteractivity() {
+  return std::make_shared<ExponentialDistribution>(20.0);
+}
+
+VcrBehavior Fig7SingleOpBehavior(VcrOp op) {
+  VcrBehavior behavior;
+  behavior.mix = VcrMix::Only(op);
+  behavior.durations = VcrDurations::AllSame(Fig7Duration());
+  behavior.interactivity = DefaultInteractivity();
+  return behavior;
+}
+
+VcrBehavior Fig7MixedBehavior() {
+  VcrBehavior behavior;
+  behavior.mix = VcrMix::PaperMixed();
+  behavior.durations = VcrDurations::AllSame(Fig7Duration());
+  behavior.interactivity = DefaultInteractivity();
+  return behavior;
+}
+
+std::vector<MovieSizingSpec> Example1Movies(VcrMix mix) {
+  const PlaybackRates rates = Rates();
+  std::vector<MovieSizingSpec> movies(3);
+
+  movies[0].name = "movie-1";
+  movies[0].length_minutes = 75.0;
+  movies[0].max_wait_minutes = 0.1;
+  movies[0].min_hit_probability = 0.5;
+  movies[0].mix = mix;
+  movies[0].durations =
+      VcrDurations::AllSame(std::make_shared<GammaDistribution>(2.0, 4.0));
+  movies[0].rates = rates;
+
+  movies[1].name = "movie-2";
+  movies[1].length_minutes = 60.0;
+  movies[1].max_wait_minutes = 0.5;
+  movies[1].min_hit_probability = 0.5;
+  movies[1].mix = mix;
+  movies[1].durations =
+      VcrDurations::AllSame(std::make_shared<ExponentialDistribution>(5.0));
+  movies[1].rates = rates;
+
+  movies[2].name = "movie-3";
+  movies[2].length_minutes = 90.0;
+  movies[2].max_wait_minutes = 0.25;
+  movies[2].min_hit_probability = 0.5;
+  movies[2].mix = mix;
+  movies[2].durations =
+      VcrDurations::AllSame(std::make_shared<ExponentialDistribution>(2.0));
+  movies[2].rates = rates;
+
+  return movies;
+}
+
+std::vector<double> Fig9PhiValues() { return {3.0, 4.0, 6.0, 10.0, 11.0, 16.0}; }
+
+}  // namespace paper
+}  // namespace vod

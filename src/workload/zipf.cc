@@ -1,0 +1,57 @@
+#include "workload/zipf.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace vod {
+
+Result<ZipfDistribution> ZipfDistribution::Create(int num_items,
+                                                  double exponent) {
+  if (num_items < 1) {
+    return Status::InvalidArgument("Zipf needs at least one item");
+  }
+  if (exponent < 0.0) {
+    return Status::InvalidArgument("Zipf exponent must be non-negative");
+  }
+  ZipfDistribution zipf;
+  zipf.exponent_ = exponent;
+  zipf.cumulative_.resize(static_cast<size_t>(num_items));
+  double total = 0.0;
+  for (int k = 1; k <= num_items; ++k) {
+    total += std::pow(static_cast<double>(k), -exponent);
+    zipf.cumulative_[k - 1] = total;
+  }
+  for (auto& c : zipf.cumulative_) c /= total;
+  zipf.cumulative_.back() = 1.0;  // pin against rounding
+  return zipf;
+}
+
+double ZipfDistribution::Probability(int rank) const {
+  VOD_CHECK(rank >= 1 && rank <= num_items());
+  if (rank == 1) return cumulative_[0];
+  return cumulative_[rank - 1] - cumulative_[rank - 2];
+}
+
+double ZipfDistribution::CumulativeProbability(int rank) const {
+  VOD_CHECK(rank >= 1 && rank <= num_items());
+  return cumulative_[rank - 1];
+}
+
+int ZipfDistribution::Sample(Rng* rng) const {
+  const double u = rng->Uniform01();
+  const auto it =
+      std::lower_bound(cumulative_.begin(), cumulative_.end(), u);
+  return static_cast<int>(it - cumulative_.begin()) + 1;
+}
+
+int ZipfDistribution::RanksCoveringFraction(double fraction) const {
+  VOD_CHECK(fraction >= 0.0 && fraction <= 1.0);
+  const auto it =
+      std::lower_bound(cumulative_.begin(), cumulative_.end(), fraction);
+  if (it == cumulative_.end()) return num_items();
+  return static_cast<int>(it - cumulative_.begin()) + 1;
+}
+
+}  // namespace vod

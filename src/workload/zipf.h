@@ -1,0 +1,47 @@
+// Zipf popularity sampling.
+//
+// Movie popularity in VOD workloads is classically Zipf-distributed; the
+// catalog uses this to split the popular set (batching + buffering) from the
+// unicast tail.
+
+#ifndef VOD_WORKLOAD_ZIPF_H_
+#define VOD_WORKLOAD_ZIPF_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace vod {
+
+/// \brief Zipf(s) distribution over ranks 1..n: P(rank = k) ∝ k^{-s}.
+class ZipfDistribution {
+ public:
+  /// Precondition handled via Create: n >= 1, s >= 0 (s = 0 is uniform).
+  static Result<ZipfDistribution> Create(int num_items, double exponent);
+
+  /// Probability of rank k (1-based).
+  double Probability(int rank) const;
+
+  /// Cumulative probability of ranks 1..k.
+  double CumulativeProbability(int rank) const;
+
+  /// Samples a rank in [1, n] by inversion over the cumulative table.
+  int Sample(Rng* rng) const;
+
+  int num_items() const { return static_cast<int>(cumulative_.size()); }
+  double exponent() const { return exponent_; }
+
+  /// Smallest k whose ranks 1..k cover at least `fraction` of the mass.
+  int RanksCoveringFraction(double fraction) const;
+
+ private:
+  ZipfDistribution() = default;
+
+  double exponent_ = 0.0;
+  std::vector<double> cumulative_;  // cumulative_[k-1] = P(rank <= k)
+};
+
+}  // namespace vod
+
+#endif  // VOD_WORKLOAD_ZIPF_H_

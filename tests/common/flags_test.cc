@@ -1,0 +1,141 @@
+#include "common/flags.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace vod {
+namespace {
+
+// Builds a mutable argv from string literals.
+class ArgvBuilder {
+ public:
+  explicit ArgvBuilder(std::vector<std::string> args)
+      : storage_(std::move(args)) {
+    for (auto& s : storage_) argv_.push_back(s.data());
+  }
+  int argc() const { return static_cast<int>(argv_.size()); }
+  char** argv() { return argv_.data(); }
+
+ private:
+  std::vector<std::string> storage_;
+  std::vector<char*> argv_;
+};
+
+FlagSet MakeFlags() {
+  FlagSet flags("test_prog");
+  flags.AddInt64("seed", 42, "rng seed");
+  flags.AddDouble("wait", 1.0, "max wait");
+  flags.AddBool("csv", false, "csv output");
+  flags.AddString("dist", "gamma(2,4)", "duration spec");
+  return flags;
+}
+
+TEST(FlagsTest, DefaultsApplyWithoutArguments) {
+  FlagSet flags = MakeFlags();
+  ArgvBuilder args({"prog"});
+  ASSERT_TRUE(flags.Parse(args.argc(), args.argv()).ok());
+  EXPECT_EQ(flags.GetInt64("seed"), 42);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("wait"), 1.0);
+  EXPECT_FALSE(flags.GetBool("csv"));
+  EXPECT_EQ(flags.GetString("dist"), "gamma(2,4)");
+  EXPECT_FALSE(flags.WasSet("seed"));
+}
+
+TEST(FlagsTest, EqualsForm) {
+  FlagSet flags = MakeFlags();
+  ArgvBuilder args({"prog", "--seed=7", "--wait=0.5", "--csv=true",
+                    "--dist=exp(5)"});
+  ASSERT_TRUE(flags.Parse(args.argc(), args.argv()).ok());
+  EXPECT_EQ(flags.GetInt64("seed"), 7);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("wait"), 0.5);
+  EXPECT_TRUE(flags.GetBool("csv"));
+  EXPECT_EQ(flags.GetString("dist"), "exp(5)");
+  EXPECT_TRUE(flags.WasSet("seed"));
+}
+
+TEST(FlagsTest, SpaceSeparatedForm) {
+  FlagSet flags = MakeFlags();
+  ArgvBuilder args({"prog", "--seed", "9", "--wait", "2.5"});
+  ASSERT_TRUE(flags.Parse(args.argc(), args.argv()).ok());
+  EXPECT_EQ(flags.GetInt64("seed"), 9);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("wait"), 2.5);
+}
+
+TEST(FlagsTest, BareBoolEnables) {
+  FlagSet flags = MakeFlags();
+  ArgvBuilder args({"prog", "--csv"});
+  ASSERT_TRUE(flags.Parse(args.argc(), args.argv()).ok());
+  EXPECT_TRUE(flags.GetBool("csv"));
+}
+
+TEST(FlagsTest, UnknownFlagIsError) {
+  FlagSet flags = MakeFlags();
+  ArgvBuilder args({"prog", "--bogus=1"});
+  EXPECT_TRUE(flags.Parse(args.argc(), args.argv()).IsInvalidArgument());
+}
+
+TEST(FlagsTest, MalformedIntIsError) {
+  FlagSet flags = MakeFlags();
+  ArgvBuilder args({"prog", "--seed=abc"});
+  EXPECT_TRUE(flags.Parse(args.argc(), args.argv()).IsInvalidArgument());
+}
+
+TEST(FlagsTest, MalformedDoubleIsError) {
+  FlagSet flags = MakeFlags();
+  ArgvBuilder args({"prog", "--wait=1.2.3"});
+  EXPECT_TRUE(flags.Parse(args.argc(), args.argv()).IsInvalidArgument());
+}
+
+TEST(FlagsTest, MalformedBoolIsError) {
+  FlagSet flags = MakeFlags();
+  ArgvBuilder args({"prog", "--csv=maybe"});
+  EXPECT_TRUE(flags.Parse(args.argc(), args.argv()).IsInvalidArgument());
+}
+
+TEST(FlagsTest, MissingValueIsError) {
+  FlagSet flags = MakeFlags();
+  ArgvBuilder args({"prog", "--seed"});
+  EXPECT_TRUE(flags.Parse(args.argc(), args.argv()).IsInvalidArgument());
+}
+
+TEST(FlagsTest, PositionalArgumentIsError) {
+  FlagSet flags = MakeFlags();
+  ArgvBuilder args({"prog", "positional"});
+  EXPECT_TRUE(flags.Parse(args.argc(), args.argv()).IsInvalidArgument());
+}
+
+TEST(FlagsTest, BoolAcceptsNumericAndWordForms) {
+  for (const char* truthy : {"1", "true", "yes"}) {
+    FlagSet flags = MakeFlags();
+    ArgvBuilder args({"prog", std::string("--csv=") + truthy});
+    ASSERT_TRUE(flags.Parse(args.argc(), args.argv()).ok());
+    EXPECT_TRUE(flags.GetBool("csv"));
+  }
+  for (const char* falsy : {"0", "false", "no"}) {
+    FlagSet flags = MakeFlags();
+    ArgvBuilder args({"prog", std::string("--csv=") + falsy});
+    ASSERT_TRUE(flags.Parse(args.argc(), args.argv()).ok());
+    EXPECT_FALSE(flags.GetBool("csv"));
+  }
+}
+
+TEST(FlagsTest, UsageMentionsEveryFlag) {
+  FlagSet flags = MakeFlags();
+  const std::string usage = flags.Usage();
+  EXPECT_NE(usage.find("--seed"), std::string::npos);
+  EXPECT_NE(usage.find("--wait"), std::string::npos);
+  EXPECT_NE(usage.find("--csv"), std::string::npos);
+  EXPECT_NE(usage.find("--dist"), std::string::npos);
+  EXPECT_NE(usage.find("test_prog"), std::string::npos);
+}
+
+TEST(FlagsTest, HelpWithoutExitReturnsOk) {
+  FlagSet flags = MakeFlags();
+  ArgvBuilder args({"prog", "--help"});
+  EXPECT_TRUE(flags.Parse(args.argc(), args.argv(), /*exit_on_help=*/false)
+                  .ok());
+}
+
+}  // namespace
+}  // namespace vod

@@ -1,0 +1,60 @@
+#include "common/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace vod {
+namespace {
+
+// The logger writes to stderr; these tests exercise the level gate and the
+// macro's short-circuiting rather than capturing output.
+
+class LogLevelGuard {
+ public:
+  LogLevelGuard() : saved_(GetLogLevel()) {}
+  ~LogLevelGuard() { SetLogLevel(saved_); }
+
+ private:
+  LogLevel saved_;
+};
+
+TEST(LoggingTest, DefaultLevelIsWarning) {
+  LogLevelGuard guard;
+  SetLogLevel(LogLevel::kWarning);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kWarning);
+}
+
+TEST(LoggingTest, SetAndGetRoundTrip) {
+  LogLevelGuard guard;
+  for (LogLevel level : {LogLevel::kError, LogLevel::kWarning,
+                         LogLevel::kInfo, LogLevel::kDebug}) {
+    SetLogLevel(level);
+    EXPECT_EQ(GetLogLevel(), level);
+  }
+}
+
+TEST(LoggingTest, SuppressedLevelsDoNotEvaluateTheStream) {
+  LogLevelGuard guard;
+  SetLogLevel(LogLevel::kError);
+  int evaluations = 0;
+  const auto expensive = [&evaluations]() {
+    ++evaluations;
+    return "payload";
+  };
+  VOD_LOG(kDebug) << expensive();  // above verbosity: must not evaluate
+  EXPECT_EQ(evaluations, 0);
+  VOD_LOG(kError) << expensive();  // at verbosity: evaluates (and prints)
+  EXPECT_EQ(evaluations, 1);
+}
+
+TEST(LoggingTest, EnabledLevelsEmitWithoutCrashing) {
+  LogLevelGuard guard;
+  SetLogLevel(LogLevel::kDebug);
+  VOD_LOG(kError) << "error line " << 1;
+  VOD_LOG(kWarning) << "warning line " << 2.5;
+  VOD_LOG(kInfo) << "info line " << "text";
+  VOD_LOG(kDebug) << "debug line";
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace vod

@@ -1,0 +1,65 @@
+#include "common/table.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace vod {
+namespace {
+
+TEST(TableWriterTest, RendersAlignedTable) {
+  TableWriter t({"n", "P(hit)"});
+  t.AddRow({"40", "0.66"});
+  t.AddRow({"100", "0.21"});
+  std::ostringstream os;
+  t.RenderText(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("| n   | P(hit) |"), std::string::npos);
+  EXPECT_NE(out.find("| 40  | 0.66   |"), std::string::npos);
+  EXPECT_NE(out.find("| 100 | 0.21   |"), std::string::npos);
+  // Header rule + top/bottom rules.
+  size_t rules = 0;
+  for (size_t pos = out.find('+'); pos != std::string::npos;
+       pos = out.find('+', pos + 1)) {
+    if (pos == 0 || out[pos - 1] == '\n') ++rules;
+  }
+  EXPECT_EQ(rules, 3u);
+}
+
+TEST(TableWriterTest, NumericRowFormatsWithPrecision) {
+  TableWriter t({"a", "b"});
+  t.AddNumericRow({1.23456, 2.0}, 3);
+  std::ostringstream os;
+  t.RenderCsv(os);
+  EXPECT_EQ(os.str(), "a,b\n1.235,2.000\n");
+}
+
+TEST(TableWriterTest, CsvEscapesSpecialCharacters) {
+  TableWriter t({"name", "value"});
+  t.AddRow({"a,b", "say \"hi\""});
+  std::ostringstream os;
+  t.RenderCsv(os);
+  EXPECT_EQ(os.str(), "name,value\n\"a,b\",\"say \"\"hi\"\"\"\n");
+}
+
+TEST(TableWriterTest, CountsRowsAndCols) {
+  TableWriter t({"x", "y", "z"});
+  EXPECT_EQ(t.num_cols(), 3u);
+  EXPECT_EQ(t.num_rows(), 0u);
+  t.AddRow({"1", "2", "3"});
+  EXPECT_EQ(t.num_rows(), 1u);
+}
+
+TEST(TableWriterTest, MismatchedRowWidthAborts) {
+  TableWriter t({"x", "y"});
+  EXPECT_DEATH(t.AddRow({"only-one"}), "row width");
+}
+
+TEST(FormatDoubleTest, Precision) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatDouble(-0.5, 1), "-0.5");
+  EXPECT_EQ(FormatDouble(2.0, 0), "2");
+}
+
+}  // namespace
+}  // namespace vod

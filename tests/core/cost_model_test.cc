@@ -1,0 +1,166 @@
+#include "core/cost_model.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace vod {
+namespace {
+
+TEST(HardwareCostsTest, PaperExampleTwoValues) {
+  // C_b = 60s · 4Mbps/8 · $25 = $750; C_n = $700/(5MB/s ÷ 0.5MB/s) = $70.
+  const HardwareCosts costs;  // defaults are the 1997 parts list
+  EXPECT_TRUE(costs.Validate().ok());
+  EXPECT_DOUBLE_EQ(costs.BufferCostPerMovieMinute(), 750.0);
+  EXPECT_DOUBLE_EQ(costs.StreamsPerDisk(), 10.0);
+  EXPECT_DOUBLE_EQ(costs.StreamCost(), 70.0);
+  // φ ≈ 11 in the paper (750/70 = 10.714...).
+  EXPECT_NEAR(costs.Phi(), 10.714, 0.001);
+  EXPECT_NEAR(std::round(costs.Phi()), 11.0, 0.5);
+}
+
+TEST(HardwareCostsTest, ValidationRejectsNonsense) {
+  HardwareCosts bad;
+  bad.disk_price_dollars = 0.0;
+  EXPECT_TRUE(bad.Validate().IsInvalidArgument());
+  bad = HardwareCosts();
+  bad.video_rate_mbits_per_sec = 0.0;
+  EXPECT_TRUE(bad.Validate().IsInvalidArgument());
+  bad = HardwareCosts();
+  bad.disk_transfer_mbytes_per_sec = 0.1;  // below one stream
+  EXPECT_TRUE(bad.Validate().IsInvalidArgument());
+}
+
+TEST(AllocationCostTest, DollarAndNormalizedForms) {
+  AllocationResult allocation;
+  allocation.total_buffer_minutes = 100.0;
+  allocation.total_streams = 600;
+  const HardwareCosts costs;
+  EXPECT_DOUBLE_EQ(AllocationCostDollars(allocation, costs),
+                   750.0 * 100.0 + 70.0 * 600.0);
+  EXPECT_DOUBLE_EQ(AllocationCostNormalized(allocation, 11.0),
+                   11.0 * 100.0 + 600.0);
+  // Eq. (23): dollars == C_n · (φ·ΣB + Σn) with φ = C_b/C_n.
+  EXPECT_NEAR(AllocationCostDollars(allocation, costs),
+              costs.StreamCost() *
+                  AllocationCostNormalized(allocation, costs.Phi()),
+              1e-9);
+}
+
+std::vector<MovieAllocationBound> TestBounds() {
+  return {
+      {"movie-1", 75.0, 0.1, 360},
+      {"movie-2", 60.0, 0.5, 60},
+      {"movie-3", 90.0, 0.25, 182},
+  };
+}
+
+TEST(CostCurveTest, EndpointsAndMonotoneStreams) {
+  const auto curve = ComputeCostCurve(TestBounds(), 11.0, 50);
+  ASSERT_TRUE(curve.ok());
+  ASSERT_GE(curve->size(), 2u);
+  EXPECT_EQ(curve->front().total_streams, 3);    // one per movie
+  EXPECT_EQ(curve->back().total_streams, 602);   // sum of maxima
+  for (size_t i = 1; i < curve->size(); ++i) {
+    EXPECT_GT((*curve)[i].total_streams, (*curve)[i - 1].total_streams);
+    // Buffer shrinks as streams grow.
+    EXPECT_LE((*curve)[i].total_buffer_minutes,
+              (*curve)[i - 1].total_buffer_minutes + 1e-9);
+  }
+}
+
+TEST(CostCurveTest, HighPhiMinimizesAtMaxStreams) {
+  // φ = 11 > 1/w for every movie: buffer dominates, so the cheapest point is
+  // the max-stream end (the paper's Example 2 observation).
+  const auto curve = ComputeCostCurve(TestBounds(), 11.0, 100);
+  ASSERT_TRUE(curve.ok());
+  const CostCurvePoint best = MinimumCostPoint(*curve);
+  EXPECT_EQ(best.total_streams, curve->back().total_streams);
+}
+
+TEST(CostCurveTest, LowPhiMovesMinimumToInterior) {
+  // φ = 3: movies with w < 1/3 (movie-1 at 0.1, movie-3 at 0.25) now cost
+  // more to serve with streams than with buffer; the optimum keeps their
+  // streams minimal but still maxes movie-2 (w = 0.5 > 1/3).
+  const auto curve = ComputeCostCurve(TestBounds(), 3.0, 600);
+  ASSERT_TRUE(curve.ok());
+  const CostCurvePoint best = MinimumCostPoint(*curve);
+  EXPECT_LT(best.total_streams, curve->back().total_streams);
+  EXPECT_GT(best.total_streams, curve->front().total_streams);
+  // The interior optimum: 1 + 60 + 1 streams.
+  EXPECT_NEAR(best.total_streams, 62, 8);
+}
+
+TEST(CostCurveTest, CostValuesMatchDefinition) {
+  const double phi = 11.0;
+  const auto curve = ComputeCostCurve(TestBounds(), phi, 10);
+  ASSERT_TRUE(curve.ok());
+  for (const auto& point : *curve) {
+    EXPECT_NEAR(point.normalized_cost,
+                phi * point.total_buffer_minutes + point.total_streams,
+                1e-9);
+  }
+}
+
+TEST(CostCurveTest, RejectsBadArguments) {
+  EXPECT_TRUE(ComputeCostCurve(TestBounds(), -1.0).status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(ComputeCostCurve(TestBounds(), 11.0, 1).status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(ComputeCostCurve({}, 11.0).status().IsInvalidArgument());
+}
+
+TEST(CostCurveTest, CurveIsConvexPiecewiseLinear) {
+  // The greedy allocator hands streams out in descending w order, so the
+  // per-stream cost increment 1 − φ·w is non-decreasing along the curve:
+  // the normalized cost is convex in the total stream count.
+  const auto curve = ComputeCostCurve(TestBounds(), 6.0, 600);
+  ASSERT_TRUE(curve.ok());
+  ASSERT_GE(curve->size(), 3u);
+  double previous_slope = -1e18;
+  for (size_t i = 1; i < curve->size(); ++i) {
+    const double dn = (*curve)[i].total_streams -
+                      (*curve)[i - 1].total_streams;
+    const double slope =
+        ((*curve)[i].normalized_cost - (*curve)[i - 1].normalized_cost) / dn;
+    EXPECT_GE(slope, previous_slope - 1e-9) << "i=" << i;
+    previous_slope = slope;
+  }
+}
+
+TEST(MinimumCostPointTest, PicksGlobalMinimum) {
+  std::vector<CostCurvePoint> curve = {
+      {10, 50.0, 500.0},
+      {20, 30.0, 350.0},
+      {30, 20.0, 380.0},
+  };
+  const CostCurvePoint best = MinimumCostPoint(curve);
+  EXPECT_EQ(best.total_streams, 20);
+}
+
+TEST(MinimumCostPointTest, TieBreaksTowardFewerStreams) {
+  std::vector<CostCurvePoint> curve = {
+      {10, 50.0, 300.0},
+      {20, 30.0, 300.0},
+  };
+  EXPECT_EQ(MinimumCostPoint(curve).total_streams, 10);
+}
+
+TEST(ModernHardwareScenarioTest, CheapMemoryFlipsTheTradeoff) {
+  // With far cheaper memory per MB (relative to streams), phi drops below
+  // any 1/w and buffering becomes the dominant strategy: the optimum wants
+  // *few* streams.
+  HardwareCosts modern;
+  modern.memory_price_per_mbyte = 0.05;
+  modern.disk_price_dollars = 100.0;
+  modern.disk_transfer_mbytes_per_sec = 5.0;  // keep the 1997 bandwidth
+  ASSERT_TRUE(modern.Validate().ok());
+  EXPECT_LT(modern.Phi(), 0.2);
+  const auto curve = ComputeCostCurve(TestBounds(), modern.Phi(), 600);
+  ASSERT_TRUE(curve.ok());
+  EXPECT_EQ(MinimumCostPoint(*curve).total_streams,
+            curve->front().total_streams);
+}
+
+}  // namespace
+}  // namespace vod

@@ -1,0 +1,129 @@
+#include "core/erlang.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/server.h"
+#include "sim/simulator.h"
+#include "workload/paper_presets.h"
+
+namespace vod {
+namespace {
+
+TEST(ErlangBTest, ClassicReferenceValues) {
+  // Standard traffic-table values.
+  EXPECT_NEAR(*ErlangBlockingProbability(1, 1.0), 0.5, 1e-12);
+  EXPECT_NEAR(*ErlangBlockingProbability(2, 1.0), 0.2, 1e-12);
+  // B(c, a) = (a^c/c!) / Σ a^k/k!: B(3, 2) = (8/6)/(1+2+2+8/6) = 4/19.
+  EXPECT_NEAR(*ErlangBlockingProbability(3, 2.0), 4.0 / 19.0, 1e-12);
+  // Heavily offered: B(10, 100) ≈ 0.90 (almost everything blocked).
+  EXPECT_NEAR(*ErlangBlockingProbability(10, 100.0), 0.90, 0.01);
+}
+
+TEST(ErlangBTest, EdgeCases) {
+  EXPECT_DOUBLE_EQ(*ErlangBlockingProbability(0, 5.0), 1.0);
+  EXPECT_DOUBLE_EQ(*ErlangBlockingProbability(10, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(*ErlangBlockingProbability(0, 0.0), 1.0);
+  EXPECT_TRUE(ErlangBlockingProbability(-1, 1.0)
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(ErlangBlockingProbability(1, -1.0)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(ErlangBTest, MonotoneInServersAndLoad) {
+  double previous = 1.0;
+  for (int c = 1; c <= 60; ++c) {
+    const double b = *ErlangBlockingProbability(c, 20.0);
+    ASSERT_LT(b, previous) << c;
+    previous = b;
+  }
+  previous = 0.0;
+  for (double a = 1.0; a <= 60.0; a += 1.0) {
+    const double b = *ErlangBlockingProbability(20, a);
+    ASSERT_GT(b, previous) << a;
+    previous = b;
+  }
+}
+
+TEST(ErlangBTest, StableForLargeSystems) {
+  // A naive factorial formulation would overflow; the recurrence must not.
+  const auto b = ErlangBlockingProbability(10000, 9800.0);
+  ASSERT_TRUE(b.ok());
+  EXPECT_GT(*b, 0.0);
+  EXPECT_LT(*b, 0.1);
+}
+
+TEST(MinStreamsTest, InvertsBlocking) {
+  const double a = 30.0;
+  const auto c = MinStreamsForBlocking(a, 0.01);
+  ASSERT_TRUE(c.ok());
+  EXPECT_LE(*ErlangBlockingProbability(*c, a), 0.01);
+  EXPECT_GT(*ErlangBlockingProbability(*c - 1, a), 0.01);
+}
+
+TEST(MinStreamsTest, EdgeCases) {
+  EXPECT_EQ(*MinStreamsForBlocking(0.0, 0.01), 0);
+  EXPECT_EQ(*MinStreamsForBlocking(5.0, 1.0), 0);  // everything may block
+  EXPECT_TRUE(MinStreamsForBlocking(5.0, 0.0).status().IsInvalidArgument());
+  EXPECT_TRUE(
+      MinStreamsForBlocking(100.0, 1e-9, 10).status().IsInfeasible());
+}
+
+TEST(ErlangCarriedLoadTest, CappedByServers) {
+  EXPECT_NEAR(*ErlangCarriedLoad(2, 1.0), 1.0 * 0.8, 1e-12);
+  const double carried = *ErlangCarriedLoad(10, 100.0);
+  EXPECT_LE(carried, 10.0);
+  EXPECT_GT(carried, 9.0);
+}
+
+TEST(ErlangBTest, PredictsServerSimulatorRefusals) {
+  // The end-to-end claim: measure the offered load from unlimited-supply
+  // runs (mean busy dedicated streams), then Erlang-B over the summed load
+  // must track the finite-reserve server's measured refusal probability.
+  std::vector<ServerMovieSpec> movies;
+  auto layout_a = PartitionLayout::FromBuffer(120.0, 40, 60.0);
+  auto layout_b = PartitionLayout::FromBuffer(90.0, 30, 45.0);
+  ASSERT_TRUE(layout_a.ok() && layout_b.ok());
+  movies.push_back({"a", *layout_a, 0.5, paper::Fig7MixedBehavior()});
+  movies.push_back({"b", *layout_b, 0.33, paper::Fig7MixedBehavior()});
+
+  // Offered load from per-movie unlimited runs.
+  double offered = 0.0;
+  for (const auto& movie : movies) {
+    SimulationOptions options;
+    options.mean_interarrival_minutes = 1.0 / movie.arrival_rate_per_minute;
+    options.behavior = movie.behavior;
+    options.warmup_minutes = 1000.0;
+    options.measurement_minutes = 20000.0;
+    options.seed = 3;
+    const auto report =
+        RunSimulation(movie.layout, paper::Rates(), options);
+    ASSERT_TRUE(report.ok());
+    offered += report->mean_dedicated_streams;
+  }
+  ASSERT_GT(offered, 10.0);
+
+  for (int64_t reserve : {30, 45, 60}) {
+    ServerOptions options;
+    options.rates = paper::Rates();
+    options.dynamic_stream_reserve = reserve;
+    options.warmup_minutes = 1000.0;
+    options.measurement_minutes = 20000.0;
+    options.seed = 4;
+    const auto report = RunServerSimulation(movies, options);
+    ASSERT_TRUE(report.ok());
+    const auto predicted = ErlangBlockingProbability(
+        static_cast<int>(reserve), offered);
+    ASSERT_TRUE(predicted.ok());
+    // Loss-model vs simulation with re-offered traffic: expect agreement in
+    // magnitude, not to the decimal. Compare with an absolute band.
+    EXPECT_NEAR(report->refusal_probability, *predicted, 0.10)
+        << "reserve=" << reserve << " offered=" << offered;
+  }
+}
+
+}  // namespace
+}  // namespace vod

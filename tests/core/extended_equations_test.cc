@@ -1,0 +1,141 @@
+#include "core/extended_equations.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/hit_model.h"
+#include "dist/exponential.h"
+#include "dist/gamma.h"
+#include "dist/uniform.h"
+
+namespace vod {
+namespace {
+
+PlaybackRates PaperRates() {
+  PlaybackRates rates;
+  rates.fast_forward = 3.0;
+  rates.rewind = 3.0;
+  return rates;
+}
+
+PartitionLayout MakeLayout(double l, int n, double b) {
+  auto layout = PartitionLayout::FromBuffer(l, n, b);
+  EXPECT_TRUE(layout.ok());
+  return *layout;
+}
+
+TEST(ExtendedEquationsTest, ValidatesInputs) {
+  const GammaDistribution gamma(2.0, 4.0);
+  EXPECT_TRUE(ExtendedRewindHitProbability(MakeLayout(120.0, 40, 0.0),
+                                           PaperRates(), gamma)
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(ExtendedRewindHitProbability(MakeLayout(120.0, 40, 80.0),
+                                           PaperRates(), gamma, 1)
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(ExtendedPauseHitProbability(MakeLayout(120.0, 40, 80.0), gamma,
+                                          32, 0.9)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(ExtendedEquationsTest, RewindJumpIndexBound) {
+  // j ≤ (l/γ + W)/T with γ = 0.75, T = 3, W = 2: (160 + 2)/3 = 54.
+  const PartitionLayout layout = MakeLayout(120.0, 40, 80.0);
+  EXPECT_EQ(ExtendedMaxRewindJumpIndex(layout, PaperRates()), 54);
+}
+
+// The headline: the casewise transcription of DESIGN.md §5 must match the
+// production interval engine, term structure included.
+class ExtendedVsEngineTest
+    : public ::testing::TestWithParam<std::tuple<int, double>> {};
+
+TEST_P(ExtendedVsEngineTest, RewindAgrees) {
+  const int n = std::get<0>(GetParam());
+  const double w = std::get<1>(GetParam());
+  const auto layout = PartitionLayout::FromMaxWait(120.0, n, w);
+  if (!layout.ok() || layout->is_pure_batching()) GTEST_SKIP();
+  const auto gamma = std::make_shared<GammaDistribution>(2.0, 4.0);
+  const auto model = AnalyticHitModel::Create(*layout, PaperRates());
+  ASSERT_TRUE(model.ok());
+  const auto engine =
+      model->Breakdown(VcrOp::kRewind, DistributionPtr(gamma));
+  ASSERT_TRUE(engine.ok());
+  const auto casewise =
+      ExtendedRewindHitProbability(*layout, PaperRates(), *gamma, 48);
+  ASSERT_TRUE(casewise.ok());
+  EXPECT_NEAR(engine->total(), casewise->Total(), 5e-4)
+      << "n=" << n << " w=" << w;
+  EXPECT_NEAR(engine->within, casewise->hit_within, 5e-4);
+  EXPECT_NEAR(engine->jump, casewise->JumpTotal(), 5e-4);
+}
+
+TEST_P(ExtendedVsEngineTest, PauseAgrees) {
+  const int n = std::get<0>(GetParam());
+  const double w = std::get<1>(GetParam());
+  const auto layout = PartitionLayout::FromMaxWait(120.0, n, w);
+  if (!layout.ok() || layout->is_pure_batching()) GTEST_SKIP();
+  const auto gamma = std::make_shared<GammaDistribution>(2.0, 4.0);
+  const auto model = AnalyticHitModel::Create(*layout, PaperRates());
+  ASSERT_TRUE(model.ok());
+  const auto engine =
+      model->Breakdown(VcrOp::kPause, DistributionPtr(gamma));
+  ASSERT_TRUE(engine.ok());
+  const auto casewise = ExtendedPauseHitProbability(*layout, *gamma, 48);
+  ASSERT_TRUE(casewise.ok());
+  EXPECT_NEAR(engine->total(), casewise->Total(), 5e-4)
+      << "n=" << n << " w=" << w;
+  EXPECT_NEAR(engine->within, casewise->hit_within, 5e-4);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ExtendedVsEngineTest,
+    ::testing::Combine(::testing::Values(5, 10, 20, 40, 60),
+                       ::testing::Values(0.5, 1.0, 2.0)));
+
+TEST(ExtendedEquationsTest, OtherDistributionsAgreeToo) {
+  const auto layout = MakeLayout(60.0, 24, 30.0);
+  const auto model = AnalyticHitModel::Create(layout, PaperRates());
+  ASSERT_TRUE(model.ok());
+  for (const DistributionPtr& dist :
+       {DistributionPtr(std::make_shared<ExponentialDistribution>(5.0)),
+        DistributionPtr(std::make_shared<UniformDistribution>(0.0, 10.0))}) {
+    const auto rw_engine = model->HitProbability(VcrOp::kRewind, dist);
+    const auto rw_casewise =
+        ExtendedRewindHitProbability(layout, PaperRates(), *dist, 48);
+    ASSERT_TRUE(rw_engine.ok() && rw_casewise.ok());
+    EXPECT_NEAR(*rw_engine, rw_casewise->Total(), 5e-4) << dist->ToString();
+
+    const auto pau_engine = model->HitProbability(VcrOp::kPause, dist);
+    const auto pau_casewise =
+        ExtendedPauseHitProbability(layout, *dist, 48);
+    ASSERT_TRUE(pau_engine.ok() && pau_casewise.ok());
+    EXPECT_NEAR(*pau_engine, pau_casewise->Total(), 5e-4) << dist->ToString();
+  }
+}
+
+TEST(ExtendedEquationsTest, RewindJumpTermsDecay) {
+  const auto layout = MakeLayout(120.0, 40, 80.0);
+  const auto result = ExtendedRewindHitProbability(
+      layout, PaperRates(), GammaDistribution(2.0, 4.0));
+  ASSERT_TRUE(result.ok());
+  ASSERT_GE(result->hit_jump_per_partition.size(), 5u);
+  EXPECT_GT(result->hit_jump_per_partition[0],
+            result->hit_jump_per_partition[4]);
+}
+
+TEST(ExtendedEquationsTest, PauseWindowEnumerationStopsAtTail) {
+  // Short-tailed durations need only a few windows.
+  const auto layout = MakeLayout(120.0, 40, 80.0);  // T = 3
+  const auto short_tail = ExponentialDistribution(1.0);
+  const auto result = ExtendedPauseHitProbability(layout, short_tail, 32);
+  ASSERT_TRUE(result.ok());
+  // 1 − F(jT − W) < 1e-10 once jT − W > ~23: j ≈ 9.
+  EXPECT_LE(result->hit_jump_per_partition.size(), 12u);
+  EXPECT_GE(result->hit_jump_per_partition.size(), 6u);
+}
+
+}  // namespace
+}  // namespace vod

@@ -1,0 +1,171 @@
+#include "core/hit_intervals.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace vod {
+namespace {
+
+PartitionLayout MakeLayout(double l, int n, double b) {
+  auto layout = PartitionLayout::FromBuffer(l, n, b);
+  EXPECT_TRUE(layout.ok());
+  return *layout;
+}
+
+PlaybackRates PaperRates() {
+  PlaybackRates rates;
+  rates.fast_forward = 3.0;
+  rates.rewind = 3.0;
+  return rates;
+}
+
+TEST(CatchUpFactorsTest, PaperEquationOne) {
+  const PlaybackRates rates = PaperRates();
+  EXPECT_DOUBLE_EQ(rates.Alpha(), 1.5);   // 3/(3-1)
+  EXPECT_DOUBLE_EQ(rates.Gamma(), 0.75);  // 3/(1+3)
+}
+
+TEST(CatchUpFactorsTest, LimitsOfGamma) {
+  PlaybackRates fast;
+  fast.rewind = 1e9;
+  EXPECT_NEAR(fast.Gamma(), 1.0, 1e-8);  // PAU is the R_RW → ∞ limit
+  PlaybackRates slow;
+  slow.rewind = 0.5;
+  slow.fast_forward = 3.0;
+  EXPECT_NEAR(slow.Gamma(), 1.0 / 3.0, 1e-15);
+}
+
+TEST(RatesValidationTest, Rules) {
+  PlaybackRates ok = PaperRates();
+  EXPECT_TRUE(ok.Validate().ok());
+  PlaybackRates slow_ff = ok;
+  slow_ff.fast_forward = 1.0;  // FF must exceed playback
+  EXPECT_TRUE(slow_ff.Validate().IsInvalidArgument());
+  PlaybackRates bad_pb = ok;
+  bad_pb.playback = 0.0;
+  EXPECT_TRUE(bad_pb.Validate().IsInvalidArgument());
+  PlaybackRates bad_rw = ok;
+  bad_rw.rewind = -1.0;
+  EXPECT_TRUE(bad_rw.Validate().IsInvalidArgument());
+}
+
+TEST(HitIntervalsTest, FastForwardOwnPartitionMatchesEq3) {
+  // l=120, n=40, B=80: T=3, W=2. d = 1.5.
+  const PartitionLayout layout = MakeLayout(120.0, 40, 80.0);
+  const IntervalSet set = BuildHitIntervals(
+      VcrOp::kFastForward, layout, PaperRates(), 1.5, 4.0);
+  // Own window: x ∈ [0, αd] = [0, 2.25]; next window starts at
+  // α(T + d − W) = 1.5 · 2.5 = 3.75.
+  ASSERT_GE(set.size(), 2u);
+  EXPECT_DOUBLE_EQ(set.intervals()[0].lo, 0.0);
+  EXPECT_DOUBLE_EQ(set.intervals()[0].hi, 2.25);
+  EXPECT_DOUBLE_EQ(set.intervals()[1].lo, 3.75);
+  EXPECT_DOUBLE_EQ(set.intervals()[1].hi, 1.5 * (3.0 + 1.5));
+}
+
+TEST(HitIntervalsTest, FastForwardJumpSpacingIsAlphaTimesPeriod) {
+  const PartitionLayout layout = MakeLayout(120.0, 40, 80.0);
+  const IntervalSet set = BuildHitIntervals(
+      VcrOp::kFastForward, layout, PaperRates(), 1.0, 30.0);
+  const double alpha = 1.5;
+  const double period = 3.0;
+  for (size_t i = 1; i + 1 < set.size(); ++i) {
+    const double spacing = set.intervals()[i + 1].lo - set.intervals()[i].lo;
+    EXPECT_NEAR(spacing, alpha * period, 1e-12);
+  }
+}
+
+TEST(HitIntervalsTest, RewindOwnPartitionUsesGamma) {
+  const PartitionLayout layout = MakeLayout(120.0, 40, 80.0);
+  const double d = 0.5;
+  const IntervalSet set =
+      BuildHitIntervals(VcrOp::kRewind, layout, PaperRates(), d, 10.0);
+  // Own window (j=0): x ∈ [0, γ(W − d)] = [0, 0.75 · 1.5].
+  ASSERT_GE(set.size(), 2u);
+  EXPECT_DOUBLE_EQ(set.intervals()[0].lo, 0.0);
+  EXPECT_DOUBLE_EQ(set.intervals()[0].hi, 0.75 * 1.5);
+  // j=1: γ[T − d, T − d + W] = 0.75 · [2.5, 4.5].
+  EXPECT_DOUBLE_EQ(set.intervals()[1].lo, 0.75 * 2.5);
+  EXPECT_DOUBLE_EQ(set.intervals()[1].hi, 0.75 * 4.5);
+}
+
+TEST(HitIntervalsTest, PauseIsGammaOneGeometry) {
+  // PAU intervals equal RW intervals with γ = 1.
+  const PartitionLayout layout = MakeLayout(120.0, 40, 80.0);
+  PlaybackRates unit_rw = PaperRates();
+  const double d = 0.7;
+  const IntervalSet pause =
+      BuildHitIntervals(VcrOp::kPause, layout, unit_rw, d, 20.0);
+  ASSERT_GE(pause.size(), 2u);
+  EXPECT_DOUBLE_EQ(pause.intervals()[0].lo, 0.0);
+  EXPECT_DOUBLE_EQ(pause.intervals()[0].hi, 2.0 - d);   // W − d
+  EXPECT_DOUBLE_EQ(pause.intervals()[1].lo, 3.0 - d);   // T − d
+  EXPECT_DOUBLE_EQ(pause.intervals()[1].hi, 5.0 - d);   // T − d + W
+}
+
+TEST(HitIntervalsTest, PureBatchingHasNoIntervals) {
+  const PartitionLayout layout = MakeLayout(120.0, 40, 0.0);
+  for (VcrOp op : kAllVcrOps) {
+    EXPECT_TRUE(
+        BuildHitIntervals(op, layout, PaperRates(), 0.0, 120.0).empty());
+  }
+}
+
+TEST(HitIntervalsTest, FullBufferCoversEverything) {
+  // B = l ⇒ W = T: windows tile the whole axis; every duration hits.
+  const PartitionLayout layout = MakeLayout(120.0, 40, 120.0);
+  for (VcrOp op : kAllVcrOps) {
+    const IntervalSet set =
+        BuildHitIntervals(op, layout, PaperRates(), 1.0, 100.0);
+    ASSERT_EQ(set.size(), 1u) << VcrOpName(op);
+    EXPECT_DOUBLE_EQ(set.intervals()[0].lo, 0.0);
+    EXPECT_GE(set.intervals()[0].hi, 100.0);
+  }
+}
+
+TEST(HitIntervalsTest, RespectsEnumerationCap) {
+  const PartitionLayout layout = MakeLayout(120.0, 40, 80.0);
+  const IntervalSet small = BuildHitIntervals(
+      VcrOp::kFastForward, layout, PaperRates(), 1.0, 5.0);
+  const IntervalSet large = BuildHitIntervals(
+      VcrOp::kFastForward, layout, PaperRates(), 1.0, 50.0);
+  EXPECT_LT(small.size(), large.size());
+  // Every interval of `small` appears in `large` (same prefix).
+  for (size_t i = 0; i < small.size(); ++i) {
+    EXPECT_EQ(small.intervals()[i], large.intervals()[i]);
+  }
+}
+
+TEST(HitIntervalsTest, BoundaryLeadDistances) {
+  const PartitionLayout layout = MakeLayout(120.0, 40, 80.0);
+  // d = 0: FF own-window degenerates to measure zero (the viewer sits at
+  // the leading edge).
+  const IntervalSet ff0 = BuildHitIntervals(
+      VcrOp::kFastForward, layout, PaperRates(), 0.0, 10.0);
+  EXPECT_DOUBLE_EQ(ff0.intervals()[0].length(), 0.0);
+  // d = W: RW own-window degenerates (at the trailing edge).
+  const IntervalSet rw_w = BuildHitIntervals(
+      VcrOp::kRewind, layout, PaperRates(), layout.window(), 10.0);
+  EXPECT_DOUBLE_EQ(rw_w.intervals()[0].length(), 0.0);
+  // d = 0 RW: own window has full width γW.
+  const IntervalSet rw0 =
+      BuildHitIntervals(VcrOp::kRewind, layout, PaperRates(), 0.0, 10.0);
+  EXPECT_DOUBLE_EQ(rw0.intervals()[0].lo, 0.0);
+  EXPECT_DOUBLE_EQ(rw0.intervals()[0].hi, 0.75 * layout.window());
+}
+
+TEST(HitIntervalsTest, IntervalsSortedAndDisjoint) {
+  const PartitionLayout layout = MakeLayout(90.0, 30, 45.0);
+  for (VcrOp op : kAllVcrOps) {
+    const IntervalSet set =
+        BuildHitIntervals(op, layout, PaperRates(), 0.8, 60.0);
+    for (size_t i = 1; i < set.size(); ++i) {
+      EXPECT_GT(set.intervals()[i].lo, set.intervals()[i - 1].hi)
+          << VcrOpName(op);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace vod

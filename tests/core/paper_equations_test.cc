@@ -1,0 +1,146 @@
+#include "core/paper_equations.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/hit_model.h"
+#include "dist/exponential.h"
+#include "dist/gamma.h"
+
+namespace vod {
+namespace {
+
+PlaybackRates PaperRates() {
+  PlaybackRates rates;
+  rates.fast_forward = 3.0;
+  rates.rewind = 3.0;
+  return rates;
+}
+
+PartitionLayout MakeLayout(double l, int n, double b) {
+  auto layout = PartitionLayout::FromBuffer(l, n, b);
+  EXPECT_TRUE(layout.ok());
+  return *layout;
+}
+
+TEST(PaperMaxJumpIndexTest, MatchesEquation19) {
+  // i ≤ ⌊(n(l + wα) − lα)/(lα)⌋ with w = (l − B)/n reduces to
+  // ⌊(nl − Bα)/(lα)⌋.
+  const PartitionLayout layout = MakeLayout(120.0, 40, 80.0);
+  const double alpha = 1.5;
+  const int expected = static_cast<int>(
+      std::floor((40.0 * 120.0 - 80.0 * alpha) / (120.0 * alpha)));
+  EXPECT_EQ(PaperMaxJumpIndex(layout, PaperRates()), expected);
+  EXPECT_EQ(expected, 26);
+}
+
+TEST(PaperMaxJumpIndexTest, SmallSystems) {
+  // One stream: no partitions to jump to.
+  EXPECT_EQ(PaperMaxJumpIndex(MakeLayout(120.0, 1, 60.0), PaperRates()), 0);
+  // Full buffer with one stream: bound is negative -> clamped to 0.
+  EXPECT_EQ(PaperMaxJumpIndex(MakeLayout(120.0, 1, 120.0), PaperRates()), 0);
+}
+
+TEST(PaperEquationsTest, RejectsPureBatching) {
+  EXPECT_TRUE(PaperFastForwardHitProbability(MakeLayout(120.0, 40, 0.0),
+                                             PaperRates(),
+                                             GammaDistribution(2.0, 4.0))
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(PaperEquationsTest, RejectsBadQuadratureOrder) {
+  EXPECT_TRUE(PaperFastForwardHitProbability(MakeLayout(120.0, 40, 80.0),
+                                             PaperRates(),
+                                             GammaDistribution(2.0, 4.0), 1)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(PaperEquationsTest, ComponentsAreProbabilities) {
+  const auto components = PaperFastForwardHitProbability(
+      MakeLayout(120.0, 20, 80.0), PaperRates(), GammaDistribution(2.0, 4.0));
+  ASSERT_TRUE(components.ok());
+  EXPECT_GT(components->hit_within, 0.0);
+  EXPECT_GT(components->end, 0.0);
+  EXPECT_LE(components->Total(), 1.0 + 1e-9);
+  for (double p : components->hit_jump_per_partition) {
+    EXPECT_GE(p, -1e-12);
+    EXPECT_LE(p, 1.0);
+  }
+}
+
+TEST(PaperEquationsTest, JumpContributionsDecayWithDistance) {
+  // With a light-tailed duration, far partitions are reached rarely.
+  const auto components = PaperFastForwardHitProbability(
+      MakeLayout(120.0, 40, 80.0), PaperRates(), GammaDistribution(2.0, 4.0));
+  ASSERT_TRUE(components.ok());
+  ASSERT_GE(components->hit_jump_per_partition.size(), 5u);
+  const auto& jumps = components->hit_jump_per_partition;
+  EXPECT_GT(jumps[0], jumps[3]);
+  EXPECT_GT(jumps[3] + 1e-12, jumps.back());
+}
+
+// The headline cross-check: the literal paper equations and the interval
+// engine are two independently derived implementations of P(hit | FF).
+class PaperVsIntervalTest
+    : public ::testing::TestWithParam<std::tuple<int, double>> {};
+
+TEST_P(PaperVsIntervalTest, AgreeOnFastForward) {
+  const int n = std::get<0>(GetParam());
+  const double w = std::get<1>(GetParam());
+  const auto layout = PartitionLayout::FromMaxWait(120.0, n, w);
+  if (!layout.ok() || layout->is_pure_batching()) {
+    GTEST_SKIP() << "infeasible (n, w)";
+  }
+  const auto gamma = std::make_shared<GammaDistribution>(2.0, 4.0);
+  const auto model = AnalyticHitModel::Create(*layout, PaperRates());
+  ASSERT_TRUE(model.ok());
+  const auto fast = model->Breakdown(VcrOp::kFastForward, DistributionPtr(gamma));
+  ASSERT_TRUE(fast.ok());
+  const auto paper =
+      PaperFastForwardHitProbability(*layout, PaperRates(), *gamma, 48);
+  ASSERT_TRUE(paper.ok());
+  EXPECT_NEAR(fast->total(), paper->Total(), 5e-4)
+      << "n=" << n << " w=" << w;
+  EXPECT_NEAR(fast->within, paper->hit_within, 5e-4);
+  EXPECT_NEAR(fast->jump, paper->JumpTotal(), 5e-4);
+  EXPECT_NEAR(fast->end, paper->end, 1e-5);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PaperVsIntervalTest,
+    ::testing::Combine(::testing::Values(5, 10, 20, 40, 60),
+                       ::testing::Values(0.5, 1.0, 2.0)));
+
+TEST(PaperEquationsTest, ExponentialDurationAlsoAgrees) {
+  const auto layout = MakeLayout(60.0, 24, 30.0);
+  const auto exp_dist = std::make_shared<ExponentialDistribution>(5.0);
+  const auto model = AnalyticHitModel::Create(layout, PaperRates());
+  ASSERT_TRUE(model.ok());
+  const auto fast =
+      model->HitProbability(VcrOp::kFastForward, DistributionPtr(exp_dist));
+  const auto paper =
+      PaperFastForwardHitProbability(layout, PaperRates(), *exp_dist, 48);
+  ASSERT_TRUE(fast.ok() && paper.ok());
+  EXPECT_NEAR(*fast, paper->Total(), 5e-4);
+}
+
+TEST(PaperEquationsTest, FasterFastForwardLowersAlphaAndChangesHits) {
+  // Sanity on the α dependence: α(5x) = 1.25 < α(3x) = 1.5, so the same
+  // duration distribution covers more relative ground and jumps farther.
+  const auto layout = MakeLayout(120.0, 40, 80.0);
+  const GammaDistribution gamma(2.0, 4.0);
+  PlaybackRates fast = PaperRates();
+  fast.fast_forward = 5.0;
+  const auto at3 =
+      PaperFastForwardHitProbability(layout, PaperRates(), gamma, 32);
+  const auto at5 = PaperFastForwardHitProbability(layout, fast, gamma, 32);
+  ASSERT_TRUE(at3.ok() && at5.ok());
+  // Faster FF: fewer own-partition hits (overshoots the window sooner).
+  EXPECT_LT(at5->hit_within, at3->hit_within);
+}
+
+}  // namespace
+}  // namespace vod

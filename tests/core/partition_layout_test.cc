@@ -1,0 +1,123 @@
+#include "core/partition_layout.h"
+
+#include <gtest/gtest.h>
+
+namespace vod {
+namespace {
+
+TEST(PartitionLayoutTest, FromBufferBasics) {
+  const auto layout = PartitionLayout::FromBuffer(120.0, 40, 80.0);
+  ASSERT_TRUE(layout.ok());
+  EXPECT_DOUBLE_EQ(layout->movie_length(), 120.0);
+  EXPECT_EQ(layout->streams(), 40);
+  EXPECT_DOUBLE_EQ(layout->buffer_minutes(), 80.0);
+  EXPECT_DOUBLE_EQ(layout->restart_period(), 3.0);
+  EXPECT_DOUBLE_EQ(layout->window(), 2.0);
+  EXPECT_DOUBLE_EQ(layout->max_wait(), 1.0);  // Eq. (2): (120-80)/40
+  EXPECT_NEAR(layout->coverage(), 2.0 / 3.0, 1e-15);
+  EXPECT_FALSE(layout->is_pure_batching());
+}
+
+TEST(PartitionLayoutTest, Equation2RoundTrip) {
+  // FromMaxWait must invert max_wait() exactly: B = l − n·w.
+  for (double w : {0.1, 0.5, 1.0, 2.0}) {
+    for (int n : {1, 7, 40, 100}) {
+      const auto layout = PartitionLayout::FromMaxWait(120.0, n, w);
+      if (!layout.ok()) continue;  // infeasible combination
+      EXPECT_NEAR(layout->max_wait(), w, 1e-12) << "n=" << n << " w=" << w;
+      EXPECT_NEAR(layout->buffer_minutes(), 120.0 - n * w, 1e-12);
+    }
+  }
+}
+
+TEST(PartitionLayoutTest, WindowPlusWaitEqualsPeriod) {
+  // The enrollment window and the gap partition the restart period:
+  // B/n + w = l/n.
+  const auto layout = PartitionLayout::FromBuffer(90.0, 12, 30.0);
+  ASSERT_TRUE(layout.ok());
+  EXPECT_NEAR(layout->window() + layout->max_wait(),
+              layout->restart_period(), 1e-12);
+}
+
+TEST(PartitionLayoutTest, RejectsInvalidArguments) {
+  EXPECT_TRUE(PartitionLayout::FromBuffer(0.0, 1, 0.0)
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(PartitionLayout::FromBuffer(-5.0, 1, 0.0)
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(PartitionLayout::FromBuffer(100.0, 0, 10.0)
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(PartitionLayout::FromBuffer(100.0, 5, -1.0)
+                  .status()
+                  .IsInvalidArgument());
+  // B > l violates Eq. (2)'s B <= l.
+  EXPECT_TRUE(PartitionLayout::FromBuffer(100.0, 5, 101.0)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(PartitionLayoutTest, FromMaxWaitRejectsOversubscription) {
+  // n·w > l ⇒ negative buffer.
+  EXPECT_TRUE(PartitionLayout::FromMaxWait(120.0, 100, 2.0)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(PartitionLayoutTest, FromMaxWaitBoundaryIsPureBatching) {
+  // n·w == l exactly: B = 0.
+  const auto layout = PartitionLayout::FromMaxWait(120.0, 60, 2.0);
+  ASSERT_TRUE(layout.ok());
+  EXPECT_DOUBLE_EQ(layout->buffer_minutes(), 0.0);
+  EXPECT_TRUE(layout->is_pure_batching());
+  EXPECT_DOUBLE_EQ(layout->window(), 0.0);
+}
+
+TEST(PartitionLayoutTest, PureBatchingUsesCeiling) {
+  const auto exact = PartitionLayout::PureBatching(120.0, 2.0);
+  ASSERT_TRUE(exact.ok());
+  EXPECT_EQ(exact->streams(), 60);
+  EXPECT_TRUE(exact->is_pure_batching());
+
+  const auto rounded = PartitionLayout::PureBatching(120.0, 0.7);
+  ASSERT_TRUE(rounded.ok());
+  EXPECT_EQ(rounded->streams(), 172);  // ceil(120/0.7) = ceil(171.43)
+  // Actual wait never exceeds the target.
+  EXPECT_LE(rounded->restart_period(), 0.7 + 1e-12);
+}
+
+TEST(PartitionLayoutTest, PureBatchingRejectsBadInput) {
+  EXPECT_TRUE(
+      PartitionLayout::PureBatching(120.0, 0.0).status().IsInvalidArgument());
+  EXPECT_TRUE(
+      PartitionLayout::PureBatching(0.0, 1.0).status().IsInvalidArgument());
+}
+
+TEST(PartitionLayoutTest, FullBufferMeansZeroWait) {
+  const auto layout = PartitionLayout::FromBuffer(120.0, 10, 120.0);
+  ASSERT_TRUE(layout.ok());
+  EXPECT_DOUBLE_EQ(layout->max_wait(), 0.0);
+  EXPECT_DOUBLE_EQ(layout->coverage(), 1.0);
+  EXPECT_DOUBLE_EQ(layout->window(), layout->restart_period());
+}
+
+TEST(PartitionLayoutTest, GrossBufferAddsPerPartitionReserve) {
+  // Paper §3.1: B = B' − n·δ, so B' = B + n·δ.
+  const auto layout = PartitionLayout::FromBuffer(120.0, 40, 80.0);
+  ASSERT_TRUE(layout.ok());
+  EXPECT_DOUBLE_EQ(layout->gross_buffer_minutes(0.0), 80.0);
+  EXPECT_DOUBLE_EQ(layout->gross_buffer_minutes(0.25), 80.0 + 40 * 0.25);
+}
+
+TEST(PartitionLayoutTest, ToStringMentionsParameters) {
+  const auto layout = PartitionLayout::FromBuffer(120.0, 40, 80.0);
+  ASSERT_TRUE(layout.ok());
+  const std::string s = layout->ToString();
+  EXPECT_NE(s.find("l=120"), std::string::npos);
+  EXPECT_NE(s.find("n=40"), std::string::npos);
+  EXPECT_NE(s.find("B=80"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace vod

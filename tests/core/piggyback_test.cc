@@ -1,0 +1,154 @@
+#include "core/piggyback.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace vod {
+namespace {
+
+PartitionLayout MakeLayout(double l, int n, double b) {
+  auto layout = PartitionLayout::FromBuffer(l, n, b);
+  EXPECT_TRUE(layout.ok());
+  return *layout;
+}
+
+TEST(PiggybackOptionsTest, Validation) {
+  PiggybackOptions off;
+  EXPECT_TRUE(off.Validate().ok());  // disabled: delta unchecked
+
+  PiggybackOptions on;
+  on.enabled = true;
+  on.speed_delta = 0.05;
+  EXPECT_TRUE(on.Validate().ok());
+
+  on.speed_delta = 0.0;
+  EXPECT_TRUE(on.Validate().IsInvalidArgument());
+  on.speed_delta = 1.0;
+  EXPECT_TRUE(on.Validate().IsInvalidArgument());
+  on.speed_delta = -0.1;
+  EXPECT_TRUE(on.Validate().IsInvalidArgument());
+}
+
+TEST(PiggybackPlanTest, SpeedsUpTowardNearWindowAhead) {
+  // l=120, n=40, B=80: T=3, W=2, gap (2, 3). Phase 2.2: 0.2 from the window
+  // ahead, 0.8 from the one behind -> speed up.
+  const PartitionLayout layout = MakeLayout(120.0, 40, 80.0);
+  PiggybackOptions options;
+  options.enabled = true;
+  options.speed_delta = 0.05;
+  const auto plan = PlanPiggybackMerge(layout, 2.2, options);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->direction, PiggybackDirection::kSpeedUp);
+  EXPECT_DOUBLE_EQ(plan->rate_factor, 1.05);
+  EXPECT_NEAR(plan->merge_minutes, 0.2 / 0.05, 1e-12);
+}
+
+TEST(PiggybackPlanTest, SlowsDownTowardNearWindowBehind) {
+  const PartitionLayout layout = MakeLayout(120.0, 40, 80.0);
+  PiggybackOptions options;
+  options.enabled = true;
+  options.speed_delta = 0.05;
+  const auto plan = PlanPiggybackMerge(layout, 2.9, options);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->direction, PiggybackDirection::kSlowDown);
+  EXPECT_DOUBLE_EQ(plan->rate_factor, 0.95);
+  EXPECT_NEAR(plan->merge_minutes, 0.1 / 0.05, 1e-12);
+}
+
+TEST(PiggybackPlanTest, MidGapTieTakesSpeedUp) {
+  const PartitionLayout layout = MakeLayout(120.0, 40, 80.0);
+  PiggybackOptions options;
+  options.enabled = true;
+  options.speed_delta = 0.1;
+  const auto plan = PlanPiggybackMerge(layout, 2.5, options);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->direction, PiggybackDirection::kSpeedUp);
+  EXPECT_NEAR(plan->merge_minutes, 0.5 / 0.1, 1e-12);
+}
+
+TEST(PiggybackPlanTest, LargerDeltaMergesFaster) {
+  const PartitionLayout layout = MakeLayout(120.0, 40, 80.0);
+  PiggybackOptions slow;
+  slow.enabled = true;
+  slow.speed_delta = 0.02;
+  PiggybackOptions fast;
+  fast.enabled = true;
+  fast.speed_delta = 0.1;
+  const auto a = PlanPiggybackMerge(layout, 2.4, slow);
+  const auto b = PlanPiggybackMerge(layout, 2.4, fast);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_GT(a->merge_minutes, b->merge_minutes);
+  EXPECT_NEAR(a->merge_minutes / b->merge_minutes, 5.0, 1e-9);
+}
+
+TEST(PiggybackPlanTest, RejectsBadInputs) {
+  const PartitionLayout layout = MakeLayout(120.0, 40, 80.0);
+  PiggybackOptions options;
+  options.enabled = true;
+  // Phase inside a window is not a miss.
+  EXPECT_TRUE(PlanPiggybackMerge(layout, 1.0, options)
+                  .status()
+                  .IsInvalidArgument());
+  // Phase beyond the period is malformed.
+  EXPECT_TRUE(PlanPiggybackMerge(layout, 3.5, options)
+                  .status()
+                  .IsInvalidArgument());
+  // Disabled policy.
+  PiggybackOptions off;
+  EXPECT_TRUE(PlanPiggybackMerge(layout, 2.5, off)
+                  .status()
+                  .IsInvalidArgument());
+  // Pure batching / full buffer have no gap geometry.
+  EXPECT_TRUE(PlanPiggybackMerge(MakeLayout(120.0, 40, 0.0), 2.5, options)
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(PlanPiggybackMerge(MakeLayout(120.0, 40, 120.0), 2.5, options)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(PiggybackExpectationTest, ClosedForm) {
+  // E[t] = w/(4Δ): gap w = (l − B)/n.
+  const PartitionLayout layout = MakeLayout(120.0, 40, 80.0);  // w = 1
+  PiggybackOptions options;
+  options.enabled = true;
+  options.speed_delta = 0.05;
+  EXPECT_NEAR(ExpectedPiggybackMergeMinutes(layout, options),
+              1.0 / (4.0 * 0.05), 1e-12);
+  options.speed_delta = 0.1;
+  EXPECT_NEAR(ExpectedPiggybackMergeMinutes(layout, options), 2.5, 1e-12);
+}
+
+TEST(PiggybackExpectationTest, MatchesMonteCarloOverUniformPhase) {
+  const PartitionLayout layout = MakeLayout(120.0, 30, 90.0);  // T=4, W=3
+  PiggybackOptions options;
+  options.enabled = true;
+  options.speed_delta = 0.05;
+  double sum = 0.0;
+  const int samples = 20000;
+  for (int i = 0; i < samples; ++i) {
+    const double g = layout.window() +
+                     (layout.restart_period() - layout.window()) *
+                         (i + 0.5) / samples;
+    const auto plan = PlanPiggybackMerge(layout, g, options);
+    ASSERT_TRUE(plan.ok());
+    sum += plan->merge_minutes;
+  }
+  EXPECT_NEAR(sum / samples, ExpectedPiggybackMergeMinutes(layout, options),
+              0.01);
+}
+
+TEST(PiggybackExpectationTest, DegenerateLayoutsGiveZero) {
+  PiggybackOptions options;
+  options.enabled = true;
+  EXPECT_DOUBLE_EQ(ExpectedPiggybackMergeMinutes(
+                       MakeLayout(120.0, 40, 120.0), options),
+                   0.0);
+  PiggybackOptions off;
+  EXPECT_DOUBLE_EQ(
+      ExpectedPiggybackMergeMinutes(MakeLayout(120.0, 40, 80.0), off), 0.0);
+}
+
+}  // namespace
+}  // namespace vod

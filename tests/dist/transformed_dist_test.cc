@@ -1,0 +1,129 @@
+#include "dist/transformed.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "dist/exponential.h"
+#include "dist/gamma.h"
+#include "dist/uniform.h"
+#include "stats/ks_test.h"
+
+namespace vod {
+namespace {
+
+TEST(TruncatedTest, CdfRescalesBaseMass) {
+  auto base = std::make_shared<ExponentialDistribution>(2.0);
+  TruncatedDistribution trunc(base, 1.0, 5.0);
+  EXPECT_DOUBLE_EQ(trunc.Cdf(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(trunc.Cdf(6.0), 1.0);
+  const double mass = base->Cdf(5.0) - base->Cdf(1.0);
+  EXPECT_NEAR(trunc.Cdf(3.0), (base->Cdf(3.0) - base->Cdf(1.0)) / mass,
+              1e-14);
+  EXPECT_NEAR(trunc.Pdf(3.0), base->Pdf(3.0) / mass, 1e-14);
+}
+
+TEST(TruncatedTest, MeanInsideWindow) {
+  auto base = std::make_shared<ExponentialDistribution>(2.0);
+  TruncatedDistribution trunc(base, 1.0, 5.0);
+  const double mean = trunc.Mean();
+  EXPECT_GT(mean, 1.0);
+  EXPECT_LT(mean, 5.0);
+  // Exponential memorylessness: E[X | 1 <= X <= 5] computable directly.
+  // E = ∫ x f dx / mass with f = e^{-x/2}/2.
+  const auto integrand = [&](double x) { return x * base->Pdf(x); };
+  double acc = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double x = 1.0 + 4.0 * (i + 0.5) / n;
+    acc += integrand(x) * 4.0 / n;
+  }
+  const double expected = acc / (base->Cdf(5.0) - base->Cdf(1.0));
+  EXPECT_NEAR(mean, expected, 1e-4);
+}
+
+TEST(TruncatedTest, SamplesStayInWindowAndMatchCdf) {
+  auto base = std::make_shared<GammaDistribution>(2.0, 4.0);
+  TruncatedDistribution trunc(base, 2.0, 20.0);
+  Rng rng(17);
+  std::vector<double> samples;
+  for (int i = 0; i < 4000; ++i) {
+    const double x = trunc.Sample(&rng);
+    ASSERT_GE(x, 2.0);
+    ASSERT_LE(x, 20.0);
+    samples.push_back(x);
+  }
+  const KsTestResult ks = KolmogorovSmirnovTest(
+      std::move(samples), [&](double x) { return trunc.Cdf(x); });
+  EXPECT_GT(ks.p_value, 0.001) << "D=" << ks.statistic;
+}
+
+TEST(TruncatedTest, RejectsEmptyMassWindow) {
+  auto base = std::make_shared<UniformDistribution>(0.0, 1.0);
+  EXPECT_DEATH(TruncatedDistribution(base, 5.0, 6.0), "no mass");
+}
+
+TEST(WrappedTest, CdfReachesOneAtPeriod) {
+  auto base = std::make_shared<ExponentialDistribution>(10.0);
+  WrappedDistribution wrapped(base, 4.0);
+  EXPECT_DOUBLE_EQ(wrapped.Cdf(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(wrapped.Cdf(4.0), 1.0);
+  EXPECT_DOUBLE_EQ(wrapped.Cdf(3.999999), wrapped.Cdf(3.999999));
+  EXPECT_GT(wrapped.Cdf(2.0), 0.0);
+  EXPECT_LT(wrapped.Cdf(2.0), 1.0);
+}
+
+TEST(WrappedTest, MatchesFoldedMassExponential) {
+  // For Exp(mean) mod P, P(X mod P <= x) = Σ_k [F(x+kP) − F(kP)] has the
+  // closed form (1 − e^{-x/m}) / (1 − e^{-P/m}).
+  const double m = 3.0;
+  const double period = 5.0;
+  auto base = std::make_shared<ExponentialDistribution>(m);
+  WrappedDistribution wrapped(base, period);
+  for (double x : {0.5, 1.0, 2.5, 4.0, 4.9}) {
+    const double expected = (1.0 - std::exp(-x / m)) /
+                            (1.0 - std::exp(-period / m));
+    EXPECT_NEAR(wrapped.Cdf(x), expected, 1e-10) << "x=" << x;
+  }
+}
+
+TEST(WrappedTest, SamplerMatchesCdf) {
+  auto base = std::make_shared<GammaDistribution>(2.0, 4.0);
+  WrappedDistribution wrapped(base, 6.0);
+  Rng rng(23);
+  std::vector<double> samples;
+  for (int i = 0; i < 4000; ++i) {
+    const double x = wrapped.Sample(&rng);
+    ASSERT_GE(x, 0.0);
+    ASSERT_LT(x, 6.0);
+    samples.push_back(x);
+  }
+  const KsTestResult ks = KolmogorovSmirnovTest(
+      std::move(samples), [&](double x) { return wrapped.Cdf(x); });
+  EXPECT_GT(ks.p_value, 0.001) << "D=" << ks.statistic;
+}
+
+TEST(WrappedTest, NoOpWhenPeriodCoversSupportMass) {
+  // Wrapping at a period far beyond the effective support changes nothing.
+  auto base = std::make_shared<GammaDistribution>(2.0, 1.0);
+  WrappedDistribution wrapped(base, 200.0);
+  for (double x : {0.5, 2.0, 8.0}) {
+    EXPECT_NEAR(wrapped.Cdf(x), base->Cdf(x), 1e-10);
+  }
+  EXPECT_NEAR(wrapped.Mean(), base->Mean(), 1e-6);
+}
+
+TEST(WrappedTest, MeanIsBelowPeriod) {
+  auto base = std::make_shared<ExponentialDistribution>(50.0);
+  WrappedDistribution wrapped(base, 7.0);
+  const double mean = wrapped.Mean();
+  EXPECT_GT(mean, 0.0);
+  EXPECT_LT(mean, 7.0);
+  // A heavily folded exponential is nearly uniform: mean ≈ period/2.
+  EXPECT_NEAR(mean, 3.5, 0.15);
+  EXPECT_NEAR(wrapped.Variance(), 49.0 / 12.0, 0.3);
+}
+
+}  // namespace
+}  // namespace vod

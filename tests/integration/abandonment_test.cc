@@ -1,0 +1,178 @@
+// Viewer abandonment and the non-uniform position-density extension.
+//
+// The paper assumes P(V_c) = 1/l (§3.1). When viewers abandon sessions,
+// active positions skew toward the start of the movie; the extended model
+// unconditions over an arbitrary position density q instead. These tests
+// validate the q-weighted fast path against the brute-force reference and
+// against the simulator with an actual abandonment process.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/hit_model.h"
+#include "core/reference_model.h"
+#include "dist/exponential.h"
+#include "dist/transformed.h"
+#include "dist/uniform.h"
+#include "sim/simulator.h"
+#include "workload/paper_presets.h"
+
+namespace vod {
+namespace {
+
+DistributionPtr EarlySkewedPositions(double mean, double movie_length) {
+  // Active-viewer positions under exponential patience: density ∝ e^{-v/mean}
+  // restricted to [0, l].
+  return std::make_shared<TruncatedDistribution>(
+      std::make_shared<ExponentialDistribution>(mean), 0.0, movie_length);
+}
+
+TEST(PositionDensityModelTest, UniformDensityMatchesNullDefault) {
+  const auto layout = PartitionLayout::FromBuffer(120.0, 40, 80.0);
+  ASSERT_TRUE(layout.ok());
+  HitModelOptions uniform_explicit;
+  uniform_explicit.position_density =
+      std::make_shared<UniformDistribution>(0.0, 120.0);
+  const auto with_q =
+      AnalyticHitModel::Create(*layout, paper::Rates(), uniform_explicit);
+  const auto without_q = AnalyticHitModel::Create(*layout, paper::Rates());
+  ASSERT_TRUE(with_q.ok() && without_q.ok());
+  for (VcrOp op : kAllVcrOps) {
+    const auto a = with_q->HitProbability(op, paper::Fig7Duration());
+    const auto b = without_q->HitProbability(op, paper::Fig7Duration());
+    ASSERT_TRUE(a.ok() && b.ok());
+    EXPECT_NEAR(*a, *b, 1e-6) << VcrOpName(op);
+  }
+}
+
+TEST(PositionDensityModelTest, FastPathMatchesReferenceUnderSkew) {
+  const auto layout = PartitionLayout::FromBuffer(120.0, 40, 80.0);
+  ASSERT_TRUE(layout.ok());
+  const DistributionPtr q = EarlySkewedPositions(45.0, 120.0);
+
+  HitModelOptions model_options;
+  model_options.position_density = q;
+  const auto model =
+      AnalyticHitModel::Create(*layout, paper::Rates(), model_options);
+  ASSERT_TRUE(model.ok());
+
+  ReferenceModelOptions reference_options;
+  reference_options.position_density = q;
+  for (VcrOp op : kAllVcrOps) {
+    const auto fast = model->HitProbability(op, paper::Fig7Duration());
+    const auto reference = ReferenceHitProbability(
+        op, *layout, paper::Rates(), *paper::Fig7Duration(),
+        reference_options);
+    ASSERT_TRUE(fast.ok() && reference.ok());
+    EXPECT_NEAR(*fast, *reference, 5e-4) << VcrOpName(op);
+  }
+}
+
+TEST(PositionDensityModelTest, SkewShiftsTheBoundaryTerms) {
+  const auto layout = PartitionLayout::FromBuffer(120.0, 40, 80.0);
+  ASSERT_TRUE(layout.ok());
+  HitModelOptions skew_options;
+  skew_options.position_density = EarlySkewedPositions(30.0, 120.0);
+  const auto skewed =
+      AnalyticHitModel::Create(*layout, paper::Rates(), skew_options);
+  const auto uniform = AnalyticHitModel::Create(*layout, paper::Rates());
+  ASSERT_TRUE(skewed.ok() && uniform.ok());
+
+  // Early viewers rarely reach the movie end on a fast-forward...
+  const auto ff_skew =
+      skewed->Breakdown(VcrOp::kFastForward, paper::Fig7Duration());
+  const auto ff_uni =
+      uniform->Breakdown(VcrOp::kFastForward, paper::Fig7Duration());
+  ASSERT_TRUE(ff_skew.ok() && ff_uni.ok());
+  EXPECT_LT(ff_skew->end, 0.5 * ff_uni->end);
+
+  // ...and rewinds fall off the movie start more often (more misses).
+  const auto rw_skew =
+      skewed->HitProbability(VcrOp::kRewind, paper::Fig7Duration());
+  const auto rw_uni =
+      uniform->HitProbability(VcrOp::kRewind, paper::Fig7Duration());
+  ASSERT_TRUE(rw_skew.ok() && rw_uni.ok());
+  EXPECT_LT(*rw_skew, *rw_uni - 0.02);
+
+  // Pause geometry is position-free: unchanged.
+  const auto pau_skew =
+      skewed->HitProbability(VcrOp::kPause, paper::Fig7Duration());
+  const auto pau_uni =
+      uniform->HitProbability(VcrOp::kPause, paper::Fig7Duration());
+  ASSERT_TRUE(pau_skew.ok() && pau_uni.ok());
+  EXPECT_NEAR(*pau_skew, *pau_uni, 1e-9);
+}
+
+TEST(AbandonmentSimTest, NoPatienceMeansNoAbandonments) {
+  const auto layout = PartitionLayout::FromBuffer(120.0, 40, 80.0);
+  ASSERT_TRUE(layout.ok());
+  SimulationOptions options;
+  options.behavior = paper::Fig7MixedBehavior();
+  options.warmup_minutes = 200.0;
+  options.measurement_minutes = 3000.0;
+  const auto report = RunSimulation(*layout, paper::Rates(), options);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->abandonments, 0);
+}
+
+TEST(AbandonmentSimTest, PatienceShortensSessions) {
+  const auto layout = PartitionLayout::FromBuffer(120.0, 40, 80.0);
+  ASSERT_TRUE(layout.ok());
+  SimulationOptions options;
+  options.behavior.interactivity = nullptr;  // passive for exact arithmetic
+  options.patience = std::make_shared<ExponentialDistribution>(40.0);
+  options.warmup_minutes = 1000.0;
+  options.measurement_minutes = 20000.0;
+  const auto report = RunSimulation(*layout, paper::Rates(), options);
+  ASSERT_TRUE(report.ok());
+  EXPECT_GT(report->abandonments, 0);
+  // Little's law with truncated-exponential sessions:
+  // E[min(patience, l)] = 40(1 − e^{-3}).
+  const double expected_viewers =
+      0.5 * 40.0 * (1.0 - std::exp(-120.0 / 40.0));
+  EXPECT_NEAR(report->mean_concurrent_viewers, expected_viewers, 1.5);
+  // P(abandon before the end) = 1 − e^{-l/mean} ≈ 0.95.
+  const double total_departures = static_cast<double>(
+      report->abandonments);
+  EXPECT_GT(total_departures, 0.0);
+}
+
+TEST(AbandonmentSimTest, SkewedModelTracksAbandoningViewers) {
+  // The acid test: simulate abandonment, then compare the measured hit
+  // probability against BOTH models. The q-weighted model must be closer
+  // than the uniform one for the boundary-sensitive FF operation.
+  const auto layout = PartitionLayout::FromBuffer(120.0, 40, 80.0);
+  ASSERT_TRUE(layout.ok());
+  const double mean_patience = 45.0;
+
+  SimulationOptions options;
+  options.behavior = paper::Fig7SingleOpBehavior(VcrOp::kFastForward);
+  options.patience =
+      std::make_shared<ExponentialDistribution>(mean_patience);
+  options.warmup_minutes = 2000.0;
+  options.measurement_minutes = 40000.0;
+  const auto report = RunSimulation(*layout, paper::Rates(), options);
+  ASSERT_TRUE(report.ok());
+  ASSERT_GT(report->in_partition_resumes, 5000);
+
+  const auto uniform = AnalyticHitModel::Create(*layout, paper::Rates());
+  HitModelOptions skew_options;
+  skew_options.position_density =
+      EarlySkewedPositions(mean_patience, 120.0);
+  const auto skewed =
+      AnalyticHitModel::Create(*layout, paper::Rates(), skew_options);
+  ASSERT_TRUE(uniform.ok() && skewed.ok());
+  const auto p_uniform =
+      uniform->HitProbability(VcrOp::kFastForward, paper::Fig7Duration());
+  const auto p_skewed =
+      skewed->HitProbability(VcrOp::kFastForward, paper::Fig7Duration());
+  ASSERT_TRUE(p_uniform.ok() && p_skewed.ok());
+
+  const double sim = report->hit_probability_in_partition;
+  EXPECT_LT(std::fabs(sim - *p_skewed), std::fabs(sim - *p_uniform));
+  EXPECT_NEAR(sim, *p_skewed, 0.05);
+}
+
+}  // namespace
+}  // namespace vod

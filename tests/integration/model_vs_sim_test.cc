@@ -1,0 +1,168 @@
+// The paper's Section 4 validation: the analytic model must track the
+// discrete-event simulation for every VCR operation type and for the mixed
+// workload, across waiting-time targets and partition counts.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/hit_model.h"
+#include "dist/exponential.h"
+#include "dist/gamma.h"
+#include "sim/simulator.h"
+#include "workload/paper_presets.h"
+
+namespace vod {
+namespace {
+
+struct ValidationCase {
+  std::string label;
+  VcrOp op;
+  int streams;
+  double max_wait;
+  /// Allowed |model − sim| for resumes issued from inside a partition.
+  double tolerance;
+};
+
+std::vector<ValidationCase> Cases() {
+  // Tolerances reflect the paper's own observations (§4): the FF and PAU
+  // figures nearly coincide; RW shows a visible gap because the model calls
+  // a rewind-past-start a miss while the real system often re-enrolls.
+  return {
+      {"FF_n20_w1", VcrOp::kFastForward, 20, 1.0, 0.02},
+      {"FF_n40_w1", VcrOp::kFastForward, 40, 1.0, 0.02},
+      {"FF_n80_w1", VcrOp::kFastForward, 80, 1.0, 0.03},
+      {"FF_n40_w2", VcrOp::kFastForward, 40, 2.0, 0.03},
+      {"RW_n20_w1", VcrOp::kRewind, 20, 1.0, 0.08},
+      {"RW_n40_w1", VcrOp::kRewind, 40, 1.0, 0.08},
+      {"PAU_n20_w1", VcrOp::kPause, 20, 1.0, 0.02},
+      {"PAU_n40_w1", VcrOp::kPause, 40, 1.0, 0.02},
+      {"PAU_n40_w2", VcrOp::kPause, 40, 2.0, 0.03},
+  };
+}
+
+class ModelVsSimTest : public ::testing::TestWithParam<ValidationCase> {};
+
+TEST_P(ModelVsSimTest, SimulationTracksModel) {
+  const ValidationCase& c = GetParam();
+  const auto layout = PartitionLayout::FromMaxWait(
+      paper::kFig7MovieLength, c.streams, c.max_wait);
+  ASSERT_TRUE(layout.ok());
+
+  const auto model = AnalyticHitModel::Create(*layout, paper::Rates());
+  ASSERT_TRUE(model.ok());
+  const auto p_model = model->HitProbability(c.op, paper::Fig7Duration());
+  ASSERT_TRUE(p_model.ok());
+
+  SimulationOptions options;
+  options.mean_interarrival_minutes = paper::kFig7MeanInterarrival;
+  options.behavior = paper::Fig7SingleOpBehavior(c.op);
+  options.warmup_minutes = 2000.0;
+  options.measurement_minutes = 40000.0;
+  options.seed = 20240707;
+  const auto report = RunSimulation(*layout, paper::Rates(), options);
+  ASSERT_TRUE(report.ok());
+
+  EXPECT_NEAR(report->hit_probability_in_partition, *p_model, c.tolerance)
+      << c.label << ": model=" << *p_model
+      << " sim=" << report->hit_probability_in_partition << " ("
+      << report->in_partition_resumes << " resumes)";
+}
+
+INSTANTIATE_TEST_SUITE_P(Fig7, ModelVsSimTest, ::testing::ValuesIn(Cases()),
+                         [](const ::testing::TestParamInfo<ValidationCase>&
+                                info) { return info.param.label; });
+
+TEST(ModelVsSimTest, DiscrepancySignsMatchThePaper) {
+  // §4: the model *under*-estimates RW and PAU hits (boundary at minute 0
+  // counted as a miss) and can *over*-estimate FF hits near partition
+  // leading edges. Check the RW sign, which is the pronounced one.
+  const auto layout = PartitionLayout::FromMaxWait(120.0, 40, 1.0);
+  ASSERT_TRUE(layout.ok());
+  const auto model = AnalyticHitModel::Create(*layout, paper::Rates());
+  ASSERT_TRUE(model.ok());
+  const auto p_model =
+      model->HitProbability(VcrOp::kRewind, paper::Fig7Duration());
+  ASSERT_TRUE(p_model.ok());
+
+  SimulationOptions options;
+  options.behavior = paper::Fig7SingleOpBehavior(VcrOp::kRewind);
+  options.warmup_minutes = 2000.0;
+  options.measurement_minutes = 40000.0;
+  const auto report = RunSimulation(*layout, paper::Rates(), options);
+  ASSERT_TRUE(report.ok());
+  EXPECT_GT(report->hit_probability, *p_model);
+}
+
+TEST(ModelVsSimTest, MixedWorkloadMatches) {
+  // Figure 7(d): P_FF = 0.2, P_RW = 0.2, P_PAU = 0.6.
+  const auto layout = PartitionLayout::FromMaxWait(120.0, 40, 1.0);
+  ASSERT_TRUE(layout.ok());
+  const auto model = AnalyticHitModel::Create(*layout, paper::Rates());
+  ASSERT_TRUE(model.ok());
+  const auto p_model = model->HitProbability(
+      VcrMix::PaperMixed(), VcrDurations::AllSame(paper::Fig7Duration()));
+  ASSERT_TRUE(p_model.ok());
+
+  SimulationOptions options;
+  options.behavior = paper::Fig7MixedBehavior();
+  options.warmup_minutes = 2000.0;
+  options.measurement_minutes = 40000.0;
+  const auto report = RunSimulation(*layout, paper::Rates(), options);
+  ASSERT_TRUE(report.ok());
+  EXPECT_NEAR(report->hit_probability_in_partition, *p_model, 0.05);
+  EXPECT_GT(report->in_partition_resumes, 5000);
+}
+
+TEST(ModelVsSimTest, HeterogeneousPerOpDurationsMatch) {
+  // The model accepts a different duration distribution per operation; the
+  // simulator must agree under the same heterogeneous behavior.
+  const auto layout = PartitionLayout::FromMaxWait(120.0, 40, 1.0);
+  ASSERT_TRUE(layout.ok());
+
+  VcrDurations durations;
+  durations.fast_forward = std::make_shared<GammaDistribution>(2.0, 4.0);
+  durations.rewind = std::make_shared<ExponentialDistribution>(3.0);
+  durations.pause = std::make_shared<ExponentialDistribution>(12.0);
+  const VcrMix mix{0.3, 0.3, 0.4};
+
+  const auto model = AnalyticHitModel::Create(*layout, paper::Rates());
+  ASSERT_TRUE(model.ok());
+  const auto p_model = model->HitProbability(mix, durations);
+  ASSERT_TRUE(p_model.ok());
+
+  SimulationOptions options;
+  options.behavior.mix = mix;
+  options.behavior.durations = durations;
+  options.behavior.interactivity = paper::DefaultInteractivity();
+  options.warmup_minutes = 2000.0;
+  options.measurement_minutes = 40000.0;
+  const auto report = RunSimulation(*layout, paper::Rates(), options);
+  ASSERT_TRUE(report.ok());
+  EXPECT_NEAR(report->hit_probability_in_partition, *p_model, 0.04);
+}
+
+TEST(ModelVsSimTest, InteractivityRateBarelyMovesHitProbability) {
+  // The model has no interactivity-rate parameter; the simulated hit
+  // probability must be insensitive to it (it only changes how many resumes
+  // are observed). This justifies our choice of the unstated constant.
+  const auto layout = PartitionLayout::FromMaxWait(120.0, 40, 1.0);
+  ASSERT_TRUE(layout.ok());
+  double estimates[2];
+  int idx = 0;
+  for (double mean_gap : {10.0, 40.0}) {
+    SimulationOptions options;
+    options.behavior = paper::Fig7SingleOpBehavior(VcrOp::kPause);
+    options.behavior.interactivity =
+        std::make_shared<ExponentialDistribution>(mean_gap);
+    options.warmup_minutes = 2000.0;
+    options.measurement_minutes = 40000.0;
+    const auto report = RunSimulation(*layout, paper::Rates(), options);
+    ASSERT_TRUE(report.ok());
+    estimates[idx++] = report->hit_probability_in_partition;
+  }
+  EXPECT_NEAR(estimates[0], estimates[1], 0.02);
+}
+
+}  // namespace
+}  // namespace vod

@@ -1,0 +1,182 @@
+// End-to-end reproduction of the paper's Section 5 pipeline: Example 1's
+// three-movie allocation, the pure-batching baseline, and the Example 2 cost
+// arithmetic — then a closing of the loop: simulate a sized movie and verify
+// the promised hit probability and waiting time are delivered.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/cost_model.h"
+#include "core/sizing.h"
+#include "sim/simulator.h"
+#include "storage/disk_model.h"
+#include "workload/paper_presets.h"
+
+namespace vod {
+namespace {
+
+TEST(SizingPipelineTest, Example1StructureReproduced) {
+  const auto movies = paper::Example1Movies();
+  // Pure batching baseline: 1230 streams, zero buffer, zero hits.
+  EXPECT_EQ(PureBatchingStreams(movies), 1230);
+
+  const auto sized = SizeSystem(movies, /*stream_budget=*/1230);
+  ASSERT_TRUE(sized.ok()) << sized.status();
+
+  // The allocation must beat pure batching by roughly a factor of two
+  // (paper: 602 streams + 113.5 buffer-minutes). Exact values depend on the
+  // operation mix (unstated in the paper); the structure must hold:
+  EXPECT_LT(sized->total_streams, 1230 / 1.5);
+  EXPECT_GT(sized->total_streams, 1230 / 4);
+  EXPECT_GT(sized->total_buffer_minutes, 60.0);
+  EXPECT_LT(sized->total_buffer_minutes, 160.0);
+
+  // Per-movie: B_i = l_i − n_i·w_i must hold, and every movie gets both
+  // streams and buffer.
+  ASSERT_EQ(sized->movies.size(), 3u);
+  const double waits[3] = {0.1, 0.5, 0.25};
+  const double lengths[3] = {75.0, 60.0, 90.0};
+  for (int i = 0; i < 3; ++i) {
+    const auto& m = sized->movies[i];
+    EXPECT_NEAR(m.buffer_minutes, lengths[i] - m.streams * waits[i], 1e-9);
+    EXPECT_GE(m.streams, 1);
+    EXPECT_GT(m.buffer_minutes, 0.0);
+    // Buffer stays near half the movie (P* = 0.5 with ~uniform coverage).
+    EXPECT_GT(m.buffer_minutes, 0.3 * lengths[i]);
+    EXPECT_LT(m.buffer_minutes, 0.75 * lengths[i]);
+  }
+}
+
+TEST(SizingPipelineTest, MixedWorkloadReproducesExample1Numbers) {
+  // With the Figure-7(d) mix (P_FF=0.2, P_RW=0.2, P_PAU=0.6) the sizing
+  // reproduces the paper's Example 1 almost exactly:
+  //   paper: [(39, 360), (30, 60), (44.5, 182)], ΣB = 113.5, Σn = 602
+  //   ours : [(37.6, 374), (30, 60), (45, 180)], ΣB = 112.6, Σn = 614
+  // (movie-2 matches exactly; the residual gap on movie-1/3 is within the
+  // paper's own 5-minute buffer step). This strongly suggests the paper's
+  // unstated sizing mix was its Figure-7(d) workload.
+  const auto movies = paper::Example1Movies(VcrMix::PaperMixed());
+
+  const auto m1 = MinimumBufferChoice(movies[0]);
+  ASSERT_TRUE(m1.ok());
+  EXPECT_NEAR(m1->buffer_minutes, 39.0, 2.5);
+  EXPECT_NEAR(m1->streams, 360, 25);
+
+  const auto m2 = MinimumBufferChoice(movies[1]);
+  ASSERT_TRUE(m2.ok());
+  EXPECT_EQ(m2->streams, 60);
+  EXPECT_NEAR(m2->buffer_minutes, 30.0, 1e-9);
+
+  const auto m3 = MinimumBufferChoice(movies[2]);
+  ASSERT_TRUE(m3.ok());
+  EXPECT_NEAR(m3->buffer_minutes, 44.5, 1.0);
+  EXPECT_NEAR(m3->streams, 182, 4);
+
+  const auto sized = SizeSystem(movies, 1230);
+  ASSERT_TRUE(sized.ok());
+  EXPECT_NEAR(sized->total_buffer_minutes, 113.5, 3.0);
+  EXPECT_NEAR(sized->total_streams, 602, 25);
+}
+
+TEST(SizingPipelineTest, EverySizedMovieMeetsItsTarget) {
+  const auto movies = paper::Example1Movies();
+  for (const auto& spec : movies) {
+    const auto choice = MinimumBufferChoice(spec);
+    ASSERT_TRUE(choice.ok()) << spec.name << ": " << choice.status();
+    EXPECT_GE(choice->hit_probability, spec.min_hit_probability) << spec.name;
+    // And one more stream would violate it (minimality).
+    const auto layout = PartitionLayout::FromMaxWait(
+        spec.length_minutes, choice->streams + 1, spec.max_wait_minutes);
+    if (layout.ok()) {
+      const auto model = AnalyticHitModel::Create(*layout, spec.rates);
+      ASSERT_TRUE(model.ok());
+      const auto p = model->HitProbability(spec.mix, spec.durations);
+      ASSERT_TRUE(p.ok());
+      EXPECT_LT(*p, spec.min_hit_probability) << spec.name;
+    }
+  }
+}
+
+TEST(SizingPipelineTest, Example2CostPipeline) {
+  // Hardware arithmetic feeding Eq. 23.
+  const HardwareCosts costs;
+  const auto disk_model = DiskModel::Create(DiskSpec{}, VideoFormat{});
+  ASSERT_TRUE(disk_model.ok());
+  EXPECT_DOUBLE_EQ(disk_model->CostPerStream(), costs.StreamCost());
+
+  const auto movies = paper::Example1Movies();
+  const auto sized = SizeSystem(movies, 1230);
+  ASSERT_TRUE(sized.ok());
+
+  const double dollars = AllocationCostDollars(*sized, costs);
+  // Pure batching for comparison: 1230 streams, no buffer.
+  AllocationResult pure;
+  pure.total_streams = 1230;
+  pure.total_buffer_minutes = 0.0;
+  const double pure_dollars = AllocationCostDollars(pure, costs);
+  // At 1997 prices memory dominates: the buffered configuration costs more
+  // in dollars but delivers P(hit) >= 0.5 instead of 0 — this is the paper's
+  // point that the *minimum-cost feasible* point must be found, not assumed.
+  EXPECT_GT(dollars, 0.0);
+  EXPECT_GT(pure_dollars, 0.0);
+
+  // Disk farm sizing for the allocation's streams.
+  const int disks = disk_model->DisksForBandwidth(sized->total_streams);
+  EXPECT_EQ(disks, (sized->total_streams + 9) / 10);
+}
+
+TEST(SizingPipelineTest, CostCurveMinimumIsFeasibleAllocation) {
+  const auto movies = paper::Example1Movies();
+  std::vector<MovieAllocationBound> bounds;
+  for (const auto& spec : movies) {
+    const auto choice = MinimumBufferChoice(spec);
+    ASSERT_TRUE(choice.ok());
+    bounds.push_back({spec.name, spec.length_minutes, spec.max_wait_minutes,
+                      choice->streams});
+  }
+  for (double phi : paper::Fig9PhiValues()) {
+    const auto curve = ComputeCostCurve(bounds, phi, 100);
+    ASSERT_TRUE(curve.ok());
+    const CostCurvePoint best = MinimumCostPoint(*curve);
+    EXPECT_GE(best.total_streams, 3);
+    // Reconstruct the allocation at the optimum and check it is attainable.
+    const auto allocation = AllocateStreamBudget(bounds, best.total_streams);
+    ASSERT_TRUE(allocation.ok());
+    EXPECT_NEAR(allocation->total_buffer_minutes, best.total_buffer_minutes,
+                1e-9);
+  }
+}
+
+TEST(SizingPipelineTest, SimulationDeliversThePromisedQoS) {
+  // Size movie 2 (exp(5) durations, w = 0.5) and drive the simulator with
+  // the resulting layout: the measured hit probability must reach P* and no
+  // viewer may wait longer than w.
+  const auto movies = paper::Example1Movies();
+  const MovieSizingSpec& spec = movies[1];
+  const auto choice = MinimumBufferChoice(spec);
+  ASSERT_TRUE(choice.ok());
+
+  const auto layout = PartitionLayout::FromMaxWait(
+      spec.length_minutes, choice->streams, spec.max_wait_minutes);
+  ASSERT_TRUE(layout.ok());
+
+  SimulationOptions options;
+  options.mean_interarrival_minutes = 0.5;  // popular movie
+  options.behavior.mix = spec.mix;
+  options.behavior.durations = spec.durations;
+  options.behavior.interactivity = paper::DefaultInteractivity();
+  options.warmup_minutes = 1000.0;
+  options.measurement_minutes = 30000.0;
+  const auto report = RunSimulation(*layout, spec.rates, options);
+  ASSERT_TRUE(report.ok());
+
+  EXPECT_LE(report->max_wait_minutes, spec.max_wait_minutes + 1e-9);
+  // FF-to-end counts as release; the in-partition estimate tracks the model,
+  // which was required to be >= 0.5. Allow simulation noise.
+  EXPECT_GE(report->hit_probability_in_partition,
+            spec.min_hit_probability - 0.03);
+}
+
+}  // namespace
+}  // namespace vod

@@ -1,0 +1,192 @@
+#include "numerics/interval_set.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace vod {
+namespace {
+
+TEST(IntervalTest, EmptyAndLength) {
+  EXPECT_TRUE((Interval{2.0, 1.0}).empty());
+  EXPECT_FALSE((Interval{1.0, 1.0}).empty());
+  EXPECT_DOUBLE_EQ((Interval{1.0, 4.0}).length(), 3.0);
+  EXPECT_DOUBLE_EQ((Interval{4.0, 1.0}).length(), 0.0);
+}
+
+TEST(IntervalTest, ContainsEndpoints) {
+  const Interval iv{1.0, 2.0};
+  EXPECT_TRUE(iv.Contains(1.0));
+  EXPECT_TRUE(iv.Contains(2.0));
+  EXPECT_TRUE(iv.Contains(1.5));
+  EXPECT_FALSE(iv.Contains(0.999));
+  EXPECT_FALSE(iv.Contains(2.001));
+}
+
+TEST(IntervalTest, Intersect) {
+  const Interval a{0.0, 5.0};
+  const Interval b{3.0, 8.0};
+  EXPECT_EQ(a.Intersect(b), (Interval{3.0, 5.0}));
+  EXPECT_TRUE(a.Intersect(Interval{6.0, 7.0}).empty());
+}
+
+TEST(IntervalSetTest, StartsEmpty) {
+  IntervalSet set;
+  EXPECT_TRUE(set.empty());
+  EXPECT_DOUBLE_EQ(set.TotalLength(), 0.0);
+  EXPECT_FALSE(set.Contains(0.0));
+}
+
+TEST(IntervalSetTest, AddDisjointKeepsBoth) {
+  IntervalSet set;
+  set.Add({0.0, 1.0});
+  set.Add({2.0, 3.0});
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_DOUBLE_EQ(set.TotalLength(), 2.0);
+}
+
+TEST(IntervalSetTest, AddOverlappingMerges) {
+  IntervalSet set;
+  set.Add({0.0, 2.0});
+  set.Add({1.0, 3.0});
+  ASSERT_EQ(set.size(), 1u);
+  EXPECT_EQ(set.intervals()[0], (Interval{0.0, 3.0}));
+}
+
+TEST(IntervalSetTest, AddTouchingMerges) {
+  IntervalSet set;
+  set.Add({0.0, 1.0});
+  set.Add({1.0, 2.0});
+  ASSERT_EQ(set.size(), 1u);
+  EXPECT_DOUBLE_EQ(set.TotalLength(), 2.0);
+}
+
+TEST(IntervalSetTest, AddSpanningMergesMany) {
+  IntervalSet set;
+  set.Add({0.0, 1.0});
+  set.Add({2.0, 3.0});
+  set.Add({4.0, 5.0});
+  set.Add({0.5, 4.5});
+  ASSERT_EQ(set.size(), 1u);
+  EXPECT_EQ(set.intervals()[0], (Interval{0.0, 5.0}));
+}
+
+TEST(IntervalSetTest, AddEmptyIsIgnored) {
+  IntervalSet set;
+  set.Add({3.0, 1.0});
+  EXPECT_TRUE(set.empty());
+}
+
+TEST(IntervalSetTest, OutOfOrderInsertionNormalizes) {
+  IntervalSet set;
+  set.Add({4.0, 5.0});
+  set.Add({0.0, 1.0});
+  set.Add({2.0, 3.0});
+  ASSERT_EQ(set.size(), 3u);
+  EXPECT_DOUBLE_EQ(set.intervals()[0].lo, 0.0);
+  EXPECT_DOUBLE_EQ(set.intervals()[1].lo, 2.0);
+  EXPECT_DOUBLE_EQ(set.intervals()[2].lo, 4.0);
+}
+
+TEST(IntervalSetTest, ConstructorFromVectorNormalizes) {
+  IntervalSet set({{3.0, 4.0}, {0.0, 2.0}, {1.0, 3.5}});
+  ASSERT_EQ(set.size(), 1u);
+  EXPECT_EQ(set.intervals()[0], (Interval{0.0, 4.0}));
+}
+
+TEST(IntervalSetTest, ClipToRestricts) {
+  IntervalSet set({{0.0, 2.0}, {3.0, 5.0}, {6.0, 8.0}});
+  set.ClipTo({1.0, 6.5});
+  ASSERT_EQ(set.size(), 3u);
+  EXPECT_EQ(set.intervals()[0], (Interval{1.0, 2.0}));
+  EXPECT_EQ(set.intervals()[1], (Interval{3.0, 5.0}));
+  EXPECT_EQ(set.intervals()[2], (Interval{6.0, 6.5}));
+}
+
+TEST(IntervalSetTest, ClipToEmptyRangeClearsAll) {
+  IntervalSet set({{0.0, 2.0}});
+  set.ClipTo({5.0, 6.0});
+  EXPECT_TRUE(set.empty());
+}
+
+TEST(IntervalSetTest, ContainsAfterMerge) {
+  IntervalSet set({{0.0, 1.0}, {2.0, 3.0}});
+  EXPECT_TRUE(set.Contains(0.5));
+  EXPECT_TRUE(set.Contains(1.0));
+  EXPECT_FALSE(set.Contains(1.5));
+  EXPECT_TRUE(set.Contains(2.0));
+  EXPECT_FALSE(set.Contains(3.5));
+  EXPECT_FALSE(set.Contains(-0.5));
+}
+
+TEST(IntervalSetTest, MeasureThroughIdentityCdfEqualsLength) {
+  IntervalSet set({{0.0, 1.0}, {2.0, 4.0}});
+  const double measure = set.MeasureThrough([](double x) { return x; });
+  EXPECT_DOUBLE_EQ(measure, set.TotalLength());
+}
+
+TEST(IntervalSetTest, MeasureThroughExponentialCdf) {
+  IntervalSet set({{0.0, 1.0}, {2.0, 3.0}});
+  const auto cdf = [](double x) { return 1.0 - std::exp(-x); };
+  const double expected =
+      (cdf(1.0) - cdf(0.0)) + (cdf(3.0) - cdf(2.0));
+  EXPECT_NEAR(set.MeasureThrough(cdf), expected, 1e-15);
+}
+
+TEST(IntervalSetTest, ComplementWithinBounds) {
+  IntervalSet set({{1.0, 2.0}, {3.0, 4.0}});
+  const IntervalSet complement = set.ComplementWithin({0.0, 5.0});
+  ASSERT_EQ(complement.size(), 3u);
+  EXPECT_EQ(complement.intervals()[0], (Interval{0.0, 1.0}));
+  EXPECT_EQ(complement.intervals()[1], (Interval{2.0, 3.0}));
+  EXPECT_EQ(complement.intervals()[2], (Interval{4.0, 5.0}));
+  EXPECT_NEAR(complement.TotalLength() + set.TotalLength(), 5.0, 1e-12);
+}
+
+TEST(IntervalSetTest, ComplementOfEmptyIsBounds) {
+  IntervalSet set;
+  const IntervalSet complement = set.ComplementWithin({2.0, 7.0});
+  ASSERT_EQ(complement.size(), 1u);
+  EXPECT_EQ(complement.intervals()[0], (Interval{2.0, 7.0}));
+}
+
+TEST(IntervalSetTest, ComplementOfCoveringSetIsEmpty) {
+  IntervalSet set({{0.0, 10.0}});
+  EXPECT_TRUE(set.ComplementWithin({2.0, 7.0}).empty());
+}
+
+// Property test: random unions agree with a dense-grid membership oracle.
+TEST(IntervalSetTest, RandomizedAgainstGridOracle) {
+  Rng rng(1234);
+  for (int trial = 0; trial < 50; ++trial) {
+    IntervalSet set;
+    std::vector<Interval> raw;
+    const int k = 1 + static_cast<int>(rng.UniformInt(10));
+    for (int i = 0; i < k; ++i) {
+      const double a = rng.Uniform(0.0, 10.0);
+      const double b = a + rng.Uniform(0.0, 3.0);
+      raw.push_back({a, b});
+      set.Add({a, b});
+    }
+    // Invariant: sorted and disjoint.
+    for (size_t i = 1; i < set.size(); ++i) {
+      ASSERT_GT(set.intervals()[i].lo, set.intervals()[i - 1].hi);
+    }
+    // Membership matches the raw union on a grid.
+    double grid_length = 0.0;
+    const double step = 0.001;
+    for (double x = -0.5; x <= 13.5; x += step) {
+      bool in_raw = false;
+      for (const auto& iv : raw) in_raw |= iv.Contains(x);
+      ASSERT_EQ(set.Contains(x), in_raw) << "x=" << x << " trial=" << trial;
+      if (in_raw) grid_length += step;
+    }
+    EXPECT_NEAR(set.TotalLength(), grid_length, 0.05);
+  }
+}
+
+}  // namespace
+}  // namespace vod

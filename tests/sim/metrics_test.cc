@@ -1,0 +1,86 @@
+#include "sim/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace vod {
+namespace {
+
+TEST(SimulationMetricsTest, WarmupEventsAreExcluded) {
+  SimulationMetrics metrics(100.0);
+  metrics.RecordResume(50.0, VcrOp::kFastForward, ResumeOutcome::kHitWithin,
+                       true);
+  metrics.RecordAdmission(50.0, 1.0, true);
+  metrics.RecordCompletion(50.0);
+  metrics.RecordBlockedVcr(50.0);
+  metrics.RecordStall(50.0, 2.0);
+  metrics.RecordPiggybackMerge(50.0, 3.0);
+  EXPECT_EQ(metrics.total_resumes(), 0);
+  EXPECT_EQ(metrics.admissions(), 0);
+  EXPECT_EQ(metrics.completions(), 0);
+  EXPECT_EQ(metrics.blocked_vcr(), 0);
+  EXPECT_EQ(metrics.stalls(), 0);
+  EXPECT_EQ(metrics.piggyback_merges(), 0);
+
+  metrics.RecordResume(150.0, VcrOp::kFastForward, ResumeOutcome::kHitWithin,
+                       true);
+  EXPECT_EQ(metrics.total_resumes(), 1);
+}
+
+TEST(SimulationMetricsTest, ResumeClassification) {
+  SimulationMetrics metrics(0.0);
+  metrics.RecordResume(1.0, VcrOp::kFastForward, ResumeOutcome::kHitWithin,
+                       true);
+  metrics.RecordResume(2.0, VcrOp::kFastForward, ResumeOutcome::kMiss, true);
+  metrics.RecordResume(3.0, VcrOp::kRewind, ResumeOutcome::kHitJump, false);
+  metrics.RecordResume(4.0, VcrOp::kFastForward, ResumeOutcome::kEndOfMovie,
+                       true);
+
+  EXPECT_EQ(metrics.total_resumes(), 4);
+  EXPECT_EQ(metrics.resumes(ResumeOutcome::kHitWithin), 1);
+  EXPECT_EQ(metrics.resumes(ResumeOutcome::kMiss), 1);
+  EXPECT_EQ(metrics.resumes(ResumeOutcome::kHitJump), 1);
+  EXPECT_EQ(metrics.resumes(ResumeOutcome::kEndOfMovie), 1);
+
+  // End-of-movie counts as a hit (resource released), per Eq. (21).
+  EXPECT_DOUBLE_EQ(metrics.hit_all().estimate(), 0.75);
+  // Per-op: FF saw within+miss+end => 2/3 hits; RW saw one jump hit.
+  EXPECT_DOUBLE_EQ(metrics.hit_by_op(VcrOp::kFastForward).estimate(),
+                   2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(metrics.hit_by_op(VcrOp::kRewind).estimate(), 1.0);
+  // In-partition split excludes the dedicated-origin RW resume.
+  EXPECT_EQ(metrics.hit_in_partition_all().trials(), 3);
+}
+
+TEST(SimulationMetricsTest, AdmissionAndWaitStats) {
+  SimulationMetrics metrics(0.0);
+  metrics.RecordAdmission(1.0, 0.0, true);
+  metrics.RecordAdmission(2.0, 0.5, false);
+  metrics.RecordAdmission(3.0, 1.0, false);
+  EXPECT_EQ(metrics.admissions(), 3);
+  EXPECT_EQ(metrics.type2_admissions(), 1);
+  EXPECT_DOUBLE_EQ(metrics.wait_time().mean(), 0.5);
+  EXPECT_DOUBLE_EQ(metrics.wait_time().max(), 1.0);
+}
+
+TEST(SimulationMetricsTest, StreamGaugeRespectsWarmupReset) {
+  SimulationMetrics metrics(100.0);
+  // Changes during warmup re-baseline the gauge instead of accumulating.
+  metrics.SetDedicatedStreams(10.0, 5);
+  metrics.SetDedicatedStreams(150.0, 10);  // 5 for [100,150), 10 after
+  EXPECT_DOUBLE_EQ(metrics.dedicated_streams().TimeAverage(200.0),
+                   (5.0 * 50.0 + 10.0 * 50.0) / 100.0);
+}
+
+TEST(SimulationMetricsTest, StallAndMergeStats) {
+  SimulationMetrics metrics(0.0);
+  metrics.RecordStall(1.0, 2.0);
+  metrics.RecordStall(2.0, 4.0);
+  metrics.RecordPiggybackMerge(3.0, 10.0);
+  EXPECT_EQ(metrics.stalls(), 2);
+  EXPECT_DOUBLE_EQ(metrics.stall_time().mean(), 3.0);
+  EXPECT_EQ(metrics.piggyback_merges(), 1);
+  EXPECT_DOUBLE_EQ(metrics.merge_drift_time().mean(), 10.0);
+}
+
+}  // namespace
+}  // namespace vod

@@ -1,0 +1,110 @@
+// Piggyback merging end-to-end in the single-movie simulator.
+
+#include <gtest/gtest.h>
+
+#include "core/piggyback.h"
+#include "sim/simulator.h"
+#include "workload/paper_presets.h"
+
+namespace vod {
+namespace {
+
+PartitionLayout MakeLayout(double l, int n, double b) {
+  auto layout = PartitionLayout::FromBuffer(l, n, b);
+  EXPECT_TRUE(layout.ok());
+  return *layout;
+}
+
+SimulationOptions BaseOptions(VcrOp op) {
+  SimulationOptions options;
+  options.behavior = paper::Fig7SingleOpBehavior(op);
+  options.warmup_minutes = 1000.0;
+  options.measurement_minutes = 20000.0;
+  options.seed = 99;
+  return options;
+}
+
+TEST(PiggybackSimTest, MergesHappenAndReduceStreamHolding) {
+  const PartitionLayout layout = MakeLayout(120.0, 40, 40.0);  // miss-heavy
+  SimulationOptions without = BaseOptions(VcrOp::kFastForward);
+  SimulationOptions with = BaseOptions(VcrOp::kFastForward);
+  with.piggyback.enabled = true;
+  with.piggyback.speed_delta = 0.05;
+
+  const auto a = RunSimulation(layout, paper::Rates(), without);
+  const auto b = RunSimulation(layout, paper::Rates(), with);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->piggyback_merges, 0);
+  EXPECT_GT(b->piggyback_merges, 1000);
+  // The whole point: merged viewers release their streams early.
+  EXPECT_LT(b->mean_dedicated_streams, 0.6 * a->mean_dedicated_streams);
+}
+
+TEST(PiggybackSimTest, MeanMergeTimeNearAnalyticExpectation) {
+  const PartitionLayout layout = MakeLayout(120.0, 40, 40.0);  // w = 2
+  SimulationOptions options = BaseOptions(VcrOp::kFastForward);
+  options.piggyback.enabled = true;
+  options.piggyback.speed_delta = 0.05;
+  const auto report = RunSimulation(layout, paper::Rates(), options);
+  ASSERT_TRUE(report.ok());
+  const double expected =
+      ExpectedPiggybackMergeMinutes(layout, options.piggyback);
+  EXPECT_NEAR(expected, 2.0 / 0.2, 1e-12);  // w/(4Δ) = 10 minutes
+  // Resume phases are not exactly uniform in the gap and drifts can be
+  // interrupted by further VCR activity or the movie end, so allow a wide
+  // band around the uniform-phase expectation.
+  EXPECT_GT(report->mean_merge_minutes, 0.4 * expected);
+  EXPECT_LT(report->mean_merge_minutes, 1.6 * expected);
+}
+
+TEST(PiggybackSimTest, FasterDeltaMergesSooner) {
+  const PartitionLayout layout = MakeLayout(120.0, 40, 40.0);
+  SimulationOptions slow = BaseOptions(VcrOp::kPause);
+  slow.piggyback.enabled = true;
+  slow.piggyback.speed_delta = 0.02;
+  SimulationOptions fast = BaseOptions(VcrOp::kPause);
+  fast.piggyback.enabled = true;
+  fast.piggyback.speed_delta = 0.10;
+  const auto a = RunSimulation(layout, paper::Rates(), slow);
+  const auto b = RunSimulation(layout, paper::Rates(), fast);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_GT(a->mean_merge_minutes, 2.0 * b->mean_merge_minutes);
+}
+
+TEST(PiggybackSimTest, HitProbabilityIsUnaffected) {
+  // Merging only changes what happens *after* a miss; the resume hit
+  // probability of in-partition viewers must stay put.
+  const PartitionLayout layout = MakeLayout(120.0, 40, 80.0);
+  SimulationOptions without = BaseOptions(VcrOp::kPause);
+  SimulationOptions with = BaseOptions(VcrOp::kPause);
+  with.piggyback.enabled = true;
+  with.piggyback.speed_delta = 0.05;
+  const auto a = RunSimulation(layout, paper::Rates(), without);
+  const auto b = RunSimulation(layout, paper::Rates(), with);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_NEAR(a->hit_probability_in_partition,
+              b->hit_probability_in_partition, 0.02);
+}
+
+TEST(PiggybackSimTest, ValidationPropagates) {
+  const PartitionLayout layout = MakeLayout(120.0, 40, 80.0);
+  SimulationOptions options = BaseOptions(VcrOp::kPause);
+  options.piggyback.enabled = true;
+  options.piggyback.speed_delta = 2.0;
+  EXPECT_TRUE(RunSimulation(layout, paper::Rates(), options)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(PiggybackSimTest, PureBatchingDisablesDriftGracefully) {
+  // No windows to merge into: the option is a no-op, not a crash.
+  const PartitionLayout layout = MakeLayout(120.0, 40, 0.0);
+  SimulationOptions options = BaseOptions(VcrOp::kFastForward);
+  options.piggyback.enabled = true;
+  const auto report = RunSimulation(layout, paper::Rates(), options);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->piggyback_merges, 0);
+}
+
+}  // namespace
+}  // namespace vod

@@ -1,0 +1,133 @@
+#include "sim/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/hit_model.h"
+#include "sim/simulator.h"
+#include "workload/paper_presets.h"
+
+namespace vod {
+namespace {
+
+TEST(VcrTraceTest, RecordsAndCounts) {
+  VcrTrace trace;
+  trace.Record(1.0, VcrOp::kFastForward, 5.0);
+  trace.Record(2.0, VcrOp::kPause, 3.0);
+  trace.Record(3.0, VcrOp::kFastForward, 7.0);
+  EXPECT_EQ(trace.size(), 3u);
+  EXPECT_EQ(trace.CountOf(VcrOp::kFastForward), 2);
+  EXPECT_EQ(trace.CountOf(VcrOp::kRewind), 0);
+  EXPECT_EQ(trace.CountOf(VcrOp::kPause), 1);
+  EXPECT_EQ(trace.DurationsOf(VcrOp::kFastForward),
+            (std::vector<double>{5.0, 7.0}));
+}
+
+TEST(VcrTraceTest, CsvRoundTrip) {
+  VcrTrace trace;
+  trace.Record(1.25, VcrOp::kFastForward, 5.5);
+  trace.Record(2.5, VcrOp::kRewind, 0.75);
+  trace.Record(9.0, VcrOp::kPause, 12.0);
+  std::ostringstream os;
+  trace.WriteCsv(os);
+  std::istringstream is(os.str());
+  const auto parsed = VcrTrace::ReadCsv(is);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  ASSERT_EQ(parsed->size(), 3u);
+  EXPECT_DOUBLE_EQ(parsed->records()[0].time, 1.25);
+  EXPECT_EQ(parsed->records()[1].op, VcrOp::kRewind);
+  EXPECT_DOUBLE_EQ(parsed->records()[2].duration, 12.0);
+}
+
+TEST(VcrTraceTest, CsvRejectsMalformedInput) {
+  {
+    std::istringstream is("not,a,header\n");
+    EXPECT_TRUE(VcrTrace::ReadCsv(is).status().IsInvalidArgument());
+  }
+  {
+    std::istringstream is("time,op,duration\n1.0,FF\n");
+    EXPECT_TRUE(VcrTrace::ReadCsv(is).status().IsInvalidArgument());
+  }
+  {
+    std::istringstream is("time,op,duration\n1.0,SKIP,2.0\n");
+    EXPECT_TRUE(VcrTrace::ReadCsv(is).status().IsInvalidArgument());
+  }
+  {
+    std::istringstream is("time,op,duration\nxx,FF,2.0\n");
+    EXPECT_TRUE(VcrTrace::ReadCsv(is).status().IsInvalidArgument());
+  }
+}
+
+TEST(FitBehaviorTest, RecoversMixAndDurations) {
+  VcrTrace trace;
+  Rng rng(5);
+  const auto behavior = paper::Fig7MixedBehavior();
+  for (int i = 0; i < 20000; ++i) {
+    const VcrOp op = behavior.SampleOp(&rng);
+    trace.Record(static_cast<double>(i), op,
+                 behavior.SampleDuration(op, &rng));
+  }
+  const auto fitted = FitBehaviorFromTrace(trace);
+  ASSERT_TRUE(fitted.ok()) << fitted.status();
+  EXPECT_NEAR(fitted->mix.p_fast_forward, 0.2, 0.02);
+  EXPECT_NEAR(fitted->mix.p_rewind, 0.2, 0.02);
+  EXPECT_NEAR(fitted->mix.p_pause, 0.6, 0.02);
+  EXPECT_TRUE(fitted->mix.Validate().ok());
+  ASSERT_NE(fitted->durations.fast_forward, nullptr);
+  EXPECT_NEAR(fitted->durations.fast_forward->Mean(), 8.0, 0.3);
+  EXPECT_NEAR(fitted->durations.pause->Mean(), 8.0, 0.3);
+}
+
+TEST(FitBehaviorTest, ErrorsOnEmptyOrSparseTraces) {
+  VcrTrace empty;
+  EXPECT_TRUE(FitBehaviorFromTrace(empty).status().IsInvalidArgument());
+
+  VcrTrace sparse;
+  for (int i = 0; i < 100; ++i) {
+    sparse.Record(i, VcrOp::kFastForward, 5.0 + i * 0.01);
+  }
+  sparse.Record(200.0, VcrOp::kRewind, 1.0);  // a single RW sample
+  EXPECT_TRUE(FitBehaviorFromTrace(sparse).status().IsInvalidArgument());
+  // With the RW op absent it fits fine.
+  VcrTrace clean;
+  for (int i = 0; i < 100; ++i) {
+    clean.Record(i, VcrOp::kFastForward, 5.0 + i * 0.01);
+  }
+  const auto fitted = FitBehaviorFromTrace(clean);
+  ASSERT_TRUE(fitted.ok());
+  EXPECT_DOUBLE_EQ(fitted->mix.p_fast_forward, 1.0);
+  EXPECT_EQ(fitted->durations.rewind, nullptr);
+}
+
+TEST(FitBehaviorTest, SimulatorTraceFeedsTheModel) {
+  // The full operator loop: simulate "production", log the trace, fit, and
+  // check the model evaluated on the *fitted* behavior matches the model on
+  // the *true* behavior.
+  const auto layout = PartitionLayout::FromMaxWait(120.0, 40, 1.0);
+  ASSERT_TRUE(layout.ok());
+  VcrTrace trace;
+  SimulationOptions options;
+  options.behavior = paper::Fig7MixedBehavior();
+  options.warmup_minutes = 0.0;  // behavior logging needs no warmup
+  options.measurement_minutes = 30000.0;
+  options.trace = &trace;
+  const auto report = RunSimulation(*layout, paper::Rates(), options);
+  ASSERT_TRUE(report.ok());
+  EXPECT_GT(trace.size(), 10000u);
+
+  const auto fitted = FitBehaviorFromTrace(trace);
+  ASSERT_TRUE(fitted.ok());
+
+  const auto model = AnalyticHitModel::Create(*layout, paper::Rates());
+  ASSERT_TRUE(model.ok());
+  const auto p_true = model->HitProbability(
+      VcrMix::PaperMixed(), VcrDurations::AllSame(paper::Fig7Duration()));
+  const auto p_fitted =
+      model->HitProbability(fitted->mix, fitted->durations);
+  ASSERT_TRUE(p_true.ok() && p_fitted.ok());
+  EXPECT_NEAR(*p_fitted, *p_true, 0.02);
+}
+
+}  // namespace
+}  // namespace vod

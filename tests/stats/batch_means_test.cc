@@ -1,0 +1,103 @@
+#include "stats/batch_means.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace vod {
+namespace {
+
+TEST(StudentTTest, TableValues) {
+  EXPECT_NEAR(StudentT975(1), 12.706, 1e-3);
+  EXPECT_NEAR(StudentT975(10), 2.228, 1e-3);
+  EXPECT_NEAR(StudentT975(30), 2.042, 1e-3);
+  EXPECT_NEAR(StudentT975(1000), 1.960, 1e-3);
+  // Monotone decreasing toward the normal quantile.
+  for (int dof = 2; dof <= 200; ++dof) {
+    EXPECT_LE(StudentT975(dof), StudentT975(dof - 1));
+  }
+}
+
+TEST(BatchMeansTest, TooFewBatchesIsInvalid) {
+  BatchMeans bm(100);
+  for (int i = 0; i < 150; ++i) bm.Add(1.0);  // only 1 complete batch
+  EXPECT_EQ(bm.completed_batches(), 1);
+  EXPECT_FALSE(bm.Interval().valid);
+}
+
+TEST(BatchMeansTest, ConstantStreamHasZeroWidth) {
+  BatchMeans bm(10);
+  for (int i = 0; i < 200; ++i) bm.Add(3.5);
+  const BatchMeansInterval interval = bm.Interval();
+  ASSERT_TRUE(interval.valid);
+  EXPECT_DOUBLE_EQ(interval.mean, 3.5);
+  EXPECT_DOUBLE_EQ(interval.half_width, 0.0);
+  EXPECT_EQ(interval.batches_used, 20);
+}
+
+TEST(BatchMeansTest, PartialBatchIgnored) {
+  BatchMeans bm(10);
+  for (int i = 0; i < 25; ++i) bm.Add(static_cast<double>(i < 20 ? 1 : 100));
+  // Two complete batches of ones; the 5 hundreds sit in the partial batch.
+  const BatchMeansInterval interval = bm.Interval();
+  ASSERT_TRUE(interval.valid);
+  EXPECT_DOUBLE_EQ(interval.mean, 1.0);
+  EXPECT_EQ(bm.total_count(), 25);
+}
+
+TEST(BatchMeansTest, IidCoverageIsRoughlyNominal) {
+  // For i.i.d. normal data the 95% interval should cover the true mean in
+  // ~95% of replications.
+  Rng rng(13);
+  int covered = 0;
+  const int replications = 400;
+  for (int rep = 0; rep < replications; ++rep) {
+    BatchMeans bm(50);
+    for (int i = 0; i < 1500; ++i) bm.Add(10.0 + rng.Normal());
+    const BatchMeansInterval interval = bm.Interval();
+    ASSERT_TRUE(interval.valid);
+    if (interval.lower() <= 10.0 && 10.0 <= interval.upper()) ++covered;
+  }
+  const double coverage = static_cast<double>(covered) / replications;
+  EXPECT_GT(coverage, 0.90);
+  EXPECT_LE(coverage, 1.0);
+}
+
+TEST(BatchMeansTest, CorrelatedStreamWidensInterval) {
+  // AR(1)-style positively correlated stream: the batch-means interval must
+  // be wider than the naive i.i.d. interval computed from the same points.
+  Rng rng(14);
+  BatchMeans bm(200);
+  double state = 0.0;
+  double sum = 0.0;
+  double sum2 = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    state = 0.95 * state + rng.Normal();
+    bm.Add(state);
+    sum += state;
+    sum2 += state * state;
+  }
+  const double mean = sum / n;
+  const double var = sum2 / n - mean * mean;
+  const double naive_half = 1.96 * std::sqrt(var / n);
+  const BatchMeansInterval interval = bm.Interval();
+  ASSERT_TRUE(interval.valid);
+  EXPECT_GT(interval.half_width, 2.0 * naive_half);
+}
+
+TEST(BatchMeansTest, BernoulliStreamEstimatesProportion) {
+  Rng rng(15);
+  BatchMeans bm(500);
+  const double p = 0.3;
+  for (int i = 0; i < 20000; ++i) bm.Add(rng.Bernoulli(p) ? 1.0 : 0.0);
+  const BatchMeansInterval interval = bm.Interval();
+  ASSERT_TRUE(interval.valid);
+  EXPECT_NEAR(interval.mean, p, 0.02);
+  EXPECT_LT(interval.half_width, 0.03);
+}
+
+}  // namespace
+}  // namespace vod

@@ -1,0 +1,85 @@
+#include "stats/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace vod {
+namespace {
+
+TEST(HistogramTest, BinGeometry) {
+  Histogram h(0.0, 10.0, 5);
+  EXPECT_EQ(h.num_bins(), 5);
+  EXPECT_DOUBLE_EQ(h.bin_lower(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bin_upper(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_center(2), 5.0);
+  EXPECT_DOUBLE_EQ(h.bin_upper(4), 10.0);
+}
+
+TEST(HistogramTest, CountsLandInCorrectBins) {
+  Histogram h(0.0, 10.0, 5);
+  h.Add(0.0);   // bin 0
+  h.Add(1.99);  // bin 0
+  h.Add(2.0);   // bin 1
+  h.Add(9.99);  // bin 4
+  EXPECT_EQ(h.bin_count(0), 2);
+  EXPECT_EQ(h.bin_count(1), 1);
+  EXPECT_EQ(h.bin_count(4), 1);
+  EXPECT_EQ(h.total_count(), 4);
+}
+
+TEST(HistogramTest, OutOfRangeTracked) {
+  Histogram h(0.0, 1.0, 4);
+  h.Add(-0.1);
+  h.Add(1.0);  // upper edge is exclusive -> overflow
+  h.Add(2.0);
+  EXPECT_EQ(h.underflow(), 1);
+  EXPECT_EQ(h.overflow(), 2);
+  EXPECT_EQ(h.total_count(), 3);
+}
+
+TEST(HistogramTest, DensityIntegratesToOne) {
+  Histogram h(0.0, 1.0, 10);
+  Rng rng(2);
+  for (int i = 0; i < 10000; ++i) h.Add(rng.Uniform01());
+  double mass = 0.0;
+  for (int i = 0; i < h.num_bins(); ++i) mass += h.Density(i) * 0.1;
+  EXPECT_NEAR(mass, 1.0, 1e-12);
+  for (int i = 0; i < h.num_bins(); ++i) {
+    EXPECT_NEAR(h.Density(i), 1.0, 0.15) << "bin " << i;
+  }
+}
+
+TEST(HistogramTest, EmpiricalCdfMatchesUniform) {
+  Histogram h(0.0, 1.0, 100);
+  Rng rng(4);
+  for (int i = 0; i < 50000; ++i) h.Add(rng.Uniform01());
+  EXPECT_DOUBLE_EQ(h.EmpiricalCdf(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.EmpiricalCdf(1.0), 1.0);
+  for (double x : {0.1, 0.25, 0.5, 0.75, 0.9}) {
+    EXPECT_NEAR(h.EmpiricalCdf(x), x, 0.01) << "x=" << x;
+  }
+}
+
+TEST(HistogramTest, EmptyHistogramSafeAccessors) {
+  Histogram h(0.0, 1.0, 4);
+  EXPECT_DOUBLE_EQ(h.Density(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.EmpiricalCdf(0.5), 0.0);
+}
+
+TEST(HistogramTest, AsciiRenderingHasOneLinePerBin) {
+  Histogram h(0.0, 4.0, 4);
+  h.Add(0.5);
+  h.Add(1.5);
+  h.Add(1.6);
+  const std::string art = h.ToAscii(20);
+  int lines = 0;
+  for (char ch : art) {
+    if (ch == '\n') ++lines;
+  }
+  EXPECT_EQ(lines, 4);
+  EXPECT_NE(art.find('#'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace vod

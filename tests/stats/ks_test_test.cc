@@ -1,0 +1,82 @@
+#include "stats/ks_test.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "dist/exponential.h"
+#include "dist/uniform.h"
+
+namespace vod {
+namespace {
+
+TEST(KolmogorovSurvivalTest, KnownValues) {
+  EXPECT_DOUBLE_EQ(KolmogorovSurvival(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(KolmogorovSurvival(-1.0), 1.0);
+  // Q(1.36) ≈ 0.049 (the classic 5% critical value).
+  EXPECT_NEAR(KolmogorovSurvival(1.36), 0.049, 0.002);
+  EXPECT_LT(KolmogorovSurvival(2.0), 0.001);
+  EXPECT_GT(KolmogorovSurvival(0.5), 0.95);
+}
+
+TEST(KolmogorovSurvivalTest, MonotoneDecreasing) {
+  double previous = 1.0;
+  for (double t = 0.1; t <= 3.0; t += 0.1) {
+    const double q = KolmogorovSurvival(t);
+    ASSERT_LE(q, previous + 1e-15);
+    previous = q;
+  }
+}
+
+TEST(KsTest, AcceptsCorrectHypothesis) {
+  UniformDistribution dist(0.0, 1.0);
+  Rng rng(8);
+  std::vector<double> samples;
+  for (int i = 0; i < 2000; ++i) samples.push_back(dist.Sample(&rng));
+  const KsTestResult r = KolmogorovSmirnovTest(
+      std::move(samples), [&](double x) { return dist.Cdf(x); });
+  EXPECT_GT(r.p_value, 0.01);
+  EXPECT_LT(r.statistic, 0.05);
+  EXPECT_EQ(r.sample_size, 2000);
+}
+
+TEST(KsTest, RejectsWrongHypothesis) {
+  ExponentialDistribution truth(2.0);
+  UniformDistribution wrong(0.0, 4.0);
+  Rng rng(9);
+  std::vector<double> samples;
+  for (int i = 0; i < 2000; ++i) samples.push_back(truth.Sample(&rng));
+  const KsTestResult r = KolmogorovSmirnovTest(
+      std::move(samples), [&](double x) { return wrong.Cdf(x); });
+  EXPECT_LT(r.p_value, 1e-6);
+}
+
+TEST(KsTest, DetectsShiftedDistribution) {
+  ExponentialDistribution truth(2.0);
+  ExponentialDistribution shifted(2.6);
+  Rng rng(10);
+  std::vector<double> samples;
+  for (int i = 0; i < 5000; ++i) samples.push_back(truth.Sample(&rng));
+  const KsTestResult r = KolmogorovSmirnovTest(
+      std::move(samples), [&](double x) { return shifted.Cdf(x); });
+  EXPECT_LT(r.p_value, 0.01);
+}
+
+TEST(KsTest, EmptySampleIsTrivial) {
+  const KsTestResult r =
+      KolmogorovSmirnovTest({}, [](double x) { return x; });
+  EXPECT_EQ(r.sample_size, 0);
+  EXPECT_DOUBLE_EQ(r.statistic, 0.0);
+  EXPECT_DOUBLE_EQ(r.p_value, 1.0);
+}
+
+TEST(KsTest, StatisticIsSupremumDistance) {
+  // Two samples at 0.5 against U(0,1): D = |1 - 0.5| = 0.5.
+  const KsTestResult r = KolmogorovSmirnovTest(
+      {0.5, 0.5}, [](double x) { return std::clamp(x, 0.0, 1.0); });
+  EXPECT_NEAR(r.statistic, 0.5, 1e-12);
+}
+
+}  // namespace
+}  // namespace vod

@@ -1,0 +1,113 @@
+#include "stats/quantile.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+#include "dist/exponential.h"
+#include "dist/lognormal.h"
+#include "dist/uniform.h"
+
+namespace vod {
+namespace {
+
+TEST(P2QuantileTest, EmptyIsNaN) {
+  P2Quantile q(0.5);
+  EXPECT_TRUE(std::isnan(q.Estimate()));
+  EXPECT_EQ(q.count(), 0);
+}
+
+TEST(P2QuantileTest, ExactForSmallSamples) {
+  P2Quantile median(0.5);
+  median.Add(3.0);
+  EXPECT_DOUBLE_EQ(median.Estimate(), 3.0);
+  median.Add(1.0);
+  EXPECT_DOUBLE_EQ(median.Estimate(), 2.0);  // interpolated
+  median.Add(5.0);
+  EXPECT_DOUBLE_EQ(median.Estimate(), 3.0);
+  median.Add(7.0);
+  EXPECT_DOUBLE_EQ(median.Estimate(), 4.0);
+}
+
+TEST(P2QuantileTest, UniformQuantiles) {
+  Rng rng(8);
+  P2Quantile p50(0.5);
+  P2Quantile p90(0.9);
+  P2Quantile p99(0.99);
+  for (int i = 0; i < 100000; ++i) {
+    const double x = rng.Uniform01();
+    p50.Add(x);
+    p90.Add(x);
+    p99.Add(x);
+  }
+  EXPECT_NEAR(p50.Estimate(), 0.5, 0.01);
+  EXPECT_NEAR(p90.Estimate(), 0.9, 0.01);
+  EXPECT_NEAR(p99.Estimate(), 0.99, 0.005);
+}
+
+TEST(P2QuantileTest, ExponentialQuantiles) {
+  ExponentialDistribution dist(5.0);
+  Rng rng(9);
+  P2Quantile p50(0.5);
+  P2Quantile p99(0.99);
+  for (int i = 0; i < 200000; ++i) {
+    const double x = dist.Sample(&rng);
+    p50.Add(x);
+    p99.Add(x);
+  }
+  EXPECT_NEAR(p50.Estimate(), dist.Quantile(0.5), 0.05);
+  EXPECT_NEAR(p99.Estimate(), dist.Quantile(0.99), 0.5);
+}
+
+TEST(P2QuantileTest, SkewedDistribution) {
+  LognormalDistribution dist(0.0, 1.5);
+  Rng rng(10);
+  P2Quantile p90(0.9);
+  std::vector<double> all;
+  for (int i = 0; i < 100000; ++i) {
+    const double x = dist.Sample(&rng);
+    p90.Add(x);
+    all.push_back(x);
+  }
+  std::sort(all.begin(), all.end());
+  const double exact = all[static_cast<size_t>(0.9 * all.size())];
+  EXPECT_NEAR(p90.Estimate(), exact, 0.1 * exact);
+}
+
+TEST(P2QuantileTest, MonotoneAcrossQuantiles) {
+  Rng rng(11);
+  P2Quantile p25(0.25);
+  P2Quantile p50(0.5);
+  P2Quantile p75(0.75);
+  for (int i = 0; i < 50000; ++i) {
+    const double x = rng.Normal();
+    p25.Add(x);
+    p50.Add(x);
+    p75.Add(x);
+  }
+  EXPECT_LT(p25.Estimate(), p50.Estimate());
+  EXPECT_LT(p50.Estimate(), p75.Estimate());
+}
+
+TEST(P2QuantileTest, RejectsInvalidQuantile) {
+  EXPECT_DEATH(P2Quantile(0.0), "quantile");
+  EXPECT_DEATH(P2Quantile(1.0), "quantile");
+}
+
+TEST(LatencyQuantilesTest, BundleTracksAllThree) {
+  LatencyQuantiles latency;
+  Rng rng(12);
+  for (int i = 0; i < 50000; ++i) latency.Add(rng.Uniform(0.0, 100.0));
+  EXPECT_EQ(latency.count(), 50000);
+  EXPECT_NEAR(latency.p50(), 50.0, 2.0);
+  EXPECT_NEAR(latency.p90(), 90.0, 2.0);
+  EXPECT_NEAR(latency.p99(), 99.0, 1.0);
+  EXPECT_LT(latency.p50(), latency.p90());
+  EXPECT_LT(latency.p90(), latency.p99());
+}
+
+}  // namespace
+}  // namespace vod

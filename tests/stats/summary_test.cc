@@ -1,0 +1,138 @@
+#include "stats/summary.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace vod {
+namespace {
+
+TEST(RunningStatsTest, EmptyStats) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.ConfidenceHalfWidth(), 0.0);
+}
+
+TEST(RunningStatsTest, SingleValue) {
+  RunningStats s;
+  s.Add(5.0);
+  EXPECT_EQ(s.count(), 1);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 5.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+}
+
+TEST(RunningStatsTest, KnownSmallSample) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // unbiased
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStatsTest, NumericallyStableWithLargeOffset) {
+  RunningStats s;
+  const double offset = 1e9;
+  for (double x : {offset + 1.0, offset + 2.0, offset + 3.0}) s.Add(x);
+  EXPECT_NEAR(s.mean(), offset + 2.0, 1e-5);
+  EXPECT_NEAR(s.variance(), 1.0, 1e-5);
+}
+
+TEST(RunningStatsTest, MergeEqualsSequential) {
+  Rng rng(3);
+  RunningStats all;
+  RunningStats a;
+  RunningStats b;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.Normal() * 3.0 + 1.0;
+    all.Add(x);
+    (i % 2 == 0 ? a : b).Add(x);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStatsTest, MergeWithEmpty) {
+  RunningStats a;
+  a.Add(1.0);
+  a.Add(3.0);
+  RunningStats empty;
+  a.Merge(empty);
+  EXPECT_EQ(a.count(), 2);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+  empty.Merge(a);
+  EXPECT_EQ(empty.count(), 2);
+  EXPECT_DOUBLE_EQ(empty.mean(), 2.0);
+}
+
+TEST(RunningStatsTest, ConfidenceHalfWidthShrinksWithN) {
+  Rng rng(7);
+  RunningStats small;
+  RunningStats large;
+  for (int i = 0; i < 100; ++i) small.Add(rng.Normal());
+  for (int i = 0; i < 10000; ++i) large.Add(rng.Normal());
+  EXPECT_GT(small.ConfidenceHalfWidth(), large.ConfidenceHalfWidth());
+  // Half width ≈ 1.96 σ/√n.
+  EXPECT_NEAR(large.ConfidenceHalfWidth(0.05),
+              1.96 * large.stddev() / 100.0, 1e-3);
+}
+
+TEST(NormalQuantileTest, SupportedAlphas) {
+  EXPECT_NEAR(TwoSidedNormalQuantile(0.05), 1.96, 0.001);
+  EXPECT_NEAR(TwoSidedNormalQuantile(0.10), 1.645, 0.001);
+  EXPECT_NEAR(TwoSidedNormalQuantile(0.01), 2.576, 0.001);
+  EXPECT_NEAR(TwoSidedNormalQuantile(0.42), 1.96, 0.001);  // fallback
+}
+
+TEST(ProportionTest, EstimateAndCounts) {
+  ProportionEstimator p;
+  for (int i = 0; i < 30; ++i) p.AddSuccess();
+  for (int i = 0; i < 70; ++i) p.AddFailure();
+  EXPECT_EQ(p.trials(), 100);
+  EXPECT_EQ(p.successes(), 30);
+  EXPECT_DOUBLE_EQ(p.estimate(), 0.3);
+}
+
+TEST(ProportionTest, WilsonIntervalBracketsEstimate) {
+  ProportionEstimator p;
+  for (int i = 0; i < 250; ++i) p.Add(i % 5 == 0);  // 20%
+  EXPECT_LT(p.WilsonLower(), p.estimate());
+  EXPECT_GT(p.WilsonUpper(), p.estimate());
+  EXPECT_GT(p.WilsonLower(), 0.13);
+  EXPECT_LT(p.WilsonUpper(), 0.27);
+}
+
+TEST(ProportionTest, WilsonBehavesAtExtremes) {
+  ProportionEstimator all;
+  for (int i = 0; i < 50; ++i) all.AddSuccess();
+  EXPECT_NEAR(all.WilsonUpper(), 1.0, 1e-12);
+  EXPECT_GT(all.WilsonLower(), 0.9);
+  EXPECT_LT(all.WilsonLower(), 1.0);  // never collapses to a point
+
+  ProportionEstimator none;
+  for (int i = 0; i < 50; ++i) none.AddFailure();
+  EXPECT_NEAR(none.WilsonLower(), 0.0, 1e-12);
+  EXPECT_GT(none.WilsonUpper(), 0.0);
+  EXPECT_LT(none.WilsonUpper(), 0.1);
+}
+
+TEST(ProportionTest, EmptyHasFullInterval) {
+  ProportionEstimator p;
+  EXPECT_DOUBLE_EQ(p.estimate(), 0.0);
+  EXPECT_DOUBLE_EQ(p.WilsonLower(), 0.0);
+  EXPECT_DOUBLE_EQ(p.WilsonUpper(), 1.0);
+}
+
+}  // namespace
+}  // namespace vod

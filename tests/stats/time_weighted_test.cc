@@ -1,0 +1,70 @@
+#include "stats/time_weighted.h"
+
+#include <gtest/gtest.h>
+
+namespace vod {
+namespace {
+
+TEST(TimeWeightedTest, ConstantSignal) {
+  TimeWeightedValue v;
+  v.Reset(0.0, 3.0);
+  EXPECT_DOUBLE_EQ(v.TimeAverage(10.0), 3.0);
+  EXPECT_DOUBLE_EQ(v.current(), 3.0);
+  EXPECT_DOUBLE_EQ(v.max(), 3.0);
+  EXPECT_DOUBLE_EQ(v.min(), 3.0);
+}
+
+TEST(TimeWeightedTest, StepSignalAverages) {
+  TimeWeightedValue v;
+  v.Reset(0.0, 0.0);
+  v.Set(2.0, 4.0);   // 0 for [0,2), 4 for [2,6), 1 for [6,10)
+  v.Set(6.0, 1.0);
+  // average = (0*2 + 4*4 + 1*4)/10 = 2.0
+  EXPECT_DOUBLE_EQ(v.TimeAverage(10.0), 2.0);
+  EXPECT_DOUBLE_EQ(v.max(), 4.0);
+  EXPECT_DOUBLE_EQ(v.min(), 0.0);
+}
+
+TEST(TimeWeightedTest, AddDeltas) {
+  TimeWeightedValue v;
+  v.Reset(0.0, 1.0);
+  v.Add(5.0, 2.0);   // 3 from t=5
+  v.Add(10.0, -3.0); // 0 from t=10
+  EXPECT_DOUBLE_EQ(v.current(), 0.0);
+  // average over [0, 20] = (1*5 + 3*5 + 0*10)/20 = 1.0
+  EXPECT_DOUBLE_EQ(v.TimeAverage(20.0), 1.0);
+}
+
+TEST(TimeWeightedTest, ZeroWidthWindow) {
+  TimeWeightedValue v;
+  v.Reset(5.0, 7.0);
+  EXPECT_DOUBLE_EQ(v.TimeAverage(5.0), 0.0);
+  EXPECT_DOUBLE_EQ(v.TimeAverage(4.0), 0.0);
+}
+
+TEST(TimeWeightedTest, ImplicitInitializationOnFirstSet) {
+  TimeWeightedValue v;
+  v.Set(3.0, 2.0);
+  EXPECT_DOUBLE_EQ(v.TimeAverage(5.0), 2.0);
+}
+
+TEST(TimeWeightedTest, ResetDiscardsHistory) {
+  TimeWeightedValue v;
+  v.Reset(0.0, 100.0);
+  v.Set(10.0, 1.0);
+  v.Reset(10.0, 1.0);  // warmup cut
+  EXPECT_DOUBLE_EQ(v.TimeAverage(20.0), 1.0);
+  EXPECT_DOUBLE_EQ(v.max(), 1.0);
+}
+
+TEST(TimeWeightedTest, RepeatedSetsAtSameTime) {
+  TimeWeightedValue v;
+  v.Reset(0.0, 0.0);
+  v.Set(1.0, 5.0);
+  v.Set(1.0, 2.0);  // zero-width spike still updates extrema
+  EXPECT_DOUBLE_EQ(v.max(), 5.0);
+  EXPECT_DOUBLE_EQ(v.TimeAverage(2.0), 1.0);  // (0*1 + 2*1)/2
+}
+
+}  // namespace
+}  // namespace vod

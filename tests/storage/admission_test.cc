@@ -1,0 +1,80 @@
+#include "storage/admission.h"
+
+#include <gtest/gtest.h>
+
+namespace vod {
+namespace {
+
+TEST(AdmissionTest, ReservesAndReleasesMovies) {
+  AdmissionController controller(1000, 200.0);
+  EXPECT_TRUE(
+      controller.ReserveMovie(0.0, {"movie-1", 360, 39.0}).ok());
+  EXPECT_TRUE(
+      controller.ReserveMovie(0.0, {"movie-2", 60, 30.0}).ok());
+  EXPECT_EQ(controller.reserved_streams(), 420);
+  EXPECT_DOUBLE_EQ(controller.reserved_buffer_minutes(), 69.0);
+  EXPECT_EQ(controller.reservations().size(), 2u);
+
+  EXPECT_TRUE(controller.ReleaseMovie(1.0, "movie-1").ok());
+  EXPECT_EQ(controller.reserved_streams(), 60);
+  EXPECT_DOUBLE_EQ(controller.reserved_buffer_minutes(), 30.0);
+}
+
+TEST(AdmissionTest, DuplicateReservationRejected) {
+  AdmissionController controller(1000, 200.0);
+  ASSERT_TRUE(controller.ReserveMovie(0.0, {"m", 10, 5.0}).ok());
+  EXPECT_TRUE(
+      controller.ReserveMovie(0.0, {"m", 10, 5.0}).IsInvalidArgument());
+}
+
+TEST(AdmissionTest, ReleasingUnknownMovieIsNotFound) {
+  AdmissionController controller(100, 100.0);
+  EXPECT_TRUE(controller.ReleaseMovie(0.0, "ghost").IsNotFound());
+}
+
+TEST(AdmissionTest, StreamExhaustionRejectsReservation) {
+  AdmissionController controller(100, 1000.0);
+  EXPECT_TRUE(controller.ReserveMovie(0.0, {"a", 80, 10.0}).ok());
+  EXPECT_TRUE(
+      controller.ReserveMovie(0.0, {"b", 30, 10.0}).IsResourceExhausted());
+  // The failed reservation left nothing behind.
+  EXPECT_EQ(controller.reserved_streams(), 80);
+  EXPECT_EQ(controller.reservations().size(), 1u);
+}
+
+TEST(AdmissionTest, BufferExhaustionRollsBackStreams) {
+  AdmissionController controller(1000, 50.0);
+  EXPECT_TRUE(
+      controller.ReserveMovie(0.0, {"a", 100, 60.0}).IsResourceExhausted());
+  // Streams grabbed before the buffer failure were returned.
+  EXPECT_EQ(controller.stream_pool().in_use(), 0);
+  EXPECT_EQ(controller.reserved_streams(), 0);
+}
+
+TEST(AdmissionTest, DynamicStreamsShareTheReserve) {
+  AdmissionController controller(10, 100.0);
+  ASSERT_TRUE(controller.ReserveMovie(0.0, {"a", 8, 10.0}).ok());
+  EXPECT_TRUE(controller.AcquireDynamicStream(1.0).ok());
+  EXPECT_TRUE(controller.AcquireDynamicStream(1.0).ok());
+  EXPECT_EQ(controller.dynamic_streams_in_use(), 2);
+  // Reserve exhausted: 8 + 2 == 10.
+  EXPECT_TRUE(controller.AcquireDynamicStream(2.0).IsResourceExhausted());
+  EXPECT_TRUE(controller.ReleaseDynamicStream(3.0).ok());
+  EXPECT_TRUE(controller.AcquireDynamicStream(3.5).ok());
+}
+
+TEST(AdmissionTest, ReleaseDynamicWithoutAcquireIsInternal) {
+  AdmissionController controller(10, 10.0);
+  EXPECT_TRUE(controller.ReleaseDynamicStream(0.0).IsInternal());
+}
+
+TEST(AdmissionTest, RejectsNegativeReservation) {
+  AdmissionController controller(10, 10.0);
+  EXPECT_TRUE(
+      controller.ReserveMovie(0.0, {"a", -1, 5.0}).IsInvalidArgument());
+  EXPECT_TRUE(
+      controller.ReserveMovie(0.0, {"a", 1, -5.0}).IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace vod

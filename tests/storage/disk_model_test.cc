@@ -1,0 +1,74 @@
+#include "storage/disk_model.h"
+
+#include <gtest/gtest.h>
+
+namespace vod {
+namespace {
+
+DiskModel PaperDiskModel() {
+  auto model = DiskModel::Create(DiskSpec{}, VideoFormat{});
+  EXPECT_TRUE(model.ok());
+  return *model;
+}
+
+TEST(DiskModelTest, PaperExampleTwoArithmetic) {
+  // 2GB SCSI @ 5 MB/s, $700; MPEG-2 at 4 Mbps = 0.5 MB/s = 30 MB/min.
+  const DiskModel model = PaperDiskModel();
+  EXPECT_DOUBLE_EQ(model.StreamsPerDisk(), 10.0);
+  EXPECT_DOUBLE_EQ(model.CostPerStream(), 70.0);
+  EXPECT_DOUBLE_EQ(model.format().MBytesPerMinute(), 30.0);
+  // 2 GB = 2048 MB stores 68.27 minutes.
+  EXPECT_NEAR(model.StorageMinutesPerDisk(), 2048.0 / 30.0, 1e-9);
+}
+
+TEST(DiskModelTest, DiskCountsRoundUp) {
+  const DiskModel model = PaperDiskModel();
+  EXPECT_EQ(model.DisksForStorage(0.0), 0);
+  EXPECT_EQ(model.DisksForStorage(68.0), 1);
+  EXPECT_EQ(model.DisksForStorage(69.0), 2);
+  EXPECT_EQ(model.DisksForBandwidth(0), 0);
+  EXPECT_EQ(model.DisksForBandwidth(10), 1);
+  EXPECT_EQ(model.DisksForBandwidth(11), 2);
+  EXPECT_EQ(model.DisksForBandwidth(1230), 123);
+}
+
+TEST(DiskModelTest, RequiredIsMaxOfBothConstraints) {
+  const DiskModel model = PaperDiskModel();
+  // Storage-bound: a large library, few streams.
+  EXPECT_EQ(model.DisksRequired(10000.0, 10),
+            model.DisksForStorage(10000.0));
+  // Bandwidth-bound: Example 1's 602 streams dominate 225 minutes of video.
+  EXPECT_EQ(model.DisksRequired(225.0, 602), model.DisksForBandwidth(602));
+}
+
+TEST(DiskModelTest, RejectsInvalidSpecs) {
+  DiskSpec bad_disk;
+  bad_disk.price_dollars = -1.0;
+  EXPECT_TRUE(
+      DiskModel::Create(bad_disk, VideoFormat{}).status().IsInvalidArgument());
+  VideoFormat bad_format;
+  bad_format.bitrate_mbits_per_sec = 0.0;
+  EXPECT_TRUE(
+      DiskModel::Create(DiskSpec{}, bad_format).status().IsInvalidArgument());
+  // A format too fat for the disk's bandwidth.
+  VideoFormat fat;
+  fat.bitrate_mbits_per_sec = 100.0;
+  EXPECT_TRUE(
+      DiskModel::Create(DiskSpec{}, fat).status().IsInvalidArgument());
+}
+
+TEST(DiskModelTest, ModernHardwareScalesSanely) {
+  DiskSpec nvme;
+  nvme.capacity_gbytes = 2000.0;
+  nvme.transfer_mbytes_per_sec = 3000.0;
+  nvme.price_dollars = 150.0;
+  VideoFormat h264;
+  h264.bitrate_mbits_per_sec = 8.0;
+  const auto model = DiskModel::Create(nvme, h264);
+  ASSERT_TRUE(model.ok());
+  EXPECT_DOUBLE_EQ(model->StreamsPerDisk(), 3000.0);
+  EXPECT_DOUBLE_EQ(model->CostPerStream(), 0.05);
+}
+
+}  // namespace
+}  // namespace vod

@@ -1,0 +1,84 @@
+#include "storage/resource_pool.h"
+
+#include <gtest/gtest.h>
+
+namespace vod {
+namespace {
+
+TEST(StreamPoolTest, AcquireReleaseAccounting) {
+  StreamPool pool(10);
+  EXPECT_EQ(pool.capacity(), 10);
+  EXPECT_EQ(pool.available(), 10);
+  EXPECT_TRUE(pool.Acquire(1.0, 4).ok());
+  EXPECT_EQ(pool.in_use(), 4);
+  EXPECT_EQ(pool.available(), 6);
+  EXPECT_TRUE(pool.Release(2.0, 3).ok());
+  EXPECT_EQ(pool.in_use(), 1);
+  EXPECT_EQ(pool.peak_in_use(), 4);
+}
+
+TEST(StreamPoolTest, RejectsOverCapacityWithoutSideEffects) {
+  StreamPool pool(5);
+  EXPECT_TRUE(pool.Acquire(0.0, 5).ok());
+  const Status s = pool.Acquire(1.0, 1);
+  EXPECT_TRUE(s.IsResourceExhausted());
+  EXPECT_EQ(pool.in_use(), 5);
+  EXPECT_EQ(pool.rejected(), 1);
+}
+
+TEST(StreamPoolTest, CanAcquirePredicts) {
+  StreamPool pool(3);
+  EXPECT_TRUE(pool.CanAcquire(3));
+  EXPECT_FALSE(pool.CanAcquire(4));
+  ASSERT_TRUE(pool.Acquire(0.0, 2).ok());
+  EXPECT_TRUE(pool.CanAcquire(1));
+  EXPECT_FALSE(pool.CanAcquire(2));
+}
+
+TEST(StreamPoolTest, OverReleaseIsInternalError) {
+  StreamPool pool(5);
+  ASSERT_TRUE(pool.Acquire(0.0, 2).ok());
+  EXPECT_TRUE(pool.Release(1.0, 3).IsInternal());
+}
+
+TEST(StreamPoolTest, TimeWeightedUtilization) {
+  StreamPool pool(10, "disks");
+  ASSERT_TRUE(pool.Acquire(0.0, 10).ok());   // full for [0, 5)
+  ASSERT_TRUE(pool.Release(5.0, 10).ok());   // empty for [5, 10)
+  EXPECT_NEAR(pool.MeanInUse(10.0), 5.0, 1e-12);
+  EXPECT_NEAR(pool.MeanUtilization(10.0), 0.5, 1e-12);
+  EXPECT_EQ(pool.name(), "disks");
+}
+
+TEST(StreamPoolTest, ZeroCapacityRejectsEverything) {
+  StreamPool pool(0);
+  EXPECT_TRUE(pool.Acquire(0.0, 1).IsResourceExhausted());
+  EXPECT_TRUE(pool.Acquire(0.0, 0).ok());  // zero-acquire is a no-op
+}
+
+TEST(BufferPoolTest, FractionalAccounting) {
+  BufferPool pool(113.5);
+  EXPECT_TRUE(pool.Acquire(0.0, 39.0).ok());
+  EXPECT_TRUE(pool.Acquire(0.0, 30.0).ok());
+  EXPECT_TRUE(pool.Acquire(0.0, 44.5).ok());
+  EXPECT_NEAR(pool.in_use(), 113.5, 1e-12);
+  EXPECT_TRUE(pool.Acquire(1.0, 0.1).IsResourceExhausted());
+  EXPECT_TRUE(pool.Release(2.0, 44.5).ok());
+  EXPECT_NEAR(pool.available(), 44.5, 1e-9);
+}
+
+TEST(BufferPoolTest, ToleratesRoundingAtExactCapacity) {
+  BufferPool pool(1.0);
+  EXPECT_TRUE(pool.Acquire(0.0, 0.3).ok());
+  EXPECT_TRUE(pool.Acquire(0.0, 0.3).ok());
+  EXPECT_TRUE(pool.Acquire(0.0, 0.4).ok());  // sums to 1.0 ± epsilon
+}
+
+TEST(BufferPoolTest, OverReleaseIsInternalError) {
+  BufferPool pool(10.0);
+  ASSERT_TRUE(pool.Acquire(0.0, 1.0).ok());
+  EXPECT_TRUE(pool.Release(0.0, 2.0).IsInternal());
+}
+
+}  // namespace
+}  // namespace vod

@@ -1,0 +1,134 @@
+#include "storage/round_scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace vod {
+namespace {
+
+RoundScheduler PaperScheduler() {
+  auto scheduler = RoundScheduler::Create(DiskGeometry{}, 4.0);
+  EXPECT_TRUE(scheduler.ok());
+  return *scheduler;
+}
+
+TEST(DiskGeometryTest, Validation) {
+  EXPECT_TRUE(DiskGeometry{}.Validate().ok());
+  DiskGeometry bad;
+  bad.rotation_ms = 0.0;
+  EXPECT_TRUE(bad.Validate().IsInvalidArgument());
+  bad = DiskGeometry{};
+  bad.track_to_track_ms = 30.0;  // exceeds full stroke
+  EXPECT_TRUE(bad.Validate().IsInvalidArgument());
+}
+
+TEST(DiskGeometryTest, ScanSeekShrinksWithStops) {
+  const DiskGeometry geometry;
+  EXPECT_DOUBLE_EQ(geometry.ScanSeekMs(1), geometry.max_seek_ms);
+  EXPECT_GT(geometry.ScanSeekMs(2), geometry.ScanSeekMs(10));
+  // Many stops approach the track-to-track floor.
+  EXPECT_NEAR(geometry.ScanSeekMs(100000), geometry.track_to_track_ms, 1e-3);
+}
+
+TEST(RoundSchedulerTest, CreateValidation) {
+  EXPECT_TRUE(RoundScheduler::Create(DiskGeometry{}, 0.0)
+                  .status()
+                  .IsInvalidArgument());
+  // 40 Mbps stream on a 5 MB/s disk: rate equals bandwidth.
+  EXPECT_TRUE(RoundScheduler::Create(DiskGeometry{}, 40.0)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(RoundSchedulerTest, BandwidthBoundMatchesExampleTwo) {
+  // 5 MB/s ÷ 0.5 MB/s = 10 streams — the paper's ideal figure.
+  EXPECT_DOUBLE_EQ(PaperScheduler().BandwidthBoundStreams(), 10.0);
+}
+
+TEST(RoundSchedulerTest, LongRoundsApproachTheBandwidthBound) {
+  const RoundScheduler scheduler = PaperScheduler();
+  EXPECT_EQ(scheduler.MaxStreamsPerDisk(1000.0), 9);  // < 10, never 10
+  EXPECT_LT(scheduler.MaxStreamsPerDisk(0.5),
+            scheduler.MaxStreamsPerDisk(10.0));
+}
+
+TEST(RoundSchedulerTest, ShortRoundsPayTheOverhead) {
+  const RoundScheduler scheduler = PaperScheduler();
+  // At R = 0.05 s the per-stream overhead (~10–25 ms) dominates.
+  EXPECT_LE(scheduler.MaxStreamsPerDisk(0.05), 2);
+  EXPECT_EQ(scheduler.MaxStreamsPerDisk(0.0), 0);
+}
+
+TEST(RoundSchedulerTest, ServiceTimeComposition) {
+  const RoundScheduler scheduler = PaperScheduler();
+  const double round = 1.0;
+  // One stream: seek(1) + rotation + block/transfer.
+  const double expected =
+      (17.0 + 8.33) / 1000.0 + scheduler.BlockMBytes(round) / 5.0;
+  EXPECT_NEAR(scheduler.RoundServiceSeconds(1, round), expected, 1e-12);
+  EXPECT_DOUBLE_EQ(scheduler.RoundServiceSeconds(0, round), 0.0);
+  // Monotone in k.
+  for (int k = 2; k <= 10; ++k) {
+    EXPECT_GT(scheduler.RoundServiceSeconds(k, round),
+              scheduler.RoundServiceSeconds(k - 1, round));
+  }
+}
+
+TEST(RoundSchedulerTest, MinRoundInvertsMaxStreams) {
+  const RoundScheduler scheduler = PaperScheduler();
+  for (int k = 1; k <= 9; ++k) {
+    const auto round = scheduler.MinRoundSecondsForStreams(k);
+    ASSERT_TRUE(round.ok()) << k;
+    // At exactly that round length, k streams fit...
+    EXPECT_LE(scheduler.RoundServiceSeconds(k, *round), *round + 1e-9);
+    EXPECT_GE(scheduler.MaxStreamsPerDisk(*round + 1e-9), k);
+    // ...and a slightly shorter round does not sustain k.
+    if (*round > 1e-6) {
+      EXPECT_LT(scheduler.MaxStreamsPerDisk(*round * 0.9), k);
+    }
+  }
+}
+
+TEST(RoundSchedulerTest, BandwidthBoundIsInfeasible) {
+  const RoundScheduler scheduler = PaperScheduler();
+  EXPECT_TRUE(scheduler.MinRoundSecondsForStreams(10).status().IsInfeasible());
+  EXPECT_TRUE(scheduler.MinRoundSecondsForStreams(11).status().IsInfeasible());
+  EXPECT_DOUBLE_EQ(*scheduler.MinRoundSecondsForStreams(0), 0.0);
+}
+
+TEST(RoundSchedulerTest, BufferAndLatencyScaleWithRound) {
+  const RoundScheduler scheduler = PaperScheduler();
+  // Block at R = 2 s: 0.5 MB/s · 2 = 1 MB; double-buffered for 8 streams:
+  // 16 MB.
+  EXPECT_DOUBLE_EQ(scheduler.BlockMBytes(2.0), 1.0);
+  EXPECT_DOUBLE_EQ(scheduler.BufferPerDiskMBytes(8, 2.0), 16.0);
+  EXPECT_DOUBLE_EQ(scheduler.StartupLatencySeconds(2.0), 4.0);
+}
+
+TEST(RoundSchedulerTest, TradeoffCurveIsSane) {
+  // The operator's knob: longer rounds buy streams with buffer + latency.
+  const RoundScheduler scheduler = PaperScheduler();
+  int previous = 0;
+  for (double round : {0.25, 0.5, 1.0, 2.0, 4.0, 8.0}) {
+    const int streams = scheduler.MaxStreamsPerDisk(round);
+    EXPECT_GE(streams, previous);
+    previous = streams;
+  }
+  EXPECT_GE(previous, 8);  // long rounds get close to the bound of 10
+}
+
+TEST(RoundSchedulerTest, ModernDiskSustainsManyStreams) {
+  DiskGeometry nvme_like;
+  nvme_like.max_seek_ms = 0.1;  // effectively no seeks
+  nvme_like.track_to_track_ms = 0.05;
+  nvme_like.rotation_ms = 0.01;
+  nvme_like.transfer_mbytes_per_sec = 3000.0;
+  const auto scheduler = RoundScheduler::Create(nvme_like, 8.0);
+  ASSERT_TRUE(scheduler.ok());
+  EXPECT_DOUBLE_EQ(scheduler->BandwidthBoundStreams(), 3000.0);
+  EXPECT_GT(scheduler->MaxStreamsPerDisk(1.0), 2500);
+}
+
+}  // namespace
+}  // namespace vod

@@ -1,0 +1,24 @@
+// Compile-level check: the umbrella header is self-contained and exposes
+// the whole public surface.
+
+#include "vod.h"
+
+#include <gtest/gtest.h>
+
+namespace vod {
+namespace {
+
+TEST(UmbrellaTest, EndToEndThroughTheSingleInclude) {
+  const auto layout = PartitionLayout::FromBuffer(120.0, 40, 80.0);
+  ASSERT_TRUE(layout.ok());
+  const auto duration = ParseDistributionSpec("gamma(2,4)");
+  ASSERT_TRUE(duration.ok());
+  const auto model = AnalyticHitModel::Create(*layout, paper::Rates());
+  ASSERT_TRUE(model.ok());
+  const auto p = model->HitProbability(VcrOp::kFastForward, *duration);
+  ASSERT_TRUE(p.ok());
+  EXPECT_NEAR(*p, 0.6818, 0.001);
+}
+
+}  // namespace
+}  // namespace vod

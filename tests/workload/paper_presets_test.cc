@@ -1,0 +1,105 @@
+#include "workload/paper_presets.h"
+
+#include <gtest/gtest.h>
+
+namespace vod {
+namespace {
+
+TEST(PaperPresetsTest, RatesAreThreeTimesPlayback) {
+  const PlaybackRates rates = paper::Rates();
+  EXPECT_TRUE(rates.Validate().ok());
+  EXPECT_DOUBLE_EQ(rates.playback, 1.0);
+  EXPECT_DOUBLE_EQ(rates.fast_forward, 3.0);
+  EXPECT_DOUBLE_EQ(rates.rewind, 3.0);
+}
+
+TEST(PaperPresetsTest, Fig7DurationIsGammaMeanEight) {
+  const DistributionPtr duration = paper::Fig7Duration();
+  EXPECT_DOUBLE_EQ(duration->Mean(), 8.0);
+  EXPECT_DOUBLE_EQ(duration->Variance(), 32.0);  // shape 2, scale 4
+}
+
+TEST(PaperPresetsTest, SingleOpBehaviorsValid) {
+  for (VcrOp op : kAllVcrOps) {
+    const VcrBehavior behavior = paper::Fig7SingleOpBehavior(op);
+    EXPECT_TRUE(behavior.Validate().ok()) << VcrOpName(op);
+    EXPECT_DOUBLE_EQ(behavior.mix.Probability(op), 1.0);
+  }
+}
+
+TEST(PaperPresetsTest, MixedBehaviorMatchesFig7d) {
+  const VcrBehavior behavior = paper::Fig7MixedBehavior();
+  EXPECT_TRUE(behavior.Validate().ok());
+  EXPECT_DOUBLE_EQ(behavior.mix.p_fast_forward, 0.2);
+  EXPECT_DOUBLE_EQ(behavior.mix.p_rewind, 0.2);
+  EXPECT_DOUBLE_EQ(behavior.mix.p_pause, 0.6);
+}
+
+TEST(PaperPresetsTest, Example1MoviesMatchThePaper) {
+  const auto movies = paper::Example1Movies();
+  ASSERT_EQ(movies.size(), 3u);
+  EXPECT_DOUBLE_EQ(movies[0].length_minutes, 75.0);
+  EXPECT_DOUBLE_EQ(movies[1].length_minutes, 60.0);
+  EXPECT_DOUBLE_EQ(movies[2].length_minutes, 90.0);
+  EXPECT_DOUBLE_EQ(movies[0].max_wait_minutes, 0.1);
+  EXPECT_DOUBLE_EQ(movies[1].max_wait_minutes, 0.5);
+  EXPECT_DOUBLE_EQ(movies[2].max_wait_minutes, 0.25);
+  for (const auto& m : movies) {
+    EXPECT_TRUE(m.Validate().ok()) << m.name;
+    EXPECT_DOUBLE_EQ(m.min_hit_probability, 0.5);
+  }
+  // Durations: gamma mean 8, exp mean 5, exp mean 2.
+  EXPECT_DOUBLE_EQ(movies[0].durations.fast_forward->Mean(), 8.0);
+  EXPECT_DOUBLE_EQ(movies[1].durations.fast_forward->Mean(), 5.0);
+  EXPECT_DOUBLE_EQ(movies[2].durations.fast_forward->Mean(), 2.0);
+}
+
+TEST(PaperPresetsTest, Fig9PhiValues) {
+  const auto phis = paper::Fig9PhiValues();
+  ASSERT_EQ(phis.size(), 6u);
+  EXPECT_DOUBLE_EQ(phis[0], 3.0);
+  EXPECT_DOUBLE_EQ(phis[4], 11.0);
+  EXPECT_DOUBLE_EQ(phis[5], 16.0);
+}
+
+TEST(VcrBehaviorTest, SampleOpRespectsMix) {
+  const VcrBehavior behavior = paper::Fig7MixedBehavior();
+  Rng rng(13);
+  int counts[3] = {0, 0, 0};
+  const int trials = 100000;
+  for (int i = 0; i < trials; ++i) {
+    counts[static_cast<int>(behavior.SampleOp(&rng))]++;
+  }
+  EXPECT_NEAR(counts[0] / static_cast<double>(trials), 0.2, 0.01);
+  EXPECT_NEAR(counts[1] / static_cast<double>(trials), 0.2, 0.01);
+  EXPECT_NEAR(counts[2] / static_cast<double>(trials), 0.6, 0.01);
+}
+
+TEST(VcrBehaviorTest, SampleDurationUsesPerOpDistribution) {
+  VcrBehavior behavior = paper::Fig7MixedBehavior();
+  Rng rng(17);
+  double sum = 0.0;
+  const int trials = 50000;
+  for (int i = 0; i < trials; ++i) {
+    sum += behavior.SampleDuration(VcrOp::kFastForward, &rng);
+  }
+  EXPECT_NEAR(sum / trials, 8.0, 0.15);
+}
+
+TEST(VcrBehaviorTest, PassiveValidation) {
+  VcrBehavior passive;
+  passive.interactivity = nullptr;
+  EXPECT_TRUE(passive.passive());
+  EXPECT_TRUE(passive.Validate().ok());
+}
+
+TEST(VcrBehaviorTest, MissingDurationRejected) {
+  VcrBehavior behavior;
+  behavior.mix = VcrMix::Only(VcrOp::kRewind);
+  behavior.interactivity = paper::DefaultInteractivity();
+  behavior.durations.rewind = nullptr;
+  EXPECT_TRUE(behavior.Validate().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace vod

@@ -1,0 +1,85 @@
+#include "workload/zipf.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace vod {
+namespace {
+
+TEST(ZipfTest, ProbabilitiesSumToOne) {
+  const auto zipf = ZipfDistribution::Create(100, 0.8);
+  ASSERT_TRUE(zipf.ok());
+  double total = 0.0;
+  for (int k = 1; k <= 100; ++k) total += zipf->Probability(k);
+  EXPECT_NEAR(total, 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(zipf->CumulativeProbability(100), 1.0);
+}
+
+TEST(ZipfTest, ProbabilitiesDecreaseWithRank) {
+  const auto zipf = ZipfDistribution::Create(50, 1.0);
+  ASSERT_TRUE(zipf.ok());
+  for (int k = 2; k <= 50; ++k) {
+    EXPECT_LT(zipf->Probability(k), zipf->Probability(k - 1));
+  }
+}
+
+TEST(ZipfTest, ExponentOneClassicRatios) {
+  const auto zipf = ZipfDistribution::Create(10, 1.0);
+  ASSERT_TRUE(zipf.ok());
+  // P(k) ∝ 1/k: P(1)/P(2) = 2.
+  EXPECT_NEAR(zipf->Probability(1) / zipf->Probability(2), 2.0, 1e-12);
+  EXPECT_NEAR(zipf->Probability(1) / zipf->Probability(5), 5.0, 1e-12);
+}
+
+TEST(ZipfTest, ZeroExponentIsUniform) {
+  const auto zipf = ZipfDistribution::Create(20, 0.0);
+  ASSERT_TRUE(zipf.ok());
+  for (int k = 1; k <= 20; ++k) {
+    EXPECT_NEAR(zipf->Probability(k), 0.05, 1e-12);
+  }
+}
+
+TEST(ZipfTest, SingleItemTakesAllMass) {
+  const auto zipf = ZipfDistribution::Create(1, 2.0);
+  ASSERT_TRUE(zipf.ok());
+  EXPECT_DOUBLE_EQ(zipf->Probability(1), 1.0);
+  Rng rng(3);
+  EXPECT_EQ(zipf->Sample(&rng), 1);
+}
+
+TEST(ZipfTest, SamplingMatchesProbabilities) {
+  const auto zipf = ZipfDistribution::Create(10, 1.0);
+  ASSERT_TRUE(zipf.ok());
+  Rng rng(7);
+  std::vector<int> counts(11, 0);
+  const int trials = 200000;
+  for (int i = 0; i < trials; ++i) counts[zipf->Sample(&rng)]++;
+  for (int k = 1; k <= 10; ++k) {
+    EXPECT_NEAR(static_cast<double>(counts[k]) / trials,
+                zipf->Probability(k), 0.005)
+        << "rank " << k;
+  }
+}
+
+TEST(ZipfTest, RanksCoveringFraction) {
+  const auto zipf = ZipfDistribution::Create(1000, 1.0);
+  ASSERT_TRUE(zipf.ok());
+  const int popular = zipf->RanksCoveringFraction(0.5);
+  // With s=1 and 1000 items, half the mass sits in the first ~30 ranks.
+  EXPECT_GT(popular, 5);
+  EXPECT_LT(popular, 60);
+  EXPECT_GE(zipf->CumulativeProbability(popular), 0.5);
+  EXPECT_LT(zipf->CumulativeProbability(popular - 1), 0.5);
+  EXPECT_EQ(zipf->RanksCoveringFraction(1.0), 1000);
+  EXPECT_EQ(zipf->RanksCoveringFraction(0.0), 1);
+}
+
+TEST(ZipfTest, RejectsBadArguments) {
+  EXPECT_TRUE(ZipfDistribution::Create(0, 1.0).status().IsInvalidArgument());
+  EXPECT_TRUE(
+      ZipfDistribution::Create(10, -0.5).status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace vod

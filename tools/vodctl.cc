@@ -1,0 +1,389 @@
+// vodctl — command-line front end to the VOD pre-allocation library.
+//
+//   vodctl model    --length=120 --streams=40 --buffer=80 --duration='gamma(2,4)'
+//   vodctl size     --length=120 --wait=0.5 --pstar=0.5 --duration='exp(5)'
+//   vodctl simulate --length=120 --streams=40 --buffer=80 --measure=20000
+//   vodctl catalog  --file=catalog.csv --rate=4 --zipf=1 --budget=0
+//
+// Every subcommand prints an aligned table (add --csv for machine-readable
+// output) and exits non-zero on invalid input.
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "common/flags.h"
+#include "common/table.h"
+#include "core/cost_model.h"
+#include "core/hit_model.h"
+#include "core/sizing.h"
+#include "sim/partition_schedule.h"
+#include "sim/simulator.h"
+#include "workload/catalog.h"
+#include "workload/paper_presets.h"
+
+namespace vod {
+namespace {
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "vodctl: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+void RenderTable(const TableWriter& table, bool csv) {
+  if (csv) {
+    table.RenderCsv(std::cout);
+  } else {
+    table.RenderText(std::cout);
+  }
+}
+
+Result<VcrMix> ParseMix(const std::string& text) {
+  // "ff" | "rw" | "pau" | "mixed" | "pf,pr,pp"
+  if (text == "ff") return VcrMix::Only(VcrOp::kFastForward);
+  if (text == "rw") return VcrMix::Only(VcrOp::kRewind);
+  if (text == "pau") return VcrMix::Only(VcrOp::kPause);
+  if (text == "mixed") return VcrMix::PaperMixed();
+  VcrMix mix;
+  if (std::sscanf(text.c_str(), "%lf,%lf,%lf", &mix.p_fast_forward,
+                  &mix.p_rewind, &mix.p_pause) != 3) {
+    return Status::InvalidArgument(
+        "mix must be ff|rw|pau|mixed or 'p_ff,p_rw,p_pau'");
+  }
+  VOD_RETURN_IF_ERROR(mix.Validate());
+  return mix;
+}
+
+Result<PartitionLayout> LayoutFromFlags(const FlagSet& flags) {
+  const double length = flags.GetDouble("length");
+  const int streams = static_cast<int>(flags.GetInt64("streams"));
+  if (flags.WasSet("buffer")) {
+    return PartitionLayout::FromBuffer(length, streams,
+                                       flags.GetDouble("buffer"));
+  }
+  return PartitionLayout::FromMaxWait(length, streams,
+                                      flags.GetDouble("wait"));
+}
+
+// ---- vodctl model ---------------------------------------------------------
+
+int ModelCommand(int argc, char** argv) {
+  FlagSet flags("vodctl model");
+  flags.AddDouble("length", 120.0, "movie length (minutes)");
+  flags.AddInt64("streams", 40, "number of I/O streams n");
+  flags.AddDouble("buffer", 0.0, "buffer minutes B (overrides --wait)");
+  flags.AddDouble("wait", 1.0, "max wait w (used when --buffer unset)");
+  flags.AddString("duration", "gamma(2,4)", "VCR duration distribution");
+  flags.AddDouble("ff_rate", 3.0, "fast-forward speed (x playback)");
+  flags.AddDouble("rw_rate", 3.0, "rewind speed (x playback)");
+  flags.AddBool("csv", false, "CSV output");
+  const Status parsed = flags.Parse(argc, argv);
+  if (!parsed.ok()) return Fail(parsed);
+
+  const auto layout = LayoutFromFlags(flags);
+  if (!layout.ok()) return Fail(layout.status());
+  const auto duration = ParseDistributionSpec(flags.GetString("duration"));
+  if (!duration.ok()) return Fail(duration.status());
+
+  PlaybackRates rates;
+  rates.fast_forward = flags.GetDouble("ff_rate");
+  rates.rewind = flags.GetDouble("rw_rate");
+  const auto model = AnalyticHitModel::Create(*layout, rates);
+  if (!model.ok()) return Fail(model.status());
+
+  std::printf("%s, durations %s\n", layout->ToString().c_str(),
+              (*duration)->ToString().c_str());
+  TableWriter table({"op", "P(hit)", "own partition", "other partitions",
+                     "movie end"});
+  for (VcrOp op : kAllVcrOps) {
+    const auto breakdown = model->Breakdown(op, *duration);
+    if (!breakdown.ok()) return Fail(breakdown.status());
+    table.AddRow({VcrOpName(op), FormatDouble(breakdown->total(), 4),
+                  FormatDouble(breakdown->within, 4),
+                  FormatDouble(breakdown->jump, 4),
+                  FormatDouble(breakdown->end, 4)});
+  }
+  RenderTable(table, flags.GetBool("csv"));
+  return 0;
+}
+
+// ---- vodctl size ---------------------------------------------------------
+
+int SizeCommand(int argc, char** argv) {
+  FlagSet flags("vodctl size");
+  flags.AddDouble("length", 120.0, "movie length (minutes)");
+  flags.AddDouble("wait", 0.5, "target max wait (minutes)");
+  flags.AddDouble("pstar", 0.5, "target hit probability");
+  flags.AddString("duration", "gamma(2,4)", "VCR duration distribution");
+  flags.AddString("mix", "mixed", "ff|rw|pau|mixed or 'p_ff,p_rw,p_pau'");
+  flags.AddBool("curve", false, "print the full (B, n) trade-off curve");
+  flags.AddBool("csv", false, "CSV output");
+  const Status parsed = flags.Parse(argc, argv);
+  if (!parsed.ok()) return Fail(parsed);
+
+  const auto duration = ParseDistributionSpec(flags.GetString("duration"));
+  if (!duration.ok()) return Fail(duration.status());
+  const auto mix = ParseMix(flags.GetString("mix"));
+  if (!mix.ok()) return Fail(mix.status());
+
+  MovieSizingSpec spec;
+  spec.name = "movie";
+  spec.length_minutes = flags.GetDouble("length");
+  spec.max_wait_minutes = flags.GetDouble("wait");
+  spec.min_hit_probability = flags.GetDouble("pstar");
+  spec.mix = *mix;
+  spec.durations = VcrDurations::AllSame(*duration);
+  spec.rates = paper::Rates();
+
+  if (flags.GetBool("curve")) {
+    const int max_n = static_cast<int>(spec.length_minutes /
+                                       spec.max_wait_minutes);
+    const auto curve = ComputeSizingCurve(spec, std::max(1, max_n / 20));
+    if (!curve.ok()) return Fail(curve.status());
+    TableWriter table({"n", "B", "P(hit)", "feasible"});
+    for (const auto& point : *curve) {
+      table.AddRow({std::to_string(point.streams),
+                    FormatDouble(point.buffer_minutes, 1),
+                    FormatDouble(point.hit_probability, 4),
+                    point.feasible ? "yes" : "no"});
+    }
+    RenderTable(table, flags.GetBool("csv"));
+  }
+
+  const auto choice = MinimumBufferChoice(spec);
+  if (!choice.ok()) return Fail(choice.status());
+  std::printf("minimum-buffer choice: B* = %.1f min, n* = %d, "
+              "P(hit) = %.4f (target %.2f)\n",
+              choice->buffer_minutes, choice->streams,
+              choice->hit_probability, spec.min_hit_probability);
+  const HardwareCosts costs;
+  AllocationResult allocation;
+  allocation.total_streams = choice->streams;
+  allocation.total_buffer_minutes = choice->buffer_minutes;
+  std::printf("1997-hardware cost: $%.0f (phi = %.1f)\n",
+              AllocationCostDollars(allocation, costs), costs.Phi());
+  return 0;
+}
+
+// ---- vodctl simulate --------------------------------------------------------
+
+int SimulateCommand(int argc, char** argv) {
+  FlagSet flags("vodctl simulate");
+  flags.AddDouble("length", 120.0, "movie length (minutes)");
+  flags.AddInt64("streams", 40, "number of I/O streams n");
+  flags.AddDouble("buffer", 0.0, "buffer minutes B (overrides --wait)");
+  flags.AddDouble("wait", 1.0, "max wait w (used when --buffer unset)");
+  flags.AddString("duration", "gamma(2,4)", "VCR duration distribution");
+  flags.AddString("mix", "mixed", "ff|rw|pau|mixed or 'p_ff,p_rw,p_pau'");
+  flags.AddDouble("arrival_gap", 2.0, "mean inter-arrival time (minutes)");
+  flags.AddDouble("measure", 20000.0, "measured minutes");
+  flags.AddInt64("seed", 42, "RNG seed");
+  flags.AddDouble("piggyback", 0.0, "merge speed delta (0 disables)");
+  const Status parsed = flags.Parse(argc, argv);
+  if (!parsed.ok()) return Fail(parsed);
+
+  const auto layout = LayoutFromFlags(flags);
+  if (!layout.ok()) return Fail(layout.status());
+  const auto duration = ParseDistributionSpec(flags.GetString("duration"));
+  if (!duration.ok()) return Fail(duration.status());
+  const auto mix = ParseMix(flags.GetString("mix"));
+  if (!mix.ok()) return Fail(mix.status());
+
+  SimulationOptions options;
+  options.mean_interarrival_minutes = flags.GetDouble("arrival_gap");
+  options.behavior.mix = *mix;
+  options.behavior.durations = VcrDurations::AllSame(*duration);
+  options.behavior.interactivity = paper::DefaultInteractivity();
+  options.measurement_minutes = flags.GetDouble("measure");
+  options.warmup_minutes = options.measurement_minutes * 0.05;
+  options.seed = static_cast<uint64_t>(flags.GetInt64("seed"));
+  if (flags.GetDouble("piggyback") > 0.0) {
+    options.piggyback.enabled = true;
+    options.piggyback.speed_delta = flags.GetDouble("piggyback");
+  }
+  const auto report = RunSimulation(*layout, paper::Rates(), options);
+  if (!report.ok()) return Fail(report.status());
+  std::printf("%s\n", report->ToString().c_str());
+  std::printf("P(hit) in-partition = %.4f [%.4f, %.4f]; "
+              "wait p50/p99/max = %.3f/%.3f/%.3f min\n",
+              report->hit_probability_in_partition,
+              report->hit_probability_in_partition_low,
+              report->hit_probability_in_partition_high,
+              report->p50_wait_minutes, report->p99_wait_minutes,
+              report->max_wait_minutes);
+  return 0;
+}
+
+// ---- vodctl catalog --------------------------------------------------------
+
+int CatalogCommand(int argc, char** argv) {
+  FlagSet flags("vodctl catalog");
+  flags.AddString("file", "", "catalog CSV (see Catalog::FromCsv)");
+  flags.AddDouble("rate", 4.0, "total arrivals per minute");
+  flags.AddDouble("zipf", 1.0, "popularity exponent");
+  flags.AddInt64("budget", 0, "stream budget (0 = pure-batching count)");
+  flags.AddBool("csv", false, "CSV output");
+  const Status parsed = flags.Parse(argc, argv);
+  if (!parsed.ok()) return Fail(parsed);
+  if (flags.GetString("file").empty()) {
+    return Fail(Status::InvalidArgument("--file is required"));
+  }
+  std::ifstream file(flags.GetString("file"));
+  if (!file) {
+    return Fail(Status::NotFound("cannot open " + flags.GetString("file")));
+  }
+  const auto catalog =
+      Catalog::FromCsv(file, flags.GetDouble("zipf"), flags.GetDouble("rate"));
+  if (!catalog.ok()) return Fail(catalog.status());
+
+  std::vector<MovieSizingSpec> specs;
+  for (size_t rank = 1; rank <= catalog->size(); ++rank) {
+    const MovieEntry& entry = catalog->movie(static_cast<int>(rank));
+    if (entry.behavior.passive() || entry.min_hit_probability <= 0.0) {
+      continue;  // unicast title; no pre-allocation
+    }
+    MovieSizingSpec spec;
+    spec.name = entry.title;
+    spec.length_minutes = entry.length_minutes;
+    spec.max_wait_minutes = entry.max_wait_minutes;
+    spec.min_hit_probability = entry.min_hit_probability;
+    spec.mix = entry.behavior.mix;
+    spec.durations = entry.behavior.durations;
+    spec.rates = paper::Rates();
+    specs.push_back(std::move(spec));
+  }
+  if (specs.empty()) {
+    return Fail(Status::InvalidArgument(
+        "no sizable titles in the catalog (all passive or P* = 0)"));
+  }
+  const int pure = PureBatchingStreams(specs);
+  int budget = static_cast<int>(flags.GetInt64("budget"));
+  if (budget <= 0) budget = pure;
+  const auto sized = SizeSystem(specs, budget);
+  if (!sized.ok()) return Fail(sized.status());
+
+  TableWriter table({"title", "streams", "buffer (min)"});
+  for (const auto& m : sized->movies) {
+    table.AddRow({m.name, std::to_string(m.streams),
+                  FormatDouble(m.buffer_minutes, 1)});
+  }
+  RenderTable(table, flags.GetBool("csv"));
+  std::printf("total: %d streams + %.1f buffer-minutes "
+              "(pure batching: %d streams)\n",
+              sized->total_streams, sized->total_buffer_minutes, pure);
+  return 0;
+}
+
+// ---- vodctl timeline -------------------------------------------------------
+//
+// ASCII rendering of the partition-window pattern (the paper's Figures 1–4):
+// each row is a snapshot of the movie axis at a later time; '#' marks
+// buffered positions, '.' the gaps, and 'F'/'V' a fast-forwarding viewer.
+
+int TimelineCommand(int argc, char** argv) {
+  FlagSet flags("vodctl timeline");
+  flags.AddDouble("length", 120.0, "movie length (minutes)");
+  flags.AddInt64("streams", 12, "number of I/O streams n");
+  flags.AddDouble("buffer", 60.0, "buffer minutes B");
+  flags.AddDouble("start_pos", 30.0, "viewer position at the first row");
+  flags.AddDouble("ff_minutes", 36.0, "movie-minutes the viewer FFs through");
+  flags.AddDouble("ff_rate", 3.0, "fast-forward speed (x playback)");
+  flags.AddInt64("width", 96, "columns for the movie axis");
+  flags.AddInt64("rows", 12, "time snapshots");
+  const Status parsed = flags.Parse(argc, argv);
+  if (!parsed.ok()) return Fail(parsed);
+
+  const auto layout = PartitionLayout::FromBuffer(
+      flags.GetDouble("length"), static_cast<int>(flags.GetInt64("streams")),
+      flags.GetDouble("buffer"));
+  if (!layout.ok()) return Fail(layout.status());
+  const double l = layout->movie_length();
+  const auto width = flags.GetInt64("width");
+  const auto rows = flags.GetInt64("rows");
+  if (width < 10 || rows < 1) {
+    return Fail(Status::InvalidArgument("need --width >= 10, --rows >= 1"));
+  }
+
+  PartitionSchedule schedule(*layout);
+  const double ff_rate = flags.GetDouble("ff_rate");
+  const double ff_span = flags.GetDouble("ff_minutes");
+  const double start_pos = flags.GetDouble("start_pos");
+  // The FF lasts ff_span / ff_rate wall minutes; render that plus some
+  // normal playback before and after.
+  const double ff_wall = ff_span / ff_rate;
+  const double total_wall = ff_wall * 3.0;
+  const double t0 = 10.0 * layout->restart_period();  // steady state
+
+  std::printf("%s — '#' buffered, '.' gap, F = viewer fast-forwarding at "
+              "%.0fx, V = normal playback\n",
+              layout->ToString().c_str(), ff_rate);
+  for (int64_t row = 0; row < rows; ++row) {
+    const double dt = total_wall * static_cast<double>(row) /
+                      static_cast<double>(rows - 1 > 0 ? rows - 1 : 1);
+    const double t = t0 + dt;
+    // Viewer trajectory: playback for ff_wall, FF for ff_wall, playback.
+    double pos;
+    char marker = 'V';
+    if (dt < ff_wall) {
+      pos = start_pos + dt;
+    } else if (dt < 2.0 * ff_wall) {
+      pos = start_pos + ff_wall + (dt - ff_wall) * ff_rate;
+      marker = 'F';
+    } else {
+      pos = start_pos + ff_wall + ff_span + (dt - 2.0 * ff_wall);
+    }
+    std::string line(static_cast<size_t>(width), '.');
+    for (int64_t col = 0; col < width; ++col) {
+      const double p = l * (static_cast<double>(col) + 0.5) /
+                       static_cast<double>(width);
+      if (schedule.FindCoveringStream(t, p).has_value()) {
+        line[static_cast<size_t>(col)] = '#';
+      }
+    }
+    if (pos <= l) {
+      const auto col = static_cast<int64_t>(pos / l * width);
+      if (col >= 0 && col < width) {
+        line[static_cast<size_t>(col)] = marker;
+      }
+    }
+    const bool covered =
+        pos <= l && schedule.FindCoveringStream(t, pos).has_value();
+    std::printf("t=%7.2f |%s| pos %6.2f %s\n", t, line.c_str(),
+                std::min(pos, l),
+                pos > l ? "(finished)" : covered ? "(in buffer)" : "(gap)");
+  }
+  std::printf("\nwindows advance with playback; the FF segment crosses gaps "
+              "and windows — where it ends decides hit vs miss (paper "
+              "Fig. 2).\n");
+  return 0;
+}
+
+int Usage() {
+  std::fputs(
+      "usage: vodctl <command> [--flags]\n"
+      "commands:\n"
+      "  model     analytic P(hit) breakdown for one configuration\n"
+      "  size      minimum-buffer sizing for QoS targets\n"
+      "  simulate  discrete-event simulation of one movie\n"
+      "  catalog   size a whole catalog from CSV\n"
+      "  timeline  ASCII view of the partition windows and a FF trajectory\n"
+      "run 'vodctl <command> --help' for the command's flags\n",
+      stderr);
+  return 2;
+}
+
+}  // namespace
+}  // namespace vod
+
+int main(int argc, char** argv) {
+  if (argc < 2) return vod::Usage();
+  const std::string command = argv[1];
+  // Shift argv so subcommand flags parse from position 1.
+  if (command == "model") return vod::ModelCommand(argc - 1, argv + 1);
+  if (command == "size") return vod::SizeCommand(argc - 1, argv + 1);
+  if (command == "simulate") return vod::SimulateCommand(argc - 1, argv + 1);
+  if (command == "catalog") return vod::CatalogCommand(argc - 1, argv + 1);
+  if (command == "timeline") return vod::TimelineCommand(argc - 1, argv + 1);
+  return vod::Usage();
+}
