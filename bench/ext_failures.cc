@@ -1,0 +1,168 @@
+// Extension: disk failures, graceful degradation, and QoS recovery.
+//
+// ext_blocking showed the fault-free reserve economics. Here the reserve is
+// striped across disks that fail (exponential MTBF) and get repaired
+// (exponential MTTR), shrinking capacity while a disk is down. The
+// degradation ladder (sim/degradation.h) queues dry-reserve VCR requests
+// with a retry deadline, sheds new VCR work under deep loss, and forcibly
+// reclaims dedicated streams when the pool becomes oversubscribed — instead
+// of the seed's hard-refusal cliff.
+//
+// The sweep shows two convergences and one invariant:
+//   * MTBF -> infinity or MTTR -> 0 recovers the fault-free baseline row.
+//   * The quasi-stationary Erlang prediction (core/erlang.h,
+//     ErlangBlockingWithFailures) tracks the observed refusal probability.
+//   * Accounting closes: queued = grants + expired + pending, and
+//     blocked FF/RW = denied + expired — no request is silently dropped.
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "common/check.h"
+#include "common/flags.h"
+#include "common/table.h"
+#include "core/erlang.h"
+#include "sim/server.h"
+#include "sim/simulator.h"
+#include "workload/paper_presets.h"
+
+namespace {
+
+constexpr int kDisks = 4;
+
+std::vector<vod::ServerMovieSpec> Movies() {
+  using namespace vod;
+  std::vector<ServerMovieSpec> movies;
+  auto layout_a = PartitionLayout::FromBuffer(120.0, 40, 60.0);
+  auto layout_b = PartitionLayout::FromBuffer(90.0, 30, 45.0);
+  auto layout_c = PartitionLayout::FromBuffer(105.0, 35, 52.5);
+  VOD_CHECK_OK(layout_a.status());
+  VOD_CHECK_OK(layout_b.status());
+  VOD_CHECK_OK(layout_c.status());
+  movies.push_back({"top-1", *layout_a, 0.5, paper::Fig7MixedBehavior()});
+  movies.push_back({"top-2", *layout_b, 0.33, paper::Fig7MixedBehavior()});
+  movies.push_back({"top-3", *layout_c, 0.25, paper::Fig7MixedBehavior()});
+  return movies;
+}
+
+struct FaultPoint {
+  const char* label;
+  bool faults;       // false = fault-free baseline (ladder still on)
+  double mtbf;
+  double mttr;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace vod;
+  FlagSet flags("ext_failures");
+  flags.AddBool("csv", false, "emit CSV");
+  flags.AddDouble("measure", 6000.0, "measured minutes");
+  flags.AddDouble("deadline", 5.0, "queued-VCR retry deadline (minutes)");
+  VOD_CHECK_OK(flags.Parse(argc, argv));
+
+  std::printf("Extension: disk failures vs graceful degradation "
+              "(3 movies, reserve striped over %d disks, mixed VCR "
+              "workload)\n\n", kDisks);
+
+  // Offered load for the Erlang prediction: mean busy dedicated streams
+  // under unlimited supply, summed over the movies (as in ext_blocking).
+  double offered = 0.0;
+  for (const auto& movie : Movies()) {
+    SimulationOptions options;
+    options.mean_interarrival_minutes = 1.0 / movie.arrival_rate_per_minute;
+    options.behavior = movie.behavior;
+    options.warmup_minutes = 1000.0;
+    options.measurement_minutes = flags.GetDouble("measure");
+    options.seed = 901;
+    const auto report = RunSimulation(movie.layout, paper::Rates(), options);
+    VOD_CHECK_OK(report.status());
+    offered += report->mean_dedicated_streams;
+  }
+  std::printf("offered load: %.1f Erlangs\n\n", offered);
+
+  const FaultPoint kPoints[] = {
+      {"fault-free", false, 0.0, 0.0},
+      {"mtbf=1e12 mttr=120", true, 1e12, 120.0},   // -> fault-free
+      {"mtbf=4000 mttr=1e-3", true, 4000.0, 1e-3}, // -> fault-free
+      {"mtbf=4000 mttr=120", true, 4000.0, 120.0},
+      {"mtbf=4000 mttr=480", true, 4000.0, 480.0},
+      {"mtbf=1000 mttr=480", true, 1000.0, 480.0},
+  };
+
+  TableWriter table({"faults", "reserve", "avail", "p_refuse", "Erlang pred",
+                     "blocked", "queued", "q-wait p99", "reclaims",
+                     "degraded %", "recover mean", "accounting"});
+  bool all_closed = true;
+  for (const FaultPoint& point : kPoints) {
+    for (int64_t reserve : {20, 40, 80}) {
+      ServerOptions options;
+      options.rates = paper::Rates();
+      options.dynamic_stream_reserve = reserve;
+      options.warmup_minutes = 1000.0;
+      options.measurement_minutes = flags.GetDouble("measure");
+      options.seed = 555;
+      options.degradation.enabled = true;
+      options.degradation.queue_deadline_minutes = flags.GetDouble("deadline");
+      if (point.faults) {
+        options.faults.enabled = true;
+        options.faults.disks = kDisks;
+        options.faults.profile.mtbf_minutes = point.mtbf;
+        options.faults.profile.mttr_minutes = point.mttr;
+      }
+      const auto report = RunServerSimulation(Movies(), options);
+      VOD_CHECK_OK(report.status());
+      const ResilienceReport& rz = report->resilience;
+
+      const double availability =
+          point.faults ? options.faults.profile.StationaryAvailability() : 1.0;
+      const auto predicted = ErlangBlockingWithFailures(
+          kDisks, static_cast<int>(reserve / kDisks), offered, availability);
+      VOD_CHECK_OK(predicted.status());
+
+      const double horizon =
+          options.warmup_minutes + options.measurement_minutes;
+      const double degraded_fraction =
+          1.0 - rz.time_in_level[0] / horizon;
+      // Every queued request and every blocked FF/RW must be accounted for.
+      const bool queue_closed =
+          rz.vcr_queued ==
+          rz.vcr_queue_grants + rz.vcr_queue_expirations + rz.vcr_queue_pending;
+      const bool blocked_closed =
+          report->total_blocked_vcr == rz.vcr_denied + rz.vcr_queue_expirations;
+      all_closed = all_closed && queue_closed && blocked_closed;
+
+      table.AddRow({point.label, std::to_string(reserve),
+                    FormatDouble(availability, 4),
+                    FormatDouble(report->refusal_probability, 4),
+                    FormatDouble(*predicted, 4),
+                    std::to_string(report->total_blocked_vcr),
+                    std::to_string(rz.vcr_queued),
+                    FormatDouble(rz.p99_queued_wait_minutes, 2),
+                    std::to_string(rz.forced_reclaims),
+                    FormatDouble(100.0 * degraded_fraction, 1),
+                    FormatDouble(rz.mean_recovery_minutes, 1),
+                    queue_closed && blocked_closed ? "closed" : "VIOLATED"});
+    }
+  }
+
+  if (flags.GetBool("csv")) {
+    table.RenderCsv(std::cout);
+  } else {
+    table.RenderText(std::cout);
+  }
+  std::printf("\nReading: the mtbf=1e12 and mttr~0 rows reproduce the "
+              "fault-free row (convergence); harsher failure regimes raise "
+              "refusals, queueing, and forced reclaims, and the "
+              "quasi-stationary Erlang mixture tracks the observed refusal "
+              "probability. Accounting closes on every row: queued = grants "
+              "+ expired + pending and blocked = denied + expired.\n");
+  if (!all_closed) {
+    std::fprintf(stderr, "ext_failures: accounting identity VIOLATED\n");
+    return 1;
+  }
+  return 0;
+}

@@ -1,5 +1,7 @@
 #include "core/erlang.h"
 
+#include <vector>
+
 namespace vod {
 
 Result<double> ErlangBlockingProbability(int servers, double offered_load) {
@@ -44,6 +46,41 @@ Result<double> ErlangCarriedLoad(int servers, double offered_load) {
   VOD_ASSIGN_OR_RETURN(const double blocking,
                        ErlangBlockingProbability(servers, offered_load));
   return offered_load * (1.0 - blocking);
+}
+
+Result<double> ErlangBlockingWithFailures(int disks, int streams_per_disk,
+                                          double offered_load,
+                                          double availability) {
+  if (disks < 1) return Status::InvalidArgument("need at least one disk");
+  if (streams_per_disk < 0) {
+    return Status::InvalidArgument("streams per disk must be non-negative");
+  }
+  if (!(availability >= 0.0 && availability <= 1.0)) {
+    return Status::InvalidArgument("availability must be in [0, 1]");
+  }
+  if (offered_load < 0.0) {
+    return Status::InvalidArgument("offered load must be non-negative");
+  }
+  // P(k of d disks up) via the numerically stable Pascal recurrence, then
+  // mix the conditional Erlang-B blocking at each surviving capacity.
+  std::vector<double> up_prob(static_cast<size_t>(disks) + 1, 0.0);
+  up_prob[0] = 1.0;
+  for (int d = 0; d < disks; ++d) {
+    for (int k = d + 1; k >= 1; --k) {
+      up_prob[static_cast<size_t>(k)] =
+          up_prob[static_cast<size_t>(k)] * (1.0 - availability) +
+          up_prob[static_cast<size_t>(k) - 1] * availability;
+    }
+    up_prob[0] *= 1.0 - availability;
+  }
+  double blocking = 0.0;
+  for (int k = 0; k <= disks; ++k) {
+    VOD_ASSIGN_OR_RETURN(
+        const double conditional,
+        ErlangBlockingProbability(k * streams_per_disk, offered_load));
+    blocking += up_prob[static_cast<size_t>(k)] * conditional;
+  }
+  return blocking;
 }
 
 }  // namespace vod

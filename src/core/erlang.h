@@ -40,6 +40,21 @@ Result<int> MinStreamsForBlocking(double offered_load, double target_blocking,
 /// the finite pool. Useful for utilization reporting.
 Result<double> ErlangCarriedLoad(int servers, double offered_load);
 
+/// \brief Blocking probability of a pool striped over failure-prone disks.
+///
+/// The reserve is served by `disks` independent disks contributing
+/// `streams_per_disk` streams each; every disk is up with stationary
+/// probability `availability` (MTBF / (MTBF + MTTR)). Under the
+/// quasi-stationary approximation — failures and repairs are slow compared
+/// to stream holding times, so the pool reaches Erlang equilibrium between
+/// capacity changes — the blocking probability is the binomial mixture
+///   Σ_k C(disks, k)·A^k·(1−A)^(disks−k) · B(k·streams_per_disk, a).
+/// availability = 1 recovers plain Erlang-B at full capacity; availability
+/// = 0 gives certain blocking.
+Result<double> ErlangBlockingWithFailures(int disks, int streams_per_disk,
+                                          double offered_load,
+                                          double availability);
+
 }  // namespace vod
 
 #endif  // VOD_CORE_ERLANG_H_

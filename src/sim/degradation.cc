@@ -1,0 +1,251 @@
+#include "sim/degradation.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace vod {
+
+namespace {
+// Bound on the stored transition log; total_transitions_ keeps the true
+// count so long runs cannot exhaust memory through level flapping.
+constexpr size_t kMaxStoredTransitions = 10000;
+}  // namespace
+
+const char* DegradationLevelName(DegradationLevel level) {
+  switch (level) {
+    case DegradationLevel::kNormal:
+      return "normal";
+    case DegradationLevel::kQueueing:
+      return "queueing";
+    case DegradationLevel::kShedVcr:
+      return "shed-vcr";
+    case DegradationLevel::kReclaim:
+      return "reclaim";
+    case DegradationLevel::kBatchingOnly:
+      return "batching-only";
+  }
+  return "unknown";
+}
+
+Status DegradationPolicy::Validate() const {
+  if (queue_deadline_minutes < 0.0) {
+    return Status::InvalidArgument("queue deadline must be non-negative");
+  }
+  if (!(backoff_initial_minutes > 0.0)) {
+    return Status::InvalidArgument("backoff must start positive");
+  }
+  if (!(backoff_factor >= 1.0)) {
+    return Status::InvalidArgument("backoff factor must be >= 1");
+  }
+  if (shed_below_fraction < 0.0 || shed_below_fraction > 1.0 ||
+      batching_below_fraction < 0.0 || batching_below_fraction > 1.0) {
+    return Status::InvalidArgument("ladder fractions must be in [0, 1]");
+  }
+  if (batching_below_fraction > shed_below_fraction) {
+    return Status::InvalidArgument(
+        "the batching-only threshold cannot exceed the shed threshold");
+  }
+  return Status::OK();
+}
+
+ReserveManager::ReserveManager(int64_t nominal_capacity,
+                               const DegradationPolicy& policy,
+                               EventQueue* queue, double measurement_start)
+    : nominal_capacity_(nominal_capacity),
+      capacity_(nominal_capacity),
+      policy_(policy),
+      queue_(queue),
+      measurement_start_(measurement_start),
+      min_capacity_seen_(nominal_capacity) {
+  VOD_CHECK_MSG(nominal_capacity >= 0, "reserve must be non-negative");
+  VOD_CHECK(queue != nullptr);
+  usage_.Reset(0.0, 0.0);
+}
+
+DegradationLevel ReserveManager::ComputeLevel() const {
+  const double nominal =
+      nominal_capacity_ > 0 ? static_cast<double>(nominal_capacity_) : 1.0;
+  const double fraction = static_cast<double>(capacity_) / nominal;
+  if (fraction < policy_.batching_below_fraction) {
+    return DegradationLevel::kBatchingOnly;
+  }
+  if (in_use_ > capacity_) return DegradationLevel::kReclaim;
+  if (fraction < policy_.shed_below_fraction) {
+    return DegradationLevel::kShedVcr;
+  }
+  if (!waiting_.empty()) return DegradationLevel::kQueueing;
+  return DegradationLevel::kNormal;
+}
+
+void ReserveManager::UpdateLevel(double t) {
+  const DegradationLevel next = ComputeLevel();
+  if (next != level_) {
+    time_in_level_[static_cast<int>(level_)] += t - level_since_;
+    level_since_ = t;
+    if (transitions_.size() < kMaxStoredTransitions) {
+      transitions_.push_back({t, level_, next, capacity_});
+    }
+    ++total_transitions_;
+    if (level_ == DegradationLevel::kNormal) {
+      excursion_start_ = t;
+    } else if (next == DegradationLevel::kNormal) {
+      recovery_times_.Add(t - excursion_start_);
+    }
+    level_ = next;
+  }
+  // Entry actions: forcibly reclaim dedicated streams when the ladder says
+  // so. Guarded so the releases triggered by the reclaim (which re-enter
+  // UpdateLevel) cannot recurse into another reclaim.
+  if (policy_.enabled && reclaim_hook_ && !reclaiming_) {
+    int64_t need = 0;
+    if (level_ == DegradationLevel::kBatchingOnly) {
+      need = in_use_;  // shed everything: pure batching until repairs land
+    } else if (level_ == DegradationLevel::kReclaim) {
+      need = oversubscription();
+    }
+    if (need > 0) {
+      reclaiming_ = true;
+      const int64_t got = reclaim_hook_(t, need);
+      reclaiming_ = false;
+      if (InMeasurement(t)) forced_reclaims_ += got;
+      // The releases above already re-ran UpdateLevel (with entry actions
+      // suppressed); recompute once more so level_ reflects the new state.
+      UpdateLevel(t);
+    }
+  }
+}
+
+void ReserveManager::GrantStream(double t) {
+  ++in_use_;
+  ++acquired_;
+  peak_ = std::max(peak_, in_use_);
+  usage_.Set(t, static_cast<double>(in_use_));
+}
+
+bool ReserveManager::TryAcquire(double t) {
+  // With the policy on, a deeply degraded ladder closes admission even if a
+  // few units are free — that is the declared shedding order.
+  const double nominal =
+      nominal_capacity_ > 0 ? static_cast<double>(nominal_capacity_) : 1.0;
+  const bool admission_closed =
+      policy_.enabled &&
+      (static_cast<double>(capacity_) / nominal < policy_.shed_below_fraction ||
+       in_use_ > capacity_);
+  if (admission_closed || in_use_ >= capacity_) {
+    ++refused_;
+    return false;
+  }
+  GrantStream(t);
+  UpdateLevel(t);
+  return true;
+}
+
+void ReserveManager::Release(double t) {
+  VOD_CHECK_MSG(in_use_ > 0, "reserve release without acquire");
+  --in_use_;
+  usage_.Set(t, static_cast<double>(in_use_));
+  UpdateLevel(t);
+}
+
+bool ReserveManager::TryQueueAcquire(
+    double t, std::function<void(double, bool)> on_decision) {
+  if (!policy_.enabled || policy_.queue_deadline_minutes <= 0.0 ||
+      ComputeLevel() >= DegradationLevel::kShedVcr) {
+    if (InMeasurement(t)) ++vcr_denied_;
+    return false;
+  }
+  Waiter waiter;
+  waiter.id = next_waiter_id_++;
+  waiter.enqueued = t;
+  waiter.deadline = t + policy_.queue_deadline_minutes;
+  waiter.backoff = policy_.backoff_initial_minutes;
+  waiter.on_decision = std::move(on_decision);
+  const uint64_t id = waiter.id;
+  waiter.deadline_token = queue_->Schedule(
+      waiter.deadline, [this, id] { OnDeadline(queue_->Now(), id); });
+  const double first_retry = std::min(t + waiter.backoff, waiter.deadline);
+  if (first_retry < waiter.deadline) {
+    waiter.retry_token = queue_->Schedule(
+        first_retry, [this, id] { OnRetry(queue_->Now(), id); });
+  }
+  waiting_.push_back(std::move(waiter));
+  if (InMeasurement(t)) ++vcr_queued_;
+  UpdateLevel(t);
+  return true;
+}
+
+std::deque<ReserveManager::Waiter>::iterator ReserveManager::FindWaiter(
+    uint64_t waiter_id) {
+  return std::find_if(
+      waiting_.begin(), waiting_.end(),
+      [waiter_id](const Waiter& w) { return w.id == waiter_id; });
+}
+
+void ReserveManager::DrainQueue(double t) {
+  // FIFO: any re-offer opportunity serves the longest-waiting request
+  // first, regardless of whose retry timer fired.
+  while (!waiting_.empty() && in_use_ < capacity_ &&
+         ComputeLevel() < DegradationLevel::kShedVcr) {
+    Waiter waiter = std::move(waiting_.front());
+    waiting_.pop_front();
+    queue_->Cancel(waiter.deadline_token);
+    queue_->Cancel(waiter.retry_token);
+    GrantStream(t);
+    // Classify the whole wait episode by its enqueue time so queued ==
+    // grants + expirations + pending holds exactly across the warmup
+    // boundary.
+    if (InMeasurement(waiter.enqueued)) {
+      ++vcr_queue_grants_;
+      queued_wait_.Add(t - waiter.enqueued);
+      queued_wait_quantiles_.Add(t - waiter.enqueued);
+    }
+    UpdateLevel(t);
+    waiter.on_decision(t, true);
+  }
+}
+
+void ReserveManager::OnRetry(double t, uint64_t waiter_id) {
+  auto it = FindWaiter(waiter_id);
+  if (it == waiting_.end()) return;  // already granted or expired
+  DrainQueue(t);
+  it = FindWaiter(waiter_id);
+  if (it == waiting_.end()) return;  // granted by the drain above
+  it->backoff *= policy_.backoff_factor;
+  const double next_retry = t + it->backoff;
+  if (next_retry < it->deadline) {
+    const uint64_t id = waiter_id;
+    it->retry_token = queue_->Schedule(
+        next_retry, [this, id] { OnRetry(queue_->Now(), id); });
+  } else {
+    it->retry_token = kNoEvent;  // the deadline event resolves this waiter
+  }
+}
+
+void ReserveManager::OnDeadline(double t, uint64_t waiter_id) {
+  auto it = FindWaiter(waiter_id);
+  if (it == waiting_.end()) return;
+  Waiter waiter = std::move(*it);
+  waiting_.erase(it);
+  queue_->Cancel(waiter.retry_token);
+  if (InMeasurement(waiter.enqueued)) ++vcr_queue_expirations_;
+  UpdateLevel(t);
+  waiter.on_decision(t, false);
+}
+
+void ReserveManager::SetCapacity(double t, int64_t capacity) {
+  VOD_CHECK_MSG(capacity >= 0, "capacity must be non-negative");
+  const int64_t previous = capacity_;
+  capacity_ = capacity;
+  min_capacity_seen_ = std::min(min_capacity_seen_, capacity_);
+  max_oversubscription_ = std::max(max_oversubscription_, oversubscription());
+  UpdateLevel(t);
+  if (policy_.enabled && capacity_ > previous) DrainQueue(t);
+}
+
+void ReserveManager::Finalize(double t) {
+  time_in_level_[static_cast<int>(level_)] += t - level_since_;
+  level_since_ = t;
+}
+
+}  // namespace vod

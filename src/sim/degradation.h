@@ -1,0 +1,235 @@
+// Graceful-degradation ladder over the shared dynamic stream reserve.
+//
+// The seed server reproduced the paper's warning as a hard cliff: a dry
+// reserve refuses FF/RW outright and stalls resumes. A production server
+// must keep serving under disk failures and overload by *degrading policy*,
+// not by dropping viewers. ReserveManager wraps the reserve with
+// time-varying capacity (fed by storage/fault_injector.h) and walks a
+// declared degradation ladder as capacity erodes:
+//
+//   L0 kNormal       reserve healthy; requests granted immediately.
+//   L1 kQueueing     reserve dry: FF/RW requests queue with a retry
+//                    deadline and exponential-backoff re-offers instead of
+//                    being refused.
+//   L2 kShedVcr      deep capacity loss: new VCR phase-1 requests are
+//                    denied outright (queue admission closes).
+//   L3 kReclaim      capacity fell below in-use (oversubscribed): post-miss
+//                    dedicated streams are forcibly reclaimed — their
+//                    viewers fall back to pure-batching service (stall
+//                    until the next partition window covers them).
+//   L4 kBatchingOnly catastrophic loss: every dedicated stream is
+//                    reclaimed and all VCR service is denied; the server
+//                    runs as a pure batching system until repairs land.
+//
+// Every transition is recorded (time, from, to) and the time spent in each
+// level is integrated, so a run can account for every refusal, stall, and
+// degradation episode — no viewer session is ever silently dropped.
+
+#ifndef VOD_SIM_DEGRADATION_H_
+#define VOD_SIM_DEGRADATION_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "common/status.h"
+#include "sim/event_queue.h"
+#include "sim/stream_supplier.h"
+#include "stats/quantile.h"
+#include "stats/summary.h"
+#include "stats/time_weighted.h"
+
+namespace vod {
+
+/// Rungs of the degradation ladder, shallow to deep.
+enum class DegradationLevel {
+  kNormal = 0,
+  kQueueing = 1,
+  kShedVcr = 2,
+  kReclaim = 3,
+  kBatchingOnly = 4,
+};
+
+inline constexpr int kNumDegradationLevels = 5;
+
+/// Short stable name ("normal", "queueing", ...).
+const char* DegradationLevelName(DegradationLevel level);
+
+/// Knobs of the ladder. Fractions are of *nominal* (fault-free) capacity.
+struct DegradationPolicy {
+  /// Master switch. Off = the seed's hard-refusal semantics (requests are
+  /// never queued, nothing is reclaimed); levels are still tracked for
+  /// reporting when capacity varies.
+  bool enabled = false;
+  /// Longest a queued FF/RW request may wait before it is refused.
+  double queue_deadline_minutes = 5.0;
+  /// First re-offer delay; subsequent retries back off geometrically.
+  double backoff_initial_minutes = 0.25;
+  double backoff_factor = 2.0;
+  /// Capacity below this fraction of nominal enters kShedVcr.
+  double shed_below_fraction = 0.5;
+  /// Capacity below this fraction of nominal enters kBatchingOnly.
+  double batching_below_fraction = 0.2;
+
+  Status Validate() const;
+};
+
+/// One recorded ladder transition.
+struct DegradationTransition {
+  double time = 0.0;
+  DegradationLevel from = DegradationLevel::kNormal;
+  DegradationLevel to = DegradationLevel::kNormal;
+  int64_t capacity = 0;  ///< reserve capacity when the transition fired
+};
+
+/// \brief Stream reserve with time-varying capacity and a degradation ladder.
+///
+/// Implements StreamSupplier so MovieWorld uses it unchanged for the grant
+/// path; the queueing path goes through TryQueueAcquire. Reclaim is
+/// delegated to a hook the server installs (it knows the movie worlds).
+class ReserveManager final : public StreamSupplier {
+ public:
+  /// `queue` must outlive the manager. Counters that pair with per-movie
+  /// metrics (queue outcomes, denials, waits) honor `measurement_start`
+  /// exactly like SimulationMetrics; raw acquire/refuse counters cover the
+  /// whole run, matching FiniteStreamSupplier.
+  ReserveManager(int64_t nominal_capacity, const DegradationPolicy& policy,
+                 EventQueue* queue, double measurement_start);
+
+  // ---- StreamSupplier -----------------------------------------------------
+  bool TryAcquire(double t) override;
+  void Release(double t) override;
+  int64_t in_use() const override { return in_use_; }
+  bool TryQueueAcquire(
+      double t, std::function<void(double, bool)> on_decision) override;
+
+  // ---- fault wiring -------------------------------------------------------
+  /// Applies a capacity change (failure or repair). May trigger forced
+  /// reclaim through the hook when the pool becomes oversubscribed or the
+  /// ladder reaches kBatchingOnly.
+  void SetCapacity(double t, int64_t capacity);
+
+  /// Reclaims up to `need` dedicated streams across the movie worlds,
+  /// returning how many were actually reclaimed. Installed by the server.
+  using ReclaimHook = std::function<int64_t(double t, int64_t need)>;
+  void set_reclaim_hook(ReclaimHook hook) { reclaim_hook_ = std::move(hook); }
+
+  /// Closes the time-in-level integration at the horizon. Call once, after
+  /// the event queue drains.
+  void Finalize(double t);
+
+  // ---- state --------------------------------------------------------------
+  DegradationLevel level() const { return level_; }
+  int64_t capacity() const { return capacity_; }
+  int64_t nominal_capacity() const { return nominal_capacity_; }
+  int64_t min_capacity_seen() const { return min_capacity_seen_; }
+  int64_t oversubscription() const {
+    return in_use_ > capacity_ ? in_use_ - capacity_ : 0;
+  }
+  int64_t max_oversubscription() const { return max_oversubscription_; }
+
+  // ---- whole-run counters (FiniteStreamSupplier-compatible) ---------------
+  int64_t refused() const { return refused_; }
+  int64_t acquired() const { return acquired_; }
+  int64_t peak_in_use() const { return peak_; }
+  double MeanInUse(double t_end) const { return usage_.TimeAverage(t_end); }
+
+  // ---- resilience accounting (measurement window only) --------------------
+  int64_t vcr_queued() const { return vcr_queued_; }
+  int64_t vcr_queue_grants() const { return vcr_queue_grants_; }
+  int64_t vcr_queue_expirations() const { return vcr_queue_expirations_; }
+  int64_t vcr_denied() const { return vcr_denied_; }
+  int64_t forced_reclaims() const { return forced_reclaims_; }
+  const RunningStats& queued_wait() const { return queued_wait_; }
+  const LatencyQuantiles& queued_wait_quantiles() const {
+    return queued_wait_quantiles_;
+  }
+
+  // ---- ladder accounting (whole run) --------------------------------------
+  const std::vector<DegradationTransition>& transitions() const {
+    return transitions_;
+  }
+  int64_t total_transitions() const { return total_transitions_; }
+  /// Time spent at `level` up to the last Finalize/transition.
+  double time_in_level(DegradationLevel level) const {
+    return time_in_level_[static_cast<int>(level)];
+  }
+  /// Durations of completed excursions out of kNormal (time-to-recover).
+  const RunningStats& recovery_times() const { return recovery_times_; }
+  int64_t queue_length() const {
+    return static_cast<int64_t>(waiting_.size());
+  }
+  /// Waiters still queued whose request arrived inside the measurement
+  /// window (the `pending` term of the queued-accounting identity).
+  int64_t measured_queue_pending() const {
+    int64_t n = 0;
+    for (const Waiter& w : waiting_) {
+      if (w.enqueued >= measurement_start_) ++n;
+    }
+    return n;
+  }
+
+ private:
+  struct Waiter {
+    uint64_t id = 0;
+    double enqueued = 0.0;
+    double deadline = 0.0;
+    double backoff = 0.0;
+    std::function<void(double, bool)> on_decision;
+    EventToken deadline_token = kNoEvent;
+    EventToken retry_token = kNoEvent;
+  };
+
+  bool InMeasurement(double t) const { return t >= measurement_start_; }
+  /// Pure function of (capacity, in_use, queue) → ladder rung.
+  DegradationLevel ComputeLevel() const;
+  /// Records a level change (if any) at time t and runs entry actions
+  /// (reclaim on kReclaim / kBatchingOnly).
+  void UpdateLevel(double t);
+  void GrantStream(double t);  // raw in_use_++ bookkeeping
+  void OnRetry(double t, uint64_t waiter_id);
+  void OnDeadline(double t, uint64_t waiter_id);
+  /// Grants to queued waiters while capacity allows and the ladder permits.
+  void DrainQueue(double t);
+  std::deque<Waiter>::iterator FindWaiter(uint64_t waiter_id);
+
+  int64_t nominal_capacity_;
+  int64_t capacity_;
+  DegradationPolicy policy_;
+  EventQueue* queue_;
+  double measurement_start_;
+
+  int64_t in_use_ = 0;
+  int64_t peak_ = 0;
+  int64_t refused_ = 0;
+  int64_t acquired_ = 0;
+  int64_t min_capacity_seen_;
+  int64_t max_oversubscription_ = 0;
+  TimeWeightedValue usage_;
+
+  DegradationLevel level_ = DegradationLevel::kNormal;
+  double level_since_ = 0.0;
+  double time_in_level_[kNumDegradationLevels] = {0, 0, 0, 0, 0};
+  std::vector<DegradationTransition> transitions_;
+  int64_t total_transitions_ = 0;
+  double excursion_start_ = 0.0;  ///< valid while level_ != kNormal
+  RunningStats recovery_times_;
+
+  std::deque<Waiter> waiting_;
+  uint64_t next_waiter_id_ = 0;
+  int64_t vcr_queued_ = 0;
+  int64_t vcr_queue_grants_ = 0;
+  int64_t vcr_queue_expirations_ = 0;
+  int64_t vcr_denied_ = 0;
+  int64_t forced_reclaims_ = 0;
+  RunningStats queued_wait_;
+  LatencyQuantiles queued_wait_quantiles_;
+
+  ReclaimHook reclaim_hook_;
+  bool reclaiming_ = false;  ///< guards against reclaim reentrancy
+};
+
+}  // namespace vod
+
+#endif  // VOD_SIM_DEGRADATION_H_

@@ -9,10 +9,16 @@ EventToken EventQueue::Schedule(double time, std::function<void()> action) {
   const uint64_t seq = next_seq_++;
   const EventToken token = seq;
   heap_.push(Entry{time, seq, token, std::move(action)});
+  live_.insert(token);
   return token;
 }
 
-void EventQueue::Cancel(EventToken token) { cancelled_.insert(token); }
+void EventQueue::Cancel(EventToken token) {
+  // Only tokens that are actually pending move to the cancelled set; this
+  // makes cancelling a stale or sentinel token harmless and keeps pending()
+  // exact.
+  if (live_.erase(token) > 0) cancelled_.insert(token);
+}
 
 bool EventQueue::RunNext() {
   while (!heap_.empty()) {
@@ -28,6 +34,7 @@ bool EventQueue::RunNext() {
     }
     const double time = top.time;
     std::function<void()> action = std::move(top.action);
+    live_.erase(top.token);
     heap_.pop();
     now_ = time;
     action();

@@ -14,6 +14,9 @@ namespace vod {
 /// Handle identifying a scheduled event (for cancellation).
 using EventToken = uint64_t;
 
+/// Sentinel for "no event scheduled"; Cancel(kNoEvent) is always a no-op.
+inline constexpr EventToken kNoEvent = ~EventToken{0};
+
 /// \brief Future-event list ordered by (time, insertion sequence).
 ///
 /// Insertion-sequence tiebreak makes simultaneous events run in schedule
@@ -25,8 +28,8 @@ class EventQueue {
   /// usable with Cancel.
   EventToken Schedule(double time, std::function<void()> action);
 
-  /// Cancels a scheduled event. Cancelling an already-run or unknown token
-  /// is a no-op.
+  /// Cancels a scheduled event. Cancelling an already-run, already-cancelled,
+  /// or unknown token (including kNoEvent) is a safe no-op.
   void Cancel(EventToken token);
 
   /// Runs the earliest pending event, advancing Now(). Returns false when
@@ -41,7 +44,7 @@ class EventQueue {
   /// Current simulation time (time of the last executed event).
   double Now() const { return now_; }
 
-  size_t pending() const { return heap_.size() - cancelled_.size(); }
+  size_t pending() const { return live_.size(); }
   bool empty() const { return pending() == 0; }
 
  private:
@@ -58,7 +61,8 @@ class EventQueue {
   };
 
   std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
-  std::unordered_set<EventToken> cancelled_;
+  std::unordered_set<EventToken> live_;       ///< scheduled, not yet run
+  std::unordered_set<EventToken> cancelled_;  ///< cancelled, still in heap_
   double now_ = 0.0;
   uint64_t next_seq_ = 0;
 };

@@ -41,6 +41,16 @@ void SimulationMetrics::RecordStall(double t, double wait) {
   stall_time_.Add(wait);
 }
 
+void SimulationMetrics::RecordQueuedVcr(double t) {
+  if (!InMeasurement(t)) return;
+  ++queued_vcr_;
+}
+
+void SimulationMetrics::RecordForcedReclaim(double t) {
+  if (!InMeasurement(t)) return;
+  ++forced_reclaims_;
+}
+
 void SimulationMetrics::RecordPiggybackMerge(double t, double drift) {
   if (!InMeasurement(t)) return;
   ++piggyback_merges_;

@@ -55,6 +55,14 @@ class SimulationMetrics {
   /// until a partition window swept over the viewer's position.
   void RecordStall(double t, double wait);
 
+  /// A FF/RW request entered the supplier's wait queue instead of being
+  /// refused outright (degraded-mode queueing, sim/degradation.h).
+  void RecordQueuedVcr(double t);
+
+  /// A dedicated stream was forcibly reclaimed from this movie's viewer
+  /// (graceful degradation under capacity loss).
+  void RecordForcedReclaim(double t);
+
   /// A piggyback merge completed `drift` minutes after the miss.
   void RecordPiggybackMerge(double t, double drift);
 
@@ -88,6 +96,8 @@ class SimulationMetrics {
   int64_t completions() const { return completions_; }
   int64_t blocked_vcr() const { return blocked_vcr_; }
   int64_t stalls() const { return stalls_; }
+  int64_t queued_vcr() const { return queued_vcr_; }
+  int64_t forced_reclaims() const { return forced_reclaims_; }
   int64_t piggyback_merges() const { return piggyback_merges_; }
   const RunningStats& stall_time() const { return stall_time_; }
   const RunningStats& merge_drift_time() const { return merge_drift_time_; }
@@ -118,6 +128,8 @@ class SimulationMetrics {
   int64_t completions_ = 0;
   int64_t blocked_vcr_ = 0;
   int64_t stalls_ = 0;
+  int64_t queued_vcr_ = 0;
+  int64_t forced_reclaims_ = 0;
   int64_t piggyback_merges_ = 0;
   RunningStats stall_time_;
   RunningStats merge_drift_time_;

@@ -65,6 +65,10 @@ class MovieWorld::Impl {
     /// Session deadline (abandonment); +inf when patience is unlimited.
     double abandon_at = std::numeric_limits<double>::infinity();
     std::optional<int64_t> home_stream;
+    /// The single event this viewer is waiting on (invariant: at most one),
+    /// tracked so forced reclaim can cancel it. kNoEvent while the viewer
+    /// sits in the supplier's VCR queue (the supplier owns those timers).
+    EventToken pending_event = kNoEvent;
     Rng rng;
 
     explicit Viewer(Rng r) : rng(r) {}
@@ -143,7 +147,7 @@ class MovieWorld::Impl {
       // Type-1 viewer: queue until the next restart.
       const double start = schedule_.NextRestart(t);
       const double wait = start - t;
-      queue_->Schedule(start, [this, id, wait] {
+      viewer.pending_event = queue_->Schedule(start, [this, id, wait] {
         auto found = viewers_.find(id);
         VOD_CHECK(found != viewers_.end());
         Viewer& v = found->second;
@@ -219,13 +223,17 @@ class MovieWorld::Impl {
     const double abandon_at = std::max(viewer.abandon_at, t);
     if (abandon_at <= vcr_at && abandon_at <= merge_at &&
         abandon_at <= finish_at) {
-      queue_->Schedule(abandon_at, [this, id] { OnAbandon(id); });
+      viewer.pending_event =
+          queue_->Schedule(abandon_at, [this, id] { OnAbandon(id); });
     } else if (vcr_at <= merge_at && vcr_at <= finish_at) {
-      queue_->Schedule(vcr_at, [this, id] { OnVcrInitiate(id); });
+      viewer.pending_event =
+          queue_->Schedule(vcr_at, [this, id] { OnVcrInitiate(id); });
     } else if (merge_at <= finish_at) {
-      queue_->Schedule(merge_at, [this, id] { OnPiggybackMerge(id); });
+      viewer.pending_event =
+          queue_->Schedule(merge_at, [this, id] { OnPiggybackMerge(id); });
     } else {
-      queue_->Schedule(finish_at, [this, id] { OnFinish(id); });
+      viewer.pending_event =
+          queue_->Schedule(finish_at, [this, id] { OnFinish(id); });
     }
   }
 
@@ -262,6 +270,82 @@ class MovieWorld::Impl {
 
   // ---- VCR operations ------------------------------------------------------------
 
+  /// Kinematics of one VCR operation from `position`: wall-clock duration,
+  /// where the viewer resumes, and whether a fast-forward runs off the end.
+  struct VcrPlan {
+    double wall = 0.0;
+    double resume_position = 0.0;
+    bool reaches_end = false;
+  };
+
+  VcrPlan PlanVcrOp(VcrOp op, double x, double position) const {
+    const double l = layout_.movie_length();
+    VcrPlan plan;
+    plan.resume_position = position;
+    switch (op) {
+      case VcrOp::kFastForward: {
+        const double traverse = std::min(x, l - position);
+        plan.wall = traverse / rates_.fast_forward;
+        plan.resume_position = position + traverse;
+        plan.reaches_end = x >= l - position;
+        break;
+      }
+      case VcrOp::kRewind: {
+        const double traverse = std::min(x, position);
+        plan.wall = traverse / rates_.rewind;
+        plan.resume_position = position - traverse;
+        break;
+      }
+      case VcrOp::kPause: {
+        plan.wall = x;
+        break;
+      }
+    }
+    return plan;
+  }
+
+  /// Freezes the viewer and schedules the operation's completion.
+  void BeginVcrOp(Viewer& viewer, double t, VcrOp op, const VcrPlan& plan,
+                  bool in_partition_before, bool consumes_in_vcr) {
+    const uint64_t id = viewer.id;
+    viewer.position = std::min(viewer.position, layout_.movie_length());
+    viewer.state_time = t;
+    viewer.play_rate = 0.0;  // position is explicit at completion
+    const double resume_position = plan.resume_position;
+    const bool reaches_end = plan.reaches_end;
+    viewer.pending_event = queue_->Schedule(
+        t + plan.wall, [this, id, op, resume_position, reaches_end,
+                        in_partition_before, consumes_in_vcr] {
+          OnVcrComplete(id, op, resume_position, reaches_end,
+                        in_partition_before, consumes_in_vcr);
+        });
+  }
+
+  /// Outcome of a queued phase-1 stream request (sim/degradation.h). The
+  /// viewer sat frozen at `viewer.position` since enqueue; on a grant the
+  /// operation proceeds as if initiated now, on a refusal the viewer resumes
+  /// normal playback — exactly the seed's blocked-VCR semantics, just later.
+  void OnQueuedVcrDecision(uint64_t id, VcrOp op, double x, double t,
+                           bool granted) {
+    auto it = viewers_.find(id);
+    VOD_CHECK(it != viewers_.end());
+    Viewer& viewer = it->second;
+    VOD_DCHECK(viewer.play_rate == 0.0);
+    if (!granted) {
+      // Attribute the blocked request to its enqueue time (the viewer froze
+      // at state_time) so blocked == denied + expirations holds across the
+      // warmup boundary.
+      metrics_->RecordBlockedVcr(viewer.state_time);
+      SchedulePlayback(viewer, t, viewer.position);
+      return;
+    }
+    // The supplier already acquired the stream on our behalf.
+    AcquireDedicated(viewer, t);
+    const VcrPlan plan = PlanVcrOp(op, x, viewer.position);
+    BeginVcrOp(viewer, t, op, plan, /*in_partition_before=*/true,
+               /*consumes_in_vcr=*/true);
+  }
+
   void OnVcrInitiate(uint64_t id) {
     auto it = viewers_.find(id);
     VOD_CHECK(it != viewers_.end());
@@ -274,38 +358,29 @@ class MovieWorld::Impl {
     const double x = config_.behavior.SampleDuration(op, &viewer.rng);
     if (config_.trace != nullptr) config_.trace->Record(t, op, x);
     const bool in_partition_before = !viewer.dedicated;
-    const double l = layout_.movie_length();
-
-    double wall = 0.0;
-    double resume_position = position;
-    bool reaches_end = false;
-    switch (op) {
-      case VcrOp::kFastForward: {
-        const double traverse = std::min(x, l - position);
-        wall = traverse / rates_.fast_forward;
-        resume_position = position + traverse;
-        reaches_end = x >= l - position;
-        break;
-      }
-      case VcrOp::kRewind: {
-        const double traverse = std::min(x, position);
-        wall = traverse / rates_.rewind;
-        resume_position = position - traverse;
-        break;
-      }
-      case VcrOp::kPause: {
-        wall = x;
-        break;
-      }
-    }
+    const VcrPlan plan = PlanVcrOp(op, x, position);
 
     // Phase-1 stream accounting. FF/RW display and need a dedicated stream;
     // a refused request blocks the operation (the viewer keeps watching
-    // normally). A pause consumes nothing; a stream held from an earlier
-    // miss is returned during the pause.
+    // normally) unless the supplier queues it for a deadline-bounded wait.
+    // A pause consumes nothing; a stream held from an earlier miss is
+    // returned during the pause.
     const bool consumes_in_vcr = op != VcrOp::kPause;
     if (consumes_in_vcr && !viewer.dedicated) {
       if (!supplier_->TryAcquire(t)) {
+        if (supplier_->TryQueueAcquire(
+                t, [this, id, op, x](double decision_t, bool granted) {
+                  OnQueuedVcrDecision(id, op, x, decision_t, granted);
+                })) {
+          // Queued: freeze in place until the supplier decides. The viewer
+          // holds no pending event — the supplier owns the timers.
+          metrics_->RecordQueuedVcr(t);
+          viewer.position = position;
+          viewer.state_time = t;
+          viewer.play_rate = 0.0;
+          viewer.pending_event = kNoEvent;
+          return;
+        }
         metrics_->RecordBlockedVcr(t);
         SchedulePlayback(viewer, t, position);
         return;
@@ -316,14 +391,7 @@ class MovieWorld::Impl {
     }
 
     viewer.position = position;  // frozen during the operation
-    viewer.state_time = t;
-    viewer.play_rate = 0.0;  // position is explicit at completion
-    queue_->Schedule(
-        t + wall, [this, id, op, resume_position, reaches_end,
-                   in_partition_before, consumes_in_vcr] {
-          OnVcrComplete(id, op, resume_position, reaches_end,
-                        in_partition_before, consumes_in_vcr);
-        });
+    BeginVcrOp(viewer, t, op, plan, in_partition_before, consumes_in_vcr);
   }
 
   void OnVcrComplete(uint64_t id, VcrOp op, double resume_position,
@@ -389,7 +457,7 @@ class MovieWorld::Impl {
     viewer.position = position;
     viewer.state_time = t;
     viewer.play_rate = 0.0;
-    queue_->Schedule(t + wait, [this, id, position] {
+    viewer.pending_event = queue_->Schedule(t + wait, [this, id, position] {
       auto it = viewers_.find(id);
       VOD_CHECK(it != viewers_.end());
       Viewer& v = it->second;
@@ -399,6 +467,38 @@ class MovieWorld::Impl {
     });
   }
 
+ public:
+  // ---- forced reclaim (graceful degradation) -------------------------------
+
+  /// See MovieWorld::ReclaimDedicated. Victims are viewers holding a
+  /// dedicated stream during a playback/drift segment (play_rate > 0);
+  /// viewers frozen mid-VCR-op or stalled are left alone. Lowest viewer id
+  /// first keeps the choice deterministic across runs.
+  int64_t ReclaimDedicated(double t, int64_t max_count) {
+    int64_t reclaimed = 0;
+    while (reclaimed < max_count) {
+      Viewer* victim = nullptr;
+      for (auto& [vid, v] : viewers_) {
+        if (!v.dedicated || v.play_rate <= 0.0) continue;
+        if (v.PositionAt(t) >= layout_.movie_length() - 1e-9) continue;
+        if (victim == nullptr || v.id < victim->id) victim = &v;
+      }
+      if (victim == nullptr) break;
+      const double position =
+          std::min(victim->PositionAt(t), layout_.movie_length());
+      queue_->Cancel(victim->pending_event);
+      victim->pending_event = kNoEvent;
+      ReleaseDedicated(*victim, t);
+      metrics_->RecordForcedReclaim(t);
+      // The victim falls back to pure-batching service: stall until the
+      // next partition window sweeps over its position.
+      StallUntilCovered(*victim, t, position);
+      ++reclaimed;
+    }
+    return reclaimed;
+  }
+
+ private:
   PartitionLayout layout_;
   PlaybackRates rates_;
   MovieWorldConfig config_;
@@ -431,6 +531,10 @@ MovieWorld::MovieWorld(const PartitionLayout& layout,
 MovieWorld::~MovieWorld() = default;
 
 void MovieWorld::Start() { impl_->Start(); }
+
+int64_t MovieWorld::ReclaimDedicated(double t, int64_t max_count) {
+  return impl_->ReclaimDedicated(t, max_count);
+}
 
 const PartitionLayout& MovieWorld::layout() const { return impl_->layout(); }
 

@@ -71,6 +71,15 @@ class MovieWorld {
   /// caller stops draining the queue.
   void Start();
 
+  /// Forcibly reclaims up to `max_count` dedicated streams from post-miss
+  /// viewers (graceful degradation under capacity loss). Each victim —
+  /// deterministically the lowest-id eligible viewer — releases its stream
+  /// and falls back to pure-batching service: it stalls until the next
+  /// partition window sweeps over its position. Viewers mid-VCR-operation,
+  /// queued for a stream, or already within a window are not eligible.
+  /// Returns the number of streams actually reclaimed.
+  int64_t ReclaimDedicated(double t, int64_t max_count);
+
   const PartitionLayout& layout() const;
 
   /// Largest admission wait observed after warmup.

@@ -1,6 +1,8 @@
 #include "sim/server.h"
 
+#include <iomanip>
 #include <memory>
+#include <sstream>
 
 #include "common/check.h"
 #include "sim/event_queue.h"
@@ -9,8 +11,77 @@
 namespace vod {
 
 namespace {
+// Stream-class tags for deriving independent child RNGs from the base seed.
+// The fault schedule gets its own tag so enabling fault injection leaves
+// every movie world's random streams untouched.
 constexpr uint64_t kMovieWorldStream = 3;
+constexpr uint64_t kFaultStream = 4;
 }  // namespace
+
+std::string ServerReport::ToString() const {
+  std::ostringstream os;
+  os << std::setprecision(17);
+  os << "ServerReport{reserve=" << reserve_capacity
+     << " mean_in_use=" << mean_reserve_in_use
+     << " peak_in_use=" << peak_reserve_in_use
+     << " refused=" << refused_acquisitions
+     << " granted=" << granted_acquisitions
+     << " p_refuse=" << refusal_probability
+     << " blocked_vcr=" << total_blocked_vcr << " stalls=" << total_stalls
+     << " resumes=" << total_resumes << " queued_vcr=" << total_queued_vcr
+     << " reclaims=" << total_forced_reclaims << "\n";
+  for (const PerMovie& m : movies) {
+    const SimulationReport& r = m.report;
+    os << "  movie " << m.name << ": p_hit=" << r.hit_probability
+       << " resumes=" << r.total_resumes << " (within=" << r.hits_within
+       << " jump=" << r.hits_jump << " end=" << r.end_releases
+       << " miss=" << r.misses << ")"
+       << " admissions=" << r.admissions << " type2=" << r.type2_admissions
+       << " completions=" << r.completions
+       << " mean_wait=" << r.mean_wait_minutes
+       << " max_wait=" << r.max_wait_minutes
+       << " mean_dedicated=" << r.mean_dedicated_streams
+       << " blocked=" << r.blocked_vcr_requests
+       << " stalls=" << r.stalled_resumes
+       << " queued=" << r.queued_vcr_requests
+       << " reclaims=" << r.forced_reclaims
+       << " merges=" << r.piggyback_merges << "\n";
+  }
+  if (resilience_enabled) {
+    const ResilienceReport& rz = resilience;
+    os << "  resilience: failures=" << rz.disk_failures
+       << " repairs=" << rz.disk_repairs
+       << " min_capacity=" << rz.min_reserve_capacity
+       << " max_oversub=" << rz.max_oversubscription
+       << " final_level=" << DegradationLevelName(rz.final_level) << "\n";
+    os << "  time_in_level:";
+    for (int i = 0; i < kNumDegradationLevels; ++i) {
+      os << " " << DegradationLevelName(static_cast<DegradationLevel>(i))
+         << "=" << rz.time_in_level[i];
+    }
+    os << "\n";
+    os << "  queue: queued=" << rz.vcr_queued
+       << " grants=" << rz.vcr_queue_grants
+       << " expired=" << rz.vcr_queue_expirations
+       << " pending=" << rz.vcr_queue_pending << " denied=" << rz.vcr_denied
+       << " mean_wait=" << rz.mean_queued_wait_minutes
+       << " p50=" << rz.p50_queued_wait_minutes
+       << " p90=" << rz.p90_queued_wait_minutes
+       << " p99=" << rz.p99_queued_wait_minutes
+       << " reclaims=" << rz.forced_reclaims << "\n";
+    os << "  recovery: episodes=" << rz.recovery_episodes
+       << " mean=" << rz.mean_recovery_minutes
+       << " max=" << rz.max_recovery_minutes
+       << " transitions=" << rz.total_transitions << "\n";
+    for (const DegradationTransition& tr : rz.transitions) {
+      os << "    t=" << tr.time << " " << DegradationLevelName(tr.from)
+         << "->" << DegradationLevelName(tr.to)
+         << " capacity=" << tr.capacity << "\n";
+    }
+  }
+  os << "}";
+  return os.str();
+}
 
 Result<ServerReport> RunServerSimulation(
     const std::vector<ServerMovieSpec>& movies, const ServerOptions& options) {
@@ -24,10 +95,34 @@ Result<ServerReport> RunServerSimulation(
     return Status::InvalidArgument(
         "warmup must be >= 0 and measurement span positive");
   }
+  VOD_RETURN_IF_ERROR(options.degradation.Validate());
+  if (options.faults.enabled) {
+    if (options.faults.disks < 1) {
+      return Status::InvalidArgument("fault injection needs >= 1 disk");
+    }
+    VOD_RETURN_IF_ERROR(options.faults.profile.Validate());
+  }
 
   EventQueue queue;
-  FiniteStreamSupplier supplier(options.dynamic_stream_reserve);
   const Rng base_rng(options.seed);
+
+  // The seed's hard-refusal supplier stays in place unless faults or the
+  // degradation ladder are requested, preserving legacy runs bit-for-bit.
+  const bool manager_mode =
+      options.faults.enabled || options.degradation.enabled;
+  std::unique_ptr<FiniteStreamSupplier> finite;
+  std::unique_ptr<ReserveManager> manager;
+  StreamSupplier* supplier = nullptr;
+  if (manager_mode) {
+    manager = std::make_unique<ReserveManager>(
+        options.dynamic_stream_reserve, options.degradation, &queue,
+        options.warmup_minutes);
+    supplier = manager.get();
+  } else {
+    finite =
+        std::make_unique<FiniteStreamSupplier>(options.dynamic_stream_reserve);
+    supplier = finite.get();
+  }
 
   std::vector<std::unique_ptr<SimulationMetrics>> metrics;
   std::vector<std::unique_ptr<MovieWorld>> worlds;
@@ -50,21 +145,73 @@ Result<ServerReport> RunServerSimulation(
         std::make_unique<SimulationMetrics>(options.warmup_minutes));
     worlds.push_back(std::make_unique<MovieWorld>(
         spec.layout, options.rates, config,
-        base_rng.MakeChild(kMovieWorldStream, i), &queue, &supplier,
+        base_rng.MakeChild(kMovieWorldStream, i), &queue, supplier,
         metrics.back().get()));
-    worlds.back()->Start();
   }
 
-  const double horizon =
-      options.warmup_minutes + options.measurement_minutes;
+  // Forced reclaim sweeps the worlds round-robin, one stream at a time, so
+  // no single movie absorbs the whole loss.
+  if (manager != nullptr) {
+    manager->set_reclaim_hook([&worlds](double t, int64_t need) {
+      int64_t got = 0;
+      bool progress = true;
+      while (got < need && progress) {
+        progress = false;
+        for (auto& world : worlds) {
+          if (got >= need) break;
+          if (world->ReclaimDedicated(t, 1) > 0) {
+            ++got;
+            progress = true;
+          }
+        }
+      }
+      return got;
+    });
+  }
+
+  const double horizon = options.warmup_minutes + options.measurement_minutes;
+
+  // Pre-schedule the disk failure/repair trajectory. Scheduling before the
+  // worlds start keeps the (time, insertion-seq) order deterministic.
+  int64_t disk_failures = 0;
+  int64_t disk_repairs = 0;
+  if (options.faults.enabled) {
+    FaultInjector injector(
+        FaultInjector::SplitCapacity(options.dynamic_stream_reserve,
+                                     options.faults.disks),
+        options.faults.profile, base_rng.MakeChild(kFaultStream, 0));
+    ReserveManager* mgr = manager.get();
+    for (const FaultEvent& ev : injector.Schedule(horizon)) {
+      queue.Schedule(ev.time,
+                     [mgr, ev, &disk_failures, &disk_repairs] {
+                       if (ev.failure) {
+                         ++disk_failures;
+                       } else {
+                         ++disk_repairs;
+                       }
+                       mgr->SetCapacity(ev.time, ev.capacity_after);
+                     });
+    }
+  }
+
+  for (auto& world : worlds) world->Start();
   queue.RunUntil(horizon);
+  if (manager != nullptr) manager->Finalize(horizon);
 
   ServerReport report;
-  report.reserve_capacity = supplier.capacity();
-  report.mean_reserve_in_use = supplier.MeanInUse(horizon);
-  report.peak_reserve_in_use = supplier.peak_in_use();
-  report.refused_acquisitions = supplier.refused();
-  report.granted_acquisitions = supplier.acquired();
+  if (manager != nullptr) {
+    report.reserve_capacity = manager->nominal_capacity();
+    report.mean_reserve_in_use = manager->MeanInUse(horizon);
+    report.peak_reserve_in_use = manager->peak_in_use();
+    report.refused_acquisitions = manager->refused();
+    report.granted_acquisitions = manager->acquired();
+  } else {
+    report.reserve_capacity = finite->capacity();
+    report.mean_reserve_in_use = finite->MeanInUse(horizon);
+    report.peak_reserve_in_use = finite->peak_in_use();
+    report.refused_acquisitions = finite->refused();
+    report.granted_acquisitions = finite->acquired();
+  }
   const int64_t attempts =
       report.refused_acquisitions + report.granted_acquisitions;
   report.refusal_probability =
@@ -76,10 +223,45 @@ Result<ServerReport> RunServerSimulation(
     per_movie.name = movies[i].name;
     FillReportFromMetrics(*metrics[i], horizon, &per_movie.report);
     per_movie.report.max_wait_minutes = worlds[i]->max_wait_seen();
+    per_movie.report.abandonments = worlds[i]->abandonments();
     report.total_blocked_vcr += per_movie.report.blocked_vcr_requests;
     report.total_stalls += per_movie.report.stalled_resumes;
     report.total_resumes += per_movie.report.total_resumes;
+    report.total_queued_vcr += per_movie.report.queued_vcr_requests;
+    report.total_forced_reclaims += per_movie.report.forced_reclaims;
     report.movies.push_back(std::move(per_movie));
+  }
+
+  if (manager != nullptr) {
+    report.resilience_enabled = true;
+    ResilienceReport& rz = report.resilience;
+    rz.disk_failures = disk_failures;
+    rz.disk_repairs = disk_repairs;
+    rz.min_reserve_capacity = manager->min_capacity_seen();
+    rz.max_oversubscription = manager->max_oversubscription();
+    rz.final_level = manager->level();
+    for (int i = 0; i < kNumDegradationLevels; ++i) {
+      rz.time_in_level[i] =
+          manager->time_in_level(static_cast<DegradationLevel>(i));
+    }
+    rz.total_transitions = manager->total_transitions();
+    rz.transitions = manager->transitions();
+    rz.vcr_queued = manager->vcr_queued();
+    rz.vcr_queue_grants = manager->vcr_queue_grants();
+    rz.vcr_queue_expirations = manager->vcr_queue_expirations();
+    rz.vcr_queue_pending = manager->measured_queue_pending();
+    rz.vcr_denied = manager->vcr_denied();
+    rz.mean_queued_wait_minutes = manager->queued_wait().mean();
+    if (manager->queued_wait_quantiles().count() > 0) {
+      rz.p50_queued_wait_minutes = manager->queued_wait_quantiles().p50();
+      rz.p90_queued_wait_minutes = manager->queued_wait_quantiles().p90();
+      rz.p99_queued_wait_minutes = manager->queued_wait_quantiles().p99();
+    }
+    rz.forced_reclaims = manager->forced_reclaims();
+    rz.recovery_episodes = manager->recovery_times().count();
+    rz.mean_recovery_minutes = manager->recovery_times().mean();
+    rz.max_recovery_minutes =
+        rz.recovery_episodes > 0 ? manager->recovery_times().max() : 0.0;
   }
   return report;
 }

@@ -7,15 +7,24 @@
 // of these data sharing techniques can be lost": low hit probabilities pin
 // streams until the end of the movie, exhaust the reserve, and degrade
 // interactivity for everyone.
+//
+// Beyond the fault-free seed model, the server can inject disk failures
+// (storage/fault_injector.h) that shrink the reserve while a disk is down,
+// and walk a graceful-degradation ladder (sim/degradation.h) instead of
+// falling off the hard-refusal cliff. Every refusal, queue outcome, stall,
+// reclaim, and ladder transition is accounted in the report.
 
 #ifndef VOD_SIM_SERVER_H_
 #define VOD_SIM_SERVER_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
+#include "sim/degradation.h"
 #include "sim/movie_world.h"
 #include "sim/simulator.h"
+#include "storage/fault_injector.h"
 
 namespace vod {
 
@@ -25,6 +34,16 @@ struct ServerMovieSpec {
   PartitionLayout layout;
   double arrival_rate_per_minute = 0.5;
   VcrBehavior behavior;
+};
+
+/// Disk-failure injection knobs for the server's stream reserve.
+struct ServerFaultOptions {
+  bool enabled = false;
+  /// Disks the reserve is striped across; each failure removes one disk's
+  /// share of streams until its repair completes.
+  int disks = 4;
+  /// Exponential MTBF/MTTR of each disk, in minutes.
+  DiskFaultProfile profile;
 };
 
 /// Server-wide simulation knobs.
@@ -39,6 +58,49 @@ struct ServerOptions {
   double measurement_minutes = 20000.0;
   uint64_t seed = 42;
   bool stationary_start = true;
+  /// Disk failures feeding time-varying reserve capacity.
+  ServerFaultOptions faults;
+  /// Degradation ladder (queueing, shedding, forced reclaim). With
+  /// faults.enabled but degradation.enabled == false the reserve still
+  /// shrinks and recovers, but requests keep the seed's hard-refusal
+  /// semantics.
+  DegradationPolicy degradation;
+};
+
+/// Resilience accounting for a run with faults and/or degradation enabled.
+struct ResilienceReport {
+  int64_t disk_failures = 0;  ///< failure events executed before the horizon
+  int64_t disk_repairs = 0;
+  int64_t min_reserve_capacity = 0;  ///< lowest capacity seen
+  int64_t max_oversubscription = 0;  ///< peak of in_use - capacity
+  DegradationLevel final_level = DegradationLevel::kNormal;
+  /// Time integrated at each ladder rung over the whole run (sums to the
+  /// horizon).
+  double time_in_level[kNumDegradationLevels] = {0, 0, 0, 0, 0};
+  int64_t total_transitions = 0;
+  /// First recorded transitions (capped; total_transitions is exact).
+  std::vector<DegradationTransition> transitions;
+
+  // Queued-VCR outcomes (measurement window): queued = grants +
+  // expirations + pending_at_horizon; per-movie blocked_vcr equals
+  // denied + expirations.
+  int64_t vcr_queued = 0;
+  int64_t vcr_queue_grants = 0;
+  int64_t vcr_queue_expirations = 0;
+  int64_t vcr_queue_pending = 0;  ///< still waiting when the run ended
+  int64_t vcr_denied = 0;
+  double mean_queued_wait_minutes = 0.0;
+  double p50_queued_wait_minutes = 0.0;
+  double p90_queued_wait_minutes = 0.0;
+  double p99_queued_wait_minutes = 0.0;
+
+  int64_t forced_reclaims = 0;
+
+  /// Completed excursions out of kNormal: count and mean duration — the
+  /// observed mean time-to-recover after a capacity loss.
+  int64_t recovery_episodes = 0;
+  double mean_recovery_minutes = 0.0;
+  double max_recovery_minutes = 0.0;
 };
 
 /// Aggregated server outcome.
@@ -55,15 +117,29 @@ struct ServerReport {
   /// Refused acquisitions vs total attempts (refused + granted).
   int64_t refused_acquisitions = 0;
   int64_t granted_acquisitions = 0;
-  /// Fraction of dedicated-stream requests the reserve could not satisfy.
+  /// Fraction of dedicated-stream requests the reserve could not satisfy
+  /// immediately.
   double refusal_probability = 0.0;
   int64_t total_blocked_vcr = 0;
   int64_t total_stalls = 0;
   int64_t total_resumes = 0;
+  int64_t total_queued_vcr = 0;
+  int64_t total_forced_reclaims = 0;
+
+  /// Populated when options.faults.enabled || options.degradation.enabled.
+  bool resilience_enabled = false;
+  ResilienceReport resilience;
+
+  /// Full-precision deterministic serialization of every field (including
+  /// the transition log); two runs with identical options must produce
+  /// byte-identical strings.
+  std::string ToString() const;
 };
 
 /// \brief Runs all movies to the common horizon. Deterministic in
-/// options.seed; movie i derives an independent RNG sub-stream.
+/// options.seed; movie i derives an independent RNG sub-stream, and the
+/// fault schedule uses its own sub-stream, so enabling faults with an
+/// infinite MTBF reproduces the fault-free run exactly.
 Result<ServerReport> RunServerSimulation(
     const std::vector<ServerMovieSpec>& movies, const ServerOptions& options);
 

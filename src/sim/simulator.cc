@@ -70,6 +70,8 @@ void FillReportFromMetrics(const SimulationMetrics& metrics, double horizon,
   report->mean_merge_minutes = metrics.merge_drift_time().mean();
   report->blocked_vcr_requests = metrics.blocked_vcr();
   report->stalled_resumes = metrics.stalls();
+  report->queued_vcr_requests = metrics.queued_vcr();
+  report->forced_reclaims = metrics.forced_reclaims();
   report->simulated_minutes = horizon;
 }
 

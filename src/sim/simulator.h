@@ -101,6 +101,11 @@ struct SimulationReport {
   /// unlimited stream supply; populated by the server simulator's worlds).
   int64_t blocked_vcr_requests = 0;
   int64_t stalled_resumes = 0;
+  /// Degraded-mode accounting (0 unless the server's degradation policy is
+  /// on): FF/RW requests that entered the wait queue, and dedicated streams
+  /// forcibly reclaimed from this movie's viewers.
+  int64_t queued_vcr_requests = 0;
+  int64_t forced_reclaims = 0;
 
   /// Viewers who abandoned mid-session (entire run, incl. warmup).
   int64_t abandonments = 0;

@@ -9,6 +9,7 @@
 #define VOD_SIM_STREAM_SUPPLIER_H_
 
 #include <cstdint>
+#include <functional>
 
 #include "stats/time_weighted.h"
 
@@ -29,6 +30,20 @@ class StreamSupplier {
 
   /// Streams currently handed out.
   virtual int64_t in_use() const = 0;
+
+  /// Asks to *wait* for a stream after TryAcquire failed. Suppliers that
+  /// support queueing (sim/degradation.h) take ownership of the request and
+  /// later invoke `on_decision(t, granted)` exactly once: granted=true means
+  /// a stream was acquired on the caller's behalf (the caller now owns it),
+  /// granted=false means the wait expired. The default supplier has no
+  /// queue: returns false without invoking the callback, preserving the
+  /// seed's hard-refusal semantics.
+  virtual bool TryQueueAcquire(double t,
+                               std::function<void(double, bool)> on_decision) {
+    (void)t;
+    (void)on_decision;
+    return false;
+  }
 };
 
 /// \brief Infinite supply that records demand statistics.

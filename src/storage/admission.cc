@@ -16,13 +16,22 @@ Status AdmissionController::ReserveMovie(double t,
     return Status::InvalidArgument("movie '" + reservation.movie +
                                    "' already has a reservation");
   }
-  VOD_RETURN_IF_ERROR(streams_.Acquire(t, reservation.streams));
-  const Status buffer_status = buffer_.Acquire(t, reservation.buffer_minutes);
-  if (!buffer_status.ok()) {
-    // Roll back the stream acquisition to keep the pools consistent.
-    Status rollback = streams_.Release(t, reservation.streams);
-    if (!rollback.ok()) return rollback;
-    return buffer_status;
+  // Zero amounts are legal in a reservation (e.g. a pure-batching movie
+  // needs no extra buffer) but the pools reject non-positive acquires, so
+  // skip them explicitly.
+  if (reservation.streams > 0) {
+    VOD_RETURN_IF_ERROR(streams_.Acquire(t, reservation.streams));
+  }
+  if (reservation.buffer_minutes > 0.0) {
+    const Status buffer_status = buffer_.Acquire(t, reservation.buffer_minutes);
+    if (!buffer_status.ok()) {
+      // Roll back the stream acquisition to keep the pools consistent.
+      if (reservation.streams > 0) {
+        Status rollback = streams_.Release(t, reservation.streams);
+        if (!rollback.ok()) return rollback;
+      }
+      return buffer_status;
+    }
   }
   reserved_streams_ += reservation.streams;
   reserved_buffer_ += reservation.buffer_minutes;
@@ -35,12 +44,25 @@ Status AdmissionController::ReleaseMovie(double t, const std::string& movie) {
   if (it == reservations_.end()) {
     return Status::NotFound("movie '" + movie + "' has no reservation");
   }
-  VOD_RETURN_IF_ERROR(streams_.Release(t, it->second.streams));
-  VOD_RETURN_IF_ERROR(buffer_.Release(t, it->second.buffer_minutes));
+  if (it->second.streams > 0) {
+    VOD_RETURN_IF_ERROR(streams_.Release(t, it->second.streams));
+  }
+  if (it->second.buffer_minutes > 0.0) {
+    VOD_RETURN_IF_ERROR(buffer_.Release(t, it->second.buffer_minutes));
+  }
   reserved_streams_ -= it->second.streams;
   reserved_buffer_ -= it->second.buffer_minutes;
   reservations_.erase(it);
   return Status::OK();
+}
+
+Status AdmissionController::SetTotalStreams(double t, int64_t total_streams) {
+  return streams_.SetCapacity(t, total_streams);
+}
+
+Status AdmissionController::SetTotalBufferMinutes(double t,
+                                                  double total_buffer_minutes) {
+  return buffer_.SetCapacity(t, total_buffer_minutes);
 }
 
 Status AdmissionController::AcquireDynamicStream(double t) {

@@ -46,6 +46,13 @@ class AdmissionController {
   Status AcquireDynamicStream(double t);
   Status ReleaseDynamicStream(double t);
 
+  /// Applies a capacity change (disk failure/repair) to the underlying
+  /// pools. Reservations are untouched: capacity dropping below committed +
+  /// dynamic usage leaves the pools oversubscribed (available() == 0) until
+  /// holders release — the degradation ladder decides what to shed.
+  Status SetTotalStreams(double t, int64_t total_streams);
+  Status SetTotalBufferMinutes(double t, double total_buffer_minutes);
+
   int64_t reserved_streams() const { return reserved_streams_; }
   double reserved_buffer_minutes() const { return reserved_buffer_; }
   int64_t dynamic_streams_in_use() const { return dynamic_in_use_; }

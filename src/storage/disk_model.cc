@@ -9,6 +9,13 @@ Status DiskSpec::Validate() const {
       !(price_dollars > 0.0)) {
     return Status::InvalidArgument("disk spec values must be positive");
   }
+  if (mtbf_minutes < 0.0 || mttr_minutes < 0.0) {
+    return Status::InvalidArgument("MTBF/MTTR must be non-negative");
+  }
+  if (mtbf_minutes > 0.0 && !(mttr_minutes > 0.0)) {
+    return Status::InvalidArgument(
+        "a disk with an MTBF needs a positive MTTR");
+  }
   return Status::OK();
 }
 

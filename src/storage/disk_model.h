@@ -17,8 +17,16 @@ struct DiskSpec {
   double capacity_gbytes = 2.0;
   double transfer_mbytes_per_sec = 5.0;
   double price_dollars = 700.0;
+  /// Reliability: mean time between failures / to repair, in minutes of
+  /// operation. 0 (the default) means the disk never fails — the paper's
+  /// implicit assumption; storage/fault_injector.h consumes nonzero values.
+  double mtbf_minutes = 0.0;
+  double mttr_minutes = 0.0;
 
   Status Validate() const;
+
+  /// True when a failure model is configured (both MTBF and MTTR set).
+  bool CanFail() const { return mtbf_minutes > 0.0; }
 };
 
 /// Characteristics of one encoded video title.

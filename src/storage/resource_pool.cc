@@ -1,6 +1,7 @@
 #include "storage/resource_pool.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/check.h"
 
@@ -13,8 +14,11 @@ StreamPool::StreamPool(int64_t capacity, std::string name)
 }
 
 Status StreamPool::Acquire(double t, int64_t count) {
-  VOD_CHECK(count >= 0);
-  if (in_use_ + count > capacity_) {
+  if (count <= 0) {
+    return Status::InvalidArgument(name_ + ": acquire count must be positive, got " +
+                                   std::to_string(count));
+  }
+  if (count > available()) {
     ++rejected_;
     return Status::ResourceExhausted(
         name_ + ": need " + std::to_string(count) + ", available " +
@@ -27,12 +31,24 @@ Status StreamPool::Acquire(double t, int64_t count) {
 }
 
 Status StreamPool::Release(double t, int64_t count) {
-  VOD_CHECK(count >= 0);
+  if (count <= 0) {
+    return Status::InvalidArgument(name_ + ": release count must be positive, got " +
+                                   std::to_string(count));
+  }
   if (count > in_use_) {
     return Status::Internal(name_ + ": releasing more than held");
   }
   in_use_ -= count;
   usage_.Set(t, static_cast<double>(in_use_));
+  return Status::OK();
+}
+
+Status StreamPool::SetCapacity(double t, int64_t new_capacity) {
+  if (new_capacity < 0) {
+    return Status::InvalidArgument(name_ + ": capacity must be non-negative");
+  }
+  (void)t;  // in_use_ is unchanged; only grant decisions shift at t
+  capacity_ = new_capacity;
   return Status::OK();
 }
 
@@ -43,8 +59,11 @@ BufferPool::BufferPool(double capacity, std::string name)
 }
 
 Status BufferPool::Acquire(double t, double amount) {
-  VOD_CHECK(amount >= 0.0);
-  if (in_use_ + amount > capacity_ + 1e-9) {
+  if (!(amount > 0.0) || !std::isfinite(amount)) {
+    return Status::InvalidArgument(name_ +
+                                   ": acquire amount must be positive and finite");
+  }
+  if (amount > available() + 1e-9) {
     ++rejected_;
     return Status::ResourceExhausted(name_ + ": buffer exhausted");
   }
@@ -55,12 +74,25 @@ Status BufferPool::Acquire(double t, double amount) {
 }
 
 Status BufferPool::Release(double t, double amount) {
-  VOD_CHECK(amount >= 0.0);
+  if (!(amount > 0.0) || !std::isfinite(amount)) {
+    return Status::InvalidArgument(name_ +
+                                   ": release amount must be positive and finite");
+  }
   if (amount > in_use_ + 1e-9) {
     return Status::Internal(name_ + ": releasing more than held");
   }
   in_use_ = std::max(0.0, in_use_ - amount);
   usage_.Set(t, in_use_);
+  return Status::OK();
+}
+
+Status BufferPool::SetCapacity(double t, double new_capacity) {
+  if (!(new_capacity >= 0.0) || !std::isfinite(new_capacity)) {
+    return Status::InvalidArgument(name_ +
+                                   ": capacity must be non-negative and finite");
+  }
+  (void)t;
+  capacity_ = new_capacity;
   return Status::OK();
 }
 

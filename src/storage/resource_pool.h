@@ -4,10 +4,17 @@
 // capacity is acquired and released by movie playback groups and by VCR
 // phase-1 allocations. Pools reject (rather than queue) requests beyond
 // capacity — admission control decides what to do with a rejection.
+//
+// Capacity is *time-varying*: disk failures and repairs (see
+// storage/fault_injector.h) shrink and restore it via SetCapacity. A
+// capacity drop below the units currently handed out leaves the pool
+// *oversubscribed*: nothing is forcibly revoked, available() clamps at 0,
+// new acquisitions are refused, and the excess drains as holders release.
 
 #ifndef VOD_STORAGE_RESOURCE_POOL_H_
 #define VOD_STORAGE_RESOURCE_POOL_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <string>
 
@@ -23,21 +30,38 @@ class StreamPool {
   explicit StreamPool(int64_t capacity, std::string name = "streams");
 
   /// Acquires `count` units at time t; ResourceExhausted if unavailable
-  /// (nothing is acquired in that case).
+  /// (nothing is acquired in that case). `count` must be positive —
+  /// non-positive counts are InvalidArgument, not silent no-ops, so that
+  /// accounting bugs surface at the call site.
   Status Acquire(double t, int64_t count = 1);
 
   /// Releases `count` units at time t. Releasing more than held is an
-  /// Internal error (indicates unbalanced accounting).
+  /// Internal error (indicates unbalanced accounting); `count` must be
+  /// positive (InvalidArgument otherwise).
   Status Release(double t, int64_t count = 1);
+
+  /// Changes the pool capacity at time t (disk failure/repair). The new
+  /// capacity may be below in_use(): the pool becomes oversubscribed and
+  /// drains as holders release. Negative capacities are InvalidArgument.
+  Status SetCapacity(double t, int64_t new_capacity);
 
   /// True if `count` units could be acquired right now.
   bool CanAcquire(int64_t count = 1) const {
-    return in_use_ + count <= capacity_;
+    return count >= 0 && count <= available();
   }
 
   int64_t capacity() const { return capacity_; }
   int64_t in_use() const { return in_use_; }
-  int64_t available() const { return capacity_ - in_use_; }
+  /// Units still grantable; never negative, even when oversubscribed.
+  int64_t available() const {
+    return std::max<int64_t>(0, capacity_ - in_use_);
+  }
+  /// Units held beyond current capacity (0 unless a capacity drop
+  /// undercut the holders); drains as holders release.
+  int64_t oversubscription() const {
+    return std::max<int64_t>(0, in_use_ - capacity_);
+  }
+  bool oversubscribed() const { return in_use_ > capacity_; }
   int64_t peak_in_use() const { return peak_; }
   int64_t rejected() const { return rejected_; }
 
@@ -69,15 +93,30 @@ class BufferPool {
   /// Precondition: capacity >= 0.
   explicit BufferPool(double capacity, std::string name = "buffer");
 
+  /// Acquires `amount` units; `amount` must be positive and finite
+  /// (InvalidArgument otherwise), ResourceExhausted when unavailable.
   Status Acquire(double t, double amount);
+
+  /// Releases `amount` units; positive/finite required, over-release is an
+  /// Internal error.
   Status Release(double t, double amount);
+
+  /// Time-varying capacity (see StreamPool::SetCapacity): may drop below
+  /// in_use(), leaving the pool oversubscribed until holders release.
+  Status SetCapacity(double t, double new_capacity);
+
   bool CanAcquire(double amount) const {
-    return in_use_ + amount <= capacity_ + 1e-9;
+    return amount >= 0.0 && amount <= available() + 1e-9;
   }
 
   double capacity() const { return capacity_; }
   double in_use() const { return in_use_; }
-  double available() const { return capacity_ - in_use_; }
+  /// Never negative, even when oversubscribed.
+  double available() const { return std::max(0.0, capacity_ - in_use_); }
+  double oversubscription() const {
+    return std::max(0.0, in_use_ - capacity_);
+  }
+  bool oversubscribed() const { return in_use_ > capacity_ + 1e-9; }
   double peak_in_use() const { return peak_; }
   int64_t rejected() const { return rejected_; }
   double MeanInUse(double t_end) const { return usage_.TimeAverage(t_end); }

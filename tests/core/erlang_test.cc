@@ -125,5 +125,56 @@ TEST(ErlangBTest, PredictsServerSimulatorRefusals) {
   }
 }
 
+TEST(ErlangFailuresTest, Validation) {
+  EXPECT_TRUE(
+      ErlangBlockingWithFailures(0, 10, 5.0, 0.9).status().IsInvalidArgument());
+  EXPECT_TRUE(ErlangBlockingWithFailures(4, -1, 5.0, 0.9)
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(ErlangBlockingWithFailures(4, 10, -1.0, 0.9)
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(ErlangBlockingWithFailures(4, 10, 5.0, 1.5)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(ErlangFailuresTest, PerfectAvailabilityRecoversErlangB) {
+  const auto with = ErlangBlockingWithFailures(4, 10, 25.0, 1.0);
+  const auto plain = ErlangBlockingProbability(40, 25.0);
+  ASSERT_TRUE(with.ok() && plain.ok());
+  EXPECT_NEAR(*with, *plain, 1e-12);
+}
+
+TEST(ErlangFailuresTest, ZeroAvailabilityBlocksEverything) {
+  const auto blocking = ErlangBlockingWithFailures(4, 10, 5.0, 0.0);
+  ASSERT_TRUE(blocking.ok());
+  EXPECT_DOUBLE_EQ(*blocking, 1.0);
+}
+
+TEST(ErlangFailuresTest, MonotoneInAvailability) {
+  double previous = 1.1;
+  for (double availability : {0.5, 0.8, 0.9, 0.95, 0.99, 1.0}) {
+    const auto blocking = ErlangBlockingWithFailures(4, 10, 30.0, availability);
+    ASSERT_TRUE(blocking.ok());
+    EXPECT_LT(*blocking, previous) << availability;
+    previous = *blocking;
+  }
+}
+
+TEST(ErlangFailuresTest, MatchesDirectBinomialMixture) {
+  // Small farm: compare against an explicit binomial expansion.
+  const double a = 0.9;
+  const double load = 8.0;
+  double expected = 0.0;
+  const double coeff[3] = {(1 - a) * (1 - a), 2 * a * (1 - a), a * a};
+  for (int k = 0; k <= 2; ++k) {
+    expected += coeff[k] * *ErlangBlockingProbability(k * 5, load);
+  }
+  const auto got = ErlangBlockingWithFailures(2, 5, load, a);
+  ASSERT_TRUE(got.ok());
+  EXPECT_NEAR(*got, expected, 1e-12);
+}
+
 }  // namespace
 }  // namespace vod

@@ -1,0 +1,218 @@
+#include "sim/degradation.h"
+
+#include <gtest/gtest.h>
+
+namespace vod {
+namespace {
+
+DegradationPolicy EnabledPolicy() {
+  DegradationPolicy policy;
+  policy.enabled = true;
+  policy.queue_deadline_minutes = 5.0;
+  policy.backoff_initial_minutes = 0.25;
+  policy.backoff_factor = 2.0;
+  policy.shed_below_fraction = 0.5;
+  policy.batching_below_fraction = 0.2;
+  return policy;
+}
+
+TEST(DegradationPolicyTest, Validation) {
+  EXPECT_TRUE(EnabledPolicy().Validate().ok());
+  DegradationPolicy p = EnabledPolicy();
+  p.queue_deadline_minutes = -1.0;
+  EXPECT_TRUE(p.Validate().IsInvalidArgument());
+  p = EnabledPolicy();
+  p.backoff_initial_minutes = 0.0;
+  EXPECT_TRUE(p.Validate().IsInvalidArgument());
+  p = EnabledPolicy();
+  p.backoff_factor = 0.5;
+  EXPECT_TRUE(p.Validate().IsInvalidArgument());
+  p = EnabledPolicy();
+  p.shed_below_fraction = 1.5;
+  EXPECT_TRUE(p.Validate().IsInvalidArgument());
+  p = EnabledPolicy();
+  p.batching_below_fraction = 0.8;  // above shed_below_fraction = 0.5
+  EXPECT_TRUE(p.Validate().IsInvalidArgument());
+}
+
+TEST(ReserveManagerTest, LegacySemanticsWithPolicyDisabled) {
+  EventQueue queue;
+  ReserveManager mgr(2, DegradationPolicy{}, &queue, 0.0);
+  EXPECT_TRUE(mgr.TryAcquire(0.0));
+  EXPECT_TRUE(mgr.TryAcquire(0.0));
+  EXPECT_FALSE(mgr.TryAcquire(0.0));
+  EXPECT_EQ(mgr.refused(), 1);
+  EXPECT_EQ(mgr.acquired(), 2);
+  // No queueing with the policy off: the callback is never taken.
+  bool invoked = false;
+  EXPECT_FALSE(
+      mgr.TryQueueAcquire(0.0, [&invoked](double, bool) { invoked = true; }));
+  EXPECT_FALSE(invoked);
+  EXPECT_EQ(mgr.vcr_denied(), 1);
+  mgr.Release(1.0);
+  EXPECT_TRUE(mgr.TryAcquire(1.0));
+}
+
+TEST(ReserveManagerTest, OversubscriptionClampsAndDrains) {
+  EventQueue queue;
+  ReserveManager mgr(5, DegradationPolicy{}, &queue, 0.0);
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(mgr.TryAcquire(0.0));
+  mgr.SetCapacity(1.0, 3);
+  EXPECT_EQ(mgr.in_use(), 5);
+  EXPECT_EQ(mgr.capacity(), 3);
+  EXPECT_EQ(mgr.oversubscription(), 2);
+  EXPECT_EQ(mgr.max_oversubscription(), 2);
+  EXPECT_EQ(mgr.min_capacity_seen(), 3);
+  EXPECT_EQ(mgr.level(), DegradationLevel::kReclaim);
+  EXPECT_FALSE(mgr.TryAcquire(1.5));
+  // The overhang drains as holders release; never negative anywhere.
+  mgr.Release(2.0);
+  mgr.Release(2.0);
+  EXPECT_EQ(mgr.oversubscription(), 0);
+  EXPECT_FALSE(mgr.TryAcquire(2.5));  // still full: in_use == capacity
+  mgr.Release(3.0);
+  EXPECT_TRUE(mgr.TryAcquire(3.5));
+  EXPECT_EQ(mgr.max_oversubscription(), 2);
+}
+
+TEST(ReserveManagerTest, QueuedRequestGrantedAfterRelease) {
+  EventQueue queue;
+  ReserveManager mgr(1, EnabledPolicy(), &queue, 0.0);
+  ASSERT_TRUE(mgr.TryAcquire(0.0));
+  ASSERT_FALSE(mgr.TryAcquire(0.0));
+  bool granted = false;
+  double decision_time = -1.0;
+  ASSERT_TRUE(mgr.TryQueueAcquire(0.0, [&](double t, bool g) {
+    granted = g;
+    decision_time = t;
+  }));
+  EXPECT_EQ(mgr.level(), DegradationLevel::kQueueing);
+  EXPECT_EQ(mgr.queue_length(), 1);
+  mgr.Release(0.1);
+  queue.RunUntil(10.0);
+  EXPECT_TRUE(granted);
+  // Re-offer happens at the first backoff retry after the release.
+  EXPECT_NEAR(decision_time, 0.25, 1e-12);
+  EXPECT_EQ(mgr.vcr_queued(), 1);
+  EXPECT_EQ(mgr.vcr_queue_grants(), 1);
+  EXPECT_EQ(mgr.vcr_queue_expirations(), 0);
+  EXPECT_EQ(mgr.in_use(), 1);  // the granted stream belongs to the caller
+  EXPECT_EQ(mgr.level(), DegradationLevel::kNormal);
+  EXPECT_NEAR(mgr.queued_wait().mean(), 0.25, 1e-12);
+}
+
+TEST(ReserveManagerTest, QueuedRequestExpiresAtDeadline) {
+  EventQueue queue;
+  ReserveManager mgr(1, EnabledPolicy(), &queue, 0.0);
+  ASSERT_TRUE(mgr.TryAcquire(0.0));
+  bool granted = true;
+  double decision_time = -1.0;
+  ASSERT_TRUE(mgr.TryQueueAcquire(0.0, [&](double t, bool g) {
+    granted = g;
+    decision_time = t;
+  }));
+  queue.RunUntil(10.0);  // never released
+  EXPECT_FALSE(granted);
+  EXPECT_NEAR(decision_time, 5.0, 1e-12);  // the configured deadline
+  EXPECT_EQ(mgr.vcr_queue_expirations(), 1);
+  EXPECT_EQ(mgr.vcr_queue_grants(), 0);
+  EXPECT_EQ(mgr.queue_length(), 0);
+}
+
+TEST(ReserveManagerTest, ShedLevelClosesAdmissionAndQueue) {
+  EventQueue queue;
+  ReserveManager mgr(10, EnabledPolicy(), &queue, 0.0);
+  mgr.SetCapacity(1.0, 4);  // 40% of nominal < shed_below_fraction
+  EXPECT_EQ(mgr.level(), DegradationLevel::kShedVcr);
+  EXPECT_FALSE(mgr.TryAcquire(1.5));  // admission closed despite free units
+  bool invoked = false;
+  EXPECT_FALSE(
+      mgr.TryQueueAcquire(1.5, [&invoked](double, bool) { invoked = true; }));
+  EXPECT_FALSE(invoked);
+  EXPECT_EQ(mgr.vcr_denied(), 1);
+  mgr.SetCapacity(2.0, 10);
+  EXPECT_EQ(mgr.level(), DegradationLevel::kNormal);
+  EXPECT_TRUE(mgr.TryAcquire(2.5));
+}
+
+TEST(ReserveManagerTest, BatchingOnlyReclaimsEverything) {
+  EventQueue queue;
+  ReserveManager mgr(10, EnabledPolicy(), &queue, 0.0);
+  for (int i = 0; i < 6; ++i) ASSERT_TRUE(mgr.TryAcquire(0.0));
+  int64_t reclaim_requests = 0;
+  mgr.set_reclaim_hook([&](double t, int64_t need) {
+    reclaim_requests += need;
+    for (int64_t i = 0; i < need; ++i) mgr.Release(t);
+    return need;
+  });
+  mgr.SetCapacity(1.0, 1);  // 10% of nominal < batching_below_fraction
+  EXPECT_EQ(reclaim_requests, 6);
+  EXPECT_EQ(mgr.forced_reclaims(), 6);
+  EXPECT_EQ(mgr.in_use(), 0);
+  EXPECT_EQ(mgr.level(), DegradationLevel::kBatchingOnly);
+  // Repair: back to normal, and the excursion counts as one recovery.
+  mgr.SetCapacity(5.0, 10);
+  EXPECT_EQ(mgr.level(), DegradationLevel::kNormal);
+  EXPECT_EQ(mgr.recovery_times().count(), 1);
+  EXPECT_NEAR(mgr.recovery_times().mean(), 4.0, 1e-12);
+}
+
+TEST(ReserveManagerTest, PartialReclaimOnOversubscription) {
+  EventQueue queue;
+  ReserveManager mgr(10, EnabledPolicy(), &queue, 0.0);
+  for (int i = 0; i < 8; ++i) ASSERT_TRUE(mgr.TryAcquire(0.0));
+  mgr.set_reclaim_hook([&](double t, int64_t need) {
+    for (int64_t i = 0; i < need; ++i) mgr.Release(t);
+    return need;
+  });
+  mgr.SetCapacity(1.0, 6);  // 60% of nominal: above shed, but oversubscribed
+  // Only the overhang (2) is reclaimed, not everything.
+  EXPECT_EQ(mgr.forced_reclaims(), 2);
+  EXPECT_EQ(mgr.in_use(), 6);
+  EXPECT_EQ(mgr.oversubscription(), 0);
+}
+
+TEST(ReserveManagerTest, TimeInLevelsSumToHorizonAndLogTransitions) {
+  EventQueue queue;
+  ReserveManager mgr(10, EnabledPolicy(), &queue, 0.0);
+  mgr.SetCapacity(10.0, 4);  // normal -> shed
+  mgr.SetCapacity(30.0, 10);  // shed -> normal
+  mgr.Finalize(100.0);
+  double total = 0.0;
+  for (int i = 0; i < kNumDegradationLevels; ++i) {
+    total += mgr.time_in_level(static_cast<DegradationLevel>(i));
+  }
+  EXPECT_NEAR(total, 100.0, 1e-9);
+  EXPECT_NEAR(mgr.time_in_level(DegradationLevel::kShedVcr), 20.0, 1e-9);
+  EXPECT_NEAR(mgr.time_in_level(DegradationLevel::kNormal), 80.0, 1e-9);
+  ASSERT_EQ(mgr.transitions().size(), 2u);
+  EXPECT_EQ(mgr.total_transitions(), 2);
+  EXPECT_EQ(mgr.transitions()[0].from, DegradationLevel::kNormal);
+  EXPECT_EQ(mgr.transitions()[0].to, DegradationLevel::kShedVcr);
+  EXPECT_EQ(mgr.transitions()[1].to, DegradationLevel::kNormal);
+  EXPECT_EQ(mgr.recovery_times().count(), 1);
+  EXPECT_NEAR(mgr.recovery_times().mean(), 20.0, 1e-9);
+}
+
+TEST(ReserveManagerTest, QueueAccountingIdentity) {
+  EventQueue queue;
+  ReserveManager mgr(1, EnabledPolicy(), &queue, 0.0);
+  ASSERT_TRUE(mgr.TryAcquire(0.0));
+  int decided = 0;
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(mgr.TryQueueAcquire(
+        static_cast<double>(i), [&decided](double, bool) { ++decided; }));
+  }
+  mgr.Release(2.5);  // exactly one waiter can be re-offered
+  queue.RunUntil(3.0);  // before the deadlines: expirations still pending
+  mgr.Finalize(3.0);
+  EXPECT_EQ(mgr.vcr_queued(), mgr.vcr_queue_grants() +
+                                  mgr.vcr_queue_expirations() +
+                                  mgr.queue_length());
+  EXPECT_EQ(mgr.vcr_queue_grants(), 1);
+  EXPECT_EQ(mgr.queue_length(), 2);
+  EXPECT_EQ(decided, 1);
+}
+
+}  // namespace
+}  // namespace vod

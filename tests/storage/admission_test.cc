@@ -68,6 +68,66 @@ TEST(AdmissionTest, ReleaseDynamicWithoutAcquireIsInternal) {
   EXPECT_TRUE(controller.ReleaseDynamicStream(0.0).IsInternal());
 }
 
+TEST(AdmissionTest, ReleasingUnknownMovieLeavesAccountingUnchanged) {
+  AdmissionController controller(100, 100.0);
+  ASSERT_TRUE(controller.ReserveMovie(0.0, {"real", 40, 25.0}).ok());
+  EXPECT_TRUE(controller.ReleaseMovie(1.0, "ghost").IsNotFound());
+  EXPECT_EQ(controller.reserved_streams(), 40);
+  EXPECT_DOUBLE_EQ(controller.reserved_buffer_minutes(), 25.0);
+  EXPECT_EQ(controller.stream_pool().in_use(), 40);
+  EXPECT_NEAR(controller.buffer_pool().in_use(), 25.0, 1e-12);
+  EXPECT_EQ(controller.reservations().size(), 1u);
+}
+
+TEST(AdmissionTest, DoubleReserveRollbackLeavesPoolsUnchanged) {
+  AdmissionController controller(100, 100.0);
+  ASSERT_TRUE(controller.ReserveMovie(0.0, {"m", 30, 20.0}).ok());
+  // A duplicate reservation must fail *without* acquiring or leaking
+  // anything, even when the pools could cover it.
+  EXPECT_TRUE(
+      controller.ReserveMovie(1.0, {"m", 30, 20.0}).IsInvalidArgument());
+  EXPECT_EQ(controller.reserved_streams(), 30);
+  EXPECT_DOUBLE_EQ(controller.reserved_buffer_minutes(), 20.0);
+  EXPECT_EQ(controller.stream_pool().in_use(), 30);
+  EXPECT_NEAR(controller.buffer_pool().in_use(), 20.0, 1e-12);
+  EXPECT_EQ(controller.reservations().size(), 1u);
+}
+
+TEST(AdmissionTest, ZeroAmountReservationIsAccepted) {
+  // A movie can legitimately pre-allocate zero streams (pure buffering) or
+  // zero buffer (pure batching); the controller must not trip the pools'
+  // count > 0 validation on those.
+  AdmissionController controller(100, 100.0);
+  EXPECT_TRUE(controller.ReserveMovie(0.0, {"buffer-only", 0, 30.0}).ok());
+  EXPECT_TRUE(controller.ReserveMovie(0.0, {"stream-only", 10, 0.0}).ok());
+  EXPECT_EQ(controller.stream_pool().in_use(), 10);
+  EXPECT_NEAR(controller.buffer_pool().in_use(), 30.0, 1e-12);
+  EXPECT_TRUE(controller.ReleaseMovie(1.0, "buffer-only").ok());
+  EXPECT_TRUE(controller.ReleaseMovie(1.0, "stream-only").ok());
+  EXPECT_EQ(controller.stream_pool().in_use(), 0);
+  EXPECT_NEAR(controller.buffer_pool().in_use(), 0.0, 1e-12);
+}
+
+TEST(AdmissionTest, CapacityLossOversubscribesWithoutDroppingReservations) {
+  AdmissionController controller(100, 100.0);
+  ASSERT_TRUE(controller.ReserveMovie(0.0, {"m", 80, 60.0}).ok());
+  ASSERT_TRUE(controller.SetTotalStreams(1.0, 50).ok());
+  ASSERT_TRUE(controller.SetTotalBufferMinutes(1.0, 40.0).ok());
+  // Reservations survive; the pools report oversubscription and refuse new
+  // work until the overhang drains.
+  EXPECT_EQ(controller.reserved_streams(), 80);
+  EXPECT_TRUE(controller.stream_pool().oversubscribed());
+  EXPECT_EQ(controller.stream_pool().oversubscription(), 30);
+  EXPECT_EQ(controller.stream_pool().available(), 0);
+  EXPECT_TRUE(controller.buffer_pool().oversubscribed());
+  EXPECT_TRUE(controller.AcquireDynamicStream(2.0).IsResourceExhausted());
+  // Releasing the movie drains the overhang.
+  ASSERT_TRUE(controller.ReleaseMovie(3.0, "m").ok());
+  EXPECT_FALSE(controller.stream_pool().oversubscribed());
+  EXPECT_EQ(controller.stream_pool().available(), 50);
+  EXPECT_TRUE(controller.AcquireDynamicStream(4.0).ok());
+}
+
 TEST(AdmissionTest, RejectsNegativeReservation) {
   AdmissionController controller(10, 10.0);
   EXPECT_TRUE(

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 namespace vod {
 namespace {
 
@@ -53,7 +55,51 @@ TEST(StreamPoolTest, TimeWeightedUtilization) {
 TEST(StreamPoolTest, ZeroCapacityRejectsEverything) {
   StreamPool pool(0);
   EXPECT_TRUE(pool.Acquire(0.0, 1).IsResourceExhausted());
-  EXPECT_TRUE(pool.Acquire(0.0, 0).ok());  // zero-acquire is a no-op
+}
+
+TEST(StreamPoolTest, NonPositiveCountsAreInvalidArgument) {
+  StreamPool pool(5);
+  EXPECT_TRUE(pool.Acquire(0.0, 0).IsInvalidArgument());
+  EXPECT_TRUE(pool.Acquire(0.0, -3).IsInvalidArgument());
+  EXPECT_TRUE(pool.Release(0.0, 0).IsInvalidArgument());
+  EXPECT_TRUE(pool.Release(0.0, -1).IsInvalidArgument());
+  EXPECT_EQ(pool.in_use(), 0);
+  EXPECT_EQ(pool.rejected(), 0);  // invalid != rejected-for-capacity
+}
+
+TEST(StreamPoolTest, SetCapacityGrowAndShrink) {
+  StreamPool pool(10);
+  ASSERT_TRUE(pool.Acquire(0.0, 4).ok());
+  ASSERT_TRUE(pool.SetCapacity(1.0, 20).ok());
+  EXPECT_EQ(pool.capacity(), 20);
+  EXPECT_EQ(pool.available(), 16);
+  ASSERT_TRUE(pool.SetCapacity(2.0, 6).ok());
+  EXPECT_EQ(pool.available(), 2);
+  EXPECT_TRUE(pool.SetCapacity(3.0, -1).IsInvalidArgument());
+  EXPECT_EQ(pool.capacity(), 6);
+}
+
+TEST(StreamPoolTest, OversubscribedPoolNeverReportsNegativeAvailable) {
+  StreamPool pool(10);
+  ASSERT_TRUE(pool.Acquire(0.0, 8).ok());
+  // Capacity drops below in-use (a disk died): the pool is oversubscribed,
+  // available() clamps at zero, and new acquires are refused.
+  ASSERT_TRUE(pool.SetCapacity(1.0, 5).ok());
+  EXPECT_EQ(pool.in_use(), 8);
+  EXPECT_EQ(pool.available(), 0);
+  EXPECT_TRUE(pool.oversubscribed());
+  EXPECT_EQ(pool.oversubscription(), 3);
+  EXPECT_FALSE(pool.CanAcquire(1));
+  EXPECT_TRUE(pool.Acquire(1.5, 1).IsResourceExhausted());
+  // The overhang drains as holders release.
+  ASSERT_TRUE(pool.Release(2.0, 2).ok());
+  EXPECT_EQ(pool.oversubscription(), 1);
+  EXPECT_EQ(pool.available(), 0);
+  ASSERT_TRUE(pool.Release(3.0, 2).ok());
+  EXPECT_FALSE(pool.oversubscribed());
+  EXPECT_EQ(pool.available(), 1);
+  ASSERT_TRUE(pool.Acquire(4.0, 1).ok());
+  EXPECT_EQ(pool.available(), 0);
 }
 
 TEST(BufferPoolTest, FractionalAccounting) {
@@ -78,6 +124,31 @@ TEST(BufferPoolTest, OverReleaseIsInternalError) {
   BufferPool pool(10.0);
   ASSERT_TRUE(pool.Acquire(0.0, 1.0).ok());
   EXPECT_TRUE(pool.Release(0.0, 2.0).IsInternal());
+}
+
+TEST(BufferPoolTest, NonPositiveAmountsAreInvalidArgument) {
+  BufferPool pool(10.0);
+  EXPECT_TRUE(pool.Acquire(0.0, 0.0).IsInvalidArgument());
+  EXPECT_TRUE(pool.Acquire(0.0, -1.5).IsInvalidArgument());
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_TRUE(pool.Acquire(0.0, nan).IsInvalidArgument());
+  EXPECT_TRUE(pool.Release(0.0, 0.0).IsInvalidArgument());
+  EXPECT_TRUE(pool.Release(0.0, -2.0).IsInvalidArgument());
+  EXPECT_NEAR(pool.in_use(), 0.0, 1e-12);
+}
+
+TEST(BufferPoolTest, SetCapacityAndOversubscription) {
+  BufferPool pool(100.0);
+  ASSERT_TRUE(pool.Acquire(0.0, 80.0).ok());
+  ASSERT_TRUE(pool.SetCapacity(1.0, 50.0).ok());
+  EXPECT_NEAR(pool.available(), 0.0, 1e-12);
+  EXPECT_TRUE(pool.oversubscribed());
+  EXPECT_NEAR(pool.oversubscription(), 30.0, 1e-9);
+  EXPECT_TRUE(pool.Acquire(1.5, 0.5).IsResourceExhausted());
+  ASSERT_TRUE(pool.Release(2.0, 40.0).ok());
+  EXPECT_FALSE(pool.oversubscribed());
+  EXPECT_NEAR(pool.available(), 10.0, 1e-9);
+  EXPECT_TRUE(pool.SetCapacity(3.0, -5.0).IsInvalidArgument());
 }
 
 }  // namespace

@@ -3,6 +3,7 @@
 //   vodctl model    --length=120 --streams=40 --buffer=80 --duration='gamma(2,4)'
 //   vodctl size     --length=120 --wait=0.5 --pstar=0.5 --duration='exp(5)'
 //   vodctl simulate --length=120 --streams=40 --buffer=80 --measure=20000
+//   vodctl simulate --reserve=40 --faults=4:2000:120 --queue_deadline=5
 //   vodctl catalog  --file=catalog.csv --rate=4 --zipf=1 --budget=0
 //
 // Every subcommand prints an aligned table (add --csv for machine-readable
@@ -19,6 +20,7 @@
 #include "core/hit_model.h"
 #include "core/sizing.h"
 #include "sim/partition_schedule.h"
+#include "sim/server.h"
 #include "sim/simulator.h"
 #include "workload/catalog.h"
 #include "workload/paper_presets.h"
@@ -168,6 +170,63 @@ int SizeCommand(int argc, char** argv) {
 
 // ---- vodctl simulate --------------------------------------------------------
 
+Result<ServerFaultOptions> ParseFaultSpec(const std::string& text) {
+  // "disks:mtbf:mttr", e.g. "4:2000:120" (minutes).
+  ServerFaultOptions faults;
+  char trailing = '\0';
+  if (std::sscanf(text.c_str(), "%d:%lf:%lf%c", &faults.disks,
+                  &faults.profile.mtbf_minutes, &faults.profile.mttr_minutes,
+                  &trailing) != 3) {
+    return Status::InvalidArgument(
+        "--faults must be 'disks:mtbf:mttr' (e.g. 4:2000:120), got '" + text +
+        "'");
+  }
+  faults.enabled = true;
+  if (faults.disks < 1) {
+    return Status::InvalidArgument("--faults needs at least one disk");
+  }
+  VOD_RETURN_IF_ERROR(faults.profile.Validate());
+  return faults;
+}
+
+// Runs the multi-movie server engine for a single movie so the reserve,
+// fault-injection, and degradation knobs apply; prints the full resilience
+// report.
+int SimulateWithFaults(const FlagSet& flags, const PartitionLayout& layout,
+                       const VcrMix& mix, const DistributionPtr& duration) {
+  VcrBehavior behavior;
+  behavior.mix = mix;
+  behavior.durations = VcrDurations::AllSame(duration);
+  behavior.interactivity = paper::DefaultInteractivity();
+  const ServerMovieSpec movie{"movie", layout,
+                              1.0 / flags.GetDouble("arrival_gap"), behavior};
+
+  ServerOptions options;
+  options.rates = paper::Rates();
+  options.dynamic_stream_reserve = flags.GetInt64("reserve");
+  options.measurement_minutes = flags.GetDouble("measure");
+  options.warmup_minutes = options.measurement_minutes * 0.05;
+  options.seed = static_cast<uint64_t>(flags.GetInt64("seed"));
+  if (flags.GetDouble("piggyback") > 0.0) {
+    options.piggyback.enabled = true;
+    options.piggyback.speed_delta = flags.GetDouble("piggyback");
+  }
+  if (flags.WasSet("faults")) {
+    const auto faults = ParseFaultSpec(flags.GetString("faults"));
+    if (!faults.ok()) return Fail(faults.status());
+    options.faults = *faults;
+  }
+  if (flags.GetDouble("queue_deadline") > 0.0) {
+    options.degradation.enabled = true;
+    options.degradation.queue_deadline_minutes =
+        flags.GetDouble("queue_deadline");
+  }
+  const auto report = RunServerSimulation({movie}, options);
+  if (!report.ok()) return Fail(report.status());
+  std::printf("%s\n", report->ToString().c_str());
+  return 0;
+}
+
 int SimulateCommand(int argc, char** argv) {
   FlagSet flags("vodctl simulate");
   flags.AddDouble("length", 120.0, "movie length (minutes)");
@@ -180,6 +239,12 @@ int SimulateCommand(int argc, char** argv) {
   flags.AddDouble("measure", 20000.0, "measured minutes");
   flags.AddInt64("seed", 42, "RNG seed");
   flags.AddDouble("piggyback", 0.0, "merge speed delta (0 disables)");
+  flags.AddInt64("reserve", 100, "shared dynamic stream reserve "
+                 "(server engine; used with --faults/--queue_deadline)");
+  flags.AddString("faults", "", "disk faults 'disks:mtbf:mttr' in minutes "
+                  "(e.g. 4:2000:120); enables the server engine");
+  flags.AddDouble("queue_deadline", 0.0, "queue dry-reserve VCR requests up "
+                  "to this many minutes (0 = hard refusal)");
   const Status parsed = flags.Parse(argc, argv);
   if (!parsed.ok()) return Fail(parsed);
 
@@ -189,6 +254,11 @@ int SimulateCommand(int argc, char** argv) {
   if (!duration.ok()) return Fail(duration.status());
   const auto mix = ParseMix(flags.GetString("mix"));
   if (!mix.ok()) return Fail(mix.status());
+
+  if (flags.WasSet("faults") || flags.WasSet("reserve") ||
+      flags.GetDouble("queue_deadline") > 0.0) {
+    return SimulateWithFaults(flags, *layout, *mix, *duration);
+  }
 
   SimulationOptions options;
   options.mean_interarrival_minutes = flags.GetDouble("arrival_gap");
