@@ -23,6 +23,7 @@
 #include "dist/lognormal.h"
 #include "dist/pareto.h"
 #include "dist/uniform.h"
+#include "exp/experiment.h"
 #include "sim/simulator.h"
 #include "workload/paper_presets.h"
 
@@ -33,6 +34,7 @@ int main(int argc, char** argv) {
   flags.AddDouble("wait", 1.0, "max wait w (minutes)");
   flags.AddDouble("mean", 8.0, "common duration mean (minutes)");
   flags.AddBool("csv", false, "emit CSV");
+  AddExperimentFlags(&flags);
   VOD_CHECK_OK(flags.Parse(argc, argv));
   const double mean = flags.GetDouble("mean");
 
@@ -64,9 +66,25 @@ int main(int argc, char** argv) {
                          LomaxDistribution::FromMean(mean, 2.5))},
   };
 
+  const auto reports = RunExperimentGrid(
+      cases, ExperimentOptionsFromFlags(flags, /*base_seed=*/20240708),
+      [&](const Case& c, const CellContext& context) {
+        SimulationOptions options;
+        options.behavior.mix = VcrMix::Only(VcrOp::kFastForward);
+        options.behavior.durations = VcrDurations::AllSame(c.dist);
+        options.behavior.interactivity = paper::DefaultInteractivity();
+        options.warmup_minutes = 1500.0;
+        options.measurement_minutes = 20000.0;
+        options.seed = context.seed;
+        const auto report = RunSimulation(*layout, paper::Rates(), options);
+        VOD_CHECK_OK(report.status());
+        return *report;
+      });
+
   TableWriter table({"duration shape", "P(hit|FF)", "(end part)",
                      "P(hit|RW)", "P(hit|PAU)", "sim P(hit|FF)"});
-  for (const Case& c : cases) {
+  for (size_t i = 0; i < cases.size(); ++i) {
+    const Case& c = cases[i];
     const auto ff = model->Breakdown(VcrOp::kFastForward, c.dist);
     const auto rw = model->HitProbability(VcrOp::kRewind, c.dist);
     const auto pau = model->HitProbability(VcrOp::kPause, c.dist);
@@ -74,20 +92,10 @@ int main(int argc, char** argv) {
     VOD_CHECK_OK(rw.status());
     VOD_CHECK_OK(pau.status());
 
-    SimulationOptions options;
-    options.behavior.mix = VcrMix::Only(VcrOp::kFastForward);
-    options.behavior.durations = VcrDurations::AllSame(c.dist);
-    options.behavior.interactivity = paper::DefaultInteractivity();
-    options.warmup_minutes = 1500.0;
-    options.measurement_minutes = 20000.0;
-    options.seed = 20240708;
-    const auto report = RunSimulation(*layout, paper::Rates(), options);
-    VOD_CHECK_OK(report.status());
-
     table.AddRow({c.label, FormatDouble(ff->total(), 4),
                   FormatDouble(ff->end, 4), FormatDouble(*rw, 4),
                   FormatDouble(*pau, 4),
-                  FormatDouble(report->hit_probability_in_partition, 4)});
+                  FormatDouble(reports[i][0].hit_probability_in_partition, 4)});
   }
 
   if (flags.GetBool("csv")) {

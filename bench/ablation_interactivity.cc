@@ -14,6 +14,7 @@
 #include "common/table.h"
 #include "core/hit_model.h"
 #include "dist/exponential.h"
+#include "exp/experiment.h"
 #include "sim/simulator.h"
 #include "workload/paper_presets.h"
 
@@ -23,6 +24,7 @@ int main(int argc, char** argv) {
   flags.AddInt64("streams", 40, "partition count n");
   flags.AddDouble("wait", 1.0, "max wait w (minutes)");
   flags.AddBool("csv", false, "emit CSV");
+  AddExperimentFlags(&flags);
   VOD_CHECK_OK(flags.Parse(argc, argv));
 
   const auto layout = PartitionLayout::FromMaxWait(
@@ -40,24 +42,32 @@ int main(int argc, char** argv) {
               "(rate-independent)\n\n",
               layout->ToString().c_str(), *p_model);
 
+  const std::vector<double> gaps = {5.0, 10.0, 20.0, 40.0, 80.0};
+  const auto reports = RunExperimentGrid(
+      gaps, ExperimentOptionsFromFlags(flags, /*base_seed=*/4242),
+      [&](double mean_gap, const CellContext& context) {
+        SimulationOptions options;
+        options.mean_interarrival_minutes = paper::kFig7MeanInterarrival;
+        options.behavior = paper::Fig7MixedBehavior();
+        options.behavior.interactivity =
+            std::make_shared<ExponentialDistribution>(mean_gap);
+        options.warmup_minutes = 2000.0;
+        options.measurement_minutes = 30000.0;
+        options.seed = context.seed;
+        const auto report = RunSimulation(*layout, paper::Rates(), options);
+        VOD_CHECK_OK(report.status());
+        return *report;
+      });
+
   TableWriter table({"mean gap (min)", "P(hit) in-partition", "P(hit) all",
                      "resumes", "avg dedicated streams"});
-  for (double mean_gap : {5.0, 10.0, 20.0, 40.0, 80.0}) {
-    SimulationOptions options;
-    options.mean_interarrival_minutes = paper::kFig7MeanInterarrival;
-    options.behavior = paper::Fig7MixedBehavior();
-    options.behavior.interactivity =
-        std::make_shared<ExponentialDistribution>(mean_gap);
-    options.warmup_minutes = 2000.0;
-    options.measurement_minutes = 30000.0;
-    options.seed = 4242;
-    const auto report = RunSimulation(*layout, paper::Rates(), options);
-    VOD_CHECK_OK(report.status());
-    table.AddRow({FormatDouble(mean_gap, 0),
-                  FormatDouble(report->hit_probability_in_partition, 4),
-                  FormatDouble(report->hit_probability, 4),
-                  std::to_string(report->total_resumes),
-                  FormatDouble(report->mean_dedicated_streams, 2)});
+  for (size_t i = 0; i < gaps.size(); ++i) {
+    const SimulationReport& report = reports[i][0];
+    table.AddRow({FormatDouble(gaps[i], 0),
+                  FormatDouble(report.hit_probability_in_partition, 4),
+                  FormatDouble(report.hit_probability, 4),
+                  std::to_string(report.total_resumes),
+                  FormatDouble(report.mean_dedicated_streams, 2)});
   }
 
   if (flags.GetBool("csv")) {

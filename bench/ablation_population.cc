@@ -14,6 +14,7 @@
 #include "common/flags.h"
 #include "common/table.h"
 #include "core/hit_model.h"
+#include "exp/experiment.h"
 #include "sim/simulator.h"
 #include "workload/paper_presets.h"
 
@@ -23,6 +24,7 @@ int main(int argc, char** argv) {
   flags.AddInt64("streams", 40, "partition count n");
   flags.AddDouble("wait", 1.0, "max wait w (minutes)");
   flags.AddBool("csv", false, "emit CSV");
+  AddExperimentFlags(&flags);
   VOD_CHECK_OK(flags.Parse(argc, argv));
 
   const auto layout = PartitionLayout::FromMaxWait(
@@ -35,40 +37,48 @@ int main(int argc, char** argv) {
   std::printf("Ablation: hit probability by issuing population, %s\n\n",
               layout->ToString().c_str());
 
+  const std::vector<VcrOp> ops(kAllVcrOps.begin(), kAllVcrOps.end());
+  const auto reports = RunExperimentGrid(
+      ops, ExperimentOptionsFromFlags(flags, /*base_seed=*/1234),
+      [&](VcrOp op, const CellContext& context) {
+        SimulationOptions options;
+        options.mean_interarrival_minutes = paper::kFig7MeanInterarrival;
+        options.behavior = paper::Fig7SingleOpBehavior(op);
+        options.warmup_minutes = 2000.0;
+        options.measurement_minutes = 40000.0;
+        options.seed = context.seed;
+        const auto report = RunSimulation(*layout, paper::Rates(), options);
+        VOD_CHECK_OK(report.status());
+        return *report;
+      });
+
   TableWriter table({"op", "model", "sim in-partition", "sim dedicated",
                      "sim all", "in-partition share"});
-  for (VcrOp op : kAllVcrOps) {
+  for (size_t i = 0; i < ops.size(); ++i) {
+    const VcrOp op = ops[i];
+    const SimulationReport& report = reports[i][0];
     const auto p_model = model->HitProbability(op, paper::Fig7Duration());
     VOD_CHECK_OK(p_model.status());
 
-    SimulationOptions options;
-    options.mean_interarrival_minutes = paper::kFig7MeanInterarrival;
-    options.behavior = paper::Fig7SingleOpBehavior(op);
-    options.warmup_minutes = 2000.0;
-    options.measurement_minutes = 40000.0;
-    options.seed = 1234;
-    const auto report = RunSimulation(*layout, paper::Rates(), options);
-    VOD_CHECK_OK(report.status());
-
     // Back out the dedicated-origin population from the totals.
     const double all_hits =
-        report->hit_probability * static_cast<double>(report->total_resumes);
+        report.hit_probability * static_cast<double>(report.total_resumes);
     const double part_hits =
-        report->hit_probability_in_partition *
-        static_cast<double>(report->in_partition_resumes);
+        report.hit_probability_in_partition *
+        static_cast<double>(report.in_partition_resumes);
     const auto dedicated_trials =
-        report->total_resumes - report->in_partition_resumes;
+        report.total_resumes - report.in_partition_resumes;
     const double dedicated_rate =
         dedicated_trials > 0 ? (all_hits - part_hits) / dedicated_trials
                              : 0.0;
 
     table.AddRow(
         {VcrOpName(op), FormatDouble(*p_model, 4),
-         FormatDouble(report->hit_probability_in_partition, 4),
+         FormatDouble(report.hit_probability_in_partition, 4),
          FormatDouble(dedicated_rate, 4),
-         FormatDouble(report->hit_probability, 4),
-         FormatDouble(static_cast<double>(report->in_partition_resumes) /
-                          static_cast<double>(report->total_resumes),
+         FormatDouble(report.hit_probability, 4),
+         FormatDouble(static_cast<double>(report.in_partition_resumes) /
+                          static_cast<double>(report.total_resumes),
                       3)});
   }
 

@@ -13,6 +13,7 @@
 #include "common/flags.h"
 #include "common/table.h"
 #include "core/hit_model.h"
+#include "exp/experiment.h"
 #include "sim/simulator.h"
 #include "workload/paper_presets.h"
 
@@ -22,6 +23,7 @@ int main(int argc, char** argv) {
   flags.AddInt64("streams", 40, "partition count n");
   flags.AddDouble("wait", 1.0, "max wait w (minutes)");
   flags.AddBool("csv", false, "emit CSV");
+  AddExperimentFlags(&flags);
   VOD_CHECK_OK(flags.Parse(argc, argv));
 
   const auto layout = PartitionLayout::FromMaxWait(
@@ -32,37 +34,53 @@ int main(int argc, char** argv) {
   std::printf("Ablation: P(hit) vs display speed, %s, gamma(2,4) durations\n\n",
               layout->ToString().c_str());
 
+  struct SpeedPoint {
+    VcrOp op;
+    double speed;
+  };
+  std::vector<SpeedPoint> points;
+  for (VcrOp op : {VcrOp::kFastForward, VcrOp::kRewind}) {
+    for (double speed : {1.5, 2.0, 3.0, 5.0, 10.0}) points.push_back({op, speed});
+  }
+  const auto rates_for = [](const SpeedPoint& point) {
+    PlaybackRates rates = paper::Rates();
+    if (point.op == VcrOp::kFastForward) {
+      rates.fast_forward = point.speed;
+    } else {
+      rates.rewind = point.speed;
+    }
+    return rates;
+  };
+
+  const auto reports = RunExperimentGrid(
+      points, ExperimentOptionsFromFlags(flags, /*base_seed=*/77),
+      [&](const SpeedPoint& point, const CellContext& context) {
+        SimulationOptions options;
+        options.mean_interarrival_minutes = paper::kFig7MeanInterarrival;
+        options.behavior = paper::Fig7SingleOpBehavior(point.op);
+        options.warmup_minutes = 1500.0;
+        options.measurement_minutes = 20000.0;
+        options.seed = context.seed;
+        const auto report = RunSimulation(*layout, rates_for(point), options);
+        VOD_CHECK_OK(report.status());
+        return *report;
+      });
+
   TableWriter table({"op", "speed", "alpha/gamma", "P(hit) model",
                      "P(hit) sim"});
-  for (VcrOp op : {VcrOp::kFastForward, VcrOp::kRewind}) {
-    for (double speed : {1.5, 2.0, 3.0, 5.0, 10.0}) {
-      PlaybackRates rates = paper::Rates();
-      double factor = 0.0;
-      if (op == VcrOp::kFastForward) {
-        rates.fast_forward = speed;
-        factor = rates.Alpha();
-      } else {
-        rates.rewind = speed;
-        factor = rates.Gamma();
-      }
-      const auto model = AnalyticHitModel::Create(*layout, rates);
-      VOD_CHECK_OK(model.status());
-      const auto p_model = model->HitProbability(op, paper::Fig7Duration());
-      VOD_CHECK_OK(p_model.status());
+  for (size_t i = 0; i < points.size(); ++i) {
+    const SpeedPoint& point = points[i];
+    const PlaybackRates rates = rates_for(point);
+    const double factor =
+        point.op == VcrOp::kFastForward ? rates.Alpha() : rates.Gamma();
+    const auto model = AnalyticHitModel::Create(*layout, rates);
+    VOD_CHECK_OK(model.status());
+    const auto p_model = model->HitProbability(point.op, paper::Fig7Duration());
+    VOD_CHECK_OK(p_model.status());
 
-      SimulationOptions options;
-      options.mean_interarrival_minutes = paper::kFig7MeanInterarrival;
-      options.behavior = paper::Fig7SingleOpBehavior(op);
-      options.warmup_minutes = 1500.0;
-      options.measurement_minutes = 20000.0;
-      options.seed = 77;
-      const auto report = RunSimulation(*layout, rates, options);
-      VOD_CHECK_OK(report.status());
-
-      table.AddRow({VcrOpName(op), FormatDouble(speed, 1),
-                    FormatDouble(factor, 3), FormatDouble(*p_model, 4),
-                    FormatDouble(report->hit_probability_in_partition, 4)});
-    }
+    table.AddRow({VcrOpName(point.op), FormatDouble(point.speed, 1),
+                  FormatDouble(factor, 3), FormatDouble(*p_model, 4),
+                  FormatDouble(reports[i][0].hit_probability_in_partition, 4)});
   }
 
   if (flags.GetBool("csv")) {

@@ -16,6 +16,7 @@
 #include "core/hit_model.h"
 #include "dist/exponential.h"
 #include "dist/transformed.h"
+#include "exp/experiment.h"
 #include "sim/simulator.h"
 #include "workload/paper_presets.h"
 
@@ -23,6 +24,7 @@ int main(int argc, char** argv) {
   using namespace vod;
   FlagSet flags("ext_abandonment");
   flags.AddBool("csv", false, "emit CSV");
+  AddExperimentFlags(&flags);
   VOD_CHECK_OK(flags.Parse(argc, argv));
 
   const auto layout = PartitionLayout::FromBuffer(120.0, 40, 80.0);
@@ -39,20 +41,29 @@ int main(int argc, char** argv) {
   std::printf("uniform-position model (the paper): P(hit|FF) = %.4f\n\n",
               *p_uniform);
 
+  const std::vector<double> patiences = {1e9, 240.0, 90.0, 45.0, 20.0};
+  const auto reports = RunExperimentGrid(
+      patiences, ExperimentOptionsFromFlags(flags, /*base_seed=*/808),
+      [&](double patience, const CellContext& context) {
+        SimulationOptions options;
+        options.behavior = paper::Fig7SingleOpBehavior(VcrOp::kFastForward);
+        if (patience < 1e8) {
+          options.patience =
+              std::make_shared<ExponentialDistribution>(patience);
+        }
+        options.warmup_minutes = 2000.0;
+        options.measurement_minutes = 40000.0;
+        options.seed = context.seed;
+        const auto report = RunSimulation(*layout, paper::Rates(), options);
+        VOD_CHECK_OK(report.status());
+        return *report;
+      });
+
   TableWriter table({"mean patience (min)", "abandon frac", "sim P(hit|FF)",
                      "model (uniform V_c)", "model (skewed V_c)"});
-  for (double patience : {1e9, 240.0, 90.0, 45.0, 20.0}) {
-    SimulationOptions options;
-    options.behavior = paper::Fig7SingleOpBehavior(VcrOp::kFastForward);
-    if (patience < 1e8) {
-      options.patience =
-          std::make_shared<ExponentialDistribution>(patience);
-    }
-    options.warmup_minutes = 2000.0;
-    options.measurement_minutes = 40000.0;
-    options.seed = 808;
-    const auto report = RunSimulation(*layout, paper::Rates(), options);
-    VOD_CHECK_OK(report.status());
+  for (size_t i = 0; i < patiences.size(); ++i) {
+    const double patience = patiences[i];
+    const SimulationReport& report = reports[i][0];
 
     double p_skewed = *p_uniform;
     if (patience < 1e8) {
@@ -69,14 +80,14 @@ int main(int argc, char** argv) {
       p_skewed = *p;
     }
 
-    const double departures = static_cast<double>(report->abandonments +
-                                                  report->completions);
+    const double departures = static_cast<double>(report.abandonments +
+                                                  report.completions);
     table.AddRow({patience < 1e8 ? FormatDouble(patience, 0) : "inf",
                   FormatDouble(departures > 0
-                                   ? report->abandonments / departures
+                                   ? report.abandonments / departures
                                    : 0.0,
                                3),
-                  FormatDouble(report->hit_probability_in_partition, 4),
+                  FormatDouble(report.hit_probability_in_partition, 4),
                   FormatDouble(*p_uniform, 4), FormatDouble(p_skewed, 4)});
   }
 

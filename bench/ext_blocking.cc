@@ -14,6 +14,7 @@
 #include "common/flags.h"
 #include "common/table.h"
 #include "core/erlang.h"
+#include "exp/experiment.h"
 #include "sim/server.h"
 #include "sim/simulator.h"
 #include "workload/paper_presets.h"
@@ -42,59 +43,100 @@ int main(int argc, char** argv) {
   FlagSet flags("ext_blocking");
   flags.AddBool("csv", false, "emit CSV");
   flags.AddDouble("measure", 15000.0, "measured minutes");
+  AddExperimentFlags(&flags);
   VOD_CHECK_OK(flags.Parse(argc, argv));
 
   std::printf("Extension: shared VCR stream reserve vs blocking "
               "(3 movies, ~50%% buffer coverage, mixed VCR workload)\n\n");
 
-  // Offered load per policy: mean busy dedicated streams under unlimited
-  // supply (per movie, summed), which feeds the Erlang-B prediction.
-  double offered[2] = {0.0, 0.0};
+  const double measure = flags.GetDouble("measure");
+  const auto movies = Movies();
+  const auto experiment = ExperimentOptionsFromFlags(flags, /*base_seed=*/901);
+
+  // Stage 1 — offered load per policy: mean busy dedicated streams under
+  // unlimited supply (per movie, summed), which feeds the Erlang-B
+  // prediction.
+  struct OfferedPoint {
+    int piggyback = 0;
+    int movie = 0;
+  };
+  std::vector<OfferedPoint> offered_points;
   for (int pb = 0; pb < 2; ++pb) {
-    for (const auto& movie : Movies()) {
-      SimulationOptions options;
-      options.mean_interarrival_minutes = 1.0 / movie.arrival_rate_per_minute;
-      options.behavior = movie.behavior;
-      options.warmup_minutes = 1000.0;
-      options.measurement_minutes = flags.GetDouble("measure");
-      options.seed = 901;
-      options.piggyback.enabled = pb == 1;
-      options.piggyback.speed_delta = 0.05;
-      const auto report =
-          RunSimulation(movie.layout, paper::Rates(), options);
-      VOD_CHECK_OK(report.status());
-      offered[pb] += report->mean_dedicated_streams;
+    for (size_t m = 0; m < movies.size(); ++m) {
+      offered_points.push_back({pb, static_cast<int>(m)});
     }
+  }
+  const auto offered_reports = RunExperimentGrid(
+      offered_points, experiment,
+      [&](const OfferedPoint& point, const CellContext& context) {
+        const auto& movie = movies[point.movie];
+        SimulationOptions options;
+        options.mean_interarrival_minutes =
+            1.0 / movie.arrival_rate_per_minute;
+        options.behavior = movie.behavior;
+        options.warmup_minutes = 1000.0;
+        options.measurement_minutes = measure;
+        options.seed = context.seed;
+        options.piggyback.enabled = point.piggyback == 1;
+        options.piggyback.speed_delta = 0.05;
+        const auto report =
+            RunSimulation(movie.layout, paper::Rates(), options);
+        VOD_CHECK_OK(report.status());
+        return *report;
+      });
+  double offered[2] = {0.0, 0.0};
+  for (size_t i = 0; i < offered_points.size(); ++i) {
+    offered[offered_points[i].piggyback] +=
+        offered_reports[i][0].mean_dedicated_streams;
   }
   std::printf("offered load (Erlangs): %.1f without piggyback, %.1f with\n\n",
               offered[0], offered[1]);
 
+  // Stage 2 — the finite-reserve server grid.
+  struct ReservePoint {
+    bool piggyback = false;
+    int64_t reserve = 0;
+  };
+  std::vector<ReservePoint> reserve_points;
+  for (bool piggyback : {false, true}) {
+    for (int64_t reserve : {10, 20, 40, 80, 160, 320}) {
+      reserve_points.push_back({piggyback, reserve});
+    }
+  }
+  ExperimentOptions server_experiment = experiment;
+  server_experiment.base_seed = 555;
+  const auto server_reports = RunExperimentGrid(
+      reserve_points, server_experiment,
+      [&](const ReservePoint& point, const CellContext& context) {
+        ServerOptions options;
+        options.rates = paper::Rates();
+        options.dynamic_stream_reserve = point.reserve;
+        options.warmup_minutes = 1000.0;
+        options.measurement_minutes = measure;
+        options.seed = context.seed;
+        options.piggyback.enabled = point.piggyback;
+        options.piggyback.speed_delta = 0.05;
+        const auto report = RunServerSimulation(movies, options);
+        VOD_CHECK_OK(report.status());
+        return *report;
+      });
+
   TableWriter table({"reserve", "piggyback", "refusal prob", "Erlang-B pred",
                      "blocked FF/RW", "stalled resumes", "reserve mean use",
                      "reserve peak"});
-  for (bool piggyback : {false, true}) {
-    for (int64_t reserve : {10, 20, 40, 80, 160, 320}) {
-      ServerOptions options;
-      options.rates = paper::Rates();
-      options.dynamic_stream_reserve = reserve;
-      options.warmup_minutes = 1000.0;
-      options.measurement_minutes = flags.GetDouble("measure");
-      options.seed = 555;
-      options.piggyback.enabled = piggyback;
-      options.piggyback.speed_delta = 0.05;
-      const auto report = RunServerSimulation(Movies(), options);
-      VOD_CHECK_OK(report.status());
-      const auto predicted = ErlangBlockingProbability(
-          static_cast<int>(reserve), offered[piggyback ? 1 : 0]);
-      VOD_CHECK_OK(predicted.status());
-      table.AddRow({std::to_string(reserve), piggyback ? "on" : "off",
-                    FormatDouble(report->refusal_probability, 4),
-                    FormatDouble(*predicted, 4),
-                    std::to_string(report->total_blocked_vcr),
-                    std::to_string(report->total_stalls),
-                    FormatDouble(report->mean_reserve_in_use, 1),
-                    std::to_string(report->peak_reserve_in_use)});
-    }
+  for (size_t i = 0; i < reserve_points.size(); ++i) {
+    const ReservePoint& point = reserve_points[i];
+    const ServerReport& report = server_reports[i][0];
+    const auto predicted = ErlangBlockingProbability(
+        static_cast<int>(point.reserve), offered[point.piggyback ? 1 : 0]);
+    VOD_CHECK_OK(predicted.status());
+    table.AddRow({std::to_string(point.reserve), point.piggyback ? "on" : "off",
+                  FormatDouble(report.refusal_probability, 4),
+                  FormatDouble(*predicted, 4),
+                  std::to_string(report.total_blocked_vcr),
+                  std::to_string(report.total_stalls),
+                  FormatDouble(report.mean_reserve_in_use, 1),
+                  std::to_string(report.peak_reserve_in_use)});
   }
 
   if (flags.GetBool("csv")) {

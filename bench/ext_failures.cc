@@ -24,6 +24,7 @@
 #include "common/flags.h"
 #include "common/table.h"
 #include "core/erlang.h"
+#include "exp/experiment.h"
 #include "sim/server.h"
 #include "sim/simulator.h"
 #include "workload/paper_presets.h"
@@ -62,29 +63,47 @@ int main(int argc, char** argv) {
   flags.AddBool("csv", false, "emit CSV");
   flags.AddDouble("measure", 6000.0, "measured minutes");
   flags.AddDouble("deadline", 5.0, "queued-VCR retry deadline (minutes)");
+  AddExperimentFlags(&flags);
   VOD_CHECK_OK(flags.Parse(argc, argv));
 
   std::printf("Extension: disk failures vs graceful degradation "
               "(3 movies, reserve striped over %d disks, mixed VCR "
               "workload)\n\n", kDisks);
 
+  const double measure = flags.GetDouble("measure");
+  const double deadline = flags.GetDouble("deadline");
+  const auto movies = Movies();
+  const auto experiment = ExperimentOptionsFromFlags(flags, /*base_seed=*/901);
+
   // Offered load for the Erlang prediction: mean busy dedicated streams
   // under unlimited supply, summed over the movies (as in ext_blocking).
+  std::vector<int> movie_indices;
+  for (size_t m = 0; m < movies.size(); ++m) {
+    movie_indices.push_back(static_cast<int>(m));
+  }
+  const auto offered_reports = RunExperimentGrid(
+      movie_indices, experiment,
+      [&](int movie_index, const CellContext& context) {
+        const auto& movie = movies[movie_index];
+        SimulationOptions options;
+        options.mean_interarrival_minutes =
+            1.0 / movie.arrival_rate_per_minute;
+        options.behavior = movie.behavior;
+        options.warmup_minutes = 1000.0;
+        options.measurement_minutes = measure;
+        options.seed = context.seed;
+        const auto report =
+            RunSimulation(movie.layout, paper::Rates(), options);
+        VOD_CHECK_OK(report.status());
+        return *report;
+      });
   double offered = 0.0;
-  for (const auto& movie : Movies()) {
-    SimulationOptions options;
-    options.mean_interarrival_minutes = 1.0 / movie.arrival_rate_per_minute;
-    options.behavior = movie.behavior;
-    options.warmup_minutes = 1000.0;
-    options.measurement_minutes = flags.GetDouble("measure");
-    options.seed = 901;
-    const auto report = RunSimulation(movie.layout, paper::Rates(), options);
-    VOD_CHECK_OK(report.status());
-    offered += report->mean_dedicated_streams;
+  for (const auto& row : offered_reports) {
+    offered += row[0].mean_dedicated_streams;
   }
   std::printf("offered load: %.1f Erlangs\n\n", offered);
 
-  const FaultPoint kPoints[] = {
+  const std::vector<FaultPoint> fault_points = {
       {"fault-free", false, 0.0, 0.0},
       {"mtbf=1e12 mttr=120", true, 1e12, 120.0},   // -> fault-free
       {"mtbf=4000 mttr=1e-3", true, 4000.0, 1e-3}, // -> fault-free
@@ -92,61 +111,85 @@ int main(int argc, char** argv) {
       {"mtbf=4000 mttr=480", true, 4000.0, 480.0},
       {"mtbf=1000 mttr=480", true, 1000.0, 480.0},
   };
+  struct GridPoint {
+    const FaultPoint* fault;
+    int64_t reserve;
+  };
+  std::vector<GridPoint> grid;
+  for (const FaultPoint& point : fault_points) {
+    for (int64_t reserve : {20, 40, 80}) grid.push_back({&point, reserve});
+  }
+
+  ExperimentOptions server_experiment = experiment;
+  server_experiment.base_seed = 555;
+  const auto server_reports = RunExperimentGrid(
+      grid, server_experiment,
+      [&](const GridPoint& cell, const CellContext& context) {
+        const FaultPoint& point = *cell.fault;
+        ServerOptions options;
+        options.rates = paper::Rates();
+        options.dynamic_stream_reserve = cell.reserve;
+        options.warmup_minutes = 1000.0;
+        options.measurement_minutes = measure;
+        // Every fault point at a given reserve shares one seed: identical
+        // arrival/VCR streams are what let the mtbf=1e12 and mttr~0 rows
+        // reproduce the fault-free row exactly (the convergence check).
+        options.seed = CellSeed(server_experiment.base_seed,
+                                context.config_index % 3,
+                                context.replication);
+        options.degradation.enabled = true;
+        options.degradation.queue_deadline_minutes = deadline;
+        if (point.faults) {
+          options.faults.enabled = true;
+          options.faults.disks = kDisks;
+          options.faults.profile.mtbf_minutes = point.mtbf;
+          options.faults.profile.mttr_minutes = point.mttr;
+        }
+        const auto report = RunServerSimulation(movies, options);
+        VOD_CHECK_OK(report.status());
+        return *report;
+      });
 
   TableWriter table({"faults", "reserve", "avail", "p_refuse", "Erlang pred",
                      "blocked", "queued", "q-wait p99", "reclaims",
                      "degraded %", "recover mean", "accounting"});
   bool all_closed = true;
-  for (const FaultPoint& point : kPoints) {
-    for (int64_t reserve : {20, 40, 80}) {
-      ServerOptions options;
-      options.rates = paper::Rates();
-      options.dynamic_stream_reserve = reserve;
-      options.warmup_minutes = 1000.0;
-      options.measurement_minutes = flags.GetDouble("measure");
-      options.seed = 555;
-      options.degradation.enabled = true;
-      options.degradation.queue_deadline_minutes = flags.GetDouble("deadline");
-      if (point.faults) {
-        options.faults.enabled = true;
-        options.faults.disks = kDisks;
-        options.faults.profile.mtbf_minutes = point.mtbf;
-        options.faults.profile.mttr_minutes = point.mttr;
-      }
-      const auto report = RunServerSimulation(Movies(), options);
-      VOD_CHECK_OK(report.status());
-      const ResilienceReport& rz = report->resilience;
+  for (size_t i = 0; i < grid.size(); ++i) {
+    const FaultPoint& point = *grid[i].fault;
+    const int64_t reserve = grid[i].reserve;
+    const ServerReport& report = server_reports[i][0];
+    const ResilienceReport& rz = report.resilience;
 
-      const double availability =
-          point.faults ? options.faults.profile.StationaryAvailability() : 1.0;
-      const auto predicted = ErlangBlockingWithFailures(
-          kDisks, static_cast<int>(reserve / kDisks), offered, availability);
-      VOD_CHECK_OK(predicted.status());
+    DiskFaultProfile profile;
+    profile.mtbf_minutes = point.mtbf;
+    profile.mttr_minutes = point.mttr;
+    const double availability =
+        point.faults ? profile.StationaryAvailability() : 1.0;
+    const auto predicted = ErlangBlockingWithFailures(
+        kDisks, static_cast<int>(reserve / kDisks), offered, availability);
+    VOD_CHECK_OK(predicted.status());
 
-      const double horizon =
-          options.warmup_minutes + options.measurement_minutes;
-      const double degraded_fraction =
-          1.0 - rz.time_in_level[0] / horizon;
-      // Every queued request and every blocked FF/RW must be accounted for.
-      const bool queue_closed =
-          rz.vcr_queued ==
-          rz.vcr_queue_grants + rz.vcr_queue_expirations + rz.vcr_queue_pending;
-      const bool blocked_closed =
-          report->total_blocked_vcr == rz.vcr_denied + rz.vcr_queue_expirations;
-      all_closed = all_closed && queue_closed && blocked_closed;
+    const double horizon = 1000.0 + measure;
+    const double degraded_fraction = 1.0 - rz.time_in_level[0] / horizon;
+    // Every queued request and every blocked FF/RW must be accounted for.
+    const bool queue_closed =
+        rz.vcr_queued ==
+        rz.vcr_queue_grants + rz.vcr_queue_expirations + rz.vcr_queue_pending;
+    const bool blocked_closed =
+        report.total_blocked_vcr == rz.vcr_denied + rz.vcr_queue_expirations;
+    all_closed = all_closed && queue_closed && blocked_closed;
 
-      table.AddRow({point.label, std::to_string(reserve),
-                    FormatDouble(availability, 4),
-                    FormatDouble(report->refusal_probability, 4),
-                    FormatDouble(*predicted, 4),
-                    std::to_string(report->total_blocked_vcr),
-                    std::to_string(rz.vcr_queued),
-                    FormatDouble(rz.p99_queued_wait_minutes, 2),
-                    std::to_string(rz.forced_reclaims),
-                    FormatDouble(100.0 * degraded_fraction, 1),
-                    FormatDouble(rz.mean_recovery_minutes, 1),
-                    queue_closed && blocked_closed ? "closed" : "VIOLATED"});
-    }
+    table.AddRow({point.label, std::to_string(reserve),
+                  FormatDouble(availability, 4),
+                  FormatDouble(report.refusal_probability, 4),
+                  FormatDouble(*predicted, 4),
+                  std::to_string(report.total_blocked_vcr),
+                  std::to_string(rz.vcr_queued),
+                  FormatDouble(rz.p99_queued_wait_minutes, 2),
+                  std::to_string(rz.forced_reclaims),
+                  FormatDouble(100.0 * degraded_fraction, 1),
+                  FormatDouble(rz.mean_recovery_minutes, 1),
+                  queue_closed && blocked_closed ? "closed" : "VIOLATED"});
   }
 
   if (flags.GetBool("csv")) {

@@ -14,6 +14,7 @@
 #include "common/flags.h"
 #include "common/table.h"
 #include "core/piggyback.h"
+#include "exp/experiment.h"
 #include "sim/simulator.h"
 #include "workload/paper_presets.h"
 
@@ -23,6 +24,7 @@ int main(int argc, char** argv) {
   flags.AddInt64("streams", 40, "partition count n");
   flags.AddDouble("buffer", 40.0, "buffer minutes B (small => miss-heavy)");
   flags.AddBool("csv", false, "emit CSV");
+  AddExperimentFlags(&flags);
   VOD_CHECK_OK(flags.Parse(argc, argv));
 
   const auto layout = PartitionLayout::FromBuffer(
@@ -35,35 +37,44 @@ int main(int argc, char** argv) {
   std::printf("mixed VCR workload; 'streams' = mean dedicated streams "
               "pinned by VCR activity\n\n");
 
+  const std::vector<double> deltas = {0.0, 0.02, 0.05, 0.10, 0.20};
+  const auto reports = RunExperimentGrid(
+      deltas, ExperimentOptionsFromFlags(flags, /*base_seed=*/31),
+      [&](double delta, const CellContext& context) {
+        SimulationOptions options;
+        options.mean_interarrival_minutes = paper::kFig7MeanInterarrival;
+        options.behavior = paper::Fig7MixedBehavior();
+        options.warmup_minutes = 2000.0;
+        options.measurement_minutes = 30000.0;
+        options.seed = context.seed;
+        options.piggyback.enabled = delta > 0.0;
+        options.piggyback.speed_delta = delta > 0.0 ? delta : 0.05;
+        const auto report = RunSimulation(*layout, paper::Rates(), options);
+        VOD_CHECK_OK(report.status());
+        return *report;
+      });
+
   TableWriter table({"delta", "streams (mean)", "streams (peak)", "merges",
                      "mean merge (min)", "analytic w/(4*delta)", "misses"});
-  for (double delta : {0.0, 0.02, 0.05, 0.10, 0.20}) {
-    SimulationOptions options;
-    options.mean_interarrival_minutes = paper::kFig7MeanInterarrival;
-    options.behavior = paper::Fig7MixedBehavior();
-    options.warmup_minutes = 2000.0;
-    options.measurement_minutes = 30000.0;
-    options.seed = 31;
-    options.piggyback.enabled = delta > 0.0;
-    options.piggyback.speed_delta = delta > 0.0 ? delta : 0.05;
-    const auto report = RunSimulation(*layout, paper::Rates(), options);
-    VOD_CHECK_OK(report.status());
+  for (size_t i = 0; i < deltas.size(); ++i) {
+    const double delta = deltas[i];
+    const SimulationReport& report = reports[i][0];
 
     PiggybackOptions analytic_options;
     analytic_options.enabled = delta > 0.0;
-    analytic_options.speed_delta = options.piggyback.speed_delta;
+    analytic_options.speed_delta = delta > 0.0 ? delta : 0.05;
     const double analytic =
         delta > 0.0
             ? ExpectedPiggybackMergeMinutes(*layout, analytic_options)
             : 0.0;
 
     table.AddRow({FormatDouble(delta, 2),
-                  FormatDouble(report->mean_dedicated_streams, 2),
-                  FormatDouble(report->peak_dedicated_streams, 0),
-                  std::to_string(report->piggyback_merges),
-                  FormatDouble(report->mean_merge_minutes, 2),
+                  FormatDouble(report.mean_dedicated_streams, 2),
+                  FormatDouble(report.peak_dedicated_streams, 0),
+                  std::to_string(report.piggyback_merges),
+                  FormatDouble(report.mean_merge_minutes, 2),
                   delta > 0.0 ? FormatDouble(analytic, 2) : "-",
-                  std::to_string(report->misses)});
+                  std::to_string(report.misses)});
   }
 
   if (flags.GetBool("csv")) {

@@ -10,6 +10,16 @@ namespace vod {
 
 FlagSet::FlagSet(std::string program) : program_(std::move(program)) {}
 
+void FlagSet::Register(const std::string& name, Flag flag) {
+  const bool inserted = flags_.emplace(name, std::move(flag)).second;
+  if (!inserted) {
+    std::fprintf(stderr, "FlagSet(%s): duplicate flag --%s\n",
+                 program_.c_str(), name.c_str());
+  }
+  VOD_CHECK_MSG(inserted, "duplicate flag registration");
+  order_.push_back(name);
+}
+
 void FlagSet::AddInt64(const std::string& name, int64_t default_value,
                        const std::string& help) {
   Flag f;
@@ -17,8 +27,7 @@ void FlagSet::AddInt64(const std::string& name, int64_t default_value,
   f.help = help;
   f.int_value = default_value;
   f.default_text = std::to_string(default_value);
-  VOD_CHECK_MSG(flags_.emplace(name, std::move(f)).second, "duplicate flag");
-  order_.push_back(name);
+  Register(name, std::move(f));
 }
 
 void FlagSet::AddDouble(const std::string& name, double default_value,
@@ -30,8 +39,7 @@ void FlagSet::AddDouble(const std::string& name, double default_value,
   std::ostringstream os;
   os << default_value;
   f.default_text = os.str();
-  VOD_CHECK_MSG(flags_.emplace(name, std::move(f)).second, "duplicate flag");
-  order_.push_back(name);
+  Register(name, std::move(f));
 }
 
 void FlagSet::AddBool(const std::string& name, bool default_value,
@@ -41,8 +49,7 @@ void FlagSet::AddBool(const std::string& name, bool default_value,
   f.help = help;
   f.bool_value = default_value;
   f.default_text = default_value ? "true" : "false";
-  VOD_CHECK_MSG(flags_.emplace(name, std::move(f)).second, "duplicate flag");
-  order_.push_back(name);
+  Register(name, std::move(f));
 }
 
 void FlagSet::AddString(const std::string& name,
@@ -53,8 +60,7 @@ void FlagSet::AddString(const std::string& name,
   f.help = help;
   f.string_value = default_value;
   f.default_text = default_value;
-  VOD_CHECK_MSG(flags_.emplace(name, std::move(f)).second, "duplicate flag");
-  order_.push_back(name);
+  Register(name, std::move(f));
 }
 
 Status FlagSet::SetFromText(const std::string& name, const std::string& text) {
@@ -162,6 +168,10 @@ bool FlagSet::GetBool(const std::string& name) const {
 
 const std::string& FlagSet::GetString(const std::string& name) const {
   return Find(name, Type::kString).string_value;
+}
+
+bool FlagSet::Has(const std::string& name) const {
+  return flags_.find(name) != flags_.end();
 }
 
 bool FlagSet::WasSet(const std::string& name) const {

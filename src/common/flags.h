@@ -51,6 +51,9 @@ class FlagSet {
   /// True if the flag was explicitly present on the command line.
   bool WasSet(const std::string& name) const;
 
+  /// True if a flag with this name was registered (any type).
+  bool Has(const std::string& name) const;
+
   /// Renders the --help text.
   std::string Usage() const;
 
@@ -68,6 +71,10 @@ class FlagSet {
   };
 
   const Flag& Find(const std::string& name, Type type) const;
+  /// Registers `flag` under `name`; re-registering a name aborts (a
+  /// duplicate registration is always a programming error and would
+  /// silently shadow the first flag's default and help text).
+  void Register(const std::string& name, Flag flag);
   Status SetFromText(const std::string& name, const std::string& text);
 
   std::string program_;

@@ -1,11 +1,12 @@
 #include "common/logging.h"
 
+#include <atomic>
 #include <cstdio>
 
 namespace vod {
 
 namespace {
-LogLevel g_level = LogLevel::kWarning;
+std::atomic<LogLevel> g_level{LogLevel::kWarning};
 
 const char* LevelTag(LogLevel level) {
   switch (level) {
@@ -22,8 +23,10 @@ const char* LevelTag(LogLevel level) {
 }
 }  // namespace
 
-void SetLogLevel(LogLevel level) { g_level = level; }
-LogLevel GetLogLevel() { return g_level; }
+void SetLogLevel(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
+LogLevel GetLogLevel() { return g_level.load(std::memory_order_relaxed); }
 
 namespace internal {
 

@@ -1,9 +1,12 @@
 // Leveled logging to stderr.
 //
 // The library itself logs nothing at default verbosity; simulation drivers
-// and benches raise the level for progress reporting. Not thread-safe beyond
-// the atomicity of a single fprintf — the simulator is single-threaded by
-// design (a discrete-event simulation has one logical clock).
+// and benches raise the level for progress reporting. Each simulator world
+// remains single-threaded by design (a discrete-event simulation has one
+// logical clock), but the replication harness (src/exp) runs independent
+// worlds on a thread pool, so the verbosity level is atomic and concurrent
+// LogMessage calls are safe (each emits one fprintf, which glibc serializes
+// per stream; interleaving between lines is acceptable).
 
 #ifndef VOD_COMMON_LOGGING_H_
 #define VOD_COMMON_LOGGING_H_

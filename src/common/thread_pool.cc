@@ -1,0 +1,93 @@
+#include "common/thread_pool.h"
+
+#include "common/check.h"
+
+namespace vod {
+
+ThreadPool::ThreadPool(int num_threads) {
+  if (num_threads <= 1) return;  // inline mode
+  workers_.reserve(static_cast<size_t>(num_threads));
+  for (int i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  if (workers_.empty()) return;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    all_done_.wait(lock, [this] { return in_flight_ == 0; });
+    stopping_ = true;
+  }
+  task_ready_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  VOD_CHECK(task != nullptr);
+  if (workers_.empty()) {
+    task();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    VOD_CHECK_MSG(!stopping_, "Submit on a stopping ThreadPool");
+    queue_.push_back(std::move(task));
+    ++in_flight_;
+  }
+  task_ready_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  if (workers_.empty()) return;
+  std::unique_lock<std::mutex> lock(mu_);
+  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      task_ready_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ with a drained queue
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--in_flight_ == 0) all_done_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::ParallelFor(int64_t n,
+                             const std::function<void(int64_t)>& body) {
+  VOD_CHECK(n >= 0);
+  if (n == 0) return;
+  if (workers_.empty() || n == 1) {
+    for (int64_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+  // One claiming loop per worker; the atomic counter hands out indices so
+  // uneven cell durations self-balance without a stealing deque.
+  auto next = std::make_shared<std::atomic<int64_t>>(0);
+  const int spawned =
+      static_cast<int>(std::min<int64_t>(n, num_threads()));
+  for (int t = 0; t < spawned; ++t) {
+    Submit([next, n, &body] {
+      for (int64_t i = next->fetch_add(1); i < n; i = next->fetch_add(1)) {
+        body(i);
+      }
+    });
+  }
+  Wait();
+}
+
+int ThreadPool::DefaultParallelism() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+}  // namespace vod

@@ -1,0 +1,80 @@
+// Fixed-size worker pool for coarse-grained, embarrassingly parallel jobs.
+//
+// The discrete-event simulator stays single-threaded (one logical clock per
+// world); what parallelizes is *replication*: independent simulation cells
+// that share no mutable state. This pool is deliberately work-stealing-free —
+// tasks are pulled from one FIFO queue — because the experiment layer above
+// it (src/exp) guarantees determinism by construction (every cell's output
+// slot and RNG seed are fixed before execution), so scheduling order can
+// never leak into results.
+
+#ifndef VOD_COMMON_THREAD_POOL_H_
+#define VOD_COMMON_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace vod {
+
+/// \brief Fixed pool of worker threads with a single FIFO task queue.
+///
+/// A pool constructed with `num_threads <= 1` owns no threads at all: Submit
+/// and ParallelFor run the work inline on the calling thread. This makes
+/// `--threads=1` a true serial execution, not a one-worker pool, so
+/// single-threaded runs remain debuggable with plain stack traces.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (0 or 1 means inline execution).
+  explicit ThreadPool(int num_threads);
+
+  /// Drains the queue, then joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Worker count (0 when executing inline).
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// \brief Enqueues one task. Tasks must not throw.
+  ///
+  /// With an inline pool the task runs before Submit returns.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every task submitted so far has finished.
+  void Wait();
+
+  /// \brief Runs body(0) ... body(n-1), blocking until all complete.
+  ///
+  /// Work is distributed via a shared atomic index counter — each worker
+  /// repeatedly claims the next unclaimed index — so long and short
+  /// iterations balance without stealing. Iterations must be independent:
+  /// they may run concurrently and in any order. Determinism is the
+  /// *caller's* job (write to disjoint, pre-sized slots; derive randomness
+  /// from the index, never from thread identity).
+  void ParallelFor(int64_t n, const std::function<void(int64_t)>& body);
+
+  /// std::thread::hardware_concurrency with a floor of 1.
+  static int DefaultParallelism();
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable task_ready_;
+  std::condition_variable all_done_;
+  std::deque<std::function<void()>> queue_;
+  int64_t in_flight_ = 0;  // queued + currently executing
+  bool stopping_ = false;
+};
+
+}  // namespace vod
+
+#endif  // VOD_COMMON_THREAD_POOL_H_

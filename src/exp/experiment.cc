@@ -1,0 +1,54 @@
+#include "exp/experiment.h"
+
+#include <algorithm>
+
+#include "common/rng.h"
+
+namespace vod {
+
+uint64_t CellSeed(uint64_t base_seed, uint64_t config_index,
+                  uint64_t replication) {
+  // Same discipline as Rng::MakeChild: mix the parent seed with the stream
+  // identity through SplitMix64 so neighboring indices land in decorrelated
+  // states. Distinct non-commutative constants keep (config, replication)
+  // and (replication, config) apart.
+  SplitMix64 config_mixer(base_seed ^
+                          (config_index * 0x9E3779B97F4A7C15ULL));
+  const uint64_t config_stream = config_mixer.Next();
+  SplitMix64 cell_mixer(config_stream ^
+                        (replication * 0xC2B2AE3D27D4EB4FULL));
+  return cell_mixer.Next();
+}
+
+int ResolveThreadCount(int requested, int64_t cells) {
+  int threads = requested <= 0 ? ThreadPool::DefaultParallelism() : requested;
+  threads = static_cast<int>(
+      std::min<int64_t>(threads, std::max<int64_t>(cells, 1)));
+  return std::max(threads, 1);
+}
+
+void AddExperimentFlags(FlagSet* flags, bool with_replications) {
+  flags->AddInt64("threads", 0,
+                  "worker threads for the simulation sweep (0 = all cores, "
+                  "1 = serial); results are identical for every value");
+  if (with_replications) {
+    flags->AddInt64("replications", 1,
+                    "independent replications per configuration");
+  }
+}
+
+ExperimentOptions ExperimentOptionsFromFlags(const FlagSet& flags,
+                                             uint64_t base_seed) {
+  ExperimentOptions options;
+  options.threads = static_cast<int>(flags.GetInt64("threads"));
+  options.replications =
+      flags.Has("replications")
+          ? static_cast<int>(flags.GetInt64("replications"))
+          : 1;
+  options.base_seed = base_seed;
+  VOD_CHECK_MSG(options.replications >= 1,
+                "--replications must be >= 1");
+  return options;
+}
+
+}  // namespace vod

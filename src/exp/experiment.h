@@ -1,0 +1,113 @@
+// Parallel, deterministic experiment replication.
+//
+// Every validation artifact in this repo (the Figure-7 sweeps, the ablation
+// and extension benches, the model-vs-simulation test) runs a grid of
+// independent simulation cells: configurations × replications. This layer
+// fans those cells out over a fixed thread pool with a contract of
+// **bit-exact determinism independent of thread count**:
+//
+//   * each cell's RNG seed derives from its (config index, replication
+//     index) through the same SplitMix64 child-seed discipline the
+//     simulator uses internally — never from execution order;
+//   * each cell writes its outcome into a pre-sized slot owned by it alone;
+//   * workers share nothing mutable — every cell constructs its own
+//     simulator, metrics, and report, and reduction happens single-threaded
+//     after the pool drains.
+//
+// `--threads=1` and `--threads=N` therefore produce byte-identical tables
+// (tests/exp/determinism_threads_test.cc enforces this).
+
+#ifndef VOD_EXP_EXPERIMENT_H_
+#define VOD_EXP_EXPERIMENT_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "common/flags.h"
+#include "common/thread_pool.h"
+
+namespace vod {
+
+/// Knobs shared by every experiment grid.
+struct ExperimentOptions {
+  /// Worker threads; 0 means auto (hardware concurrency), 1 means serial.
+  /// The choice never affects results, only wall-clock.
+  int threads = 0;
+  /// Independent replications per configuration (>= 1).
+  int replications = 1;
+  /// Base seed the per-cell seeds derive from.
+  uint64_t base_seed = 20240707;
+};
+
+/// \brief Decorrelated seed for one (config, replication) cell.
+///
+/// Two SplitMix64 steps: base_seed and config_index mix into a per-config
+/// stream seed, then replication indexes into that stream. The mapping is a
+/// pure function of the three integers, so cells keep their randomness when
+/// the grid is re-run with a different thread count, a different subset of
+/// configs, or more replications appended.
+uint64_t CellSeed(uint64_t base_seed, uint64_t config_index,
+                  uint64_t replication);
+
+/// Identity of the cell a run function is executing.
+struct CellContext {
+  int config_index = 0;
+  int replication = 0;
+  uint64_t seed = 0;  ///< CellSeed(base_seed, config_index, replication)
+};
+
+/// Effective worker count: resolves `auto`, never more threads than cells.
+int ResolveThreadCount(int requested, int64_t cells);
+
+/// Registers the standard experiment flags (`--threads`, and optionally
+/// `--replications`) on a bench/tool flag set.
+void AddExperimentFlags(FlagSet* flags, bool with_replications = false);
+
+/// Reads the flags registered by AddExperimentFlags (a missing
+/// `--replications` flag yields 1).
+ExperimentOptions ExperimentOptionsFromFlags(const FlagSet& flags,
+                                             uint64_t base_seed);
+
+/// \brief Runs `run_cell` for every (config, replication) cell of the grid.
+///
+/// Returns outcomes indexed `[config][replication]` — positions are fixed
+/// up front, so the result is identical for any thread count. `run_cell`
+/// receives the config and a CellContext carrying the cell's derived seed;
+/// it must be thread-compatible (no shared mutable state) and its Outcome
+/// must be default-constructible and movable. Errors inside a cell should
+/// VOD_CHECK: a failed cell means a misconfigured grid, not a recoverable
+/// condition.
+template <typename Config, typename CellFn>
+auto RunExperimentGrid(const std::vector<Config>& configs,
+                       const ExperimentOptions& options, CellFn&& run_cell)
+    -> std::vector<std::vector<decltype(run_cell(
+        std::declval<const Config&>(), std::declval<const CellContext&>()))>> {
+  using Outcome = decltype(run_cell(std::declval<const Config&>(),
+                                    std::declval<const CellContext&>()));
+  VOD_CHECK_MSG(options.replications >= 1,
+                "ExperimentOptions.replications must be >= 1");
+  const int64_t reps = options.replications;
+  const int64_t cells = static_cast<int64_t>(configs.size()) * reps;
+  std::vector<std::vector<Outcome>> results(configs.size());
+  for (auto& row : results) row.resize(static_cast<size_t>(reps));
+  if (cells == 0) return results;
+
+  ThreadPool pool(ResolveThreadCount(options.threads, cells));
+  pool.ParallelFor(cells, [&](int64_t cell) {
+    const int c = static_cast<int>(cell / reps);
+    const int r = static_cast<int>(cell % reps);
+    const CellContext context{
+        c, r,
+        CellSeed(options.base_seed, static_cast<uint64_t>(c),
+                 static_cast<uint64_t>(r))};
+    results[static_cast<size_t>(c)][static_cast<size_t>(r)] =
+        run_cell(configs[static_cast<size_t>(c)], context);
+  });
+  return results;
+}
+
+}  // namespace vod
+
+#endif  // VOD_EXP_EXPERIMENT_H_

@@ -1,0 +1,65 @@
+#include "exp/replication.h"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "stats/batch_means.h"
+
+namespace vod {
+
+void ReplicationSummary::Add(const SimulationReport& report) {
+  ++count_;
+  hit_in_partition_.Add(report.hit_probability_in_partition);
+  hit_all_.Add(report.hit_probability);
+  mean_wait_.Add(report.mean_wait_minutes);
+  p99_wait_.Add(report.p99_wait_minutes);
+  dedicated_.Add(report.mean_dedicated_streams);
+  in_partition_resumes_ += report.in_partition_resumes;
+  total_resumes_ += report.total_resumes;
+}
+
+MetricSummary ReplicationSummary::Summarize(const RunningStats& stats) const {
+  MetricSummary summary;
+  summary.replications = stats.count();
+  summary.mean = stats.mean();
+  if (stats.count() >= 2) {
+    summary.half_width =
+        StudentT975(static_cast<int>(stats.count()) - 1) * stats.stddev() /
+        std::sqrt(static_cast<double>(stats.count()));
+  }
+  return summary;
+}
+
+std::string ReplicationSummary::ToString() const {
+  std::ostringstream os;
+  char line[160];
+  const auto row = [&](const char* label, const MetricSummary& m) {
+    std::snprintf(line, sizeof(line), "  %-28s %.6f ± %.6f\n", label, m.mean,
+                  m.half_width);
+    os << line;
+  };
+  std::snprintf(line, sizeof(line), "replications: %lld\n",
+                static_cast<long long>(count_));
+  os << line;
+  row("P(hit) in-partition", hit_probability_in_partition());
+  row("P(hit) all", hit_probability());
+  row("mean wait (min)", mean_wait_minutes());
+  row("p99 wait (min)", p99_wait_minutes());
+  row("mean dedicated streams", mean_dedicated_streams());
+  std::snprintf(line, sizeof(line),
+                "  %-28s %lld (in-partition %lld)\n", "total resumes",
+                static_cast<long long>(total_resumes_),
+                static_cast<long long>(in_partition_resumes_));
+  os << line;
+  return os.str();
+}
+
+ReplicationSummary SummarizeReplications(
+    const std::vector<SimulationReport>& reports) {
+  ReplicationSummary summary;
+  for (const auto& report : reports) summary.Add(report);
+  return summary;
+}
+
+}  // namespace vod

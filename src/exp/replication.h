@@ -1,0 +1,80 @@
+// Single-threaded reduction of per-replication simulation reports.
+//
+// The experiment runner hands back one SimulationReport per (config,
+// replication) cell; this reducer folds a config's replications into
+// cross-replication point estimates with Student-t confidence intervals.
+// Replications are independent by construction (decorrelated CellSeed
+// streams), so the t interval over replication means is statistically
+// honest — unlike within-run Wilson bounds, it needs no autocorrelation
+// correction.
+
+#ifndef VOD_EXP_REPLICATION_H_
+#define VOD_EXP_REPLICATION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.h"
+#include "stats/summary.h"
+
+namespace vod {
+
+/// Mean and 95% Student-t half-width of one metric over replications.
+struct MetricSummary {
+  double mean = 0.0;
+  double half_width = 0.0;  ///< 0 with fewer than 2 replications
+  int64_t replications = 0;
+
+  double lower() const { return mean - half_width; }
+  double upper() const { return mean + half_width; }
+};
+
+/// \brief Accumulates SimulationReports from replications of ONE config.
+///
+/// Add() is called from the single-threaded reducer after the pool drains;
+/// the class is intentionally not thread-safe (workers own their reports,
+/// merging is serial — thread-safety by construction, not by locking).
+class ReplicationSummary {
+ public:
+  void Add(const SimulationReport& report);
+
+  int64_t count() const { return count_; }
+
+  MetricSummary hit_probability_in_partition() const {
+    return Summarize(hit_in_partition_);
+  }
+  MetricSummary hit_probability() const { return Summarize(hit_all_); }
+  MetricSummary mean_wait_minutes() const { return Summarize(mean_wait_); }
+  MetricSummary p99_wait_minutes() const { return Summarize(p99_wait_); }
+  MetricSummary mean_dedicated_streams() const {
+    return Summarize(dedicated_);
+  }
+
+  int64_t total_in_partition_resumes() const { return in_partition_resumes_; }
+  int64_t total_resumes() const { return total_resumes_; }
+
+  /// One aligned block of every summarized metric, deterministic.
+  std::string ToString() const;
+
+ private:
+  MetricSummary Summarize(const RunningStats& stats) const;
+
+  int64_t count_ = 0;
+  RunningStats hit_in_partition_;
+  RunningStats hit_all_;
+  RunningStats mean_wait_;
+  RunningStats p99_wait_;
+  RunningStats dedicated_;
+  int64_t in_partition_resumes_ = 0;
+  int64_t total_resumes_ = 0;
+};
+
+/// Convenience: reduce one config's replication row as returned by
+/// RunExperimentGrid (results[config]).
+ReplicationSummary SummarizeReplications(
+    const std::vector<SimulationReport>& reports);
+
+}  // namespace vod
+
+#endif  // VOD_EXP_REPLICATION_H_

@@ -137,5 +137,30 @@ TEST(FlagsTest, HelpWithoutExitReturnsOk) {
                   .ok());
 }
 
+TEST(FlagsTest, HasReportsRegisteredFlags) {
+  FlagSet flags = MakeFlags();
+  EXPECT_TRUE(flags.Has("seed"));
+  EXPECT_TRUE(flags.Has("csv"));
+  EXPECT_FALSE(flags.Has("threads"));
+}
+
+TEST(FlagsDeathTest, DuplicateRegistrationAbortsLoudly) {
+  // Registering the same name twice is always a programming error (e.g. a
+  // bench defining --threads and then calling AddExperimentFlags); it must
+  // fail at startup with the offending name, not silently shadow a flag.
+  EXPECT_DEATH(
+      {
+        FlagSet flags = MakeFlags();
+        flags.AddInt64("seed", 0, "duplicate");
+      },
+      "duplicate flag");
+  EXPECT_DEATH(
+      {
+        FlagSet flags = MakeFlags();
+        flags.AddString("csv", "", "duplicate across types");
+      },
+      "duplicate flag");
+}
+
 }  // namespace
 }  // namespace vod

@@ -1,0 +1,101 @@
+// ThreadPool: inline mode, queue draining, and ParallelFor coverage.
+
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+namespace vod {
+namespace {
+
+TEST(ThreadPoolTest, InlinePoolOwnsNoThreads) {
+  ThreadPool pool0(0);
+  ThreadPool pool1(1);
+  EXPECT_EQ(pool0.num_threads(), 0);
+  EXPECT_EQ(pool1.num_threads(), 0);
+}
+
+TEST(ThreadPoolTest, InlineSubmitRunsBeforeReturning) {
+  ThreadPool pool(1);
+  int ran = 0;
+  pool.Submit([&] { ran = 1; });
+  // No Wait() needed: the inline pool executes on the calling thread.
+  EXPECT_EQ(ran, 1);
+}
+
+TEST(ThreadPoolTest, SubmitAndWaitRunsEveryTask) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&] { count.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.Wait();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsPendingTasks) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) {
+      pool.Submit([&] { count.fetch_add(1, std::memory_order_relaxed); });
+    }
+  }
+  EXPECT_EQ(count.load(), 50);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce) {
+  for (int threads : {1, 2, 4}) {
+    ThreadPool pool(threads);
+    const int64_t n = 1000;
+    std::vector<std::atomic<int>> hits(n);
+    for (auto& h : hits) h.store(0);
+    pool.ParallelFor(n, [&](int64_t i) {
+      hits[static_cast<size_t>(i)].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (int64_t i = 0; i < n; ++i) {
+      ASSERT_EQ(hits[static_cast<size_t>(i)].load(), 1)
+          << "index " << i << " with " << threads << " threads";
+    }
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForZeroIterationsIsANoOp) {
+  ThreadPool pool(4);
+  pool.ParallelFor(0, [](int64_t) { FAIL() << "body must not run"; });
+}
+
+TEST(ThreadPoolTest, ParallelForResultsIndependentOfThreadCount) {
+  // Disjoint-slot writes: the reduced value must not depend on scheduling.
+  const int64_t n = 500;
+  std::vector<int64_t> expected;
+  for (int threads : {1, 3, 8}) {
+    ThreadPool pool(threads);
+    std::vector<int64_t> out(static_cast<size_t>(n), 0);
+    pool.ParallelFor(n, [&](int64_t i) { out[static_cast<size_t>(i)] = i * i; });
+    if (expected.empty()) {
+      expected = out;
+    } else {
+      EXPECT_EQ(out, expected) << threads << " threads";
+    }
+  }
+}
+
+TEST(ThreadPoolTest, PoolIsReusableAcrossParallelForCalls) {
+  ThreadPool pool(3);
+  std::atomic<int64_t> sum{0};
+  pool.ParallelFor(10, [&](int64_t i) { sum.fetch_add(i); });
+  pool.ParallelFor(10, [&](int64_t i) { sum.fetch_add(i); });
+  EXPECT_EQ(sum.load(), 2 * 45);
+}
+
+TEST(ThreadPoolTest, DefaultParallelismIsAtLeastOne) {
+  EXPECT_GE(ThreadPool::DefaultParallelism(), 1);
+}
+
+}  // namespace
+}  // namespace vod

@@ -1,0 +1,153 @@
+// Golden-value regression suite for the paper's headline numbers.
+//
+// Unlike the structural tests (sizing_test, sizing_pipeline_test), these
+// lock the *exact* values this repository reproduces, so any drift in the
+// sizing constants, the hit model, or the duration presets fails loudly:
+//
+//   Example 1 (paper §5):  [(B, n)] = [(39, 360), (30, 60), (44.5, 182)],
+//                          ΣB = 113.5 buffer-minutes, Σn = 602 streams,
+//                          vs 1230 streams for pure batching.
+//   Our reproduction under the Figure-7(d) mix:
+//                          [(37.6, 374), (30.0, 60), (45.0, 180)],
+//                          ΣB = 112.6, Σn = 614 — movie 2 exact, movies 1/3
+//                          within the paper's 5-minute buffer step.
+//   Example 2 (paper §5):  C_b = $750/movie-minute, C_n = $70/stream,
+//                          10 streams per disk, φ = 75/7 ≈ 10.71 (the paper
+//                          rounds to 11).
+//
+// Analytic quantities are asserted exactly; anything the paper states but
+// our model derives under a (paper-unstated) operation mix is additionally
+// checked against a tolerance band around the paper's own figures.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/cost_model.h"
+#include "core/sizing.h"
+#include "workload/paper_presets.h"
+
+namespace vod {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Example 1 — the three-movie allocation.
+
+TEST(GoldenPaperResults, PureBatchingBaselineIs1230Streams) {
+  // Σ ⌈l_i / w_i⌉ = ⌈75/0.1⌉ + ⌈60/0.5⌉ + ⌈90/0.25⌉ = 750 + 120 + 360.
+  EXPECT_EQ(PureBatchingStreams(paper::Example1Movies()), 1230);
+}
+
+TEST(GoldenPaperResults, Example1MixedSizingExactGoldens) {
+  // The reproduction's own golden values under the Fig-7(d) mix. The stream
+  // counts are integers and locked exactly; each buffer follows from
+  // B = l − n·w, so it is locked through the same equality.
+  const auto movies = paper::Example1Movies(VcrMix::PaperMixed());
+
+  const auto m1 = MinimumBufferChoice(movies[0]);
+  ASSERT_TRUE(m1.ok()) << m1.status();
+  EXPECT_EQ(m1->streams, 374);
+  EXPECT_NEAR(m1->buffer_minutes, 75.0 - 374 * 0.1, 1e-9);
+
+  const auto m2 = MinimumBufferChoice(movies[1]);
+  ASSERT_TRUE(m2.ok()) << m2.status();
+  EXPECT_EQ(m2->streams, 60);
+  EXPECT_NEAR(m2->buffer_minutes, 60.0 - 60 * 0.5, 1e-9);
+
+  const auto m3 = MinimumBufferChoice(movies[2]);
+  ASSERT_TRUE(m3.ok()) << m3.status();
+  EXPECT_EQ(m3->streams, 180);
+  EXPECT_NEAR(m3->buffer_minutes, 90.0 - 180 * 0.25, 1e-9);
+}
+
+TEST(GoldenPaperResults, Example1MixedTotalsExactAndWithinPaperBands) {
+  const auto sized =
+      SizeSystem(paper::Example1Movies(VcrMix::PaperMixed()), 1230);
+  ASSERT_TRUE(sized.ok()) << sized.status();
+
+  // Exact goldens of this reproduction.
+  EXPECT_EQ(sized->total_streams, 614);
+  EXPECT_NEAR(sized->total_buffer_minutes, 112.6, 1e-9);
+
+  // Band around the paper's stated totals (ΣB = 113.5, Σn = 602): the
+  // residual is the paper's unstated mix and its 5-minute buffer step.
+  EXPECT_NEAR(sized->total_buffer_minutes, 113.5, 3.0);
+  EXPECT_NEAR(static_cast<double>(sized->total_streams), 602.0, 25.0);
+}
+
+TEST(GoldenPaperResults, Example1FastForwardOnlySizingExactGoldens) {
+  // The FF-only variant (the operation the paper actually derives) is the
+  // second reference point EXPERIMENTS.md documents; lock it too so a
+  // change to the FF hit model cannot hide behind the mixed workload.
+  const auto movies = paper::Example1Movies();
+
+  const auto m1 = MinimumBufferChoice(movies[0]);
+  ASSERT_TRUE(m1.ok()) << m1.status();
+  EXPECT_EQ(m1->streams, 419);
+  EXPECT_NEAR(m1->buffer_minutes, 75.0 - 419 * 0.1, 1e-9);
+
+  const auto m2 = MinimumBufferChoice(movies[1]);
+  ASSERT_TRUE(m2.ok()) << m2.status();
+  EXPECT_EQ(m2->streams, 65);
+  EXPECT_NEAR(m2->buffer_minutes, 60.0 - 65 * 0.5, 1e-9);
+
+  const auto m3 = MinimumBufferChoice(movies[2]);
+  ASSERT_TRUE(m3.ok()) << m3.status();
+  EXPECT_EQ(m3->streams, 184);
+  EXPECT_NEAR(m3->buffer_minutes, 90.0 - 184 * 0.25, 1e-9);
+
+  const auto sized = SizeSystem(movies, 1230);
+  ASSERT_TRUE(sized.ok()) << sized.status();
+  EXPECT_EQ(sized->total_streams, 668);
+  EXPECT_NEAR(sized->total_buffer_minutes, 104.6, 1e-9);
+}
+
+TEST(GoldenPaperResults, Example1EveryMovieMeetsItsHitTarget) {
+  // The golden allocations are only meaningful if they are feasible: each
+  // minimum-buffer choice must deliver P(hit) >= P* = 0.5.
+  for (const auto mix :
+       {VcrMix::Only(VcrOp::kFastForward), VcrMix::PaperMixed()}) {
+    for (const auto& spec : paper::Example1Movies(mix)) {
+      const auto choice = MinimumBufferChoice(spec);
+      ASSERT_TRUE(choice.ok()) << spec.name << ": " << choice.status();
+      EXPECT_GE(choice->hit_probability, spec.min_hit_probability)
+          << spec.name;
+      EXPECT_TRUE(choice->feasible) << spec.name;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Example 2 — the 1997 hardware cost arithmetic (all exact).
+
+TEST(GoldenPaperResults, Example2HardwareCostArithmetic) {
+  const HardwareCosts costs;
+  // $700 disk at 5 MB/s, $25/MB DRAM, 4 Mbps MPEG-2:
+  //   C_b = 60 s · 0.5 MB/s · $25/MB       = $750 per movie-minute
+  //   streams/disk = 5 / 0.5               = 10
+  //   C_n = $700 / 10                      = $70 per stream
+  //   φ   = 750 / 70                       = 75/7 ≈ 10.71  (paper: ~11)
+  EXPECT_DOUBLE_EQ(costs.BufferCostPerMovieMinute(), 750.0);
+  EXPECT_DOUBLE_EQ(costs.StreamsPerDisk(), 10.0);
+  EXPECT_DOUBLE_EQ(costs.StreamCost(), 70.0);
+  EXPECT_DOUBLE_EQ(costs.Phi(), 75.0 / 7.0);
+  EXPECT_EQ(std::lround(costs.Phi()), 11);
+}
+
+TEST(GoldenPaperResults, Example2AllocationCostClosesEq23) {
+  // Eq. 23 on the golden mixed allocation, both normalized and in dollars:
+  //   normalized = φ·ΣB + Σn = (75/7)·112.6 + 614
+  //   dollars    = C_n · normalized = 750·112.6 + 70·614
+  const auto sized =
+      SizeSystem(paper::Example1Movies(VcrMix::PaperMixed()), 1230);
+  ASSERT_TRUE(sized.ok()) << sized.status();
+
+  const HardwareCosts costs;
+  EXPECT_NEAR(AllocationCostNormalized(*sized, costs.Phi()),
+              (75.0 / 7.0) * 112.6 + 614.0, 1e-6);
+  EXPECT_NEAR(AllocationCostDollars(*sized, costs),
+              750.0 * 112.6 + 70.0 * 614.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace vod

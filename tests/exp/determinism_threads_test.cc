@@ -1,0 +1,138 @@
+// The replication harness's core contract: --threads=1 and --threads=N
+// produce byte-identical results. A Figure-7-sized sweep of single-movie
+// simulations and a server-simulation grid both run twice, serially and on
+// four workers, and every cell's ToString() must match byte for byte.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "exp/experiment.h"
+#include "exp/replication.h"
+#include "sim/server.h"
+#include "sim/simulator.h"
+#include "workload/paper_presets.h"
+
+namespace vod {
+namespace {
+
+struct SweepPoint {
+  double w;
+  int n;
+};
+
+std::vector<std::vector<std::string>> RunFig7Sweep(int threads) {
+  // A scaled-down Figure-7 grid: 6 configs x 2 replications = 12 cells,
+  // enough for workers to interleave on any schedule.
+  const std::vector<SweepPoint> points = {{0.5, 20}, {0.5, 60}, {1.0, 20},
+                                          {1.0, 60}, {2.0, 20}, {2.0, 50}};
+  ExperimentOptions options;
+  options.threads = threads;
+  options.replications = 2;
+  options.base_seed = 20240707;
+  return RunExperimentGrid(
+      points, options, [](const SweepPoint& point, const CellContext& context) {
+        const auto layout = PartitionLayout::FromMaxWait(
+            paper::kFig7MovieLength, point.n, point.w);
+        VOD_CHECK_OK(layout.status());
+        SimulationOptions sim;
+        sim.mean_interarrival_minutes = paper::kFig7MeanInterarrival;
+        sim.behavior = paper::Fig7MixedBehavior();
+        sim.warmup_minutes = 500.0;
+        sim.measurement_minutes = 4000.0;
+        sim.seed = context.seed;
+        const auto report = RunSimulation(*layout, paper::Rates(), sim);
+        VOD_CHECK_OK(report.status());
+        return report->ToString();
+      });
+}
+
+TEST(DeterminismThreadsTest, Fig7SweepIsByteIdenticalAcrossThreadCounts) {
+  const auto serial = RunFig7Sweep(1);
+  const auto parallel = RunFig7Sweep(4);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (size_t c = 0; c < serial.size(); ++c) {
+    ASSERT_EQ(serial[c].size(), parallel[c].size());
+    for (size_t r = 0; r < serial[c].size(); ++r) {
+      EXPECT_EQ(serial[c][r], parallel[c][r])
+          << "config " << c << " replication " << r;
+    }
+  }
+}
+
+std::vector<std::vector<std::string>> RunServerGrid(int threads) {
+  std::vector<ServerMovieSpec> movies;
+  const auto layout_a = PartitionLayout::FromBuffer(120.0, 40, 60.0);
+  const auto layout_b = PartitionLayout::FromBuffer(90.0, 30, 45.0);
+  VOD_CHECK_OK(layout_a.status());
+  VOD_CHECK_OK(layout_b.status());
+  movies.push_back({"top-1", *layout_a, 0.5, paper::Fig7MixedBehavior()});
+  movies.push_back({"top-2", *layout_b, 0.33, paper::Fig7MixedBehavior()});
+
+  const std::vector<int64_t> reserves = {20, 40, 80};
+  ExperimentOptions options;
+  options.threads = threads;
+  options.replications = 2;
+  options.base_seed = 555;
+  return RunExperimentGrid(
+      reserves, options, [&](int64_t reserve, const CellContext& context) {
+        ServerOptions server;
+        server.rates = paper::Rates();
+        server.dynamic_stream_reserve = reserve;
+        server.warmup_minutes = 500.0;
+        server.measurement_minutes = 3000.0;
+        server.seed = context.seed;
+        const auto report = RunServerSimulation(movies, server);
+        VOD_CHECK_OK(report.status());
+        return report->ToString();
+      });
+}
+
+TEST(DeterminismThreadsTest, ServerGridIsByteIdenticalAcrossThreadCounts) {
+  const auto serial = RunServerGrid(1);
+  const auto parallel = RunServerGrid(4);
+  EXPECT_EQ(serial, parallel);
+}
+
+TEST(DeterminismThreadsTest, ReplicationSummaryIsThreadCountInvariant) {
+  // End-to-end through the reducer: the Student-t summary string of each
+  // config's replications must also be identical.
+  const std::vector<int> ns = {20, 40};
+  for (int threads : {1, 4}) {
+    SCOPED_TRACE(threads);
+    ExperimentOptions options;
+    options.threads = threads;
+    options.replications = 3;
+    options.base_seed = 4242;
+    const auto grid = RunExperimentGrid(
+        ns, options, [](int n, const CellContext& context) {
+          const auto layout =
+              PartitionLayout::FromMaxWait(paper::kFig7MovieLength, n, 1.0);
+          VOD_CHECK_OK(layout.status());
+          SimulationOptions sim;
+          sim.mean_interarrival_minutes = paper::kFig7MeanInterarrival;
+          sim.behavior = paper::Fig7MixedBehavior();
+          sim.warmup_minutes = 500.0;
+          sim.measurement_minutes = 3000.0;
+          sim.seed = context.seed;
+          const auto report = RunSimulation(*layout, paper::Rates(), sim);
+          VOD_CHECK_OK(report.status());
+          return *report;
+        });
+    static std::vector<std::string> first_run;
+    std::vector<std::string> summaries;
+    for (const auto& row : grid) {
+      summaries.push_back(SummarizeReplications(row).ToString());
+    }
+    if (first_run.empty()) {
+      first_run = summaries;
+    } else {
+      EXPECT_EQ(summaries, first_run);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace vod

@@ -1,0 +1,82 @@
+// ReplicationSummary: Student-t reduction over per-replication reports.
+
+#include "exp/replication.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "stats/batch_means.h"
+
+namespace vod {
+namespace {
+
+SimulationReport MakeReport(double hit_in_partition, double hit_all,
+                            double mean_wait, int64_t resumes) {
+  SimulationReport report;
+  report.hit_probability_in_partition = hit_in_partition;
+  report.hit_probability = hit_all;
+  report.mean_wait_minutes = mean_wait;
+  report.p99_wait_minutes = 2.0 * mean_wait;
+  report.mean_dedicated_streams = 10.0;
+  report.in_partition_resumes = resumes;
+  report.total_resumes = resumes + 100;
+  return report;
+}
+
+TEST(ReplicationSummaryTest, SingleReplicationHasZeroHalfWidth) {
+  ReplicationSummary summary;
+  summary.Add(MakeReport(0.6, 0.5, 1.0, 1000));
+  EXPECT_EQ(summary.count(), 1);
+  const auto metric = summary.hit_probability_in_partition();
+  EXPECT_DOUBLE_EQ(metric.mean, 0.6);
+  EXPECT_DOUBLE_EQ(metric.half_width, 0.0);
+  EXPECT_EQ(metric.replications, 1);
+}
+
+TEST(ReplicationSummaryTest, MeanAndStudentTHalfWidth) {
+  const std::vector<double> values = {0.5, 0.6, 0.7};
+  ReplicationSummary summary;
+  for (double v : values) summary.Add(MakeReport(v, v, 1.0, 1000));
+
+  const auto metric = summary.hit_probability_in_partition();
+  EXPECT_NEAR(metric.mean, 0.6, 1e-12);
+  // Sample stddev of {0.5, 0.6, 0.7} is 0.1; t_{.975, 2 dof} scaled by
+  // 1/sqrt(3).
+  const double expected = StudentT975(2) * 0.1 / std::sqrt(3.0);
+  EXPECT_NEAR(metric.half_width, expected, 1e-9);
+  EXPECT_NEAR(metric.lower(), metric.mean - expected, 1e-9);
+  EXPECT_NEAR(metric.upper(), metric.mean + expected, 1e-9);
+}
+
+TEST(ReplicationSummaryTest, CountsAccumulateAcrossReplications) {
+  ReplicationSummary summary;
+  summary.Add(MakeReport(0.5, 0.5, 1.0, 300));
+  summary.Add(MakeReport(0.6, 0.6, 1.0, 400));
+  EXPECT_EQ(summary.total_in_partition_resumes(), 700);
+  EXPECT_EQ(summary.total_resumes(), 900);
+}
+
+TEST(ReplicationSummaryTest, SummarizeReplicationsMatchesManualAdds) {
+  const std::vector<SimulationReport> reports = {
+      MakeReport(0.4, 0.4, 1.0, 100), MakeReport(0.8, 0.8, 3.0, 200)};
+  const auto summary = SummarizeReplications(reports);
+  EXPECT_EQ(summary.count(), 2);
+  EXPECT_NEAR(summary.hit_probability_in_partition().mean, 0.6, 1e-12);
+  EXPECT_NEAR(summary.mean_wait_minutes().mean, 2.0, 1e-12);
+}
+
+TEST(ReplicationSummaryTest, ToStringIsDeterministic) {
+  ReplicationSummary a, b;
+  for (const auto& report :
+       {MakeReport(0.5, 0.5, 1.0, 300), MakeReport(0.6, 0.6, 2.0, 400)}) {
+    a.Add(report);
+    b.Add(report);
+  }
+  EXPECT_FALSE(a.ToString().empty());
+  EXPECT_EQ(a.ToString(), b.ToString());
+}
+
+}  // namespace
+}  // namespace vod

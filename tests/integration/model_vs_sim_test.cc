@@ -1,14 +1,24 @@
 // The paper's Section 4 validation: the analytic model must track the
 // discrete-event simulation for every VCR operation type and for the mixed
 // workload, across waiting-time targets and partition counts.
+//
+// All fourteen simulations are batched through one RunExperimentGrid call
+// and computed once (lazily, on first use), so the suite exercises the
+// replication harness's parallel scheduling while each test only checks its
+// own cell. The per-job seeds are pinned to their historical values — the
+// grid's derived context.seed is deliberately ignored — so the measured
+// numbers are bit-identical to the pre-harness suite.
 
 #include <gtest/gtest.h>
 
 #include <string>
+#include <vector>
 
+#include "common/check.h"
 #include "core/hit_model.h"
 #include "dist/exponential.h"
 #include "dist/gamma.h"
+#include "exp/experiment.h"
 #include "sim/simulator.h"
 #include "workload/paper_presets.h"
 
@@ -41,6 +51,99 @@ std::vector<ValidationCase> Cases() {
   };
 }
 
+// One simulation cell of the batched grid.
+struct SimJob {
+  PartitionLayout layout;
+  SimulationOptions options;
+};
+
+PartitionLayout Layout(int streams, double max_wait) {
+  const auto layout =
+      PartitionLayout::FromMaxWait(paper::kFig7MovieLength, streams, max_wait);
+  VOD_CHECK_OK(layout.status());
+  return *layout;
+}
+
+// Grid indices for the non-parameterized jobs (the parameterized validation
+// cases occupy [0, Cases().size())).
+enum : size_t {
+  kJobRewindSign = 9,
+  kJobMixed = 10,
+  kJobHeterogeneous = 11,
+  kJobInteractivityGap10 = 12,
+  kJobInteractivityGap40 = 13,
+};
+
+std::vector<SimJob> BuildJobs() {
+  std::vector<SimJob> jobs;
+  for (const ValidationCase& c : Cases()) {
+    SimJob job{Layout(c.streams, c.max_wait), {}};
+    job.options.mean_interarrival_minutes = paper::kFig7MeanInterarrival;
+    job.options.behavior = paper::Fig7SingleOpBehavior(c.op);
+    job.options.warmup_minutes = 2000.0;
+    job.options.measurement_minutes = 40000.0;
+    job.options.seed = 20240707;
+    jobs.push_back(std::move(job));
+  }
+
+  {  // kJobRewindSign
+    SimJob job{Layout(40, 1.0), {}};
+    job.options.behavior = paper::Fig7SingleOpBehavior(VcrOp::kRewind);
+    job.options.warmup_minutes = 2000.0;
+    job.options.measurement_minutes = 40000.0;
+    jobs.push_back(std::move(job));
+  }
+  {  // kJobMixed — Figure 7(d): P_FF = 0.2, P_RW = 0.2, P_PAU = 0.6.
+    SimJob job{Layout(40, 1.0), {}};
+    job.options.behavior = paper::Fig7MixedBehavior();
+    job.options.warmup_minutes = 2000.0;
+    job.options.measurement_minutes = 40000.0;
+    jobs.push_back(std::move(job));
+  }
+  {  // kJobHeterogeneous — a different duration distribution per operation.
+    SimJob job{Layout(40, 1.0), {}};
+    VcrDurations durations;
+    durations.fast_forward = std::make_shared<GammaDistribution>(2.0, 4.0);
+    durations.rewind = std::make_shared<ExponentialDistribution>(3.0);
+    durations.pause = std::make_shared<ExponentialDistribution>(12.0);
+    job.options.behavior.mix = VcrMix{0.3, 0.3, 0.4};
+    job.options.behavior.durations = durations;
+    job.options.behavior.interactivity = paper::DefaultInteractivity();
+    job.options.warmup_minutes = 2000.0;
+    job.options.measurement_minutes = 40000.0;
+    jobs.push_back(std::move(job));
+  }
+  for (double mean_gap : {10.0, 40.0}) {  // kJobInteractivityGap{10,40}
+    SimJob job{Layout(40, 1.0), {}};
+    job.options.behavior = paper::Fig7SingleOpBehavior(VcrOp::kPause);
+    job.options.behavior.interactivity =
+        std::make_shared<ExponentialDistribution>(mean_gap);
+    job.options.warmup_minutes = 2000.0;
+    job.options.measurement_minutes = 40000.0;
+    jobs.push_back(std::move(job));
+  }
+  return jobs;
+}
+
+const std::vector<SimulationReport>& AllReports() {
+  static const std::vector<SimulationReport>* const reports = [] {
+    ExperimentOptions experiment;
+    experiment.threads = 0;  // ThreadPool::DefaultParallelism()
+    const auto grid = RunExperimentGrid(
+        BuildJobs(), experiment,
+        [](const SimJob& job, const CellContext& /*context*/) {
+          const auto report =
+              RunSimulation(job.layout, paper::Rates(), job.options);
+          VOD_CHECK_OK(report.status());
+          return *report;
+        });
+    auto* flat = new std::vector<SimulationReport>();
+    for (const auto& row : grid) flat->push_back(row[0]);
+    return flat;
+  }();
+  return *reports;
+}
+
 class ModelVsSimTest : public ::testing::TestWithParam<ValidationCase> {};
 
 TEST_P(ModelVsSimTest, SimulationTracksModel) {
@@ -54,19 +157,16 @@ TEST_P(ModelVsSimTest, SimulationTracksModel) {
   const auto p_model = model->HitProbability(c.op, paper::Fig7Duration());
   ASSERT_TRUE(p_model.ok());
 
-  SimulationOptions options;
-  options.mean_interarrival_minutes = paper::kFig7MeanInterarrival;
-  options.behavior = paper::Fig7SingleOpBehavior(c.op);
-  options.warmup_minutes = 2000.0;
-  options.measurement_minutes = 40000.0;
-  options.seed = 20240707;
-  const auto report = RunSimulation(*layout, paper::Rates(), options);
-  ASSERT_TRUE(report.ok());
+  size_t index = 0;
+  const auto cases = Cases();
+  while (index < cases.size() && cases[index].label != c.label) ++index;
+  ASSERT_LT(index, cases.size());
+  const SimulationReport& report = AllReports()[index];
 
-  EXPECT_NEAR(report->hit_probability_in_partition, *p_model, c.tolerance)
+  EXPECT_NEAR(report.hit_probability_in_partition, *p_model, c.tolerance)
       << c.label << ": model=" << *p_model
-      << " sim=" << report->hit_probability_in_partition << " ("
-      << report->in_partition_resumes << " resumes)";
+      << " sim=" << report.hit_probability_in_partition << " ("
+      << report.in_partition_resumes << " resumes)";
 }
 
 INSTANTIATE_TEST_SUITE_P(Fig7, ModelVsSimTest, ::testing::ValuesIn(Cases()),
@@ -85,17 +185,10 @@ TEST(ModelVsSimTest, DiscrepancySignsMatchThePaper) {
       model->HitProbability(VcrOp::kRewind, paper::Fig7Duration());
   ASSERT_TRUE(p_model.ok());
 
-  SimulationOptions options;
-  options.behavior = paper::Fig7SingleOpBehavior(VcrOp::kRewind);
-  options.warmup_minutes = 2000.0;
-  options.measurement_minutes = 40000.0;
-  const auto report = RunSimulation(*layout, paper::Rates(), options);
-  ASSERT_TRUE(report.ok());
-  EXPECT_GT(report->hit_probability, *p_model);
+  EXPECT_GT(AllReports()[kJobRewindSign].hit_probability, *p_model);
 }
 
 TEST(ModelVsSimTest, MixedWorkloadMatches) {
-  // Figure 7(d): P_FF = 0.2, P_RW = 0.2, P_PAU = 0.6.
   const auto layout = PartitionLayout::FromMaxWait(120.0, 40, 1.0);
   ASSERT_TRUE(layout.ok());
   const auto model = AnalyticHitModel::Create(*layout, paper::Rates());
@@ -104,14 +197,9 @@ TEST(ModelVsSimTest, MixedWorkloadMatches) {
       VcrMix::PaperMixed(), VcrDurations::AllSame(paper::Fig7Duration()));
   ASSERT_TRUE(p_model.ok());
 
-  SimulationOptions options;
-  options.behavior = paper::Fig7MixedBehavior();
-  options.warmup_minutes = 2000.0;
-  options.measurement_minutes = 40000.0;
-  const auto report = RunSimulation(*layout, paper::Rates(), options);
-  ASSERT_TRUE(report.ok());
-  EXPECT_NEAR(report->hit_probability_in_partition, *p_model, 0.05);
-  EXPECT_GT(report->in_partition_resumes, 5000);
+  const SimulationReport& report = AllReports()[kJobMixed];
+  EXPECT_NEAR(report.hit_probability_in_partition, *p_model, 0.05);
+  EXPECT_GT(report.in_partition_resumes, 5000);
 }
 
 TEST(ModelVsSimTest, HeterogeneousPerOpDurationsMatch) {
@@ -131,37 +219,17 @@ TEST(ModelVsSimTest, HeterogeneousPerOpDurationsMatch) {
   const auto p_model = model->HitProbability(mix, durations);
   ASSERT_TRUE(p_model.ok());
 
-  SimulationOptions options;
-  options.behavior.mix = mix;
-  options.behavior.durations = durations;
-  options.behavior.interactivity = paper::DefaultInteractivity();
-  options.warmup_minutes = 2000.0;
-  options.measurement_minutes = 40000.0;
-  const auto report = RunSimulation(*layout, paper::Rates(), options);
-  ASSERT_TRUE(report.ok());
-  EXPECT_NEAR(report->hit_probability_in_partition, *p_model, 0.04);
+  const SimulationReport& report = AllReports()[kJobHeterogeneous];
+  EXPECT_NEAR(report.hit_probability_in_partition, *p_model, 0.04);
 }
 
 TEST(ModelVsSimTest, InteractivityRateBarelyMovesHitProbability) {
   // The model has no interactivity-rate parameter; the simulated hit
   // probability must be insensitive to it (it only changes how many resumes
   // are observed). This justifies our choice of the unstated constant.
-  const auto layout = PartitionLayout::FromMaxWait(120.0, 40, 1.0);
-  ASSERT_TRUE(layout.ok());
-  double estimates[2];
-  int idx = 0;
-  for (double mean_gap : {10.0, 40.0}) {
-    SimulationOptions options;
-    options.behavior = paper::Fig7SingleOpBehavior(VcrOp::kPause);
-    options.behavior.interactivity =
-        std::make_shared<ExponentialDistribution>(mean_gap);
-    options.warmup_minutes = 2000.0;
-    options.measurement_minutes = 40000.0;
-    const auto report = RunSimulation(*layout, paper::Rates(), options);
-    ASSERT_TRUE(report.ok());
-    estimates[idx++] = report->hit_probability_in_partition;
-  }
-  EXPECT_NEAR(estimates[0], estimates[1], 0.02);
+  EXPECT_NEAR(
+      AllReports()[kJobInteractivityGap10].hit_probability_in_partition,
+      AllReports()[kJobInteractivityGap40].hit_probability_in_partition, 0.02);
 }
 
 }  // namespace

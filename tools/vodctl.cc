@@ -14,11 +14,14 @@
 #include <iostream>
 #include <string>
 
+#include "common/check.h"
 #include "common/flags.h"
 #include "common/table.h"
 #include "core/cost_model.h"
 #include "core/hit_model.h"
 #include "core/sizing.h"
+#include "exp/experiment.h"
+#include "exp/replication.h"
 #include "sim/partition_schedule.h"
 #include "sim/server.h"
 #include "sim/simulator.h"
@@ -245,6 +248,7 @@ int SimulateCommand(int argc, char** argv) {
                   "(e.g. 4:2000:120); enables the server engine");
   flags.AddDouble("queue_deadline", 0.0, "queue dry-reserve VCR requests up "
                   "to this many minutes (0 = hard refusal)");
+  AddExperimentFlags(&flags, /*with_replications=*/true);
   const Status parsed = flags.Parse(argc, argv);
   if (!parsed.ok()) return Fail(parsed);
 
@@ -272,6 +276,34 @@ int SimulateCommand(int argc, char** argv) {
     options.piggyback.enabled = true;
     options.piggyback.speed_delta = flags.GetDouble("piggyback");
   }
+
+  const auto experiment = ExperimentOptionsFromFlags(
+      flags, static_cast<uint64_t>(flags.GetInt64("seed")));
+  if (experiment.replications > 1) {
+    // R decorrelated replications on the harness, then the Student-t
+    // reduction. (--replications=1 keeps the single run's own seed and its
+    // within-run Wilson/batch-means intervals, below.)
+    const std::vector<int> single_config = {0};
+    const auto reports = RunExperimentGrid(
+        single_config, experiment,
+        [&](int, const CellContext& context) {
+          SimulationOptions cell = options;
+          cell.seed = context.seed;
+          const auto report = RunSimulation(*layout, paper::Rates(), cell);
+          VOD_CHECK_OK(report.status());
+          return *report;
+        });
+    for (size_t r = 0; r < reports[0].size(); ++r) {
+      std::printf("replication %zu: P(hit) in-partition = %.4f "
+                  "(%lld resumes), mean wait = %.3f min\n",
+                  r, reports[0][r].hit_probability_in_partition,
+                  static_cast<long long>(reports[0][r].in_partition_resumes),
+                  reports[0][r].mean_wait_minutes);
+    }
+    std::printf("\n%s\n", SummarizeReplications(reports[0]).ToString().c_str());
+    return 0;
+  }
+
   const auto report = RunSimulation(*layout, paper::Rates(), options);
   if (!report.ok()) return Fail(report.status());
   std::printf("%s\n", report->ToString().c_str());
