@@ -31,6 +31,28 @@ void BM_SimulationRun(benchmark::State& state) {
 }
 BENCHMARK(BM_SimulationRun)->Arg(1000)->Arg(10000)->Unit(benchmark::kMillisecond);
 
+// Same workload with the invariant auditor at its default cadence; the
+// delta against BM_SimulationRun is the auditor's overhead (EXPERIMENTS.md
+// quotes it, and the acceptance bar is <= 5%).
+void BM_SimulationRunAudited(benchmark::State& state) {
+  const auto layout = PartitionLayout::FromMaxWait(120.0, 40, 1.0);
+  SimulationOptions options;
+  options.behavior = paper::Fig7MixedBehavior();
+  options.warmup_minutes = 100.0;
+  options.measurement_minutes = static_cast<double>(state.range(0));
+  options.audit.enabled = true;
+  uint64_t seed = 1;
+  for (auto _ : state) {
+    options.seed = seed++;
+    const auto report = RunSimulation(*layout, paper::Rates(), options);
+    benchmark::DoNotOptimize(report);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+  state.SetLabel("items = simulated minutes");
+}
+BENCHMARK(BM_SimulationRunAudited)
+    ->Arg(1000)->Arg(10000)->Unit(benchmark::kMillisecond);
+
 void BM_EventQueueScheduleRun(benchmark::State& state) {
   for (auto _ : state) {
     EventQueue q;

@@ -1,0 +1,271 @@
+// Chaos-soak harness for crash-recoverable experiment grids.
+//
+// The parent process runs a worker copy of this binary (fork + exec of
+// /proc/self/exe) over a fixed multi-configuration sweep, SIGKILLs it at a
+// randomized point mid-sweep, restarts it with --resume, and repeats for
+// --cycles kills before letting a final resume complete. The recovered
+// report must be byte-identical to a golden, uninterrupted run of the same
+// sweep — any lost cell, double-merged cell, or torn checkpoint shows up as
+// a byte difference or a failed resume. The kill schedule derives from
+// --seed, so a failing run is replayable.
+//
+// This is the out-of-process counterpart of
+// tests/exp/checkpoint_test.cc (which emulates kills in-process via
+// CheckpointOptions::max_cells) and of `vodctl soak` (which soaks the CLI).
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "common/flags.h"
+#include "common/rng.h"
+#include "core/partition_layout.h"
+#include "exp/checkpoint.h"
+#include "sim/simulator.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+#define SOAK_HAS_FORK 1
+#else
+#define SOAK_HAS_FORK 0
+#endif
+
+namespace vod {
+namespace {
+
+constexpr int64_t kConfigs = 2;  // two buffer budgets
+constexpr uint64_t kFingerprintSalt = 0xC4A5ED0C;
+
+void AddSweepFlags(FlagSet* flags) {
+  flags->AddInt64("replications", 6, "replications per configuration");
+  // Sized so a full sweep takes a few hundred ms: long enough that the
+  // default kill window interrupts it mid-flight, short enough for CI.
+  flags->AddDouble("measure", 100000.0, "measured minutes per replication");
+  flags->AddInt64("seed", 20240707, "base seed of the sweep");
+  flags->AddInt64("threads", 2, "worker threads inside the sweep");
+}
+
+SimulationReport RunSweepCell(double measure, const CellContext& context) {
+  auto layout = PartitionLayout::FromBuffer(
+      120.0, 6, 40.0 + 20.0 * context.config_index);
+  VOD_CHECK(layout.ok());
+  SimulationOptions options;
+  options.warmup_minutes = measure * 0.05;
+  options.measurement_minutes = measure;
+  options.seed = context.seed;
+  options.audit.enabled = true;  // the soak audits invariants throughout
+  auto report = RunSimulation(*layout, PlaybackRates{}, options);
+  VOD_CHECK_OK(report.status());
+  return *report;
+}
+
+uint64_t SweepFingerprint(const FlagSet& flags) {
+  std::ostringstream description;
+  description << "soak-crash-recovery-v1 configs=" << kConfigs
+              << " measure=" << flags.GetDouble("measure");
+  return HashGridDescription(description.str()) ^ kFingerprintSalt;
+}
+
+/// Worker mode: runs the (possibly resumed) checkpointed sweep to
+/// completion and writes the full grid report text to --report_out.
+int WorkerMain(const FlagSet& flags) {
+  ExperimentOptions experiment;
+  experiment.threads = static_cast<int>(flags.GetInt64("threads"));
+  experiment.replications = static_cast<int>(flags.GetInt64("replications"));
+  experiment.base_seed = static_cast<uint64_t>(flags.GetInt64("seed"));
+
+  CheckpointOptions checkpoint;
+  checkpoint.path = flags.GetString("checkpoint");
+  checkpoint.checkpoint_every = 1;  // maximum crash-surface per run
+  checkpoint.resume = flags.GetBool("resume");
+
+  const double measure = flags.GetDouble("measure");
+  auto result = RunCheckpointedReportGrid(
+      kConfigs, experiment, checkpoint, SweepFingerprint(flags),
+      [measure](const CellContext& context) {
+        return RunSweepCell(measure, context);
+      });
+  if (!result.ok()) {
+    std::fprintf(stderr, "worker: %s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  VOD_CHECK(result->complete);
+
+  std::ostringstream text;
+  for (int64_t c = 0; c < kConfigs; ++c) {
+    for (size_t r = 0; r < result->reports[c].size(); ++r) {
+      text << "config " << c << " rep " << r << ": "
+           << result->reports[c][r].ToString() << "\n";
+    }
+  }
+  std::ofstream out(flags.GetString("report_out"),
+                    std::ios::binary | std::ios::trunc);
+  out << text.str();
+  if (!out) {
+    std::fprintf(stderr, "worker: cannot write %s\n",
+                 flags.GetString("report_out").c_str());
+    return 1;
+  }
+  return 0;
+}
+
+#if SOAK_HAS_FORK
+
+/// Spawns this binary in worker mode; SIGKILLs it after `kill_after_ms`
+/// (< 0 = let it finish). Returns exit code, or -signal on signal death.
+int RunWorker(const std::vector<std::string>& args, int kill_after_ms) {
+  const pid_t pid = fork();
+  VOD_CHECK_MSG(pid >= 0, "fork failed");
+  if (pid == 0) {
+    std::vector<std::string> storage = args;
+    std::vector<char*> argv;
+    argv.push_back(const_cast<char*>("soak_crash_recovery"));
+    for (std::string& arg : storage) argv.push_back(arg.data());
+    argv.push_back(nullptr);
+    execv("/proc/self/exe", argv.data());
+    _exit(127);
+  }
+  if (kill_after_ms >= 0) {
+    usleep(static_cast<useconds_t>(kill_after_ms) * 1000);
+    kill(pid, SIGKILL);
+  }
+  int wstatus = 0;
+  VOD_CHECK_MSG(waitpid(pid, &wstatus, 0) >= 0, "waitpid failed");
+  return WIFSIGNALED(wstatus) ? -WTERMSIG(wstatus) : WEXITSTATUS(wstatus);
+}
+
+std::string ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  VOD_CHECK_MSG(in.good(), "missing report file");
+  std::ostringstream bytes;
+  bytes << in.rdbuf();
+  return bytes.str();
+}
+
+bool FileExists(const std::string& path) {
+  return std::ifstream(path).good();
+}
+
+int ParentMain(const FlagSet& flags) {
+  const std::string prefix = flags.GetString("prefix");
+  const std::string golden_path = prefix + ".golden";
+  const std::string report_path = prefix + ".report";
+  const std::string ckpt_path = prefix + ".ckpt";
+  std::remove(golden_path.c_str());
+  std::remove(report_path.c_str());
+  std::remove(ckpt_path.c_str());
+
+  const std::vector<std::string> sweep_args = {
+      "--worker",
+      "--replications=" + std::to_string(flags.GetInt64("replications")),
+      "--measure=" + std::to_string(flags.GetDouble("measure")),
+      "--seed=" + std::to_string(flags.GetInt64("seed")),
+      "--threads=" + std::to_string(flags.GetInt64("threads")),
+  };
+
+  std::printf("soak: golden uninterrupted run...\n");
+  std::vector<std::string> golden_args = sweep_args;
+  golden_args.push_back("--report_out=" + golden_path);
+  const int golden_exit = RunWorker(golden_args, /*kill_after_ms=*/-1);
+  if (golden_exit != 0) {
+    std::fprintf(stderr, "soak: golden run failed (exit %d)\n", golden_exit);
+    return 1;
+  }
+
+  Rng kill_rng(static_cast<uint64_t>(flags.GetInt64("seed")) ^
+               0x4B494C4Cull);  // "KILL"
+  const int64_t kill_min = flags.GetInt64("kill_min_ms");
+  const int64_t kill_span = flags.GetInt64("kill_max_ms") - kill_min + 1;
+  bool finished_early = false;
+  for (int64_t cycle = 0; cycle < flags.GetInt64("cycles"); ++cycle) {
+    std::vector<std::string> args = sweep_args;
+    args.push_back("--checkpoint=" + ckpt_path);
+    args.push_back("--report_out=" + report_path);
+    if (FileExists(ckpt_path)) args.push_back("--resume");
+    const int kill_after = static_cast<int>(
+        kill_min + static_cast<int64_t>(
+                       kill_rng.UniformInt(static_cast<uint64_t>(kill_span))));
+    const int exit_code = RunWorker(args, kill_after);
+    std::printf("soak: cycle %lld: SIGKILL scheduled at %d ms -> %s\n",
+                static_cast<long long>(cycle), kill_after,
+                exit_code == -SIGKILL
+                    ? "killed mid-sweep"
+                    : ("exit " + std::to_string(exit_code)).c_str());
+    if (exit_code == 0) {
+      finished_early = true;
+      break;
+    }
+    if (exit_code != -SIGKILL) {
+      std::fprintf(stderr, "soak: worker failed (exit %d), not killed\n",
+                   exit_code);
+      return 1;
+    }
+  }
+
+  if (!finished_early) {
+    std::vector<std::string> args = sweep_args;
+    args.push_back("--checkpoint=" + ckpt_path);
+    args.push_back("--report_out=" + report_path);
+    if (FileExists(ckpt_path)) args.push_back("--resume");
+    const int exit_code = RunWorker(args, /*kill_after_ms=*/-1);
+    if (exit_code != 0) {
+      std::fprintf(stderr, "soak: final resume failed (exit %d)\n",
+                   exit_code);
+      return 1;
+    }
+  }
+
+  const std::string golden = ReadFileBytes(golden_path);
+  const std::string recovered = ReadFileBytes(report_path);
+  if (golden != recovered) {
+    std::fprintf(stderr,
+                 "soak: FAIL — recovered report differs from golden\n"
+                 "--- golden ---\n%s--- recovered ---\n%s",
+                 golden.c_str(), recovered.c_str());
+    return 1;
+  }
+  std::printf("soak: PASS — recovered report byte-identical to golden "
+              "(%zu bytes)\n", golden.size());
+  std::remove(golden_path.c_str());
+  std::remove(report_path.c_str());
+  std::remove(ckpt_path.c_str());
+  return 0;
+}
+
+#endif  // SOAK_HAS_FORK
+
+int Main(int argc, char** argv) {
+  FlagSet flags("soak_crash_recovery");
+  AddSweepFlags(&flags);
+  flags.AddInt64("cycles", 3, "SIGKILL/resume cycles");
+  flags.AddInt64("kill_min_ms", 15, "earliest kill, ms after worker start");
+  flags.AddInt64("kill_max_ms", 300, "latest kill, ms after worker start");
+  flags.AddString("prefix", "soak_crash_recovery", "work-file prefix");
+  flags.AddBool("worker", false, "internal: run one sweep (worker mode)");
+  flags.AddString("checkpoint", "", "internal: worker checkpoint file");
+  flags.AddBool("resume", false, "internal: worker resumes --checkpoint");
+  flags.AddString("report_out", "", "internal: worker report file");
+  const Status parsed = flags.Parse(argc, argv);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "%s\n", parsed.ToString().c_str());
+    return 1;
+  }
+  if (flags.GetBool("worker")) return WorkerMain(flags);
+#if SOAK_HAS_FORK
+  return ParentMain(flags);
+#else
+  std::printf("soak: skipped — no fork/exec on this platform\n");
+  return 0;
+#endif
+}
+
+}  // namespace
+}  // namespace vod
+
+int main(int argc, char** argv) { return vod::Main(argc, argv); }

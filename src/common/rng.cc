@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "common/serialize.h"
 
 namespace vod {
 
@@ -96,6 +97,21 @@ double Rng::Gamma(double shape, double scale) {
 bool Rng::Bernoulli(double p) {
   VOD_DCHECK(p >= 0.0 && p <= 1.0);
   return Uniform01() < p;
+}
+
+void Rng::Snapshot(ByteWriter* out) const {
+  for (uint64_t word : s_) out->PutU64(word);
+  out->PutU64(seed_);
+}
+
+Status Rng::Restore(ByteReader* in) {
+  uint64_t words[4];
+  uint64_t seed;
+  for (auto& word : words) VOD_RETURN_IF_ERROR(in->ReadU64(&word));
+  VOD_RETURN_IF_ERROR(in->ReadU64(&seed));
+  for (int i = 0; i < 4; ++i) s_[i] = words[i];
+  seed_ = seed;
+  return Status::OK();
 }
 
 Rng Rng::MakeChild(uint64_t stream_class, uint64_t index) const {

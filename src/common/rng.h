@@ -11,7 +11,12 @@
 
 #include <cstdint>
 
+#include "common/status.h"
+
 namespace vod {
+
+class ByteWriter;
+class ByteReader;
 
 /// SplitMix64: tiny, high-quality 64-bit mixer. Used to expand a user seed
 /// into generator state and to derive decorrelated child seeds.
@@ -81,6 +86,15 @@ class Rng {
   /// the mapping from entity to randomness is stable across code changes:
   /// e.g. MakeChild(kArrivals, movie_id) or MakeChild(kViewer, viewer_id).
   Rng MakeChild(uint64_t stream_class, uint64_t index) const;
+
+  /// Appends the full generator state (xoshiro words + derivation seed) to
+  /// `out`; Restore reproduces the sequence and all MakeChild derivations
+  /// bit-exactly.
+  void Snapshot(ByteWriter* out) const;
+
+  /// Restores state written by Snapshot. On error (truncated input) the
+  /// generator is left unchanged.
+  Status Restore(ByteReader* in);
 
  private:
   uint64_t s_[4];

@@ -1,0 +1,266 @@
+#include "common/serialize.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include <array>
+
+// POSIX file plumbing for the atomic write-rename path.
+#include <fcntl.h>
+#include <unistd.h>
+
+namespace vod {
+
+namespace {
+
+// 8-byte magic: "VODSNAP" + format generation marker. Files that do not
+// start with this are not snapshots at all (vs. snapshots of another
+// version, which fail the explicit version check with a better message).
+constexpr char kMagic[8] = {'V', 'O', 'D', 'S', 'N', 'A', 'P', '\x01'};
+
+// Header layout: magic(8) version(4) payload_type(4) payload_size(8) crc(4).
+constexpr size_t kHeaderSize = 8 + 4 + 4 + 8 + 4;
+
+std::array<uint32_t, 256> BuildCrcTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+std::string ErrnoText() { return std::strerror(errno); }
+
+}  // namespace
+
+uint32_t Crc32(const void* data, size_t size) {
+  static const std::array<uint32_t, 256> table = BuildCrcTable();
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  uint32_t crc = 0xFFFFFFFFu;
+  for (size_t i = 0; i < size; ++i) {
+    crc = table[(crc ^ p[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+void ByteWriter::PutU32(uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    buf_.push_back(static_cast<char>((v >> (8 * i)) & 0xFFu));
+  }
+}
+
+void ByteWriter::PutU64(uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    buf_.push_back(static_cast<char>((v >> (8 * i)) & 0xFFu));
+  }
+}
+
+void ByteWriter::PutDouble(double v) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v), "double must be 64-bit");
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU64(bits);
+}
+
+void ByteWriter::PutString(const std::string& s) {
+  PutU32(static_cast<uint32_t>(s.size()));
+  buf_.append(s);
+}
+
+Status ByteReader::Take(size_t n, const uint8_t** out) {
+  if (size_ - pos_ < n) {
+    return Status::InvalidArgument(
+        "snapshot truncated: need " + std::to_string(n) + " bytes at offset " +
+        std::to_string(pos_) + ", have " + std::to_string(size_ - pos_));
+  }
+  *out = data_ + pos_;
+  pos_ += n;
+  return Status::OK();
+}
+
+Status ByteReader::ReadU8(uint8_t* out) {
+  const uint8_t* p;
+  VOD_RETURN_IF_ERROR(Take(1, &p));
+  *out = p[0];
+  return Status::OK();
+}
+
+Status ByteReader::ReadU32(uint32_t* out) {
+  const uint8_t* p;
+  VOD_RETURN_IF_ERROR(Take(4, &p));
+  uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) v = (v << 8) | p[i];
+  *out = v;
+  return Status::OK();
+}
+
+Status ByteReader::ReadU64(uint64_t* out) {
+  const uint8_t* p;
+  VOD_RETURN_IF_ERROR(Take(8, &p));
+  uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | p[i];
+  *out = v;
+  return Status::OK();
+}
+
+Status ByteReader::ReadI64(int64_t* out) {
+  uint64_t v;
+  VOD_RETURN_IF_ERROR(ReadU64(&v));
+  *out = static_cast<int64_t>(v);
+  return Status::OK();
+}
+
+Status ByteReader::ReadBool(bool* out) {
+  uint8_t v;
+  VOD_RETURN_IF_ERROR(ReadU8(&v));
+  if (v > 1) {
+    return Status::InvalidArgument("snapshot corrupt: bool byte is " +
+                                   std::to_string(v));
+  }
+  *out = v != 0;
+  return Status::OK();
+}
+
+Status ByteReader::ReadDouble(double* out) {
+  uint64_t bits;
+  VOD_RETURN_IF_ERROR(ReadU64(&bits));
+  std::memcpy(out, &bits, sizeof(bits));
+  return Status::OK();
+}
+
+Status ByteReader::ReadString(std::string* out) {
+  uint32_t len;
+  VOD_RETURN_IF_ERROR(ReadU32(&len));
+  const uint8_t* p;
+  VOD_RETURN_IF_ERROR(Take(len, &p));
+  out->assign(reinterpret_cast<const char*>(p), len);
+  return Status::OK();
+}
+
+Status WriteSnapshotFile(const std::string& path, SnapshotPayload payload_type,
+                         const std::string& payload) {
+  ByteWriter header;
+  for (char c : kMagic) header.PutU8(static_cast<uint8_t>(c));
+  header.PutU32(kSnapshotFormatVersion);
+  header.PutU32(static_cast<uint32_t>(payload_type));
+  header.PutU64(payload.size());
+  header.PutU32(Crc32(payload.data(), payload.size()));
+
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Status::Internal("snapshot open(" + tmp + ") failed: " +
+                            ErrnoText());
+  }
+  auto write_all = [fd](const std::string& bytes) {
+    size_t done = 0;
+    while (done < bytes.size()) {
+      const ssize_t n = ::write(fd, bytes.data() + done, bytes.size() - done);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return false;
+      }
+      done += static_cast<size_t>(n);
+    }
+    return true;
+  };
+  if (!write_all(header.bytes()) || !write_all(payload)) {
+    const std::string err = ErrnoText();
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return Status::Internal("snapshot write(" + tmp + ") failed: " + err);
+  }
+  // fsync before rename: the data must be durable before the name points at
+  // it, or a crash could publish a hole.
+  if (::fsync(fd) != 0) {
+    const std::string err = ErrnoText();
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return Status::Internal("snapshot fsync(" + tmp + ") failed: " + err);
+  }
+  if (::close(fd) != 0) {
+    const std::string err = ErrnoText();
+    ::unlink(tmp.c_str());
+    return Status::Internal("snapshot close(" + tmp + ") failed: " + err);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    const std::string err = ErrnoText();
+    ::unlink(tmp.c_str());
+    return Status::Internal("snapshot rename(" + tmp + " -> " + path +
+                            ") failed: " + err);
+  }
+  return Status::OK();
+}
+
+Result<std::string> ReadSnapshotFile(const std::string& path,
+                                     SnapshotPayload expected_type) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::NotFound("snapshot '" + path + "': " + ErrnoText());
+  }
+  std::string contents;
+  char chunk[1 << 16];
+  size_t n;
+  while ((n = std::fread(chunk, 1, sizeof(chunk), f)) > 0) {
+    contents.append(chunk, n);
+  }
+  const bool read_error = std::ferror(f) != 0;
+  std::fclose(f);
+  if (read_error) {
+    return Status::Internal("snapshot read('" + path + "') failed");
+  }
+
+  if (contents.size() < kHeaderSize) {
+    return Status::InvalidArgument(
+        "snapshot '" + path + "' truncated: " +
+        std::to_string(contents.size()) + " bytes, header needs " +
+        std::to_string(kHeaderSize));
+  }
+  if (std::memcmp(contents.data(), kMagic, sizeof(kMagic)) != 0) {
+    return Status::InvalidArgument("'" + path +
+                                   "' is not a VOD snapshot (bad magic)");
+  }
+  ByteReader reader(contents.data() + sizeof(kMagic),
+                    contents.size() - sizeof(kMagic));
+  uint32_t version, type, crc;
+  uint64_t payload_size;
+  VOD_RETURN_IF_ERROR(reader.ReadU32(&version));
+  VOD_RETURN_IF_ERROR(reader.ReadU32(&type));
+  VOD_RETURN_IF_ERROR(reader.ReadU64(&payload_size));
+  VOD_RETURN_IF_ERROR(reader.ReadU32(&crc));
+  if (version != kSnapshotFormatVersion) {
+    return Status::InvalidArgument(
+        "snapshot '" + path + "' has format version " +
+        std::to_string(version) + "; this binary reads version " +
+        std::to_string(kSnapshotFormatVersion));
+  }
+  if (type != static_cast<uint32_t>(expected_type)) {
+    return Status::InvalidArgument(
+        "snapshot '" + path + "' holds payload type " + std::to_string(type) +
+        ", expected " +
+        std::to_string(static_cast<uint32_t>(expected_type)));
+  }
+  const size_t actual_payload = contents.size() - kHeaderSize;
+  if (payload_size != actual_payload) {
+    return Status::InvalidArgument(
+        "snapshot '" + path + "' truncated or padded: header declares " +
+        std::to_string(payload_size) + " payload bytes, file carries " +
+        std::to_string(actual_payload));
+  }
+  std::string payload = contents.substr(kHeaderSize);
+  const uint32_t actual_crc = Crc32(payload.data(), payload.size());
+  if (actual_crc != crc) {
+    return Status::InvalidArgument(
+        "snapshot '" + path + "' failed its checksum (stored " +
+        std::to_string(crc) + ", computed " + std::to_string(actual_crc) +
+        "): the file is corrupted");
+  }
+  return payload;
+}
+
+}  // namespace vod

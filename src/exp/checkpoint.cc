@@ -1,0 +1,297 @@
+#include "exp/checkpoint.h"
+
+#include <algorithm>
+#include <mutex>
+
+#include "common/thread_pool.h"
+
+namespace vod {
+
+Status CheckpointOptions::Validate() const {
+  if (checkpoint_every < 1) {
+    return Status::InvalidArgument(
+        "checkpoint_every must be >= 1, got " +
+        std::to_string(checkpoint_every));
+  }
+  if (resume && path.empty()) {
+    return Status::InvalidArgument("resume requires a checkpoint path");
+  }
+  if (max_cells != -1 && max_cells < 0) {
+    return Status::InvalidArgument("max_cells must be -1 or >= 0");
+  }
+  return Status::OK();
+}
+
+void SerializeSimulationReport(const SimulationReport& r, ByteWriter* out) {
+  out->PutDouble(r.hit_probability);
+  out->PutDouble(r.hit_probability_low);
+  out->PutDouble(r.hit_probability_high);
+  for (double v : r.hit_probability_by_op) out->PutDouble(v);
+  for (int64_t v : r.resumes_by_op) out->PutI64(v);
+  out->PutDouble(r.hit_probability_in_partition);
+  out->PutDouble(r.hit_probability_in_partition_low);
+  out->PutDouble(r.hit_probability_in_partition_high);
+  out->PutDouble(r.hit_probability_in_partition_bm_halfwidth);
+  out->PutI64(r.in_partition_resumes);
+  out->PutI64(r.total_resumes);
+  out->PutI64(r.hits_within);
+  out->PutI64(r.hits_jump);
+  out->PutI64(r.end_releases);
+  out->PutI64(r.misses);
+  out->PutI64(r.admissions);
+  out->PutI64(r.type2_admissions);
+  out->PutI64(r.completions);
+  out->PutDouble(r.mean_wait_minutes);
+  out->PutDouble(r.max_wait_minutes);
+  out->PutDouble(r.p50_wait_minutes);
+  out->PutDouble(r.p99_wait_minutes);
+  out->PutDouble(r.mean_dedicated_streams);
+  out->PutDouble(r.peak_dedicated_streams);
+  out->PutDouble(r.mean_concurrent_viewers);
+  out->PutI64(r.piggyback_merges);
+  out->PutDouble(r.mean_merge_minutes);
+  out->PutI64(r.blocked_vcr_requests);
+  out->PutI64(r.stalled_resumes);
+  out->PutI64(r.queued_vcr_requests);
+  out->PutI64(r.forced_reclaims);
+  out->PutI64(r.abandonments);
+  out->PutDouble(r.simulated_minutes);
+}
+
+Status DeserializeSimulationReport(ByteReader* in, SimulationReport* r) {
+  VOD_RETURN_IF_ERROR(in->ReadDouble(&r->hit_probability));
+  VOD_RETURN_IF_ERROR(in->ReadDouble(&r->hit_probability_low));
+  VOD_RETURN_IF_ERROR(in->ReadDouble(&r->hit_probability_high));
+  for (double& v : r->hit_probability_by_op) {
+    VOD_RETURN_IF_ERROR(in->ReadDouble(&v));
+  }
+  for (int64_t& v : r->resumes_by_op) {
+    VOD_RETURN_IF_ERROR(in->ReadI64(&v));
+  }
+  VOD_RETURN_IF_ERROR(in->ReadDouble(&r->hit_probability_in_partition));
+  VOD_RETURN_IF_ERROR(in->ReadDouble(&r->hit_probability_in_partition_low));
+  VOD_RETURN_IF_ERROR(in->ReadDouble(&r->hit_probability_in_partition_high));
+  VOD_RETURN_IF_ERROR(
+      in->ReadDouble(&r->hit_probability_in_partition_bm_halfwidth));
+  VOD_RETURN_IF_ERROR(in->ReadI64(&r->in_partition_resumes));
+  VOD_RETURN_IF_ERROR(in->ReadI64(&r->total_resumes));
+  VOD_RETURN_IF_ERROR(in->ReadI64(&r->hits_within));
+  VOD_RETURN_IF_ERROR(in->ReadI64(&r->hits_jump));
+  VOD_RETURN_IF_ERROR(in->ReadI64(&r->end_releases));
+  VOD_RETURN_IF_ERROR(in->ReadI64(&r->misses));
+  VOD_RETURN_IF_ERROR(in->ReadI64(&r->admissions));
+  VOD_RETURN_IF_ERROR(in->ReadI64(&r->type2_admissions));
+  VOD_RETURN_IF_ERROR(in->ReadI64(&r->completions));
+  VOD_RETURN_IF_ERROR(in->ReadDouble(&r->mean_wait_minutes));
+  VOD_RETURN_IF_ERROR(in->ReadDouble(&r->max_wait_minutes));
+  VOD_RETURN_IF_ERROR(in->ReadDouble(&r->p50_wait_minutes));
+  VOD_RETURN_IF_ERROR(in->ReadDouble(&r->p99_wait_minutes));
+  VOD_RETURN_IF_ERROR(in->ReadDouble(&r->mean_dedicated_streams));
+  VOD_RETURN_IF_ERROR(in->ReadDouble(&r->peak_dedicated_streams));
+  VOD_RETURN_IF_ERROR(in->ReadDouble(&r->mean_concurrent_viewers));
+  VOD_RETURN_IF_ERROR(in->ReadI64(&r->piggyback_merges));
+  VOD_RETURN_IF_ERROR(in->ReadDouble(&r->mean_merge_minutes));
+  VOD_RETURN_IF_ERROR(in->ReadI64(&r->blocked_vcr_requests));
+  VOD_RETURN_IF_ERROR(in->ReadI64(&r->stalled_resumes));
+  VOD_RETURN_IF_ERROR(in->ReadI64(&r->queued_vcr_requests));
+  VOD_RETURN_IF_ERROR(in->ReadI64(&r->forced_reclaims));
+  VOD_RETURN_IF_ERROR(in->ReadI64(&r->abandonments));
+  VOD_RETURN_IF_ERROR(in->ReadDouble(&r->simulated_minutes));
+  return Status::OK();
+}
+
+uint64_t HashGridDescription(const std::string& description) {
+  uint64_t h = 0xCBF29CE484222325ull;  // FNV-1a offset basis
+  for (unsigned char c : description) {
+    h ^= c;
+    h *= 0x100000001B3ull;  // FNV prime
+  }
+  return h;
+}
+
+int64_t GridCheckpoint::cells_done() const {
+  int64_t n = 0;
+  for (bool d : done) {
+    if (d) ++n;
+  }
+  return n;
+}
+
+Status SaveGridCheckpoint(const std::string& path,
+                          const GridCheckpoint& checkpoint) {
+  if (checkpoint.configs < 1 || checkpoint.replications < 1) {
+    return Status::InvalidArgument("checkpoint grid must be non-empty");
+  }
+  const size_t cells = static_cast<size_t>(checkpoint.cells());
+  if (checkpoint.done.size() != cells || checkpoint.reports.size() != cells) {
+    return Status::InvalidArgument(
+        "checkpoint state size disagrees with its grid shape");
+  }
+  ByteWriter payload;
+  payload.PutU64(checkpoint.fingerprint);
+  payload.PutU64(checkpoint.base_seed);
+  payload.PutI64(checkpoint.configs);
+  payload.PutI64(checkpoint.replications);
+  // Packed done bitmap, LSB-first within each byte.
+  for (size_t base = 0; base < cells; base += 8) {
+    uint8_t bits = 0;
+    for (size_t i = 0; i < 8 && base + i < cells; ++i) {
+      if (checkpoint.done[base + i]) bits |= static_cast<uint8_t>(1u << i);
+    }
+    payload.PutU8(bits);
+  }
+  for (size_t cell = 0; cell < cells; ++cell) {
+    if (checkpoint.done[cell]) {
+      SerializeSimulationReport(checkpoint.reports[cell], &payload);
+    }
+  }
+  return WriteSnapshotFile(path, SnapshotPayload::kExperimentGrid,
+                           payload.bytes());
+}
+
+Result<GridCheckpoint> LoadGridCheckpoint(const std::string& path) {
+  VOD_ASSIGN_OR_RETURN(
+      const std::string payload,
+      ReadSnapshotFile(path, SnapshotPayload::kExperimentGrid));
+  ByteReader in(payload);
+  GridCheckpoint checkpoint;
+  VOD_RETURN_IF_ERROR(in.ReadU64(&checkpoint.fingerprint));
+  VOD_RETURN_IF_ERROR(in.ReadU64(&checkpoint.base_seed));
+  VOD_RETURN_IF_ERROR(in.ReadI64(&checkpoint.configs));
+  VOD_RETURN_IF_ERROR(in.ReadI64(&checkpoint.replications));
+  if (checkpoint.configs < 1 || checkpoint.replications < 1 ||
+      checkpoint.configs > (int64_t{1} << 20) ||
+      checkpoint.replications > (int64_t{1} << 20)) {
+    return Status::InvalidArgument(
+        "checkpoint '" + path + "' declares an implausible grid shape (" +
+        std::to_string(checkpoint.configs) + " x " +
+        std::to_string(checkpoint.replications) + ")");
+  }
+  const size_t cells = static_cast<size_t>(checkpoint.cells());
+  checkpoint.done.assign(cells, false);
+  checkpoint.reports.assign(cells, SimulationReport{});
+  for (size_t base = 0; base < cells; base += 8) {
+    uint8_t bits = 0;
+    VOD_RETURN_IF_ERROR(in.ReadU8(&bits));
+    for (size_t i = 0; i < 8 && base + i < cells; ++i) {
+      checkpoint.done[base + i] = (bits >> i) & 1u;
+    }
+  }
+  for (size_t cell = 0; cell < cells; ++cell) {
+    if (checkpoint.done[cell]) {
+      VOD_RETURN_IF_ERROR(
+          DeserializeSimulationReport(&in, &checkpoint.reports[cell]));
+    }
+  }
+  if (!in.AtEnd()) {
+    return Status::InvalidArgument(
+        "checkpoint '" + path + "' carries " +
+        std::to_string(in.remaining()) +
+        " unexpected trailing byte(s) after the last report");
+  }
+  return checkpoint;
+}
+
+Result<CheckpointedGridResult> RunCheckpointedReportGrid(
+    int64_t num_configs, const ExperimentOptions& options,
+    const CheckpointOptions& checkpoint_options, uint64_t grid_fingerprint,
+    const std::function<SimulationReport(const CellContext&)>& run_cell) {
+  if (num_configs < 1) {
+    return Status::InvalidArgument("grid needs at least one configuration");
+  }
+  if (options.replications < 1) {
+    return Status::InvalidArgument("grid needs at least one replication");
+  }
+  VOD_RETURN_IF_ERROR(checkpoint_options.Validate());
+  const int64_t reps = options.replications;
+  const int64_t cells = num_configs * reps;
+
+  GridCheckpoint state;
+  state.fingerprint = grid_fingerprint;
+  state.base_seed = options.base_seed;
+  state.configs = num_configs;
+  state.replications = reps;
+  state.done.assign(static_cast<size_t>(cells), false);
+  state.reports.assign(static_cast<size_t>(cells), SimulationReport{});
+
+  CheckpointedGridResult result;
+  if (checkpoint_options.resume) {
+    VOD_ASSIGN_OR_RETURN(GridCheckpoint loaded,
+                         LoadGridCheckpoint(checkpoint_options.path));
+    if (loaded.fingerprint != grid_fingerprint ||
+        loaded.base_seed != options.base_seed ||
+        loaded.configs != num_configs || loaded.replications != reps) {
+      return Status::InvalidArgument(
+          "checkpoint '" + checkpoint_options.path +
+          "' was written by a different experiment (fingerprint/seed/shape "
+          "mismatch); refusing to merge its cells");
+    }
+    state = std::move(loaded);
+    result.cells_restored = state.cells_done();
+  }
+
+  // Pending cells in grid order; truncated when crash emulation asks for an
+  // early stop. Order only affects scheduling — every cell owns its slot.
+  std::vector<int64_t> pending;
+  pending.reserve(static_cast<size_t>(cells));
+  for (int64_t cell = 0; cell < cells; ++cell) {
+    if (!state.done[static_cast<size_t>(cell)]) pending.push_back(cell);
+  }
+  const bool stopping_early =
+      checkpoint_options.max_cells >= 0 &&
+      static_cast<int64_t>(pending.size()) > checkpoint_options.max_cells;
+  if (stopping_early) {
+    pending.resize(static_cast<size_t>(checkpoint_options.max_cells));
+  }
+
+  Status save_failure = Status::OK();
+  if (!pending.empty()) {
+    std::mutex mu;
+    int64_t completed_since_save = 0;
+    ThreadPool pool(ResolveThreadCount(
+        options.threads, static_cast<int64_t>(pending.size())));
+    pool.ParallelFor(
+        static_cast<int64_t>(pending.size()), [&](int64_t index) {
+          const int64_t cell = pending[static_cast<size_t>(index)];
+          const int c = static_cast<int>(cell / reps);
+          const int r = static_cast<int>(cell % reps);
+          const CellContext context{
+              c, r,
+              CellSeed(options.base_seed, static_cast<uint64_t>(c),
+                       static_cast<uint64_t>(r))};
+          SimulationReport report = run_cell(context);
+          std::lock_guard<std::mutex> lock(mu);
+          state.reports[static_cast<size_t>(cell)] = std::move(report);
+          state.done[static_cast<size_t>(cell)] = true;
+          ++result.cells_run;
+          if (checkpoint_options.path.empty()) return;
+          if (++completed_since_save >= checkpoint_options.checkpoint_every) {
+            completed_since_save = 0;
+            const Status saved =
+                SaveGridCheckpoint(checkpoint_options.path, state);
+            if (!saved.ok() && save_failure.ok()) save_failure = saved;
+          }
+        });
+  }
+  VOD_RETURN_IF_ERROR(save_failure);
+
+  // Publish the final state (also covers runs shorter than one cadence).
+  if (!checkpoint_options.path.empty()) {
+    VOD_RETURN_IF_ERROR(SaveGridCheckpoint(checkpoint_options.path, state));
+  }
+
+  result.complete = !stopping_early;
+  if (result.complete) {
+    result.reports.resize(static_cast<size_t>(num_configs));
+    for (int64_t c = 0; c < num_configs; ++c) {
+      auto& row = result.reports[static_cast<size_t>(c)];
+      row.reserve(static_cast<size_t>(reps));
+      for (int64_t r = 0; r < reps; ++r) {
+        row.push_back(std::move(state.reports[static_cast<size_t>(c * reps + r)]));
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace vod

@@ -1,0 +1,224 @@
+#include "sim/audit.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace vod {
+
+namespace {
+// Slack for divisible (double) buffer accounting; stream counts are exact.
+constexpr double kBufferEps = 1e-9;
+}  // namespace
+
+AuditSnapshot::MovieBuffers BuildMovieAuditBuffers(
+    const std::string& name, const PartitionLayout& layout) {
+  AuditSnapshot::MovieBuffers buffers;
+  buffers.name = name;
+  buffers.budget = layout.buffer_minutes();
+  buffers.partitions.reserve(static_cast<size_t>(layout.streams()));
+  for (int k = 0; k < layout.streams(); ++k) {
+    buffers.partitions.push_back(
+        {k * layout.restart_period(), layout.window()});
+  }
+  return buffers;
+}
+
+Status AuditOptions::Validate() const {
+  if (every_events < 1) {
+    return Status::InvalidArgument("audit.every_events must be >= 1, got " +
+                                   std::to_string(every_events));
+  }
+  if (trace_tail < 0) {
+    return Status::InvalidArgument("audit.trace_tail must be >= 0");
+  }
+  return Status::OK();
+}
+
+InvariantAuditor::InvariantAuditor(const AuditOptions& options)
+    : options_(options) {
+  recent_.reserve(static_cast<size_t>(std::max(options_.trace_tail, 0)));
+}
+
+void InvariantAuditor::RecordEvent(double t) {
+  ++events_seen_;
+  ++events_since_audit_;
+  if (options_.trace_tail <= 0) return;
+  const auto entry =
+      std::make_pair(static_cast<uint64_t>(events_seen_), t);
+  if (recent_.size() < static_cast<size_t>(options_.trace_tail)) {
+    recent_.push_back(entry);
+  } else {
+    recent_[recent_next_] = entry;
+    recent_next_ = (recent_next_ + 1) % recent_.size();
+  }
+}
+
+void InvariantAuditor::AddViolation(double t, const char* invariant,
+                                    std::string detail) {
+  ++total_violations_;
+  if (static_cast<int64_t>(violations_.size()) < kMaxRecorded) {
+    AuditViolation v;
+    v.time = t;
+    v.event_index = static_cast<uint64_t>(events_seen_);
+    v.invariant = invariant;
+    v.detail = std::move(detail);
+    violations_.push_back(std::move(v));
+  }
+}
+
+std::string InvariantAuditor::TraceTail() const {
+  if (recent_.empty()) return "(no event trace)";
+  std::ostringstream os;
+  os << "last " << recent_.size() << " events:";
+  // The ring's oldest entry sits at recent_next_ once it has wrapped.
+  const size_t n = recent_.size();
+  const size_t start =
+      recent_.size() < static_cast<size_t>(options_.trace_tail)
+          ? 0
+          : recent_next_;
+  for (size_t i = 0; i < n; ++i) {
+    const auto& [index, time] = recent_[(start + i) % n];
+    os << " #" << index << "@t=" << time;
+  }
+  return os.str();
+}
+
+void InvariantAuditor::Audit(const AuditSnapshot& s) {
+  events_since_audit_ = 0;
+  ++audits_run_;
+  const double t = s.time;
+
+  // --- stream counters -----------------------------------------------------
+  if (s.supplier_in_use < 0 || s.sum_world_holds < 0) {
+    AddViolation(t, "negative-streams",
+                 "supplier in_use=" + std::to_string(s.supplier_in_use) +
+                     ", world holds=" + std::to_string(s.sum_world_holds) +
+                     " (a stream was released twice)");
+  }
+  if (s.supplier_in_use != s.sum_world_holds) {
+    AddViolation(
+        t, "stream-conservation",
+        "supplier believes " + std::to_string(s.supplier_in_use) +
+            " streams are out, the movie worlds hold " +
+            std::to_string(s.sum_world_holds) +
+            " (a stream was leaked or double-held)");
+  }
+  if (s.supplier_capacity >= 0) {
+    if (s.nominal_capacity >= 0 && s.supplier_capacity > s.nominal_capacity) {
+      AddViolation(t, "capacity-exceeds-nominal",
+                   "capacity " + std::to_string(s.supplier_capacity) +
+                       " exceeds nominal " +
+                       std::to_string(s.nominal_capacity));
+    }
+    const bool fault_shrunk = s.nominal_capacity >= 0 &&
+                              s.supplier_capacity < s.nominal_capacity;
+    if (s.supplier_in_use > s.supplier_capacity && !fault_shrunk) {
+      AddViolation(
+          t, "capacity-bound",
+          std::to_string(s.supplier_in_use) + " streams in use exceed " +
+              "capacity " + std::to_string(s.supplier_capacity) +
+              " with no outstanding capacity loss to explain it");
+    }
+  }
+
+  // --- buffer partitions ---------------------------------------------------
+  for (const auto& movie : s.movies) {
+    double total = 0.0;
+    for (const AuditPartition& p : movie.partitions) {
+      if (p.size < -kBufferEps) {
+        AddViolation(t, "partition-budget",
+                     "movie '" + movie.name + "' has a negative partition (" +
+                         std::to_string(p.size) + " min)");
+      }
+      total += p.size;
+    }
+    if (total > movie.budget + kBufferEps) {
+      AddViolation(t, "partition-budget",
+                   "movie '" + movie.name + "' partitions sum to " +
+                       std::to_string(total) + " min, budget B = " +
+                       std::to_string(movie.budget));
+    }
+    std::vector<AuditPartition> sorted = movie.partitions;
+    std::sort(sorted.begin(), sorted.end(),
+              [](const AuditPartition& a, const AuditPartition& b) {
+                return a.start < b.start;
+              });
+    for (size_t i = 1; i < sorted.size(); ++i) {
+      const double prev_end = sorted[i - 1].start + sorted[i - 1].size;
+      if (sorted[i].start < prev_end - kBufferEps) {
+        AddViolation(
+            t, "partition-overlap",
+            "movie '" + movie.name + "' partitions overlap: [" +
+                std::to_string(sorted[i - 1].start) + ", " +
+                std::to_string(prev_end) + ") and [" +
+                std::to_string(sorted[i].start) + ", " +
+                std::to_string(sorted[i].start + sorted[i].size) + ")");
+      }
+    }
+  }
+
+  // --- degradation ladder --------------------------------------------------
+  if (s.degradation_level != -1 &&
+      (s.degradation_level < 0 ||
+       s.degradation_level >= kNumDegradationLevels)) {
+    AddViolation(t, "ladder-level-range",
+                 "degradation level " + std::to_string(s.degradation_level) +
+                     " is not a rung of the ladder");
+  }
+  if (s.transitions != nullptr && !s.transitions->empty()) {
+    const auto& trs = *s.transitions;
+    if (trs.front().from != DegradationLevel::kNormal) {
+      AddViolation(t, "ladder-continuity",
+                   std::string("first transition starts at ") +
+                       DegradationLevelName(trs.front().from) +
+                       ", runs begin at normal");
+    }
+    for (size_t i = 1; i < trs.size(); ++i) {
+      if (trs[i].from != trs[i - 1].to) {
+        AddViolation(
+            t, "ladder-continuity",
+            std::string("transition ") + std::to_string(i) + " leaves " +
+                DegradationLevelName(trs[i].from) +
+                " but the previous transition ended at " +
+                DegradationLevelName(trs[i - 1].to) +
+                " (a level change was skipped or rewritten)");
+      }
+      if (trs[i].time < trs[i - 1].time) {
+        AddViolation(t, "ladder-continuity",
+                     "transition " + std::to_string(i) + " at t=" +
+                         std::to_string(trs[i].time) +
+                         " precedes its predecessor at t=" +
+                         std::to_string(trs[i - 1].time));
+      }
+    }
+    const bool log_complete =
+        s.total_transitions < 0 ||
+        s.total_transitions == static_cast<int64_t>(trs.size());
+    if (log_complete && s.degradation_level >= 0 &&
+        s.degradation_level < kNumDegradationLevels &&
+        static_cast<int>(trs.back().to) != s.degradation_level) {
+      AddViolation(t, "ladder-continuity",
+                   std::string("recorded transitions end at ") +
+                       DegradationLevelName(trs.back().to) +
+                       " but the live level is " +
+                       DegradationLevelName(static_cast<DegradationLevel>(
+                           s.degradation_level)));
+    }
+  }
+}
+
+Status InvariantAuditor::status() const {
+  if (total_violations_ == 0) return Status::OK();
+  const AuditViolation& first = violations_.front();
+  std::ostringstream os;
+  os << "invariant '" << first.invariant << "' violated at t=" << first.time
+     << " (event #" << first.event_index << "): " << first.detail;
+  if (total_violations_ > 1) {
+    os << "; " << (total_violations_ - 1) << " further violation(s)";
+  }
+  os << "; " << TraceTail();
+  return Status::Internal(os.str());
+}
+
+}  // namespace vod

@@ -1,0 +1,149 @@
+// Runtime invariant auditor for the simulation engines.
+//
+// Interactive VCR handling plus dynamic buffer/stream bookkeeping is exactly
+// where silent state corruption hides: a leaked dedicated stream, a partition
+// pair that drifted into overlap, or a degradation transition that skipped a
+// recorded rung will not crash the run — it will quietly bias every number in
+// the final report. The auditor re-derives the system's conservation laws
+// from live state every K executed events (K = 1 in --paranoid mode) and
+// reports violations through Status with a tail of recently executed events,
+// instead of aborting: a long sweep keeps its completed work and the caller
+// decides whether to fail the run.
+//
+// Invariants checked (names are stable; tests assert on them):
+//   stream-conservation   supplier in_use == Σ per-movie dedicated holds
+//   negative-streams      no stream counter below zero (double release)
+//   capacity-bound        in_use <= capacity unless a fault shrank capacity
+//                         below nominal (legal oversubscription drains)
+//   capacity-exceeds-nominal  repaired capacity never exceeds nominal
+//   partition-overlap     a movie's buffer partitions are pairwise disjoint
+//   partition-budget      Σ partition sizes <= the movie's buffer budget B
+//   ladder-level-range    degradation level is a real rung
+//   ladder-continuity     recorded transitions chain from->to without a
+//                         skipped or rewritten step, times non-decreasing,
+//                         and end at the current level
+
+#ifndef VOD_SIM_AUDIT_H_
+#define VOD_SIM_AUDIT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/partition_layout.h"
+#include "sim/degradation.h"
+
+namespace vod {
+
+/// Auditing knobs, carried by SimulationOptions / ServerOptions.
+struct AuditOptions {
+  bool enabled = false;
+  /// Executed events between full invariant sweeps; 1 = check after every
+  /// event (paranoid mode).
+  int64_t every_events = 1024;
+  /// Recently executed events kept for the violation diagnostic.
+  int trace_tail = 16;
+
+  Status Validate() const;
+};
+
+/// One detected invariant violation.
+struct AuditViolation {
+  double time = 0.0;
+  uint64_t event_index = 0;   ///< executed-event count when detected
+  std::string invariant;      ///< stable name from the table above
+  std::string detail;
+};
+
+/// One buffer partition in offset space (start within the restart period).
+struct AuditPartition {
+  double start = 0.0;
+  double size = 0.0;
+};
+
+/// \brief Point-in-time view of everything the auditor checks.
+///
+/// Producers (the simulators) fill this from live state; tests fill it with
+/// deliberately corrupted values to prove each invariant fires.
+struct AuditSnapshot {
+  double time = 0.0;
+  /// Streams the supplier believes are handed out.
+  int64_t supplier_in_use = 0;
+  /// Current reserve capacity; -1 = unlimited supply (single-movie runs).
+  int64_t supplier_capacity = -1;
+  /// Fault-free capacity; -1 when the supply is unlimited.
+  int64_t nominal_capacity = -1;
+  /// Σ dedicated streams the movie worlds believe they hold.
+  int64_t sum_world_holds = 0;
+  /// Current degradation rung, or -1 when no ladder is active.
+  int degradation_level = -1;
+  /// Recorded ladder transitions (borrowed; may be null).
+  const std::vector<DegradationTransition>* transitions = nullptr;
+  /// True transition count; the stored log is capped, and the "log ends at
+  /// the live level" check only applies while nothing has been dropped.
+  /// -1 = the log is complete.
+  int64_t total_transitions = -1;
+
+  struct MovieBuffers {
+    std::string name;
+    double budget = 0.0;  ///< B, in movie-minutes
+    std::vector<AuditPartition> partitions;
+  };
+  std::vector<MovieBuffers> movies;
+};
+
+/// Expands a movie's static partition layout (n windows of B/n minutes, one
+/// per restart offset) into the auditor's buffer view.
+AuditSnapshot::MovieBuffers BuildMovieAuditBuffers(
+    const std::string& name, const PartitionLayout& layout);
+
+/// \brief Cadenced invariant checker with an event-trace tail.
+///
+/// Not thread-safe; lives on the (single-threaded) event loop of one run.
+class InvariantAuditor {
+ public:
+  explicit InvariantAuditor(const AuditOptions& options);
+
+  /// Called by the event-loop observer after every executed event. Cheap:
+  /// one counter bump plus a ring-buffer write.
+  void RecordEvent(double t);
+
+  /// True when `every_events` have executed since the last Audit().
+  bool AuditDue() const {
+    return options_.enabled && events_since_audit_ >= options_.every_events;
+  }
+
+  /// Runs every invariant against `snapshot`, recording violations (capped;
+  /// the count stays exact) and resetting the cadence counter.
+  void Audit(const AuditSnapshot& snapshot);
+
+  int64_t audits_run() const { return audits_run_; }
+  int64_t events_seen() const { return events_seen_; }
+  int64_t total_violations() const { return total_violations_; }
+  const std::vector<AuditViolation>& violations() const { return violations_; }
+
+  /// OK when no violation was ever recorded; otherwise Internal carrying the
+  /// first violation, the total count, and the event-trace tail.
+  Status status() const;
+
+ private:
+  void AddViolation(double t, const char* invariant, std::string detail);
+  std::string TraceTail() const;
+
+  AuditOptions options_;
+  int64_t events_since_audit_ = 0;
+  int64_t events_seen_ = 0;
+  int64_t audits_run_ = 0;
+  int64_t total_violations_ = 0;
+  std::vector<AuditViolation> violations_;  ///< capped at kMaxRecorded
+  /// Ring buffer of (event index, time) for the last trace_tail events.
+  std::vector<std::pair<uint64_t, double>> recent_;
+  size_t recent_next_ = 0;
+
+  static constexpr int64_t kMaxRecorded = 32;
+};
+
+}  // namespace vod
+
+#endif  // VOD_SIM_AUDIT_H_

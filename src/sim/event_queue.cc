@@ -1,16 +1,42 @@
 #include "sim/event_queue.h"
 
+#include <algorithm>
+
 #include "common/check.h"
+#include "common/serialize.h"
 
 namespace vod {
 
-EventToken EventQueue::Schedule(double time, std::function<void()> action) {
-  VOD_CHECK_MSG(time >= now_, "cannot schedule an event in the past");
-  const uint64_t seq = next_seq_++;
-  const EventToken token = seq;
-  heap_.push(Entry{time, seq, token, std::move(action)});
+EventToken EventQueue::ScheduleEntry(Entry entry) {
+  VOD_CHECK_MSG(entry.time >= now_, "cannot schedule an event in the past");
+  const EventToken token = entry.token;
+  heap_.push_back(std::move(entry));
+  std::push_heap(heap_.begin(), heap_.end(), RunsAfter{});
   live_.insert(token);
   return token;
+}
+
+EventToken EventQueue::Schedule(double time, std::function<void()> action) {
+  Entry entry;
+  entry.time = time;
+  entry.seq = next_seq_++;
+  entry.token = entry.seq;
+  entry.action = std::move(action);
+  return ScheduleEntry(std::move(entry));
+}
+
+EventToken EventQueue::ScheduleTagged(double time, uint64_t kind,
+                                      uint64_t payload,
+                                      std::function<void()> action) {
+  Entry entry;
+  entry.time = time;
+  entry.seq = next_seq_++;
+  entry.token = entry.seq;
+  entry.action = std::move(action);
+  entry.tagged = true;
+  entry.kind = kind;
+  entry.payload = payload;
+  return ScheduleEntry(std::move(entry));
 }
 
 void EventQueue::Cancel(EventToken token) {
@@ -22,22 +48,19 @@ void EventQueue::Cancel(EventToken token) {
 
 bool EventQueue::RunNext() {
   while (!heap_.empty()) {
-    // priority_queue::top returns const&; the action must be moved out, so
-    // copy the metadata and move via const_cast before pop (safe: the entry
-    // is removed immediately after).
-    Entry& top = const_cast<Entry&>(heap_.top());
-    const auto cancelled_it = cancelled_.find(top.token);
+    std::pop_heap(heap_.begin(), heap_.end(), RunsAfter{});
+    Entry entry = std::move(heap_.back());
+    heap_.pop_back();
+    const auto cancelled_it = cancelled_.find(entry.token);
     if (cancelled_it != cancelled_.end()) {
       cancelled_.erase(cancelled_it);
-      heap_.pop();
       continue;
     }
-    const double time = top.time;
-    std::function<void()> action = std::move(top.action);
-    live_.erase(top.token);
-    heap_.pop();
-    now_ = time;
-    action();
+    live_.erase(entry.token);
+    now_ = entry.time;
+    entry.action();
+    ++executed_;
+    if (observer_) observer_(now_);
     return true;
   }
   return false;
@@ -46,17 +69,108 @@ bool EventQueue::RunNext() {
 void EventQueue::RunUntil(double horizon) {
   while (!heap_.empty()) {
     // Drop cancelled heads first so the horizon check sees a live event.
-    const Entry& top = heap_.top();
+    const Entry& top = heap_.front();
     const auto cancelled_it = cancelled_.find(top.token);
     if (cancelled_it != cancelled_.end()) {
       cancelled_.erase(cancelled_it);
-      heap_.pop();
+      std::pop_heap(heap_.begin(), heap_.end(), RunsAfter{});
+      heap_.pop_back();
       continue;
     }
     if (top.time > horizon) break;
     RunNext();
   }
   if (now_ < horizon) now_ = horizon;
+}
+
+Status EventQueue::Snapshot(ByteWriter* out) const {
+  // Collect the live entries and order them deterministically; the heap's
+  // internal array order depends on the push/pop history.
+  std::vector<const Entry*> pending_entries;
+  pending_entries.reserve(heap_.size());
+  for (const Entry& entry : heap_) {
+    if (cancelled_.count(entry.token) > 0) continue;  // will never run
+    if (!entry.tagged) {
+      return Status::NotSupported(
+          "event queue holds an untagged event (seq " +
+          std::to_string(entry.seq) +
+          ", t=" + std::to_string(entry.time) +
+          "); only ScheduleTagged events can be snapshotted");
+    }
+    pending_entries.push_back(&entry);
+  }
+  std::sort(pending_entries.begin(), pending_entries.end(),
+            [](const Entry* a, const Entry* b) {
+              if (a->time != b->time) return a->time < b->time;
+              return a->seq < b->seq;
+            });
+
+  out->PutDouble(now_);
+  out->PutU64(next_seq_);
+  out->PutU64(executed_);
+  out->PutU64(pending_entries.size());
+  for (const Entry* entry : pending_entries) {
+    out->PutDouble(entry->time);
+    out->PutU64(entry->seq);
+    out->PutU64(entry->kind);
+    out->PutU64(entry->payload);
+  }
+  return Status::OK();
+}
+
+Status EventQueue::Restore(ByteReader* in, const ActionFactory& factory) {
+  if (!heap_.empty() || !live_.empty()) {
+    return Status::InvalidArgument(
+        "event queue restore requires an empty queue");
+  }
+  double now;
+  uint64_t next_seq, executed, count;
+  VOD_RETURN_IF_ERROR(in->ReadDouble(&now));
+  VOD_RETURN_IF_ERROR(in->ReadU64(&next_seq));
+  VOD_RETURN_IF_ERROR(in->ReadU64(&executed));
+  VOD_RETURN_IF_ERROR(in->ReadU64(&count));
+
+  std::vector<Entry> entries;
+  entries.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    Entry entry;
+    VOD_RETURN_IF_ERROR(in->ReadDouble(&entry.time));
+    VOD_RETURN_IF_ERROR(in->ReadU64(&entry.seq));
+    VOD_RETURN_IF_ERROR(in->ReadU64(&entry.kind));
+    VOD_RETURN_IF_ERROR(in->ReadU64(&entry.payload));
+    if (!(entry.time >= now)) {
+      return Status::InvalidArgument(
+          "event queue snapshot corrupt: entry at t=" +
+          std::to_string(entry.time) + " precedes the snapshot clock t=" +
+          std::to_string(now));
+    }
+    if (entry.seq >= next_seq) {
+      return Status::InvalidArgument(
+          "event queue snapshot corrupt: entry seq " +
+          std::to_string(entry.seq) + " >= sequence counter " +
+          std::to_string(next_seq));
+    }
+    entry.token = entry.seq;
+    entry.tagged = true;
+    entry.action = factory(entry.kind, entry.payload, entry.time);
+    if (!entry.action) {
+      return Status::InvalidArgument(
+          "event queue restore: factory rejected event kind " +
+          std::to_string(entry.kind));
+    }
+    entries.push_back(std::move(entry));
+  }
+
+  // All-or-nothing: mutate the queue only after every entry decoded.
+  now_ = now;
+  next_seq_ = next_seq;
+  executed_ = executed;
+  for (Entry& entry : entries) {
+    live_.insert(entry.token);
+    heap_.push_back(std::move(entry));
+  }
+  std::make_heap(heap_.begin(), heap_.end(), RunsAfter{});
+  return Status::OK();
 }
 
 }  // namespace vod

@@ -1,15 +1,21 @@
-// Discrete-event simulation kernel: a future-event list with cancellation.
+// Discrete-event simulation kernel: a future-event list with cancellation,
+// an execution observer (for runtime invariant auditing), and a tagged
+// snapshot/restore path (for crash-recoverable runs).
 
 #ifndef VOD_SIM_EVENT_QUEUE_H_
 #define VOD_SIM_EVENT_QUEUE_H_
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <unordered_set>
 #include <vector>
 
+#include "common/status.h"
+
 namespace vod {
+
+class ByteWriter;
+class ByteReader;
 
 /// Handle identifying a scheduled event (for cancellation).
 using EventToken = uint64_t;
@@ -22,11 +28,24 @@ inline constexpr EventToken kNoEvent = ~EventToken{0};
 /// Insertion-sequence tiebreak makes simultaneous events run in schedule
 /// order, which keeps runs deterministic. Cancellation is lazy: cancelled
 /// tokens are skipped at pop time, so Cancel is O(1).
+///
+/// Closures are not serializable, so snapshotting works through *tags*: an
+/// event scheduled with ScheduleTagged carries a (kind, payload) identity
+/// that Snapshot can persist and Restore can turn back into a closure via a
+/// caller-supplied factory. Untagged events make the queue unsnapshottable
+/// (Snapshot reports which is fine for workloads that never checkpoint).
 class EventQueue {
  public:
   /// Schedules `action` at absolute time `time` (>= Now()). Returns a token
   /// usable with Cancel.
   EventToken Schedule(double time, std::function<void()> action);
+
+  /// Schedules `action` with a serializable identity. `kind` names the
+  /// handler (a caller-defined enum), `payload` its argument (an entity id,
+  /// an encoded value, ...). Snapshot persists (time, seq, kind, payload);
+  /// Restore rebuilds the closure from them.
+  EventToken ScheduleTagged(double time, uint64_t kind, uint64_t payload,
+                            std::function<void()> action);
 
   /// Cancels a scheduled event. Cancelling an already-run, already-cancelled,
   /// or unknown token (including kNoEvent) is a safe no-op.
@@ -47,24 +66,69 @@ class EventQueue {
   size_t pending() const { return live_.size(); }
   bool empty() const { return pending() == 0; }
 
+  /// Total events executed by RunNext (cancelled pops excluded).
+  uint64_t executed() const { return executed_; }
+
+  /// Installs an observer invoked after each executed event with the event
+  /// time (state is settled when it fires — the auditor's hook point).
+  /// Pass nullptr to remove. The observer must not mutate the queue beyond
+  /// scheduling/cancelling (no nested RunNext).
+  void set_observer(std::function<void(double)> observer) {
+    observer_ = std::move(observer);
+  }
+
+  /// \brief Serializes clock, sequence counter, and all pending events.
+  ///
+  /// Pending events are written in deterministic (time, seq) order. Fails
+  /// with NotSupported if any live event was scheduled without a tag —
+  /// closures cannot be persisted. Cancelled-but-unpopped entries are
+  /// dropped (they would never run anyway).
+  Status Snapshot(ByteWriter* out) const;
+
+  /// Rebuilds `action` closures at restore time: given the persisted
+  /// (kind, payload, time), return the closure to run. Returning an empty
+  /// function makes Restore fail (unknown kind).
+  using ActionFactory =
+      std::function<std::function<void()>(uint64_t kind, uint64_t payload,
+                                          double time)>;
+
+  /// \brief Restores a queue serialized by Snapshot.
+  ///
+  /// The queue must be empty and unstarted (pending() == 0). Tokens are
+  /// preserved: a token obtained before the snapshot still cancels the same
+  /// logical event after restore. Returns InvalidArgument on truncated or
+  /// inconsistent input (entry time before the snapshot clock, seq beyond
+  /// the counter, unknown kind).
+  Status Restore(ByteReader* in, const ActionFactory& factory);
+
  private:
   struct Entry {
     double time;
     uint64_t seq;
     EventToken token;
     std::function<void()> action;
+    bool tagged = false;
+    uint64_t kind = 0;
+    uint64_t payload = 0;
+  };
 
-    bool operator>(const Entry& other) const {
-      if (time != other.time) return time > other.time;
-      return seq > other.seq;
+  /// Min-heap comparator: true when `a` runs after `b`.
+  struct RunsAfter {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
     }
   };
 
-  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  EventToken ScheduleEntry(Entry entry);
+
+  std::vector<Entry> heap_;                   ///< std::*_heap with RunsAfter
   std::unordered_set<EventToken> live_;       ///< scheduled, not yet run
   std::unordered_set<EventToken> cancelled_;  ///< cancelled, still in heap_
   double now_ = 0.0;
   uint64_t next_seq_ = 0;
+  uint64_t executed_ = 0;
+  std::function<void(double)> observer_;
 };
 
 }  // namespace vod

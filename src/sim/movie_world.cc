@@ -518,6 +518,7 @@ class MovieWorld::Impl {
  public:
   double max_wait_seen() const { return max_wait_seen_; }
   int64_t abandonments() const { return abandonments_; }
+  int64_t dedicated_streams_held() const { return dedicated_count_; }
 };
 
 MovieWorld::MovieWorld(const PartitionLayout& layout,
@@ -541,5 +542,9 @@ const PartitionLayout& MovieWorld::layout() const { return impl_->layout(); }
 double MovieWorld::max_wait_seen() const { return impl_->max_wait_seen(); }
 
 int64_t MovieWorld::abandonments() const { return impl_->abandonments(); }
+
+int64_t MovieWorld::dedicated_streams_held() const {
+  return impl_->dedicated_streams_held();
+}
 
 }  // namespace vod

@@ -88,6 +88,11 @@ class MovieWorld {
   /// Viewers who walked away before the end (whole run, incl. warmup).
   int64_t abandonments() const;
 
+  /// Dedicated streams this movie's viewers hold right now (VCR phase-1 +
+  /// post-miss). The invariant auditor sums this across worlds and checks
+  /// it against the supplier's in_use().
+  int64_t dedicated_streams_held() const;
+
  private:
   class Impl;
   std::unique_ptr<Impl> impl_;

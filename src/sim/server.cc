@@ -1,5 +1,6 @@
 #include "sim/server.h"
 
+#include <cmath>
 #include <iomanip>
 #include <memory>
 #include <sstream>
@@ -83,17 +84,52 @@ std::string ServerReport::ToString() const {
   return os.str();
 }
 
-Result<ServerReport> RunServerSimulation(
-    const std::vector<ServerMovieSpec>& movies, const ServerOptions& options) {
+Status ValidateServerInputs(const std::vector<ServerMovieSpec>& movies,
+                            const ServerOptions& options) {
   if (movies.empty()) {
     return Status::InvalidArgument("server needs at least one movie");
+  }
+  for (const ServerMovieSpec& spec : movies) {
+    const std::string who =
+        "movie '" + (spec.name.empty() ? std::string("<unnamed>") : spec.name) +
+        "'";
+    const double l = spec.layout.movie_length();
+    const double b = spec.layout.buffer_minutes();
+    const double w = spec.layout.max_wait();
+    if (!std::isfinite(l) || l <= 0.0) {
+      return Status::InvalidArgument(who + ": movie length l must be a " +
+                                     "finite positive number of minutes, got " +
+                                     std::to_string(l));
+    }
+    if (spec.layout.streams() < 1) {
+      return Status::InvalidArgument(
+          who + ": needs at least one stream, got " +
+          std::to_string(spec.layout.streams()));
+    }
+    if (!std::isfinite(b) || b < 0.0 || b > l) {
+      return Status::InvalidArgument(who + ": buffer B must be finite in " +
+                                     "[0, l], got " + std::to_string(b));
+    }
+    if (!std::isfinite(w) || w < 0.0) {
+      return Status::InvalidArgument(who + ": implied max wait w = (l-B)/n " +
+                                     "must be finite and non-negative, got " +
+                                     std::to_string(w));
+    }
+    if (!std::isfinite(spec.arrival_rate_per_minute) ||
+        !(spec.arrival_rate_per_minute > 0.0)) {
+      return Status::InvalidArgument(
+          who + ": needs a finite positive arrival rate, got " +
+          std::to_string(spec.arrival_rate_per_minute));
+    }
   }
   if (options.dynamic_stream_reserve < 0) {
     return Status::InvalidArgument("reserve must be non-negative");
   }
-  if (options.warmup_minutes < 0.0 || !(options.measurement_minutes > 0.0)) {
+  if (!std::isfinite(options.warmup_minutes) ||
+      !std::isfinite(options.measurement_minutes) ||
+      options.warmup_minutes < 0.0 || !(options.measurement_minutes > 0.0)) {
     return Status::InvalidArgument(
-        "warmup must be >= 0 and measurement span positive");
+        "warmup must be >= 0 and measurement span positive (and both finite)");
   }
   VOD_RETURN_IF_ERROR(options.degradation.Validate());
   if (options.faults.enabled) {
@@ -102,6 +138,13 @@ Result<ServerReport> RunServerSimulation(
     }
     VOD_RETURN_IF_ERROR(options.faults.profile.Validate());
   }
+  VOD_RETURN_IF_ERROR(options.audit.Validate());
+  return Status::OK();
+}
+
+Result<ServerReport> RunServerSimulation(
+    const std::vector<ServerMovieSpec>& movies, const ServerOptions& options) {
+  VOD_RETURN_IF_ERROR(ValidateServerInputs(movies, options));
 
   EventQueue queue;
   const Rng base_rng(options.seed);
@@ -130,10 +173,6 @@ Result<ServerReport> RunServerSimulation(
   worlds.reserve(movies.size());
   for (size_t i = 0; i < movies.size(); ++i) {
     const ServerMovieSpec& spec = movies[i];
-    if (!(spec.arrival_rate_per_minute > 0.0)) {
-      return Status::InvalidArgument("movie '" + spec.name +
-                                     "' needs a positive arrival rate");
-    }
     MovieWorldConfig config;
     config.mean_interarrival_minutes = 1.0 / spec.arrival_rate_per_minute;
     config.behavior = spec.behavior;
@@ -169,6 +208,38 @@ Result<ServerReport> RunServerSimulation(
     });
   }
 
+  // The auditor re-derives the conservation laws from live state at its
+  // cadence; the movie partition geometry is static, so it is expanded once.
+  std::unique_ptr<InvariantAuditor> auditor;
+  AuditSnapshot audit_snapshot;
+  if (options.audit.enabled) {
+    auditor = std::make_unique<InvariantAuditor>(options.audit);
+    for (const ServerMovieSpec& spec : movies) {
+      audit_snapshot.movies.push_back(
+          BuildMovieAuditBuffers(spec.name, spec.layout));
+    }
+    queue.set_observer([&](double t) {
+      auditor->RecordEvent(t);
+      if (!auditor->AuditDue()) return;
+      audit_snapshot.time = t;
+      audit_snapshot.supplier_in_use = supplier->in_use();
+      if (manager != nullptr) {
+        audit_snapshot.supplier_capacity = manager->capacity();
+        audit_snapshot.nominal_capacity = manager->nominal_capacity();
+        audit_snapshot.degradation_level = static_cast<int>(manager->level());
+        audit_snapshot.transitions = &manager->transitions();
+        audit_snapshot.total_transitions = manager->total_transitions();
+      } else {
+        audit_snapshot.supplier_capacity = finite->capacity();
+        audit_snapshot.nominal_capacity = finite->capacity();
+      }
+      int64_t holds = 0;
+      for (const auto& world : worlds) holds += world->dedicated_streams_held();
+      audit_snapshot.sum_world_holds = holds;
+      auditor->Audit(audit_snapshot);
+    });
+  }
+
   const double horizon = options.warmup_minutes + options.measurement_minutes;
 
   // Pre-schedule the disk failure/repair trajectory. Scheduling before the
@@ -197,6 +268,9 @@ Result<ServerReport> RunServerSimulation(
   for (auto& world : worlds) world->Start();
   queue.RunUntil(horizon);
   if (manager != nullptr) manager->Finalize(horizon);
+  if (auditor != nullptr && auditor->total_violations() > 0) {
+    return auditor->status();
+  }
 
   ServerReport report;
   if (manager != nullptr) {

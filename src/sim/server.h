@@ -65,6 +65,10 @@ struct ServerOptions {
   /// shrinks and recovers, but requests keep the seed's hard-refusal
   /// semantics.
   DegradationPolicy degradation;
+  /// Runtime invariant auditing (sim/audit.h). When enabled, a violated
+  /// conservation law turns the run into an error Status carrying an
+  /// event-trace tail — it never aborts mid-run.
+  AuditOptions audit;
 };
 
 /// Resilience accounting for a run with faults and/or degradation enabled.
@@ -135,6 +139,17 @@ struct ServerReport {
   /// byte-identical strings.
   std::string ToString() const;
 };
+
+/// \brief Validates a server configuration before any simulation state is
+/// built: non-empty movie list; every layout finite with l > 0, n >= 1,
+/// 0 <= B <= l, w >= 0; finite positive arrival rates; non-negative
+/// reserve; sane horizon, degradation, fault, and audit knobs. Each
+/// rejection is a one-line InvalidArgument naming the offending movie or
+/// field. RunServerSimulation calls this itself; callers assembling
+/// configurations from user input (vodctl) can call it earlier for
+/// diagnostics before committing to a run.
+Status ValidateServerInputs(const std::vector<ServerMovieSpec>& movies,
+                            const ServerOptions& options);
 
 /// \brief Runs all movies to the common horizon. Deterministic in
 /// options.seed; movie i derives an independent RNG sub-stream, and the

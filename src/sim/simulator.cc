@@ -97,10 +97,30 @@ Result<SimulationReport> RunSimulation(const PartitionLayout& layout,
   SimulationMetrics metrics(options.warmup_minutes);
   MovieWorld world(layout, rates, config, Rng(options.seed), &queue,
                    &supplier, &metrics);
+
+  std::unique_ptr<InvariantAuditor> auditor;
+  AuditSnapshot audit_snapshot;
+  if (options.audit.enabled) {
+    VOD_RETURN_IF_ERROR(options.audit.Validate());
+    auditor = std::make_unique<InvariantAuditor>(options.audit);
+    audit_snapshot.movies.push_back(BuildMovieAuditBuffers("movie", layout));
+    queue.set_observer([&](double t) {
+      auditor->RecordEvent(t);
+      if (!auditor->AuditDue()) return;
+      audit_snapshot.time = t;
+      audit_snapshot.supplier_in_use = supplier.in_use();
+      audit_snapshot.sum_world_holds = world.dedicated_streams_held();
+      auditor->Audit(audit_snapshot);
+    });
+  }
+
   world.Start();
   const double horizon =
       options.warmup_minutes + options.measurement_minutes;
   queue.RunUntil(horizon);
+  if (auditor != nullptr && auditor->total_violations() > 0) {
+    return auditor->status();
+  }
 
   SimulationReport report;
   FillReportFromMetrics(metrics, horizon, &report);

@@ -22,6 +22,7 @@
 #include "core/piggyback.h"
 #include "core/types.h"
 #include "sim/arrival_process.h"
+#include "sim/audit.h"
 #include "sim/metrics.h"
 #include "sim/trace.h"
 #include "sim/vcr_behavior.h"
@@ -53,6 +54,10 @@ struct SimulationOptions {
   /// Optional viewer patience (session lifetime from playback start);
   /// null = everyone watches to the end.
   DistributionPtr patience;
+  /// Runtime invariant auditing (sim/audit.h). When enabled, a violated
+  /// conservation law turns the run into an error Status carrying an
+  /// event-trace tail — it never aborts.
+  AuditOptions audit;
 };
 
 /// Aggregated outcome of a run.

@@ -87,6 +87,51 @@ TEST(FlagsTest, MalformedDoubleIsError) {
   EXPECT_TRUE(flags.Parse(args.argc(), args.argv()).IsInvalidArgument());
 }
 
+TEST(FlagsTest, StrictNumericParsingRejectsEachBadShape) {
+  // One sub-case per rejection path; the messages are distinct so a user
+  // can tell garbage from overflow from a non-finite literal.
+  struct Case {
+    const char* arg;
+    const char* expect_in_message;
+  };
+  const Case cases[] = {
+      // int64 paths
+      {"--seed=12abc", "base-10 integer"},       // trailing garbage
+      {"--seed=0x10", "base-10 integer"},        // hex is not base-10
+      {"--seed=", "base-10 integer"},            // empty value
+      {"--seed= 12", "base-10 integer"},         // leading whitespace
+      {"--seed=12 ", "base-10 integer"},         // trailing whitespace
+      {"--seed=9223372036854775808", "int64 range"},   // INT64_MAX + 1
+      {"--seed=-9223372036854775809", "int64 range"},  // INT64_MIN - 1
+      // double paths
+      {"--wait=1.2.3", "decimal number"},        // trailing garbage
+      {"--wait=", "decimal number"},             // empty value
+      {"--wait= 1.5", "decimal number"},         // leading whitespace
+      {"--wait=0x1p4", "decimal number"},        // hexadecimal float
+      {"--wait=1e999", "double range"},          // overflow
+      {"--wait=1e-999", "double range"},         // underflow
+      {"--wait=nan", "finite"},                  // NaN literal
+      {"--wait=inf", "finite"},                  // infinity literal
+      {"--wait=-inf", "finite"},
+  };
+  for (const Case& c : cases) {
+    FlagSet flags = MakeFlags();
+    ArgvBuilder args({"prog", c.arg});
+    const Status status = flags.Parse(args.argc(), args.argv());
+    ASSERT_TRUE(status.IsInvalidArgument()) << c.arg;
+    EXPECT_NE(status.message().find(c.expect_in_message), std::string::npos)
+        << c.arg << " -> " << status.message();
+  }
+}
+
+TEST(FlagsTest, StrictNumericParsingStillAcceptsNormalValues) {
+  FlagSet flags = MakeFlags();
+  ArgvBuilder args({"prog", "--seed=-17", "--wait=6.25e-2"});
+  ASSERT_TRUE(flags.Parse(args.argc(), args.argv()).ok());
+  EXPECT_EQ(flags.GetInt64("seed"), -17);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("wait"), 0.0625);
+}
+
 TEST(FlagsTest, MalformedBoolIsError) {
   FlagSet flags = MakeFlags();
   ArgvBuilder args({"prog", "--csv=maybe"});

@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
 #include <vector>
+
+#include "common/serialize.h"
 
 namespace vod {
 namespace {
@@ -115,6 +118,223 @@ TEST(EventQueueTest, CancelledHeadDoesNotBlockHorizonCheck) {
   q.Cancel(t);
   q.RunUntil(2.5);
   EXPECT_TRUE(ran);
+}
+
+TEST(EventQueueTest, CancellingAnAlreadyPoppedTokenIsANoOp) {
+  EventQueue q;
+  int runs = 0;
+  const EventToken t = q.Schedule(1.0, [&] { ++runs; });
+  EXPECT_TRUE(q.RunNext());
+  EXPECT_EQ(runs, 1);
+  q.Cancel(t);  // token already executed; must not poison anything
+  EXPECT_EQ(q.pending(), 0u);
+  // A later event must still run (a stale cancel must not eat it even if
+  // token values were ever reused).
+  q.Schedule(2.0, [&] { ++runs; });
+  EXPECT_TRUE(q.RunNext());
+  EXPECT_EQ(runs, 2);
+}
+
+TEST(EventQueueTest, CancelAfterPopDoesNotCancelLaterEventAtSameTime) {
+  EventQueue q;
+  std::vector<int> order;
+  const EventToken first = q.Schedule(1.0, [&] { order.push_back(0); });
+  q.Schedule(1.0, [&] { order.push_back(1); });
+  EXPECT_TRUE(q.RunNext());
+  q.Cancel(first);  // stale: the event at the same timestamp must survive
+  EXPECT_TRUE(q.RunNext());
+  EXPECT_EQ(order, (std::vector<int>{0, 1}));
+}
+
+TEST(EventQueueTest, ObserverFiresAfterEachExecutedEvent) {
+  EventQueue q;
+  std::vector<double> observed;
+  int side_effect = 0;
+  q.set_observer([&](double t) {
+    observed.push_back(t);
+    // Observer fires *after* the action: state must be settled.
+    EXPECT_GT(side_effect, 0);
+  });
+  q.Schedule(1.0, [&] { ++side_effect; });
+  const EventToken t = q.Schedule(2.0, [&] { ++side_effect; });
+  q.Schedule(3.0, [&] { ++side_effect; });
+  q.Cancel(t);
+  while (q.RunNext()) {
+  }
+  // Cancelled events never execute, so the observer must not see them.
+  EXPECT_EQ(observed, (std::vector<double>{1.0, 3.0}));
+  EXPECT_EQ(q.executed(), 2u);
+}
+
+// ---- tagged snapshot / restore --------------------------------------------
+
+TEST(EventQueueSnapshotTest, RestoreMidHeapPreservesOrderAndClock) {
+  // Build a queue, run part of it, snapshot mid-heap, and check the restored
+  // queue drains the remaining events in the identical order.
+  std::vector<std::pair<uint64_t, double>> executed;
+  auto factory = [&executed](uint64_t kind, uint64_t payload,
+                             double time) -> std::function<void()> {
+    (void)payload;
+    return [&executed, kind, time] { executed.push_back({kind, time}); };
+  };
+
+  EventQueue q;
+  for (uint64_t i = 0; i < 10; ++i) {
+    const double t = static_cast<double>((i * 7) % 10) + 1.0;
+    q.ScheduleTagged(t, /*kind=*/i, /*payload=*/i * 100, factory(i, i * 100, t));
+  }
+  // Run the first 4 events, leaving a part-consumed heap.
+  for (int i = 0; i < 4; ++i) ASSERT_TRUE(q.RunNext());
+  const std::vector<std::pair<uint64_t, double>> prefix = executed;
+  const double clock = q.Now();
+  const size_t remaining = q.pending();
+
+  ByteWriter snapshot;
+  ASSERT_TRUE(q.Snapshot(&snapshot).ok());
+
+  // Drain the original for the reference tail.
+  while (q.RunNext()) {
+  }
+  std::vector<std::pair<uint64_t, double>> reference_tail(
+      executed.begin() + static_cast<ptrdiff_t>(prefix.size()),
+      executed.end());
+
+  executed.clear();
+  EventQueue restored;
+  ByteReader reader(snapshot.bytes());
+  ASSERT_TRUE(restored.Restore(&reader, factory).ok());
+  EXPECT_TRUE(reader.AtEnd());
+  EXPECT_DOUBLE_EQ(restored.Now(), clock);
+  EXPECT_EQ(restored.pending(), remaining);
+  while (restored.RunNext()) {
+  }
+  EXPECT_EQ(executed, reference_tail);
+}
+
+TEST(EventQueueSnapshotTest, TokensSurviveRestoreForCancellation) {
+  EventQueue q;
+  int runs = 0;
+  auto noop_factory = [&runs](uint64_t, uint64_t,
+                              double) -> std::function<void()> {
+    return [&runs] { ++runs; };
+  };
+  q.ScheduleTagged(1.0, 1, 0, [&runs] { ++runs; });
+  const EventToken victim = q.ScheduleTagged(2.0, 2, 0, [&runs] { ++runs; });
+  ByteWriter snapshot;
+  ASSERT_TRUE(q.Snapshot(&snapshot).ok());
+
+  EventQueue restored;
+  ByteReader reader(snapshot.bytes());
+  ASSERT_TRUE(restored.Restore(&reader, noop_factory).ok());
+  restored.Cancel(victim);  // pre-snapshot token targets the same event
+  while (restored.RunNext()) {
+  }
+  EXPECT_EQ(runs, 1);
+}
+
+TEST(EventQueueSnapshotTest, CancelledEventsAreDroppedFromSnapshots) {
+  EventQueue q;
+  q.ScheduleTagged(1.0, 1, 0, [] {});
+  const EventToken t = q.ScheduleTagged(2.0, 2, 0, [] {});
+  q.Cancel(t);
+  ByteWriter snapshot;
+  ASSERT_TRUE(q.Snapshot(&snapshot).ok());
+
+  EventQueue restored;
+  ByteReader reader(snapshot.bytes());
+  ASSERT_TRUE(restored
+                  .Restore(&reader,
+                           [](uint64_t, uint64_t,
+                              double) -> std::function<void()> {
+                             return [] {};
+                           })
+                  .ok());
+  EXPECT_EQ(restored.pending(), 1u);
+}
+
+TEST(EventQueueSnapshotTest, UntaggedEventMakesSnapshotNotSupported) {
+  EventQueue q;
+  q.ScheduleTagged(1.0, 1, 0, [] {});
+  q.Schedule(2.0, [] {});  // closure-only: cannot persist
+  ByteWriter snapshot;
+  const Status st = q.Snapshot(&snapshot);
+  ASSERT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsNotSupported());
+  EXPECT_NE(st.message().find("untagged"), std::string::npos);
+}
+
+TEST(EventQueueSnapshotTest, RestoreIntoNonEmptyQueueIsRejected) {
+  EventQueue q;
+  q.ScheduleTagged(1.0, 1, 0, [] {});
+  ByteWriter snapshot;
+  ASSERT_TRUE(q.Snapshot(&snapshot).ok());
+  ByteReader reader(snapshot.bytes());
+  EXPECT_FALSE(q.Restore(&reader,
+                         [](uint64_t, uint64_t,
+                            double) -> std::function<void()> {
+                           return [] {};
+                         })
+                   .ok());
+}
+
+TEST(EventQueueSnapshotTest, TruncatedSnapshotIsRejected) {
+  EventQueue q;
+  q.ScheduleTagged(1.0, 1, 0, [] {});
+  q.ScheduleTagged(2.0, 2, 0, [] {});
+  ByteWriter snapshot;
+  ASSERT_TRUE(q.Snapshot(&snapshot).ok());
+  const std::string cut =
+      snapshot.bytes().substr(0, snapshot.bytes().size() - 9);
+  EventQueue restored;
+  ByteReader reader(cut);
+  const Status st = restored.Restore(&reader,
+                                     [](uint64_t, uint64_t,
+                                        double) -> std::function<void()> {
+                                       return [] {};
+                                     });
+  ASSERT_FALSE(st.ok());
+  // All-or-nothing: the failed restore must not leave partial state.
+  EXPECT_EQ(restored.pending(), 0u);
+  EXPECT_DOUBLE_EQ(restored.Now(), 0.0);
+}
+
+TEST(EventQueueSnapshotTest, UnknownKindIsRejected) {
+  EventQueue q;
+  q.ScheduleTagged(1.0, /*kind=*/77, 0, [] {});
+  ByteWriter snapshot;
+  ASSERT_TRUE(q.Snapshot(&snapshot).ok());
+  EventQueue restored;
+  ByteReader reader(snapshot.bytes());
+  const Status st = restored.Restore(
+      &reader,
+      [](uint64_t kind, uint64_t, double) -> std::function<void()> {
+        if (kind == 77) return nullptr;  // factory refuses this kind
+        return [] {};
+      });
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("kind"), std::string::npos);
+}
+
+TEST(EventQueueSnapshotTest, SimultaneousEventsKeepScheduleOrderAcrossRestore) {
+  // Tie-breaking at equal timestamps must be the insertion order, and a
+  // snapshot/restore cycle must not perturb it.
+  std::vector<uint64_t> executed;
+  auto factory = [&executed](uint64_t kind, uint64_t,
+                             double) -> std::function<void()> {
+    return [&executed, kind] { executed.push_back(kind); };
+  };
+  EventQueue q;
+  for (uint64_t i = 0; i < 6; ++i) {
+    q.ScheduleTagged(5.0, i, 0, factory(i, 0, 5.0));
+  }
+  ByteWriter snapshot;
+  ASSERT_TRUE(q.Snapshot(&snapshot).ok());
+  EventQueue restored;
+  ByteReader reader(snapshot.bytes());
+  ASSERT_TRUE(restored.Restore(&reader, factory).ok());
+  while (restored.RunNext()) {
+  }
+  EXPECT_EQ(executed, (std::vector<uint64_t>{0, 1, 2, 3, 4, 5}));
 }
 
 TEST(EventQueueTest, ManyEventsStressOrder) {

@@ -12,14 +12,17 @@
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 
 #include "common/check.h"
 #include "common/flags.h"
+#include "common/rng.h"
 #include "common/table.h"
 #include "core/cost_model.h"
 #include "core/hit_model.h"
 #include "core/sizing.h"
+#include "exp/checkpoint.h"
 #include "exp/experiment.h"
 #include "exp/replication.h"
 #include "sim/partition_schedule.h"
@@ -27,6 +30,15 @@
 #include "sim/simulator.h"
 #include "workload/catalog.h"
 #include "workload/paper_presets.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+#define VODCTL_HAS_FORK 1
+#else
+#define VODCTL_HAS_FORK 0
+#endif
 
 namespace vod {
 namespace {
@@ -173,6 +185,28 @@ int SizeCommand(int argc, char** argv) {
 
 // ---- vodctl simulate --------------------------------------------------------
 
+AuditOptions AuditFromFlags(const FlagSet& flags) {
+  AuditOptions audit;
+  audit.enabled = flags.GetBool("audit") || flags.GetBool("paranoid");
+  if (flags.GetBool("paranoid")) audit.every_events = 1;
+  return audit;
+}
+
+/// Prints `text` and, when --report_out is set, writes the identical bytes
+/// to that file (the soak harness byte-compares these files).
+int EmitReport(const FlagSet& flags, const std::string& text) {
+  std::fputs(text.c_str(), stdout);
+  const std::string& path = flags.GetString("report_out");
+  if (!path.empty()) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << text;
+    if (!out) {
+      return Fail(Status::Internal("cannot write report to " + path));
+    }
+  }
+  return 0;
+}
+
 Result<ServerFaultOptions> ParseFaultSpec(const std::string& text) {
   // "disks:mtbf:mttr", e.g. "4:2000:120" (minutes).
   ServerFaultOptions faults;
@@ -224,10 +258,10 @@ int SimulateWithFaults(const FlagSet& flags, const PartitionLayout& layout,
     options.degradation.queue_deadline_minutes =
         flags.GetDouble("queue_deadline");
   }
+  options.audit = AuditFromFlags(flags);
   const auto report = RunServerSimulation({movie}, options);
   if (!report.ok()) return Fail(report.status());
-  std::printf("%s\n", report->ToString().c_str());
-  return 0;
+  return EmitReport(flags, report->ToString() + "\n");
 }
 
 int SimulateCommand(int argc, char** argv) {
@@ -248,6 +282,18 @@ int SimulateCommand(int argc, char** argv) {
                   "(e.g. 4:2000:120); enables the server engine");
   flags.AddDouble("queue_deadline", 0.0, "queue dry-reserve VCR requests up "
                   "to this many minutes (0 = hard refusal)");
+  flags.AddBool("audit", false, "run the runtime invariant auditor "
+                "(conservation checks every 1024 events)");
+  flags.AddBool("paranoid", false, "audit after every executed event "
+                "(implies --audit)");
+  flags.AddString("checkpoint", "", "checkpoint file for multi-replication "
+                  "sweeps: completed replications survive a crash");
+  flags.AddInt64("checkpoint_every", 16,
+                 "completed replications between checkpoint saves");
+  flags.AddBool("resume", false,
+                "resume an interrupted sweep from --checkpoint");
+  flags.AddString("report_out", "", "also write the final report text to "
+                  "this file (byte-identical to stdout)");
   AddExperimentFlags(&flags, /*with_replications=*/true);
   const Status parsed = flags.Parse(argc, argv);
   if (!parsed.ok()) return Fail(parsed);
@@ -276,45 +322,76 @@ int SimulateCommand(int argc, char** argv) {
     options.piggyback.enabled = true;
     options.piggyback.speed_delta = flags.GetDouble("piggyback");
   }
+  options.audit = AuditFromFlags(flags);
 
   const auto experiment = ExperimentOptionsFromFlags(
       flags, static_cast<uint64_t>(flags.GetInt64("seed")));
   if (experiment.replications > 1) {
     // R decorrelated replications on the harness, then the Student-t
     // reduction. (--replications=1 keeps the single run's own seed and its
-    // within-run Wilson/batch-means intervals, below.)
-    const std::vector<int> single_config = {0};
-    const auto reports = RunExperimentGrid(
-        single_config, experiment,
-        [&](int, const CellContext& context) {
+    // within-run Wilson/batch-means intervals, below.) The sweep goes
+    // through the checkpointable grid runner: with --checkpoint an
+    // interrupted sweep resumes without redoing completed replications, and
+    // the recombined report is byte-identical to an uninterrupted run.
+    CheckpointOptions checkpoint;
+    checkpoint.path = flags.GetString("checkpoint");
+    checkpoint.checkpoint_every = flags.GetInt64("checkpoint_every");
+    checkpoint.resume = flags.GetBool("resume");
+    // Everything that changes a cell's outcome feeds the fingerprint, so a
+    // checkpoint cannot be resumed against different knobs.
+    std::ostringstream description;
+    description << "vodctl-simulate-grid-v1 " << layout->ToString()
+                << " mix=" << flags.GetString("mix")
+                << " duration=" << flags.GetString("duration")
+                << " gap=" << options.mean_interarrival_minutes
+                << " measure=" << options.measurement_minutes
+                << " warmup=" << options.warmup_minutes
+                << " piggyback=" << flags.GetDouble("piggyback")
+                << " audit=" << options.audit.enabled << ":"
+                << options.audit.every_events;
+    const auto result = RunCheckpointedReportGrid(
+        /*num_configs=*/1, experiment, checkpoint,
+        HashGridDescription(description.str()),
+        [&](const CellContext& context) {
           SimulationOptions cell = options;
           cell.seed = context.seed;
           const auto report = RunSimulation(*layout, paper::Rates(), cell);
           VOD_CHECK_OK(report.status());
           return *report;
         });
-    for (size_t r = 0; r < reports[0].size(); ++r) {
-      std::printf("replication %zu: P(hit) in-partition = %.4f "
-                  "(%lld resumes), mean wait = %.3f min\n",
-                  r, reports[0][r].hit_probability_in_partition,
-                  static_cast<long long>(reports[0][r].in_partition_resumes),
-                  reports[0][r].mean_wait_minutes);
+    if (!result.ok()) return Fail(result.status());
+    VOD_CHECK(result->complete);
+    const std::vector<SimulationReport>& reports = result->reports[0];
+    std::ostringstream out;
+    char line[256];
+    for (size_t r = 0; r < reports.size(); ++r) {
+      std::snprintf(line, sizeof(line),
+                    "replication %zu: P(hit) in-partition = %.4f "
+                    "(%lld resumes), mean wait = %.3f min\n",
+                    r, reports[r].hit_probability_in_partition,
+                    static_cast<long long>(reports[r].in_partition_resumes),
+                    reports[r].mean_wait_minutes);
+      out << line;
     }
-    std::printf("\n%s\n", SummarizeReplications(reports[0]).ToString().c_str());
-    return 0;
+    out << "\n" << SummarizeReplications(reports).ToString() << "\n";
+    return EmitReport(flags, out.str());
   }
 
   const auto report = RunSimulation(*layout, paper::Rates(), options);
   if (!report.ok()) return Fail(report.status());
-  std::printf("%s\n", report->ToString().c_str());
-  std::printf("P(hit) in-partition = %.4f [%.4f, %.4f]; "
-              "wait p50/p99/max = %.3f/%.3f/%.3f min\n",
-              report->hit_probability_in_partition,
-              report->hit_probability_in_partition_low,
-              report->hit_probability_in_partition_high,
-              report->p50_wait_minutes, report->p99_wait_minutes,
-              report->max_wait_minutes);
-  return 0;
+  std::ostringstream out;
+  char line[256];
+  out << report->ToString() << "\n";
+  std::snprintf(line, sizeof(line),
+                "P(hit) in-partition = %.4f [%.4f, %.4f]; "
+                "wait p50/p99/max = %.3f/%.3f/%.3f min\n",
+                report->hit_probability_in_partition,
+                report->hit_probability_in_partition_low,
+                report->hit_probability_in_partition_high,
+                report->p50_wait_minutes, report->p99_wait_minutes,
+                report->max_wait_minutes);
+  out << line;
+  return EmitReport(flags, out.str());
 }
 
 // ---- vodctl catalog --------------------------------------------------------
@@ -461,6 +538,185 @@ int TimelineCommand(int argc, char** argv) {
   return 0;
 }
 
+// ---- vodctl soak -----------------------------------------------------------
+//
+// Chaos soak for crash recovery: runs `vodctl simulate` sweeps as child
+// processes, SIGKILLs them at randomized points mid-sweep, resumes from the
+// last checkpoint, and byte-compares the final report against a golden
+// uninterrupted run. A recovery bug — lost cells, double-merged cells, a
+// torn checkpoint — shows up as a byte difference or a failed resume.
+
+#if VODCTL_HAS_FORK
+
+/// Spawns this binary with `args`; kills it with SIGKILL after
+/// `kill_after_ms` (< 0 = let it finish). Returns the child's exit code, or
+/// -signal when it died by signal.
+Result<int> RunSelf(const std::vector<std::string>& args, int kill_after_ms) {
+  // Flush before forking: the child's freopen would otherwise re-flush any
+  // buffered parent output, duplicating progress lines on piped stdout.
+  std::fflush(stdout);
+  const pid_t pid = fork();
+  if (pid < 0) return Status::Internal("fork failed");
+  if (pid == 0) {
+    std::vector<std::string> storage = args;
+    std::vector<char*> argv;
+    argv.push_back(const_cast<char*>("vodctl"));
+    for (std::string& arg : storage) argv.push_back(arg.data());
+    argv.push_back(nullptr);
+    // The child's report goes nowhere: the parent only reads report files.
+    if (!std::freopen("/dev/null", "w", stdout)) _exit(126);
+    execv("/proc/self/exe", argv.data());
+    _exit(127);  // exec failed
+  }
+  if (kill_after_ms >= 0) {
+    usleep(static_cast<useconds_t>(kill_after_ms) * 1000);
+    kill(pid, SIGKILL);
+  }
+  int wstatus = 0;
+  if (waitpid(pid, &wstatus, 0) < 0) {
+    return Status::Internal("waitpid failed");
+  }
+  if (WIFSIGNALED(wstatus)) return -WTERMSIG(wstatus);
+  return WEXITSTATUS(wstatus);
+}
+
+Result<std::string> ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open " + path);
+  std::ostringstream bytes;
+  bytes << in.rdbuf();
+  return bytes.str();
+}
+
+bool FileExists(const std::string& path) {
+  return std::ifstream(path).good();
+}
+
+int SoakCommand(int argc, char** argv) {
+  FlagSet flags("vodctl soak");
+  flags.AddInt64("cycles", 3, "SIGKILL/resume cycles before the final "
+                 "uninterrupted resume");
+  flags.AddInt64("replications", 8, "replications in the soaked sweep");
+  // Sized so the sweep outlasts the default kill window: kills must land
+  // mid-sweep for the soak to exercise recovery rather than a clean run.
+  flags.AddDouble("measure", 40000.0, "measured minutes per replication");
+  flags.AddInt64("seed", 42, "seed for both the sweep and the kill points");
+  flags.AddInt64("threads", 2, "threads for the soaked sweep");
+  flags.AddInt64("kill_min_ms", 20, "earliest kill, ms after child start");
+  flags.AddInt64("kill_max_ms", 400, "latest kill, ms after child start");
+  flags.AddString("prefix", "vodctl_soak", "work-file prefix "
+                  "(<prefix>.golden / .report / .ckpt)");
+  const Status parsed = flags.Parse(argc, argv);
+  if (!parsed.ok()) return Fail(parsed);
+  if (flags.GetInt64("cycles") < 1 ||
+      flags.GetInt64("kill_min_ms") > flags.GetInt64("kill_max_ms")) {
+    return Fail(Status::InvalidArgument(
+        "need --cycles >= 1 and kill_min_ms <= kill_max_ms"));
+  }
+
+  const std::string prefix = flags.GetString("prefix");
+  const std::string golden_path = prefix + ".golden";
+  const std::string report_path = prefix + ".report";
+  const std::string ckpt_path = prefix + ".ckpt";
+  std::remove(golden_path.c_str());
+  std::remove(report_path.c_str());
+  std::remove(ckpt_path.c_str());
+
+  std::vector<std::string> base_args = {
+      "simulate",
+      "--replications=" + std::to_string(flags.GetInt64("replications")),
+      "--measure=" + std::to_string(flags.GetDouble("measure")),
+      "--seed=" + std::to_string(flags.GetInt64("seed")),
+      "--threads=" + std::to_string(flags.GetInt64("threads")),
+      "--checkpoint_every=1",
+      "--audit",  // the soak audits invariants throughout every sweep
+  };
+
+  // Golden run: same sweep, no checkpointing, never killed.
+  std::vector<std::string> golden_args = base_args;
+  golden_args.push_back("--report_out=" + golden_path);
+  std::printf("soak: golden uninterrupted run...\n");
+  auto golden_exit = RunSelf(golden_args, /*kill_after_ms=*/-1);
+  if (!golden_exit.ok()) return Fail(golden_exit.status());
+  if (*golden_exit != 0) {
+    return Fail(Status::Internal("golden run exited with code " +
+                                 std::to_string(*golden_exit)));
+  }
+
+  // Kill/resume cycles. The kill points are deterministic in --seed.
+  Rng kill_rng(static_cast<uint64_t>(flags.GetInt64("seed")) ^
+               0x50AC50AC50AC50ACull);
+  const int64_t kill_min = flags.GetInt64("kill_min_ms");
+  const int64_t kill_span = flags.GetInt64("kill_max_ms") - kill_min + 1;
+  bool finished_early = false;
+  for (int64_t cycle = 0; cycle < flags.GetInt64("cycles"); ++cycle) {
+    std::vector<std::string> args = base_args;
+    args.push_back("--checkpoint=" + ckpt_path);
+    args.push_back("--report_out=" + report_path);
+    if (FileExists(ckpt_path)) args.push_back("--resume");
+    const int kill_after = static_cast<int>(
+        kill_min + static_cast<int64_t>(
+                       kill_rng.UniformInt(static_cast<uint64_t>(kill_span))));
+    auto exit_code = RunSelf(args, kill_after);
+    if (!exit_code.ok()) return Fail(exit_code.status());
+    std::printf("soak: cycle %lld: SIGKILL at %d ms -> %s\n",
+                static_cast<long long>(cycle), kill_after,
+                *exit_code == -SIGKILL
+                    ? "killed mid-sweep"
+                    : ("exit " + std::to_string(*exit_code)).c_str());
+    if (*exit_code == 0) {
+      finished_early = true;  // sweep beat the kill; recovery already proven
+      break;
+    }
+    if (*exit_code != -SIGKILL) {
+      return Fail(Status::Internal(
+          "soaked child failed with exit code " + std::to_string(*exit_code) +
+          " instead of finishing or dying by SIGKILL"));
+    }
+  }
+
+  // Final resume: must complete and must reproduce the golden bytes.
+  if (!finished_early) {
+    std::vector<std::string> args = base_args;
+    args.push_back("--checkpoint=" + ckpt_path);
+    args.push_back("--report_out=" + report_path);
+    if (FileExists(ckpt_path)) args.push_back("--resume");
+    auto exit_code = RunSelf(args, /*kill_after_ms=*/-1);
+    if (!exit_code.ok()) return Fail(exit_code.status());
+    if (*exit_code != 0) {
+      return Fail(Status::Internal("final resume exited with code " +
+                                   std::to_string(*exit_code)));
+    }
+  }
+
+  auto golden = ReadFileBytes(golden_path);
+  if (!golden.ok()) return Fail(golden.status());
+  auto recovered = ReadFileBytes(report_path);
+  if (!recovered.ok()) return Fail(recovered.status());
+  if (*golden != *recovered) {
+    std::fprintf(stderr,
+                 "soak: FAIL — recovered report differs from golden run\n"
+                 "--- golden ---\n%s--- recovered ---\n%s",
+                 golden->c_str(), recovered->c_str());
+    return 1;
+  }
+  std::printf("soak: PASS — recovered report is byte-identical to the "
+              "golden run (%zu bytes)\n", golden->size());
+  std::remove(golden_path.c_str());
+  std::remove(report_path.c_str());
+  std::remove(ckpt_path.c_str());
+  return 0;
+}
+
+#else  // !VODCTL_HAS_FORK
+
+int SoakCommand(int, char**) {
+  return Fail(Status::NotSupported(
+      "vodctl soak needs fork/exec; unavailable on this platform"));
+}
+
+#endif  // VODCTL_HAS_FORK
+
 int Usage() {
   std::fputs(
       "usage: vodctl <command> [--flags]\n"
@@ -470,6 +726,7 @@ int Usage() {
       "  simulate  discrete-event simulation of one movie\n"
       "  catalog   size a whole catalog from CSV\n"
       "  timeline  ASCII view of the partition windows and a FF trajectory\n"
+      "  soak      SIGKILL/resume chaos soak of a checkpointed sweep\n"
       "run 'vodctl <command> --help' for the command's flags\n",
       stderr);
   return 2;
@@ -487,5 +744,6 @@ int main(int argc, char** argv) {
   if (command == "simulate") return vod::SimulateCommand(argc - 1, argv + 1);
   if (command == "catalog") return vod::CatalogCommand(argc - 1, argv + 1);
   if (command == "timeline") return vod::TimelineCommand(argc - 1, argv + 1);
+  if (command == "soak") return vod::SoakCommand(argc - 1, argv + 1);
   return vod::Usage();
 }
