@@ -6,6 +6,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "obs/event_log.h"
+#include "obs/metrics_registry.h"
 #include "sim/event_queue.h"
 #include "sim/partition_schedule.h"
 #include "sim/simulator.h"
@@ -51,6 +53,58 @@ void BM_SimulationRunAudited(benchmark::State& state) {
   state.SetLabel("items = simulated minutes");
 }
 BENCHMARK(BM_SimulationRunAudited)
+    ->Arg(1000)->Arg(10000)->Unit(benchmark::kMillisecond);
+
+// Same workload with an event log attached but no sinks: every emission
+// site pays its guard (one pointer test + one masked branch) and nothing
+// else. The delta against BM_SimulationRun is the cost of *carrying* the
+// observability layer while it is off — DESIGN.md §9 quotes it, and the
+// acceptance bar is <= 2%.
+void BM_SimulationRunObsIdle(benchmark::State& state) {
+  const auto layout = PartitionLayout::FromMaxWait(120.0, 40, 1.0);
+  SimulationOptions options;
+  options.behavior = paper::Fig7MixedBehavior();
+  options.warmup_minutes = 100.0;
+  options.measurement_minutes = static_cast<double>(state.range(0));
+  EventLog log;  // no sinks attached: ShouldEmit() is false at every site
+  options.obs.event_log = &log;
+  uint64_t seed = 1;
+  for (auto _ : state) {
+    options.seed = seed++;
+    const auto report = RunSimulation(*layout, paper::Rates(), options);
+    benchmark::DoNotOptimize(report);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+  state.SetLabel("items = simulated minutes");
+}
+BENCHMARK(BM_SimulationRunObsIdle)
+    ->Arg(1000)->Arg(10000)->Unit(benchmark::kMillisecond);
+
+// Full tracing into a bounded in-memory ring plus cadenced metrics
+// sampling: the cost of observability when it is *on*.
+void BM_SimulationRunTraced(benchmark::State& state) {
+  const auto layout = PartitionLayout::FromMaxWait(120.0, 40, 1.0);
+  SimulationOptions options;
+  options.behavior = paper::Fig7MixedBehavior();
+  options.warmup_minutes = 100.0;
+  options.measurement_minutes = static_cast<double>(state.range(0));
+  EventLog log;
+  EventRing ring(1 << 16);
+  log.AddSink(&ring);
+  MetricsRegistry registry;
+  options.obs.event_log = &log;
+  options.obs.metrics = &registry;
+  options.obs.metrics_sample_minutes = 100.0;
+  uint64_t seed = 1;
+  for (auto _ : state) {
+    options.seed = seed++;
+    const auto report = RunSimulation(*layout, paper::Rates(), options);
+    benchmark::DoNotOptimize(report);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+  state.SetLabel("items = simulated minutes");
+}
+BENCHMARK(BM_SimulationRunTraced)
     ->Arg(1000)->Arg(10000)->Unit(benchmark::kMillisecond);
 
 void BM_EventQueueScheduleRun(benchmark::State& state) {

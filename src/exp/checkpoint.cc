@@ -145,6 +145,7 @@ Status SaveGridCheckpoint(const std::string& path,
       SerializeSimulationReport(checkpoint.reports[cell], &payload);
     }
   }
+  payload.PutString(checkpoint.metrics_blob);
   return WriteSnapshotFile(path, SnapshotPayload::kExperimentGrid,
                            payload.bytes());
 }
@@ -183,6 +184,11 @@ Result<GridCheckpoint> LoadGridCheckpoint(const std::string& path) {
           DeserializeSimulationReport(&in, &checkpoint.reports[cell]));
     }
   }
+  // Metrics snapshot blob; absent in checkpoints written before the
+  // observability layer, which must keep loading.
+  if (!in.AtEnd()) {
+    VOD_RETURN_IF_ERROR(in.ReadString(&checkpoint.metrics_blob));
+  }
   if (!in.AtEnd()) {
     return Status::InvalidArgument(
         "checkpoint '" + path + "' carries " +
@@ -195,7 +201,8 @@ Result<GridCheckpoint> LoadGridCheckpoint(const std::string& path) {
 Result<CheckpointedGridResult> RunCheckpointedReportGrid(
     int64_t num_configs, const ExperimentOptions& options,
     const CheckpointOptions& checkpoint_options, uint64_t grid_fingerprint,
-    const std::function<SimulationReport(const CellContext&)>& run_cell) {
+    const std::function<SimulationReport(const CellContext&)>& run_cell,
+    const GridObsOptions& obs) {
   if (num_configs < 1) {
     return Status::InvalidArgument("grid needs at least one configuration");
   }
@@ -230,6 +237,14 @@ Result<CheckpointedGridResult> RunCheckpointedReportGrid(
     result.cells_restored = state.cells_done();
   }
 
+  // A resumed registry picks up exactly where the dying process left off:
+  // restored series + restored counters, with the grid clock continuing
+  // from the restored cell count.
+  if (obs.metrics != nullptr && !state.metrics_blob.empty()) {
+    ByteReader blob(state.metrics_blob);
+    VOD_RETURN_IF_ERROR(obs.metrics->Restore(&blob));
+  }
+
   // Pending cells in grid order; truncated when crash emulation asks for an
   // early stop. Order only affects scheduling — every cell owns its slot.
   std::vector<int64_t> pending;
@@ -244,9 +259,19 @@ Result<CheckpointedGridResult> RunCheckpointedReportGrid(
     pending.resize(static_cast<size_t>(checkpoint_options.max_cells));
   }
 
+  // Serializes the current registry state into the checkpoint image so the
+  // save that follows carries it. Caller holds the completion mutex.
+  const auto snapshot_metrics_locked = [&]() {
+    if (obs.metrics == nullptr) return;
+    ByteWriter blob;
+    obs.metrics->Snapshot(&blob);
+    state.metrics_blob = blob.bytes();
+  };
+
   Status save_failure = Status::OK();
   if (!pending.empty()) {
     std::mutex mu;
+    int64_t cells_done_clock = result.cells_restored;
     int64_t completed_since_save = 0;
     ThreadPool pool(ResolveThreadCount(
         options.threads, static_cast<int64_t>(pending.size())));
@@ -259,14 +284,21 @@ Result<CheckpointedGridResult> RunCheckpointedReportGrid(
               c, r,
               CellSeed(options.base_seed, static_cast<uint64_t>(c),
                        static_cast<uint64_t>(r))};
-          SimulationReport report = run_cell(context);
+          SimulationReport report;
+          {
+            PhaseProfiler::Scope span(obs.profiler, GridCellSpanName(c, r));
+            report = run_cell(context);
+          }
           std::lock_guard<std::mutex> lock(mu);
           state.reports[static_cast<size_t>(cell)] = std::move(report);
           state.done[static_cast<size_t>(cell)] = true;
           ++result.cells_run;
+          cells_done_clock = RecordGridCellDone(obs, cells_done_clock, cell);
           if (checkpoint_options.path.empty()) return;
           if (++completed_since_save >= checkpoint_options.checkpoint_every) {
             completed_since_save = 0;
+            PhaseProfiler::Scope span(obs.profiler, "checkpoint_save");
+            snapshot_metrics_locked();
             const Status saved =
                 SaveGridCheckpoint(checkpoint_options.path, state);
             if (!saved.ok() && save_failure.ok()) save_failure = saved;
@@ -277,6 +309,8 @@ Result<CheckpointedGridResult> RunCheckpointedReportGrid(
 
   // Publish the final state (also covers runs shorter than one cadence).
   if (!checkpoint_options.path.empty()) {
+    PhaseProfiler::Scope span(obs.profiler, "checkpoint_save");
+    snapshot_metrics_locked();
     VOD_RETURN_IF_ERROR(SaveGridCheckpoint(checkpoint_options.path, state));
   }
 

@@ -71,6 +71,11 @@ struct GridCheckpoint {
   std::vector<bool> done;
   /// Completed cells' reports; meaningful only where done[cell] is true.
   std::vector<SimulationReport> reports;
+  /// Optional MetricsRegistry::Snapshot blob taken at save time, so a
+  /// resumed sweep continues its sampled series without a gap. Empty when
+  /// the run carried no registry — and in checkpoints written before this
+  /// field existed, which still load fine.
+  std::string metrics_blob;
 
   int64_t cells() const { return configs * replications; }
   int64_t cells_done() const;
@@ -107,10 +112,19 @@ struct CheckpointedGridResult {
 /// checkpoint is republished every `checkpoint.checkpoint_every`
 /// completions. On resume the checkpoint's identity (fingerprint, seed,
 /// shape) must match the current grid.
+///
+/// Observability (all telemetry-only; reports stay byte-identical):
+/// `obs.metrics` counts completions on the cells-done clock — which on
+/// resume starts at the restored count, and whose registry state is first
+/// restored from the checkpoint's snapshot blob and re-snapshotted into
+/// every save, so a SIGKILLed sweep resumes its series without a gap.
+/// `obs.event_log` gets one kCell event per newly executed cell, and
+/// `obs.profiler` one span per cell plus one per checkpoint save.
 Result<CheckpointedGridResult> RunCheckpointedReportGrid(
     int64_t num_configs, const ExperimentOptions& options,
     const CheckpointOptions& checkpoint, uint64_t grid_fingerprint,
-    const std::function<SimulationReport(const CellContext&)>& run_cell);
+    const std::function<SimulationReport(const CellContext&)>& run_cell,
+    const GridObsOptions& obs = {});
 
 }  // namespace vod
 

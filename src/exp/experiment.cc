@@ -1,6 +1,7 @@
 #include "exp/experiment.h"
 
 #include <algorithm>
+#include <string>
 
 #include "common/rng.h"
 
@@ -35,6 +36,30 @@ void AddExperimentFlags(FlagSet* flags, bool with_replications) {
     flags->AddInt64("replications", 1,
                     "independent replications per configuration");
   }
+}
+
+std::string GridCellSpanName(int config_index, int replication) {
+  return "cell c" + std::to_string(config_index) + " r" +
+         std::to_string(replication);
+}
+
+int64_t RecordGridCellDone(const GridObsOptions& obs, int64_t cells_done,
+                           int64_t cell_index) {
+  ++cells_done;
+  const double grid_clock = static_cast<double>(cells_done);
+  if (obs.metrics != nullptr) {
+    obs.metrics
+        ->AddCounter("grid_cells_completed",
+                     "grid cells completed (this process + restored)")
+        ->Add(1);
+    obs.metrics->MaybeSample(grid_clock);
+  }
+  if (obs.event_log != nullptr) {
+    obs.event_log->Emit(grid_clock, EventCategory::kCell, /*subtype=*/0,
+                        /*movie=*/-1, /*id=*/cell_index,
+                        /*value=*/grid_clock);
+  }
+  return cells_done;
 }
 
 ExperimentOptions ExperimentOptionsFromFlags(const FlagSet& flags,

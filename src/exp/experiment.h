@@ -21,12 +21,15 @@
 #define VOD_EXP_EXPERIMENT_H_
 
 #include <cstdint>
+#include <mutex>
+#include <string>
 #include <utility>
 #include <vector>
 
 #include "common/check.h"
 #include "common/flags.h"
 #include "common/thread_pool.h"
+#include "obs/observability.h"
 
 namespace vod {
 
@@ -70,6 +73,16 @@ void AddExperimentFlags(FlagSet* flags, bool with_replications = false);
 ExperimentOptions ExperimentOptionsFromFlags(const FlagSet& flags,
                                              uint64_t base_seed);
 
+/// Profiler span name for one grid cell ("cell c3 r7").
+std::string GridCellSpanName(int config_index, int replication);
+
+/// Shared per-completion bookkeeping for the grid runners: counts the cell
+/// on the grid clock, emits its kCell event, and samples the registry.
+/// `lock` must already hold the runner's completion mutex when obs.metrics
+/// is set. Returns the new cells-done total.
+int64_t RecordGridCellDone(const GridObsOptions& obs, int64_t cells_done,
+                           int64_t cell_index);
+
 /// \brief Runs `run_cell` for every (config, replication) cell of the grid.
 ///
 /// Returns outcomes indexed `[config][replication]` — positions are fixed
@@ -81,7 +94,8 @@ ExperimentOptions ExperimentOptionsFromFlags(const FlagSet& flags,
 /// condition.
 template <typename Config, typename CellFn>
 auto RunExperimentGrid(const std::vector<Config>& configs,
-                       const ExperimentOptions& options, CellFn&& run_cell)
+                       const ExperimentOptions& options, CellFn&& run_cell,
+                       const GridObsOptions& obs = {})
     -> std::vector<std::vector<decltype(run_cell(
         std::declval<const Config&>(), std::declval<const CellContext&>()))>> {
   using Outcome = decltype(run_cell(std::declval<const Config&>(),
@@ -94,6 +108,13 @@ auto RunExperimentGrid(const std::vector<Config>& configs,
   for (auto& row : results) row.resize(static_cast<size_t>(reps));
   if (cells == 0) return results;
 
+  // Telemetry only: the completion lock orders the obs bookkeeping, never
+  // the cells themselves, so results stay bit-exact at any thread count.
+  std::mutex obs_mu;
+  int64_t cells_done = 0;
+  const bool track_completions =
+      obs.metrics != nullptr || obs.event_log != nullptr;
+
   ThreadPool pool(ResolveThreadCount(options.threads, cells));
   pool.ParallelFor(cells, [&](int64_t cell) {
     const int c = static_cast<int>(cell / reps);
@@ -102,8 +123,15 @@ auto RunExperimentGrid(const std::vector<Config>& configs,
         c, r,
         CellSeed(options.base_seed, static_cast<uint64_t>(c),
                  static_cast<uint64_t>(r))};
-    results[static_cast<size_t>(c)][static_cast<size_t>(r)] =
-        run_cell(configs[static_cast<size_t>(c)], context);
+    {
+      PhaseProfiler::Scope span(obs.profiler, GridCellSpanName(c, r));
+      results[static_cast<size_t>(c)][static_cast<size_t>(r)] =
+          run_cell(configs[static_cast<size_t>(c)], context);
+    }
+    if (track_completions) {
+      std::lock_guard<std::mutex> lock(obs_mu);
+      cells_done = RecordGridCellDone(obs, cells_done, cell);
+    }
   });
   return results;
 }

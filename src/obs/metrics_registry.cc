@@ -1,0 +1,302 @@
+#include "obs/metrics_registry.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/check.h"
+
+namespace vod {
+
+namespace {
+
+void WriteValue(std::ostream& os, double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  os << buf;
+}
+
+const char* KindName(uint8_t kind) {
+  switch (kind) {
+    case 0:
+      return "counter";
+    case 1:
+      return "gauge";
+    case 2:
+      return "histogram";
+    default:
+      return "unknown";
+  }
+}
+
+}  // namespace
+
+MetricsRegistry::Entry* MetricsRegistry::FindOrCreate(const std::string& name,
+                                                      const std::string& help,
+                                                      Kind kind) {
+  const auto it = index_.find(name);
+  if (it != index_.end()) {
+    Entry* entry = metrics_[it->second].get();
+    VOD_CHECK_MSG(entry->kind == kind,
+                  "metric registered twice with different kinds");
+    return entry;
+  }
+  auto entry = std::make_unique<Entry>();
+  entry->name = name;
+  entry->help = help;
+  entry->kind = kind;
+  index_[name] = metrics_.size();
+  metrics_.push_back(std::move(entry));
+  return metrics_.back().get();
+}
+
+MetricsRegistry::Entry* MetricsRegistry::Find(const std::string& name,
+                                              Kind kind) {
+  const auto it = index_.find(name);
+  if (it == index_.end()) return nullptr;
+  Entry* entry = metrics_[it->second].get();
+  return entry->kind == kind ? entry : nullptr;
+}
+
+Counter* MetricsRegistry::AddCounter(const std::string& name,
+                                     const std::string& help) {
+  return &FindOrCreate(name, help, Kind::kCounter)->counter;
+}
+
+Gauge* MetricsRegistry::AddGauge(const std::string& name,
+                                 const std::string& help) {
+  return &FindOrCreate(name, help, Kind::kGauge)->gauge;
+}
+
+Histogram* MetricsRegistry::AddHistogram(const std::string& name,
+                                         const std::string& help, double lo,
+                                         double hi, int bins) {
+  Entry* entry = FindOrCreate(name, help, Kind::kHistogram);
+  if (entry->histogram == nullptr) {
+    entry->hist_lo = lo;
+    entry->hist_hi = hi;
+    entry->hist_bins = bins;
+    entry->histogram = std::make_unique<Histogram>(lo, hi, bins);
+  }
+  return entry->histogram.get();
+}
+
+Counter* MetricsRegistry::FindCounter(const std::string& name) {
+  Entry* entry = Find(name, Kind::kCounter);
+  return entry != nullptr ? &entry->counter : nullptr;
+}
+
+Gauge* MetricsRegistry::FindGauge(const std::string& name) {
+  Entry* entry = Find(name, Kind::kGauge);
+  return entry != nullptr ? &entry->gauge : nullptr;
+}
+
+Histogram* MetricsRegistry::FindHistogram(const std::string& name) {
+  Entry* entry = Find(name, Kind::kHistogram);
+  return entry != nullptr ? entry->histogram.get() : nullptr;
+}
+
+double MetricsRegistry::CurrentValue(const Entry& entry) const {
+  switch (entry.kind) {
+    case Kind::kCounter:
+      return static_cast<double>(entry.counter.value());
+    case Kind::kGauge:
+      return entry.gauge.value();
+    case Kind::kHistogram:
+      return static_cast<double>(entry.histogram->total_count());
+  }
+  return 0.0;
+}
+
+void MetricsRegistry::SampleAt(double t) {
+  for (const auto& entry : metrics_) {
+    entry->series.push_back({t, CurrentValue(*entry)});
+  }
+  last_sample_ = t;
+  sampled_once_ = true;
+  ++samples_taken_;
+}
+
+void MetricsRegistry::MaybeSample(double t) {
+  if (sample_every_ <= 0.0) return;
+  if (!sampled_once_) {
+    // Anchor the cadence at the first observed time.
+    last_sample_ = t;
+    sampled_once_ = true;
+    return;
+  }
+  while (t - last_sample_ >= sample_every_) {
+    SampleAt(last_sample_ + sample_every_);
+  }
+}
+
+const std::vector<SeriesPoint>& MetricsRegistry::series(
+    const std::string& name) const {
+  static const std::vector<SeriesPoint> kEmpty;
+  const auto it = index_.find(name);
+  return it == index_.end() ? kEmpty : metrics_[it->second]->series;
+}
+
+void MetricsRegistry::WritePrometheus(std::ostream& os) const {
+  for (const auto& entry : metrics_) {
+    os << "# HELP " << entry->name << " " << entry->help << "\n";
+    os << "# TYPE " << entry->name << " "
+       << KindName(static_cast<uint8_t>(entry->kind)) << "\n";
+    switch (entry->kind) {
+      case Kind::kCounter:
+        os << entry->name << " " << entry->counter.value() << "\n";
+        break;
+      case Kind::kGauge:
+        os << entry->name << " ";
+        WriteValue(os, entry->gauge.value());
+        os << "\n";
+        break;
+      case Kind::kHistogram: {
+        const Histogram& h = *entry->histogram;
+        int64_t cumulative = h.underflow();
+        for (int i = 0; i < h.num_bins(); ++i) {
+          cumulative += h.bin_count(i);
+          os << entry->name << "_bucket{le=\"";
+          WriteValue(os, h.bin_upper(i));
+          os << "\"} " << cumulative << "\n";
+        }
+        os << entry->name << "_bucket{le=\"+Inf\"} " << h.total_count()
+           << "\n";
+        os << entry->name << "_count " << h.total_count() << "\n";
+        break;
+      }
+    }
+  }
+}
+
+void MetricsRegistry::WriteSeriesCsv(std::ostream& os) const {
+  os << "sample_t,metric,value\n";
+  for (const auto& entry : metrics_) {
+    for (const SeriesPoint& p : entry->series) {
+      WriteValue(os, p.t);
+      os << "," << entry->name << ",";
+      WriteValue(os, p.value);
+      os << "\n";
+    }
+  }
+}
+
+void MetricsRegistry::Snapshot(ByteWriter* writer) const {
+  writer->PutU32(static_cast<uint32_t>(metrics_.size()));
+  for (const auto& entry : metrics_) {
+    writer->PutString(entry->name);
+    writer->PutString(entry->help);
+    writer->PutU8(static_cast<uint8_t>(entry->kind));
+    switch (entry->kind) {
+      case Kind::kCounter:
+        writer->PutI64(entry->counter.value());
+        break;
+      case Kind::kGauge:
+        writer->PutDouble(entry->gauge.value());
+        break;
+      case Kind::kHistogram: {
+        const Histogram& h = *entry->histogram;
+        writer->PutDouble(entry->hist_lo);
+        writer->PutDouble(entry->hist_hi);
+        writer->PutU32(static_cast<uint32_t>(entry->hist_bins));
+        writer->PutI64(h.underflow());
+        writer->PutI64(h.overflow());
+        for (int i = 0; i < h.num_bins(); ++i) writer->PutI64(h.bin_count(i));
+        break;
+      }
+    }
+    writer->PutU64(static_cast<uint64_t>(entry->series.size()));
+    for (const SeriesPoint& p : entry->series) {
+      writer->PutDouble(p.t);
+      writer->PutDouble(p.value);
+    }
+  }
+  writer->PutDouble(sample_every_);
+  writer->PutDouble(last_sample_);
+  writer->PutBool(sampled_once_);
+  writer->PutI64(samples_taken_);
+}
+
+Status MetricsRegistry::Restore(ByteReader* reader) {
+  uint32_t count = 0;
+  VOD_RETURN_IF_ERROR(reader->ReadU32(&count));
+  for (uint32_t m = 0; m < count; ++m) {
+    std::string name, help;
+    uint8_t kind_raw = 0;
+    VOD_RETURN_IF_ERROR(reader->ReadString(&name));
+    VOD_RETURN_IF_ERROR(reader->ReadString(&help));
+    VOD_RETURN_IF_ERROR(reader->ReadU8(&kind_raw));
+    if (kind_raw > 2) {
+      return Status::InvalidArgument("metrics restore: unknown kind " +
+                                     std::to_string(kind_raw) + " for '" +
+                                     name + "'");
+    }
+    const Kind kind = static_cast<Kind>(kind_raw);
+    const auto it = index_.find(name);
+    if (it != index_.end() && metrics_[it->second]->kind != kind) {
+      return Status::InvalidArgument(
+          "metrics restore: '" + name + "' is registered as " +
+          KindName(static_cast<uint8_t>(metrics_[it->second]->kind)) +
+          " but the snapshot holds a " + KindName(kind_raw));
+    }
+    Entry* entry = nullptr;
+    switch (kind) {
+      case Kind::kCounter: {
+        Counter* c = AddCounter(name, help);
+        int64_t value = 0;
+        VOD_RETURN_IF_ERROR(reader->ReadI64(&value));
+        c->value_ = value;
+        break;
+      }
+      case Kind::kGauge: {
+        Gauge* g = AddGauge(name, help);
+        VOD_RETURN_IF_ERROR(reader->ReadDouble(&g->value_));
+        break;
+      }
+      case Kind::kHistogram: {
+        double lo = 0.0, hi = 1.0;
+        uint32_t bins = 0;
+        VOD_RETURN_IF_ERROR(reader->ReadDouble(&lo));
+        VOD_RETURN_IF_ERROR(reader->ReadDouble(&hi));
+        VOD_RETURN_IF_ERROR(reader->ReadU32(&bins));
+        if (bins < 1 || !(lo < hi)) {
+          return Status::InvalidArgument(
+              "metrics restore: bad histogram geometry for '" + name + "'");
+        }
+        Histogram* h =
+            AddHistogram(name, help, lo, hi, static_cast<int>(bins));
+        if (h->num_bins() != static_cast<int>(bins) || h->lo() != lo) {
+          return Status::InvalidArgument(
+              "metrics restore: histogram '" + name +
+              "' geometry differs from the registered instrument");
+        }
+        int64_t underflow = 0, overflow = 0;
+        VOD_RETURN_IF_ERROR(reader->ReadI64(&underflow));
+        VOD_RETURN_IF_ERROR(reader->ReadI64(&overflow));
+        std::vector<int64_t> bin_counts(bins, 0);
+        for (uint32_t i = 0; i < bins; ++i) {
+          VOD_RETURN_IF_ERROR(reader->ReadI64(&bin_counts[i]));
+        }
+        VOD_RETURN_IF_ERROR(h->SetCounts(underflow, overflow, bin_counts));
+        break;
+      }
+    }
+    entry = metrics_[index_.at(name)].get();
+    uint64_t points = 0;
+    VOD_RETURN_IF_ERROR(reader->ReadU64(&points));
+    entry->series.clear();
+    entry->series.reserve(points);
+    for (uint64_t i = 0; i < points; ++i) {
+      SeriesPoint p;
+      VOD_RETURN_IF_ERROR(reader->ReadDouble(&p.t));
+      VOD_RETURN_IF_ERROR(reader->ReadDouble(&p.value));
+      entry->series.push_back(p);
+    }
+  }
+  VOD_RETURN_IF_ERROR(reader->ReadDouble(&sample_every_));
+  VOD_RETURN_IF_ERROR(reader->ReadDouble(&last_sample_));
+  VOD_RETURN_IF_ERROR(reader->ReadBool(&sampled_once_));
+  VOD_RETURN_IF_ERROR(reader->ReadI64(&samples_taken_));
+  return Status::OK();
+}
+
+}  // namespace vod

@@ -1,0 +1,46 @@
+// Per-run observability wiring carried by SimulationOptions/ServerOptions.
+//
+// A run can be handed an event log (structured tracing) and a metrics
+// registry (cadenced series sampling). Both are borrowed, both default to
+// null, and both are telemetry-only: they never touch the seeded RNG or the
+// report path, so enabling them cannot change a report byte.
+
+#ifndef VOD_OBS_OBSERVABILITY_H_
+#define VOD_OBS_OBSERVABILITY_H_
+
+#include "obs/event_log.h"
+#include "obs/metrics_registry.h"
+#include "obs/profiler.h"
+
+namespace vod {
+
+struct ObsOptions {
+  /// Structured event sink fan-out; null = no tracing.
+  EventLog* event_log = nullptr;
+  /// Live instruments sampled on the simulation clock; null = no sampling.
+  MetricsRegistry* metrics = nullptr;
+  /// Sampling cadence in simulated minutes (applied to `metrics`); <= 0
+  /// leaves the registry's own cadence untouched.
+  double metrics_sample_minutes = 0.0;
+};
+
+/// \brief Observability wiring for an experiment grid (exp/experiment.h,
+/// exp/checkpoint.h). All pointers are borrowed and may be null.
+///
+/// The grid clock is "cells completed so far": the metrics registry samples
+/// on it, and kCell events carry it as their time. The profiler records one
+/// span per cell plus the runner's own stages (checkpoint saves); callers
+/// add finer stages (sample/simulate/reduce) inside their cell functions.
+struct GridObsOptions {
+  PhaseProfiler* profiler = nullptr;
+  /// Sampled on the cells-done clock under the runner's completion lock;
+  /// snapshotted into grid checkpoints so a resumed sweep continues its
+  /// series without a gap.
+  MetricsRegistry* metrics = nullptr;
+  /// Receives one kCell event per completed cell.
+  EventLog* event_log = nullptr;
+};
+
+}  // namespace vod
+
+#endif  // VOD_OBS_OBSERVABILITY_H_

@@ -1,0 +1,109 @@
+#include "obs/profiler.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <sstream>
+
+namespace vod {
+
+int PhaseProfiler::TidForCurrentThreadLocked() {
+  const auto id = std::this_thread::get_id();
+  const auto it = thread_ids_.find(id);
+  if (it != thread_ids_.end()) return it->second;
+  const int tid = static_cast<int>(thread_ids_.size());
+  thread_ids_.emplace(id, tid);
+  return tid;
+}
+
+void PhaseProfiler::RecordSpan(const std::string& name, double start_us,
+                               double end_us) {
+  Span span;
+  span.name = name;
+  span.start_us = start_us;
+  span.dur_us = end_us >= start_us ? end_us - start_us : 0.0;
+  std::lock_guard<std::mutex> lock(mu_);
+  span.tid = TidForCurrentThreadLocked();
+  spans_.push_back(std::move(span));
+}
+
+size_t PhaseProfiler::span_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_.size();
+}
+
+std::vector<PhaseProfiler::Aggregate> PhaseProfiler::Aggregates() const {
+  // std::map keeps ties in name order, so the table is deterministic.
+  std::map<std::string, Aggregate> by_name;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const Span& span : spans_) {
+      Aggregate& agg = by_name[span.name];
+      if (agg.count == 0) agg.name = span.name;
+      ++agg.count;
+      agg.total_us += span.dur_us;
+      agg.max_us = std::max(agg.max_us, span.dur_us);
+    }
+  }
+  std::vector<Aggregate> out;
+  out.reserve(by_name.size());
+  for (auto& [name, agg] : by_name) out.push_back(std::move(agg));
+  std::stable_sort(out.begin(), out.end(),
+                   [](const Aggregate& a, const Aggregate& b) {
+                     return a.total_us > b.total_us;
+                   });
+  return out;
+}
+
+std::string PhaseProfiler::SummaryTable() const {
+  const auto aggregates = Aggregates();
+  size_t name_width = 5;  // "phase"
+  for (const auto& agg : aggregates) {
+    name_width = std::max(name_width, agg.name.size());
+  }
+  std::ostringstream os;
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "%-*s %10s %12s %12s %12s\n",
+                static_cast<int>(name_width), "phase", "count", "total_ms",
+                "mean_ms", "max_ms");
+  os << buf;
+  for (const auto& agg : aggregates) {
+    const double total_ms = agg.total_us / 1000.0;
+    const double mean_ms =
+        agg.count > 0 ? total_ms / static_cast<double>(agg.count) : 0.0;
+    std::snprintf(buf, sizeof(buf), "%-*s %10lld %12.3f %12.3f %12.3f\n",
+                  static_cast<int>(name_width), agg.name.c_str(),
+                  static_cast<long long>(agg.count), total_ms, mean_ms,
+                  agg.max_us / 1000.0);
+    os << buf;
+  }
+  return os.str();
+}
+
+void PhaseProfiler::WriteChromeTrace(std::ostream& os) const {
+  std::vector<Span> spans;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    spans = spans_;
+  }
+  os << "[";
+  char buf[64];
+  for (size_t i = 0; i < spans.size(); ++i) {
+    const Span& span = spans[i];
+    if (i > 0) os << ",";
+    os << "\n{\"name\":\"";
+    // Span names are library-generated (phase/cell labels); escape the two
+    // JSON-breaking characters defensively anyway.
+    for (char c : span.name) {
+      if (c == '"' || c == '\\') os << '\\';
+      os << c;
+    }
+    os << "\",\"cat\":\"phase\",\"ph\":\"X\",\"pid\":0,\"tid\":" << span.tid;
+    std::snprintf(buf, sizeof(buf), ",\"ts\":%.3f,\"dur\":%.3f}",
+                  span.start_us, span.dur_us);
+    os << buf;
+  }
+  os << "\n]\n";
+}
+
+}  // namespace vod

@@ -1,0 +1,106 @@
+// RAII scoped-timer profiler with Chrome trace_event export.
+//
+// Answers "where does the wall clock go in a --threads=N sweep": each
+// profiled region (a grid cell's simulate stage, a reduce pass, a file
+// parse) opens a Scope; on close the span lands in a thread-safe table
+// keyed by name and, with full spans retained, can be exported as Chrome
+// trace_event JSON — open chrome://tracing or https://ui.perfetto.dev and
+// load the file to see per-worker lanes, pool utilization, and stragglers.
+//
+// Wall-clock timing is inherently nondeterministic, so the profiler is kept
+// strictly outside the seeded simulation: nothing it measures feeds back
+// into any report path.
+
+#ifndef VOD_OBS_PROFILER_H_
+#define VOD_OBS_PROFILER_H_
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+namespace vod {
+
+/// \brief Thread-safe span collector. Scopes may open/close concurrently on
+/// any thread; aggregation and export run after the workload finishes.
+class PhaseProfiler {
+ public:
+  PhaseProfiler() : epoch_(std::chrono::steady_clock::now()) {}
+
+  /// Microseconds since this profiler was constructed.
+  double NowMicros() const {
+    return std::chrono::duration<double, std::micro>(
+               std::chrono::steady_clock::now() - epoch_)
+        .count();
+  }
+
+  /// Records a completed span [start_us, end_us) on the calling thread's
+  /// lane. Normally called by ~Scope.
+  void RecordSpan(const std::string& name, double start_us, double end_us);
+
+  /// \brief RAII timer. `profiler` may be null — the scope is then free.
+  class Scope {
+   public:
+    Scope(PhaseProfiler* profiler, std::string name)
+        : profiler_(profiler),
+          name_(profiler != nullptr ? std::move(name) : std::string()),
+          start_us_(profiler != nullptr ? profiler->NowMicros() : 0.0) {}
+
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+    ~Scope() {
+      if (profiler_ != nullptr) {
+        profiler_->RecordSpan(name_, start_us_, profiler_->NowMicros());
+      }
+    }
+
+   private:
+    PhaseProfiler* profiler_;
+    std::string name_;
+    double start_us_;
+  };
+
+  /// Per-name aggregate over all recorded spans.
+  struct Aggregate {
+    std::string name;
+    int64_t count = 0;
+    double total_us = 0.0;
+    double max_us = 0.0;
+  };
+
+  /// Aggregates sorted by descending total time.
+  std::vector<Aggregate> Aggregates() const;
+
+  /// Aligned text table of Aggregates() (count, total ms, mean ms, max ms).
+  std::string SummaryTable() const;
+
+  /// Chrome trace_event JSON (array-of-objects form, "ph":"X" complete
+  /// events, ts/dur in microseconds). Loads in chrome://tracing / Perfetto.
+  void WriteChromeTrace(std::ostream& os) const;
+
+  size_t span_count() const;
+
+ private:
+  struct Span {
+    std::string name;
+    double start_us = 0.0;
+    double dur_us = 0.0;
+    int tid = 0;  ///< small dense id assigned per observed thread
+  };
+
+  int TidForCurrentThreadLocked();
+
+  std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mu_;
+  std::vector<Span> spans_;
+  std::unordered_map<std::thread::id, int> thread_ids_;
+};
+
+}  // namespace vod
+
+#endif  // VOD_OBS_PROFILER_H_

@@ -1,0 +1,233 @@
+#include "obs/trace_reader.h"
+
+#include <algorithm>
+#include <array>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+
+namespace vod {
+
+namespace {
+
+Status LineError(size_t line_no, const std::string& why) {
+  return Status::InvalidArgument("trace line " + std::to_string(line_no) +
+                                 ": " + why);
+}
+
+// Finds `"key":` in a single-line JSON object and returns the character
+// position just past the colon, or npos.
+size_t FindField(const std::string& line, const char* key) {
+  const std::string needle = std::string("\"") + key + "\":";
+  const size_t pos = line.find(needle);
+  return pos == std::string::npos ? std::string::npos : pos + needle.size();
+}
+
+Status ParseJsonNumber(const std::string& line, size_t line_no,
+                       const char* key, double* out) {
+  const size_t pos = FindField(line, key);
+  if (pos == std::string::npos) {
+    return LineError(line_no, std::string("missing field \"") + key + "\"");
+  }
+  const char* begin = line.c_str() + pos;
+  char* end = nullptr;
+  const double v = std::strtod(begin, &end);
+  if (end == begin) {
+    return LineError(line_no,
+                     std::string("field \"") + key + "\" is not a number");
+  }
+  *out = v;
+  return Status::OK();
+}
+
+Status ParseJsonString(const std::string& line, size_t line_no,
+                       const char* key, std::string* out) {
+  size_t pos = FindField(line, key);
+  if (pos == std::string::npos) {
+    return LineError(line_no, std::string("missing field \"") + key + "\"");
+  }
+  if (pos >= line.size() || line[pos] != '"') {
+    return LineError(line_no,
+                     std::string("field \"") + key + "\" is not a string");
+  }
+  const size_t close = line.find('"', pos + 1);
+  if (close == std::string::npos) {
+    return LineError(line_no, std::string("unterminated string for \"") + key +
+                                  "\"");
+  }
+  *out = line.substr(pos + 1, close - pos - 1);
+  return Status::OK();
+}
+
+uint64_t GetLeU64(const unsigned char* p) {
+  uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+double GetLeDouble(const unsigned char* p) {
+  const uint64_t bits = GetLeU64(p);
+  double v = 0.0;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+}  // namespace
+
+Result<std::vector<TraceEvent>> ReadJsonlTrace(std::istream& in) {
+  std::vector<TraceEvent> events;
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) {
+      return LineError(line_no, "blank line (truncated or damaged trace)");
+    }
+    TraceEvent event;
+    double t = 0.0, seq = 0.0, aux = 0.0, movie = 0.0, id = 0.0, value = 0.0;
+    std::string cat, sub;
+    VOD_RETURN_IF_ERROR(ParseJsonNumber(line, line_no, "t", &t));
+    VOD_RETURN_IF_ERROR(ParseJsonNumber(line, line_no, "seq", &seq));
+    VOD_RETURN_IF_ERROR(ParseJsonString(line, line_no, "cat", &cat));
+    VOD_RETURN_IF_ERROR(ParseJsonString(line, line_no, "sub", &sub));
+    VOD_RETURN_IF_ERROR(ParseJsonNumber(line, line_no, "aux", &aux));
+    VOD_RETURN_IF_ERROR(ParseJsonNumber(line, line_no, "movie", &movie));
+    VOD_RETURN_IF_ERROR(ParseJsonNumber(line, line_no, "id", &id));
+    VOD_RETURN_IF_ERROR(ParseJsonNumber(line, line_no, "value", &value));
+    const auto parsed = ParseEventCategory(cat);
+    if (!parsed.ok()) return LineError(line_no, parsed.status().message());
+    event.category = parsed.value();
+    event.time = t;
+    event.seq = static_cast<uint64_t>(seq);
+    event.aux = static_cast<uint8_t>(aux);
+    event.movie = static_cast<int32_t>(movie);
+    event.id = static_cast<int64_t>(id);
+    event.value = value;
+    // Recover the subtype id from its name so binary/JSONL round-trips agree.
+    event.subtype = 0;
+    if (sub != "-") {
+      for (uint8_t s = 0; s < 255; ++s) {
+        const char* name = EventSubtypeName(event.category, s);
+        if (std::strcmp(name, "-") == 0) break;
+        if (sub == name) {
+          event.subtype = s;
+          break;
+        }
+      }
+    }
+    events.push_back(event);
+  }
+  return events;
+}
+
+Result<std::vector<TraceEvent>> ReadBinaryTrace(std::istream& in) {
+  std::array<char, sizeof(BinarySink::kMagic)> magic{};
+  in.read(magic.data(), magic.size());
+  if (in.gcount() != static_cast<std::streamsize>(magic.size()) ||
+      std::memcmp(magic.data(), BinarySink::kMagic, magic.size()) != 0) {
+    return Status::InvalidArgument("not a binary trace (bad magic)");
+  }
+  std::vector<TraceEvent> events;
+  std::array<unsigned char, sizeof(TraceEvent)> record{};
+  size_t index = 0;
+  while (true) {
+    in.read(reinterpret_cast<char*>(record.data()), record.size());
+    const auto got = in.gcount();
+    if (got == 0) break;
+    if (got != static_cast<std::streamsize>(record.size())) {
+      return Status::InvalidArgument(
+          "binary trace truncated mid-record at record " +
+          std::to_string(index));
+    }
+    TraceEvent event;
+    event.time = GetLeDouble(record.data());
+    event.seq = GetLeU64(record.data() + 8);
+    event.id = static_cast<int64_t>(GetLeU64(record.data() + 16));
+    event.value = GetLeDouble(record.data() + 24);
+    uint32_t movie = 0;
+    for (int i = 3; i >= 0; --i) movie = (movie << 8) | record[32 + i];
+    event.movie = static_cast<int32_t>(movie);
+    const uint8_t category = record[36];
+    if (category >= kNumEventCategories) {
+      return Status::InvalidArgument("binary trace record " +
+                                     std::to_string(index) +
+                                     " has unknown category " +
+                                     std::to_string(category));
+    }
+    event.category = static_cast<EventCategory>(category);
+    event.subtype = record[37];
+    event.aux = record[38];
+    event.pad = record[39];
+    events.push_back(event);
+    ++index;
+  }
+  return events;
+}
+
+Result<std::vector<TraceEvent>> ReadTraceFile(const std::string& path) {
+  std::ifstream in(path, std::ios::in | std::ios::binary);
+  if (!in.is_open()) {
+    return Status::NotFound("cannot open trace file '" + path + "'");
+  }
+  std::array<char, sizeof(BinarySink::kMagic)> head{};
+  in.read(head.data(), head.size());
+  const bool binary =
+      in.gcount() == static_cast<std::streamsize>(head.size()) &&
+      std::memcmp(head.data(), BinarySink::kMagic, head.size()) == 0;
+  in.clear();
+  in.seekg(0);
+  return binary ? ReadBinaryTrace(in) : ReadJsonlTrace(in);
+}
+
+std::vector<CategorySummary> SummarizeTrace(
+    const std::vector<TraceEvent>& events) {
+  std::array<CategorySummary, kNumEventCategories> acc{};
+  std::array<bool, kNumEventCategories> seen{};
+  for (const TraceEvent& event : events) {
+    const auto i = static_cast<size_t>(event.category);
+    if (i >= kNumEventCategories) continue;
+    CategorySummary& s = acc[i];
+    if (!seen[i]) {
+      seen[i] = true;
+      s.category = event.category;
+      s.first_t = event.time;
+      s.last_t = event.time;
+      s.value_min = event.value;
+      s.value_max = event.value;
+    }
+    ++s.count;
+    s.first_t = std::min(s.first_t, event.time);
+    s.last_t = std::max(s.last_t, event.time);
+    s.value_sum += event.value;
+    s.value_min = std::min(s.value_min, event.value);
+    s.value_max = std::max(s.value_max, event.value);
+  }
+  std::vector<CategorySummary> out;
+  for (size_t i = 0; i < acc.size(); ++i) {
+    if (seen[i]) out.push_back(acc[i]);
+  }
+  return out;
+}
+
+std::vector<DegradationInterval> DegradationTimeline(
+    const std::vector<TraceEvent>& events) {
+  std::vector<DegradationInterval> out;
+  double last_t = 0.0;
+  for (const TraceEvent& event : events) {
+    last_t = std::max(last_t, event.time);
+    if (event.category != EventCategory::kDegradation) continue;
+    if (!out.empty()) out.back().end = event.time;
+    DegradationInterval interval;
+    interval.start = event.time;
+    interval.end = event.time;
+    interval.level = event.subtype;
+    interval.from_level = event.aux;
+    interval.capacity = static_cast<int64_t>(event.value);
+    out.push_back(interval);
+  }
+  if (!out.empty()) out.back().end = last_t;
+  return out;
+}
+
+}  // namespace vod

@@ -1,0 +1,65 @@
+// Readers and summarizers for event-log files (vodctl inspect).
+//
+// Parses both sink formats back into TraceEvent records — the JSONL stream
+// (strict about the fields the checked-in schema requires) and the binary
+// spill file (sniffed by its magic) — and derives the two views inspect
+// renders: per-category summaries and the degradation-level timeline.
+
+#ifndef VOD_OBS_TRACE_READER_H_
+#define VOD_OBS_TRACE_READER_H_
+
+#include <cstdint>
+#include <istream>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/event_log.h"
+
+namespace vod {
+
+/// Reads a trace file, sniffing the format: BinarySink magic -> binary,
+/// otherwise JSONL. InvalidArgument with a line/record diagnostic on any
+/// malformed content.
+Result<std::vector<TraceEvent>> ReadTraceFile(const std::string& path);
+
+/// One JSONL object per line; blank lines are rejected (the sinks never
+/// write them, so one signals truncation or concatenation damage).
+Result<std::vector<TraceEvent>> ReadJsonlTrace(std::istream& in);
+
+/// Binary stream positioned at the magic header.
+Result<std::vector<TraceEvent>> ReadBinaryTrace(std::istream& in);
+
+/// Per-category aggregate over a trace.
+struct CategorySummary {
+  EventCategory category = EventCategory::kTick;
+  int64_t count = 0;
+  double first_t = 0.0;
+  double last_t = 0.0;
+  double value_sum = 0.0;
+  double value_min = 0.0;
+  double value_max = 0.0;
+};
+
+/// Summaries of the categories present, in category order.
+std::vector<CategorySummary> SummarizeTrace(
+    const std::vector<TraceEvent>& events);
+
+/// One dwell interval at a degradation rung, reconstructed from the
+/// kDegradation events. `end` of the last interval is the trace's final
+/// event time (the level was still live).
+struct DegradationInterval {
+  double start = 0.0;
+  double end = 0.0;
+  int level = 0;           ///< rung entered (DegradationLevel value)
+  int from_level = 0;      ///< rung left
+  int64_t capacity = 0;    ///< reserve capacity when the rung was entered
+};
+
+/// Degradation timeline. Empty when the trace has no kDegradation events.
+std::vector<DegradationInterval> DegradationTimeline(
+    const std::vector<TraceEvent>& events);
+
+}  // namespace vod
+
+#endif  // VOD_OBS_TRACE_READER_H_

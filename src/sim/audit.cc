@@ -36,22 +36,18 @@ Status AuditOptions::Validate() const {
 }
 
 InvariantAuditor::InvariantAuditor(const AuditOptions& options)
-    : options_(options) {
-  recent_.reserve(static_cast<size_t>(std::max(options_.trace_tail, 0)));
-}
+    : options_(options),
+      recent_(static_cast<size_t>(std::max(options.trace_tail, 0))) {}
 
 void InvariantAuditor::RecordEvent(double t) {
   ++events_seen_;
   ++events_since_audit_;
   if (options_.trace_tail <= 0) return;
-  const auto entry =
-      std::make_pair(static_cast<uint64_t>(events_seen_), t);
-  if (recent_.size() < static_cast<size_t>(options_.trace_tail)) {
-    recent_.push_back(entry);
-  } else {
-    recent_[recent_next_] = entry;
-    recent_next_ = (recent_next_ + 1) % recent_.size();
-  }
+  TraceEvent event;
+  event.time = t;
+  event.category = EventCategory::kTick;
+  event.seq = static_cast<uint64_t>(events_seen_);
+  recent_.Append(event);
 }
 
 void InvariantAuditor::AddViolation(double t, const char* invariant,
@@ -71,15 +67,14 @@ std::string InvariantAuditor::TraceTail() const {
   if (recent_.empty()) return "(no event trace)";
   std::ostringstream os;
   os << "last " << recent_.size() << " events:";
-  // The ring's oldest entry sits at recent_next_ once it has wrapped.
-  const size_t n = recent_.size();
-  const size_t start =
-      recent_.size() < static_cast<size_t>(options_.trace_tail)
-          ? 0
-          : recent_next_;
-  for (size_t i = 0; i < n; ++i) {
-    const auto& [index, time] = recent_[(start + i) % n];
-    os << " #" << index << "@t=" << time;
+  for (const TraceEvent& event : recent_.Snapshot()) {
+    os << " #" << event.seq << "@t=" << event.time;
+    // Rich records (the ring doubles as an EventLog sink when tracing is on)
+    // carry their category so the diagnostic shows *what* happened, not just
+    // when.
+    if (event.category != EventCategory::kTick) {
+      os << '[' << EventCategoryName(event.category) << ']';
+    }
   }
   return os.str();
 }

@@ -32,6 +32,7 @@
 
 #include "common/status.h"
 #include "core/partition_layout.h"
+#include "obs/event_log.h"
 #include "sim/degradation.h"
 
 namespace vod {
@@ -123,6 +124,16 @@ class InvariantAuditor {
   int64_t total_violations() const { return total_violations_; }
   const std::vector<AuditViolation>& violations() const { return violations_; }
 
+  /// \brief The event-trace tail, shared with the observability layer.
+  ///
+  /// The tail is an obs/event_log EventRing of TraceEvent records — the
+  /// same record format every other sink uses. RecordEvent appends a kTick
+  /// record per executed event; when a run also traces rich categories, the
+  /// caller may register this ring as a sink on its EventLog so violation
+  /// diagnostics carry admission/resume/fault context too.
+  EventRing* trace_ring() { return &recent_; }
+  const EventRing& trace_ring() const { return recent_; }
+
   /// OK when no violation was ever recorded; otherwise Internal carrying the
   /// first violation, the total count, and the event-trace tail.
   Status status() const;
@@ -137,9 +148,8 @@ class InvariantAuditor {
   int64_t audits_run_ = 0;
   int64_t total_violations_ = 0;
   std::vector<AuditViolation> violations_;  ///< capped at kMaxRecorded
-  /// Ring buffer of (event index, time) for the last trace_tail events.
-  std::vector<std::pair<uint64_t, double>> recent_;
-  size_t recent_next_ = 0;
+  /// Bounded ring of recently executed events (obs TraceEvent records).
+  EventRing recent_;
 
   static constexpr int64_t kMaxRecorded = 32;
 };

@@ -73,4 +73,40 @@ void SimulationMetrics::SetConcurrentViewers(double t, int64_t count) {
   }
 }
 
+Status SimulationMetrics::MergeFrom(const SimulationMetrics& other) {
+  if (other.measurement_start_ != measurement_start_) {
+    return Status::InvalidArgument(
+        "metrics merge: warmup boundaries differ (" +
+        std::to_string(measurement_start_) + " vs " +
+        std::to_string(other.measurement_start_) + ")");
+  }
+  hit_all_.Merge(other.hit_all_);
+  hit_in_partition_all_.Merge(other.hit_in_partition_all_);
+  VOD_RETURN_IF_ERROR(
+      hit_in_partition_batches_.Merge(other.hit_in_partition_batches_));
+  for (size_t i = 0; i < hit_by_op_.size(); ++i) {
+    hit_by_op_[i].Merge(other.hit_by_op_[i]);
+    hit_in_partition_[i].Merge(other.hit_in_partition_[i]);
+  }
+  for (size_t i = 0; i < outcome_counts_.size(); ++i) {
+    outcome_counts_[i] += other.outcome_counts_[i];
+  }
+  total_resumes_ += other.total_resumes_;
+  admissions_ += other.admissions_;
+  type2_admissions_ += other.type2_admissions_;
+  completions_ += other.completions_;
+  blocked_vcr_ += other.blocked_vcr_;
+  stalls_ += other.stalls_;
+  queued_vcr_ += other.queued_vcr_;
+  forced_reclaims_ += other.forced_reclaims_;
+  piggyback_merges_ += other.piggyback_merges_;
+  stall_time_.Merge(other.stall_time_);
+  merge_drift_time_.Merge(other.merge_drift_time_);
+  wait_time_.Merge(other.wait_time_);
+  wait_quantiles_.Merge(other.wait_quantiles_);
+  dedicated_streams_.MergePopulation(other.dedicated_streams_);
+  concurrent_viewers_.MergePopulation(other.concurrent_viewers_);
+  return Status::OK();
+}
+
 }  // namespace vod

@@ -6,6 +6,7 @@
 #include <array>
 #include <cstdint>
 
+#include "common/status.h"
 #include "core/types.h"
 #include "stats/batch_means.h"
 #include "stats/quantile.h"
@@ -69,6 +70,20 @@ class SimulationMetrics {
   /// Step changes of the dedicated-stream count / viewer count.
   void SetDedicatedStreams(double t, int64_t count);
   void SetConcurrentViewers(double t, int64_t count);
+
+  /// \brief Pools another collector's measurements (per-shard collection:
+  /// each shard observes a disjoint slice of one run's events over the same
+  /// clock, e.g. one movie of a multi-movie server).
+  ///
+  /// Counts, proportion estimators, and running stats merge exactly (the
+  /// merged values equal single-stream collection of the concatenated
+  /// event sequence, Welford means up to FP rounding). Batch means are
+  /// exact when this shard's partial batch is empty (see
+  /// BatchMeans::Merge); P² wait quantiles pool approximately (see
+  /// P2Quantile::Merge); time-weighted levels sum pointwise, so their
+  /// max/min become bounds that are exact only when shard peaks coincide.
+  /// InvalidArgument when the warmup boundaries differ.
+  Status MergeFrom(const SimulationMetrics& other);
 
   // ---- accessors ---------------------------------------------------------
   const ProportionEstimator& hit_all() const { return hit_all_; }

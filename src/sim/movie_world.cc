@@ -112,6 +112,17 @@ class MovieWorld::Impl {
     metrics_->SetConcurrentViewers(t, concurrent_count_);
   }
 
+  // ---- observability -------------------------------------------------------
+
+  /// Emits one structured event when a bus is attached and the category
+  /// passes its filter; with no bus this is a single branch.
+  void EmitObs(double t, EventCategory cat, uint8_t sub, int64_t id,
+               double value, uint8_t aux = 0) {
+    EventLog* log = config_.event_log;
+    if (log == nullptr || !log->ShouldEmit(cat)) return;
+    log->Emit(t, cat, sub, config_.movie_id, id, value, aux);
+  }
+
   // ---- arrivals --------------------------------------------------------------
 
   void ScheduleNextArrival(double t) {
@@ -139,6 +150,7 @@ class MovieWorld::Impl {
     if (covering.has_value()) {
       // Type-2 viewer: enrollment window open; read from the buffer now.
       metrics_->RecordAdmission(t, 0.0, /*type2=*/true);
+      EmitObs(t, EventCategory::kAdmission, 1, static_cast<int64_t>(id), 0.0);
       viewer.home_stream = covering;
       ArmPatience(viewer, t);
       SetConcurrent(t, +1);
@@ -157,6 +169,16 @@ class MovieWorld::Impl {
           max_wait_seen_ = std::max(max_wait_seen_, wait);
         }
         v.home_stream = schedule_.FindCoveringStream(now, 0.0);
+        // One restart event per distinct batch-restart instant, carrying the
+        // partition stream that started (the whole batch shares it).
+        if (ObsEnabled(config_.event_log, EventCategory::kRestart) &&
+            last_restart_emitted_ != now) {
+          last_restart_emitted_ = now;
+          EmitObs(now, EventCategory::kRestart, 0, v.home_stream.value_or(-1),
+                  0.0);
+        }
+        EmitObs(now, EventCategory::kAdmission, 0, static_cast<int64_t>(id),
+                wait);
         ArmPatience(v, now);
         SetConcurrent(now, +1);
         SchedulePlayback(v, now, 0.0);
@@ -178,6 +200,8 @@ class MovieWorld::Impl {
     Viewer& viewer = it->second;
     const double t = queue_->Now();
     if (viewer.dedicated) ReleaseDedicated(viewer, t);
+    EmitObs(t, EventCategory::kSession, 1, static_cast<int64_t>(id),
+            viewer.PositionAt(t));
     SetConcurrent(t, -1);
     ++abandonments_;
     viewers_.erase(it);
@@ -243,6 +267,8 @@ class MovieWorld::Impl {
     Viewer& viewer = it->second;
     const double t = queue_->Now();
     if (viewer.dedicated) ReleaseDedicated(viewer, t);
+    EmitObs(t, EventCategory::kSession, 0, static_cast<int64_t>(id),
+            layout_.movie_length());
     SetConcurrent(t, -1);
     metrics_->RecordCompletion(t);
     viewers_.erase(it);
@@ -336,10 +362,14 @@ class MovieWorld::Impl {
       // at state_time) so blocked == denied + expirations holds across the
       // warmup boundary.
       metrics_->RecordBlockedVcr(viewer.state_time);
+      EmitObs(t, EventCategory::kQueue, 2, static_cast<int64_t>(id),
+              t - viewer.state_time, static_cast<uint8_t>(op));
       SchedulePlayback(viewer, t, viewer.position);
       return;
     }
     // The supplier already acquired the stream on our behalf.
+    EmitObs(t, EventCategory::kQueue, 1, static_cast<int64_t>(id),
+            t - viewer.state_time, static_cast<uint8_t>(op));
     AcquireDedicated(viewer, t);
     const VcrPlan plan = PlanVcrOp(op, x, viewer.position);
     BeginVcrOp(viewer, t, op, plan, /*in_partition_before=*/true,
@@ -357,6 +387,8 @@ class MovieWorld::Impl {
     const VcrOp op = config_.behavior.SampleOp(&viewer.rng);
     const double x = config_.behavior.SampleDuration(op, &viewer.rng);
     if (config_.trace != nullptr) config_.trace->Record(t, op, x);
+    EmitObs(t, EventCategory::kVcrBegin, static_cast<uint8_t>(op),
+            static_cast<int64_t>(id), x);
     const bool in_partition_before = !viewer.dedicated;
     const VcrPlan plan = PlanVcrOp(op, x, position);
 
@@ -375,6 +407,8 @@ class MovieWorld::Impl {
           // Queued: freeze in place until the supplier decides. The viewer
           // holds no pending event — the supplier owns the timers.
           metrics_->RecordQueuedVcr(t);
+          EmitObs(t, EventCategory::kQueue, 0, static_cast<int64_t>(id), 0.0,
+                  static_cast<uint8_t>(op));
           viewer.position = position;
           viewer.state_time = t;
           viewer.play_rate = 0.0;
@@ -382,6 +416,8 @@ class MovieWorld::Impl {
           return;
         }
         metrics_->RecordBlockedVcr(t);
+        EmitObs(t, EventCategory::kShed, 0, static_cast<int64_t>(id), 0.0,
+                static_cast<uint8_t>(op));
         SchedulePlayback(viewer, t, position);
         return;
       }
@@ -407,7 +443,13 @@ class MovieWorld::Impl {
       // resources are released — a release per the paper's Eq. (21).
       metrics_->RecordResume(t, op, ResumeOutcome::kEndOfMovie,
                              in_partition_before);
+      EmitObs(t, EventCategory::kResume,
+              static_cast<uint8_t>(ResumeOutcome::kEndOfMovie),
+              static_cast<int64_t>(id), resume_position,
+              static_cast<uint8_t>(op));
       if (viewer.dedicated) ReleaseDedicated(viewer, t);
+      EmitObs(t, EventCategory::kSession, 0, static_cast<int64_t>(id),
+              resume_position);
       SetConcurrent(t, -1);
       metrics_->RecordCompletion(t);
       viewers_.erase(it);
@@ -422,6 +464,11 @@ class MovieWorld::Impl {
       metrics_->RecordResume(
           t, op, within ? ResumeOutcome::kHitWithin : ResumeOutcome::kHitJump,
           in_partition_before);
+      EmitObs(t, EventCategory::kResume,
+              static_cast<uint8_t>(within ? ResumeOutcome::kHitWithin
+                                          : ResumeOutcome::kHitJump),
+              static_cast<int64_t>(id), resume_position,
+              static_cast<uint8_t>(op));
       if (viewer.dedicated) ReleaseDedicated(viewer, t);
       viewer.home_stream = covering;
       SchedulePlayback(viewer, t, resume_position);
@@ -429,6 +476,10 @@ class MovieWorld::Impl {
     }
 
     metrics_->RecordResume(t, op, ResumeOutcome::kMiss, in_partition_before);
+    EmitObs(t, EventCategory::kResume,
+            static_cast<uint8_t>(ResumeOutcome::kMiss),
+            static_cast<int64_t>(id), resume_position,
+            static_cast<uint8_t>(op));
     viewer.home_stream = std::nullopt;
     if (!viewer.dedicated) {
       VOD_DCHECK(!was_consuming_in_vcr);
@@ -453,6 +504,8 @@ class MovieWorld::Impl {
     // The next leading edge reaches `position` when the phase wraps to 0.
     const double wait = period - phase;
     metrics_->RecordStall(t, wait);
+    EmitObs(t, EventCategory::kStall, 0, static_cast<int64_t>(viewer.id),
+            wait);
     const uint64_t id = viewer.id;
     viewer.position = position;
     viewer.state_time = t;
@@ -490,6 +543,8 @@ class MovieWorld::Impl {
       victim->pending_event = kNoEvent;
       ReleaseDedicated(*victim, t);
       metrics_->RecordForcedReclaim(t);
+      EmitObs(t, EventCategory::kReclaim, 0,
+              static_cast<int64_t>(victim->id), position);
       // The victim falls back to pure-batching service: stall until the
       // next partition window sweeps over its position.
       StallUntilCovered(*victim, t, position);
@@ -514,6 +569,9 @@ class MovieWorld::Impl {
   int concurrent_count_ = 0;
   int64_t abandonments_ = 0;
   double max_wait_seen_ = 0.0;
+  /// Restart instant last emitted on the event bus (dedupe: one kRestart
+  /// event per batch restart, not one per admitted viewer).
+  double last_restart_emitted_ = -1.0;
 
  public:
   double max_wait_seen() const { return max_wait_seen_; }

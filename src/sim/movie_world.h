@@ -21,6 +21,7 @@
 #include "core/partition_layout.h"
 #include "core/piggyback.h"
 #include "core/types.h"
+#include "obs/event_log.h"
 #include "sim/arrival_process.h"
 #include "sim/event_queue.h"
 #include "sim/metrics.h"
@@ -49,6 +50,12 @@ struct MovieWorldConfig {
   /// start; the viewer abandons when it expires (during a playback segment;
   /// an in-progress VCR operation finishes first). Null = watch to the end.
   DistributionPtr patience;
+  /// Optional structured event bus (obs/event_log.h); must outlive the
+  /// world. Telemetry only: emission never touches the viewer RNG streams
+  /// and nothing in a report path reads it back.
+  EventLog* event_log = nullptr;
+  /// Movie index stamped onto emitted events (-1 = single-movie run).
+  int32_t movie_id = -1;
 };
 
 /// \brief One movie's event logic over shared simulation infrastructure.

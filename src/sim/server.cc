@@ -178,6 +178,8 @@ Result<ServerReport> RunServerSimulation(
     config.behavior = spec.behavior;
     config.stationary_start = options.stationary_start;
     config.piggyback = options.piggyback;
+    config.event_log = options.obs.event_log;
+    config.movie_id = static_cast<int32_t>(i);
     VOD_RETURN_IF_ERROR(ValidateMovieWorldInputs(options.rates, config));
 
     metrics.push_back(
@@ -218,25 +220,94 @@ Result<ServerReport> RunServerSimulation(
       audit_snapshot.movies.push_back(
           BuildMovieAuditBuffers(spec.name, spec.layout));
     }
+  }
+
+  // Live instruments sampled on the simulation clock (telemetry-only).
+  MetricsRegistry* registry = options.obs.metrics;
+  Gauge* g_in_use = nullptr;
+  Gauge* g_capacity = nullptr;
+  Gauge* g_level = nullptr;
+  if (registry != nullptr) {
+    if (options.obs.metrics_sample_minutes > 0.0) {
+      registry->set_sample_every(options.obs.metrics_sample_minutes);
+    }
+    g_in_use = registry->AddGauge("server_reserve_in_use",
+                                  "dynamic reserve streams handed out");
+    g_capacity = registry->AddGauge(
+        "server_reserve_capacity", "current reserve capacity under faults");
+    g_level = registry->AddGauge("server_degradation_level",
+                                 "degradation ladder rung (0 = normal)");
+  }
+
+  // Ladder transitions surface on the event bus as they are recorded. Once
+  // the stored transition log caps, fall back to diffing the live rung.
+  EventLog* event_log = options.obs.event_log;
+  size_t emitted_transitions = 0;
+  DegradationLevel last_emitted_level = DegradationLevel::kNormal;
+
+  // With audit + tracing both on, the auditor's tail ring joins the bus so
+  // violation diagnostics carry admission/fault/ladder context.
+  ScopedEventSink lend_ring(
+      event_log, auditor != nullptr ? auditor->trace_ring() : nullptr);
+
+  if (auditor != nullptr || registry != nullptr || event_log != nullptr) {
     queue.set_observer([&](double t) {
-      auditor->RecordEvent(t);
-      if (!auditor->AuditDue()) return;
-      audit_snapshot.time = t;
-      audit_snapshot.supplier_in_use = supplier->in_use();
-      if (manager != nullptr) {
-        audit_snapshot.supplier_capacity = manager->capacity();
-        audit_snapshot.nominal_capacity = manager->nominal_capacity();
-        audit_snapshot.degradation_level = static_cast<int>(manager->level());
-        audit_snapshot.transitions = &manager->transitions();
-        audit_snapshot.total_transitions = manager->total_transitions();
-      } else {
-        audit_snapshot.supplier_capacity = finite->capacity();
-        audit_snapshot.nominal_capacity = finite->capacity();
+      if (auditor != nullptr) {
+        auditor->RecordEvent(t);
+        if (auditor->AuditDue()) {
+          audit_snapshot.time = t;
+          audit_snapshot.supplier_in_use = supplier->in_use();
+          if (manager != nullptr) {
+            audit_snapshot.supplier_capacity = manager->capacity();
+            audit_snapshot.nominal_capacity = manager->nominal_capacity();
+            audit_snapshot.degradation_level =
+                static_cast<int>(manager->level());
+            audit_snapshot.transitions = &manager->transitions();
+            audit_snapshot.total_transitions = manager->total_transitions();
+          } else {
+            audit_snapshot.supplier_capacity = finite->capacity();
+            audit_snapshot.nominal_capacity = finite->capacity();
+          }
+          int64_t holds = 0;
+          for (const auto& world : worlds) {
+            holds += world->dedicated_streams_held();
+          }
+          audit_snapshot.sum_world_holds = holds;
+          auditor->Audit(audit_snapshot);
+        }
       }
-      int64_t holds = 0;
-      for (const auto& world : worlds) holds += world->dedicated_streams_held();
-      audit_snapshot.sum_world_holds = holds;
-      auditor->Audit(audit_snapshot);
+      if (manager != nullptr &&
+          ObsEnabled(event_log, EventCategory::kDegradation)) {
+        const auto& trs = manager->transitions();
+        if (emitted_transitions < trs.size()) {
+          while (emitted_transitions < trs.size()) {
+            const DegradationTransition& tr = trs[emitted_transitions++];
+            event_log->Emit(tr.time, EventCategory::kDegradation,
+                            static_cast<uint8_t>(tr.to), /*movie=*/-1,
+                            /*id=*/-1, static_cast<double>(tr.capacity),
+                            static_cast<uint8_t>(tr.from));
+            last_emitted_level = tr.to;
+          }
+        } else if (manager->total_transitions() >
+                       static_cast<int64_t>(trs.size()) &&
+                   manager->level() != last_emitted_level) {
+          event_log->Emit(t, EventCategory::kDegradation,
+                          static_cast<uint8_t>(manager->level()), /*movie=*/-1,
+                          /*id=*/-1, static_cast<double>(manager->capacity()),
+                          static_cast<uint8_t>(last_emitted_level));
+          last_emitted_level = manager->level();
+        }
+      }
+      if (registry != nullptr) {
+        g_in_use->Set(static_cast<double>(supplier->in_use()));
+        if (manager != nullptr) {
+          g_capacity->Set(static_cast<double>(manager->capacity()));
+          g_level->Set(static_cast<double>(manager->level()));
+        } else {
+          g_capacity->Set(static_cast<double>(finite->capacity()));
+        }
+        registry->MaybeSample(t);
+      }
     });
   }
 
@@ -254,11 +325,18 @@ Result<ServerReport> RunServerSimulation(
     ReserveManager* mgr = manager.get();
     for (const FaultEvent& ev : injector.Schedule(horizon)) {
       queue.Schedule(ev.time,
-                     [mgr, ev, &disk_failures, &disk_repairs] {
+                     [mgr, ev, &disk_failures, &disk_repairs, event_log] {
                        if (ev.failure) {
                          ++disk_failures;
                        } else {
                          ++disk_repairs;
+                       }
+                       if (ObsEnabled(event_log, EventCategory::kFault)) {
+                         event_log->Emit(
+                             ev.time, EventCategory::kFault,
+                             /*subtype=*/ev.failure ? 0 : 1, /*movie=*/-1,
+                             /*id=*/ev.disk,
+                             static_cast<double>(ev.capacity_after));
                        }
                        mgr->SetCapacity(ev.time, ev.capacity_after);
                      });
@@ -268,6 +346,7 @@ Result<ServerReport> RunServerSimulation(
   for (auto& world : worlds) world->Start();
   queue.RunUntil(horizon);
   if (manager != nullptr) manager->Finalize(horizon);
+  if (registry != nullptr) registry->SampleAt(horizon);
   if (auditor != nullptr && auditor->total_violations() > 0) {
     return auditor->status();
   }

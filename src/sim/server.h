@@ -69,6 +69,11 @@ struct ServerOptions {
   /// conservation law turns the run into an error Status carrying an
   /// event-trace tail — it never aborts mid-run.
   AuditOptions audit;
+  /// Observability wiring (obs/observability.h): structured event tracing
+  /// (admissions, VCR phases, faults, ladder transitions, ... stamped with
+  /// each movie's index) and cadenced metrics sampling. Telemetry-only —
+  /// cannot change a report byte.
+  ObsOptions obs;
 };
 
 /// Resilience accounting for a run with faults and/or degradation enabled.

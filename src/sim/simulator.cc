@@ -86,6 +86,7 @@ Result<SimulationReport> RunSimulation(const PartitionLayout& layout,
   config.piggyback = options.piggyback;
   config.trace = options.trace;
   config.patience = options.patience;
+  config.event_log = options.obs.event_log;
   VOD_RETURN_IF_ERROR(ValidateMovieWorldInputs(rates, config));
   if (options.warmup_minutes < 0.0 || !(options.measurement_minutes > 0.0)) {
     return Status::InvalidArgument(
@@ -104,13 +105,50 @@ Result<SimulationReport> RunSimulation(const PartitionLayout& layout,
     VOD_RETURN_IF_ERROR(options.audit.Validate());
     auditor = std::make_unique<InvariantAuditor>(options.audit);
     audit_snapshot.movies.push_back(BuildMovieAuditBuffers("movie", layout));
+  }
+
+  // Live instruments sampled on the simulation clock. Registered up front
+  // so the export order is deterministic; sampling happens on the event-loop
+  // observer and never feeds back into the report.
+  MetricsRegistry* registry = options.obs.metrics;
+  Gauge* g_dedicated = nullptr;
+  Gauge* g_admissions = nullptr;
+  Gauge* g_resumes = nullptr;
+  if (registry != nullptr) {
+    if (options.obs.metrics_sample_minutes > 0.0) {
+      registry->set_sample_every(options.obs.metrics_sample_minutes);
+    }
+    g_dedicated = registry->AddGauge(
+        "sim_dedicated_streams", "dedicated VCR streams currently held");
+    g_admissions = registry->AddGauge(
+        "sim_admissions_total", "viewers admitted in the measurement window");
+    g_resumes = registry->AddGauge(
+        "sim_resumes_total", "VCR resumes in the measurement window");
+  }
+
+  // When a run both audits and traces, the auditor's tail ring doubles as a
+  // bus sink so violation diagnostics carry the rich event context.
+  ScopedEventSink lend_ring(
+      options.obs.event_log,
+      auditor != nullptr ? auditor->trace_ring() : nullptr);
+
+  if (auditor != nullptr || registry != nullptr) {
     queue.set_observer([&](double t) {
-      auditor->RecordEvent(t);
-      if (!auditor->AuditDue()) return;
-      audit_snapshot.time = t;
-      audit_snapshot.supplier_in_use = supplier.in_use();
-      audit_snapshot.sum_world_holds = world.dedicated_streams_held();
-      auditor->Audit(audit_snapshot);
+      if (auditor != nullptr) {
+        auditor->RecordEvent(t);
+        if (auditor->AuditDue()) {
+          audit_snapshot.time = t;
+          audit_snapshot.supplier_in_use = supplier.in_use();
+          audit_snapshot.sum_world_holds = world.dedicated_streams_held();
+          auditor->Audit(audit_snapshot);
+        }
+      }
+      if (registry != nullptr) {
+        g_dedicated->Set(static_cast<double>(world.dedicated_streams_held()));
+        g_admissions->Set(static_cast<double>(metrics.admissions()));
+        g_resumes->Set(static_cast<double>(metrics.total_resumes()));
+        registry->MaybeSample(t);
+      }
     });
   }
 
@@ -118,6 +156,7 @@ Result<SimulationReport> RunSimulation(const PartitionLayout& layout,
   const double horizon =
       options.warmup_minutes + options.measurement_minutes;
   queue.RunUntil(horizon);
+  if (registry != nullptr) registry->SampleAt(horizon);
   if (auditor != nullptr && auditor->total_violations() > 0) {
     return auditor->status();
   }

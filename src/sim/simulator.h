@@ -21,6 +21,7 @@
 #include "core/partition_layout.h"
 #include "core/piggyback.h"
 #include "core/types.h"
+#include "obs/observability.h"
 #include "sim/arrival_process.h"
 #include "sim/audit.h"
 #include "sim/metrics.h"
@@ -58,6 +59,10 @@ struct SimulationOptions {
   /// conservation law turns the run into an error Status carrying an
   /// event-trace tail — it never aborts.
   AuditOptions audit;
+  /// Observability wiring (obs/observability.h): structured event tracing
+  /// and cadenced metrics sampling. Telemetry-only — cannot change a
+  /// report byte.
+  ObsOptions obs;
 };
 
 /// Aggregated outcome of a run.

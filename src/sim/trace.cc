@@ -1,5 +1,7 @@
 #include "sim/trace.h"
 
+#include <cmath>
+#include <cstdlib>
 #include <istream>
 #include <ostream>
 #include <sstream>
@@ -26,22 +28,48 @@ std::vector<double> VcrTrace::DurationsOf(VcrOp op) const {
 }
 
 void VcrTrace::WriteCsv(std::ostream& os) const {
+  // max_digits10 so ReadCsv(WriteCsv(t)) round-trips every double exactly.
+  const auto saved = os.precision(17);
   os << "time,op,duration\n";
   for (const auto& record : records_) {
     os << record.time << ',' << VcrOpName(record.op) << ','
        << record.duration << '\n';
   }
+  os.precision(saved);
 }
+
+namespace {
+
+/// Strict double parse: the whole field must be consumed (a trailing comma,
+/// units suffix, or second value is an error, not silently dropped) and the
+/// result must be finite.
+bool ParseCsvDouble(const std::string& text, double* out) {
+  if (text.empty()) return false;
+  char* end = nullptr;
+  const double v = std::strtod(text.c_str(), &end);
+  if (end != text.c_str() + text.size()) return false;
+  if (!std::isfinite(v)) return false;
+  *out = v;
+  return true;
+}
+
+}  // namespace
 
 Result<VcrTrace> VcrTrace::ReadCsv(std::istream& is) {
   VcrTrace trace;
   std::string line;
-  if (!std::getline(is, line) || line.rfind("time,op,duration", 0) != 0) {
+  if (!std::getline(is, line)) {
+    return Status::InvalidArgument("missing trace CSV header");
+  }
+  // Tolerate Windows line endings throughout: a trailing CR is not data.
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+  if (line != "time,op,duration") {
     return Status::InvalidArgument("missing trace CSV header");
   }
   int line_number = 1;
   while (std::getline(is, line)) {
     ++line_number;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
     if (line.empty()) continue;
     std::istringstream fields(line);
     std::string time_text;
@@ -54,9 +82,7 @@ Result<VcrTrace> VcrTrace::ReadCsv(std::istream& is) {
                                      std::to_string(line_number));
     }
     VcrTraceRecord record;
-    char* end = nullptr;
-    record.time = std::strtod(time_text.c_str(), &end);
-    if (end == time_text.c_str()) {
+    if (!ParseCsvDouble(time_text, &record.time)) {
       return Status::InvalidArgument("bad time on line " +
                                      std::to_string(line_number));
     }
@@ -71,9 +97,12 @@ Result<VcrTrace> VcrTrace::ReadCsv(std::istream& is) {
                                      "' on line " +
                                      std::to_string(line_number));
     }
-    record.duration = std::strtod(duration_text.c_str(), &end);
-    if (end == duration_text.c_str()) {
+    if (!ParseCsvDouble(duration_text, &record.duration)) {
       return Status::InvalidArgument("bad duration on line " +
+                                     std::to_string(line_number));
+    }
+    if (record.duration < 0.0) {
+      return Status::InvalidArgument("negative duration on line " +
                                      std::to_string(line_number));
     }
     trace.records_.push_back(record);

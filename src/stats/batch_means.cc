@@ -36,6 +36,30 @@ void BatchMeans::Add(double x) {
   }
 }
 
+Status BatchMeans::Merge(const BatchMeans& other) {
+  if (other.batch_size_ != batch_size_) {
+    return Status::InvalidArgument(
+        "batch-means merge: batch sizes differ (" +
+        std::to_string(batch_size_) + " vs " +
+        std::to_string(other.batch_size_) + ")");
+  }
+  batch_averages_.insert(batch_averages_.end(), other.batch_averages_.begin(),
+                         other.batch_averages_.end());
+  total_count_ += other.total_count_;
+  // Fold the two partial batches; the combined remainder closes a batch as
+  // soon as it fills, exactly as if the observations had streamed in.
+  batch_sum_ += other.batch_sum_;
+  in_batch_ += other.in_batch_;
+  if (in_batch_ >= batch_size_) {
+    // The fold never produces more than one closeable batch (each partial
+    // holds < batch_size_ observations).
+    batch_averages_.push_back(batch_sum_ / static_cast<double>(in_batch_));
+    batch_sum_ = 0.0;
+    in_batch_ = 0;
+  }
+  return Status::OK();
+}
+
 BatchMeansInterval BatchMeans::Interval() const {
   BatchMeansInterval out;
   const auto b = static_cast<int>(batch_averages_.size());

@@ -12,6 +12,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/status.h"
+
 namespace vod {
 
 /// Result of a batch-means analysis.
@@ -34,6 +36,15 @@ class BatchMeans {
   explicit BatchMeans(int64_t batch_size);
 
   void Add(double x);
+
+  /// \brief Concatenation merge for per-shard collection: appends `other`'s
+  /// completed batches after this accumulator's, then folds the two partial
+  /// batches together (closing a batch whenever the combined partial
+  /// fills). Exact — identical to single-stream collection — when this
+  /// accumulator's partial batch is empty at merge time, i.e. when shard
+  /// boundaries align with batch boundaries. InvalidArgument on batch-size
+  /// mismatch.
+  Status Merge(const BatchMeans& other);
 
   /// Number of completed batches.
   int64_t completed_batches() const {

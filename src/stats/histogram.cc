@@ -29,6 +29,42 @@ void Histogram::Add(double x) {
   ++counts_[static_cast<size_t>(bin)];
 }
 
+Status Histogram::SetCounts(int64_t underflow, int64_t overflow,
+                            const std::vector<int64_t>& counts) {
+  if (counts.size() != counts_.size()) {
+    return Status::InvalidArgument(
+        "histogram restore: got " + std::to_string(counts.size()) +
+        " bins, histogram has " + std::to_string(counts_.size()));
+  }
+  if (underflow < 0 || overflow < 0) {
+    return Status::InvalidArgument("histogram restore: negative counts");
+  }
+  underflow_ = underflow;
+  overflow_ = overflow;
+  counts_ = counts;
+  total_ = underflow + overflow;
+  for (int64_t c : counts_) {
+    if (c < 0) {
+      return Status::InvalidArgument("histogram restore: negative bin count");
+    }
+    total_ += c;
+  }
+  return Status::OK();
+}
+
+Status Histogram::Merge(const Histogram& other) {
+  if (other.counts_.size() != counts_.size() || other.lo_ != lo_ ||
+      other.width_ != width_) {
+    return Status::InvalidArgument(
+        "histogram merge: geometries differ (lo/width/bins)");
+  }
+  underflow_ += other.underflow_;
+  overflow_ += other.overflow_;
+  total_ += other.total_;
+  for (size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  return Status::OK();
+}
+
 double Histogram::Density(int i) const {
   const int64_t in_range = total_ - underflow_ - overflow_;
   if (in_range == 0) return 0.0;

@@ -7,6 +7,8 @@
 #include <string>
 #include <vector>
 
+#include "common/status.h"
+
 namespace vod {
 
 /// \brief Equal-width histogram on [lo, hi) with explicit out-of-range bins.
@@ -29,6 +31,18 @@ class Histogram {
   double bin_lower(int i) const { return lo_ + i * width_; }
   double bin_upper(int i) const { return lo_ + (i + 1) * width_; }
   double bin_center(int i) const { return lo_ + (i + 0.5) * width_; }
+
+  double lo() const { return lo_; }
+  double bin_width() const { return width_; }
+
+  /// Replaces the bin contents wholesale (checkpoint restore). `counts` must
+  /// match num_bins(); `total` is recomputed.
+  Status SetCounts(int64_t underflow, int64_t overflow,
+                   const std::vector<int64_t>& counts);
+
+  /// Adds another histogram's counts bin-by-bin. InvalidArgument unless the
+  /// two geometries (lo, width, bins) match exactly.
+  Status Merge(const Histogram& other);
 
   /// In-range density estimate at bin i: count / (in_range_total * width).
   double Density(int i) const;

@@ -83,6 +83,23 @@ void P2Quantile::Add(double x) {
   }
 }
 
+void P2Quantile::Merge(const P2Quantile& other) {
+  VOD_CHECK_MSG(other.q_ == q_, "cannot merge P2 estimators of different "
+                                "quantiles");
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  // Replay whatever the other side still has: its raw samples while it held
+  // fewer than 5, otherwise its 5 marker heights (an approximate 5-point
+  // sketch of its stream — see the header for the exactness contract).
+  const int64_t replay = std::min<int64_t>(other.count_, 5);
+  for (int64_t i = 0; i < replay; ++i) {
+    Add(other.heights_[static_cast<size_t>(i)]);
+  }
+}
+
 double P2Quantile::Estimate() const {
   if (count_ == 0) return std::numeric_limits<double>::quiet_NaN();
   if (count_ < 5) {

@@ -21,6 +21,16 @@ class P2Quantile {
 
   void Add(double x);
 
+  /// \brief Pools another estimator tracking the same quantile.
+  ///
+  /// Exact when the combined sample count is at most 5 (both sides still
+  /// hold raw samples, which are replayed); otherwise approximate — the
+  /// other side's marker heights (its 5-point sketch of the distribution)
+  /// are replayed as samples. The estimate stays a consistent summary of
+  /// the pooled stream, but `count()` then advances by the replayed sketch
+  /// size, not the other side's full count.
+  void Merge(const P2Quantile& other);
+
   /// Current estimate. Exact while fewer than 5 samples have been seen
   /// (computed from the sorted buffer); NaN with zero samples.
   double Estimate() const;
@@ -49,6 +59,13 @@ class LatencyQuantiles {
     p50_.Add(x);
     p90_.Add(x);
     p99_.Add(x);
+  }
+
+  /// Pools another bundle (see P2Quantile::Merge for exactness).
+  void Merge(const LatencyQuantiles& other) {
+    p50_.Merge(other.p50_);
+    p90_.Merge(other.p90_);
+    p99_.Merge(other.p99_);
   }
 
   double p50() const { return p50_.Estimate(); }

@@ -50,6 +50,12 @@ class ProportionEstimator {
   void AddFailure() { ++trials_; }
   void Add(bool success) { success ? AddSuccess() : AddFailure(); }
 
+  /// Pools another estimator's trials (exact: counts add).
+  void Merge(const ProportionEstimator& other) {
+    trials_ += other.trials_;
+    successes_ += other.successes_;
+  }
+
   int64_t trials() const { return trials_; }
   int64_t successes() const { return successes_; }
   double estimate() const {

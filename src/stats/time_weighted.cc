@@ -33,6 +33,24 @@ void TimeWeightedValue::Add(double t, double delta) {
   Set(t, value_ + delta);
 }
 
+void TimeWeightedValue::MergePopulation(const TimeWeightedValue& other) {
+  if (!other.initialized_) return;
+  if (!initialized_) {
+    *this = other;
+    return;
+  }
+  VOD_DCHECK(start_time_ == other.start_time_);
+  // Bring both integrals up to the later of the two last-update times so
+  // the pointwise sum is taken over a common span.
+  const double sync = std::max(last_time_, other.last_time_);
+  area_ += value_ * (sync - last_time_);
+  area_ += other.area_ + other.value_ * (sync - other.last_time_);
+  last_time_ = sync;
+  value_ += other.value_;
+  max_ += other.max_;
+  min_ += other.min_;
+}
+
 double TimeWeightedValue::TimeAverage(double t_end) const {
   if (!initialized_ || t_end <= start_time_) return 0.0;
   const double tail = value_ * (t_end - last_time_);

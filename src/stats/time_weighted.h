@@ -23,6 +23,14 @@ class TimeWeightedValue {
   /// Adds `delta` to the current value at time t.
   void Add(double t, double delta);
 
+  /// \brief Pools a tracker measuring a *disjoint subpopulation over the
+  /// same clock* (per-movie shards of a server-wide level): the pooled step
+  /// function is the pointwise sum, so areas and current values add. The
+  /// merged max/min are the sums of the shard extremes — an upper/lower
+  /// *bound* on the pooled extreme, exact only when the shards peak (dip)
+  /// simultaneously. Both trackers must share their reset time.
+  void MergePopulation(const TimeWeightedValue& other);
+
   double current() const { return value_; }
   double max() const { return max_; }
   double min() const { return min_; }

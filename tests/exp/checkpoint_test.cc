@@ -11,11 +11,14 @@
 
 #include <cstdio>
 #include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "core/partition_layout.h"
 #include "gtest/gtest.h"
+#include "obs/event_log.h"
+#include "obs/metrics_registry.h"
 #include "sim/simulator.h"
 
 namespace vod {
@@ -137,6 +140,7 @@ TEST(GridCheckpointFileTest, SaveLoadRoundTrip) {
   checkpoint.done[3] = checkpoint.done[7] = true;
   checkpoint.reports[3] = RunTestCell(CellContext{0, 3, 99});
   checkpoint.reports[7] = RunTestCell(CellContext{1, 2, 123});
+  checkpoint.metrics_blob = "opaque registry snapshot";
   ASSERT_TRUE(SaveGridCheckpoint(path.str(), checkpoint).ok());
 
   auto loaded = LoadGridCheckpoint(path.str());
@@ -147,6 +151,28 @@ TEST(GridCheckpointFileTest, SaveLoadRoundTrip) {
   EXPECT_EQ(loaded->done, checkpoint.done);
   EXPECT_EQ(loaded->reports[3].ToString(), checkpoint.reports[3].ToString());
   EXPECT_EQ(loaded->reports[7].ToString(), checkpoint.reports[7].ToString());
+  EXPECT_EQ(loaded->metrics_blob, checkpoint.metrics_blob);
+}
+
+TEST(GridCheckpointFileTest, LoadsPreObservabilityCheckpoints) {
+  TempPath path("pre_obs");
+  // Replicate the on-disk layout from before the metrics blob existed:
+  // identity, packed done bitmap, completed reports — and nothing after.
+  ByteWriter payload;
+  payload.PutU64(0xF00D);  // fingerprint
+  payload.PutU64(42);      // base_seed
+  payload.PutI64(1);       // configs
+  payload.PutI64(2);       // replications
+  payload.PutU8(0x01);     // cell 0 done, cell 1 pending
+  SerializeSimulationReport(RunTestCell(CellContext{0, 0, 7}), &payload);
+  ASSERT_TRUE(WriteSnapshotFile(path.str(), SnapshotPayload::kExperimentGrid,
+                                payload.bytes())
+                  .ok());
+
+  auto loaded = LoadGridCheckpoint(path.str());
+  ASSERT_TRUE(loaded.ok()) << loaded.status().message();
+  EXPECT_EQ(loaded->cells_done(), 1);
+  EXPECT_TRUE(loaded->metrics_blob.empty());
 }
 
 TEST(GridCheckpointFileTest, RejectsCorruptedTruncatedAndForeignFiles) {
@@ -272,6 +298,70 @@ TEST(CheckpointedGridTest, RepeatedKillsStillConverge) {
   }
   EXPECT_EQ(rounds, 4);  // ceil(12 / 3) rounds of 3 cells; the last completes
   EXPECT_EQ(final_text, reference);
+}
+
+TEST(CheckpointedGridTest, MetricsSeriesSurvivesKillAndResume) {
+  // Uninterrupted run: the registry samples the cells-done clock, so its
+  // series is the reference for what a crash must not perturb.
+  MetricsRegistry uninterrupted;
+  uninterrupted.set_sample_every(1.0);
+  {
+    GridObsOptions obs;
+    obs.metrics = &uninterrupted;
+    CheckpointOptions no_checkpoint;
+    auto result =
+        RunCheckpointedReportGrid(kConfigs, GridOptions(2), no_checkpoint,
+                                  kFingerprint, RunTestCell, obs);
+    ASSERT_TRUE(result.ok()) << result.status().message();
+  }
+  std::ostringstream reference;
+  uninterrupted.WriteSeriesCsv(reference);
+
+  TempPath path("metrics_continuity");
+  {
+    // First process: killed after 5 cells. Its registry dies with the
+    // process; only the snapshot blob inside the checkpoint survives.
+    MetricsRegistry doomed;
+    doomed.set_sample_every(1.0);
+    GridObsOptions obs;
+    obs.metrics = &doomed;
+    CheckpointOptions first;
+    first.path = path.str();
+    first.checkpoint_every = 2;
+    first.max_cells = 5;
+    auto interrupted = RunCheckpointedReportGrid(
+        kConfigs, GridOptions(2), first, kFingerprint, RunTestCell, obs);
+    ASSERT_TRUE(interrupted.ok()) << interrupted.status().message();
+    ASSERT_FALSE(interrupted->complete);
+  }
+
+  // Second process: a fresh registry is restored from the checkpoint and
+  // the clock continues at the restored cell count.
+  MetricsRegistry resumed_registry;
+  resumed_registry.set_sample_every(1.0);
+  EventRing ring(64);
+  EventLog log;
+  log.AddSink(&ring);
+  GridObsOptions obs;
+  obs.metrics = &resumed_registry;
+  obs.event_log = &log;
+  CheckpointOptions second;
+  second.path = path.str();
+  second.checkpoint_every = 2;
+  second.resume = true;
+  auto resumed = RunCheckpointedReportGrid(
+      kConfigs, GridOptions(2), second, kFingerprint, RunTestCell, obs);
+  ASSERT_TRUE(resumed.ok()) << resumed.status().message();
+  ASSERT_TRUE(resumed->complete);
+
+  EXPECT_EQ(resumed_registry.FindCounter("grid_cells_completed")->value(),
+            kConfigs * kReps);
+  std::ostringstream stitched;
+  resumed_registry.WriteSeriesCsv(stitched);
+  EXPECT_EQ(stitched.str(), reference.str());
+  // One kCell event per cell newly executed by the resuming process.
+  EXPECT_EQ(ring.total_appended(),
+            static_cast<uint64_t>(kConfigs * kReps - 5));
 }
 
 TEST(CheckpointedGridTest, ResumeRefusesForeignCheckpoint) {

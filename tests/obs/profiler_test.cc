@@ -1,0 +1,110 @@
+#include "obs/profiler.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <thread>
+
+namespace vod {
+namespace {
+
+TEST(PhaseProfilerTest, ScopeRecordsOneSpanPerRegion) {
+  PhaseProfiler profiler;
+  { PhaseProfiler::Scope scope(&profiler, "simulate"); }
+  { PhaseProfiler::Scope scope(&profiler, "simulate"); }
+  { PhaseProfiler::Scope scope(&profiler, "reduce"); }
+  EXPECT_EQ(profiler.span_count(), 3u);
+  const auto aggregates = profiler.Aggregates();
+  ASSERT_EQ(aggregates.size(), 2u);
+}
+
+TEST(PhaseProfilerTest, NullProfilerScopeIsInert) {
+  // Call sites pass whatever pointer the options carry; a null profiler
+  // must make the scope free and crash-proof.
+  PhaseProfiler::Scope scope(nullptr, "anything");
+  SUCCEED();
+}
+
+TEST(PhaseProfilerTest, AggregatesSortByDescendingTotal) {
+  PhaseProfiler profiler;
+  profiler.RecordSpan("short", 0.0, 100.0);
+  profiler.RecordSpan("long", 0.0, 300.0);
+  profiler.RecordSpan("short", 100.0, 150.0);
+  const auto aggregates = profiler.Aggregates();
+  ASSERT_EQ(aggregates.size(), 2u);
+  EXPECT_EQ(aggregates[0].name, "long");
+  EXPECT_EQ(aggregates[0].count, 1);
+  EXPECT_DOUBLE_EQ(aggregates[0].total_us, 300.0);
+  EXPECT_EQ(aggregates[1].name, "short");
+  EXPECT_EQ(aggregates[1].count, 2);
+  EXPECT_DOUBLE_EQ(aggregates[1].total_us, 150.0);
+  EXPECT_DOUBLE_EQ(aggregates[1].max_us, 100.0);
+}
+
+TEST(PhaseProfilerTest, BackwardsSpanClampsToZeroDuration) {
+  PhaseProfiler profiler;
+  profiler.RecordSpan("weird", 10.0, 5.0);
+  const auto aggregates = profiler.Aggregates();
+  ASSERT_EQ(aggregates.size(), 1u);
+  EXPECT_DOUBLE_EQ(aggregates[0].total_us, 0.0);
+}
+
+TEST(PhaseProfilerTest, SummaryTableListsEveryPhase) {
+  PhaseProfiler profiler;
+  profiler.RecordSpan("cell c0 r0", 0.0, 2000.0);
+  profiler.RecordSpan("checkpoint_save", 2000.0, 2500.0);
+  const std::string table = profiler.SummaryTable();
+  EXPECT_NE(table.find("phase"), std::string::npos);
+  EXPECT_NE(table.find("total_ms"), std::string::npos);
+  EXPECT_NE(table.find("cell c0 r0"), std::string::npos);
+  EXPECT_NE(table.find("checkpoint_save"), std::string::npos);
+  // 2000 us == 2.000 ms in the total column.
+  EXPECT_NE(table.find("2.000"), std::string::npos);
+}
+
+TEST(PhaseProfilerTest, ChromeTraceIsWellFormedCompleteEvents) {
+  PhaseProfiler profiler;
+  profiler.RecordSpan("cell c0 r0", 1.0, 4.5);
+  profiler.RecordSpan("checkpoint_save", 5.0, 6.0);
+  std::ostringstream os;
+  profiler.WriteChromeTrace(os);
+  const std::string json = os.str();
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"cell c0 r0\""), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":1.000"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":3.500"), std::string::npos);
+  EXPECT_NE(json.find("\"pid\":0"), std::string::npos);
+  // Two complete events -> exactly one comma between objects.
+  size_t events = 0;
+  for (size_t pos = json.find("\"ph\""); pos != std::string::npos;
+       pos = json.find("\"ph\"", pos + 1)) {
+    ++events;
+  }
+  EXPECT_EQ(events, 2u);
+}
+
+TEST(PhaseProfilerTest, ChromeTraceEscapesSpanNames) {
+  PhaseProfiler profiler;
+  profiler.RecordSpan("a\"b\\c", 0.0, 1.0);
+  std::ostringstream os;
+  profiler.WriteChromeTrace(os);
+  EXPECT_NE(os.str().find("a\\\"b\\\\c"), std::string::npos);
+}
+
+TEST(PhaseProfilerTest, ThreadsGetDistinctLanes) {
+  PhaseProfiler profiler;
+  { PhaseProfiler::Scope scope(&profiler, "main"); }
+  std::thread worker(
+      [&] { PhaseProfiler::Scope scope(&profiler, "worker"); });
+  worker.join();
+  std::ostringstream os;
+  profiler.WriteChromeTrace(os);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"tid\":0"), std::string::npos);
+  EXPECT_NE(json.find("\"tid\":1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace vod

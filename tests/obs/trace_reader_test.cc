@@ -1,0 +1,184 @@
+#include "obs/trace_reader.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/event_log.h"
+
+namespace vod {
+namespace {
+
+TraceEvent MakeEvent(double t, EventCategory category, double value,
+                     uint8_t subtype = 0, uint8_t aux = 0) {
+  TraceEvent event;
+  event.time = t;
+  event.category = category;
+  event.value = value;
+  event.subtype = subtype;
+  event.aux = aux;
+  return event;
+}
+
+TEST(TraceReaderTest, JsonlRoundTripsThroughTheSink) {
+  std::ostringstream os;
+  JsonlSink sink(&os);
+  EventLog log;
+  log.AddSink(&sink);
+  log.Emit(1.5, EventCategory::kAdmission, 1, 2, 42, 0.25);
+  log.Emit(3.0, EventCategory::kResume, 3, 2, 42, 0.0, 1);
+  log.Emit(9.0, EventCategory::kFault, 0, -1, -1, 30.0);
+  std::istringstream is(os.str());
+  const auto events = ReadJsonlTrace(is);
+  ASSERT_TRUE(events.ok()) << events.status();
+  ASSERT_EQ(events->size(), 3u);
+  EXPECT_DOUBLE_EQ((*events)[0].time, 1.5);
+  EXPECT_EQ((*events)[0].category, EventCategory::kAdmission);
+  EXPECT_EQ((*events)[0].subtype, 1);
+  EXPECT_EQ((*events)[0].movie, 2);
+  EXPECT_EQ((*events)[0].id, 42);
+  EXPECT_DOUBLE_EQ((*events)[0].value, 0.25);
+  EXPECT_EQ((*events)[1].seq, 1u);
+  // The subtype comes back from its name ("miss"), not a raw integer.
+  EXPECT_EQ((*events)[1].subtype, 3);
+  EXPECT_EQ((*events)[1].aux, 1);
+  EXPECT_EQ((*events)[2].movie, -1);
+  EXPECT_EQ((*events)[2].id, -1);
+}
+
+TEST(TraceReaderTest, JsonlRejectsDamage) {
+  {
+    // The sinks never write blank lines; one means truncation damage.
+    std::istringstream is("\n");
+    EXPECT_TRUE(ReadJsonlTrace(is).status().IsInvalidArgument());
+  }
+  {
+    std::istringstream is("{\"t\":1.0}\n");
+    const auto events = ReadJsonlTrace(is);
+    EXPECT_TRUE(events.status().IsInvalidArgument());
+  }
+  // Corrupt a genuine line's category name.
+  std::ostringstream os;
+  JsonlSink sink(&os);
+  EventLog log;
+  log.AddSink(&sink);
+  log.Emit(1.0, EventCategory::kAdmission, 0, 0, 1, 0.0);
+  std::string line = os.str();
+  line.replace(line.find("admission"), 9, "bogus_cat");
+  std::istringstream is(line);
+  EXPECT_TRUE(ReadJsonlTrace(is).status().IsInvalidArgument());
+}
+
+TEST(TraceReaderTest, BinaryRoundTripsThroughTheSinkFile) {
+  const std::string path = "trace_reader_test_roundtrip.bin";
+  {
+    auto sink = BinarySink::Open(path);
+    ASSERT_TRUE(sink.ok()) << sink.status();
+    EventLog log;
+    log.AddSink(sink->get());
+    log.Emit(1.5, EventCategory::kDegradation, 2, -1, 7, 36.0, 1);
+    log.Emit(2.5, EventCategory::kTick, 0, 3, 11, -4.25);
+    ASSERT_TRUE(log.FlushSinks().ok());
+  }
+  // ReadTraceFile sniffs the magic and picks the binary reader.
+  const auto events = ReadTraceFile(path);
+  ASSERT_TRUE(events.ok()) << events.status();
+  ASSERT_EQ(events->size(), 2u);
+  EXPECT_DOUBLE_EQ((*events)[0].time, 1.5);
+  EXPECT_EQ((*events)[0].category, EventCategory::kDegradation);
+  EXPECT_EQ((*events)[0].subtype, 2);
+  EXPECT_EQ((*events)[0].aux, 1);
+  EXPECT_EQ((*events)[0].id, 7);
+  EXPECT_DOUBLE_EQ((*events)[0].value, 36.0);
+  EXPECT_EQ((*events)[1].seq, 1u);
+  EXPECT_EQ((*events)[1].movie, 3);
+  EXPECT_DOUBLE_EQ((*events)[1].value, -4.25);
+  std::remove(path.c_str());
+}
+
+TEST(TraceReaderTest, BinaryRejectsBadMagicAndTruncation) {
+  {
+    std::istringstream is("NOTMAGIC........");
+    EXPECT_TRUE(ReadBinaryTrace(is).status().IsInvalidArgument());
+  }
+  {
+    // Magic followed by half a record.
+    std::string bytes(BinarySink::kMagic, sizeof(BinarySink::kMagic));
+    bytes.append(20, '\0');
+    std::istringstream is(bytes);
+    const auto events = ReadBinaryTrace(is);
+    EXPECT_TRUE(events.status().IsInvalidArgument());
+  }
+}
+
+TEST(TraceReaderTest, ReadTraceFileSniffsJsonlAndReportsMissingFiles) {
+  EXPECT_TRUE(ReadTraceFile("no_such_trace_file.jsonl").status().IsNotFound());
+  const std::string path = "trace_reader_test_sniff.jsonl";
+  {
+    auto sink = JsonlSink::Open(path);
+    ASSERT_TRUE(sink.ok()) << sink.status();
+    EventLog log;
+    log.AddSink(sink->get());
+    log.Emit(4.0, EventCategory::kStall, 0, 1, 9, 2.5);
+    ASSERT_TRUE(log.FlushSinks().ok());
+  }
+  const auto events = ReadTraceFile(path);
+  ASSERT_TRUE(events.ok()) << events.status();
+  ASSERT_EQ(events->size(), 1u);
+  EXPECT_EQ((*events)[0].category, EventCategory::kStall);
+  EXPECT_DOUBLE_EQ((*events)[0].value, 2.5);
+  std::remove(path.c_str());
+}
+
+TEST(TraceReaderTest, SummarizeAggregatesPerCategoryInOrder) {
+  std::vector<TraceEvent> events;
+  events.push_back(MakeEvent(5.0, EventCategory::kStall, 10.0));
+  events.push_back(MakeEvent(1.0, EventCategory::kAdmission, 2.0));
+  events.push_back(MakeEvent(9.0, EventCategory::kAdmission, 4.0));
+  const auto summaries = SummarizeTrace(events);
+  ASSERT_EQ(summaries.size(), 2u);
+  // Category order, not first-seen order.
+  EXPECT_EQ(summaries[0].category, EventCategory::kAdmission);
+  EXPECT_EQ(summaries[0].count, 2);
+  EXPECT_DOUBLE_EQ(summaries[0].first_t, 1.0);
+  EXPECT_DOUBLE_EQ(summaries[0].last_t, 9.0);
+  EXPECT_DOUBLE_EQ(summaries[0].value_sum, 6.0);
+  EXPECT_DOUBLE_EQ(summaries[0].value_min, 2.0);
+  EXPECT_DOUBLE_EQ(summaries[0].value_max, 4.0);
+  EXPECT_EQ(summaries[1].category, EventCategory::kStall);
+  EXPECT_EQ(summaries[1].count, 1);
+  EXPECT_TRUE(SummarizeTrace({}).empty());
+}
+
+TEST(TraceReaderTest, DegradationTimelineReconstructsDwells) {
+  std::vector<TraceEvent> events;
+  events.push_back(MakeEvent(0.0, EventCategory::kTick, 0.0));
+  events.push_back(
+      MakeEvent(10.0, EventCategory::kDegradation, 36.0, /*subtype=*/1));
+  events.push_back(MakeEvent(25.0, EventCategory::kDegradation, 24.0,
+                             /*subtype=*/2, /*aux=*/1));
+  events.push_back(MakeEvent(40.0, EventCategory::kTick, 0.0));
+  const auto timeline = DegradationTimeline(events);
+  ASSERT_EQ(timeline.size(), 2u);
+  EXPECT_DOUBLE_EQ(timeline[0].start, 10.0);
+  EXPECT_DOUBLE_EQ(timeline[0].end, 25.0);
+  EXPECT_EQ(timeline[0].level, 1);
+  EXPECT_EQ(timeline[0].from_level, 0);
+  EXPECT_EQ(timeline[0].capacity, 36);
+  EXPECT_DOUBLE_EQ(timeline[1].start, 25.0);
+  // The last dwell runs to the trace's final event time.
+  EXPECT_DOUBLE_EQ(timeline[1].end, 40.0);
+  EXPECT_EQ(timeline[1].level, 2);
+  EXPECT_EQ(timeline[1].from_level, 1);
+  EXPECT_EQ(timeline[1].capacity, 24);
+
+  // No degradation events -> empty timeline, not a zero-width interval.
+  EXPECT_TRUE(DegradationTimeline({MakeEvent(1.0, EventCategory::kTick, 0.0)})
+                  .empty());
+}
+
+}  // namespace
+}  // namespace vod

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "common/rng.h"
+
 namespace vod {
 namespace {
 
@@ -80,6 +82,127 @@ TEST(SimulationMetricsTest, StallAndMergeStats) {
   EXPECT_DOUBLE_EQ(metrics.stall_time().mean(), 3.0);
   EXPECT_EQ(metrics.piggyback_merges(), 1);
   EXPECT_DOUBLE_EQ(metrics.merge_drift_time().mean(), 10.0);
+}
+
+// One synthetic "event" applied to a collector; Replay drives the same
+// randomized sequence into one combined collector and two shards.
+struct SyntheticEvent {
+  int kind = 0;  ///< 0 resume, 1 admission, 2 stall, 3 merge, 4 counters
+  double t = 0.0;
+  VcrOp op = VcrOp::kFastForward;
+  ResumeOutcome outcome = ResumeOutcome::kHitWithin;
+  bool in_partition = false;
+  double x = 0.0;
+  int shard = 0;
+};
+
+void Apply(const SyntheticEvent& e, SimulationMetrics* m) {
+  switch (e.kind) {
+    case 0: m->RecordResume(e.t, e.op, e.outcome, e.in_partition); break;
+    case 1: m->RecordAdmission(e.t, e.x, e.in_partition); break;
+    case 2: m->RecordStall(e.t, e.x); break;
+    case 3: m->RecordPiggybackMerge(e.t, e.x); break;
+    default:
+      m->RecordBlockedVcr(e.t);
+      m->RecordQueuedVcr(e.t);
+      m->RecordForcedReclaim(e.t);
+      m->RecordCompletion(e.t);
+      break;
+  }
+}
+
+TEST(SimulationMetricsMergeTest, MergedShardsEqualSingleStream) {
+  // Per-shard collection (the multi-movie server: each movie observes a
+  // disjoint slice of one run's events) merged back together must agree
+  // with single-stream collection of the same sequence.
+  Rng rng(77);
+  std::vector<SyntheticEvent> events;
+  double t = 0.0;
+  for (int i = 0; i < 4000; ++i) {
+    SyntheticEvent e;
+    t += rng.Uniform(0.0, 0.5);
+    e.t = t;
+    e.kind = static_cast<int>(rng.UniformInt(5));
+    e.op = static_cast<VcrOp>(static_cast<int>(rng.UniformInt(3)));
+    e.outcome =
+        static_cast<ResumeOutcome>(static_cast<int>(rng.UniformInt(4)));
+    e.in_partition = rng.UniformInt(2) == 1;
+    e.x = rng.Uniform(0.0, 10.0);
+    e.shard = static_cast<int>(rng.UniformInt(2));
+    events.push_back(e);
+  }
+
+  SimulationMetrics combined(10.0);
+  SimulationMetrics shard_a(10.0);
+  SimulationMetrics shard_b(10.0);
+  for (const auto& e : events) {
+    Apply(e, &combined);
+    Apply(e, e.shard == 0 ? &shard_a : &shard_b);
+  }
+  ASSERT_TRUE(shard_a.MergeFrom(shard_b).ok());
+
+  EXPECT_EQ(shard_a.total_resumes(), combined.total_resumes());
+  for (auto outcome : {ResumeOutcome::kHitWithin, ResumeOutcome::kHitJump,
+                       ResumeOutcome::kEndOfMovie, ResumeOutcome::kMiss}) {
+    EXPECT_EQ(shard_a.resumes(outcome), combined.resumes(outcome));
+  }
+  EXPECT_EQ(shard_a.admissions(), combined.admissions());
+  EXPECT_EQ(shard_a.type2_admissions(), combined.type2_admissions());
+  EXPECT_EQ(shard_a.completions(), combined.completions());
+  EXPECT_EQ(shard_a.blocked_vcr(), combined.blocked_vcr());
+  EXPECT_EQ(shard_a.stalls(), combined.stalls());
+  EXPECT_EQ(shard_a.queued_vcr(), combined.queued_vcr());
+  EXPECT_EQ(shard_a.forced_reclaims(), combined.forced_reclaims());
+  EXPECT_EQ(shard_a.piggyback_merges(), combined.piggyback_merges());
+
+  // Proportion estimators merge exactly.
+  EXPECT_EQ(shard_a.hit_all().trials(), combined.hit_all().trials());
+  EXPECT_DOUBLE_EQ(shard_a.hit_all().estimate(),
+                   combined.hit_all().estimate());
+  for (VcrOp op : kAllVcrOps) {
+    EXPECT_DOUBLE_EQ(shard_a.hit_by_op(op).estimate(),
+                     combined.hit_by_op(op).estimate());
+    EXPECT_DOUBLE_EQ(shard_a.hit_in_partition(op).estimate(),
+                     combined.hit_in_partition(op).estimate());
+  }
+  EXPECT_EQ(shard_a.hit_in_partition_all().trials(),
+            combined.hit_in_partition_all().trials());
+
+  // Welford stats merge exactly up to FP rounding.
+  EXPECT_EQ(shard_a.wait_time().count(), combined.wait_time().count());
+  EXPECT_NEAR(shard_a.wait_time().mean(), combined.wait_time().mean(),
+              1e-12);
+  EXPECT_NEAR(shard_a.stall_time().mean(), combined.stall_time().mean(),
+              1e-12);
+  EXPECT_NEAR(shard_a.merge_drift_time().mean(),
+              combined.merge_drift_time().mean(), 1e-12);
+  EXPECT_DOUBLE_EQ(shard_a.wait_time().max(), combined.wait_time().max());
+
+  // P² quantiles pool approximately; with thousands of admissions the
+  // merged markers must land near the single-stream estimate.
+  if (combined.wait_quantiles().count() > 100) {
+    EXPECT_NEAR(shard_a.wait_quantiles().p50(),
+                combined.wait_quantiles().p50(), 1.0);
+  }
+}
+
+TEST(SimulationMetricsMergeTest, GaugePopulationsSumPointwise) {
+  // Two shards each tracking their own dedicated-stream level: the merged
+  // time average is the sum of averages (pointwise population sum).
+  SimulationMetrics a(0.0);
+  SimulationMetrics b(0.0);
+  a.SetDedicatedStreams(10.0, 4);   // 4 over [10, 100)
+  b.SetDedicatedStreams(50.0, 10);  // 10 over [50, 100)
+  ASSERT_TRUE(a.MergeFrom(b).ok());
+  EXPECT_DOUBLE_EQ(
+      a.dedicated_streams().TimeAverage(100.0),
+      (4.0 * 90.0) / 100.0 + (10.0 * 50.0) / 100.0);
+}
+
+TEST(SimulationMetricsMergeTest, RejectsMismatchedWarmup) {
+  SimulationMetrics a(10.0);
+  SimulationMetrics b(20.0);
+  EXPECT_TRUE(a.MergeFrom(b).IsInvalidArgument());
 }
 
 }  // namespace

@@ -59,6 +59,109 @@ TEST(VcrTraceTest, CsvRejectsMalformedInput) {
   }
 }
 
+TEST(VcrTraceTest, CsvSkipsBlankLines) {
+  // Editors and concatenation leave blank lines; they carry no data and
+  // must not shift record indices or abort the parse.
+  std::istringstream is(
+      "time,op,duration\n\n1.0,FF,2.0\n\n\n2.0,RW,3.0\n\n");
+  const auto parsed = VcrTrace::ReadCsv(is);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  ASSERT_EQ(parsed->size(), 2u);
+  EXPECT_EQ(parsed->records()[1].op, VcrOp::kRewind);
+}
+
+TEST(VcrTraceTest, CsvAcceptsWindowsLineEndings) {
+  std::istringstream is("time,op,duration\r\n1.0,FF,2.0\r\n2.5,PAU,0.5\r\n");
+  const auto parsed = VcrTrace::ReadCsv(is);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  ASSERT_EQ(parsed->size(), 2u);
+  EXPECT_DOUBLE_EQ(parsed->records()[1].time, 2.5);
+  EXPECT_EQ(parsed->records()[1].op, VcrOp::kPause);
+}
+
+TEST(VcrTraceTest, CsvRejectsTrailingAndEmbeddedGarbage) {
+  {
+    // Trailing comma: the duration field becomes "2.0," which must not
+    // silently parse as 2.0.
+    std::istringstream is("time,op,duration\n1.0,FF,2.0,\n");
+    EXPECT_TRUE(VcrTrace::ReadCsv(is).status().IsInvalidArgument());
+  }
+  {
+    // Extra field smuggled into the duration column.
+    std::istringstream is("time,op,duration\n1.0,FF,2.0,extra\n");
+    EXPECT_TRUE(VcrTrace::ReadCsv(is).status().IsInvalidArgument());
+  }
+  {
+    // Units suffix on a numeric field.
+    std::istringstream is("time,op,duration\n1.0min,FF,2.0\n");
+    EXPECT_TRUE(VcrTrace::ReadCsv(is).status().IsInvalidArgument());
+  }
+  {
+    // Empty numeric fields.
+    std::istringstream is("time,op,duration\n,FF,2.0\n");
+    EXPECT_TRUE(VcrTrace::ReadCsv(is).status().IsInvalidArgument());
+  }
+  {
+    std::istringstream is("time,op,duration\n1.0,FF,\n");
+    EXPECT_TRUE(VcrTrace::ReadCsv(is).status().IsInvalidArgument());
+  }
+}
+
+TEST(VcrTraceTest, CsvRejectsNonFiniteAndNegativeValues) {
+  {
+    std::istringstream is("time,op,duration\nnan,FF,2.0\n");
+    EXPECT_TRUE(VcrTrace::ReadCsv(is).status().IsInvalidArgument());
+  }
+  {
+    std::istringstream is("time,op,duration\n1.0,FF,inf\n");
+    EXPECT_TRUE(VcrTrace::ReadCsv(is).status().IsInvalidArgument());
+  }
+  {
+    std::istringstream is("time,op,duration\n1.0,FF,-2.0\n");
+    EXPECT_TRUE(VcrTrace::ReadCsv(is).status().IsInvalidArgument());
+  }
+}
+
+TEST(VcrTraceTest, CsvRejectsOutOfRangeOpNames) {
+  // Case and whitespace matter: the writer emits exactly "FF"/"RW"/"PAU".
+  for (const char* op : {"ff", "FFX", " FF", "PAUSE", "3", ""}) {
+    std::istringstream is(std::string("time,op,duration\n1.0,") + op +
+                          ",2.0\n");
+    EXPECT_TRUE(VcrTrace::ReadCsv(is).status().IsInvalidArgument())
+        << "op '" << op << "' should be rejected";
+  }
+}
+
+TEST(VcrTraceTest, CsvRoundTripPropertyOnRandomTraces) {
+  // Property test: ReadCsv(WriteCsv(t)) == t bit-for-bit, including
+  // awkward doubles (subnormals, near-integer, many digits).
+  Rng rng(20260806);
+  for (int round = 0; round < 20; ++round) {
+    VcrTrace trace;
+    const int n = 1 + static_cast<int>(rng.UniformInt(200));
+    for (int i = 0; i < n; ++i) {
+      const double time = rng.Uniform(0.0, 1e6);
+      const auto op =
+          static_cast<VcrOp>(static_cast<int>(rng.UniformInt(3)));
+      double duration = rng.Uniform(0.0, 120.0);
+      if (rng.UniformInt(10) == 0) duration = 5e-324;  // min subnormal
+      if (rng.UniformInt(10) == 0) duration = 0.0;
+      trace.Record(time, op, duration);
+    }
+    std::ostringstream os;
+    trace.WriteCsv(os);
+    std::istringstream is(os.str());
+    const auto parsed = VcrTrace::ReadCsv(is);
+    ASSERT_TRUE(parsed.ok()) << parsed.status();
+    ASSERT_EQ(parsed->size(), trace.size());
+    for (size_t i = 0; i < trace.size(); ++i) {
+      EXPECT_EQ(parsed->records()[i].time, trace.records()[i].time);
+      EXPECT_EQ(parsed->records()[i].op, trace.records()[i].op);
+      EXPECT_EQ(parsed->records()[i].duration, trace.records()[i].duration);
+    }
+  }
+}
+
 TEST(FitBehaviorTest, RecoversMixAndDurations) {
   VcrTrace trace;
   Rng rng(5);

@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Validate a JSONL trace file against docs/trace_schema.json.
+
+Usage: validate_trace.py SCHEMA TRACE
+
+Stdlib-only on purpose: CI and developer machines get line-accurate
+diagnostics without a jsonschema dependency. Implements the subset of JSON
+Schema the trace schema uses — required, additionalProperties, type
+(number/integer/string/object), enum, minimum, maximum.
+
+Exits 0 when every line validates; exits 1 with one diagnostic per bad
+line (capped) otherwise. An empty trace file is an error: a traced run
+always emits at least one event.
+"""
+
+import json
+import sys
+
+MAX_DIAGNOSTICS = 20
+
+
+def type_ok(value, expected):
+    if expected == "number":
+        # bool is an int subclass in Python; JSON booleans are not numbers.
+        return isinstance(value, (int, float)) and not isinstance(value, bool)
+    if expected == "integer":
+        return isinstance(value, int) and not isinstance(value, bool)
+    if expected == "string":
+        return isinstance(value, str)
+    if expected == "object":
+        return isinstance(value, dict)
+    raise ValueError(f"unsupported schema type {expected!r}")
+
+
+def validate_object(obj, schema):
+    """Yields human-readable problems with `obj` under `schema`."""
+    if not type_ok(obj, schema.get("type", "object")):
+        yield f"not a JSON object: {obj!r}"
+        return
+    props = schema.get("properties", {})
+    for key in schema.get("required", []):
+        if key not in obj:
+            yield f"missing required field {key!r}"
+    if not schema.get("additionalProperties", True):
+        for key in obj:
+            if key not in props:
+                yield f"unexpected field {key!r}"
+    for key, subschema in props.items():
+        if key not in obj:
+            continue
+        value = obj[key]
+        if not type_ok(value, subschema["type"]):
+            yield (f"field {key!r} should be {subschema['type']}, "
+                   f"got {value!r}")
+            continue
+        if "enum" in subschema and value not in subschema["enum"]:
+            yield f"field {key!r} has unknown value {value!r}"
+        if "minimum" in subschema and value < subschema["minimum"]:
+            yield f"field {key!r} below minimum: {value!r}"
+        if "maximum" in subschema and value > subschema["maximum"]:
+            yield f"field {key!r} above maximum: {value!r}"
+
+
+def main(argv):
+    if len(argv) != 3:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    schema_path, trace_path = argv[1], argv[2]
+    with open(schema_path, encoding="utf-8") as f:
+        schema = json.load(f)
+
+    problems = 0
+    lines = 0
+    with open(trace_path, encoding="utf-8") as f:
+        for line_no, line in enumerate(f, start=1):
+            lines += 1
+            line = line.rstrip("\n")
+            found = []
+            if not line.strip():
+                found = ["blank line (truncated or damaged trace)"]
+            else:
+                try:
+                    obj = json.loads(line)
+                except json.JSONDecodeError as err:
+                    found = [f"invalid JSON: {err}"]
+                else:
+                    found = list(validate_object(obj, schema))
+            for problem in found:
+                problems += 1
+                if problems <= MAX_DIAGNOSTICS:
+                    print(f"{trace_path}:{line_no}: {problem}",
+                          file=sys.stderr)
+
+    if lines == 0:
+        print(f"{trace_path}: empty trace (a traced run always emits "
+              "events)", file=sys.stderr)
+        return 1
+    if problems:
+        if problems > MAX_DIAGNOSTICS:
+            print(f"... and {problems - MAX_DIAGNOSTICS} more problem(s)",
+                  file=sys.stderr)
+        print(f"{trace_path}: {problems} problem(s) in {lines} line(s)",
+              file=sys.stderr)
+        return 1
+    print(f"{trace_path}: {lines} events OK against {schema_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -4,6 +4,8 @@
 //   vodctl size     --length=120 --wait=0.5 --pstar=0.5 --duration='exp(5)'
 //   vodctl simulate --length=120 --streams=40 --buffer=80 --measure=20000
 //   vodctl simulate --reserve=40 --faults=4:2000:120 --queue_deadline=5
+//   vodctl simulate --trace_out=run.jsonl --metrics_out=run.prom
+//   vodctl inspect  --trace=run.jsonl
 //   vodctl catalog  --file=catalog.csv --rate=4 --zipf=1 --budget=0
 //
 // Every subcommand prints an aligned table (add --csv for machine-readable
@@ -12,6 +14,7 @@
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 
@@ -25,6 +28,11 @@
 #include "exp/checkpoint.h"
 #include "exp/experiment.h"
 #include "exp/replication.h"
+#include "obs/event_log.h"
+#include "obs/metrics_registry.h"
+#include "obs/profiler.h"
+#include "obs/trace_reader.h"
+#include "sim/degradation.h"
 #include "sim/partition_schedule.h"
 #include "sim/server.h"
 #include "sim/simulator.h"
@@ -82,6 +90,113 @@ Result<PartitionLayout> LayoutFromFlags(const FlagSet& flags) {
   return PartitionLayout::FromMaxWait(length, streams,
                                       flags.GetDouble("wait"));
 }
+
+// ---- observability flags (simulate / soak) --------------------------------
+
+void AddObsFlags(FlagSet* flags) {
+  flags->AddString("trace_out", "", "write the structured event trace here "
+                   "(JSONL; a .bin suffix selects the binary spill format)");
+  flags->AddString("trace_categories", "all", "comma-separated categories to "
+                   "trace (e.g. admission,resume,fault,degradation)");
+  flags->AddString("metrics_out", "",
+                   "write Prometheus-text metrics here at the end of the run");
+  flags->AddString("metrics_csv", "", "write the sampled metric time series "
+                   "here (long-format CSV: sample_t,metric,value)");
+  flags->AddDouble("metrics_every", 500.0, "metric sampling cadence in "
+                   "simulated minutes (sweeps sample per completed cell)");
+  flags->AddString("profile_out", "", "write a Chrome trace_event JSON "
+                   "profile here (load in chrome://tracing or Perfetto)");
+}
+
+bool EndsWith(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+/// Per-invocation observability state assembled from the flags. All
+/// telemetry-only: attaching any of it cannot change a report byte.
+struct ObsCli {
+  EventLog event_log;
+  std::unique_ptr<EventSink> trace_sink;
+  MetricsRegistry registry;
+  PhaseProfiler profiler;
+  bool want_trace = false;
+  bool want_metrics = false;
+  bool want_profile = false;
+  std::string metrics_out, metrics_csv, profile_out;
+  double metrics_every = 0.0;
+
+  Status Init(const FlagSet& flags) {
+    const std::string trace_path = flags.GetString("trace_out");
+    want_trace = !trace_path.empty();
+    if (want_trace) {
+      VOD_ASSIGN_OR_RETURN(
+          const uint32_t mask,
+          ParseCategoryMask(flags.GetString("trace_categories")));
+      event_log.set_mask(mask);
+      if (EndsWith(trace_path, ".bin")) {
+        VOD_ASSIGN_OR_RETURN(auto sink, BinarySink::Open(trace_path));
+        trace_sink = std::move(sink);
+      } else {
+        VOD_ASSIGN_OR_RETURN(auto sink, JsonlSink::Open(trace_path));
+        trace_sink = std::move(sink);
+      }
+      event_log.AddSink(trace_sink.get());
+    }
+    metrics_out = flags.GetString("metrics_out");
+    metrics_csv = flags.GetString("metrics_csv");
+    want_metrics = !metrics_out.empty() || !metrics_csv.empty();
+    metrics_every = flags.GetDouble("metrics_every");
+    profile_out = flags.GetString("profile_out");
+    want_profile = !profile_out.empty();
+    return Status::OK();
+  }
+
+  /// Wiring for a single simulation run (simulated-minutes clock).
+  ObsOptions RunOptions() {
+    ObsOptions obs;
+    if (want_trace) obs.event_log = &event_log;
+    if (want_metrics) {
+      obs.metrics = &registry;
+      obs.metrics_sample_minutes = metrics_every;
+    }
+    return obs;
+  }
+
+  /// Wiring for a replication sweep (cells-done clock; the registry samples
+  /// once per completed cell).
+  GridObsOptions GridOptions() {
+    GridObsOptions obs;
+    if (want_profile) obs.profiler = &profiler;
+    if (want_metrics) {
+      registry.set_sample_every(1.0);
+      obs.metrics = &registry;
+    }
+    if (want_trace) obs.event_log = &event_log;
+    return obs;
+  }
+
+  /// Flushes the trace and writes the metrics / profile output files.
+  Status Finish() {
+    if (want_trace) VOD_RETURN_IF_ERROR(event_log.FlushSinks());
+    if (!metrics_out.empty()) {
+      std::ofstream out(metrics_out, std::ios::trunc);
+      registry.WritePrometheus(out);
+      if (!out) return Status::Internal("cannot write " + metrics_out);
+    }
+    if (!metrics_csv.empty()) {
+      std::ofstream out(metrics_csv, std::ios::trunc);
+      registry.WriteSeriesCsv(out);
+      if (!out) return Status::Internal("cannot write " + metrics_csv);
+    }
+    if (want_profile) {
+      std::ofstream out(profile_out, std::ios::trunc);
+      profiler.WriteChromeTrace(out);
+      if (!out) return Status::Internal("cannot write " + profile_out);
+    }
+    return Status::OK();
+  }
+};
 
 // ---- vodctl model ---------------------------------------------------------
 
@@ -230,7 +345,8 @@ Result<ServerFaultOptions> ParseFaultSpec(const std::string& text) {
 // fault-injection, and degradation knobs apply; prints the full resilience
 // report.
 int SimulateWithFaults(const FlagSet& flags, const PartitionLayout& layout,
-                       const VcrMix& mix, const DistributionPtr& duration) {
+                       const VcrMix& mix, const DistributionPtr& duration,
+                       ObsCli* obs) {
   VcrBehavior behavior;
   behavior.mix = mix;
   behavior.durations = VcrDurations::AllSame(duration);
@@ -259,8 +375,15 @@ int SimulateWithFaults(const FlagSet& flags, const PartitionLayout& layout,
         flags.GetDouble("queue_deadline");
   }
   options.audit = AuditFromFlags(flags);
-  const auto report = RunServerSimulation({movie}, options);
+  options.obs = obs->RunOptions();
+  Result<ServerReport> report = [&] {
+    PhaseProfiler::Scope span(obs->want_profile ? &obs->profiler : nullptr,
+                              "server_simulation");
+    return RunServerSimulation({movie}, options);
+  }();
   if (!report.ok()) return Fail(report.status());
+  const Status finished = obs->Finish();
+  if (!finished.ok()) return Fail(finished);
   return EmitReport(flags, report->ToString() + "\n");
 }
 
@@ -294,6 +417,7 @@ int SimulateCommand(int argc, char** argv) {
                 "resume an interrupted sweep from --checkpoint");
   flags.AddString("report_out", "", "also write the final report text to "
                   "this file (byte-identical to stdout)");
+  AddObsFlags(&flags);
   AddExperimentFlags(&flags, /*with_replications=*/true);
   const Status parsed = flags.Parse(argc, argv);
   if (!parsed.ok()) return Fail(parsed);
@@ -305,9 +429,13 @@ int SimulateCommand(int argc, char** argv) {
   const auto mix = ParseMix(flags.GetString("mix"));
   if (!mix.ok()) return Fail(mix.status());
 
+  ObsCli obs;
+  const Status obs_ready = obs.Init(flags);
+  if (!obs_ready.ok()) return Fail(obs_ready);
+
   if (flags.WasSet("faults") || flags.WasSet("reserve") ||
       flags.GetDouble("queue_deadline") > 0.0) {
-    return SimulateWithFaults(flags, *layout, *mix, *duration);
+    return SimulateWithFaults(flags, *layout, *mix, *duration, &obs);
   }
 
   SimulationOptions options;
@@ -355,12 +483,25 @@ int SimulateCommand(int argc, char** argv) {
         [&](const CellContext& context) {
           SimulationOptions cell = options;
           cell.seed = context.seed;
+          // Each cell traces over its own bus into the shared (thread-safe)
+          // file sink: cells then never mutate each other's sink lists, so
+          // --audit's ring lending stays cell-local. `seq` orders events
+          // within a cell; interleaving across cells is scheduling order.
+          EventLog cell_log;
+          if (obs.want_trace) {
+            cell_log.set_mask(obs.event_log.mask());
+            cell_log.AddSink(obs.trace_sink.get());
+            cell.obs.event_log = &cell_log;
+          }
           const auto report = RunSimulation(*layout, paper::Rates(), cell);
           VOD_CHECK_OK(report.status());
           return *report;
-        });
+        },
+        obs.GridOptions());
     if (!result.ok()) return Fail(result.status());
     VOD_CHECK(result->complete);
+    const Status obs_finished = obs.Finish();
+    if (!obs_finished.ok()) return Fail(obs_finished);
     const std::vector<SimulationReport>& reports = result->reports[0];
     std::ostringstream out;
     char line[256];
@@ -377,8 +518,15 @@ int SimulateCommand(int argc, char** argv) {
     return EmitReport(flags, out.str());
   }
 
-  const auto report = RunSimulation(*layout, paper::Rates(), options);
+  options.obs = obs.RunOptions();
+  Result<SimulationReport> report = [&] {
+    PhaseProfiler::Scope span(obs.want_profile ? &obs.profiler : nullptr,
+                              "simulation");
+    return RunSimulation(*layout, paper::Rates(), options);
+  }();
   if (!report.ok()) return Fail(report.status());
+  const Status obs_finished = obs.Finish();
+  if (!obs_finished.ok()) return Fail(obs_finished);
   std::ostringstream out;
   char line[256];
   out << report->ToString() << "\n";
@@ -606,6 +754,8 @@ int SoakCommand(int argc, char** argv) {
   flags.AddInt64("kill_max_ms", 400, "latest kill, ms after child start");
   flags.AddString("prefix", "vodctl_soak", "work-file prefix "
                   "(<prefix>.golden / .report / .ckpt)");
+  flags.AddBool("trace", false, "children trace to <prefix>.trace.jsonl — "
+                "proves recovery stays byte-identical while tracing");
   const Status parsed = flags.Parse(argc, argv);
   if (!parsed.ok()) return Fail(parsed);
   if (flags.GetInt64("cycles") < 1 ||
@@ -631,6 +781,12 @@ int SoakCommand(int argc, char** argv) {
       "--checkpoint_every=1",
       "--audit",  // the soak audits invariants throughout every sweep
   };
+  // Tracing must not perturb recovery: each child (golden included) streams
+  // events to a sink; only the report files are byte-compared.
+  const std::string trace_path = prefix + ".trace.jsonl";
+  if (flags.GetBool("trace")) {
+    base_args.push_back("--trace_out=" + trace_path);
+  }
 
   // Golden run: same sweep, no checkpointing, never killed.
   std::vector<std::string> golden_args = base_args;
@@ -705,6 +861,7 @@ int SoakCommand(int argc, char** argv) {
   std::remove(golden_path.c_str());
   std::remove(report_path.c_str());
   std::remove(ckpt_path.c_str());
+  std::remove(trace_path.c_str());
   return 0;
 }
 
@@ -717,6 +874,61 @@ int SoakCommand(int, char**) {
 
 #endif  // VODCTL_HAS_FORK
 
+// ---- vodctl inspect --------------------------------------------------------
+//
+// Offline view of a trace file written by `simulate --trace_out=...`:
+// a per-category summary table plus, when the run walked the degradation
+// ladder, a reconstructed level-by-level timeline.
+
+int InspectCommand(int argc, char** argv) {
+  FlagSet flags("vodctl inspect");
+  flags.AddString("trace", "", "trace file to inspect (JSONL or binary "
+                  "spill; the format is sniffed)");
+  flags.AddBool("csv", false, "CSV output");
+  const Status parsed = flags.Parse(argc, argv);
+  if (!parsed.ok()) return Fail(parsed);
+  if (flags.GetString("trace").empty()) {
+    return Fail(Status::InvalidArgument("--trace is required"));
+  }
+
+  const auto events = ReadTraceFile(flags.GetString("trace"));
+  if (!events.ok()) return Fail(events.status());
+  if (events->empty()) {
+    std::printf("empty trace\n");
+    return 0;
+  }
+  const bool csv = flags.GetBool("csv");
+  std::printf("%zu events over [%.2f, %.2f] simulated minutes\n",
+              events->size(), events->front().time, events->back().time);
+
+  TableWriter table({"category", "count", "first t", "last t", "mean value",
+                     "min", "max"});
+  for (const CategorySummary& s : SummarizeTrace(*events)) {
+    table.AddRow({EventCategoryName(s.category), std::to_string(s.count),
+                  FormatDouble(s.first_t, 2), FormatDouble(s.last_t, 2),
+                  FormatDouble(s.value_sum / static_cast<double>(s.count), 3),
+                  FormatDouble(s.value_min, 3), FormatDouble(s.value_max, 3)});
+  }
+  RenderTable(table, csv);
+
+  const auto timeline = DegradationTimeline(*events);
+  if (!timeline.empty()) {
+    std::printf("\ndegradation timeline:\n");
+    TableWriter levels({"start", "end", "dwell (min)", "from", "level",
+                        "capacity"});
+    for (const DegradationInterval& iv : timeline) {
+      levels.AddRow(
+          {FormatDouble(iv.start, 2), FormatDouble(iv.end, 2),
+           FormatDouble(iv.end - iv.start, 2),
+           DegradationLevelName(static_cast<DegradationLevel>(iv.from_level)),
+           DegradationLevelName(static_cast<DegradationLevel>(iv.level)),
+           std::to_string(iv.capacity)});
+    }
+    RenderTable(levels, csv);
+  }
+  return 0;
+}
+
 int Usage() {
   std::fputs(
       "usage: vodctl <command> [--flags]\n"
@@ -727,6 +939,7 @@ int Usage() {
       "  catalog   size a whole catalog from CSV\n"
       "  timeline  ASCII view of the partition windows and a FF trajectory\n"
       "  soak      SIGKILL/resume chaos soak of a checkpointed sweep\n"
+      "  inspect   summarize a trace file written by simulate --trace_out\n"
       "run 'vodctl <command> --help' for the command's flags\n",
       stderr);
   return 2;
@@ -745,5 +958,6 @@ int main(int argc, char** argv) {
   if (command == "catalog") return vod::CatalogCommand(argc - 1, argv + 1);
   if (command == "timeline") return vod::TimelineCommand(argc - 1, argv + 1);
   if (command == "soak") return vod::SoakCommand(argc - 1, argv + 1);
+  if (command == "inspect") return vod::InspectCommand(argc - 1, argv + 1);
   return vod::Usage();
 }
