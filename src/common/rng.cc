@@ -7,53 +7,13 @@
 
 namespace vod {
 
-namespace {
-
-inline uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
-
-}  // namespace
+// NextUint64 and the small samplers built on it are inline in the header
+// (hot path); the heavier rejection samplers and the serialization /
+// derivation machinery live here.
 
 Rng::Rng(uint64_t seed) : seed_(seed) {
   SplitMix64 mixer(seed);
   for (auto& word : s_) word = mixer.Next();
-}
-
-uint64_t Rng::NextUint64() {
-  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
-  const uint64_t t = s_[1] << 17;
-  s_[2] ^= s_[0];
-  s_[3] ^= s_[1];
-  s_[1] ^= s_[2];
-  s_[0] ^= s_[3];
-  s_[2] ^= t;
-  s_[3] = Rotl(s_[3], 45);
-  return result;
-}
-
-double Rng::Uniform01() {
-  // 53 high bits -> double in [0, 1).
-  return static_cast<double>(NextUint64() >> 11) * 0x1.0p-53;
-}
-
-double Rng::Uniform(double lo, double hi) {
-  VOD_DCHECK(lo <= hi);
-  return lo + (hi - lo) * Uniform01();
-}
-
-uint64_t Rng::UniformInt(uint64_t bound) {
-  VOD_DCHECK(bound > 0);
-  // Rejection sampling over the largest multiple of `bound`.
-  const uint64_t threshold = (~bound + 1) % bound;  // == 2^64 mod bound
-  for (;;) {
-    const uint64_t r = NextUint64();
-    if (r >= threshold) return r % bound;
-  }
-}
-
-double Rng::Exponential(double mean) {
-  VOD_DCHECK(mean > 0);
-  // -mean * log(U), guarding against U == 0 via 1 - Uniform01() in (0, 1].
-  return -mean * std::log(1.0 - Uniform01());
 }
 
 double Rng::Normal() {
@@ -92,11 +52,6 @@ double Rng::Gamma(double shape, double scale) {
       return scale * d * v;
     }
   }
-}
-
-bool Rng::Bernoulli(double p) {
-  VOD_DCHECK(p >= 0.0 && p <= 1.0);
-  return Uniform01() < p;
 }
 
 void Rng::Snapshot(ByteWriter* out) const {

@@ -9,8 +9,10 @@
 #ifndef VOD_COMMON_RNG_H_
 #define VOD_COMMON_RNG_H_
 
+#include <cmath>
 #include <cstdint>
 
+#include "common/check.h"
 #include "common/status.h"
 
 namespace vod {
@@ -48,8 +50,22 @@ class Rng {
   /// Seeds the generator; any seed (including 0) is valid.
   explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL);
 
+  // The small samplers below are defined inline: they sit on the simulator's
+  // hottest path (every event draws at least one variate) and inlining them
+  // removes a call per draw without changing any emitted bit.
+
   /// Uniform 64-bit value.
-  uint64_t NextUint64();
+  uint64_t NextUint64() {
+    const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
 
   /// UniformRandomBitGenerator interface.
   uint64_t operator()() { return NextUint64(); }
@@ -57,17 +73,35 @@ class Rng {
   static constexpr uint64_t max() { return ~0ULL; }
 
   /// Uniform double in [0, 1) with 53 bits of randomness.
-  double Uniform01();
+  double Uniform01() {
+    // 53 high bits -> double in [0, 1).
+    return static_cast<double>(NextUint64() >> 11) * 0x1.0p-53;
+  }
 
   /// Uniform double in [lo, hi). Precondition: lo <= hi.
-  double Uniform(double lo, double hi);
+  double Uniform(double lo, double hi) {
+    VOD_DCHECK(lo <= hi);
+    return lo + (hi - lo) * Uniform01();
+  }
 
   /// Uniform integer in [0, bound) without modulo bias. Precondition:
   /// bound > 0.
-  uint64_t UniformInt(uint64_t bound);
+  uint64_t UniformInt(uint64_t bound) {
+    VOD_DCHECK(bound > 0);
+    // Rejection sampling over the largest multiple of `bound`.
+    const uint64_t threshold = (~bound + 1) % bound;  // == 2^64 mod bound
+    for (;;) {
+      const uint64_t r = NextUint64();
+      if (r >= threshold) return r % bound;
+    }
+  }
 
   /// Exponential variate with the given mean (mean > 0).
-  double Exponential(double mean);
+  double Exponential(double mean) {
+    VOD_DCHECK(mean > 0);
+    // -mean * log(U), guarding against U == 0 via 1 - Uniform01() in (0, 1].
+    return -mean * std::log(1.0 - Uniform01());
+  }
 
   /// Standard normal variate (polar Marsaglia method, no caching so calls
   /// remain stateless with respect to stream splitting).
@@ -78,7 +112,10 @@ class Rng {
   double Gamma(double shape, double scale);
 
   /// Bernoulli trial with success probability p in [0, 1].
-  bool Bernoulli(double p);
+  bool Bernoulli(double p) {
+    VOD_DCHECK(p >= 0.0 && p <= 1.0);
+    return Uniform01() < p;
+  }
 
   /// \brief Derives an independent child generator.
   ///
@@ -97,6 +134,10 @@ class Rng {
   Status Restore(ByteReader* in);
 
  private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
   uint64_t s_[4];
   uint64_t seed_;  // retained so MakeChild derivations are stable
 };

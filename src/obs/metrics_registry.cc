@@ -1,5 +1,6 @@
 #include "obs/metrics_registry.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 
@@ -219,6 +220,10 @@ void MetricsRegistry::Snapshot(ByteWriter* writer) const {
 Status MetricsRegistry::Restore(ByteReader* reader) {
   uint32_t count = 0;
   VOD_RETURN_IF_ERROR(reader->ReadU32(&count));
+  // Reserve-on-restore: the snapshot declares the instrument count up
+  // front, so the table grows once instead of per instrument. Capped so a
+  // corrupt count cannot force a huge allocation before parsing fails.
+  metrics_.reserve(metrics_.size() + std::min<uint32_t>(count, 4096));
   for (uint32_t m = 0; m < count; ++m) {
     std::string name, help;
     uint8_t kind_raw = 0;

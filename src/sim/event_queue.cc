@@ -1,66 +1,200 @@
 #include "sim/event_queue.h"
 
 #include <algorithm>
+#include <bit>
+#include <numeric>
+#include <string>
 
 #include "common/check.h"
 #include "common/serialize.h"
 
 namespace vod {
 
-EventToken EventQueue::ScheduleEntry(Entry entry) {
-  VOD_CHECK_MSG(entry.time >= now_, "cannot schedule an event in the past");
-  const EventToken token = entry.token;
-  heap_.push_back(std::move(entry));
-  std::push_heap(heap_.begin(), heap_.end(), RunsAfter{});
-  live_.insert(token);
-  return token;
+namespace {
+
+// First word of a current-format snapshot. Its bit pattern is a NaN, and the
+// PR 3 layout opened with the clock double (never NaN), so one u64 read
+// distinguishes the formats.
+constexpr uint64_t kSnapshotMagicV2 = 0xFFF7'4551'4232'0002ULL;
+
+// Largest slot index a snapshot may reference; rejects corrupt blobs before
+// they size the slab (real peaks are orders of magnitude below this).
+constexpr uint64_t kMaxRestoreSlot = 1ULL << 26;
+
+}  // namespace
+
+uint64_t EventQueue::AddHandler(Handler handler) {
+  VOD_CHECK_MSG(handler != nullptr, "event handler must be callable");
+  handlers_.push_back(std::move(handler));
+  return handlers_.size() - 1;
+}
+
+uint32_t EventQueue::AllocSlot() {
+  if (free_head_ != kNilSlot) {
+    const uint32_t slot = free_head_;
+    free_head_ = slots_[slot].next_free;
+    return slot;
+  }
+  VOD_CHECK_MSG(slots_.size() < kNilSlot, "event slab exhausted");
+  slots_.emplace_back();
+  return static_cast<uint32_t>(slots_.size() - 1);
+}
+
+void EventQueue::FreeSlot(uint32_t slot) {
+  Slot& s = slots_[slot];
+  s.gen = kFreeGen;
+  s.kind = kUntagged;
+  s.action = nullptr;  // release any captured state promptly
+  s.next_free = free_head_;
+  free_head_ = slot;
+}
+
+EventToken EventQueue::ScheduleSlot(double time, uint64_t kind,
+                                    uint64_t payload,
+                                    std::function<void()> action) {
+  VOD_CHECK_MSG(time >= now_, "cannot schedule an event in the past");
+  if (next_gen_ == kFreeGen) next_gen_ = 0;  // skip the free sentinel on wrap
+  const uint32_t gen = next_gen_++;
+  const uint32_t slot = AllocSlot();
+  Slot& s = slots_[slot];
+  s.gen = gen;
+  s.kind = kind;
+  s.payload = payload;
+  s.action = std::move(action);
+  PushKey(HeapKey{time, gen, slot});
+  ++live_;
+  return (static_cast<uint64_t>(gen) << 32) | slot;
+}
+
+EventToken EventQueue::ScheduleHandler(double time, uint64_t kind,
+                                       uint64_t payload) {
+  VOD_CHECK_MSG(kind < handlers_.size(), "unregistered event handler kind");
+  VOD_CHECK_MSG(time >= now_, "cannot schedule an event in the past");
+  // Steady-state fast path: identical to ScheduleSlot minus the action —
+  // free slots always hold an empty closure (FreeSlot clears it), so this
+  // never constructs, moves, or destroys a std::function.
+  if (next_gen_ == kFreeGen) next_gen_ = 0;
+  const uint32_t gen = next_gen_++;
+  const uint32_t slot = AllocSlot();
+  Slot& s = slots_[slot];
+  s.gen = gen;
+  s.kind = kind;
+  s.payload = payload;
+  PushKey(HeapKey{time, gen, slot});
+  ++live_;
+  return (static_cast<uint64_t>(gen) << 32) | slot;
 }
 
 EventToken EventQueue::Schedule(double time, std::function<void()> action) {
-  Entry entry;
-  entry.time = time;
-  entry.seq = next_seq_++;
-  entry.token = entry.seq;
-  entry.action = std::move(action);
-  return ScheduleEntry(std::move(entry));
+  return ScheduleSlot(time, kUntagged, 0, std::move(action));
 }
 
 EventToken EventQueue::ScheduleTagged(double time, uint64_t kind,
                                       uint64_t payload,
                                       std::function<void()> action) {
-  Entry entry;
-  entry.time = time;
-  entry.seq = next_seq_++;
-  entry.token = entry.seq;
-  entry.action = std::move(action);
-  entry.tagged = true;
-  entry.kind = kind;
-  entry.payload = payload;
-  return ScheduleEntry(std::move(entry));
+  VOD_CHECK_MSG(kind != kUntagged, "reserved event kind");
+  return ScheduleSlot(time, kind, payload, std::move(action));
 }
 
 void EventQueue::Cancel(EventToken token) {
-  // Only tokens that are actually pending move to the cancelled set; this
-  // makes cancelling a stale or sentinel token harmless and keeps pending()
-  // exact.
-  if (live_.erase(token) > 0) cancelled_.insert(token);
+  const uint32_t slot = static_cast<uint32_t>(token);
+  const uint32_t gen = static_cast<uint32_t>(token >> 32);
+  // kNoEvent, stale, and malformed tokens all fail one of these compares;
+  // gen == kFreeGen can never belong to a live event.
+  if (gen == kFreeGen || slot >= slots_.size() || slots_[slot].gen != gen) {
+    return;
+  }
+  FreeSlot(slot);
+  --live_;
+  ++tombstones_;
+  // Lazy deletion must not pin memory after a cancel-heavy burst: once
+  // tombstones dominate, drop them all and re-heapify in O(n).
+  if (tombstones_ > heap_.size() / 2 && heap_.size() > 64) CompactHeap();
+}
+
+void EventQueue::PushKey(HeapKey key) {
+  heap_.push_back(key);
+  SiftUp(heap_.size() - 1);
+}
+
+void EventQueue::PopRoot() {
+  heap_.front() = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) SiftDown(0);
+}
+
+void EventQueue::SiftUp(size_t i) {
+  const HeapKey key = heap_[i];
+  while (i > 0) {
+    const size_t parent = (i - 1) >> 2;
+    if (!RunsBefore(key, heap_[parent])) break;
+    heap_[i] = heap_[parent];
+    i = parent;
+  }
+  heap_[i] = key;
+}
+
+void EventQueue::SiftDown(size_t i) {
+  const size_t n = heap_.size();
+  const HeapKey key = heap_[i];
+  for (;;) {
+    const size_t first = (i << 2) + 1;
+    if (first >= n) break;
+    const size_t last = std::min(first + 4, n);
+    size_t best = first;
+    for (size_t c = first + 1; c < last; ++c) {
+      if (RunsBefore(heap_[c], heap_[best])) best = c;
+    }
+    if (!RunsBefore(heap_[best], key)) break;
+    heap_[i] = heap_[best];
+    i = best;
+  }
+  heap_[i] = key;
+}
+
+void EventQueue::CompactHeap() {
+  heap_.erase(std::remove_if(heap_.begin(), heap_.end(),
+                             [this](const HeapKey& key) {
+                               return slots_[key.slot].gen != key.gen;
+                             }),
+              heap_.end());
+  tombstones_ = 0;
+  if (heap_.size() > 1) {
+    for (size_t i = (heap_.size() - 2) >> 2; ; --i) {
+      SiftDown(i);
+      if (i == 0) break;
+    }
+  }
+}
+
+void EventQueue::ExecuteHead(const HeapKey& head) {
+  PopRoot();
+  Slot& s = slots_[head.slot];
+  const uint64_t kind = s.kind;
+  const uint64_t payload = s.payload;
+  std::function<void()> action;
+  if (s.action) action = std::move(s.action);
+  FreeSlot(head.slot);  // before dispatch: the action may reuse the slot
+  --live_;
+  now_ = head.time;
+  if (action) {
+    action();
+  } else {
+    handlers_[kind](payload);
+  }
+  ++executed_;
+  if (observer_) observer_(now_);
 }
 
 bool EventQueue::RunNext() {
   while (!heap_.empty()) {
-    std::pop_heap(heap_.begin(), heap_.end(), RunsAfter{});
-    Entry entry = std::move(heap_.back());
-    heap_.pop_back();
-    const auto cancelled_it = cancelled_.find(entry.token);
-    if (cancelled_it != cancelled_.end()) {
-      cancelled_.erase(cancelled_it);
+    const HeapKey head = heap_.front();
+    if (slots_[head.slot].gen != head.gen) {  // tombstone: discard lazily
+      PopRoot();
+      --tombstones_;
       continue;
     }
-    live_.erase(entry.token);
-    now_ = entry.time;
-    entry.action();
-    ++executed_;
-    if (observer_) observer_(now_);
+    ExecuteHead(head);
     return true;
   }
   return false;
@@ -68,72 +202,126 @@ bool EventQueue::RunNext() {
 
 void EventQueue::RunUntil(double horizon) {
   while (!heap_.empty()) {
-    // Drop cancelled heads first so the horizon check sees a live event.
-    const Entry& top = heap_.front();
-    const auto cancelled_it = cancelled_.find(top.token);
-    if (cancelled_it != cancelled_.end()) {
-      cancelled_.erase(cancelled_it);
-      std::pop_heap(heap_.begin(), heap_.end(), RunsAfter{});
-      heap_.pop_back();
+    const HeapKey head = heap_.front();
+    if (slots_[head.slot].gen != head.gen) {  // tombstone: discard lazily
+      PopRoot();
+      --tombstones_;
       continue;
     }
-    if (top.time > horizon) break;
-    RunNext();
+    if (head.time > horizon) break;
+    ExecuteHead(head);  // one liveness compare per executed event, done above
   }
   if (now_ < horizon) now_ = horizon;
 }
 
 Status EventQueue::Snapshot(ByteWriter* out) const {
-  // Collect the live entries and order them deterministically; the heap's
+  // Collect the live keys and order them deterministically; the heap's
   // internal array order depends on the push/pop history.
-  std::vector<const Entry*> pending_entries;
-  pending_entries.reserve(heap_.size());
-  for (const Entry& entry : heap_) {
-    if (cancelled_.count(entry.token) > 0) continue;  // will never run
-    if (!entry.tagged) {
+  std::vector<HeapKey> pending_keys;
+  pending_keys.reserve(live_);
+  for (const HeapKey& key : heap_) {
+    const Slot& s = slots_[key.slot];
+    if (s.gen != key.gen) continue;  // tombstone: will never run
+    if (s.kind == kUntagged) {
       return Status::NotSupported(
           "event queue holds an untagged event (seq " +
-          std::to_string(entry.seq) +
-          ", t=" + std::to_string(entry.time) +
-          "); only ScheduleTagged events can be snapshotted");
+          std::to_string(key.gen) + ", t=" + std::to_string(key.time) +
+          "); only tagged or handler events can be snapshotted");
     }
-    pending_entries.push_back(&entry);
+    pending_keys.push_back(key);
   }
-  std::sort(pending_entries.begin(), pending_entries.end(),
-            [](const Entry* a, const Entry* b) {
-              if (a->time != b->time) return a->time < b->time;
-              return a->seq < b->seq;
-            });
+  std::sort(pending_keys.begin(), pending_keys.end(), RunsBefore);
 
+  out->PutU64(kSnapshotMagicV2);
   out->PutDouble(now_);
-  out->PutU64(next_seq_);
+  out->PutU64(next_gen_);
   out->PutU64(executed_);
-  out->PutU64(pending_entries.size());
-  for (const Entry* entry : pending_entries) {
-    out->PutDouble(entry->time);
-    out->PutU64(entry->seq);
-    out->PutU64(entry->kind);
-    out->PutU64(entry->payload);
+  out->PutU64(pending_keys.size());
+  for (const HeapKey& key : pending_keys) {
+    const Slot& s = slots_[key.slot];
+    out->PutDouble(key.time);
+    out->PutU64((static_cast<uint64_t>(key.gen) << 32) | key.slot);
+    out->PutU64(s.kind);
+    out->PutU64(s.payload);
   }
   return Status::OK();
 }
 
+struct EventQueue::PendingRestore {
+  double time = 0.0;
+  uint32_t gen = 0;
+  uint32_t slot = 0;
+  uint64_t kind = 0;
+  uint64_t payload = 0;
+  std::function<void()> action;  ///< empty when a registered handler serves
+};
+
+void EventQueue::CommitRestore(double now, uint32_t next_gen,
+                               uint64_t executed,
+                               std::vector<PendingRestore> entries) {
+  now_ = now;
+  next_gen_ = next_gen;
+  executed_ = executed;
+  heap_.clear();
+  slots_.clear();
+  free_head_ = kNilSlot;
+  tombstones_ = 0;
+  uint32_t max_slot = 0;
+  for (const PendingRestore& entry : entries) {
+    max_slot = std::max(max_slot, entry.slot);
+  }
+  slots_.resize(entries.empty() ? 0 : static_cast<size_t>(max_slot) + 1);
+  heap_.reserve(entries.size());
+  for (PendingRestore& entry : entries) {
+    Slot& s = slots_[entry.slot];
+    s.gen = entry.gen;
+    s.kind = entry.kind;
+    s.payload = entry.payload;
+    s.action = std::move(entry.action);
+    heap_.push_back(HeapKey{entry.time, entry.gen, entry.slot});
+  }
+  // Unoccupied slots join the free list lowest-index-first, keeping token
+  // assignment after a restore deterministic.
+  for (size_t i = slots_.size(); i-- > 0;) {
+    if (slots_[i].gen == kFreeGen) {
+      slots_[i].next_free = free_head_;
+      free_head_ = static_cast<uint32_t>(i);
+    }
+  }
+  live_ = entries.size();
+  if (heap_.size() > 1) {
+    for (size_t i = (heap_.size() - 2) >> 2; ; --i) {
+      SiftDown(i);
+      if (i == 0) break;
+    }
+  }
+}
+
 Status EventQueue::Restore(ByteReader* in, const ActionFactory& factory) {
-  if (!heap_.empty() || !live_.empty()) {
+  if (!heap_.empty() || live_ != 0) {
     return Status::InvalidArgument(
         "event queue restore requires an empty queue");
   }
-  double now;
+  uint64_t first_word;
+  VOD_RETURN_IF_ERROR(in->ReadU64(&first_word));
+  if (first_word == kSnapshotMagicV2) return RestoreV2(in, factory);
+  // PR 3-era layout: the first word is the clock's IEEE bit pattern.
+  const double now = std::bit_cast<double>(first_word);
   uint64_t next_seq, executed, count;
-  VOD_RETURN_IF_ERROR(in->ReadDouble(&now));
   VOD_RETURN_IF_ERROR(in->ReadU64(&next_seq));
   VOD_RETURN_IF_ERROR(in->ReadU64(&executed));
   VOD_RETURN_IF_ERROR(in->ReadU64(&count));
 
-  std::vector<Entry> entries;
-  entries.reserve(count);
+  struct V1Entry {
+    double time;
+    uint64_t seq;
+    uint64_t kind;
+    uint64_t payload;
+  };
+  std::vector<V1Entry> raw;
+  raw.reserve(count);
   for (uint64_t i = 0; i < count; ++i) {
-    Entry entry;
+    V1Entry entry;
     VOD_RETURN_IF_ERROR(in->ReadDouble(&entry.time));
     VOD_RETURN_IF_ERROR(in->ReadU64(&entry.seq));
     VOD_RETURN_IF_ERROR(in->ReadU64(&entry.kind));
@@ -150,26 +338,110 @@ Status EventQueue::Restore(ByteReader* in, const ActionFactory& factory) {
           std::to_string(entry.seq) + " >= sequence counter " +
           std::to_string(next_seq));
     }
-    entry.token = entry.seq;
-    entry.tagged = true;
-    entry.action = factory(entry.kind, entry.payload, entry.time);
-    if (!entry.action) {
+    raw.push_back(entry);
+  }
+
+  // The old format ordered by a 64-bit sequence; generations replicate that
+  // order by ranking the stored sequences. (Old token values are seq-based
+  // and are not honored after a cross-format restore.)
+  std::vector<size_t> by_seq(raw.size());
+  std::iota(by_seq.begin(), by_seq.end(), size_t{0});
+  std::sort(by_seq.begin(), by_seq.end(), [&raw](size_t a, size_t b) {
+    return raw[a].seq < raw[b].seq;
+  });
+  std::vector<PendingRestore> entries(raw.size());
+  for (size_t rank = 0; rank < by_seq.size(); ++rank) {
+    const V1Entry& src = raw[by_seq[rank]];
+    PendingRestore& dst = entries[by_seq[rank]];
+    dst.time = src.time;
+    dst.gen = static_cast<uint32_t>(rank);
+    dst.slot = static_cast<uint32_t>(rank);
+    dst.kind = src.kind;
+    dst.payload = src.payload;
+    if (!(src.kind < handlers_.size() && handlers_[src.kind] != nullptr)) {
+      dst.action = factory(src.kind, src.payload, src.time);
+      if (!dst.action) {
+        return Status::InvalidArgument(
+            "event queue restore: factory rejected event kind " +
+            std::to_string(src.kind));
+      }
+    }
+  }
+  // Evaluated before the move below — argument order is unspecified.
+  const uint32_t restored_gen = static_cast<uint32_t>(entries.size());
+  CommitRestore(now, restored_gen, executed, std::move(entries));
+  return Status::OK();
+}
+
+Status EventQueue::RestoreV2(ByteReader* in, const ActionFactory& factory) {
+  double now;
+  uint64_t next_gen, executed, count;
+  VOD_RETURN_IF_ERROR(in->ReadDouble(&now));
+  VOD_RETURN_IF_ERROR(in->ReadU64(&next_gen));
+  VOD_RETURN_IF_ERROR(in->ReadU64(&executed));
+  VOD_RETURN_IF_ERROR(in->ReadU64(&count));
+  if (next_gen > kFreeGen) {
+    return Status::InvalidArgument(
+        "event queue snapshot corrupt: generation counter " +
+        std::to_string(next_gen) + " out of range");
+  }
+
+  std::vector<PendingRestore> entries;
+  entries.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    PendingRestore entry;
+    uint64_t token, kind;
+    VOD_RETURN_IF_ERROR(in->ReadDouble(&entry.time));
+    VOD_RETURN_IF_ERROR(in->ReadU64(&token));
+    VOD_RETURN_IF_ERROR(in->ReadU64(&kind));
+    VOD_RETURN_IF_ERROR(in->ReadU64(&entry.payload));
+    entry.gen = static_cast<uint32_t>(token >> 32);
+    entry.slot = static_cast<uint32_t>(token);
+    entry.kind = kind;
+    if (!(entry.time >= now)) {
       return Status::InvalidArgument(
-          "event queue restore: factory rejected event kind " +
-          std::to_string(entry.kind));
+          "event queue snapshot corrupt: entry at t=" +
+          std::to_string(entry.time) + " precedes the snapshot clock t=" +
+          std::to_string(now));
+    }
+    if (entry.gen == kFreeGen || entry.gen >= next_gen) {
+      return Status::InvalidArgument(
+          "event queue snapshot corrupt: entry seq " +
+          std::to_string(entry.gen) + " >= sequence counter " +
+          std::to_string(next_gen));
+    }
+    if (entry.slot >= kMaxRestoreSlot) {
+      return Status::InvalidArgument(
+          "event queue snapshot corrupt: slot " +
+          std::to_string(entry.slot) + " is implausibly large");
+    }
+    if (!(kind < handlers_.size() && handlers_[kind] != nullptr)) {
+      entry.action = factory(kind, entry.payload, entry.time);
+      if (!entry.action) {
+        return Status::InvalidArgument(
+            "event queue restore: factory rejected event kind " +
+            std::to_string(kind));
+      }
     }
     entries.push_back(std::move(entry));
   }
-
-  // All-or-nothing: mutate the queue only after every entry decoded.
-  now_ = now;
-  next_seq_ = next_seq;
-  executed_ = executed;
-  for (Entry& entry : entries) {
-    live_.insert(entry.token);
-    heap_.push_back(std::move(entry));
+  // Reject blobs that map two events to one slot — tokens would alias.
+  std::vector<PendingRestore*> by_slot;
+  by_slot.reserve(entries.size());
+  for (PendingRestore& entry : entries) by_slot.push_back(&entry);
+  std::sort(by_slot.begin(), by_slot.end(),
+            [](const PendingRestore* a, const PendingRestore* b) {
+              return a->slot < b->slot;
+            });
+  for (size_t i = 1; i < by_slot.size(); ++i) {
+    if (by_slot[i]->slot == by_slot[i - 1]->slot) {
+      return Status::InvalidArgument(
+          "event queue snapshot corrupt: duplicate slot " +
+          std::to_string(by_slot[i]->slot));
+    }
   }
-  std::make_heap(heap_.begin(), heap_.end(), RunsAfter{});
+  CommitRestore(now, static_cast<uint32_t>(next_gen), executed,
+                std::move(entries));
   return Status::OK();
 }
 

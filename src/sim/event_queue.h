@@ -1,13 +1,20 @@
 // Discrete-event simulation kernel: a future-event list with cancellation,
 // an execution observer (for runtime invariant auditing), and a tagged
 // snapshot/restore path (for crash-recoverable runs).
+//
+// Internals are built for throughput: event payloads live in a slab of
+// generation-stamped slots threaded by an intrusive free list, the ordering
+// structure is a cache-friendly 4-ary implicit heap of 16-byte
+// (time, gen, slot) keys, and steady-state events dispatch through a
+// registered (kind, payload) handler table so the hot path never allocates.
+// std::function closures remain supported for one-off events (fault
+// injection, tests); only those pay an allocation.
 
 #ifndef VOD_SIM_EVENT_QUEUE_H_
 #define VOD_SIM_EVENT_QUEUE_H_
 
 #include <cstdint>
 #include <functional>
-#include <unordered_set>
 #include <vector>
 
 #include "common/status.h"
@@ -17,35 +24,65 @@ namespace vod {
 class ByteWriter;
 class ByteReader;
 
-/// Handle identifying a scheduled event (for cancellation).
+/// Handle identifying a scheduled event (for cancellation). Packs the slab
+/// slot index (low 32 bits) and the slot's generation stamp at schedule time
+/// (high 32 bits); validation is a single generation compare.
 using EventToken = uint64_t;
 
 /// Sentinel for "no event scheduled"; Cancel(kNoEvent) is always a no-op.
+/// (Decodes to an out-of-range slot with the never-issued generation.)
 inline constexpr EventToken kNoEvent = ~EventToken{0};
 
 /// \brief Future-event list ordered by (time, insertion sequence).
 ///
 /// Insertion-sequence tiebreak makes simultaneous events run in schedule
-/// order, which keeps runs deterministic. Cancellation is lazy: cancelled
-/// tokens are skipped at pop time, so Cancel is O(1).
+/// order, which keeps runs deterministic. Cancellation is O(1): the slot is
+/// tombstoned (generation bumped, payload freed for reuse) and its heap key
+/// is discarded lazily at pop time — or eagerly, when tombstones come to
+/// dominate the heap (see CompactHeap), so cancel-heavy bursts cannot pin
+/// memory.
 ///
 /// Closures are not serializable, so snapshotting works through *tags*: an
-/// event scheduled with ScheduleTagged carries a (kind, payload) identity
-/// that Snapshot can persist and Restore can turn back into a closure via a
-/// caller-supplied factory. Untagged events make the queue unsnapshottable
-/// (Snapshot reports which is fine for workloads that never checkpoint).
+/// event scheduled with ScheduleTagged or via a registered handler kind
+/// carries a (kind, payload) identity that Snapshot can persist and Restore
+/// can turn back into a runnable event — through the handler table when the
+/// kind is registered, else via a caller-supplied closure factory. Untagged
+/// events make the queue unsnapshottable (Snapshot reports which is fine for
+/// workloads that never checkpoint).
 class EventQueue {
  public:
+  /// A steady-state event handler: receives the payload stamped at schedule
+  /// time; the event time is Now(). Registered once, reused by every event
+  /// of its kind — scheduling such events allocates nothing.
+  using Handler = std::function<void(uint64_t payload)>;
+
+  /// Registers `handler` and returns its kind id. Kinds are assigned
+  /// sequentially from 0 in registration order, so a deterministic
+  /// construction order yields deterministic (snapshottable) kinds.
+  uint64_t AddHandler(Handler handler);
+
+  /// Schedules the registered handler `kind` with `payload` at absolute time
+  /// `time` (>= Now()). The fast path: no allocation, snapshot-compatible.
+  EventToken ScheduleHandler(double time, uint64_t kind, uint64_t payload);
+
   /// Schedules `action` at absolute time `time` (>= Now()). Returns a token
-  /// usable with Cancel.
+  /// usable with Cancel. Closure-only events cannot be snapshotted.
   EventToken Schedule(double time, std::function<void()> action);
 
   /// Schedules `action` with a serializable identity. `kind` names the
   /// handler (a caller-defined enum), `payload` its argument (an entity id,
-  /// an encoded value, ...). Snapshot persists (time, seq, kind, payload);
+  /// an encoded value, ...). Snapshot persists (time, kind, payload);
   /// Restore rebuilds the closure from them.
   EventToken ScheduleTagged(double time, uint64_t kind, uint64_t payload,
                             std::function<void()> action);
+
+  /// Pre-sizes the heap and slab for about `events` concurrently pending
+  /// events, so a run that stays under the estimate never grows kernel
+  /// storage mid-simulation. Purely an optimization hint.
+  void Reserve(size_t events) {
+    heap_.reserve(events);
+    slots_.reserve(events);
+  }
 
   /// Cancels a scheduled event. Cancelling an already-run, already-cancelled,
   /// or unknown token (including kNoEvent) is a safe no-op.
@@ -63,11 +100,19 @@ class EventQueue {
   /// Current simulation time (time of the last executed event).
   double Now() const { return now_; }
 
-  size_t pending() const { return live_.size(); }
-  bool empty() const { return pending() == 0; }
+  size_t pending() const { return live_; }
+  bool empty() const { return live_ == 0; }
 
   /// Total events executed by RunNext (cancelled pops excluded).
   uint64_t executed() const { return executed_; }
+
+  /// Heap keys currently held, live + tombstoned (diagnostics; the
+  /// compaction regression test bounds this against pending()).
+  size_t heap_nodes() const { return heap_.size(); }
+
+  /// Slab slots allocated so far (diagnostics; bounded by the peak number
+  /// of concurrently pending events, not by throughput).
+  size_t slab_slots() const { return slots_.size(); }
 
   /// Installs an observer invoked after each executed event with the event
   /// time (state is settled when it fires — the auditor's hook point).
@@ -77,57 +122,108 @@ class EventQueue {
     observer_ = std::move(observer);
   }
 
-  /// \brief Serializes clock, sequence counter, and all pending events.
+  /// \brief Serializes clock, generation counter, and all pending events.
   ///
-  /// Pending events are written in deterministic (time, seq) order. Fails
-  /// with NotSupported if any live event was scheduled without a tag —
-  /// closures cannot be persisted. Cancelled-but-unpopped entries are
-  /// dropped (they would never run anyway).
+  /// Pending events are written in deterministic (time, sequence) order.
+  /// Fails with NotSupported if any live event was scheduled without a tag —
+  /// closures cannot be persisted. Cancelled entries are already gone (their
+  /// slots were freed at Cancel time).
   Status Snapshot(ByteWriter* out) const;
 
   /// Rebuilds `action` closures at restore time: given the persisted
   /// (kind, payload, time), return the closure to run. Returning an empty
-  /// function makes Restore fail (unknown kind).
+  /// function makes Restore fail (unknown kind). Consulted only for kinds
+  /// with no registered handler.
   using ActionFactory =
       std::function<std::function<void()>(uint64_t kind, uint64_t payload,
                                           double time)>;
 
   /// \brief Restores a queue serialized by Snapshot.
   ///
-  /// The queue must be empty and unstarted (pending() == 0). Tokens are
-  /// preserved: a token obtained before the snapshot still cancels the same
-  /// logical event after restore. Returns InvalidArgument on truncated or
-  /// inconsistent input (entry time before the snapshot clock, seq beyond
-  /// the counter, unknown kind).
+  /// The queue must be empty and unstarted (pending() == 0). Accepts both
+  /// the current format and PR 3-era snapshots (the pre-slab layout).
+  /// Entries whose kind has a registered handler are restored onto the
+  /// allocation-free handler path; others go through `factory`. Tokens are
+  /// preserved by current-format snapshots: a token obtained before the
+  /// snapshot still cancels the same logical event after restore (for
+  /// PR 3-era snapshots the events restore and run identically, but old
+  /// token values are not honored — nothing in-tree held tokens across
+  /// those snapshots). Returns InvalidArgument on truncated or inconsistent
+  /// input (entry time before the snapshot clock, sequence beyond the
+  /// counter, duplicate slot, unknown kind).
   Status Restore(ByteReader* in, const ActionFactory& factory);
 
  private:
-  struct Entry {
-    double time;
-    uint64_t seq;
-    EventToken token;
-    std::function<void()> action;
-    bool tagged = false;
-    uint64_t kind = 0;
+  /// Generation value of free slots; never issued to a live event, so a
+  /// token or heap key can never match a freed slot.
+  static constexpr uint32_t kFreeGen = 0xFFFFFFFFu;
+  /// Kind value marking a closure-only (untagged) event.
+  static constexpr uint64_t kUntagged = ~uint64_t{0};
+  /// Free-list terminator.
+  static constexpr uint32_t kNilSlot = 0xFFFFFFFFu;
+
+  /// One slab slot: the event's payload stays put here while the heap
+  /// shuffles only 16-byte keys. `gen` is stamped from a global counter at
+  /// schedule time and reset to kFreeGen on free, so liveness of a heap key
+  /// or token is a single compare.
+  struct Slot {
+    uint64_t kind = kUntagged;  ///< handler index, tag, or kUntagged
     uint64_t payload = 0;
+    std::function<void()> action;  ///< set iff untagged or legacy-tagged
+    uint32_t gen = kFreeGen;
+    uint32_t next_free = kNilSlot;
   };
 
-  /// Min-heap comparator: true when `a` runs after `b`.
-  struct RunsAfter {
-    bool operator()(const Entry& a, const Entry& b) const {
-      if (a.time != b.time) return a.time > b.time;
-      return a.seq > b.seq;
-    }
+  /// 16-byte heap key. `gen` doubles as the determinism tiebreak: it is
+  /// issued by a monotone counter per Schedule call, so (time, gen) order
+  /// equals (time, insertion sequence) order. (The u32 counter wraps after
+  /// 2^32 schedules; simultaneous events 4e9 schedules apart cannot occur
+  /// in these workloads, and a token would have to survive that long while
+  /// its slot is reused to alias — live tokens never do.)
+  struct HeapKey {
+    double time;
+    uint32_t gen;
+    uint32_t slot;
   };
 
-  EventToken ScheduleEntry(Entry entry);
+  /// True when `a` must run before `b`.
+  static bool RunsBefore(const HeapKey& a, const HeapKey& b) {
+    if (a.time != b.time) return a.time < b.time;
+    return a.gen < b.gen;
+  }
 
-  std::vector<Entry> heap_;                   ///< std::*_heap with RunsAfter
-  std::unordered_set<EventToken> live_;       ///< scheduled, not yet run
-  std::unordered_set<EventToken> cancelled_;  ///< cancelled, still in heap_
+  uint32_t AllocSlot();
+  void FreeSlot(uint32_t slot);
+  EventToken ScheduleSlot(double time, uint64_t kind, uint64_t payload,
+                          std::function<void()> action);
+  void PushKey(HeapKey key);
+  void PopRoot();
+  void SiftUp(size_t i);
+  void SiftDown(size_t i);
+  /// Drops every tombstoned key and re-heapifies in O(n). Called from
+  /// Cancel when tombstones exceed the live keys, so a cancel-heavy burst
+  /// (mass abandonment) cannot pin heap memory until pop time.
+  void CompactHeap();
+  /// Executes the live head key (caller validated liveness). Advances the
+  /// clock, dispatches, and fires the observer.
+  void ExecuteHead(const HeapKey& head);
+
+  Status RestoreV2(ByteReader* in, const ActionFactory& factory);
+  /// Commits decoded entries: places them in the slab (at their stored slot
+  /// for V2, densely for V1), rebuilds the free list and heap.
+  struct PendingRestore;
+  void CommitRestore(double now, uint32_t next_gen, uint64_t executed,
+                     std::vector<PendingRestore> entries);
+
+  std::vector<HeapKey> heap_;  ///< 4-ary implicit min-heap
+  std::vector<Slot> slots_;    ///< payload slab, indexed by HeapKey::slot
+  uint32_t free_head_ = kNilSlot;
+  uint32_t next_gen_ = 0;   ///< monotone generation/sequence counter
+  size_t live_ = 0;         ///< scheduled, not yet run or cancelled
+  size_t tombstones_ = 0;   ///< cancelled keys still in heap_
   double now_ = 0.0;
-  uint64_t next_seq_ = 0;
   uint64_t executed_ = 0;
+  std::vector<Handler> handlers_;
   std::function<void(double)> observer_;
 };
 

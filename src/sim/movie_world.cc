@@ -4,9 +4,9 @@
 #include <cmath>
 #include <limits>
 #include <optional>
-#include <unordered_map>
 
 #include "common/check.h"
+#include "dist/exponential.h"
 #include "sim/trace.h"
 
 namespace vod {
@@ -15,6 +15,13 @@ namespace {
 // Stream-class tags for deriving independent child RNGs.
 constexpr uint64_t kArrivalStream = 1;
 constexpr uint64_t kViewerStream = 2;
+
+// Viewer-slab free-list terminator.
+constexpr uint32_t kNilSlot = 0xFFFFFFFFu;
+
+// Initial viewer-slab capacity; covers the steady-state population of the
+// validation workloads so the hot path never reallocates.
+constexpr size_t kInitialViewerCapacity = 256;
 }  // namespace
 
 Status ValidateMovieWorldInputs(const PlaybackRates& rates,
@@ -46,20 +53,51 @@ class MovieWorld::Impl {
         arrival_rng_(base_rng_.MakeChild(kArrivalStream, 0)),
         queue_(queue),
         supplier_(supplier),
-        metrics_(metrics) {}
+        metrics_(metrics) {
+    viewers_.reserve(kInitialViewerCapacity);
+    // Devirtualized sampling fast path: the paper's workloads draw VCR
+    // initiation gaps from an exponential clock, and
+    // ExponentialDistribution::Sample is exactly rng->Exponential(mean), so
+    // calling that directly is bit-identical and skips the vtable.
+    if (const auto* exp = dynamic_cast<const ExponentialDistribution*>(
+            config_.behavior.interactivity.get())) {
+      interactivity_exp_mean_ = exp->Mean();
+    }
+    // Steady-state event kinds, registered once per world: scheduling these
+    // goes through the queue's allocation-free handler path. The payload is
+    // the viewer's slab slot (unused for arrivals).
+    kind_arrival_ = queue_->AddHandler([this](uint64_t) { OnArrival(); });
+    kind_admit_ = queue_->AddHandler(
+        [this](uint64_t slot) { OnAdmitType1(static_cast<uint32_t>(slot)); });
+    kind_abandon_ = queue_->AddHandler(
+        [this](uint64_t slot) { OnAbandon(static_cast<uint32_t>(slot)); });
+    kind_vcr_initiate_ = queue_->AddHandler(
+        [this](uint64_t slot) { OnVcrInitiate(static_cast<uint32_t>(slot)); });
+    kind_merge_ = queue_->AddHandler([this](uint64_t slot) {
+      OnPiggybackMerge(static_cast<uint32_t>(slot));
+    });
+    kind_finish_ = queue_->AddHandler(
+        [this](uint64_t slot) { OnFinish(static_cast<uint32_t>(slot)); });
+    kind_vcr_complete_ = queue_->AddHandler(
+        [this](uint64_t slot) { OnVcrComplete(static_cast<uint32_t>(slot)); });
+    kind_stall_resume_ = queue_->AddHandler(
+        [this](uint64_t slot) { OnStallResume(static_cast<uint32_t>(slot)); });
+  }
 
   void Start() { ScheduleNextArrival(queue_->Now()); }
 
   const PartitionLayout& layout() const { return layout_; }
 
  private:
-  /// Internal per-viewer session state. Invariant: at most one pending
-  /// event per viewer; every transition schedules the next one.
+  /// Internal per-viewer session state, held in a slab indexed by the slot
+  /// carried in event payloads. Invariant: at most one pending event per
+  /// viewer; every transition schedules the next one.
   struct Viewer {
     uint64_t id = 0;
     double position = 0.0;    ///< at the last state change
     double state_time = 0.0;  ///< time of the last state change
     double play_rate = 1.0;   ///< 1, or 1 ± Δ while piggybacking
+    bool active = false;      ///< slot holds a live session
     bool dedicated = false;   ///< holds a stream from the supplier
     double miss_time = 0.0;   ///< when the current dedicated stint began
     /// Session deadline (abandonment); +inf when patience is unlimited.
@@ -69,14 +107,59 @@ class MovieWorld::Impl {
     /// tracked so forced reclaim can cancel it. kNoEvent while the viewer
     /// sits in the supplier's VCR queue (the supplier owns those timers).
     EventToken pending_event = kNoEvent;
-    Rng rng;
-
-    explicit Viewer(Rng r) : rng(r) {}
+    /// In-flight VCR operation, parked here between BeginVcrOp and its
+    /// completion event (the payload only carries the slot).
+    VcrOp vcr_op = VcrOp::kPause;
+    double vcr_resume_position = 0.0;
+    bool vcr_reaches_end = false;
+    bool vcr_in_partition_before = false;
+    bool vcr_consuming = false;
+    uint32_t next_free = kNilSlot;  ///< free-list link while inactive
+    Rng rng{0};
 
     double PositionAt(double t) const {
       return position + (t - state_time) * play_rate;
     }
   };
+
+  // ---- viewer slab ---------------------------------------------------------
+
+  /// Creates a session in a recycled (LIFO) or fresh slot. The recycling
+  /// order is a pure function of the event sequence, so slot assignment is
+  /// deterministic. Returns the slot index.
+  uint32_t AllocViewer(uint64_t id) {
+    uint32_t slot;
+    if (free_head_ != kNilSlot) {
+      slot = free_head_;
+      free_head_ = viewers_[slot].next_free;
+      viewers_[slot] = Viewer{};
+    } else {
+      VOD_CHECK(viewers_.size() < kNilSlot);
+      slot = static_cast<uint32_t>(viewers_.size());
+      viewers_.emplace_back();
+    }
+    Viewer& viewer = viewers_[slot];
+    viewer.id = id;
+    viewer.active = true;
+    viewer.rng = base_rng_.MakeChild(kViewerStream, id);
+    return slot;
+  }
+
+  void FreeViewer(uint32_t slot) {
+    Viewer& viewer = viewers_[slot];
+    viewer.active = false;
+    viewer.next_free = free_head_;
+    free_head_ = slot;
+  }
+
+  Viewer& Get(uint32_t slot) {
+    VOD_CHECK(slot < viewers_.size() && viewers_[slot].active);
+    return viewers_[slot];
+  }
+
+  uint32_t SlotOf(const Viewer& viewer) const {
+    return static_cast<uint32_t>(&viewer - viewers_.data());
+  }
 
   // ---- helpers -------------------------------------------------------------
 
@@ -112,6 +195,14 @@ class MovieWorld::Impl {
     metrics_->SetConcurrentViewers(t, concurrent_count_);
   }
 
+  /// Draws the time of the viewer's next VCR initiation after `t`.
+  double SampleVcrClock(Viewer& viewer, double t) {
+    if (interactivity_exp_mean_ > 0.0) {
+      return t + viewer.rng.Exponential(interactivity_exp_mean_);
+    }
+    return t + config_.behavior.interactivity->Sample(&viewer.rng);
+  }
+
   // ---- observability -------------------------------------------------------
 
   /// Emits one structured event when a bus is attached and the category
@@ -132,18 +223,15 @@ class MovieWorld::Impl {
     } else {
       next = t + arrival_rng_.Exponential(config_.mean_interarrival_minutes);
     }
-    queue_->Schedule(next, [this] { OnArrival(); });
+    queue_->ScheduleHandler(next, kind_arrival_, 0);
   }
 
   void OnArrival() {
     const double t = queue_->Now();
     ScheduleNextArrival(t);
     const uint64_t id = next_viewer_id_++;
-    auto [it, inserted] = viewers_.emplace(
-        id, Viewer(base_rng_.MakeChild(kViewerStream, id)));
-    VOD_CHECK(inserted);
-    Viewer& viewer = it->second;
-    viewer.id = id;
+    const uint32_t slot = AllocViewer(id);
+    Viewer& viewer = viewers_[slot];
 
     const std::optional<int64_t> covering =
         schedule_.FindCoveringStream(t, 0.0);
@@ -156,34 +244,40 @@ class MovieWorld::Impl {
       SetConcurrent(t, +1);
       SchedulePlayback(viewer, t, 0.0);
     } else {
-      // Type-1 viewer: queue until the next restart.
+      // Type-1 viewer: queue frozen at the entry point until the next
+      // restart; state_time records the enqueue instant so the admission
+      // handler can recover the wait.
       const double start = schedule_.NextRestart(t);
-      const double wait = start - t;
-      viewer.pending_event = queue_->Schedule(start, [this, id, wait] {
-        auto found = viewers_.find(id);
-        VOD_CHECK(found != viewers_.end());
-        Viewer& v = found->second;
-        const double now = queue_->Now();
-        metrics_->RecordAdmission(now, wait, /*type2=*/false);
-        if (now >= metrics_->measurement_start()) {
-          max_wait_seen_ = std::max(max_wait_seen_, wait);
-        }
-        v.home_stream = schedule_.FindCoveringStream(now, 0.0);
-        // One restart event per distinct batch-restart instant, carrying the
-        // partition stream that started (the whole batch shares it).
-        if (ObsEnabled(config_.event_log, EventCategory::kRestart) &&
-            last_restart_emitted_ != now) {
-          last_restart_emitted_ = now;
-          EmitObs(now, EventCategory::kRestart, 0, v.home_stream.value_or(-1),
-                  0.0);
-        }
-        EmitObs(now, EventCategory::kAdmission, 0, static_cast<int64_t>(id),
-                wait);
-        ArmPatience(v, now);
-        SetConcurrent(now, +1);
-        SchedulePlayback(v, now, 0.0);
-      });
+      viewer.position = 0.0;
+      viewer.state_time = t;
+      viewer.play_rate = 0.0;
+      viewer.pending_event = queue_->ScheduleHandler(start, kind_admit_, slot);
     }
+  }
+
+  /// A batch restart reached a queued type-1 viewer.
+  void OnAdmitType1(uint32_t slot) {
+    Viewer& viewer = Get(slot);
+    const double now = queue_->Now();
+    const double wait = now - viewer.state_time;
+    metrics_->RecordAdmission(now, wait, /*type2=*/false);
+    if (now >= metrics_->measurement_start()) {
+      max_wait_seen_ = std::max(max_wait_seen_, wait);
+    }
+    viewer.home_stream = schedule_.FindCoveringStream(now, 0.0);
+    // One restart event per distinct batch-restart instant, carrying the
+    // partition stream that started (the whole batch shares it).
+    if (ObsEnabled(config_.event_log, EventCategory::kRestart) &&
+        last_restart_emitted_ != now) {
+      last_restart_emitted_ = now;
+      EmitObs(now, EventCategory::kRestart, 0,
+              viewer.home_stream.value_or(-1), 0.0);
+    }
+    EmitObs(now, EventCategory::kAdmission, 0,
+            static_cast<int64_t>(viewer.id), wait);
+    ArmPatience(viewer, now);
+    SetConcurrent(now, +1);
+    SchedulePlayback(viewer, now, 0.0);
   }
 
   /// Samples the viewer's session deadline at playback start.
@@ -194,17 +288,15 @@ class MovieWorld::Impl {
   }
 
   /// The viewer walks away mid-session; all resources are released.
-  void OnAbandon(uint64_t id) {
-    auto it = viewers_.find(id);
-    VOD_CHECK(it != viewers_.end());
-    Viewer& viewer = it->second;
+  void OnAbandon(uint32_t slot) {
+    Viewer& viewer = Get(slot);
     const double t = queue_->Now();
     if (viewer.dedicated) ReleaseDedicated(viewer, t);
-    EmitObs(t, EventCategory::kSession, 1, static_cast<int64_t>(id),
+    EmitObs(t, EventCategory::kSession, 1, static_cast<int64_t>(viewer.id),
             viewer.PositionAt(t));
     SetConcurrent(t, -1);
     ++abandonments_;
-    viewers_.erase(it);
+    FreeViewer(slot);
   }
 
   // ---- playback ---------------------------------------------------------------
@@ -219,7 +311,7 @@ class MovieWorld::Impl {
     viewer.position = position;
     viewer.state_time = t;
     viewer.play_rate = 1.0;
-    const uint64_t id = viewer.id;
+    const uint32_t slot = SlotOf(viewer);
 
     double merge_at = std::numeric_limits<double>::infinity();
     if (viewer.dedicated && allow_piggyback && config_.piggyback.enabled &&
@@ -239,7 +331,7 @@ class MovieWorld::Impl {
     const double finish_at = t + (l - position) / viewer.play_rate;
     double vcr_at = std::numeric_limits<double>::infinity();
     if (!config_.behavior.passive()) {
-      vcr_at = t + config_.behavior.interactivity->Sample(&viewer.rng);
+      vcr_at = SampleVcrClock(viewer, t);
     }
 
     // The deadline may already have passed (e.g. during a VCR operation,
@@ -248,36 +340,32 @@ class MovieWorld::Impl {
     if (abandon_at <= vcr_at && abandon_at <= merge_at &&
         abandon_at <= finish_at) {
       viewer.pending_event =
-          queue_->Schedule(abandon_at, [this, id] { OnAbandon(id); });
+          queue_->ScheduleHandler(abandon_at, kind_abandon_, slot);
     } else if (vcr_at <= merge_at && vcr_at <= finish_at) {
       viewer.pending_event =
-          queue_->Schedule(vcr_at, [this, id] { OnVcrInitiate(id); });
+          queue_->ScheduleHandler(vcr_at, kind_vcr_initiate_, slot);
     } else if (merge_at <= finish_at) {
       viewer.pending_event =
-          queue_->Schedule(merge_at, [this, id] { OnPiggybackMerge(id); });
+          queue_->ScheduleHandler(merge_at, kind_merge_, slot);
     } else {
       viewer.pending_event =
-          queue_->Schedule(finish_at, [this, id] { OnFinish(id); });
+          queue_->ScheduleHandler(finish_at, kind_finish_, slot);
     }
   }
 
-  void OnFinish(uint64_t id) {
-    auto it = viewers_.find(id);
-    VOD_CHECK(it != viewers_.end());
-    Viewer& viewer = it->second;
+  void OnFinish(uint32_t slot) {
+    Viewer& viewer = Get(slot);
     const double t = queue_->Now();
     if (viewer.dedicated) ReleaseDedicated(viewer, t);
-    EmitObs(t, EventCategory::kSession, 0, static_cast<int64_t>(id),
+    EmitObs(t, EventCategory::kSession, 0, static_cast<int64_t>(viewer.id),
             layout_.movie_length());
     SetConcurrent(t, -1);
     metrics_->RecordCompletion(t);
-    viewers_.erase(it);
+    FreeViewer(slot);
   }
 
-  void OnPiggybackMerge(uint64_t id) {
-    auto it = viewers_.find(id);
-    VOD_CHECK(it != viewers_.end());
-    Viewer& viewer = it->second;
+  void OnPiggybackMerge(uint32_t slot) {
+    Viewer& viewer = Get(slot);
     const double t = queue_->Now();
     const double position = viewer.PositionAt(t);
     const std::optional<int64_t> covering =
@@ -330,32 +418,31 @@ class MovieWorld::Impl {
     return plan;
   }
 
-  /// Freezes the viewer and schedules the operation's completion.
+  /// Freezes the viewer, parks the operation's outcome on its slot, and
+  /// schedules the completion event.
   void BeginVcrOp(Viewer& viewer, double t, VcrOp op, const VcrPlan& plan,
                   bool in_partition_before, bool consumes_in_vcr) {
-    const uint64_t id = viewer.id;
     viewer.position = std::min(viewer.position, layout_.movie_length());
     viewer.state_time = t;
     viewer.play_rate = 0.0;  // position is explicit at completion
-    const double resume_position = plan.resume_position;
-    const bool reaches_end = plan.reaches_end;
-    viewer.pending_event = queue_->Schedule(
-        t + plan.wall, [this, id, op, resume_position, reaches_end,
-                        in_partition_before, consumes_in_vcr] {
-          OnVcrComplete(id, op, resume_position, reaches_end,
-                        in_partition_before, consumes_in_vcr);
-        });
+    viewer.vcr_op = op;
+    viewer.vcr_resume_position = plan.resume_position;
+    viewer.vcr_reaches_end = plan.reaches_end;
+    viewer.vcr_in_partition_before = in_partition_before;
+    viewer.vcr_consuming = consumes_in_vcr;
+    viewer.pending_event =
+        queue_->ScheduleHandler(t + plan.wall, kind_vcr_complete_,
+                                SlotOf(viewer));
   }
 
   /// Outcome of a queued phase-1 stream request (sim/degradation.h). The
   /// viewer sat frozen at `viewer.position` since enqueue; on a grant the
   /// operation proceeds as if initiated now, on a refusal the viewer resumes
   /// normal playback — exactly the seed's blocked-VCR semantics, just later.
-  void OnQueuedVcrDecision(uint64_t id, VcrOp op, double x, double t,
-                           bool granted) {
-    auto it = viewers_.find(id);
-    VOD_CHECK(it != viewers_.end());
-    Viewer& viewer = it->second;
+  void OnQueuedVcrDecision(uint32_t slot, uint64_t id, VcrOp op, double x,
+                           double t, bool granted) {
+    Viewer& viewer = Get(slot);
+    VOD_CHECK(viewer.id == id);  // the slot cannot turn over while queued
     VOD_DCHECK(viewer.play_rate == 0.0);
     if (!granted) {
       // Attribute the blocked request to its enqueue time (the viewer froze
@@ -376,10 +463,8 @@ class MovieWorld::Impl {
                /*consumes_in_vcr=*/true);
   }
 
-  void OnVcrInitiate(uint64_t id) {
-    auto it = viewers_.find(id);
-    VOD_CHECK(it != viewers_.end());
-    Viewer& viewer = it->second;
+  void OnVcrInitiate(uint32_t slot) {
+    Viewer& viewer = Get(slot);
     const double t = queue_->Now();
     const double position =
         std::min(viewer.PositionAt(t), layout_.movie_length());
@@ -388,7 +473,7 @@ class MovieWorld::Impl {
     const double x = config_.behavior.SampleDuration(op, &viewer.rng);
     if (config_.trace != nullptr) config_.trace->Record(t, op, x);
     EmitObs(t, EventCategory::kVcrBegin, static_cast<uint8_t>(op),
-            static_cast<int64_t>(id), x);
+            static_cast<int64_t>(viewer.id), x);
     const bool in_partition_before = !viewer.dedicated;
     const VcrPlan plan = PlanVcrOp(op, x, position);
 
@@ -400,9 +485,10 @@ class MovieWorld::Impl {
     const bool consumes_in_vcr = op != VcrOp::kPause;
     if (consumes_in_vcr && !viewer.dedicated) {
       if (!supplier_->TryAcquire(t)) {
+        const uint64_t id = viewer.id;
         if (supplier_->TryQueueAcquire(
-                t, [this, id, op, x](double decision_t, bool granted) {
-                  OnQueuedVcrDecision(id, op, x, decision_t, granted);
+                t, [this, slot, id, op, x](double decision_t, bool granted) {
+                  OnQueuedVcrDecision(slot, id, op, x, decision_t, granted);
                 })) {
           // Queued: freeze in place until the supplier decides. The viewer
           // holds no pending event — the supplier owns the timers.
@@ -416,8 +502,8 @@ class MovieWorld::Impl {
           return;
         }
         metrics_->RecordBlockedVcr(t);
-        EmitObs(t, EventCategory::kShed, 0, static_cast<int64_t>(id), 0.0,
-                static_cast<uint8_t>(op));
+        EmitObs(t, EventCategory::kShed, 0, static_cast<int64_t>(viewer.id),
+                0.0, static_cast<uint8_t>(op));
         SchedulePlayback(viewer, t, position);
         return;
       }
@@ -430,29 +516,28 @@ class MovieWorld::Impl {
     BeginVcrOp(viewer, t, op, plan, in_partition_before, consumes_in_vcr);
   }
 
-  void OnVcrComplete(uint64_t id, VcrOp op, double resume_position,
-                     bool reaches_end, bool in_partition_before,
-                     bool was_consuming_in_vcr) {
-    auto it = viewers_.find(id);
-    VOD_CHECK(it != viewers_.end());
-    Viewer& viewer = it->second;
+  void OnVcrComplete(uint32_t slot) {
+    Viewer& viewer = Get(slot);
     const double t = queue_->Now();
+    const VcrOp op = viewer.vcr_op;
+    const double resume_position = viewer.vcr_resume_position;
+    const bool in_partition_before = viewer.vcr_in_partition_before;
 
-    if (reaches_end) {
+    if (viewer.vcr_reaches_end) {
       // Fast-forwarded to (or past) the end: the session terminates and all
       // resources are released — a release per the paper's Eq. (21).
       metrics_->RecordResume(t, op, ResumeOutcome::kEndOfMovie,
                              in_partition_before);
       EmitObs(t, EventCategory::kResume,
               static_cast<uint8_t>(ResumeOutcome::kEndOfMovie),
-              static_cast<int64_t>(id), resume_position,
+              static_cast<int64_t>(viewer.id), resume_position,
               static_cast<uint8_t>(op));
       if (viewer.dedicated) ReleaseDedicated(viewer, t);
-      EmitObs(t, EventCategory::kSession, 0, static_cast<int64_t>(id),
+      EmitObs(t, EventCategory::kSession, 0, static_cast<int64_t>(viewer.id),
               resume_position);
       SetConcurrent(t, -1);
       metrics_->RecordCompletion(t);
-      viewers_.erase(it);
+      FreeViewer(slot);
       return;
     }
 
@@ -467,7 +552,7 @@ class MovieWorld::Impl {
       EmitObs(t, EventCategory::kResume,
               static_cast<uint8_t>(within ? ResumeOutcome::kHitWithin
                                           : ResumeOutcome::kHitJump),
-              static_cast<int64_t>(id), resume_position,
+              static_cast<int64_t>(viewer.id), resume_position,
               static_cast<uint8_t>(op));
       if (viewer.dedicated) ReleaseDedicated(viewer, t);
       viewer.home_stream = covering;
@@ -478,11 +563,11 @@ class MovieWorld::Impl {
     metrics_->RecordResume(t, op, ResumeOutcome::kMiss, in_partition_before);
     EmitObs(t, EventCategory::kResume,
             static_cast<uint8_t>(ResumeOutcome::kMiss),
-            static_cast<int64_t>(id), resume_position,
+            static_cast<int64_t>(viewer.id), resume_position,
             static_cast<uint8_t>(op));
     viewer.home_stream = std::nullopt;
     if (!viewer.dedicated) {
-      VOD_DCHECK(!was_consuming_in_vcr);
+      VOD_DCHECK(!viewer.vcr_consuming);
       if (!supplier_->TryAcquire(t)) {
         // No stream for the miss: the viewer stalls (a forced pause) until
         // the next partition window sweeps over his position, then joins it
@@ -494,7 +579,6 @@ class MovieWorld::Impl {
     } else {
       viewer.miss_time = t;  // the dedicated stint continues from this miss
     }
-    (void)was_consuming_in_vcr;
     SchedulePlayback(viewer, t, resume_position);
   }
 
@@ -506,18 +590,20 @@ class MovieWorld::Impl {
     metrics_->RecordStall(t, wait);
     EmitObs(t, EventCategory::kStall, 0, static_cast<int64_t>(viewer.id),
             wait);
-    const uint64_t id = viewer.id;
     viewer.position = position;
     viewer.state_time = t;
     viewer.play_rate = 0.0;
-    viewer.pending_event = queue_->Schedule(t + wait, [this, id, position] {
-      auto it = viewers_.find(id);
-      VOD_CHECK(it != viewers_.end());
-      Viewer& v = it->second;
-      const double now = queue_->Now();
-      v.home_stream = schedule_.FindCoveringStream(now, position);
-      SchedulePlayback(v, now, position);
-    });
+    viewer.pending_event =
+        queue_->ScheduleHandler(t + wait, kind_stall_resume_, SlotOf(viewer));
+  }
+
+  /// The partition window's leading edge swept over a stalled viewer.
+  void OnStallResume(uint32_t slot) {
+    Viewer& viewer = Get(slot);
+    const double now = queue_->Now();
+    const double position = viewer.position;  // frozen at the stall
+    viewer.home_stream = schedule_.FindCoveringStream(now, position);
+    SchedulePlayback(viewer, now, position);
   }
 
  public:
@@ -531,8 +617,8 @@ class MovieWorld::Impl {
     int64_t reclaimed = 0;
     while (reclaimed < max_count) {
       Viewer* victim = nullptr;
-      for (auto& [vid, v] : viewers_) {
-        if (!v.dedicated || v.play_rate <= 0.0) continue;
+      for (Viewer& v : viewers_) {
+        if (!v.active || !v.dedicated || v.play_rate <= 0.0) continue;
         if (v.PositionAt(t) >= layout_.movie_length() - 1e-9) continue;
         if (victim == nullptr || v.id < victim->id) victim = &v;
       }
@@ -563,15 +649,29 @@ class MovieWorld::Impl {
   EventQueue* queue_;
   StreamSupplier* supplier_;
   SimulationMetrics* metrics_;
-  std::unordered_map<uint64_t, Viewer> viewers_;
+  /// Viewer slab: live sessions plus a LIFO free list of retired slots.
+  std::vector<Viewer> viewers_;
+  uint32_t free_head_ = kNilSlot;
   uint64_t next_viewer_id_ = 0;
   int64_t dedicated_count_ = 0;
   int concurrent_count_ = 0;
   int64_t abandonments_ = 0;
   double max_wait_seen_ = 0.0;
+  /// Mean of the interactivity clock when it is exponential; <= 0 selects
+  /// the generic virtual Sample path.
+  double interactivity_exp_mean_ = 0.0;
   /// Restart instant last emitted on the event bus (dedupe: one kRestart
   /// event per batch restart, not one per admitted viewer).
   double last_restart_emitted_ = -1.0;
+  // Handler kinds registered with the shared queue (per-world values).
+  uint64_t kind_arrival_ = 0;
+  uint64_t kind_admit_ = 0;
+  uint64_t kind_abandon_ = 0;
+  uint64_t kind_vcr_initiate_ = 0;
+  uint64_t kind_merge_ = 0;
+  uint64_t kind_finish_ = 0;
+  uint64_t kind_vcr_complete_ = 0;
+  uint64_t kind_stall_resume_ = 0;
 
  public:
   double max_wait_seen() const { return max_wait_seen_; }

@@ -6,35 +6,6 @@
 
 namespace vod {
 
-double PartitionSchedule::NextRestart(double t) const {
-  const double period = layout_.restart_period();
-  double k = std::ceil(t / period - 1e-12);
-  if (!stationary_ && k < 0) k = 0;
-  return k * period;
-}
-
-std::optional<int64_t> PartitionSchedule::FindCoveringStream(
-    double t, double position) const {
-  const double window = layout_.window();
-  if (window <= 0.0) return std::nullopt;
-  const double l = layout_.movie_length();
-  if (position < 0.0 || position > l) return std::nullopt;
-  const double period = layout_.restart_period();
-
-  // Need lead = t − kT with position <= min(lead, l) and lead − W <= position,
-  // i.e. lead ∈ [position, position + W] (leads past l still cover p <= l).
-  // k ∈ [(t − position − W)/T, (t − position)/T]; take the largest such k
-  // (youngest stream, smallest lead).
-  int64_t k = static_cast<int64_t>(
-      std::floor((t - position) / period + 1e-12));
-  const double lead = StreamLead(k, t);
-  if (lead >= position - 1e-12 && lead <= position + window + 1e-12 &&
-      StreamExists(k)) {
-    return k;
-  }
-  return std::nullopt;
-}
-
 std::vector<int64_t> PartitionSchedule::ActiveStreams(double t) const {
   const double period = layout_.restart_period();
   const double l = layout_.movie_length();

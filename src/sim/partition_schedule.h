@@ -9,6 +9,7 @@
 #ifndef VOD_SIM_PARTITION_SCHEDULE_H_
 #define VOD_SIM_PARTITION_SCHEDULE_H_
 
+#include <cmath>
 #include <cstdint>
 #include <optional>
 #include <vector>
@@ -41,15 +42,41 @@ class PartitionSchedule {
     return t - StreamStart(k);
   }
 
-  /// First restart at or after time t.
-  double NextRestart(double t) const;
+  /// First restart at or after time t. (Inline: on the simulator's
+  /// per-event path, alongside FindCoveringStream.)
+  double NextRestart(double t) const {
+    const double period = layout_.restart_period();
+    double k = std::ceil(t / period - 1e-12);
+    if (!stationary_ && k < 0) k = 0;
+    return k * period;
+  }
 
   /// \brief Stream whose buffer covers movie position p at time t, if any.
   ///
   /// Covered means p ∈ [max(0, lead − W), min(lead, l)]. When several
   /// streams qualify (possible only if W > T... i.e. never, since W <= T),
   /// the youngest covering stream is returned. Returns nullopt for a miss.
-  std::optional<int64_t> FindCoveringStream(double t, double position) const;
+  /// Inline: the simulator consults it two or three times per event.
+  std::optional<int64_t> FindCoveringStream(double t, double position) const {
+    const double window = layout_.window();
+    if (window <= 0.0) return std::nullopt;
+    const double l = layout_.movie_length();
+    if (position < 0.0 || position > l) return std::nullopt;
+    const double period = layout_.restart_period();
+
+    // Need lead = t − kT with position <= min(lead, l) and
+    // lead − W <= position, i.e. lead ∈ [position, position + W] (leads past
+    // l still cover p <= l). k ∈ [(t − position − W)/T, (t − position)/T];
+    // take the largest such k (youngest stream, smallest lead).
+    const int64_t k = static_cast<int64_t>(
+        std::floor((t - position) / period + 1e-12));
+    const double lead = StreamLead(k, t);
+    if (lead >= position - 1e-12 && lead <= position + window + 1e-12 &&
+        StreamExists(k)) {
+      return k;
+    }
+    return std::nullopt;
+  }
 
   /// True if a viewer arriving at t can start playback at position 0 from an
   /// existing partition (the enrollment window of the latest stream is

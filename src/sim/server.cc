@@ -1,5 +1,6 @@
 #include "sim/server.h"
 
+#include <algorithm>
 #include <cmath>
 #include <iomanip>
 #include <memory>
@@ -147,6 +148,15 @@ Result<ServerReport> RunServerSimulation(
   VOD_RETURN_IF_ERROR(ValidateServerInputs(movies, options));
 
   EventQueue queue;
+  // Pre-size the kernel for the steady-state population across all movies
+  // (Little's law per movie), plus slack for arrival clocks and the fault
+  // schedule.
+  double est_population = 64.0;
+  for (const ServerMovieSpec& spec : movies) {
+    est_population += spec.arrival_rate_per_minute * spec.layout.movie_length();
+  }
+  queue.Reserve(
+      static_cast<size_t>(std::clamp(est_population, 64.0, 1.0e6)));
   const Rng base_rng(options.seed);
 
   // The seed's hard-refusal supplier stays in place unless faults or the

@@ -1,5 +1,6 @@
 #include "sim/simulator.h"
 
+#include <algorithm>
 #include <sstream>
 
 #include "common/check.h"
@@ -94,6 +95,13 @@ Result<SimulationReport> RunSimulation(const PartitionLayout& layout,
   }
 
   EventQueue queue;
+  // Pre-size the kernel for the steady-state population: one pending event
+  // per in-flight viewer (Little's law: arrival rate x movie length) plus
+  // the arrival clock.
+  const double est_population =
+      layout.movie_length() / config.mean_interarrival_minutes;
+  queue.Reserve(static_cast<size_t>(
+      std::clamp(est_population + 64.0, 64.0, 1.0e6)));
   UnlimitedStreamSupplier supplier;
   SimulationMetrics metrics(options.warmup_minutes);
   MovieWorld world(layout, rates, config, Rng(options.seed), &queue,
@@ -165,6 +173,7 @@ Result<SimulationReport> RunSimulation(const PartitionLayout& layout,
   FillReportFromMetrics(metrics, horizon, &report);
   report.max_wait_minutes = world.max_wait_seen();
   report.abandonments = world.abandonments();
+  report.executed_events = queue.executed();
   return report;
 }
 

@@ -122,6 +122,11 @@ struct SimulationReport {
 
   double simulated_minutes = 0.0;
 
+  /// Kernel events executed over the whole run (incl. warmup). Diagnostics
+  /// only — excluded from ToString so report text stays stable across
+  /// kernel-internal changes; the perf benches derive events/sec from it.
+  uint64_t executed_events = 0;
+
   std::string ToString() const;
 };
 

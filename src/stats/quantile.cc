@@ -103,9 +103,17 @@ void P2Quantile::Merge(const P2Quantile& other) {
 double P2Quantile::Estimate() const {
   if (count_ == 0) return std::numeric_limits<double>::quiet_NaN();
   if (count_ < 5) {
-    // Exact from the (unsorted) buffer.
+    // Exact from the (unsorted) buffer. Sorted by hand: count_ < 5 here,
+    // but GCC 12's std::sort at -O3 cannot prove the bound and flags a
+    // spurious -Warray-bounds under -Werror.
     std::array<double, 5> sorted = heights_;
-    std::sort(sorted.begin(), sorted.begin() + count_);
+    const auto n = static_cast<size_t>(count_);
+    for (size_t i = 1; i < n; ++i) {
+      const double v = sorted[i];
+      size_t j = i;
+      for (; j > 0 && sorted[j - 1] > v; --j) sorted[j] = sorted[j - 1];
+      sorted[j] = v;
+    }
     const double index = q_ * static_cast<double>(count_ - 1);
     const auto lo = static_cast<int64_t>(index);
     const auto hi = std::min(lo + 1, count_ - 1);

@@ -6,32 +6,8 @@
 
 namespace vod {
 
-void TimeWeightedValue::Reset(double t, double value) {
-  start_time_ = t;
-  last_time_ = t;
-  value_ = value;
-  area_ = 0.0;
-  max_ = value;
-  min_ = value;
-  initialized_ = true;
-}
-
-void TimeWeightedValue::Set(double t, double value) {
-  if (!initialized_) {
-    Reset(t, value);
-    return;
-  }
-  VOD_DCHECK(t >= last_time_);
-  area_ += value_ * (t - last_time_);
-  last_time_ = t;
-  value_ = value;
-  max_ = std::max(max_, value);
-  min_ = std::min(min_, value);
-}
-
-void TimeWeightedValue::Add(double t, double delta) {
-  Set(t, value_ + delta);
-}
+// Reset/Set/Add live in the header; only the cold aggregation paths stay
+// out of line.
 
 void TimeWeightedValue::MergePopulation(const TimeWeightedValue& other) {
   if (!other.initialized_) return;

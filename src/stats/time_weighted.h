@@ -6,6 +6,10 @@
 #ifndef VOD_STATS_TIME_WEIGHTED_H_
 #define VOD_STATS_TIME_WEIGHTED_H_
 
+#include <algorithm>
+
+#include "common/check.h"
+
 namespace vod {
 
 /// \brief Integrates a right-continuous step function of time.
@@ -14,14 +18,36 @@ namespace vod {
 /// integration window (used to discard simulation warmup).
 class TimeWeightedValue {
  public:
+  // Reset/Set/Add are inline: the simulator steps these trackers once or
+  // twice per event, so the call overhead is visible at scale.
+
   /// Starts tracking at time t with the given initial value.
-  void Reset(double t, double value);
+  void Reset(double t, double value) {
+    start_time_ = t;
+    last_time_ = t;
+    value_ = value;
+    area_ = 0.0;
+    max_ = value;
+    min_ = value;
+    initialized_ = true;
+  }
 
   /// Records a step to `value` at time t (t >= last update time).
-  void Set(double t, double value);
+  void Set(double t, double value) {
+    if (!initialized_) {
+      Reset(t, value);
+      return;
+    }
+    VOD_DCHECK(t >= last_time_);
+    area_ += value_ * (t - last_time_);
+    last_time_ = t;
+    value_ = value;
+    max_ = std::max(max_, value);
+    min_ = std::min(min_, value);
+  }
 
   /// Adds `delta` to the current value at time t.
-  void Add(double t, double delta);
+  void Add(double t, double delta) { Set(t, value_ + delta); }
 
   /// \brief Pools a tracker measuring a *disjoint subpopulation over the
   /// same clock* (per-movie shards of a server-wide level): the pooled step

@@ -1,0 +1,425 @@
+// Property, regression, and format-compatibility tests for the slab/4-ary
+// heap event-queue kernel.
+//
+//  * Randomized property test: the kernel is driven with a mixed
+//    schedule/cancel/pop workload and compared op-for-op against a naive
+//    std::multimap reference keyed by (time, insertion sequence). Covers pop
+//    order, Cancel semantics, and stale-token safety while slots are being
+//    reused. Labeled "unit" so the asan/ubsan and tsan CI legs execute it.
+//  * Compaction regression: cancel-heavy bursts must not pin heap memory
+//    (the lazy-deletion leak the compactor exists to prevent).
+//  * PR 3-era snapshot compatibility: a hand-built old-format blob (the
+//    pre-slab layout: clock, seq counter, executed, (time, seq, kind,
+//    payload) entries) must restore and drain in the original order.
+
+#include "sim/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "common/serialize.h"
+
+namespace vod {
+namespace {
+
+// ---- randomized property test vs std::multimap ----------------------------
+
+/// Deterministic 64-bit LCG so failures reproduce exactly.
+class MixRng {
+ public:
+  explicit MixRng(uint64_t seed) : state_(seed) {}
+  uint64_t Next() {
+    state_ = state_ * 6364136223846793005ULL + 1442695040888963407ULL;
+    return state_ >> 11;
+  }
+  /// Uniform in [0, n).
+  uint64_t Below(uint64_t n) { return Next() % n; }
+
+ private:
+  uint64_t state_;
+};
+
+/// Reference model: events keyed by (time, schedule sequence), the exact
+/// order the kernel promises. Also remembers every token ever issued and
+/// whether its event is still live, so stale cancels can be replayed against
+/// both implementations.
+struct ReferenceModel {
+  // (time, seq) -> event id. multimap iteration order is the required
+  // execution order.
+  std::multimap<std::pair<double, uint64_t>, uint64_t> pending;
+  uint64_t next_seq = 0;
+};
+
+TEST(EventQueuePropertyTest, MatchesMultimapReferenceUnderRandomMix) {
+  for (const uint64_t seed : {1ULL, 42ULL, 20260806ULL}) {
+    EventQueue q;
+    ReferenceModel ref;
+    MixRng rng(seed);
+
+    std::vector<uint64_t> executed_ids;        // from the kernel
+    std::vector<uint64_t> expected_ids;        // from the reference
+    uint64_t next_id = 0;
+
+    // Handler path: payload is the event id. Exercises the allocation-free
+    // fast path alongside closure events.
+    const uint64_t kHandlerKind = q.AddHandler(
+        [&executed_ids](uint64_t payload) { executed_ids.push_back(payload); });
+
+    // Live bookkeeping: token -> (event id, reference key). Dead tokens move
+    // to `stale_tokens` and are fired at the kernel later, while their slots
+    // are being recycled by new schedules.
+    std::map<EventToken, std::pair<uint64_t, std::pair<double, uint64_t>>>
+        live;
+    std::vector<EventToken> stale_tokens;
+
+    const auto schedule_one = [&] {
+      const double t =
+          q.Now() + static_cast<double>(rng.Below(1000)) / 16.0;
+      const uint64_t id = next_id++;
+      EventToken tok;
+      if (rng.Below(2) == 0) {
+        tok = q.ScheduleHandler(t, kHandlerKind, id);
+      } else {
+        tok = q.Schedule(t, [&executed_ids, id] { executed_ids.push_back(id); });
+      }
+      const auto key = std::make_pair(t, ref.next_seq++);
+      ref.pending.emplace(key, id);
+      ASSERT_TRUE(live.emplace(tok, std::make_pair(id, key)).second)
+          << "kernel issued a duplicate token for a live event";
+    };
+
+    for (int op = 0; op < 20000; ++op) {
+      const uint64_t dice = rng.Below(10);
+      if (dice < 5) {  // 50%: schedule
+        schedule_one();
+      } else if (dice < 7 && !live.empty()) {  // 20%: cancel a live event
+        auto it = live.begin();
+        std::advance(it, static_cast<long>(rng.Below(live.size())));
+        q.Cancel(it->first);
+        ref.pending.erase(ref.pending.find(it->second.second));
+        stale_tokens.push_back(it->first);
+        live.erase(it);
+      } else if (dice == 7 && !stale_tokens.empty()) {  // 10%: stale cancel
+        // Must be a no-op even though the token's slot may by now hold a
+        // different live event.
+        q.Cancel(stale_tokens[rng.Below(stale_tokens.size())]);
+      } else {  // pop
+        const bool kernel_ran = q.RunNext();
+        ASSERT_EQ(kernel_ran, !ref.pending.empty());
+        if (kernel_ran) {
+          const auto head = ref.pending.begin();
+          expected_ids.push_back(head->second);
+          // Retire the executed event's token.
+          for (auto it = live.begin(); it != live.end(); ++it) {
+            if (it->second.first == head->second) {
+              stale_tokens.push_back(it->first);
+              live.erase(it);
+              break;
+            }
+          }
+          ref.pending.erase(head);
+        }
+      }
+      ASSERT_EQ(q.pending(), ref.pending.size());
+    }
+
+    // Drain both and compare the complete execution history.
+    while (q.RunNext()) {
+      const auto head = ref.pending.begin();
+      ASSERT_NE(head, ref.pending.end());
+      expected_ids.push_back(head->second);
+      ref.pending.erase(head);
+    }
+    EXPECT_TRUE(ref.pending.empty());
+    EXPECT_EQ(executed_ids, expected_ids) << "seed " << seed;
+  }
+}
+
+TEST(EventQueuePropertyTest, StaleTokenNeverCancelsSlotReuser) {
+  // Directed version of the reuse hazard: cancel A, let B recycle A's slab
+  // slot, then replay A's token. Generation stamps must protect B.
+  EventQueue q;
+  int b_runs = 0;
+  const EventToken a = q.Schedule(1.0, [] { FAIL() << "A was cancelled"; });
+  q.Cancel(a);
+  // The freed slot is head of the free list, so B reuses it immediately.
+  const EventToken b = q.Schedule(2.0, [&b_runs] { ++b_runs; });
+  EXPECT_EQ(static_cast<uint32_t>(a), static_cast<uint32_t>(b))
+      << "test premise: B must recycle A's slot";
+  q.Cancel(a);  // stale token, same slot, older generation
+  while (q.RunNext()) {
+  }
+  EXPECT_EQ(b_runs, 1);
+}
+
+TEST(EventQueuePropertyTest, TokensRemainDistinctAcrossManyReuses) {
+  // A slot reused N times must issue N distinct tokens, and only the newest
+  // may cancel the current occupant.
+  EventQueue q;
+  std::vector<EventToken> history;
+  for (int round = 0; round < 100; ++round) {
+    const EventToken t = q.Schedule(1.0, [] { FAIL() << "cancelled"; });
+    for (const EventToken old : history) EXPECT_NE(old, t);
+    // Older tokens are all stale; none may touch the live event.
+    for (const EventToken old : history) q.Cancel(old);
+    EXPECT_EQ(q.pending(), 1u);
+    q.Cancel(t);
+    history.push_back(t);
+  }
+  EXPECT_EQ(q.pending(), 0u);
+  int runs = 0;
+  q.Schedule(1.0, [&runs] { ++runs; });
+  while (q.RunNext()) {
+  }
+  EXPECT_EQ(runs, 1);
+}
+
+// ---- compaction / lazy-deletion leak regression ----------------------------
+
+TEST(EventQueueCompactionTest, CancelHeavyBurstDoesNotPinHeapMemory) {
+  // Before the compactor, each cancelled event left its heap key behind
+  // until pop time; a mass-abandonment burst at a far-future timestamp
+  // pinned O(cancelled) memory indefinitely. Now tombstones may never
+  // exceed live keys (plus the small-heap threshold below which compaction
+  // is pointless).
+  EventQueue q;
+  std::vector<EventToken> tokens;
+  constexpr int kBurst = 100000;
+  tokens.reserve(kBurst);
+  for (int i = 0; i < kBurst; ++i) {
+    tokens.push_back(q.Schedule(1.0e6 + i, [] {}));
+  }
+  // Keep a handful alive so the heap cannot trivially empty.
+  for (int i = 0; i < kBurst - 10; ++i) q.Cancel(tokens[i]);
+  EXPECT_EQ(q.pending(), 10u);
+  // Invariant maintained by Cancel: tombstones <= max(live, threshold).
+  EXPECT_LE(q.heap_nodes(), 2u * q.pending() + 64u)
+      << "cancelled keys are pinning heap memory";
+}
+
+TEST(EventQueueCompactionTest, RepeatedBurstsKeepSlabAndHeapBounded) {
+  // Steady-state churn: every round schedules a wave and cancels most of
+  // it. Slab and heap must stay proportional to the peak concurrent
+  // population, not to cumulative throughput.
+  EventQueue q;
+  constexpr int kRounds = 50;
+  constexpr int kWave = 1000;
+  size_t max_concurrent = 0;
+  for (int round = 0; round < kRounds; ++round) {
+    std::vector<EventToken> wave;
+    wave.reserve(kWave);
+    const double base = q.Now() + 1.0;
+    for (int i = 0; i < kWave; ++i) {
+      wave.push_back(q.Schedule(base + i, [] {}));
+    }
+    max_concurrent = std::max(max_concurrent, q.pending());
+    for (int i = 0; i < kWave; ++i) {
+      if (i % 10 != 0) q.Cancel(wave[i]);
+    }
+    q.RunUntil(base + kWave);  // drain the survivors
+  }
+  EXPECT_EQ(q.pending(), 0u);
+  EXPECT_EQ(q.heap_nodes(), 0u);
+  EXPECT_LE(q.slab_slots(), max_concurrent + 64)
+      << "slab grew with throughput instead of peak population";
+}
+
+TEST(EventQueueCompactionTest, CompactionPreservesExecutionOrder) {
+  // Force a compaction mid-stream and check the survivors still run in
+  // (time, schedule order).
+  EventQueue q;
+  std::vector<int> order;
+  std::vector<EventToken> victims;
+  for (int i = 0; i < 1000; ++i) {
+    const double t = static_cast<double>((i * 37) % 500) + 1.0;
+    if (i % 5 == 0) {
+      q.Schedule(t, [&order, i] { order.push_back(i); });
+    } else {
+      victims.push_back(q.Schedule(t, [] { FAIL() << "cancelled"; }));
+    }
+  }
+  for (const EventToken t : victims) q.Cancel(t);  // 800 tombstones -> compact
+  EXPECT_LE(q.heap_nodes(), 2u * q.pending() + 64u);
+  while (q.RunNext()) {
+  }
+  ASSERT_EQ(order.size(), 200u);
+  // Reference order: stable sort of the survivor ids by time (schedule
+  // order breaks ties because i increases monotonically).
+  std::vector<int> survivors;
+  for (int i = 0; i < 1000; i += 5) survivors.push_back(i);
+  std::stable_sort(survivors.begin(), survivors.end(), [](int a, int b) {
+    return (a * 37) % 500 < (b * 37) % 500;
+  });
+  EXPECT_EQ(order, survivors);
+}
+
+// ---- PR 3-era (pre-slab) snapshot compatibility ----------------------------
+
+/// Serializes the old kernel's layout exactly: clock, u64 sequence counter,
+/// executed count, entry count, then (time, seq, kind, payload) per entry.
+struct V1Event {
+  double time;
+  uint64_t seq;
+  uint64_t kind;
+  uint64_t payload;
+};
+
+std::string BuildV1Blob(double clock, uint64_t next_seq, uint64_t executed,
+                        const std::vector<V1Event>& events) {
+  ByteWriter w;
+  w.PutDouble(clock);
+  w.PutU64(next_seq);
+  w.PutU64(executed);
+  w.PutU64(events.size());
+  for (const V1Event& e : events) {
+    w.PutDouble(e.time);
+    w.PutU64(e.seq);
+    w.PutU64(e.kind);
+    w.PutU64(e.payload);
+  }
+  return w.bytes();
+}
+
+TEST(EventQueueV1CompatTest, RestoresPreSlabSnapshotInOriginalOrder) {
+  // Mirror of the scenario the old kernel's own test serialized: ten events
+  // at times ((i*7) % 10) + 1, four already executed (clock 4.0), and the
+  // six survivors written in schedule order (unsorted), seq == i.
+  std::vector<V1Event> survivors;
+  for (uint64_t i = 0; i < 10; ++i) {
+    const double t = static_cast<double>((i * 7) % 10) + 1.0;
+    if (t <= 4.0) continue;  // executed before the snapshot
+    survivors.push_back({t, i, /*kind=*/i, /*payload=*/i * 100});
+  }
+  ASSERT_EQ(survivors.size(), 6u);
+  const std::string blob =
+      BuildV1Blob(/*clock=*/4.0, /*next_seq=*/10, /*executed=*/4, survivors);
+
+  std::vector<std::pair<uint64_t, double>> executed;
+  EventQueue q;
+  ByteReader reader(blob);
+  const Status st = q.Restore(
+      &reader, [&executed, &q](uint64_t kind, uint64_t payload,
+                               double /*time*/) -> std::function<void()> {
+        EXPECT_EQ(payload, kind * 100);
+        return [&executed, &q, kind] { executed.push_back({kind, q.Now()}); };
+      });
+  ASSERT_TRUE(st.ok()) << st.message();
+  EXPECT_TRUE(reader.AtEnd());
+  EXPECT_DOUBLE_EQ(q.Now(), 4.0);
+  EXPECT_EQ(q.pending(), 6u);
+  EXPECT_EQ(q.executed(), 4u);
+  while (q.RunNext()) {
+  }
+  const std::vector<std::pair<uint64_t, double>> want = {
+      {2, 5.0}, {5, 6.0}, {8, 7.0}, {1, 8.0}, {4, 9.0}, {7, 10.0}};
+  EXPECT_EQ(executed, want);
+}
+
+TEST(EventQueueV1CompatTest, RegisteredHandlersServeV1Kinds) {
+  // A v1 snapshot restored into a queue with a handler table must route
+  // entries through the table, not the factory.
+  const std::string blob = BuildV1Blob(
+      0.0, /*next_seq=*/2, /*executed=*/0,
+      {{1.0, 0, /*kind=*/0, /*payload=*/7}, {2.0, 1, /*kind=*/0, 9}});
+  EventQueue q;
+  std::vector<uint64_t> payloads;
+  const uint64_t kind = q.AddHandler(
+      [&payloads](uint64_t payload) { payloads.push_back(payload); });
+  ASSERT_EQ(kind, 0u);
+  ByteReader reader(blob);
+  ASSERT_TRUE(q.Restore(&reader,
+                        [](uint64_t, uint64_t, double) -> std::function<void()> {
+                          ADD_FAILURE() << "factory consulted for a "
+                                           "handler-registered kind";
+                          return [] {};
+                        })
+                  .ok());
+  while (q.RunNext()) {
+  }
+  EXPECT_EQ(payloads, (std::vector<uint64_t>{7, 9}));
+}
+
+TEST(EventQueueV1CompatTest, V1TieBreaksFollowSequenceNotFileOrder) {
+  // Entries at the same timestamp must drain by seq even when the file
+  // stores them reversed.
+  const std::string blob =
+      BuildV1Blob(0.0, /*next_seq=*/8, /*executed=*/0,
+                  {{3.0, 6, 106, 0}, {3.0, 2, 102, 0}, {3.0, 4, 104, 0}});
+  EventQueue q;
+  std::vector<uint64_t> kinds;
+  ByteReader reader(blob);
+  ASSERT_TRUE(
+      q.Restore(&reader,
+                [&kinds](uint64_t kind, uint64_t, double) -> std::function<void()> {
+                  return [&kinds, kind] { kinds.push_back(kind); };
+                })
+          .ok());
+  while (q.RunNext()) {
+  }
+  EXPECT_EQ(kinds, (std::vector<uint64_t>{102, 104, 106}));
+}
+
+TEST(EventQueueV1CompatTest, V1EntryBeforeClockIsRejected) {
+  const std::string blob =
+      BuildV1Blob(5.0, /*next_seq=*/1, /*executed=*/3, {{4.0, 0, 1, 0}});
+  EventQueue q;
+  ByteReader reader(blob);
+  const Status st = q.Restore(
+      &reader, [](uint64_t, uint64_t, double) -> std::function<void()> {
+        return [] {};
+      });
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("precedes the snapshot clock"),
+            std::string::npos);
+}
+
+TEST(EventQueueV1CompatTest, V1SeqBeyondCounterIsRejected) {
+  const std::string blob =
+      BuildV1Blob(0.0, /*next_seq=*/3, /*executed=*/0, {{1.0, 3, 1, 0}});
+  EventQueue q;
+  ByteReader reader(blob);
+  const Status st = q.Restore(
+      &reader, [](uint64_t, uint64_t, double) -> std::function<void()> {
+        return [] {};
+      });
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("sequence counter"), std::string::npos);
+}
+
+TEST(EventQueueV1CompatTest, RestoredV1QueueSnapshotsInCurrentFormat) {
+  // Round-trip: v1 in, run a little, v2 out, restore again. The second
+  // restore must preserve both order and clock.
+  const std::string v1 = BuildV1Blob(
+      0.0, /*next_seq=*/4, /*executed=*/0,
+      {{1.0, 0, 10, 0}, {2.0, 1, 11, 0}, {3.0, 2, 12, 0}, {4.0, 3, 13, 0}});
+  std::vector<uint64_t> kinds;
+  const auto factory = [&kinds](uint64_t kind, uint64_t,
+                                double) -> std::function<void()> {
+    return [&kinds, kind] { kinds.push_back(kind); };
+  };
+  EventQueue q;
+  {
+    ByteReader reader(v1);
+    ASSERT_TRUE(q.Restore(&reader, factory).ok());
+  }
+  ASSERT_TRUE(q.RunNext());  // runs kind 10, clock -> 1.0
+  ByteWriter v2;
+  ASSERT_TRUE(q.Snapshot(&v2).ok());
+
+  EventQueue q2;
+  ByteReader reader(v2.bytes());
+  ASSERT_TRUE(q2.Restore(&reader, factory).ok());
+  EXPECT_DOUBLE_EQ(q2.Now(), 1.0);
+  EXPECT_EQ(q2.pending(), 3u);
+  while (q2.RunNext()) {
+  }
+  EXPECT_EQ(kinds, (std::vector<uint64_t>{10, 11, 12, 13}));
+}
+
+}  // namespace
+}  // namespace vod

@@ -1,0 +1,154 @@
+#!/usr/bin/env python3
+"""Runs the perf benches and distills a tracked performance baseline.
+
+Executes google-benchmark binaries (perf_simulator, perf_event_queue) with
+JSON output, extracts the throughput counters, and writes one compact JSON
+document per invocation:
+
+    {
+      "context": {... host/build metadata from google-benchmark ...},
+      "benchmarks": {
+        "BM_SimulationRun/10000": {
+          "real_time_ns": ...,
+          "items_per_second": ...,
+          "events_per_second": ...,   # when the bench exports the counter
+          "ns_per_event": ...,        # 1e9 / events_per_second
+          "ns_per_item": ...
+        },
+        ...
+      },
+      "peak_rss_kb": ...              # max resident set over all bench runs
+    }
+
+The committed BENCH_simulator.json at the repo root is the reference
+baseline; CI regenerates the document on every run and uploads it as an
+artifact so regressions are diagnosable from the workflow page alone.
+
+Stdlib only. Usage:
+
+    tools/make_bench_baseline.py --out BENCH_simulator.json \
+        build-rel/bench/perf_simulator='--benchmark_filter=BM_SimulationRun' \
+        build-rel/bench/perf_event_queue='--benchmark_filter=BM_HoldModel'
+
+Each positional argument is BINARY[=EXTRA_FLAGS]; EXTRA_FLAGS are split on
+whitespace and appended to the benchmark invocation.
+"""
+
+import argparse
+import json
+import os
+import resource
+import subprocess
+import sys
+import tempfile
+
+
+def run_bench(binary, extra_flags):
+    """Runs one google-benchmark binary, returns its parsed JSON report."""
+    with tempfile.NamedTemporaryFile(
+        mode="r", suffix=".json", delete=False
+    ) as tmp:
+        out_path = tmp.name
+    cmd = [
+        binary,
+        "--benchmark_out=" + out_path,
+        "--benchmark_out_format=json",
+    ] + extra_flags
+    try:
+        proc = subprocess.run(
+            cmd, stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True
+        )
+        if proc.returncode != 0:
+            sys.stderr.write(proc.stdout)
+            raise SystemExit(
+                f"benchmark failed ({proc.returncode}): {' '.join(cmd)}"
+            )
+        with open(out_path) as f:
+            return json.load(f)
+    finally:
+        os.unlink(out_path)
+
+
+def to_ns(value, unit):
+    scale = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+    return value * scale[unit]
+
+
+def distill(report, benchmarks):
+    """Folds one google-benchmark JSON report into the summary dict."""
+    for bench in report.get("benchmarks", []):
+        # With --benchmark_repetitions the individual runs share one name;
+        # keep the distinctly-named mean/median aggregates instead (drop the
+        # noise rows). Without repetitions keep the single run as-is.
+        if bench.get("run_type") == "aggregate":
+            if bench.get("aggregate_name") not in ("mean", "median"):
+                continue
+        elif bench.get("repetitions", 1) > 1:
+            continue
+        name = bench["name"]
+        entry = {
+            "real_time_ns": to_ns(bench["real_time"], bench["time_unit"]),
+            "cpu_time_ns": to_ns(bench["cpu_time"], bench["time_unit"]),
+            "iterations": bench["iterations"],
+        }
+        if "items_per_second" in bench:
+            entry["items_per_second"] = bench["items_per_second"]
+            entry["ns_per_item"] = 1e9 / bench["items_per_second"]
+        if "events_per_second" in bench:
+            entry["events_per_second"] = bench["events_per_second"]
+            entry["ns_per_event"] = 1e9 / bench["events_per_second"]
+        benchmarks[name] = entry
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Distill google-benchmark runs into a perf baseline."
+    )
+    parser.add_argument("--out", required=True, help="output JSON path")
+    parser.add_argument(
+        "specs",
+        nargs="+",
+        metavar="BINARY[=EXTRA_FLAGS]",
+        help="benchmark binary, optionally with extra flags after '='",
+    )
+    args = parser.parse_args()
+
+    context = None
+    benchmarks = {}
+    for spec in args.specs:
+        binary, _, flags = spec.partition("=")
+        report = run_bench(binary, flags.split())
+        if context is None:
+            context = report.get("context", {})
+        distill(report, benchmarks)
+
+    if not benchmarks:
+        raise SystemExit("no benchmark results were produced")
+
+    # ru_maxrss (KiB on Linux) accumulates the max over all child benches.
+    peak_rss_kb = resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss
+
+    doc = {
+        "context": {
+            k: context.get(k)
+            for k in (
+                "date",
+                "host_name",
+                "num_cpus",
+                "mhz_per_cpu",
+                "library_build_type",
+            )
+            if k in context
+        },
+        "benchmarks": benchmarks,
+        "peak_rss_kb": peak_rss_kb,
+    }
+    with open(args.out, "w") as f:
+        json.dump(doc, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print(f"wrote {args.out}: {len(benchmarks)} benchmarks, "
+          f"peak RSS {peak_rss_kb} KiB")
+
+
+if __name__ == "__main__":
+    main()
