@@ -30,9 +30,9 @@ std::vector<vod::ServerMovieSpec> Movies() {
   VOD_CHECK_OK(layout_a.status());
   VOD_CHECK_OK(layout_b.status());
   VOD_CHECK_OK(layout_c.status());
-  movies.push_back({"top-1", *layout_a, 0.5, paper::Fig7MixedBehavior()});
-  movies.push_back({"top-2", *layout_b, 0.33, paper::Fig7MixedBehavior()});
-  movies.push_back({"top-3", *layout_c, 0.25, paper::Fig7MixedBehavior()});
+  movies.push_back({"top-1", *layout_a, 0.5, nullptr, paper::Fig7MixedBehavior()});
+  movies.push_back({"top-2", *layout_b, 0.33, nullptr, paper::Fig7MixedBehavior()});
+  movies.push_back({"top-3", *layout_c, 0.25, nullptr, paper::Fig7MixedBehavior()});
   return movies;
 }
 

@@ -80,7 +80,7 @@ int main(int argc, char** argv) {
     VOD_CHECK_OK(layout.status());
     server_movies.push_back(
         {allocation.name, *layout,
-         catalog->ArrivalRate(static_cast<int>(i) + 1),
+         catalog->ArrivalRate(static_cast<int>(i) + 1), /*arrivals=*/nullptr,
          catalog->movie(static_cast<int>(i) + 1).behavior});
   }
 

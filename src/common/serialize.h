@@ -40,6 +40,7 @@ enum class SnapshotPayload : uint32_t {
   kExperimentGrid = 1,
   kEventQueue = 2,
   kRng = 3,
+  kServerGrid = 4,
 };
 
 /// CRC-32 (IEEE 802.3 polynomial, reflected) of `size` bytes.

@@ -1,0 +1,33 @@
+// Admission gating interface between the control plane and the simulators.
+//
+// The gate sits in front of viewer admission: every arrival is offered to it
+// before any session state is allocated. Returning false sheds the arrival —
+// the viewer never enters the system. The control plane implements this to
+// (a) observe per-movie offered load for its rate estimators and (b) shed
+// selectively by priority class under overload, replacing the global
+// degradation cliff with policy-based traffic handling.
+//
+// Determinism contract: implementations must not touch any RNG stream and
+// must be a pure function of (movie, t) plus their own deterministic state,
+// so a gate that never sheds leaves the simulation byte-identical.
+
+#ifndef VOD_CTRL_ADMISSION_GATE_H_
+#define VOD_CTRL_ADMISSION_GATE_H_
+
+#include <cstdint>
+
+namespace vod {
+
+/// \brief Pre-admission hook: observe (and possibly shed) each arrival.
+class AdmissionGate {
+ public:
+  virtual ~AdmissionGate() = default;
+
+  /// Called for every arrival of `movie` at time t, before the viewer is
+  /// admitted. Returns false to shed the arrival.
+  virtual bool OnArrival(int32_t movie, double t) = 0;
+};
+
+}  // namespace vod
+
+#endif  // VOD_CTRL_ADMISSION_GATE_H_

@@ -1,0 +1,238 @@
+#include "ctrl/planner.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "numerics/optimize.h"
+#include "numerics/root_finding.h"
+
+namespace vod {
+
+Status PlannerOptions::Validate() const {
+  if (mu_grid_points < 2) {
+    return Status::InvalidArgument("planner mu_grid_points must be >= 2");
+  }
+  if (!(buffer_quantum_minutes > 0.0) ||
+      !std::isfinite(buffer_quantum_minutes)) {
+    return Status::InvalidArgument(
+        "planner buffer_quantum_minutes must be finite and positive");
+  }
+  return Status::OK();
+}
+
+bool BufferPlan::SameAllocation(const BufferPlan& other) const {
+  if (movies.size() != other.movies.size()) return false;
+  for (size_t i = 0; i < movies.size(); ++i) {
+    if (movies[i].streams != other.movies[i].streams) return false;
+    // Buffers are quantized to an exact multiple of the quantum, so exact
+    // comparison is well-defined.
+    if (movies[i].buffer_minutes != other.movies[i].buffer_minutes) {
+      return false;
+    }
+  }
+  return true;
+}
+
+namespace {
+
+// Snaps a buffer down to the quantum grid; never rounds up, so a feasible
+// water-fill stays within the budget after quantization.
+double Quantize(double buffer, double quantum) {
+  return std::floor(buffer / quantum + 1e-9) * quantum;
+}
+
+// Expected admission-wait contribution of one movie:
+// lambda * (l - B)^2 / (2 n l).
+double MovieObjective(const PlannerMovie& m, int streams, double buffer) {
+  const double gap = m.movie_length - buffer;
+  return m.rate * gap * gap / (2.0 * streams * m.movie_length);
+}
+
+struct InnerSolution {
+  std::vector<double> buffers;
+  double objective = 0.0;
+};
+
+// Buffer water-fill for fixed stream counts. The KKT condition equalizes
+// marginals lambda_i (l_i - B_i) / (n_i l_i) = nu wherever 0 < B_i < cap_i,
+// giving B_i(nu) = clamp(l_i (1 - nu n_i / lambda_i), 0, cap_i); the sum is
+// non-increasing in nu, so the binding nu is a monotone threshold.
+InnerSolution SolveBuffers(const std::vector<PlannerMovie>& movies,
+                           const std::vector<int>& streams,
+                           double buffer_budget,
+                           const PlannerOptions& options) {
+  const size_t k = movies.size();
+  auto buffers_at = [&](double nu) {
+    std::vector<double> b(k);
+    for (size_t i = 0; i < k; ++i) {
+      const double cap = movies[i].max_buffer_fraction * movies[i].movie_length;
+      const double raw =
+          movies[i].movie_length * (1.0 - nu * streams[i] / movies[i].rate);
+      b[i] = std::clamp(raw, 0.0, cap);
+    }
+    return b;
+  };
+  auto total = [&](double nu) {
+    double sum = 0.0;
+    for (double b : buffers_at(nu)) sum += b;
+    return sum;
+  };
+
+  double nu_hi = 0.0;
+  for (size_t i = 0; i < k; ++i) {
+    nu_hi = std::max(nu_hi, movies[i].rate / streams[i]);
+  }
+  double nu = 0.0;
+  if (total(0.0) > buffer_budget) {
+    auto fits = [&](double v) { return total(v) <= buffer_budget; };
+    auto found = MonotoneThreshold(fits, 0.0, nu_hi, 1e-10);
+    // total(nu_hi) == 0 <= budget, so the threshold always exists.
+    nu = found.ok() ? *found : nu_hi;
+  }
+
+  InnerSolution sol;
+  sol.buffers = buffers_at(nu);
+  for (size_t i = 0; i < k; ++i) {
+    sol.buffers[i] = Quantize(sol.buffers[i], options.buffer_quantum_minutes);
+    sol.objective += MovieObjective(movies[i], streams[i], sol.buffers[i]);
+  }
+  return sol;
+}
+
+// Marginal change in the unbuffered objective lambda l / (2n) when moving
+// from `from` to `to` streams; used to repair rounded counts to the budget.
+double StreamDelta(const PlannerMovie& m, int from, int to) {
+  return m.rate * m.movie_length / 2.0 * (1.0 / to - 1.0 / from);
+}
+
+// Square-root allocation at water level mu, repaired to sum exactly
+// min(budget, sum max_streams) with greedy marginal moves (ties by index).
+std::vector<int> StreamsAtLevel(const std::vector<PlannerMovie>& movies,
+                                double mu, int64_t budget) {
+  const size_t k = movies.size();
+  std::vector<int> n(k);
+  int64_t sum = 0;
+  for (size_t i = 0; i < k; ++i) {
+    const double ideal =
+        std::sqrt(movies[i].rate * movies[i].movie_length / (2.0 * mu));
+    n[i] = std::clamp(static_cast<int>(std::lround(ideal)),
+                      movies[i].min_streams, movies[i].max_streams);
+    sum += n[i];
+  }
+  while (sum > budget) {
+    size_t best = k;
+    double best_loss = std::numeric_limits<double>::infinity();
+    for (size_t i = 0; i < k; ++i) {
+      if (n[i] <= movies[i].min_streams) continue;
+      const double loss = StreamDelta(movies[i], n[i], n[i] - 1);
+      if (loss < best_loss) {
+        best_loss = loss;
+        best = i;
+      }
+    }
+    if (best == k) break;  // caller guarantees sum(min) <= budget
+    --n[best];
+    --sum;
+  }
+  while (sum < budget) {
+    size_t best = k;
+    double best_gain = 0.0;
+    for (size_t i = 0; i < k; ++i) {
+      if (n[i] >= movies[i].max_streams) continue;
+      const double gain = -StreamDelta(movies[i], n[i], n[i] + 1);
+      if (gain > best_gain) {
+        best_gain = gain;
+        best = i;
+      }
+    }
+    if (best == k) break;  // everyone saturated; leave slack unused
+    ++n[best];
+    ++sum;
+  }
+  return n;
+}
+
+}  // namespace
+
+Result<BufferPlan> SolvePlan(const std::vector<PlannerMovie>& movies,
+                             int64_t stream_budget, double buffer_budget,
+                             const PlannerOptions& options) {
+  VOD_RETURN_IF_ERROR(options.Validate());
+  if (movies.empty()) {
+    return Status::InvalidArgument("planner needs at least one movie");
+  }
+  if (!(buffer_budget >= 0.0) || !std::isfinite(buffer_budget)) {
+    return Status::InvalidArgument(
+        "planner buffer_budget must be finite and non-negative");
+  }
+  int64_t min_sum = 0;
+  double scale_lo = std::numeric_limits<double>::infinity();
+  double scale_hi = 0.0;
+  for (size_t i = 0; i < movies.size(); ++i) {
+    const PlannerMovie& m = movies[i];
+    if (!(m.movie_length > 0.0) || !std::isfinite(m.movie_length) ||
+        !(m.rate > 0.0) || !std::isfinite(m.rate)) {
+      return Status::InvalidArgument(
+          "planner movie lengths and rates must be finite and positive");
+    }
+    if (m.min_streams < 1 || m.max_streams < m.min_streams) {
+      return Status::InvalidArgument(
+          "planner stream bounds must satisfy 1 <= min <= max");
+    }
+    if (!(m.max_buffer_fraction >= 0.0) || !(m.max_buffer_fraction <= 1.0)) {
+      return Status::InvalidArgument(
+          "planner max_buffer_fraction must lie in [0, 1]");
+    }
+    min_sum += m.min_streams;
+    scale_lo = std::min(scale_lo, m.rate * m.movie_length);
+    scale_hi = std::max(scale_hi, m.rate * m.movie_length);
+  }
+  if (min_sum > stream_budget) {
+    return Status::Infeasible(
+        "stream budget cannot cover per-movie minimums");
+  }
+
+  // Outer search over the stream water level. mu = lambda l / (2 n^2) maps
+  // n across [1, budget], so this log range covers every useful level.
+  const double mu_lo =
+      scale_lo / (2.0 * static_cast<double>(stream_budget) *
+                  static_cast<double>(stream_budget));
+  const double mu_hi = 2.0 * scale_hi;
+  auto eval = [&](double log_mu) {
+    const std::vector<int> n =
+        StreamsAtLevel(movies, std::exp(log_mu), stream_budget);
+    return SolveBuffers(movies, n, buffer_budget, options).objective;
+  };
+  const Minimum best = GridMinimize(eval, std::log(mu_lo), std::log(mu_hi),
+                                    options.mu_grid_points);
+
+  const std::vector<int> n =
+      StreamsAtLevel(movies, std::exp(best.x), stream_budget);
+  const InnerSolution inner =
+      SolveBuffers(movies, n, buffer_budget, options);
+
+  BufferPlan plan;
+  plan.movies.resize(movies.size());
+  plan.solved_rates.resize(movies.size());
+  plan.objective = inner.objective;
+  for (size_t i = 0; i < movies.size(); ++i) {
+    MoviePlanEntry& e = plan.movies[i];
+    e.streams = n[i];
+    e.buffer_minutes = inner.buffers[i];
+    e.marginal_value = movies[i].rate *
+                       (movies[i].movie_length - e.buffer_minutes) /
+                       (n[i] * movies[i].movie_length);
+    plan.solved_rates[i] = movies[i].rate;
+  }
+  return plan;
+}
+
+Result<PartitionLayout> LayoutForEntry(double movie_length,
+                                       const MoviePlanEntry& entry) {
+  const double buffer =
+      std::clamp(entry.buffer_minutes, 0.0, movie_length);
+  return PartitionLayout::FromBuffer(movie_length, entry.streams, buffer);
+}
+
+}  // namespace vod

@@ -1,0 +1,88 @@
+// Constrained (B, n) re-allocation against live rate estimates.
+//
+// The paper sizes each movie statically; the controller re-solves the same
+// shaped problem online. Objective: minimize the expected admission wait
+//
+//   J = sum_i lambda_i * E[wait_i],
+//   E[wait_i] = (l_i - B_i)^2 / (2 * n_i * l_i)
+//
+// (an arriving viewer enrolls immediately with probability W_i/T_i = B_i/l_i
+// and otherwise waits the residual of the uncovered gap), subject to
+// sum n_i <= N (stream budget) and sum B_i <= B_total (buffer budget).
+//
+// Solved in two nested stages reusing the numerics layer:
+//   * outer: GridMinimize over the stream "water level" mu — the continuous
+//     relaxation gives n_i(mu) = sqrt(lambda_i * l_i / (2 mu)) (square-root
+//     allocation), rounded and repaired to the integer budget;
+//   * inner: for fixed streams, the buffer split is a convex water-fill —
+//     marginals lambda_i (l_i - B_i)/(n_i l_i) equalize at a level nu found
+//     with MonotoneThreshold (root_finding).
+//
+// Fully deterministic: no RNG, stable tie-breaks by movie index, buffer
+// quantized so float dust cannot flip a plan comparison.
+
+#ifndef VOD_CTRL_PLANNER_H_
+#define VOD_CTRL_PLANNER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "core/partition_layout.h"
+
+namespace vod {
+
+/// One movie's planning inputs.
+struct PlannerMovie {
+  double movie_length = 120.0;  ///< l_i, minutes
+  double rate = 0.5;            ///< lambda_i estimate, arrivals/minute
+  int min_streams = 1;
+  int max_streams = 1 << 20;
+  /// Largest buffered fraction of the movie (B_i <= fraction * l_i).
+  double max_buffer_fraction = 0.9;
+};
+
+/// Planner knobs.
+struct PlannerOptions {
+  /// Outer water-level grid resolution (log-spaced samples).
+  int mu_grid_points = 48;
+  /// Buffer quantum in minutes; plans snap to it (hysteresis support).
+  double buffer_quantum_minutes = 0.25;
+
+  Status Validate() const;
+};
+
+/// One movie's allocation in a plan.
+struct MoviePlanEntry {
+  int streams = 1;
+  double buffer_minutes = 0.0;
+  /// Marginal value of one more buffered minute at this allocation
+  /// (lambda_i (l_i - B_i) / (n_i l_i)); drives priority classes.
+  double marginal_value = 0.0;
+};
+
+/// A committed or candidate allocation across the catalog.
+struct BufferPlan {
+  int64_t epoch = 0;
+  std::vector<MoviePlanEntry> movies;
+  /// The rate vector the plan was solved for (hysteresis reference).
+  std::vector<double> solved_rates;
+  double objective = 0.0;  ///< J at the returned allocation
+
+  /// True when stream counts and quantized buffers match entry-for-entry.
+  bool SameAllocation(const BufferPlan& other) const;
+};
+
+/// \brief Solves the constrained allocation. Requires sum min_streams <= N
+/// and non-negative budgets; every rate must be positive and finite.
+Result<BufferPlan> SolvePlan(const std::vector<PlannerMovie>& movies,
+                             int64_t stream_budget, double buffer_budget,
+                             const PlannerOptions& options = {});
+
+/// Builds the PartitionLayout for one plan entry (clamping B into [0, l]).
+Result<PartitionLayout> LayoutForEntry(double movie_length,
+                                       const MoviePlanEntry& entry);
+
+}  // namespace vod
+
+#endif  // VOD_CTRL_PLANNER_H_

@@ -1,0 +1,85 @@
+#include "ctrl/rate_estimator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace vod {
+
+Status RateEstimatorOptions::Validate() const {
+  if (!(ewma_tau_minutes > 0.0) || !std::isfinite(ewma_tau_minutes)) {
+    return Status::InvalidArgument(
+        "estimator ewma_tau_minutes must be finite and positive");
+  }
+  if (!(ph_delta_sigma >= 0.0) || !(ph_threshold_sigma > 0.0)) {
+    return Status::InvalidArgument(
+        "estimator Page-Hinkley parameters must be non-negative "
+        "(threshold positive)");
+  }
+  return Status::OK();
+}
+
+namespace {
+// sigma_r for the normalized shot-noise estimate at rate lambda: stationary
+// variance lambda/(2*tau) gives relative std 1/sqrt(2*lambda*tau).
+double NoiseFloor(double baseline, double tau) {
+  const double effective = std::max(2.0 * baseline * tau, 1.0);
+  return 1.0 / std::sqrt(effective);
+}
+}  // namespace
+
+RateEstimator::RateEstimator(const RateEstimatorOptions& options,
+                             double baseline_rate, double t0)
+    : options_(options),
+      baseline_(baseline_rate),
+      sigma_(NoiseFloor(baseline_rate, options.ewma_tau_minutes)),
+      rate_(baseline_rate),
+      last_arrival_(t0),
+      last_ph_sample_(t0) {
+  VOD_CHECK(baseline_rate > 0.0);
+}
+
+void RateEstimator::Observe(double t) {
+  const double tau = options_.ewma_tau_minutes;
+  const double gap = std::max(t - last_arrival_, 0.0);
+  // Shot-noise filter: decay the running intensity, then add this arrival's
+  // kernel mass. Stationary mean is exactly lambda for Poisson input — the
+  // estimator is intensity-weighted, never gap-length-weighted.
+  const double pre = rate_ * std::exp(-gap / tau);
+  rate_ = pre + 1.0 / tau;
+  last_arrival_ = t;
+  ++observations_;
+
+  // Page-Hinkley on the normalized residual, reset-to-zero form. Two
+  // choices keep the sigma-scaled threshold honest under pure noise:
+  // the residual uses the PRE-update estimate (by PASTA an arrival instant
+  // sees the time-stationary — unbiased — value; post-update adds a +1/tau
+  // self-spike), and the detector consumes at most one sample per tau
+  // (per-arrival residuals share the filter's memory; summing ~2*lambda*tau
+  // correlated terms would let stationary excursions pile up an alarm).
+  if (t - last_ph_sample_ < tau) return;
+  last_ph_sample_ = t;
+  const double residual = (pre - baseline_) / baseline_;
+  const double delta = options_.ph_delta_sigma * sigma_;
+  const double threshold = options_.ph_threshold_sigma * sigma_;
+  ph_up_ = std::max(0.0, ph_up_ + residual - delta);
+  ph_down_ = std::max(0.0, ph_down_ - residual - delta);
+  if (ph_up_ > threshold || ph_down_ > threshold) alarm_ = true;
+}
+
+double RateEstimator::RateAt(double t) const {
+  const double silence = std::max(t - last_arrival_, 0.0);
+  return rate_ * std::exp(-silence / options_.ewma_tau_minutes);
+}
+
+void RateEstimator::Rebase(double new_baseline) {
+  VOD_CHECK(new_baseline > 0.0);
+  baseline_ = new_baseline;
+  sigma_ = NoiseFloor(new_baseline, options_.ewma_tau_minutes);
+  ph_up_ = 0.0;
+  ph_down_ = 0.0;
+  alarm_ = false;
+}
+
+}  // namespace vod

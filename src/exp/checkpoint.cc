@@ -100,6 +100,176 @@ Status DeserializeSimulationReport(ByteReader* in, SimulationReport* r) {
   return Status::OK();
 }
 
+void SerializeServerReport(const ServerReport& r, ByteWriter* out) {
+  out->PutI64(static_cast<int64_t>(r.movies.size()));
+  for (const ServerReport::PerMovie& m : r.movies) {
+    out->PutString(m.name);
+    SerializeSimulationReport(m.report, out);
+  }
+  out->PutI64(r.reserve_capacity);
+  out->PutDouble(r.mean_reserve_in_use);
+  out->PutI64(r.peak_reserve_in_use);
+  out->PutI64(r.refused_acquisitions);
+  out->PutI64(r.granted_acquisitions);
+  out->PutDouble(r.refusal_probability);
+  out->PutI64(r.total_blocked_vcr);
+  out->PutI64(r.total_stalls);
+  out->PutI64(r.total_resumes);
+  out->PutI64(r.total_queued_vcr);
+  out->PutI64(r.total_forced_reclaims);
+
+  out->PutBool(r.resilience_enabled);
+  const ResilienceReport& res = r.resilience;
+  out->PutI64(res.disk_failures);
+  out->PutI64(res.disk_repairs);
+  out->PutI64(res.min_reserve_capacity);
+  out->PutI64(res.max_oversubscription);
+  out->PutU8(static_cast<uint8_t>(res.final_level));
+  for (double v : res.time_in_level) out->PutDouble(v);
+  out->PutI64(res.total_transitions);
+  out->PutI64(static_cast<int64_t>(res.transitions.size()));
+  for (const DegradationTransition& tr : res.transitions) {
+    out->PutDouble(tr.time);
+    out->PutU8(static_cast<uint8_t>(tr.from));
+    out->PutU8(static_cast<uint8_t>(tr.to));
+    out->PutI64(tr.capacity);
+  }
+  out->PutI64(res.vcr_queued);
+  out->PutI64(res.vcr_queue_grants);
+  out->PutI64(res.vcr_queue_expirations);
+  out->PutI64(res.vcr_queue_pending);
+  out->PutI64(res.vcr_denied);
+  out->PutDouble(res.mean_queued_wait_minutes);
+  out->PutDouble(res.p50_queued_wait_minutes);
+  out->PutDouble(res.p90_queued_wait_minutes);
+  out->PutDouble(res.p99_queued_wait_minutes);
+  out->PutI64(res.forced_reclaims);
+  out->PutI64(res.recovery_episodes);
+  out->PutDouble(res.mean_recovery_minutes);
+  out->PutDouble(res.max_recovery_minutes);
+
+  out->PutBool(r.controller_enabled);
+  const ControllerReport& ctrl = r.controller;
+  out->PutBool(ctrl.enabled);
+  out->PutI64(ctrl.plans_solved);
+  out->PutI64(ctrl.drift_alarms);
+  out->PutI64(ctrl.migrations_started);
+  out->PutI64(ctrl.migrations_committed);
+  out->PutI64(ctrl.rollbacks);
+  out->PutI64(ctrl.steps_planned);
+  out->PutI64(ctrl.steps_applied);
+  out->PutI64(ctrl.blocked_attempts);
+  out->PutI64(ctrl.admission_sheds);
+  for (int64_t v : ctrl.sheds_by_class) out->PutI64(v);
+  out->PutI64(ctrl.final_epoch);
+  out->PutDouble(ctrl.last_commit_time);
+}
+
+Status DeserializeServerReport(ByteReader* in, ServerReport* r) {
+  int64_t num_movies = 0;
+  VOD_RETURN_IF_ERROR(in->ReadI64(&num_movies));
+  if (num_movies < 0 || num_movies > (int64_t{1} << 20)) {
+    return Status::InvalidArgument(
+        "server report declares an implausible movie count " +
+        std::to_string(num_movies));
+  }
+  r->movies.clear();
+  r->movies.reserve(static_cast<size_t>(num_movies));
+  for (int64_t i = 0; i < num_movies; ++i) {
+    ServerReport::PerMovie m;
+    VOD_RETURN_IF_ERROR(in->ReadString(&m.name));
+    VOD_RETURN_IF_ERROR(DeserializeSimulationReport(in, &m.report));
+    r->movies.push_back(std::move(m));
+  }
+  VOD_RETURN_IF_ERROR(in->ReadI64(&r->reserve_capacity));
+  VOD_RETURN_IF_ERROR(in->ReadDouble(&r->mean_reserve_in_use));
+  VOD_RETURN_IF_ERROR(in->ReadI64(&r->peak_reserve_in_use));
+  VOD_RETURN_IF_ERROR(in->ReadI64(&r->refused_acquisitions));
+  VOD_RETURN_IF_ERROR(in->ReadI64(&r->granted_acquisitions));
+  VOD_RETURN_IF_ERROR(in->ReadDouble(&r->refusal_probability));
+  VOD_RETURN_IF_ERROR(in->ReadI64(&r->total_blocked_vcr));
+  VOD_RETURN_IF_ERROR(in->ReadI64(&r->total_stalls));
+  VOD_RETURN_IF_ERROR(in->ReadI64(&r->total_resumes));
+  VOD_RETURN_IF_ERROR(in->ReadI64(&r->total_queued_vcr));
+  VOD_RETURN_IF_ERROR(in->ReadI64(&r->total_forced_reclaims));
+
+  VOD_RETURN_IF_ERROR(in->ReadBool(&r->resilience_enabled));
+  ResilienceReport* res = &r->resilience;
+  VOD_RETURN_IF_ERROR(in->ReadI64(&res->disk_failures));
+  VOD_RETURN_IF_ERROR(in->ReadI64(&res->disk_repairs));
+  VOD_RETURN_IF_ERROR(in->ReadI64(&res->min_reserve_capacity));
+  VOD_RETURN_IF_ERROR(in->ReadI64(&res->max_oversubscription));
+  uint8_t final_level = 0;
+  VOD_RETURN_IF_ERROR(in->ReadU8(&final_level));
+  if (final_level >= kNumDegradationLevels) {
+    return Status::InvalidArgument(
+        "server report carries unknown degradation level " +
+        std::to_string(final_level));
+  }
+  res->final_level = static_cast<DegradationLevel>(final_level);
+  for (double& v : res->time_in_level) {
+    VOD_RETURN_IF_ERROR(in->ReadDouble(&v));
+  }
+  VOD_RETURN_IF_ERROR(in->ReadI64(&res->total_transitions));
+  int64_t num_transitions = 0;
+  VOD_RETURN_IF_ERROR(in->ReadI64(&num_transitions));
+  if (num_transitions < 0 || num_transitions > (int64_t{1} << 24)) {
+    return Status::InvalidArgument(
+        "server report declares an implausible transition count " +
+        std::to_string(num_transitions));
+  }
+  res->transitions.clear();
+  res->transitions.reserve(static_cast<size_t>(num_transitions));
+  for (int64_t i = 0; i < num_transitions; ++i) {
+    DegradationTransition tr;
+    VOD_RETURN_IF_ERROR(in->ReadDouble(&tr.time));
+    uint8_t from = 0, to = 0;
+    VOD_RETURN_IF_ERROR(in->ReadU8(&from));
+    VOD_RETURN_IF_ERROR(in->ReadU8(&to));
+    if (from >= kNumDegradationLevels || to >= kNumDegradationLevels) {
+      return Status::InvalidArgument(
+          "server report transition " + std::to_string(i) +
+          " carries an unknown degradation level");
+    }
+    tr.from = static_cast<DegradationLevel>(from);
+    tr.to = static_cast<DegradationLevel>(to);
+    VOD_RETURN_IF_ERROR(in->ReadI64(&tr.capacity));
+    res->transitions.push_back(tr);
+  }
+  VOD_RETURN_IF_ERROR(in->ReadI64(&res->vcr_queued));
+  VOD_RETURN_IF_ERROR(in->ReadI64(&res->vcr_queue_grants));
+  VOD_RETURN_IF_ERROR(in->ReadI64(&res->vcr_queue_expirations));
+  VOD_RETURN_IF_ERROR(in->ReadI64(&res->vcr_queue_pending));
+  VOD_RETURN_IF_ERROR(in->ReadI64(&res->vcr_denied));
+  VOD_RETURN_IF_ERROR(in->ReadDouble(&res->mean_queued_wait_minutes));
+  VOD_RETURN_IF_ERROR(in->ReadDouble(&res->p50_queued_wait_minutes));
+  VOD_RETURN_IF_ERROR(in->ReadDouble(&res->p90_queued_wait_minutes));
+  VOD_RETURN_IF_ERROR(in->ReadDouble(&res->p99_queued_wait_minutes));
+  VOD_RETURN_IF_ERROR(in->ReadI64(&res->forced_reclaims));
+  VOD_RETURN_IF_ERROR(in->ReadI64(&res->recovery_episodes));
+  VOD_RETURN_IF_ERROR(in->ReadDouble(&res->mean_recovery_minutes));
+  VOD_RETURN_IF_ERROR(in->ReadDouble(&res->max_recovery_minutes));
+
+  VOD_RETURN_IF_ERROR(in->ReadBool(&r->controller_enabled));
+  ControllerReport* ctrl = &r->controller;
+  VOD_RETURN_IF_ERROR(in->ReadBool(&ctrl->enabled));
+  VOD_RETURN_IF_ERROR(in->ReadI64(&ctrl->plans_solved));
+  VOD_RETURN_IF_ERROR(in->ReadI64(&ctrl->drift_alarms));
+  VOD_RETURN_IF_ERROR(in->ReadI64(&ctrl->migrations_started));
+  VOD_RETURN_IF_ERROR(in->ReadI64(&ctrl->migrations_committed));
+  VOD_RETURN_IF_ERROR(in->ReadI64(&ctrl->rollbacks));
+  VOD_RETURN_IF_ERROR(in->ReadI64(&ctrl->steps_planned));
+  VOD_RETURN_IF_ERROR(in->ReadI64(&ctrl->steps_applied));
+  VOD_RETURN_IF_ERROR(in->ReadI64(&ctrl->blocked_attempts));
+  VOD_RETURN_IF_ERROR(in->ReadI64(&ctrl->admission_sheds));
+  for (int64_t& v : ctrl->sheds_by_class) {
+    VOD_RETURN_IF_ERROR(in->ReadI64(&v));
+  }
+  VOD_RETURN_IF_ERROR(in->ReadI64(&ctrl->final_epoch));
+  VOD_RETURN_IF_ERROR(in->ReadDouble(&ctrl->last_commit_time));
+  return Status::OK();
+}
+
 uint64_t HashGridDescription(const std::string& description) {
   uint64_t h = 0xCBF29CE484222325ull;  // FNV-1a offset basis
   for (unsigned char c : description) {
@@ -109,16 +279,40 @@ uint64_t HashGridDescription(const std::string& description) {
   return h;
 }
 
-int64_t GridCheckpoint::cells_done() const {
-  int64_t n = 0;
-  for (bool d : done) {
-    if (d) ++n;
-  }
-  return n;
-}
+namespace {
 
-Status SaveGridCheckpoint(const std::string& path,
-                          const GridCheckpoint& checkpoint) {
+// The two checkpoint kinds share everything but the report codec and the
+// payload type id; these file-local templates keep one copy of the framing,
+// bitmap, resume, and runner logic.
+
+template <typename Report>
+struct GridCodec;
+
+template <>
+struct GridCodec<SimulationReport> {
+  static constexpr SnapshotPayload kPayload = SnapshotPayload::kExperimentGrid;
+  static void Serialize(const SimulationReport& r, ByteWriter* out) {
+    SerializeSimulationReport(r, out);
+  }
+  static Status Deserialize(ByteReader* in, SimulationReport* r) {
+    return DeserializeSimulationReport(in, r);
+  }
+};
+
+template <>
+struct GridCodec<ServerReport> {
+  static constexpr SnapshotPayload kPayload = SnapshotPayload::kServerGrid;
+  static void Serialize(const ServerReport& r, ByteWriter* out) {
+    SerializeServerReport(r, out);
+  }
+  static Status Deserialize(ByteReader* in, ServerReport* r) {
+    return DeserializeServerReport(in, r);
+  }
+};
+
+template <typename Report>
+Status SaveGridCheckpointImpl(const std::string& path,
+                              const BasicGridCheckpoint<Report>& checkpoint) {
   if (checkpoint.configs < 1 || checkpoint.replications < 1) {
     return Status::InvalidArgument("checkpoint grid must be non-empty");
   }
@@ -142,35 +336,35 @@ Status SaveGridCheckpoint(const std::string& path,
   }
   for (size_t cell = 0; cell < cells; ++cell) {
     if (checkpoint.done[cell]) {
-      SerializeSimulationReport(checkpoint.reports[cell], &payload);
+      GridCodec<Report>::Serialize(checkpoint.reports[cell], &payload);
     }
   }
   payload.PutString(checkpoint.metrics_blob);
-  return WriteSnapshotFile(path, SnapshotPayload::kExperimentGrid,
-                           payload.bytes());
+  return WriteSnapshotFile(path, GridCodec<Report>::kPayload, payload.bytes());
 }
 
-Result<GridCheckpoint> LoadGridCheckpoint(const std::string& path) {
-  VOD_ASSIGN_OR_RETURN(
-      const std::string payload,
-      ReadSnapshotFile(path, SnapshotPayload::kExperimentGrid));
+template <typename Report>
+Result<BasicGridCheckpoint<Report>> LoadGridCheckpointImpl(
+    const std::string& path) {
+  VOD_ASSIGN_OR_RETURN(const std::string payload,
+                       ReadSnapshotFile(path, GridCodec<Report>::kPayload));
   ByteReader in(payload);
-  GridCheckpoint checkpoint;
+  BasicGridCheckpoint<Report> checkpoint;
   VOD_RETURN_IF_ERROR(in.ReadU64(&checkpoint.fingerprint));
   VOD_RETURN_IF_ERROR(in.ReadU64(&checkpoint.base_seed));
   VOD_RETURN_IF_ERROR(in.ReadI64(&checkpoint.configs));
   VOD_RETURN_IF_ERROR(in.ReadI64(&checkpoint.replications));
-  if (checkpoint.configs < 1 || checkpoint.replications < 1 ||
-      checkpoint.configs > (int64_t{1} << 20) ||
-      checkpoint.replications > (int64_t{1} << 20)) {
+  const int64_t configs = checkpoint.configs;
+  const int64_t replications = checkpoint.replications;
+  if (configs < 1 || replications < 1 || configs > (int64_t{1} << 20) ||
+      replications > (int64_t{1} << 20)) {
     return Status::InvalidArgument(
         "checkpoint '" + path + "' declares an implausible grid shape (" +
-        std::to_string(checkpoint.configs) + " x " +
-        std::to_string(checkpoint.replications) + ")");
+        std::to_string(configs) + " x " + std::to_string(replications) + ")");
   }
   const size_t cells = static_cast<size_t>(checkpoint.cells());
   checkpoint.done.assign(cells, false);
-  checkpoint.reports.assign(cells, SimulationReport{});
+  checkpoint.reports.assign(cells, Report{});
   for (size_t base = 0; base < cells; base += 8) {
     uint8_t bits = 0;
     VOD_RETURN_IF_ERROR(in.ReadU8(&bits));
@@ -181,7 +375,7 @@ Result<GridCheckpoint> LoadGridCheckpoint(const std::string& path) {
   for (size_t cell = 0; cell < cells; ++cell) {
     if (checkpoint.done[cell]) {
       VOD_RETURN_IF_ERROR(
-          DeserializeSimulationReport(&in, &checkpoint.reports[cell]));
+          GridCodec<Report>::Deserialize(&in, &checkpoint.reports[cell]));
     }
   }
   // Metrics snapshot blob; absent in checkpoints written before the
@@ -198,10 +392,34 @@ Result<GridCheckpoint> LoadGridCheckpoint(const std::string& path) {
   return checkpoint;
 }
 
-Result<CheckpointedGridResult> RunCheckpointedReportGrid(
+}  // namespace
+
+Status SaveGridCheckpoint(const std::string& path,
+                          const GridCheckpoint& checkpoint) {
+  return SaveGridCheckpointImpl(path, checkpoint);
+}
+
+Result<GridCheckpoint> LoadGridCheckpoint(const std::string& path) {
+  return LoadGridCheckpointImpl<SimulationReport>(path);
+}
+
+Status SaveServerGridCheckpoint(const std::string& path,
+                                const ServerGridCheckpoint& checkpoint) {
+  return SaveGridCheckpointImpl(path, checkpoint);
+}
+
+Result<ServerGridCheckpoint> LoadServerGridCheckpoint(
+    const std::string& path) {
+  return LoadGridCheckpointImpl<ServerReport>(path);
+}
+
+namespace {
+
+template <typename Report>
+Result<BasicCheckpointedGridResult<Report>> RunCheckpointedGridImpl(
     int64_t num_configs, const ExperimentOptions& options,
     const CheckpointOptions& checkpoint_options, uint64_t grid_fingerprint,
-    const std::function<SimulationReport(const CellContext&)>& run_cell,
+    const std::function<Report(const CellContext&)>& run_cell,
     const GridObsOptions& obs) {
   if (num_configs < 1) {
     return Status::InvalidArgument("grid needs at least one configuration");
@@ -213,18 +431,19 @@ Result<CheckpointedGridResult> RunCheckpointedReportGrid(
   const int64_t reps = options.replications;
   const int64_t cells = num_configs * reps;
 
-  GridCheckpoint state;
+  BasicGridCheckpoint<Report> state;
   state.fingerprint = grid_fingerprint;
   state.base_seed = options.base_seed;
   state.configs = num_configs;
   state.replications = reps;
   state.done.assign(static_cast<size_t>(cells), false);
-  state.reports.assign(static_cast<size_t>(cells), SimulationReport{});
+  state.reports.assign(static_cast<size_t>(cells), Report{});
 
-  CheckpointedGridResult result;
+  BasicCheckpointedGridResult<Report> result;
   if (checkpoint_options.resume) {
-    VOD_ASSIGN_OR_RETURN(GridCheckpoint loaded,
-                         LoadGridCheckpoint(checkpoint_options.path));
+    VOD_ASSIGN_OR_RETURN(
+        BasicGridCheckpoint<Report> loaded,
+        LoadGridCheckpointImpl<Report>(checkpoint_options.path));
     if (loaded.fingerprint != grid_fingerprint ||
         loaded.base_seed != options.base_seed ||
         loaded.configs != num_configs || loaded.replications != reps) {
@@ -284,7 +503,7 @@ Result<CheckpointedGridResult> RunCheckpointedReportGrid(
               c, r,
               CellSeed(options.base_seed, static_cast<uint64_t>(c),
                        static_cast<uint64_t>(r))};
-          SimulationReport report;
+          Report report;
           {
             PhaseProfiler::Scope span(obs.profiler, GridCellSpanName(c, r));
             report = run_cell(context);
@@ -300,7 +519,7 @@ Result<CheckpointedGridResult> RunCheckpointedReportGrid(
             PhaseProfiler::Scope span(obs.profiler, "checkpoint_save");
             snapshot_metrics_locked();
             const Status saved =
-                SaveGridCheckpoint(checkpoint_options.path, state);
+                SaveGridCheckpointImpl(checkpoint_options.path, state);
             if (!saved.ok() && save_failure.ok()) save_failure = saved;
           }
         });
@@ -311,7 +530,8 @@ Result<CheckpointedGridResult> RunCheckpointedReportGrid(
   if (!checkpoint_options.path.empty()) {
     PhaseProfiler::Scope span(obs.profiler, "checkpoint_save");
     snapshot_metrics_locked();
-    VOD_RETURN_IF_ERROR(SaveGridCheckpoint(checkpoint_options.path, state));
+    VOD_RETURN_IF_ERROR(
+        SaveGridCheckpointImpl(checkpoint_options.path, state));
   }
 
   result.complete = !stopping_early;
@@ -326,6 +546,28 @@ Result<CheckpointedGridResult> RunCheckpointedReportGrid(
     }
   }
   return result;
+}
+
+}  // namespace
+
+Result<CheckpointedGridResult> RunCheckpointedReportGrid(
+    int64_t num_configs, const ExperimentOptions& options,
+    const CheckpointOptions& checkpoint_options, uint64_t grid_fingerprint,
+    const std::function<SimulationReport(const CellContext&)>& run_cell,
+    const GridObsOptions& obs) {
+  return RunCheckpointedGridImpl<SimulationReport>(
+      num_configs, options, checkpoint_options, grid_fingerprint, run_cell,
+      obs);
+}
+
+Result<CheckpointedServerGridResult> RunCheckpointedServerGrid(
+    int64_t num_configs, const ExperimentOptions& options,
+    const CheckpointOptions& checkpoint_options, uint64_t grid_fingerprint,
+    const std::function<ServerReport(const CellContext&)>& run_cell,
+    const GridObsOptions& obs) {
+  return RunCheckpointedGridImpl<ServerReport>(
+      num_configs, options, checkpoint_options, grid_fingerprint, run_cell,
+      obs);
 }
 
 }  // namespace vod

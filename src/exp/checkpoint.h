@@ -25,6 +25,7 @@
 #include "common/serialize.h"
 #include "common/status.h"
 #include "exp/experiment.h"
+#include "sim/server.h"
 #include "sim/simulator.h"
 
 namespace vod {
@@ -55,6 +56,13 @@ void SerializeSimulationReport(const SimulationReport& report,
                                ByteWriter* out);
 Status DeserializeSimulationReport(ByteReader* in, SimulationReport* report);
 
+/// \brief Same contract for a whole-server report: every field — the
+/// per-movie reports, reserve accounting, the resilience block including
+/// its transition log, and the controller block — round-trips bit-exactly,
+/// so a resumed server sweep reproduces ToString byte-for-byte.
+void SerializeServerReport(const ServerReport& report, ByteWriter* out);
+Status DeserializeServerReport(ByteReader* in, ServerReport* report);
+
 /// FNV-1a of an experiment's self-description (layout parameters, horizon,
 /// behavior knobs...). Callers fold everything that changes cell outcomes
 /// into the description so a checkpoint can never be resumed against a
@@ -62,7 +70,13 @@ Status DeserializeSimulationReport(ByteReader* in, SimulationReport* report);
 uint64_t HashGridDescription(const std::string& description);
 
 /// \brief In-memory image of a checkpoint: grid identity + per-cell state.
-struct GridCheckpoint {
+///
+/// One shape serves both cell kinds — single-movie SimulationReports
+/// (payload kExperimentGrid) and whole-server ServerReports (payload
+/// kServerGrid); the payload type id keeps the two file kinds from being
+/// fed to each other.
+template <typename Report>
+struct BasicGridCheckpoint {
   uint64_t fingerprint = 0;  ///< HashGridDescription of the experiment
   uint64_t base_seed = 0;
   int64_t configs = 0;
@@ -70,7 +84,7 @@ struct GridCheckpoint {
   /// Row-major done flags, one per cell (config * replications + rep).
   std::vector<bool> done;
   /// Completed cells' reports; meaningful only where done[cell] is true.
-  std::vector<SimulationReport> reports;
+  std::vector<Report> reports;
   /// Optional MetricsRegistry::Snapshot blob taken at save time, so a
   /// resumed sweep continues its sampled series without a gap. Empty when
   /// the run carried no registry — and in checkpoints written before this
@@ -78,8 +92,17 @@ struct GridCheckpoint {
   std::string metrics_blob;
 
   int64_t cells() const { return configs * replications; }
-  int64_t cells_done() const;
+  int64_t cells_done() const {
+    int64_t n = 0;
+    for (bool d : done) {
+      if (d) ++n;
+    }
+    return n;
+  }
 };
+
+using GridCheckpoint = BasicGridCheckpoint<SimulationReport>;
+using ServerGridCheckpoint = BasicGridCheckpoint<ServerReport>;
 
 /// Atomically writes `checkpoint` (payload kExperimentGrid; the done flags
 /// travel as a packed bitmap).
@@ -91,8 +114,14 @@ Status SaveGridCheckpoint(const std::string& path,
 /// error — never a crash or a silently partial grid.
 Result<GridCheckpoint> LoadGridCheckpoint(const std::string& path);
 
+/// Server-grid flavor of Save/LoadGridCheckpoint (payload kServerGrid).
+Status SaveServerGridCheckpoint(const std::string& path,
+                                const ServerGridCheckpoint& checkpoint);
+Result<ServerGridCheckpoint> LoadServerGridCheckpoint(const std::string& path);
+
 /// Outcome of a (possibly interrupted) checkpointed grid run.
-struct CheckpointedGridResult {
+template <typename Report>
+struct BasicCheckpointedGridResult {
   /// False when max_cells stopped the run early; the checkpoint on disk
   /// holds everything completed so far.
   bool complete = true;
@@ -100,8 +129,11 @@ struct CheckpointedGridResult {
   int64_t cells_run = 0;       ///< executed by this process
   /// Reports indexed [config][replication]; fully populated only when
   /// `complete` is true.
-  std::vector<std::vector<SimulationReport>> reports;
+  std::vector<std::vector<Report>> reports;
 };
+
+using CheckpointedGridResult = BasicCheckpointedGridResult<SimulationReport>;
+using CheckpointedServerGridResult = BasicCheckpointedGridResult<ServerReport>;
 
 /// \brief RunExperimentGrid with checkpoint/resume.
 ///
@@ -124,6 +156,19 @@ Result<CheckpointedGridResult> RunCheckpointedReportGrid(
     int64_t num_configs, const ExperimentOptions& options,
     const CheckpointOptions& checkpoint, uint64_t grid_fingerprint,
     const std::function<SimulationReport(const CellContext&)>& run_cell,
+    const GridObsOptions& obs = {});
+
+/// \brief RunCheckpointedReportGrid over whole-server cells.
+///
+/// Identical contract, but each cell runs a full multi-movie server
+/// simulation and the checkpoint carries ServerReports — including the
+/// resilience transition log and the controller block, so a sweep with the
+/// control plane enabled survives a SIGKILL mid-migration and resumes to a
+/// byte-identical final table (tests/exp enforce this).
+Result<CheckpointedServerGridResult> RunCheckpointedServerGrid(
+    int64_t num_configs, const ExperimentOptions& options,
+    const CheckpointOptions& checkpoint, uint64_t grid_fingerprint,
+    const std::function<ServerReport(const CellContext&)>& run_cell,
     const GridObsOptions& obs = {});
 
 }  // namespace vod

@@ -11,7 +11,7 @@ namespace {
 constexpr const char* kCategoryNames[kNumEventCategories] = {
     "admission", "restart", "vcr_begin", "resume",      "stall",
     "queue",     "shed",    "reclaim",   "fault",       "degradation",
-    "session",   "cell",    "tick",
+    "session",   "cell",    "tick",      "controller",
 };
 
 // Subtype vocabularies, indexed to match the emitting code:
@@ -29,6 +29,10 @@ constexpr const char* kDegradationSub[] = {"normal", "queueing", "shed_vcr",
                                            "reclaim", "batching_only"};
 constexpr const char* kSessionSub[] = {"complete", "abandon"};
 constexpr const char* kCellSub[] = {"done"};
+// ControllerEvent order (obs/event_log.h).
+constexpr const char* kControllerSub[] = {"alarm",    "replan",  "reclaim",
+                                          "grant",    "commit",  "rollback",
+                                          "blocked",  "shed",    "class"};
 
 template <size_t N>
 const char* Lookup(const char* const (&table)[N], uint8_t i) {
@@ -78,6 +82,8 @@ const char* EventSubtypeName(EventCategory category, uint8_t subtype) {
       return Lookup(kSessionSub, subtype);
     case EventCategory::kCell:
       return Lookup(kCellSub, subtype);
+    case EventCategory::kController:
+      return Lookup(kControllerSub, subtype);
     default:
       return "-";
   }

@@ -54,9 +54,23 @@ enum class EventCategory : uint8_t {
   kSession = 10,     ///< viewer session ended (sub: 0 = complete, 1 = abandon)
   kCell = 11,        ///< experiment-grid cell finished (id = cell index)
   kTick = 12,        ///< executed event-loop step (auditor trace tail)
+  kController = 13,  ///< control-plane action (sub: ControllerEvent)
 };
 
-inline constexpr int kNumEventCategories = 13;
+inline constexpr int kNumEventCategories = 14;
+
+/// Subtype ids for EventCategory::kController records (ctrl/ emits these).
+enum class ControllerEvent : uint8_t {
+  kAlarm = 0,     ///< drift alarm latched (movie, value = rate estimate)
+  kReplan = 1,    ///< plan solved (id = epoch, value = objective)
+  kReclaim = 2,   ///< migration reclaim step applied (value = streams freed)
+  kGrant = 3,     ///< migration grant step applied (value = streams granted)
+  kCommit = 4,    ///< migration completed, plan committed (id = epoch)
+  kRollback = 5,  ///< migration rolled back (id = epoch)
+  kBlocked = 6,   ///< step blocked, backing off (value = retry count)
+  kShed = 7,      ///< arrival shed by the admission gate (aux = class)
+  kClass = 8,     ///< movie priority class assigned (value = class)
+};
 
 /// Stable lower-case name ("admission", "resume", ...).
 const char* EventCategoryName(EventCategory category);

@@ -230,4 +230,52 @@ std::vector<DegradationInterval> DegradationTimeline(
   return out;
 }
 
+std::vector<ControllerDecision> ControllerTimeline(
+    const std::vector<TraceEvent>& events) {
+  std::vector<ControllerDecision> out;
+  // Folds a high-frequency event (step/shed/class) into the current decision
+  // row, synthesizing a leading row if none exists yet.
+  const auto current_row = [&out](const TraceEvent& event) {
+    if (out.empty()) {
+      ControllerDecision lead;
+      lead.time = event.time;
+      lead.subtype = static_cast<int>(ControllerEvent::kReplan);
+      out.push_back(lead);
+    }
+    return &out.back();
+  };
+  for (const TraceEvent& event : events) {
+    if (event.category != EventCategory::kController) continue;
+    switch (static_cast<ControllerEvent>(event.subtype)) {
+      case ControllerEvent::kReclaim:
+        ++current_row(event)->reclaims;
+        break;
+      case ControllerEvent::kGrant:
+        ++current_row(event)->grants;
+        break;
+      case ControllerEvent::kShed:
+        ++current_row(event)->sheds;
+        break;
+      case ControllerEvent::kClass:
+        ++current_row(event)->class_changes;
+        break;
+      case ControllerEvent::kAlarm:
+      case ControllerEvent::kReplan:
+      case ControllerEvent::kCommit:
+      case ControllerEvent::kRollback:
+      case ControllerEvent::kBlocked: {
+        ControllerDecision row;
+        row.time = event.time;
+        row.subtype = event.subtype;
+        row.movie = event.movie;
+        row.epoch = event.id;
+        row.value = event.value;
+        out.push_back(row);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
 }  // namespace vod

@@ -1,5 +1,6 @@
 #include "sim/arrival_process.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/check.h"
@@ -82,6 +83,40 @@ double PiecewiseArrivals::NextArrivalAfter(double after, Rng* rng) const {
   for (;;) {
     t += rng->Exponential(1.0 / max_rate_);
     if (rng->Uniform01() * max_rate_ <= RateAt(t)) return t;
+  }
+}
+
+Result<FlashArrivals> FlashArrivals::Create(double base_rate_per_minute,
+                                            double peak_factor,
+                                            double start_minutes,
+                                            double duration_minutes) {
+  if (!(base_rate_per_minute > 0.0)) {
+    return Status::InvalidArgument("base rate must be positive");
+  }
+  if (!(peak_factor > 0.0) || !std::isfinite(peak_factor)) {
+    return Status::InvalidArgument("peak factor must be positive and finite");
+  }
+  if (start_minutes < 0.0) {
+    return Status::InvalidArgument("flash start must be non-negative");
+  }
+  if (!(duration_minutes > 0.0)) {
+    return Status::InvalidArgument("flash duration must be positive");
+  }
+  return FlashArrivals(base_rate_per_minute, peak_factor, start_minutes,
+                       duration_minutes);
+}
+
+double FlashArrivals::RateAt(double t) const {
+  const bool in_flash = t >= start_ && t - start_ < duration_;
+  return in_flash ? base_rate_ * factor_ : base_rate_;
+}
+
+double FlashArrivals::NextArrivalAfter(double after, Rng* rng) const {
+  const double max_rate = base_rate_ * std::max(1.0, factor_);
+  double t = after;
+  for (;;) {
+    t += rng->Exponential(1.0 / max_rate);
+    if (rng->Uniform01() * max_rate <= RateAt(t)) return t;
   }
 }
 

@@ -153,6 +153,46 @@ void InvariantAuditor::Audit(const AuditSnapshot& s) {
     }
   }
 
+  // --- controller resource ledger ------------------------------------------
+  if (s.controller.enabled) {
+    const auto& c = s.controller;
+    const int64_t stream_sum =
+        c.sum_live_streams + c.free_streams + c.inflight_streams;
+    if (stream_sum != c.stream_budget) {
+      AddViolation(t, "ctrl-stream-conservation",
+                   "live " + std::to_string(c.sum_live_streams) + " + free " +
+                       std::to_string(c.free_streams) + " + in-flight " +
+                       std::to_string(c.inflight_streams) + " = " +
+                       std::to_string(stream_sum) + " streams, budget is " +
+                       std::to_string(c.stream_budget) +
+                       " (a migration leaked or double-granted a stream)");
+    }
+    const double buffer_sum =
+        c.sum_live_buffer + c.free_buffer + c.inflight_buffer;
+    if (std::fabs(buffer_sum - c.buffer_budget) > 1e-6) {
+      AddViolation(t, "ctrl-buffer-conservation",
+                   "live " + std::to_string(c.sum_live_buffer) + " + free " +
+                       std::to_string(c.free_buffer) + " + in-flight " +
+                       std::to_string(c.inflight_buffer) + " = " +
+                       std::to_string(buffer_sum) + " buffer minutes, " +
+                       "budget is " + std::to_string(c.buffer_budget));
+    }
+    if (c.steps_applied > c.steps_planned) {
+      AddViolation(t, "ctrl-no-double-grant",
+                   std::to_string(c.steps_applied) +
+                       " migration steps applied but only " +
+                       std::to_string(c.steps_planned) +
+                       " were ever planned (a step ran twice)");
+    }
+    if (c.epoch < last_controller_epoch_) {
+      AddViolation(t, "ctrl-epoch-monotonic",
+                   "plan epoch moved backward: " +
+                       std::to_string(last_controller_epoch_) + " -> " +
+                       std::to_string(c.epoch));
+    }
+    last_controller_epoch_ = std::max(last_controller_epoch_, c.epoch);
+  }
+
   // --- degradation ladder --------------------------------------------------
   if (s.degradation_level != -1 &&
       (s.degradation_level < 0 ||

@@ -22,6 +22,11 @@
 //   ladder-continuity     recorded transitions chain from->to without a
 //                         skipped or rewritten step, times non-decreasing,
 //                         and end at the current level
+//   ctrl-stream-conservation  Σ live layout streams + free + in-flight ==
+//                         the controller's stream budget across migrations
+//   ctrl-buffer-conservation  same for buffer minutes (within epsilon)
+//   ctrl-no-double-grant  applied migration steps never exceed planned ones
+//   ctrl-epoch-monotonic  the committed plan epoch never moves backward
 
 #ifndef VOD_SIM_AUDIT_H_
 #define VOD_SIM_AUDIT_H_
@@ -92,6 +97,29 @@ struct AuditSnapshot {
     std::vector<AuditPartition> partitions;
   };
   std::vector<MovieBuffers> movies;
+
+  /// \brief Control-plane conservation view (ctrl/migration.h ledger).
+  ///
+  /// Filled when the reallocation controller runs. The migration engine
+  /// moves streams and buffer between movies through a free pool and
+  /// draining in-flight landings; at every instant the three must sum to
+  /// the budget, applied steps can never outrun planned ones, and the plan
+  /// epoch only moves forward.
+  struct ControllerState {
+    bool enabled = false;
+    int64_t stream_budget = 0;
+    double buffer_budget = 0.0;
+    int64_t sum_live_streams = 0;  ///< Σ live layout streams across movies
+    double sum_live_buffer = 0.0;  ///< Σ live layout buffer minutes
+    int64_t free_streams = 0;
+    double free_buffer = 0.0;
+    int64_t inflight_streams = 0;
+    double inflight_buffer = 0.0;
+    int64_t epoch = 0;
+    int64_t steps_applied = 0;
+    int64_t steps_planned = 0;
+  };
+  ControllerState controller;
 };
 
 /// Expands a movie's static partition layout (n windows of B/n minutes, one
@@ -143,6 +171,9 @@ class InvariantAuditor {
   std::string TraceTail() const;
 
   AuditOptions options_;
+  /// Highest controller epoch seen; the monotonicity law compares against
+  /// it across Audit() calls.
+  int64_t last_controller_epoch_ = -1;
   int64_t events_since_audit_ = 0;
   int64_t events_seen_ = 0;
   int64_t audits_run_ = 0;

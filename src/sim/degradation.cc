@@ -111,7 +111,13 @@ void ReserveManager::UpdateLevel(double t) {
       if (InMeasurement(t)) forced_reclaims_ += got;
       // The releases above already re-ran UpdateLevel (with entry actions
       // suppressed); recompute once more so level_ reflects the new state.
-      UpdateLevel(t);
+      // Only when the hook made progress, though: every eligible victim
+      // may already be reclaimed (the remaining holders frozen mid-VCR-op,
+      // or the deficit held by the reallocation controller's ledger rather
+      // than by any viewer), and recursing on got == 0 would loop forever
+      // at one timestamp. The deficit then clears through the normal
+      // release/repair path, each of which re-enters UpdateLevel.
+      if (got > 0) UpdateLevel(t);
     }
   }
 }

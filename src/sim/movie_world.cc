@@ -88,6 +88,15 @@ class MovieWorld::Impl {
 
   const PartitionLayout& layout() const { return layout_; }
 
+  /// See MovieWorld::ApplyLayout. Viewers frozen on events scheduled under
+  /// the old geometry (queued type-1 admissions, stalls) fire at their old
+  /// times and re-query coverage under the new schedule then.
+  void ApplyLayout(double t, const PartitionLayout& new_layout) {
+    layout_ = new_layout;
+    schedule_ =
+        PartitionSchedule(new_layout, config_.stationary_start, /*anchor=*/t);
+  }
+
  private:
   /// Internal per-viewer session state, held in a slab indexed by the slot
   /// carried in event payloads. Invariant: at most one pending event per
@@ -164,12 +173,10 @@ class MovieWorld::Impl {
   // ---- helpers -------------------------------------------------------------
 
   /// Phase of movie position `pos` against the window pattern at time t:
-  /// the result is in [0, T); values <= W mean "inside a window".
+  /// the result is in [0, T); values <= W mean "inside a window". Delegates
+  /// to the schedule so a re-anchored layout keeps the phase consistent.
   double PatternPhase(double t, double pos) const {
-    const double period = layout_.restart_period();
-    double g = std::fmod(t - pos, period);
-    if (g < 0.0) g += period;
-    return g;
+    return schedule_.PatternPhase(t, pos);
   }
 
   void AcquireDedicated(Viewer& viewer, double t) {
@@ -229,6 +236,12 @@ class MovieWorld::Impl {
   void OnArrival() {
     const double t = queue_->Now();
     ScheduleNextArrival(t);
+    // The gate observes every arrival (offered load) and may shed it before
+    // any session state exists; the control plane accounts the shed.
+    if (config_.gate != nullptr &&
+        !config_.gate->OnArrival(config_.movie_id, t)) {
+      return;
+    }
     const uint64_t id = next_viewer_id_++;
     const uint32_t slot = AllocViewer(id);
     Viewer& viewer = viewers_[slot];
@@ -693,6 +706,10 @@ void MovieWorld::Start() { impl_->Start(); }
 
 int64_t MovieWorld::ReclaimDedicated(double t, int64_t max_count) {
   return impl_->ReclaimDedicated(t, max_count);
+}
+
+void MovieWorld::ApplyLayout(double t, const PartitionLayout& new_layout) {
+  impl_->ApplyLayout(t, new_layout);
 }
 
 const PartitionLayout& MovieWorld::layout() const { return impl_->layout(); }

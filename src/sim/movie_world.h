@@ -19,6 +19,7 @@
 #include "common/rng.h"
 #include "common/status.h"
 #include "core/partition_layout.h"
+#include "ctrl/admission_gate.h"
 #include "core/piggyback.h"
 #include "core/types.h"
 #include "obs/event_log.h"
@@ -56,6 +57,10 @@ struct MovieWorldConfig {
   EventLog* event_log = nullptr;
   /// Movie index stamped onto emitted events (-1 = single-movie run).
   int32_t movie_id = -1;
+  /// Optional pre-admission gate (ctrl/admission_gate.h); must outlive the
+  /// world. Consulted on every arrival before any session state exists; a
+  /// false return sheds the arrival. Null admits everything.
+  AdmissionGate* gate = nullptr;
 };
 
 /// \brief One movie's event logic over shared simulation infrastructure.
@@ -88,6 +93,13 @@ class MovieWorld {
   int64_t ReclaimDedicated(double t, int64_t max_count);
 
   const PartitionLayout& layout() const;
+
+  /// \brief Commits a new partition layout at time t (a controller
+  /// migration step). The restart schedule is re-anchored at t, so the new
+  /// geometry begins a restart there; existing viewers keep their streams
+  /// and positions — only future coverage queries (arrivals, resumes,
+  /// stalls) see the new windows. Never preempts an active stream.
+  void ApplyLayout(double t, const PartitionLayout& new_layout);
 
   /// Largest admission wait observed after warmup.
   double max_wait_seen() const;

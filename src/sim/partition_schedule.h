@@ -21,19 +21,26 @@ namespace vod {
 /// \brief Pure (stateless) geometry of the restart schedule.
 ///
 /// With `stationary` true, streams are assumed to have started at every
-/// k·T for all integers k (the system has been running forever), so the
-/// simulation begins in steady state. Otherwise only k >= 0 exist and the
-/// warm-up transient includes partition build-up.
+/// anchor + k·T for all integers k (the system has been running forever),
+/// so the simulation begins in steady state. Otherwise only k >= 0 exist
+/// and the warm-up transient includes partition build-up.
+///
+/// The `anchor` shifts the whole schedule: stream k starts at
+/// anchor + k·T. A layout committed mid-run by the reallocation controller
+/// re-anchors its schedule at the commit instant, so the new geometry
+/// begins a restart there and admission continuity holds.
 class PartitionSchedule {
  public:
-  PartitionSchedule(const PartitionLayout& layout, bool stationary = true)
-      : layout_(layout), stationary_(stationary) {}
+  PartitionSchedule(const PartitionLayout& layout, bool stationary = true,
+                    double anchor = 0.0)
+      : layout_(layout), stationary_(stationary), anchor_(anchor) {}
 
   const PartitionLayout& layout() const { return layout_; }
+  double anchor() const { return anchor_; }
 
   /// Start time of stream k.
   double StreamStart(int64_t k) const {
-    return static_cast<double>(k) * layout_.restart_period();
+    return anchor_ + static_cast<double>(k) * layout_.restart_period();
   }
 
   /// The read position ("lead") of stream k at time t: t − k·T. Callers
@@ -46,9 +53,9 @@ class PartitionSchedule {
   /// per-event path, alongside FindCoveringStream.)
   double NextRestart(double t) const {
     const double period = layout_.restart_period();
-    double k = std::ceil(t / period - 1e-12);
+    double k = std::ceil((t - anchor_) / period - 1e-12);
     if (!stationary_ && k < 0) k = 0;
-    return k * period;
+    return anchor_ + k * period;
   }
 
   /// \brief Stream whose buffer covers movie position p at time t, if any.
@@ -69,7 +76,7 @@ class PartitionSchedule {
     // l still cover p <= l). k ∈ [(t − position − W)/T, (t − position)/T];
     // take the largest such k (youngest stream, smallest lead).
     const int64_t k = static_cast<int64_t>(
-        std::floor((t - position) / period + 1e-12));
+        std::floor((t - anchor_ - position) / period + 1e-12));
     const double lead = StreamLead(k, t);
     if (lead >= position - 1e-12 && lead <= position + window + 1e-12 &&
         StreamExists(k)) {
@@ -89,12 +96,22 @@ class PartitionSchedule {
   /// oldest first. Size is at most n + 1.
   std::vector<int64_t> ActiveStreams(double t) const;
 
+  /// Phase of movie position `pos` against the window pattern at time t:
+  /// the result is in [0, T); values <= W mean "inside a window".
+  double PatternPhase(double t, double pos) const {
+    const double period = layout_.restart_period();
+    double g = std::fmod(t - anchor_ - pos, period);
+    if (g < 0.0) g += period;
+    return g;
+  }
+
  private:
   /// Smallest stream index that exists (0 unless stationary).
   bool StreamExists(int64_t k) const { return stationary_ || k >= 0; }
 
   PartitionLayout layout_;
   bool stationary_;
+  double anchor_;
 };
 
 }  // namespace vod

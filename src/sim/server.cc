@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <functional>
 #include <iomanip>
 #include <memory>
 #include <sstream>
@@ -18,6 +19,40 @@ namespace {
 // every movie world's random streams untouched.
 constexpr uint64_t kMovieWorldStream = 3;
 constexpr uint64_t kFaultStream = 4;
+
+// The controller's window onto the running server: layout commits go
+// through MovieWorld::ApplyLayout (re-anchor, never preempt), and overload
+// pressure is derived from the degradation ladder rung. Without a ladder
+// (manager == nullptr) the server never reports pressure, so the traffic
+// policy admits everything.
+class WorldControllerHost final : public ControllerHost {
+ public:
+  WorldControllerHost(std::vector<std::unique_ptr<MovieWorld>>* worlds,
+                      const ReserveManager* manager)
+      : worlds_(worlds), manager_(manager) {}
+
+  void CommitLayout(int32_t movie, double t,
+                    const PartitionLayout& layout) override {
+    (*worlds_)[static_cast<size_t>(movie)]->ApplyLayout(t, layout);
+  }
+  const PartitionLayout& LiveLayout(int32_t movie) const override {
+    return (*worlds_)[static_cast<size_t>(movie)]->layout();
+  }
+  bool ReclaimBlocked() const override {
+    return manager_ != nullptr &&
+           manager_->level() >= DegradationLevel::kReclaim;
+  }
+  int PressureLevel() const override {
+    if (manager_ == nullptr) return 0;
+    if (manager_->level() >= DegradationLevel::kReclaim) return 2;
+    if (manager_->level() >= DegradationLevel::kShedVcr) return 1;
+    return 0;
+  }
+
+ private:
+  std::vector<std::unique_ptr<MovieWorld>>* worlds_;
+  const ReserveManager* manager_;
+};
 }  // namespace
 
 std::string ServerReport::ToString() const {
@@ -81,6 +116,9 @@ std::string ServerReport::ToString() const {
          << " capacity=" << tr.capacity << "\n";
     }
   }
+  if (controller_enabled && controller.Active()) {
+    os << "  controller: " << controller.ToString() << "\n";
+  }
   os << "}";
   return os.str();
 }
@@ -140,6 +178,9 @@ Status ValidateServerInputs(const std::vector<ServerMovieSpec>& movies,
     VOD_RETURN_IF_ERROR(options.faults.profile.Validate());
   }
   VOD_RETURN_IF_ERROR(options.audit.Validate());
+  if (options.controller.enabled) {
+    VOD_RETURN_IF_ERROR(options.controller.Validate());
+  }
   return Status::OK();
 }
 
@@ -181,15 +222,38 @@ Result<ServerReport> RunServerSimulation(
   std::vector<std::unique_ptr<MovieWorld>> worlds;
   metrics.reserve(movies.size());
   worlds.reserve(movies.size());
+
+  // The control plane is created before the worlds so it can be wired in
+  // as their admission gate; its host reads `worlds` only after they exist.
+  std::unique_ptr<WorldControllerHost> ctrl_host;
+  std::unique_ptr<Controller> controller;
+  if (options.controller.enabled) {
+    ctrl_host = std::make_unique<WorldControllerHost>(&worlds, manager.get());
+    std::vector<ControllerMovie> ctrl_movies;
+    ctrl_movies.reserve(movies.size());
+    for (const ServerMovieSpec& spec : movies) {
+      ControllerMovie cm;
+      cm.movie_length = spec.layout.movie_length();
+      cm.baseline_rate = spec.arrival_rate_per_minute;
+      ctrl_movies.push_back(cm);
+    }
+    controller = std::make_unique<Controller>(options.controller,
+                                              std::move(ctrl_movies),
+                                              ctrl_host.get(),
+                                              options.obs.event_log);
+  }
+
   for (size_t i = 0; i < movies.size(); ++i) {
     const ServerMovieSpec& spec = movies[i];
     MovieWorldConfig config;
     config.mean_interarrival_minutes = 1.0 / spec.arrival_rate_per_minute;
+    config.arrivals = spec.arrivals;
     config.behavior = spec.behavior;
     config.stationary_start = options.stationary_start;
     config.piggyback = options.piggyback;
     config.event_log = options.obs.event_log;
     config.movie_id = static_cast<int32_t>(i);
+    config.gate = controller.get();
     VOD_RETURN_IF_ERROR(ValidateMovieWorldInputs(options.rates, config));
 
     metrics.push_back(
@@ -199,6 +263,7 @@ Result<ServerReport> RunServerSimulation(
         base_rng.MakeChild(kMovieWorldStream, i), &queue, supplier,
         metrics.back().get()));
   }
+  if (controller != nullptr) controller->Start(0.0);
 
   // Forced reclaim sweeps the worlds round-robin, one stream at a time, so
   // no single movie absorbs the whole loss.
@@ -248,6 +313,26 @@ Result<ServerReport> RunServerSimulation(
     g_level = registry->AddGauge("server_degradation_level",
                                  "degradation ladder rung (0 = normal)");
   }
+  Gauge* g_ctrl_epoch = nullptr;
+  Gauge* g_ctrl_plan_age = nullptr;
+  Gauge* g_ctrl_migrations = nullptr;
+  Gauge* g_ctrl_rollbacks = nullptr;
+  Gauge* g_ctrl_alarms = nullptr;
+  Gauge* g_ctrl_sheds = nullptr;
+  if (registry != nullptr && controller != nullptr) {
+    g_ctrl_epoch = registry->AddGauge("controller_epoch",
+                                      "committed buffer-plan epoch");
+    g_ctrl_plan_age = registry->AddGauge(
+        "controller_plan_age", "minutes since the last committed re-plan");
+    g_ctrl_migrations = registry->AddGauge(
+        "controller_migrations", "migrations started over the run");
+    g_ctrl_rollbacks = registry->AddGauge("controller_rollbacks",
+                                          "migrations rolled back");
+    g_ctrl_alarms = registry->AddGauge("controller_drift_alarms",
+                                       "Page-Hinkley drift alarms latched");
+    g_ctrl_sheds = registry->AddGauge(
+        "controller_sheds", "arrivals shed by the admission policy");
+  }
 
   // Ladder transitions surface on the event bus as they are recorded. Once
   // the stored transition log caps, fall back to diffing the live rung.
@@ -283,6 +368,32 @@ Result<ServerReport> RunServerSimulation(
             holds += world->dedicated_streams_held();
           }
           audit_snapshot.sum_world_holds = holds;
+          if (controller != nullptr) {
+            // Migrations move partition geometry at runtime: refresh the
+            // buffer view from the live layouts and fill the resource
+            // ledger for the conservation laws.
+            auto& cs = audit_snapshot.controller;
+            cs.enabled = true;
+            cs.sum_live_streams = 0;
+            cs.sum_live_buffer = 0.0;
+            for (size_t i = 0; i < worlds.size(); ++i) {
+              const PartitionLayout& live = worlds[i]->layout();
+              cs.sum_live_streams += live.streams();
+              cs.sum_live_buffer += live.buffer_minutes();
+              audit_snapshot.movies[i] =
+                  BuildMovieAuditBuffers(movies[i].name, live);
+            }
+            const MigrationEngine& engine = controller->engine();
+            cs.stream_budget = engine.stream_budget();
+            cs.buffer_budget = engine.buffer_budget();
+            cs.free_streams = engine.free_streams();
+            cs.free_buffer = engine.free_buffer();
+            cs.inflight_streams = engine.inflight_streams();
+            cs.inflight_buffer = engine.inflight_buffer();
+            cs.epoch = controller->epoch();
+            cs.steps_applied = engine.steps_applied();
+            cs.steps_planned = engine.steps_planned();
+          }
           auditor->Audit(audit_snapshot);
         }
       }
@@ -316,6 +427,17 @@ Result<ServerReport> RunServerSimulation(
         } else {
           g_capacity->Set(static_cast<double>(finite->capacity()));
         }
+        if (controller != nullptr) {
+          const ControllerReport cr = controller->Report();
+          g_ctrl_epoch->Set(static_cast<double>(cr.final_epoch));
+          g_ctrl_plan_age->Set(
+              cr.last_commit_time >= 0.0 ? t - cr.last_commit_time : t);
+          g_ctrl_migrations->Set(
+              static_cast<double>(cr.migrations_started));
+          g_ctrl_rollbacks->Set(static_cast<double>(cr.rollbacks));
+          g_ctrl_alarms->Set(static_cast<double>(cr.drift_alarms));
+          g_ctrl_sheds->Set(static_cast<double>(cr.admission_sheds));
+        }
         registry->MaybeSample(t);
       }
     });
@@ -333,9 +455,11 @@ Result<ServerReport> RunServerSimulation(
                                      options.faults.disks),
         options.faults.profile, base_rng.MakeChild(kFaultStream, 0));
     ReserveManager* mgr = manager.get();
+    Controller* ctrl = controller.get();
     for (const FaultEvent& ev : injector.Schedule(horizon)) {
       queue.Schedule(ev.time,
-                     [mgr, ev, &disk_failures, &disk_repairs, event_log] {
+                     [mgr, ctrl, ev, &disk_failures, &disk_repairs,
+                      event_log] {
                        if (ev.failure) {
                          ++disk_failures;
                        } else {
@@ -349,7 +473,31 @@ Result<ServerReport> RunServerSimulation(
                              static_cast<double>(ev.capacity_after));
                        }
                        mgr->SetCapacity(ev.time, ev.capacity_after);
+                       // A capacity collapse mid-migration aborts it; the
+                       // controller checks the ladder after the change.
+                       if (ctrl != nullptr) ctrl->OnCapacityChange(ev.time);
                      });
+    }
+  }
+
+  // The controller's decision clock: a self-rescheduling wake-up. OnWakeup
+  // returns the next time it needs (poll cadence, a migration backoff, or
+  // a drain landing — always > t), so the chain never busy-loops.
+  std::function<void(double)> controller_pump;
+  if (controller != nullptr) {
+    Controller* ctrl = controller.get();
+    controller_pump = [&queue, &controller_pump, ctrl, horizon](double t) {
+      const double next = ctrl->OnWakeup(t);
+      if (next < horizon) {
+        queue.Schedule(next, [&controller_pump, next] {
+          controller_pump(next);
+        });
+      }
+    };
+    const double first = options.controller.poll_interval_minutes;
+    if (first < horizon) {
+      queue.Schedule(first,
+                     [&controller_pump, first] { controller_pump(first); });
     }
   }
 
@@ -425,6 +573,10 @@ Result<ServerReport> RunServerSimulation(
     rz.mean_recovery_minutes = manager->recovery_times().mean();
     rz.max_recovery_minutes =
         rz.recovery_episodes > 0 ? manager->recovery_times().max() : 0.0;
+  }
+  if (controller != nullptr) {
+    report.controller_enabled = true;
+    report.controller = controller->Report();
   }
   return report;
 }

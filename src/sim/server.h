@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "ctrl/controller.h"
 #include "sim/degradation.h"
 #include "sim/movie_world.h"
 #include "sim/simulator.h"
@@ -32,7 +33,13 @@ namespace vod {
 struct ServerMovieSpec {
   std::string name;
   PartitionLayout layout;
+  /// Nominal (forecast) rate the layout was sized for. Always required —
+  /// it anchors the controller's drift baseline and Little's-law sizing —
+  /// even when `arrivals` overrides the actual process.
   double arrival_rate_per_minute = 0.5;
+  /// Optional non-homogeneous arrival process (flash crowds, diurnal
+  /// waves); null = homogeneous Poisson at the nominal rate.
+  ArrivalProcessPtr arrivals;
   VcrBehavior behavior;
 };
 
@@ -74,6 +81,12 @@ struct ServerOptions {
   /// each movie's index) and cadenced metrics sampling. Telemetry-only —
   /// cannot change a report byte.
   ObsOptions obs;
+  /// Dynamic buffer-reallocation control plane (ctrl/controller.h):
+  /// per-movie rate estimation, drift-triggered re-planning, staged
+  /// migration, and selective admission shedding. Under zero drift an
+  /// enabled controller never acts, and the report stays byte-identical to
+  /// a controller-off run.
+  ControllerOptions controller;
 };
 
 /// Resilience accounting for a run with faults and/or degradation enabled.
@@ -138,6 +151,12 @@ struct ServerReport {
   /// Populated when options.faults.enabled || options.degradation.enabled.
   bool resilience_enabled = false;
   ResilienceReport resilience;
+
+  /// Populated when options.controller.enabled. ToString prints the block
+  /// only when the controller actually acted (ControllerReport::Active()),
+  /// preserving zero-drift byte-identity with controller-off runs.
+  bool controller_enabled = false;
+  ControllerReport controller;
 
   /// Full-precision deterministic serialization of every field (including
   /// the transition log); two runs with identical options must produce

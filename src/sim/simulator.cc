@@ -86,6 +86,7 @@ Result<SimulationReport> RunSimulation(const PartitionLayout& layout,
   config.stationary_start = options.stationary_start;
   config.piggyback = options.piggyback;
   config.trace = options.trace;
+  config.gate = options.gate;
   config.patience = options.patience;
   config.event_log = options.obs.event_log;
   VOD_RETURN_IF_ERROR(ValidateMovieWorldInputs(rates, config));

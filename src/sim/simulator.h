@@ -19,6 +19,7 @@
 #include "common/rng.h"
 #include "common/status.h"
 #include "core/partition_layout.h"
+#include "ctrl/admission_gate.h"
 #include "core/piggyback.h"
 #include "core/types.h"
 #include "obs/observability.h"
@@ -52,6 +53,10 @@ struct SimulationOptions {
   PiggybackOptions piggyback;
   /// Optional VCR activity log (see sim/trace.h); must outlive the run.
   VcrTrace* trace = nullptr;
+  /// Optional pre-admission gate (ctrl/admission_gate.h): observes every
+  /// arrival and may shed it before a viewer id is allocated. Must outlive
+  /// the run; null = admit everything (the default).
+  AdmissionGate* gate = nullptr;
   /// Optional viewer patience (session lifetime from playback start);
   /// null = everyone watches to the end.
   DistributionPtr patience;

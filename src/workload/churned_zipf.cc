@@ -1,0 +1,98 @@
+#include "workload/churned_zipf.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "common/check.h"
+
+namespace vod {
+
+Status ChurnedZipfOptions::Validate() const {
+  if (num_titles < 1) {
+    return Status::InvalidArgument("churned Zipf needs at least one title");
+  }
+  if (exponent < 0.0) {
+    return Status::InvalidArgument("Zipf exponent must be non-negative");
+  }
+  if (!(epoch_minutes > 0.0)) {
+    return Status::InvalidArgument("epoch length must be positive");
+  }
+  if (num_epochs < 1) {
+    return Status::InvalidArgument("need at least one epoch");
+  }
+  if (swap_fraction < 0.0 || swap_fraction > 1.0) {
+    return Status::InvalidArgument("swap fraction must lie in [0, 1]");
+  }
+  if (inject_every_epochs < 0) {
+    return Status::InvalidArgument("injection cadence must be non-negative");
+  }
+  return Status::OK();
+}
+
+Result<ChurnedZipf> ChurnedZipf::Create(const ChurnedZipfOptions& options) {
+  if (Status status = options.Validate(); !status.ok()) return status;
+  auto zipf = ZipfDistribution::Create(options.num_titles, options.exponent);
+  if (!zipf.ok()) return zipf.status();
+
+  ChurnedZipf churned(options, *std::move(zipf));
+  const auto n = static_cast<size_t>(options.num_titles);
+  Rng rng(options.churn_seed);
+
+  std::vector<int32_t> current(n);
+  for (size_t i = 0; i < n; ++i) current[i] = static_cast<int32_t>(i);
+  churned.next_title_ = static_cast<int32_t>(n);
+
+  churned.title_by_rank_.reserve(static_cast<size_t>(options.num_epochs));
+  churned.title_by_rank_.push_back(current);
+  const auto swaps = static_cast<int>(
+      std::llround(options.swap_fraction * static_cast<double>(n) / 2.0));
+  for (int epoch = 1; epoch < options.num_epochs; ++epoch) {
+    for (int s = 0; s < swaps; ++s) {
+      const auto a = static_cast<size_t>(rng.UniformInt(n));
+      const auto b = static_cast<size_t>(rng.UniformInt(n));
+      std::swap(current[a], current[b]);
+    }
+    if (options.inject_every_epochs > 0 &&
+        epoch % options.inject_every_epochs == 0) {
+      // New release enters at rank 1; everyone shifts down, tail retires.
+      current.pop_back();
+      current.insert(current.begin(), churned.next_title_++);
+    }
+    churned.title_by_rank_.push_back(current);
+  }
+  return churned;
+}
+
+int ChurnedZipf::EpochAt(double t) const {
+  if (!(t > 0.0)) return 0;
+  const double raw = std::floor(t / options_.epoch_minutes);
+  const double last = static_cast<double>(num_epochs() - 1);
+  return static_cast<int>(std::min(raw, last));
+}
+
+int32_t ChurnedZipf::TitleAtRank(int epoch, int rank) const {
+  VOD_CHECK(epoch >= 0 && epoch < num_epochs());
+  VOD_CHECK(rank >= 1 && rank <= options_.num_titles);
+  return title_by_rank_[static_cast<size_t>(epoch)]
+                       [static_cast<size_t>(rank - 1)];
+}
+
+int ChurnedZipf::RankOf(int epoch, int32_t title) const {
+  VOD_CHECK(epoch >= 0 && epoch < num_epochs());
+  const auto& ranks = title_by_rank_[static_cast<size_t>(epoch)];
+  const auto it = std::find(ranks.begin(), ranks.end(), title);
+  if (it == ranks.end()) return 0;
+  return static_cast<int>(it - ranks.begin()) + 1;
+}
+
+double ChurnedZipf::TitleProbability(int epoch, int32_t title) const {
+  const int rank = RankOf(epoch, title);
+  return rank == 0 ? 0.0 : zipf_.Probability(rank);
+}
+
+int32_t ChurnedZipf::SampleTitle(double t, Rng* rng) const {
+  return TitleAtRank(EpochAt(t), zipf_.Sample(rng));
+}
+
+}  // namespace vod

@@ -1,0 +1,104 @@
+// Zipf popularity with rank churn and new-title injection.
+//
+// A static Zipf catalog misses exactly the dynamics the reallocation
+// controller exists for: titles trade ranks over time (popularity drift)
+// and new releases enter at the head of the distribution. ChurnedZipf keeps
+// the marginal rank distribution Zipf(s) at every instant — the *shape* of
+// popularity is stable — while the title occupying each rank changes across
+// epochs. Per epoch boundary it applies a seeded batch of random rank
+// transpositions, and every `inject_every_epochs` boundaries a brand-new
+// title enters at rank 1 (every incumbent shifts down one rank; the tail
+// title leaves the catalog).
+//
+// The whole epoch schedule is precomputed at Create() from its own seed, so
+// sampling consults the caller's Rng for the Zipf draw only: two simulations
+// sharing a generator see identical churn regardless of how many samples
+// each takes.
+
+#ifndef VOD_WORKLOAD_CHURNED_ZIPF_H_
+#define VOD_WORKLOAD_CHURNED_ZIPF_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "workload/zipf.h"
+
+namespace vod {
+
+/// Knobs for the churned catalog.
+struct ChurnedZipfOptions {
+  /// Catalog size (number of concurrently offered titles) and Zipf shape.
+  int num_titles = 100;
+  double exponent = 1.0;
+
+  /// Epoch length in minutes; the title->rank map is constant within an
+  /// epoch and permuted at each boundary.
+  double epoch_minutes = 720.0;
+
+  /// Number of epochs to precompute. Times past the last boundary keep the
+  /// final epoch's map.
+  int num_epochs = 16;
+
+  /// Fraction of titles touched by rank transpositions per boundary; each
+  /// transposition swaps two uniformly chosen ranks. 0 disables churn.
+  double swap_fraction = 0.1;
+
+  /// Every this many boundaries, a new title is injected at rank 1 and the
+  /// tail title retires. 0 disables injection.
+  int inject_every_epochs = 4;
+
+  /// Seed for the churn schedule (independent of any simulation seed).
+  uint64_t churn_seed = 1997;
+
+  Status Validate() const;
+};
+
+/// \brief Precomputed churned-Zipf popularity process.
+///
+/// Titles are stable integer ids: the initial catalog is 0..num_titles-1
+/// and each injected title takes the next id, so ids never recycle and a
+/// drifting title can be followed across epochs.
+class ChurnedZipf {
+ public:
+  static Result<ChurnedZipf> Create(const ChurnedZipfOptions& options);
+
+  /// Epoch index for time t (minutes), clamped to the precomputed range.
+  int EpochAt(double t) const;
+
+  /// Title occupying `rank` (1-based) during `epoch`.
+  int32_t TitleAtRank(int epoch, int rank) const;
+
+  /// Rank of `title` during `epoch`, or 0 if it is not in the catalog then.
+  int RankOf(int epoch, int32_t title) const;
+
+  /// Probability that an arrival at `epoch` requests `title` (0 for titles
+  /// outside that epoch's catalog).
+  double TitleProbability(int epoch, int32_t title) const;
+
+  /// Samples the requested title for an arrival at time t: one Zipf rank
+  /// draw from `rng`, mapped through the epoch's permutation.
+  int32_t SampleTitle(double t, Rng* rng) const;
+
+  /// Total distinct titles ever offered (initial catalog + injections).
+  int32_t TotalTitles() const { return next_title_; }
+
+  int num_epochs() const { return static_cast<int>(title_by_rank_.size()); }
+  const ChurnedZipfOptions& options() const { return options_; }
+  const ZipfDistribution& rank_distribution() const { return zipf_; }
+
+ private:
+  ChurnedZipf(ChurnedZipfOptions options, ZipfDistribution zipf)
+      : options_(options), zipf_(std::move(zipf)) {}
+
+  ChurnedZipfOptions options_;
+  ZipfDistribution zipf_;
+  /// title_by_rank_[epoch][rank - 1] = title id at that rank.
+  std::vector<std::vector<int32_t>> title_by_rank_;
+  int32_t next_title_ = 0;
+};
+
+}  // namespace vod
+
+#endif  // VOD_WORKLOAD_CHURNED_ZIPF_H_

@@ -87,8 +87,8 @@ TEST(ErlangBTest, PredictsServerSimulatorRefusals) {
   auto layout_a = PartitionLayout::FromBuffer(120.0, 40, 60.0);
   auto layout_b = PartitionLayout::FromBuffer(90.0, 30, 45.0);
   ASSERT_TRUE(layout_a.ok() && layout_b.ok());
-  movies.push_back({"a", *layout_a, 0.5, paper::Fig7MixedBehavior()});
-  movies.push_back({"b", *layout_b, 0.33, paper::Fig7MixedBehavior()});
+  movies.push_back({"a", *layout_a, 0.5, nullptr, paper::Fig7MixedBehavior()});
+  movies.push_back({"b", *layout_b, 0.33, nullptr, paper::Fig7MixedBehavior()});
 
   // Offered load from per-movie unlimited runs.
   double offered = 0.0;

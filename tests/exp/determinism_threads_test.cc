@@ -68,8 +68,8 @@ std::vector<std::vector<std::string>> RunServerGrid(int threads) {
   const auto layout_b = PartitionLayout::FromBuffer(90.0, 30, 45.0);
   VOD_CHECK_OK(layout_a.status());
   VOD_CHECK_OK(layout_b.status());
-  movies.push_back({"top-1", *layout_a, 0.5, paper::Fig7MixedBehavior()});
-  movies.push_back({"top-2", *layout_b, 0.33, paper::Fig7MixedBehavior()});
+  movies.push_back({"top-1", *layout_a, 0.5, nullptr, paper::Fig7MixedBehavior()});
+  movies.push_back({"top-2", *layout_b, 0.33, nullptr, paper::Fig7MixedBehavior()});
 
   const std::vector<int64_t> reserves = {20, 40, 80};
   ExperimentOptions options;

@@ -299,8 +299,8 @@ TEST(AuditIntegrationTest, HealthyServerRunWithDegradationPassesAudit) {
   auto layout = PartitionLayout::FromBuffer(120.0, 6, 60.0);
   ASSERT_TRUE(layout.ok());
   std::vector<ServerMovieSpec> movies;
-  movies.push_back({"a", *layout, 0.5, {}});
-  movies.push_back({"b", *layout, 0.25, {}});
+  movies.push_back({"a", *layout, 0.5, nullptr, {}});
+  movies.push_back({"b", *layout, 0.25, nullptr, {}});
   ServerOptions options;
   options.dynamic_stream_reserve = 20;
   options.warmup_minutes = 100.0;
@@ -341,7 +341,7 @@ TEST(ServerValidationTest, RejectsBadInputsWithOneLineDiagnostics) {
   auto layout = PartitionLayout::FromBuffer(120.0, 4, 40.0);
   ASSERT_TRUE(layout.ok());
   std::vector<ServerMovieSpec> movies;
-  movies.push_back({"m", *layout, 0.5, {}});
+  movies.push_back({"m", *layout, 0.5, nullptr, {}});
   ServerOptions options;
 
   EXPECT_TRUE(ValidateServerInputs(movies, options).ok());

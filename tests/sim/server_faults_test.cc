@@ -18,9 +18,9 @@ PartitionLayout MakeLayout(double l, int n, double b) {
 
 std::vector<ServerMovieSpec> TwoMovies() {
   std::vector<ServerMovieSpec> movies;
-  movies.push_back({"alpha", MakeLayout(120.0, 40, 80.0), 0.5,
+  movies.push_back({"alpha", MakeLayout(120.0, 40, 80.0), 0.5, nullptr,
                     paper::Fig7MixedBehavior()});
-  movies.push_back({"beta", MakeLayout(90.0, 30, 45.0), 0.25,
+  movies.push_back({"beta", MakeLayout(90.0, 30, 45.0), 0.25, nullptr,
                     paper::Fig7SingleOpBehavior(VcrOp::kFastForward)});
   return movies;
 }

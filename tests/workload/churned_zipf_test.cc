@@ -1,0 +1,165 @@
+#include "workload/churned_zipf.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace vod {
+namespace {
+
+ChurnedZipfOptions BaseOptions() {
+  ChurnedZipfOptions options;
+  options.num_titles = 50;
+  options.exponent = 1.0;
+  options.epoch_minutes = 100.0;
+  options.num_epochs = 12;
+  options.swap_fraction = 0.2;
+  options.inject_every_epochs = 3;
+  options.churn_seed = 42;
+  return options;
+}
+
+TEST(ChurnedZipfTest, EveryEpochIsAPermutationOfACatalog) {
+  const auto churned = ChurnedZipf::Create(BaseOptions());
+  ASSERT_TRUE(churned.ok());
+  for (int epoch = 0; epoch < churned->num_epochs(); ++epoch) {
+    std::set<int32_t> seen;
+    for (int rank = 1; rank <= 50; ++rank) {
+      seen.insert(churned->TitleAtRank(epoch, rank));
+    }
+    // 50 distinct titles per epoch — churn and injection never duplicate or
+    // drop a rank.
+    EXPECT_EQ(seen.size(), 50u) << "epoch " << epoch;
+    for (int32_t title : seen) {
+      EXPECT_GE(title, 0);
+      EXPECT_LT(title, churned->TotalTitles());
+      EXPECT_EQ(churned->TitleAtRank(epoch, churned->RankOf(epoch, title)),
+                title);
+    }
+  }
+}
+
+TEST(ChurnedZipfTest, ZeroChurnKeepsTheIdentityMapForever) {
+  ChurnedZipfOptions options = BaseOptions();
+  options.swap_fraction = 0.0;
+  options.inject_every_epochs = 0;
+  const auto churned = ChurnedZipf::Create(options);
+  ASSERT_TRUE(churned.ok());
+  EXPECT_EQ(churned->TotalTitles(), 50);
+  for (int epoch = 0; epoch < churned->num_epochs(); ++epoch) {
+    for (int rank = 1; rank <= 50; ++rank) {
+      EXPECT_EQ(churned->TitleAtRank(epoch, rank), rank - 1);
+    }
+  }
+}
+
+TEST(ChurnedZipfTest, ChurnActuallyMovesRanksAcrossEpochs) {
+  const auto churned = ChurnedZipf::Create(BaseOptions());
+  ASSERT_TRUE(churned.ok());
+  int moved = 0;
+  for (int rank = 1; rank <= 50; ++rank) {
+    if (churned->TitleAtRank(0, rank) !=
+        churned->TitleAtRank(churned->num_epochs() - 1, rank)) {
+      ++moved;
+    }
+  }
+  EXPECT_GT(moved, 10);
+}
+
+TEST(ChurnedZipfTest, InjectionAddsNewTitlesAtRankOne) {
+  const auto churned = ChurnedZipf::Create(BaseOptions());
+  ASSERT_TRUE(churned.ok());
+  // 12 epochs, injection at epochs 3, 6, 9 -> 3 new titles.
+  EXPECT_EQ(churned->TotalTitles(), 53);
+  EXPECT_EQ(churned->TitleAtRank(3, 1), 50);
+  EXPECT_EQ(churned->TitleAtRank(6, 1), 51);
+  EXPECT_EQ(churned->TitleAtRank(9, 1), 52);
+  // The injected title was not in the catalog the epoch before.
+  EXPECT_EQ(churned->RankOf(2, 50), 0);
+  EXPECT_EQ(churned->TitleProbability(2, 50), 0.0);
+  EXPECT_GT(churned->TitleProbability(3, 50), 0.0);
+}
+
+TEST(ChurnedZipfTest, EpochIndexingClampsToPrecomputedRange) {
+  const auto churned = ChurnedZipf::Create(BaseOptions());
+  ASSERT_TRUE(churned.ok());
+  EXPECT_EQ(churned->EpochAt(-5.0), 0);
+  EXPECT_EQ(churned->EpochAt(0.0), 0);
+  EXPECT_EQ(churned->EpochAt(99.9), 0);
+  EXPECT_EQ(churned->EpochAt(100.0), 1);
+  EXPECT_EQ(churned->EpochAt(1e9), 11);
+}
+
+TEST(ChurnedZipfTest, ScheduleIsDeterministicInTheChurnSeed) {
+  const auto a = ChurnedZipf::Create(BaseOptions());
+  const auto b = ChurnedZipf::Create(BaseOptions());
+  ChurnedZipfOptions other = BaseOptions();
+  other.churn_seed = 43;
+  const auto c = ChurnedZipf::Create(other);
+  ASSERT_TRUE(a.ok() && b.ok() && c.ok());
+  bool differs = false;
+  for (int epoch = 0; epoch < a->num_epochs(); ++epoch) {
+    for (int rank = 1; rank <= 50; ++rank) {
+      EXPECT_EQ(a->TitleAtRank(epoch, rank), b->TitleAtRank(epoch, rank));
+      differs |= a->TitleAtRank(epoch, rank) != c->TitleAtRank(epoch, rank);
+    }
+  }
+  EXPECT_TRUE(differs);
+}
+
+// KS-style goodness of fit: within any single epoch the sampled *rank*
+// distribution must match Zipf(s) exactly — churn permutes which title holds
+// a rank, never the rank law itself. The discrete KS statistic is
+// conservative against continuous critical values, so the alpha = 0.01
+// threshold 1.63/sqrt(n) is safe.
+TEST(ChurnedZipfTest, SampledRanksMatchZipfWithinAnEpoch) {
+  const auto churned = ChurnedZipf::Create(BaseOptions());
+  ASSERT_TRUE(churned.ok());
+  Rng rng(7);
+  const int trials = 100000;
+  for (int epoch : {0, 7}) {
+    std::vector<int> counts(51, 0);
+    const double t = (epoch + 0.5) * 100.0;
+    for (int i = 0; i < trials; ++i) {
+      const int32_t title = churned->SampleTitle(t, &rng);
+      const int rank = churned->RankOf(epoch, title);
+      ASSERT_GE(rank, 1);
+      counts[rank]++;
+    }
+    double cumulative = 0.0;
+    double d_stat = 0.0;
+    for (int rank = 1; rank <= 50; ++rank) {
+      cumulative += static_cast<double>(counts[rank]) / trials;
+      d_stat = std::max(
+          d_stat, std::abs(cumulative -
+                           churned->rank_distribution()
+                               .CumulativeProbability(rank)));
+    }
+    EXPECT_LT(d_stat, 1.63 / std::sqrt(static_cast<double>(trials)))
+        << "epoch " << epoch;
+  }
+}
+
+TEST(ChurnedZipfTest, RejectsBadOptions) {
+  ChurnedZipfOptions options = BaseOptions();
+  options.num_titles = 0;
+  EXPECT_TRUE(ChurnedZipf::Create(options).status().IsInvalidArgument());
+  options = BaseOptions();
+  options.epoch_minutes = 0.0;
+  EXPECT_TRUE(ChurnedZipf::Create(options).status().IsInvalidArgument());
+  options = BaseOptions();
+  options.swap_fraction = 1.5;
+  EXPECT_TRUE(ChurnedZipf::Create(options).status().IsInvalidArgument());
+  options = BaseOptions();
+  options.num_epochs = 0;
+  EXPECT_TRUE(ChurnedZipf::Create(options).status().IsInvalidArgument());
+  options = BaseOptions();
+  options.inject_every_epochs = -1;
+  EXPECT_TRUE(ChurnedZipf::Create(options).status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace vod

@@ -1,0 +1,128 @@
+#!/usr/bin/env python3
+"""Compares a fresh perf-baseline document against the committed reference.
+
+Consumes two JSON documents produced by tools/make_bench_baseline.py and
+prints a per-benchmark comparison of the throughput metrics (ns_per_event
+when the bench exports an events_per_second counter, ns_per_item otherwise,
+falling back to real_time_ns). Exits non-zero when any benchmark regresses
+by more than --threshold (a ratio: 1.5 = candidate may be up to 50% slower)
+or when peak RSS grows by more than --rss-threshold.
+
+The default thresholds are deliberately loose: shared CI runners are noisy,
+so the gate is meant to catch catastrophic regressions (an accidental
+O(n^2), a debug build sneaking into Release) rather than single-digit
+percentages — those are for a quiet local machine with --threshold=1.1.
+
+Benchmarks present on only one side are reported but never fatal: the gate
+must not brick CI when a bench is added or renamed.
+
+Stdlib only. Usage:
+
+    tools/compare_bench.py BENCH_simulator.json build-rel/BENCH_simulator.json
+    tools/compare_bench.py --threshold=1.1 baseline.json candidate.json
+"""
+
+import argparse
+import json
+import sys
+
+# Preferred metric per benchmark, first present wins. Lower is better for
+# all of them.
+METRICS = ("ns_per_event", "ns_per_item", "real_time_ns")
+
+
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if "benchmarks" not in doc:
+        raise SystemExit(f"{path}: not a make_bench_baseline.py document")
+    return doc
+
+
+def pick_metric(entry):
+    for metric in METRICS:
+        if metric in entry:
+            return metric, entry[metric]
+    return None, None
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Gate a perf-baseline document against a reference."
+    )
+    parser.add_argument("baseline", help="committed reference JSON")
+    parser.add_argument("candidate", help="freshly generated JSON")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=2.0,
+        help="max allowed slowdown ratio per benchmark (default 2.0)",
+    )
+    parser.add_argument(
+        "--rss-threshold",
+        type=float,
+        default=2.0,
+        help="max allowed peak-RSS growth ratio (default 2.0)",
+    )
+    args = parser.parse_args()
+    if args.threshold <= 0 or args.rss_threshold <= 0:
+        raise SystemExit("thresholds must be positive")
+
+    baseline = load(args.baseline)
+    candidate = load(args.candidate)
+    base_benches = baseline["benchmarks"]
+    cand_benches = candidate["benchmarks"]
+
+    regressions = []
+    width = max((len(n) for n in base_benches), default=20)
+    print(f"{'benchmark':<{width}}  {'metric':>12}  {'base':>12}  "
+          f"{'cand':>12}  {'ratio':>7}")
+    for name in sorted(base_benches):
+        if name not in cand_benches:
+            print(f"{name:<{width}}  (missing from candidate — skipped)")
+            continue
+        metric, base_value = pick_metric(base_benches[name])
+        if metric is None or base_value <= 0:
+            print(f"{name:<{width}}  (no comparable metric — skipped)")
+            continue
+        cand_value = cand_benches[name].get(metric)
+        if cand_value is None or cand_value <= 0:
+            print(f"{name:<{width}}  ({metric} missing from candidate — "
+                  "skipped)")
+            continue
+        ratio = cand_value / base_value
+        flag = ""
+        if ratio > args.threshold:
+            flag = "  REGRESSED"
+            regressions.append((name, metric, ratio))
+        print(f"{name:<{width}}  {metric:>12}  {base_value:12.1f}  "
+              f"{cand_value:12.1f}  {ratio:7.2f}{flag}")
+    for name in sorted(set(cand_benches) - set(base_benches)):
+        print(f"{name:<{width}}  (new — not in baseline)")
+
+    base_rss = baseline.get("peak_rss_kb", 0)
+    cand_rss = candidate.get("peak_rss_kb", 0)
+    if base_rss and cand_rss:
+        rss_ratio = cand_rss / base_rss
+        flag = ""
+        if rss_ratio > args.rss_threshold:
+            flag = "  REGRESSED"
+            regressions.append(("peak_rss_kb", "peak_rss_kb", rss_ratio))
+        print(f"{'peak RSS':<{width}}  {'kb':>12}  {base_rss:12d}  "
+              f"{cand_rss:12d}  {rss_ratio:7.2f}{flag}")
+
+    if regressions:
+        print(file=sys.stderr)
+        for name, metric, ratio in regressions:
+            print(
+                f"REGRESSION: {name} {metric} is {ratio:.2f}x the baseline "
+                f"(threshold {args.threshold:.2f}x)",
+                file=sys.stderr,
+            )
+        return 1
+    print(f"\nOK: no benchmark exceeded {args.threshold:.2f}x baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,6 +11,7 @@
 // Every subcommand prints an aligned table (add --csv for machine-readable
 // output) and exits non-zero on invalid input.
 
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -341,18 +342,102 @@ Result<ServerFaultOptions> ParseFaultSpec(const std::string& text) {
   return faults;
 }
 
-// Runs the multi-movie server engine for a single movie so the reserve,
-// fault-injection, and degradation knobs apply; prints the full resilience
-// report.
-int SimulateWithFaults(const FlagSet& flags, const PartitionLayout& layout,
-                       const VcrMix& mix, const DistributionPtr& duration,
-                       ObsCli* obs) {
+// Parses --flash 'movie:start:duration:factor' (minutes; factor scales the
+// movie's base rate inside the window).
+struct FlashSpec {
+  long long movie = 0;
+  double start_minutes = 0.0;
+  double duration_minutes = 0.0;
+  double factor = 1.0;
+};
+
+Result<FlashSpec> ParseFlashSpec(const std::string& text) {
+  FlashSpec spec;
+  char trailing = 0;
+  if (std::sscanf(text.c_str(), "%lld:%lf:%lf:%lf%c", &spec.movie,
+                  &spec.start_minutes, &spec.duration_minutes, &spec.factor,
+                  &trailing) != 4) {
+    return Status::InvalidArgument(
+        "--flash must be 'movie:start:duration:factor' (e.g. 0:5000:2000:4), "
+        "got '" + text + "'");
+  }
+  if (spec.movie < 0) {
+    return Status::InvalidArgument("--flash movie index must be >= 0");
+  }
+  return spec;
+}
+
+// Builds the server's movie list: the single configured layout, or a
+// Zipf(--zipf) split of the arrival rate and stream budget across --movies
+// titles (each sized by FromMaxWait against the shared --wait target).
+// --flash overrides one movie's arrival process with a one-shot rate step.
+Result<std::vector<ServerMovieSpec>> ServerMoviesFromFlags(
+    const FlagSet& flags, const PartitionLayout& layout, const VcrMix& mix,
+    const DistributionPtr& duration) {
   VcrBehavior behavior;
   behavior.mix = mix;
   behavior.durations = VcrDurations::AllSame(duration);
   behavior.interactivity = paper::DefaultInteractivity();
-  const ServerMovieSpec movie{"movie", layout,
-                              1.0 / flags.GetDouble("arrival_gap"), behavior};
+  const double total_rate = 1.0 / flags.GetDouble("arrival_gap");
+
+  std::vector<ServerMovieSpec> movies;
+  const int64_t count = flags.GetInt64("movies");
+  if (count < 1) {
+    return Status::InvalidArgument("--movies must be >= 1");
+  }
+  if (count == 1) {
+    movies.push_back(
+        {"movie", layout, total_rate, /*arrivals=*/nullptr, behavior});
+  } else {
+    const double skew = flags.GetDouble("zipf");
+    std::vector<double> weights(static_cast<size_t>(count));
+    double norm = 0.0;
+    for (int64_t i = 0; i < count; ++i) {
+      weights[static_cast<size_t>(i)] =
+          std::pow(static_cast<double>(i + 1), -skew);
+      norm += weights[static_cast<size_t>(i)];
+    }
+    for (int64_t i = 0; i < count; ++i) {
+      const double share = weights[static_cast<size_t>(i)] / norm;
+      const auto streams = static_cast<int64_t>(std::llround(
+          std::max(1.0, static_cast<double>(flags.GetInt64("streams")) *
+                            share)));
+      const auto movie_layout = PartitionLayout::FromMaxWait(
+          flags.GetDouble("length"), streams, flags.GetDouble("wait"));
+      VOD_RETURN_IF_ERROR(movie_layout.status());
+      movies.push_back({"m" + std::to_string(i), *movie_layout,
+                        total_rate * share, /*arrivals=*/nullptr, behavior});
+    }
+  }
+
+  if (flags.WasSet("flash")) {
+    VOD_ASSIGN_OR_RETURN(const FlashSpec flash,
+                         ParseFlashSpec(flags.GetString("flash")));
+    if (flash.movie >= static_cast<long long>(movies.size())) {
+      return Status::InvalidArgument(
+          "--flash movie index " + std::to_string(flash.movie) +
+          " is out of range for " + std::to_string(movies.size()) +
+          " movie(s)");
+    }
+    auto& target = movies[static_cast<size_t>(flash.movie)];
+    VOD_ASSIGN_OR_RETURN(
+        FlashArrivals process,
+        FlashArrivals::Create(target.arrival_rate_per_minute, flash.factor,
+                              flash.start_minutes, flash.duration_minutes));
+    target.arrivals = std::make_shared<FlashArrivals>(process);
+  }
+  return movies;
+}
+
+// Runs the multi-movie server engine — reserve, fault-injection,
+// degradation, and control-plane knobs all apply here. With
+// --replications > 1 the sweep goes through the checkpointable server-grid
+// runner (SIGKILL/resume-safe, byte-identical recombination).
+int SimulateWithFaults(const FlagSet& flags, const PartitionLayout& layout,
+                       const VcrMix& mix, const DistributionPtr& duration,
+                       ObsCli* obs) {
+  const auto movies = ServerMoviesFromFlags(flags, layout, mix, duration);
+  if (!movies.ok()) return Fail(movies.status());
 
   ServerOptions options;
   options.rates = paper::Rates();
@@ -374,12 +459,70 @@ int SimulateWithFaults(const FlagSet& flags, const PartitionLayout& layout,
     options.degradation.queue_deadline_minutes =
         flags.GetDouble("queue_deadline");
   }
+  options.controller.enabled = flags.GetBool("controller");
   options.audit = AuditFromFlags(flags);
+
+  const auto experiment = ExperimentOptionsFromFlags(
+      flags, static_cast<uint64_t>(flags.GetInt64("seed")));
+  if (experiment.replications > 1) {
+    // Same recovery contract as the single-movie sweep, but each cell is a
+    // whole-server run and the checkpoint carries full ServerReports —
+    // resilience transitions and the controller block included.
+    CheckpointOptions checkpoint;
+    checkpoint.path = flags.GetString("checkpoint");
+    checkpoint.checkpoint_every = flags.GetInt64("checkpoint_every");
+    checkpoint.resume = flags.GetBool("resume");
+    std::ostringstream description;
+    description << "vodctl-server-grid-v1 " << layout.ToString()
+                << " movies=" << flags.GetInt64("movies")
+                << " zipf=" << flags.GetDouble("zipf")
+                << " flash=" << flags.GetString("flash")
+                << " mix=" << flags.GetString("mix")
+                << " duration=" << flags.GetString("duration")
+                << " gap=" << flags.GetDouble("arrival_gap")
+                << " measure=" << options.measurement_minutes
+                << " warmup=" << options.warmup_minutes
+                << " piggyback=" << flags.GetDouble("piggyback")
+                << " reserve=" << options.dynamic_stream_reserve
+                << " faults=" << flags.GetString("faults")
+                << " queue_deadline=" << flags.GetDouble("queue_deadline")
+                << " controller=" << options.controller.enabled
+                << " audit=" << options.audit.enabled << ":"
+                << options.audit.every_events;
+    const auto result = RunCheckpointedServerGrid(
+        /*num_configs=*/1, experiment, checkpoint,
+        HashGridDescription(description.str()),
+        [&](const CellContext& context) {
+          ServerOptions cell = options;
+          cell.seed = context.seed;
+          EventLog cell_log;
+          if (obs->want_trace) {
+            cell_log.set_mask(obs->event_log.mask());
+            cell_log.AddSink(obs->trace_sink.get());
+            cell.obs.event_log = &cell_log;
+          }
+          const auto report = RunServerSimulation(*movies, cell);
+          VOD_CHECK_OK(report.status());
+          return *report;
+        },
+        obs->GridOptions());
+    if (!result.ok()) return Fail(result.status());
+    VOD_CHECK(result->complete);
+    const Status obs_finished = obs->Finish();
+    if (!obs_finished.ok()) return Fail(obs_finished);
+    const std::vector<ServerReport>& reports = result->reports[0];
+    std::ostringstream out;
+    for (size_t r = 0; r < reports.size(); ++r) {
+      out << "replication " << r << ":\n" << reports[r].ToString() << "\n";
+    }
+    return EmitReport(flags, out.str());
+  }
+
   options.obs = obs->RunOptions();
   Result<ServerReport> report = [&] {
     PhaseProfiler::Scope span(obs->want_profile ? &obs->profiler : nullptr,
                               "server_simulation");
-    return RunServerSimulation({movie}, options);
+    return RunServerSimulation(*movies, options);
   }();
   if (!report.ok()) return Fail(report.status());
   const Status finished = obs->Finish();
@@ -405,6 +548,16 @@ int SimulateCommand(int argc, char** argv) {
                   "(e.g. 4:2000:120); enables the server engine");
   flags.AddDouble("queue_deadline", 0.0, "queue dry-reserve VCR requests up "
                   "to this many minutes (0 = hard refusal)");
+  flags.AddInt64("movies", 1, "server engine: split the arrival rate and "
+                 "--streams across this many Zipf-ranked titles (each sized "
+                 "by --wait; --buffer is ignored for the split)");
+  flags.AddDouble("zipf", 1.0, "popularity skew of the --movies split");
+  flags.AddString("flash", "", "flash crowd 'movie:start:duration:factor' — "
+                  "one-shot rate step on one movie (enables the server "
+                  "engine)");
+  flags.AddBool("controller", false, "enable the dynamic buffer-reallocation "
+                "control plane (drift detection, re-planning, staged "
+                "migration, selective shedding)");
   flags.AddBool("audit", false, "run the runtime invariant auditor "
                 "(conservation checks every 1024 events)");
   flags.AddBool("paranoid", false, "audit after every executed event "
@@ -434,7 +587,9 @@ int SimulateCommand(int argc, char** argv) {
   if (!obs_ready.ok()) return Fail(obs_ready);
 
   if (flags.WasSet("faults") || flags.WasSet("reserve") ||
-      flags.GetDouble("queue_deadline") > 0.0) {
+      flags.GetDouble("queue_deadline") > 0.0 ||
+      flags.GetInt64("movies") > 1 || flags.WasSet("flash") ||
+      flags.GetBool("controller")) {
     return SimulateWithFaults(flags, *layout, *mix, *duration, &obs);
   }
 
@@ -756,6 +911,9 @@ int SoakCommand(int argc, char** argv) {
                   "(<prefix>.golden / .report / .ckpt)");
   flags.AddBool("trace", false, "children trace to <prefix>.trace.jsonl — "
                 "proves recovery stays byte-identical while tracing");
+  flags.AddBool("drift", false, "soak the whole-server drift stack instead "
+                "of the single-movie sweep: flash crowd + control plane + "
+                "disk faults, killed and resumed mid-migration");
   const Status parsed = flags.Parse(argc, argv);
   if (!parsed.ok()) return Fail(parsed);
   if (flags.GetInt64("cycles") < 1 ||
@@ -781,6 +939,19 @@ int SoakCommand(int argc, char** argv) {
       "--checkpoint_every=1",
       "--audit",  // the soak audits invariants throughout every sweep
   };
+  if (flags.GetBool("drift")) {
+    // Whole-server drift stack: a Zipf catalog with a flash crowd early in
+    // the horizon, the controller re-planning through it, disk faults
+    // shrinking the reserve, and the degradation ladder armed. SIGKILLs
+    // then land while migrations are in flight; recovery must still
+    // reproduce the golden bytes (controller block included).
+    const double measure = flags.GetDouble("measure");
+    const auto flash = "--flash=0:" + std::to_string(measure * 0.1) + ":" +
+                       std::to_string(measure * 0.25) + ":4";
+    base_args.insert(base_args.end(),
+                     {"--movies=3", "--controller", flash, "--reserve=30",
+                      "--faults=4:2000:120", "--queue_deadline=5"});
+  }
   // Tracing must not perturb recovery: each child (golden included) streams
   // events to a sink; only the report files are byte-compared.
   const std::string trace_path = prefix + ".trace.jsonl";
@@ -925,6 +1096,24 @@ int InspectCommand(int argc, char** argv) {
            std::to_string(iv.capacity)});
     }
     RenderTable(levels, csv);
+  }
+
+  const auto decisions = ControllerTimeline(*events);
+  if (!decisions.empty()) {
+    std::printf("\ncontroller decision timeline:\n");
+    TableWriter ctrl({"t", "decision", "movie", "epoch", "value", "reclaims",
+                      "grants", "sheds", "classes"});
+    for (const ControllerDecision& d : decisions) {
+      ctrl.AddRow({FormatDouble(d.time, 2),
+                   EventSubtypeName(EventCategory::kController,
+                                    static_cast<uint8_t>(d.subtype)),
+                   d.movie >= 0 ? std::to_string(d.movie) : "-",
+                   d.epoch >= 0 ? std::to_string(d.epoch) : "-",
+                   FormatDouble(d.value, 3), std::to_string(d.reclaims),
+                   std::to_string(d.grants), std::to_string(d.sheds),
+                   std::to_string(d.class_changes)});
+    }
+    RenderTable(ctrl, csv);
   }
   return 0;
 }
