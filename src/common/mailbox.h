@@ -1,0 +1,133 @@
+// Ordered cross-shard mailboxes for the sharded server simulation.
+//
+// Shards never touch each other's state directly: all cross-shard traffic is
+// POD messages posted into per-direction mailboxes, and the exchange is
+// phase-alternating — shards post to their coordinator-bound boxes while
+// running a window (no reader exists then), and the single-threaded
+// coordinator drains every box between windows (no writer exists then). The
+// ThreadPool::ParallelFor join *is* the barrier, so the mailboxes themselves
+// need no locks; what they add is accountability: every Post stamps a
+// per-box sequence number, every Drain verifies the sequence is gap-free,
+// and lifetime posted/drained counters feed the shard-mailbox-conservation
+// audit law. A lost, duplicated, or reordered message is a detected
+// invariant violation, not a silent divergence.
+
+#ifndef VOD_COMMON_MAILBOX_H_
+#define VOD_COMMON_MAILBOX_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace vod {
+
+/// One cross-shard message. POD so boxes are trivially copyable/serializable;
+/// the meaning of a/b/c and x/y depends on `kind`. Messages are keyed by
+/// movie (never by shard), so for a fixed configuration the message stream
+/// per movie is identical for every shard count — a property the
+/// determinism suite checks directly.
+struct ShardMessage {
+  /// Per-mailbox sequence number, stamped by Post in posting order.
+  uint64_t seq = 0;
+  /// Message kind (sharded_server.cc defines the taxonomy).
+  uint32_t kind = 0;
+  /// Global movie index the message concerns (-1 = whole-run message).
+  int32_t movie = -1;
+  int64_t a = 0;
+  int64_t b = 0;
+  int64_t c = 0;
+  double x = 0.0;
+  double y = 0.0;
+};
+
+/// \brief One direction of one shard's message channel.
+///
+/// Single-producer/single-consumer by protocol (see file comment): Post is
+/// only called by the owning side during its phase, Drain only by the other
+/// side during the opposite phase.
+class ShardMailbox {
+ public:
+  /// Appends `m` with the next sequence number stamped.
+  void Post(ShardMessage m) {
+    m.seq = next_seq_++;
+    ++posted_;
+    box_.push_back(m);
+  }
+
+  /// \brief Moves out all queued messages and verifies sequence contiguity.
+  ///
+  /// Any gap or duplication in the stamped sequence increments
+  /// `sequence_gaps` (it should stay 0 forever; the audit law fires
+  /// otherwise). The box is left empty.
+  std::vector<ShardMessage> Drain() {
+    for (const ShardMessage& m : box_) {
+      if (m.seq != drained_) ++sequence_gaps_;
+      ++drained_;
+    }
+    std::vector<ShardMessage> out;
+    out.swap(box_);
+    return out;
+  }
+
+  uint64_t posted() const { return posted_; }
+  uint64_t drained() const { return drained_; }
+  uint64_t sequence_gaps() const { return sequence_gaps_; }
+  bool empty() const { return box_.empty(); }
+
+ private:
+  std::vector<ShardMessage> box_;
+  uint64_t next_seq_ = 0;
+  uint64_t posted_ = 0;
+  uint64_t drained_ = 0;
+  uint64_t sequence_gaps_ = 0;
+};
+
+/// \brief The full mailbox fabric for an n-shard run: one coordinator-bound
+/// and one shard-bound box per shard.
+///
+/// Shard i writes to_coordinator(i) while windows run; the coordinator
+/// writes to_shard(i) between windows and shard i drains it at its next
+/// window start. Totals aggregate both directions for the audit snapshot.
+class MailboxRouter {
+ public:
+  explicit MailboxRouter(int shards)
+      : to_coordinator_(static_cast<size_t>(shards)),
+        to_shard_(static_cast<size_t>(shards)) {}
+
+  int shards() const { return static_cast<int>(to_shard_.size()); }
+  ShardMailbox& to_coordinator(int shard) {
+    return to_coordinator_[static_cast<size_t>(shard)];
+  }
+  ShardMailbox& to_shard(int shard) {
+    return to_shard_[static_cast<size_t>(shard)];
+  }
+
+  uint64_t total_posted() const {
+    uint64_t n = 0;
+    for (const auto& b : to_coordinator_) n += b.posted();
+    for (const auto& b : to_shard_) n += b.posted();
+    return n;
+  }
+  uint64_t total_drained() const {
+    uint64_t n = 0;
+    for (const auto& b : to_coordinator_) n += b.drained();
+    for (const auto& b : to_shard_) n += b.drained();
+    return n;
+  }
+  uint64_t total_sequence_gaps() const {
+    uint64_t n = 0;
+    for (const auto& b : to_coordinator_) n += b.sequence_gaps();
+    for (const auto& b : to_shard_) n += b.sequence_gaps();
+    return n;
+  }
+  /// Messages posted but not yet drained, across every box. Zero at every
+  /// barrier once both phases have run.
+  uint64_t in_flight() const { return total_posted() - total_drained(); }
+
+ private:
+  std::vector<ShardMailbox> to_coordinator_;
+  std::vector<ShardMailbox> to_shard_;
+};
+
+}  // namespace vod
+
+#endif  // VOD_COMMON_MAILBOX_H_

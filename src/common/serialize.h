@@ -41,6 +41,7 @@ enum class SnapshotPayload : uint32_t {
   kEventQueue = 2,
   kRng = 3,
   kServerGrid = 4,
+  kShardedRun = 5,
 };
 
 /// CRC-32 (IEEE 802.3 polynomial, reflected) of `size` bytes.

@@ -193,6 +193,52 @@ void InvariantAuditor::Audit(const AuditSnapshot& s) {
     last_controller_epoch_ = std::max(last_controller_epoch_, c.epoch);
   }
 
+  // --- cross-shard ledgers -------------------------------------------------
+  if (s.shard.enabled) {
+    const auto& sh = s.shard;
+    int64_t ledger = 0;
+    for (const auto& m : sh.movies) {
+      if (m.held < 0 || m.credit < 0 || m.debt < 0) {
+        AddViolation(t, "shard-credit-negative",
+                     "movie " + std::to_string(m.movie) + " ledger held=" +
+                         std::to_string(m.held) + " credit=" +
+                         std::to_string(m.credit) + " debt=" +
+                         std::to_string(m.debt) +
+                         " (a credit was spent or repaid twice)");
+      }
+      ledger += m.held + m.credit - m.debt;
+      if (m.live != m.entered - m.exited) {
+        AddViolation(t, "shard-viewer-conservation",
+                     "movie " + std::to_string(m.movie) + " reports " +
+                         std::to_string(m.live) + " live viewers but " +
+                         std::to_string(m.entered) + " entered - " +
+                         std::to_string(m.exited) + " exited = " +
+                         std::to_string(m.entered - m.exited) +
+                         " (a viewer was lost or duplicated in a handoff)");
+      }
+    }
+    if (ledger != sh.capacity) {
+      AddViolation(t, "shard-reserve-ledger",
+                   "sum of per-movie (held + credit - debt) = " +
+                       std::to_string(ledger) + ", global capacity is " +
+                       std::to_string(sh.capacity) +
+                       " (a shard grant minted or leaked reserve)");
+    }
+    if (sh.messages_posted != sh.messages_drained) {
+      AddViolation(t, "shard-mailbox-conservation",
+                   std::to_string(sh.messages_posted) +
+                       " messages posted but " +
+                       std::to_string(sh.messages_drained) +
+                       " drained (a cross-shard message was lost)");
+    }
+    if (sh.sequence_gaps != 0) {
+      AddViolation(t, "shard-mailbox-conservation",
+                   std::to_string(sh.sequence_gaps) +
+                       " mailbox sequence gaps (a message was dropped, "
+                       "duplicated, or reordered)");
+    }
+  }
+
   // --- degradation ladder --------------------------------------------------
   if (s.degradation_level != -1 &&
       (s.degradation_level < 0 ||

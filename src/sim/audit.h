@@ -27,6 +27,16 @@
 //   ctrl-buffer-conservation  same for buffer minutes (within epsilon)
 //   ctrl-no-double-grant  applied migration steps never exceed planned ones
 //   ctrl-epoch-monotonic  the committed plan epoch never moves backward
+//
+// Cross-shard laws (checked by the sharded-server coordinator at barriers):
+//   shard-reserve-ledger  Σ per-movie (held + credit - debt) == the global
+//                         reserve capacity — shard grants never mint or
+//                         leak capacity
+//   shard-credit-negative no per-movie held/credit/debt counter below zero
+//   shard-viewer-conservation  per movie, live == entered - exited across
+//                         every barrier handoff
+//   shard-mailbox-conservation all posted messages drained, sequence
+//                         numbers gap-free (no lost/duplicated message)
 
 #ifndef VOD_SIM_AUDIT_H_
 #define VOD_SIM_AUDIT_H_
@@ -120,6 +130,35 @@ struct AuditSnapshot {
     int64_t steps_planned = 0;
   };
   ControllerState controller;
+
+  /// \brief Cross-shard conservation view (sharded server barriers).
+  ///
+  /// Filled by the sharded-run coordinator after draining every mailbox at
+  /// a window barrier. Stream reserve is distributed as per-movie credits:
+  /// at any barrier Σ(held + credit - debt) over movies must equal the
+  /// global capacity, viewers must be conserved per movie, and every
+  /// mailbox message posted must have been drained in sequence.
+  struct ShardState {
+    bool enabled = false;
+    /// Global reserve capacity at this barrier (post-fault).
+    int64_t capacity = 0;
+
+    struct MovieLedger {
+      int32_t movie = -1;
+      int64_t held = 0;    ///< dedicated streams this movie's viewers hold
+      int64_t credit = 0;  ///< unspent acquisition credit
+      int64_t debt = 0;    ///< retirement owed after a capacity loss
+      int64_t entered = 0;
+      int64_t exited = 0;
+      int64_t live = 0;
+    };
+    std::vector<MovieLedger> movies;
+
+    uint64_t messages_posted = 0;
+    uint64_t messages_drained = 0;
+    uint64_t sequence_gaps = 0;
+  };
+  ShardState shard;
 };
 
 /// Expands a movie's static partition layout (n windows of B/n minutes, one

@@ -77,9 +77,11 @@ class SimulationMetrics {
   ///
   /// Counts, proportion estimators, and running stats merge exactly (the
   /// merged values equal single-stream collection of the concatenated
-  /// event sequence, Welford means up to FP rounding). Batch means are
-  /// exact when this shard's partial batch is empty (see
-  /// BatchMeans::Merge); P² wait quantiles pool approximately (see
+  /// event sequence, Welford means up to FP rounding). Batch means merge
+  /// exactly with per-stream batch formation — completed batches are the
+  /// union of the shards' batches and partial remainders are carried, never
+  /// folded into a cross-stream batch (see BatchMeans::Merge); P² wait
+  /// quantiles pool approximately (see
   /// P2Quantile::Merge); time-weighted levels sum pointwise, so their
   /// max/min become bounds that are exact only when shard peaks coincide.
   /// InvalidArgument when the warmup boundaries differ.

@@ -159,6 +159,7 @@ class MovieWorld::Impl {
     viewer.active = false;
     viewer.next_free = free_head_;
     free_head_ = slot;
+    ++viewers_freed_;
   }
 
   Viewer& Get(uint32_t slot) {
@@ -669,6 +670,7 @@ class MovieWorld::Impl {
   int64_t dedicated_count_ = 0;
   int concurrent_count_ = 0;
   int64_t abandonments_ = 0;
+  int64_t viewers_freed_ = 0;
   double max_wait_seen_ = 0.0;
   /// Mean of the interactivity clock when it is exponential; <= 0 selects
   /// the generic virtual Sample path.
@@ -690,6 +692,10 @@ class MovieWorld::Impl {
   double max_wait_seen() const { return max_wait_seen_; }
   int64_t abandonments() const { return abandonments_; }
   int64_t dedicated_streams_held() const { return dedicated_count_; }
+  int64_t viewers_entered() const {
+    return static_cast<int64_t>(next_viewer_id_);
+  }
+  int64_t viewers_exited() const { return viewers_freed_; }
 };
 
 MovieWorld::MovieWorld(const PartitionLayout& layout,
@@ -720,6 +726,16 @@ int64_t MovieWorld::abandonments() const { return impl_->abandonments(); }
 
 int64_t MovieWorld::dedicated_streams_held() const {
   return impl_->dedicated_streams_held();
+}
+
+int64_t MovieWorld::viewers_entered() const {
+  return impl_->viewers_entered();
+}
+
+int64_t MovieWorld::viewers_exited() const { return impl_->viewers_exited(); }
+
+int64_t MovieWorld::viewers_live() const {
+  return impl_->viewers_entered() - impl_->viewers_exited();
 }
 
 }  // namespace vod

@@ -112,6 +112,15 @@ class MovieWorld {
   /// it against the supplier's in_use().
   int64_t dedicated_streams_held() const;
 
+  /// Viewer conservation counters (whole run, incl. warmup). `entered`
+  /// counts admitted sessions (gate-shed arrivals never enter), `exited`
+  /// counts sessions torn down (completion, end-of-movie, abandonment), and
+  /// `live == entered - exited` is the current population. The sharded
+  /// auditor checks these per movie across barrier handoffs.
+  int64_t viewers_entered() const;
+  int64_t viewers_exited() const;
+  int64_t viewers_live() const;
+
  private:
   class Impl;
   std::unique_ptr<Impl> impl_;

@@ -1,0 +1,62 @@
+#include "sim/shard.h"
+
+#include "common/check.h"
+#include "core/partition_layout.h"
+
+namespace vod {
+
+void ServerShard::RunWindow(double t_start, double t_end) {
+  for (const ShardMessage& msg : inbox_->Drain()) {
+    // Find the owned slot for the message's movie. Shards own few movies,
+    // so a linear scan beats a map and allocates nothing.
+    MovieSlot* slot = nullptr;
+    for (MovieSlot& m : movies_) {
+      if (m.global_index == msg.movie) {
+        slot = &m;
+        break;
+      }
+    }
+    VOD_CHECK_MSG(slot != nullptr,
+                  "cross-shard message routed to a shard that does not own "
+                  "the movie");
+    switch (msg.kind) {
+      case kShardMsgCreditSet:
+        slot->supplier->SetLedger(msg.a, msg.b);
+        break;
+      case kShardMsgLayout: {
+        auto layout = PartitionLayout::FromBuffer(
+            msg.x, static_cast<int>(msg.a), msg.y);
+        VOD_CHECK_MSG(layout.ok(), "controller committed an invalid layout");
+        slot->world->ApplyLayout(t_start, layout.value());
+        break;
+      }
+      default:
+        VOD_CHECK_MSG(false, "unknown coordinator->shard message kind");
+    }
+  }
+
+  queue_.RunUntil(t_end);
+
+  for (MovieSlot& m : movies_) {
+    ShardMessage ledger;
+    ledger.kind = kShardMsgLedger;
+    ledger.movie = m.global_index;
+    ledger.a = m.supplier->held();
+    ledger.b = m.supplier->credit();
+    ledger.c = m.supplier->debt();
+    ledger.x = static_cast<double>(m.supplier->window_refused());
+    ledger.y = static_cast<double>(m.supplier->window_acquired());
+    outbox_->Post(ledger);
+    m.supplier->ResetWindow();
+
+    ShardMessage viewers;
+    viewers.kind = kShardMsgViewers;
+    viewers.movie = m.global_index;
+    viewers.a = m.world->viewers_entered();
+    viewers.b = m.world->viewers_exited();
+    viewers.c = m.world->viewers_live();
+    outbox_->Post(viewers);
+  }
+}
+
+}  // namespace vod

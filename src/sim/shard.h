@@ -1,0 +1,210 @@
+// One shard of the sharded multi-core server simulation.
+//
+// A shard owns a subset of the server's movies outright: their event kernel
+// (one EventQueue per shard), viewer slabs, per-movie metrics, and per-movie
+// stream-credit suppliers. Nothing a shard touches while a window runs is
+// visible to any other thread; all cross-movie coupling (the shared disk
+// reserve, the controller, faults) is quantized to the window barriers and
+// carried by mailbox messages (common/mailbox.h). See sharded_server.h for
+// the coordinator protocol and DESIGN.md §12 for the full semantics.
+//
+// The per-movie decomposition is what makes results independent of the
+// shard count: every movie's RNG stream is derived from its *global* index,
+// every supplier ledger is per movie, and every mailbox message is keyed by
+// movie — so moving a movie between shards relocates computation without
+// changing a single number.
+
+#ifndef VOD_SIM_SHARD_H_
+#define VOD_SIM_SHARD_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/mailbox.h"
+#include "common/rng.h"
+#include "ctrl/admission_gate.h"
+#include "sim/event_queue.h"
+#include "sim/metrics.h"
+#include "sim/movie_world.h"
+#include "sim/stream_supplier.h"
+
+namespace vod {
+
+/// \brief Per-movie stream source funded by barrier-granted credits.
+///
+/// The global reserve is distributed to movies as acquisition credits at
+/// every window barrier. Within a window a movie spends only its own
+/// credit — TryAcquire refuses when it is exhausted — so no cross-shard
+/// state is touched on the hot path. Releases repay retirement debt first
+/// (owed after a fault shrank capacity below what was already held), then
+/// return to local credit. The coordinator's conservation law:
+/// Σ over movies of (held + credit - debt) == global capacity, at every
+/// barrier (the shard-reserve-ledger audit law).
+class CreditStreamSupplier final : public StreamSupplier {
+ public:
+  CreditStreamSupplier() { usage_.Reset(0.0, 0.0); }
+
+  bool TryAcquire(double t) override {
+    if (credit_ <= 0) {
+      ++refused_;
+      ++window_refused_;
+      return false;
+    }
+    --credit_;
+    ++held_;
+    ++acquired_;
+    ++window_acquired_;
+    if (held_ > peak_held_) peak_held_ = held_;
+    usage_.Set(t, static_cast<double>(held_));
+    return true;
+  }
+
+  void Release(double t) override {
+    --held_;
+    if (debt_ > 0) {
+      --debt_;  // retire an over-held stream instead of re-lending it
+    } else {
+      ++credit_;
+    }
+    usage_.Set(t, static_cast<double>(held_));
+  }
+
+  int64_t in_use() const override { return held_; }
+
+  /// Barrier-side ledger rewrite (coordinator redistribution).
+  void SetLedger(int64_t credit, int64_t debt) {
+    credit_ = credit;
+    debt_ = debt;
+  }
+
+  int64_t held() const { return held_; }
+  int64_t credit() const { return credit_; }
+  int64_t debt() const { return debt_; }
+  int64_t refused() const { return refused_; }
+  int64_t acquired() const { return acquired_; }
+  int64_t peak_held() const { return peak_held_; }
+  double MeanInUse(double t_end) const { return usage_.TimeAverage(t_end); }
+
+  /// Demand observed since the last barrier (refusals + grants); the
+  /// coordinator weights next window's credit split by it, then resets.
+  int64_t window_refused() const { return window_refused_; }
+  int64_t window_acquired() const { return window_acquired_; }
+  void ResetWindow() {
+    window_refused_ = 0;
+    window_acquired_ = 0;
+  }
+
+ private:
+  int64_t credit_ = 0;
+  int64_t held_ = 0;
+  int64_t debt_ = 0;
+  int64_t refused_ = 0;
+  int64_t acquired_ = 0;
+  int64_t peak_held_ = 0;
+  int64_t window_refused_ = 0;
+  int64_t window_acquired_ = 0;
+  TimeWeightedValue usage_{};
+};
+
+/// \brief Admission gate that records offered arrivals instead of deciding.
+///
+/// In sharded mode the controller lives above the barrier and cannot be
+/// consulted per arrival. Every arrival is admitted shard-side (consistent:
+/// with no degradation ladder the controller's traffic policy reports zero
+/// pressure and would admit everything too), and the (time, movie) record is
+/// replayed into the controller's rate estimators at the next barrier.
+class RecordingGate final : public AdmissionGate {
+ public:
+  struct Offered {
+    double t = 0.0;
+    int32_t movie = -1;
+  };
+
+  bool OnArrival(int32_t movie, double t) override {
+    offered_.push_back(Offered{t, movie});
+    return true;
+  }
+
+  /// Coordinator-side: moves out everything recorded this window.
+  std::vector<Offered> TakeOffered() {
+    std::vector<Offered> out;
+    out.swap(offered_);
+    return out;
+  }
+
+ private:
+  std::vector<Offered> offered_;
+};
+
+/// Message kinds on the shard <-> coordinator mailboxes. Every message is
+/// keyed by global movie index, so for a fixed configuration the per-movie
+/// message stream is identical for every shard count.
+enum ShardMessageKind : uint32_t {
+  /// shard -> coordinator, one per movie per window:
+  /// a=held, b=credit, c=debt, x=window_refused, y=window_acquired.
+  kShardMsgLedger = 1,
+  /// shard -> coordinator, one per movie per window:
+  /// a=entered, b=exited, c=live.
+  kShardMsgViewers = 2,
+  /// coordinator -> shard: a=credit, b=debt.
+  kShardMsgCreditSet = 3,
+  /// coordinator -> shard: a=streams, x=movie_length, y=buffer_minutes
+  /// (a controller layout commit, applied at the next window start).
+  kShardMsgLayout = 4,
+};
+
+/// \brief One shard: a private event kernel plus the movies it owns.
+///
+/// Single-threaded within a window; the coordinator guarantees at most one
+/// thread runs a shard at a time and reads its state only between windows.
+class ServerShard {
+ public:
+  /// One movie assigned to this shard.
+  struct MovieSlot {
+    int32_t global_index = -1;
+    std::unique_ptr<CreditStreamSupplier> supplier;
+    std::unique_ptr<SimulationMetrics> metrics;
+    std::unique_ptr<MovieWorld> world;
+  };
+
+  ServerShard(int shard_index, ShardMailbox* inbox, ShardMailbox* outbox)
+      : shard_index_(shard_index), inbox_(inbox), outbox_(outbox) {}
+
+  ServerShard(const ServerShard&) = delete;
+  ServerShard& operator=(const ServerShard&) = delete;
+
+  EventQueue& queue() { return queue_; }
+  RecordingGate& gate() { return gate_; }
+  int shard_index() const { return shard_index_; }
+
+  std::vector<MovieSlot>& movies() { return movies_; }
+  const std::vector<MovieSlot>& movies() const { return movies_; }
+
+  void AddMovie(MovieSlot slot) { movies_.push_back(std::move(slot)); }
+
+  /// Schedules every owned movie's first arrival.
+  void Start() {
+    for (MovieSlot& m : movies_) m.world->Start();
+  }
+
+  /// \brief Runs one window: drains the inbox (credit grants, layout
+  /// commits), executes all events up to and including `t_end`, then posts
+  /// one ledger and one viewer summary per owned movie.
+  ///
+  /// `t_start` is the barrier time the drained messages were posted at;
+  /// layout commits re-anchor there (never in this window's past).
+  void RunWindow(double t_start, double t_end);
+
+ private:
+  int shard_index_;
+  ShardMailbox* inbox_;   ///< coordinator -> this shard
+  ShardMailbox* outbox_;  ///< this shard -> coordinator
+  EventQueue queue_;
+  RecordingGate gate_;
+  std::vector<MovieSlot> movies_;
+};
+
+}  // namespace vod
+
+#endif  // VOD_SIM_SHARD_H_

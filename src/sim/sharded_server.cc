@@ -1,0 +1,712 @@
+#include "sim/sharded_server.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <iomanip>
+#include <memory>
+#include <sstream>
+#include <utility>
+
+#include "common/check.h"
+#include "common/mailbox.h"
+#include "common/serialize.h"
+#include "common/thread_pool.h"
+#include "sim/shard.h"
+
+namespace vod {
+
+namespace {
+
+// Same stream-class tags as server.cc: a movie's RNG stream depends only on
+// its global index, so shard placement can never perturb it.
+constexpr uint64_t kMovieWorldStream = 3;
+constexpr uint64_t kFaultStream = 4;
+
+uint64_t Fnv1a(uint64_t h, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xffu;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+uint64_t FingerprintConfig(const std::vector<ServerMovieSpec>& movies,
+                           const ShardedServerOptions& options) {
+  // A guard against resuming a checkpoint under a different configuration,
+  // not a cryptographic identity. Everything that shapes the trajectory and
+  // is cheaply describable goes in; the digest chain catches the rest.
+  std::ostringstream os;
+  os << std::setprecision(17);
+  const ServerOptions& b = options.base;
+  os << "seed=" << b.seed << " reserve=" << b.dynamic_stream_reserve
+     << " warmup=" << b.warmup_minutes << " measure=" << b.measurement_minutes
+     << " window=" << options.window_minutes
+     << " stationary=" << b.stationary_start
+     << " piggyback=" << b.piggyback.enabled
+     << " faults=" << b.faults.enabled << ":" << b.faults.disks << ":"
+     << b.faults.profile.mtbf_minutes << ":" << b.faults.profile.mttr_minutes
+     << " controller=" << b.controller.enabled << ":"
+     << b.controller.poll_interval_minutes;
+  for (const ServerMovieSpec& spec : movies) {
+    os << " movie=" << spec.name << ":" << spec.layout.movie_length() << ":"
+       << spec.layout.buffer_minutes() << ":" << spec.layout.streams() << ":"
+       << spec.arrival_rate_per_minute;
+  }
+  const std::string desc = os.str();
+  uint64_t h = 1469598103934665603ULL;
+  for (char c : desc) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+struct ShardedCheckpointState {
+  uint64_t fingerprint = 0;
+  uint32_t shards = 0;
+  int64_t windows_done = 0;
+  uint64_t digest = 0;
+};
+
+Status WriteShardedCheckpoint(const std::string& path,
+                              const ShardedCheckpointState& st) {
+  ByteWriter w;
+  w.PutU64(st.fingerprint);
+  w.PutU32(st.shards);
+  w.PutI64(st.windows_done);
+  w.PutU64(st.digest);
+  return WriteSnapshotFile(path, SnapshotPayload::kShardedRun, w.bytes());
+}
+
+Result<ShardedCheckpointState> ReadShardedCheckpoint(const std::string& path) {
+  auto payload = ReadSnapshotFile(path, SnapshotPayload::kShardedRun);
+  VOD_RETURN_IF_ERROR(payload.status());
+  ByteReader r(payload.value());
+  ShardedCheckpointState st;
+  VOD_RETURN_IF_ERROR(r.ReadU64(&st.fingerprint));
+  VOD_RETURN_IF_ERROR(r.ReadU32(&st.shards));
+  VOD_RETURN_IF_ERROR(r.ReadI64(&st.windows_done));
+  VOD_RETURN_IF_ERROR(r.ReadU64(&st.digest));
+  return st;
+}
+
+bool FileExists(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  std::fclose(f);
+  return true;
+}
+
+// The controller's window onto a sharded run. Layout commits cannot touch
+// the worlds directly (they live on other threads between barriers), so the
+// host keeps its own authoritative layout copies — they ARE the live
+// layouts as far as the control plane is concerned — and queues each commit
+// for mailbox delivery; the owning shard applies it at the next window
+// start. With no degradation ladder there is never reclaim pressure, so the
+// traffic policy admits everything — consistent with the shards' record-
+// and-admit gates.
+class ShardedControllerHost final : public ControllerHost {
+ public:
+  explicit ShardedControllerHost(std::vector<PartitionLayout> layouts)
+      : layouts_(std::move(layouts)) {}
+
+  void CommitLayout(int32_t movie, double t,
+                    const PartitionLayout& layout) override {
+    (void)t;
+    layouts_[static_cast<size_t>(movie)] = layout;
+    pending_commits_.push_back(movie);
+  }
+  const PartitionLayout& LiveLayout(int32_t movie) const override {
+    return layouts_[static_cast<size_t>(movie)];
+  }
+  bool ReclaimBlocked() const override { return false; }
+  int PressureLevel() const override { return 0; }
+
+  const std::vector<PartitionLayout>& layouts() const { return layouts_; }
+  std::vector<int32_t> TakePendingCommits() {
+    std::vector<int32_t> out;
+    out.swap(pending_commits_);
+    return out;
+  }
+
+ private:
+  std::vector<PartitionLayout> layouts_;
+  std::vector<int32_t> pending_commits_;  ///< movies with uncommitted posts
+};
+
+/// Demand-weighted largest-remainder apportionment of `amount` over
+/// `weights` (all non-negative; zero-weight entries get nothing). Returns
+/// per-entry shares summing to `amount` exactly; deterministic in the
+/// inputs alone.
+std::vector<int64_t> Apportion(int64_t amount,
+                               const std::vector<int64_t>& weights) {
+  const size_t n = weights.size();
+  std::vector<int64_t> share(n, 0);
+  if (amount <= 0) return share;
+  int64_t total_weight = 0;
+  for (int64_t w : weights) total_weight += w;
+  if (total_weight <= 0) return share;
+  int64_t assigned = 0;
+  std::vector<std::pair<int64_t, size_t>> remainders;  // (-remainder, index)
+  remainders.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const int64_t num = amount * weights[i];
+    share[i] = num / total_weight;
+    assigned += share[i];
+    remainders.emplace_back(-(num % total_weight), i);
+  }
+  std::sort(remainders.begin(), remainders.end());
+  for (int64_t left = amount - assigned, k = 0; left > 0; --left, ++k) {
+    share[remainders[static_cast<size_t>(k)].second] += 1;
+  }
+  return share;
+}
+
+}  // namespace
+
+std::string ShardedServerReport::ToString() const {
+  std::ostringstream os;
+  os << std::setprecision(17);
+  os << "ShardedServerReport{windows=" << windows
+     << " window_minutes=" << window_minutes
+     << " messages_posted=" << messages_posted
+     << " messages_drained=" << messages_drained
+     << " ledger_digest=" << ledger_digest << "\n";
+  os << server.ToString() << "\n";
+  os << "aggregate: " << aggregate.ToString() << "\n";
+  os << "}";
+  return os.str();
+}
+
+Status ValidateShardedInputs(const std::vector<ServerMovieSpec>& movies,
+                             const ShardedServerOptions& options) {
+  VOD_RETURN_IF_ERROR(ValidateServerInputs(movies, options.base));
+  if (options.shards < 1) {
+    return Status::InvalidArgument("sharded run needs shards >= 1, got " +
+                                   std::to_string(options.shards));
+  }
+  if (options.threads < 1) {
+    return Status::InvalidArgument("sharded run needs threads >= 1, got " +
+                                   std::to_string(options.threads));
+  }
+  if (!std::isfinite(options.window_minutes) ||
+      !(options.window_minutes > 0.0)) {
+    return Status::InvalidArgument(
+        "sharded run needs a finite positive window_minutes, got " +
+        std::to_string(options.window_minutes));
+  }
+  if (options.base.degradation.enabled) {
+    return Status::InvalidArgument(
+        "sharded runs do not support the degradation ladder "
+        "(degradation.enabled): its queue/shed/reclaim decisions read the "
+        "live global reserve, which sharding quantizes to window barriers");
+  }
+  if (options.base.obs.event_log != nullptr) {
+    return Status::InvalidArgument(
+        "sharded runs do not support event tracing (obs.event_log): the "
+        "trace bus is single-threaded");
+  }
+  if (options.base.obs.metrics != nullptr) {
+    return Status::InvalidArgument(
+        "sharded runs do not support live metrics sampling (obs.metrics): "
+        "the registry is single-threaded");
+  }
+  if (!options.checkpoint.path.empty() &&
+      options.checkpoint.every_windows < 1) {
+    return Status::InvalidArgument(
+        "sharded checkpointing needs every_windows >= 1, got " +
+        std::to_string(options.checkpoint.every_windows));
+  }
+  return Status::OK();
+}
+
+Result<ShardedServerReport> RunShardedServerSimulation(
+    const std::vector<ServerMovieSpec>& movies,
+    const ShardedServerOptions& options) {
+  VOD_RETURN_IF_ERROR(ValidateShardedInputs(movies, options));
+
+  const ServerOptions& base = options.base;
+  const int shard_count = options.shards;
+  const size_t movie_count = movies.size();
+  const double horizon = base.warmup_minutes + base.measurement_minutes;
+  const int64_t total_windows = std::max<int64_t>(
+      1, static_cast<int64_t>(std::ceil(horizon / options.window_minutes)));
+  const uint64_t fingerprint = FingerprintConfig(movies, options);
+
+  // ---- resume bookkeeping (replay-verify; see header) ---------------------
+  int64_t verify_window = -1;
+  uint64_t expected_digest = 0;
+  if (options.checkpoint.resume && !options.checkpoint.path.empty() &&
+      FileExists(options.checkpoint.path)) {
+    auto st = ReadShardedCheckpoint(options.checkpoint.path);
+    VOD_RETURN_IF_ERROR(st.status());
+    if (static_cast<int>(st.value().shards) != shard_count) {
+      return Status::InvalidArgument(
+          "sharded resume: checkpoint was taken with " +
+          std::to_string(st.value().shards) + " shards but this run has " +
+          std::to_string(shard_count) +
+          "; the shard count cannot change across a resume");
+    }
+    if (st.value().fingerprint != fingerprint) {
+      return Status::InvalidArgument(
+          "sharded resume: checkpoint belongs to a different configuration "
+          "(fingerprint mismatch); refusing to resume");
+    }
+    verify_window = st.value().windows_done;
+    expected_digest = st.value().digest;
+  }
+
+  // ---- build shards -------------------------------------------------------
+  const Rng base_rng(base.seed);
+  MailboxRouter router(shard_count);
+  std::vector<std::unique_ptr<ServerShard>> shards;
+  shards.reserve(static_cast<size_t>(shard_count));
+  for (int s = 0; s < shard_count; ++s) {
+    shards.push_back(std::make_unique<ServerShard>(
+        s, &router.to_shard(s), &router.to_coordinator(s)));
+  }
+
+  // The control plane runs above the barrier. It must exist before the
+  // worlds so the shards' gates know whether to record arrivals.
+  std::unique_ptr<ShardedControllerHost> ctrl_host;
+  std::unique_ptr<Controller> controller;
+  if (base.controller.enabled) {
+    std::vector<PartitionLayout> layouts;
+    std::vector<ControllerMovie> ctrl_movies;
+    layouts.reserve(movie_count);
+    ctrl_movies.reserve(movie_count);
+    for (const ServerMovieSpec& spec : movies) {
+      layouts.push_back(spec.layout);
+      ControllerMovie cm;
+      cm.movie_length = spec.layout.movie_length();
+      cm.baseline_rate = spec.arrival_rate_per_minute;
+      ctrl_movies.push_back(cm);
+    }
+    ctrl_host = std::make_unique<ShardedControllerHost>(std::move(layouts));
+    controller = std::make_unique<Controller>(base.controller,
+                                              std::move(ctrl_movies),
+                                              ctrl_host.get(),
+                                              /*log=*/nullptr);
+  }
+
+  // movie -> owning shard, with per-movie everything (supplier, metrics,
+  // RNG stream keyed by the *global* index) so placement is invisible.
+  struct MovieRef {
+    ServerShard* shard = nullptr;
+    ServerShard::MovieSlot* slot = nullptr;
+  };
+  std::vector<MovieRef> refs;
+  std::vector<double> shard_population(static_cast<size_t>(shard_count),
+                                       64.0);
+  for (size_t i = 0; i < movie_count; ++i) {
+    const ServerMovieSpec& spec = movies[i];
+    ServerShard* shard = shards[i % static_cast<size_t>(shard_count)].get();
+
+    MovieWorldConfig config;
+    config.mean_interarrival_minutes = 1.0 / spec.arrival_rate_per_minute;
+    config.arrivals = spec.arrivals;
+    config.behavior = spec.behavior;
+    config.stationary_start = base.stationary_start;
+    config.piggyback = base.piggyback;
+    config.movie_id = static_cast<int32_t>(i);
+    config.gate = controller != nullptr ? &shard->gate() : nullptr;
+    VOD_RETURN_IF_ERROR(ValidateMovieWorldInputs(base.rates, config));
+
+    ServerShard::MovieSlot slot;
+    slot.global_index = static_cast<int32_t>(i);
+    slot.supplier = std::make_unique<CreditStreamSupplier>();
+    slot.metrics = std::make_unique<SimulationMetrics>(base.warmup_minutes);
+    slot.world = std::make_unique<MovieWorld>(
+        spec.layout, base.rates, config,
+        base_rng.MakeChild(kMovieWorldStream, i), &shard->queue(),
+        slot.supplier.get(), slot.metrics.get());
+    shard->AddMovie(std::move(slot));
+
+    shard_population[i % static_cast<size_t>(shard_count)] +=
+        spec.arrival_rate_per_minute * spec.layout.movie_length();
+  }
+  for (int s = 0; s < shard_count; ++s) {
+    shards[static_cast<size_t>(s)]->queue().Reserve(static_cast<size_t>(
+        std::clamp(shard_population[static_cast<size_t>(s)], 64.0, 1.0e6)));
+  }
+  refs.assign(movie_count, MovieRef{});
+  for (auto& shard : shards) {
+    for (ServerShard::MovieSlot& slot : shard->movies()) {
+      refs[static_cast<size_t>(slot.global_index)] =
+          MovieRef{shard.get(), &slot};
+    }
+  }
+  if (controller != nullptr) controller->Start(0.0);
+
+  // ---- fault schedule (applied at barriers) -------------------------------
+  std::vector<FaultEvent> fault_schedule;
+  if (base.faults.enabled) {
+    FaultInjector injector(
+        FaultInjector::SplitCapacity(base.dynamic_stream_reserve,
+                                     base.faults.disks),
+        base.faults.profile, base_rng.MakeChild(kFaultStream, 0));
+    fault_schedule = injector.Schedule(horizon);
+  }
+
+  // ---- auditor ------------------------------------------------------------
+  std::unique_ptr<InvariantAuditor> auditor;
+  AuditSnapshot audit_snapshot;
+  if (base.audit.enabled) {
+    auditor = std::make_unique<InvariantAuditor>(base.audit);
+    for (const ServerMovieSpec& spec : movies) {
+      audit_snapshot.movies.push_back(
+          BuildMovieAuditBuffers(spec.name, spec.layout));
+    }
+  }
+
+  // ---- barrier ledger state ----------------------------------------------
+  int64_t capacity = base.dynamic_stream_reserve;
+  int64_t min_capacity_seen = capacity;
+  int64_t disk_failures = 0;
+  int64_t disk_repairs = 0;
+  int64_t max_oversubscription = 0;
+  int64_t peak_reserve = 0;
+  uint64_t digest = Fnv1a(1469598103934665603ULL, fingerprint);
+  size_t fault_idx = 0;
+  double ctrl_next_wakeup = base.controller.poll_interval_minutes;
+
+  struct MovieBarrier {
+    int64_t held = 0;
+    int64_t credit = 0;
+    int64_t debt = 0;
+    int64_t entered = 0;
+    int64_t exited = 0;
+    int64_t live = 0;
+    int64_t demand = 0;  ///< window refusals + grants
+  };
+  std::vector<MovieBarrier> ledger(movie_count);
+
+  // Initial credit grant: the whole reserve, split evenly (no demand yet),
+  // posted before the first window so shard 0's path is identical to the
+  // N-shard path.
+  {
+    const std::vector<int64_t> weights(movie_count, 1);
+    const std::vector<int64_t> credits = Apportion(capacity, weights);
+    for (size_t i = 0; i < movie_count; ++i) {
+      ShardMessage m;
+      m.kind = kShardMsgCreditSet;
+      m.movie = static_cast<int32_t>(i);
+      m.a = credits[i];
+      m.b = 0;
+      router.to_shard(refs[i].shard->shard_index()).Post(m);
+      ledger[i].credit = credits[i];
+    }
+  }
+
+  ThreadPool pool(options.threads);
+  for (auto& shard : shards) shard->Start();
+
+  ShardedServerReport report;
+  report.window_minutes = options.window_minutes;
+  report.shards = shard_count;
+  report.threads = options.threads;
+
+  Status checkpoint_status = Status::OK();
+  for (int64_t w = 1; w <= total_windows; ++w) {
+    const double t_start = options.window_minutes * static_cast<double>(w - 1);
+    const double t_end =
+        std::min(horizon, options.window_minutes * static_cast<double>(w));
+
+    // ---- parallel phase: every shard runs its private kernel -------------
+    pool.ParallelFor(shard_count, [&shards, t_start, t_end](int64_t s) {
+      shards[static_cast<size_t>(s)]->RunWindow(t_start, t_end);
+    });
+
+    // ---- barrier: single-threaded coordinator ----------------------------
+    // 1. Drain summaries into the per-movie ledger (global movie order is
+    //    restored by indexing, so shard layout cannot reorder anything).
+    for (int s = 0; s < shard_count; ++s) {
+      for (const ShardMessage& msg : router.to_coordinator(s).Drain()) {
+        MovieBarrier& mb = ledger[static_cast<size_t>(msg.movie)];
+        switch (msg.kind) {
+          case kShardMsgLedger:
+            mb.held = msg.a;
+            mb.credit = msg.b;
+            mb.debt = msg.c;
+            mb.demand = static_cast<int64_t>(msg.x + msg.y);
+            break;
+          case kShardMsgViewers:
+            mb.entered = msg.a;
+            mb.exited = msg.b;
+            mb.live = msg.c;
+            break;
+          default:
+            VOD_CHECK_MSG(false, "unknown shard->coordinator message kind");
+        }
+      }
+    }
+
+    // 2. Apply every fault event in (t_prev, t_end] — capacity changes are
+    //    quantized to window barriers.
+    bool capacity_changed = false;
+    while (fault_idx < fault_schedule.size() &&
+           fault_schedule[fault_idx].time <= t_end) {
+      const FaultEvent& ev = fault_schedule[fault_idx++];
+      if (ev.failure) {
+        ++disk_failures;
+      } else {
+        ++disk_repairs;
+      }
+      capacity = ev.capacity_after;
+      min_capacity_seen = std::min(min_capacity_seen, capacity);
+      capacity_changed = true;
+    }
+
+    // 3. Replay offered arrivals into the controller in (time, movie)
+    //    order, interleaved with its decision wakeups; then pump remaining
+    //    wakeups due by this barrier. Order is derived from values only —
+    //    never from shard layout.
+    if (controller != nullptr) {
+      std::vector<RecordingGate::Offered> offered;
+      for (auto& shard : shards) {
+        std::vector<RecordingGate::Offered> part =
+            shard->gate().TakeOffered();
+        offered.insert(offered.end(), part.begin(), part.end());
+      }
+      std::sort(offered.begin(), offered.end(),
+                [](const RecordingGate::Offered& a,
+                   const RecordingGate::Offered& b) {
+                  if (a.t != b.t) return a.t < b.t;
+                  return a.movie < b.movie;
+                });
+      for (const RecordingGate::Offered& arrival : offered) {
+        while (ctrl_next_wakeup <= arrival.t && ctrl_next_wakeup < horizon) {
+          const double at = ctrl_next_wakeup;
+          ctrl_next_wakeup = controller->OnWakeup(at);
+        }
+        controller->OnArrival(arrival.movie, arrival.t);
+      }
+      while (ctrl_next_wakeup <= t_end && ctrl_next_wakeup < horizon) {
+        const double at = ctrl_next_wakeup;
+        ctrl_next_wakeup = controller->OnWakeup(at);
+      }
+      if (capacity_changed) controller->OnCapacityChange(t_end);
+    }
+
+    // 4. Redistribute the reserve. Sum holds; a surplus becomes credit,
+    //    split by window demand; a deficit becomes retirement debt, split
+    //    by holdings. Either way the ledger law holds by construction:
+    //    Σ(held + credit − debt) == capacity.
+    int64_t sum_held = 0;
+    for (const MovieBarrier& mb : ledger) sum_held += mb.held;
+    peak_reserve = std::max(peak_reserve, sum_held);
+    max_oversubscription =
+        std::max(max_oversubscription, sum_held - capacity);
+    const int64_t free_streams = capacity - sum_held;
+    std::vector<int64_t> weights(movie_count, 0);
+    if (free_streams >= 0) {
+      for (size_t i = 0; i < movie_count; ++i) {
+        weights[i] = 1 + ledger[i].demand;
+      }
+      const std::vector<int64_t> credits = Apportion(free_streams, weights);
+      for (size_t i = 0; i < movie_count; ++i) {
+        ledger[i].credit = credits[i];
+        ledger[i].debt = 0;
+      }
+    } else {
+      for (size_t i = 0; i < movie_count; ++i) weights[i] = ledger[i].held;
+      const std::vector<int64_t> debts = Apportion(-free_streams, weights);
+      for (size_t i = 0; i < movie_count; ++i) {
+        ledger[i].credit = 0;
+        ledger[i].debt = debts[i];
+      }
+    }
+
+    // 5. Audit the barrier: cross-shard laws plus (when the controller is
+    //    live) its resource ledger and the live partition geometry.
+    if (auditor != nullptr) {
+      audit_snapshot.time = t_end;
+      auto& sh = audit_snapshot.shard;
+      sh.enabled = true;
+      sh.capacity = capacity;
+      sh.movies.clear();
+      for (size_t i = 0; i < movie_count; ++i) {
+        AuditSnapshot::ShardState::MovieLedger ml;
+        ml.movie = static_cast<int32_t>(i);
+        ml.held = ledger[i].held;
+        ml.credit = ledger[i].credit;
+        ml.debt = ledger[i].debt;
+        ml.entered = ledger[i].entered;
+        ml.exited = ledger[i].exited;
+        ml.live = ledger[i].live;
+        sh.movies.push_back(ml);
+      }
+      sh.messages_posted = router.total_posted();
+      sh.messages_drained = router.total_drained();
+      sh.sequence_gaps = router.total_sequence_gaps();
+      if (controller != nullptr) {
+        auto& cs = audit_snapshot.controller;
+        cs.enabled = true;
+        cs.sum_live_streams = 0;
+        cs.sum_live_buffer = 0.0;
+        for (size_t i = 0; i < movie_count; ++i) {
+          const PartitionLayout& live =
+              ctrl_host->layouts()[i];
+          cs.sum_live_streams += live.streams();
+          cs.sum_live_buffer += live.buffer_minutes();
+          audit_snapshot.movies[i] =
+              BuildMovieAuditBuffers(movies[i].name, live);
+        }
+        const MigrationEngine& engine = controller->engine();
+        cs.stream_budget = engine.stream_budget();
+        cs.buffer_budget = engine.buffer_budget();
+        cs.free_streams = engine.free_streams();
+        cs.free_buffer = engine.free_buffer();
+        cs.inflight_streams = engine.inflight_streams();
+        cs.inflight_buffer = engine.inflight_buffer();
+        cs.epoch = controller->epoch();
+        cs.steps_applied = engine.steps_applied();
+        cs.steps_planned = engine.steps_planned();
+      }
+      auditor->Audit(audit_snapshot);
+    }
+
+    // 6. Extend the trajectory digest with this barrier's ledger.
+    digest = Fnv1a(digest, static_cast<uint64_t>(w));
+    digest = Fnv1a(digest, static_cast<uint64_t>(capacity));
+    for (const MovieBarrier& mb : ledger) {
+      digest = Fnv1a(digest, static_cast<uint64_t>(mb.held));
+      digest = Fnv1a(digest, static_cast<uint64_t>(mb.credit));
+      digest = Fnv1a(digest, static_cast<uint64_t>(mb.debt));
+      digest = Fnv1a(digest, static_cast<uint64_t>(mb.entered));
+      digest = Fnv1a(digest, static_cast<uint64_t>(mb.exited));
+    }
+
+    // 7. Replay verification: a resumed run must retrace the checkpointed
+    //    trajectory exactly.
+    if (w == verify_window && digest != expected_digest) {
+      return Status::Internal(
+          "sharded resume diverged from the checkpointed trajectory at "
+          "window " +
+          std::to_string(w) +
+          " (ledger digest mismatch); the checkpoint does not describe "
+          "this binary/configuration");
+    }
+
+    const bool stopping = options.checkpoint.stop_after_windows > 0 &&
+                          w >= options.checkpoint.stop_after_windows &&
+                          w < total_windows;
+
+    // 8. Checkpoint at the cadence (and at the final / stopping barrier).
+    if (!options.checkpoint.path.empty() &&
+        (w % options.checkpoint.every_windows == 0 || w == total_windows ||
+         stopping)) {
+      ShardedCheckpointState st;
+      st.fingerprint = fingerprint;
+      st.shards = static_cast<uint32_t>(shard_count);
+      st.windows_done = w;
+      st.digest = digest;
+      checkpoint_status = WriteShardedCheckpoint(options.checkpoint.path, st);
+      VOD_RETURN_IF_ERROR(checkpoint_status);
+    }
+
+    report.windows = w;
+    if (stopping) {
+      report.complete = false;
+      break;
+    }
+
+    // 9. Release next window's credits (skipped after the last barrier so
+    //    every posted message is drained when the run ends).
+    if (w < total_windows) {
+      for (size_t i = 0; i < movie_count; ++i) {
+        ShardMessage m;
+        m.kind = kShardMsgCreditSet;
+        m.movie = static_cast<int32_t>(i);
+        m.a = ledger[i].credit;
+        m.b = ledger[i].debt;
+        router.to_shard(refs[i].shard->shard_index()).Post(m);
+      }
+      if (ctrl_host != nullptr) {
+        for (int32_t movie : ctrl_host->TakePendingCommits()) {
+          const PartitionLayout& layout =
+              ctrl_host->layouts()[static_cast<size_t>(movie)];
+          ShardMessage m;
+          m.kind = kShardMsgLayout;
+          m.movie = movie;
+          m.a = layout.streams();
+          m.x = layout.movie_length();
+          m.y = layout.buffer_minutes();
+          router.to_shard(refs[static_cast<size_t>(movie)].shard
+                              ->shard_index())
+              .Post(m);
+        }
+      }
+    }
+  }
+
+  if (auditor != nullptr && auditor->total_violations() > 0) {
+    return auditor->status();
+  }
+
+  // ---- report assembly (global movie order throughout) --------------------
+  ServerReport& server = report.server;
+  server.reserve_capacity = base.dynamic_stream_reserve;
+  double mean_in_use = 0.0;
+  for (size_t i = 0; i < movie_count; ++i) {
+    const CreditStreamSupplier& supplier = *refs[i].slot->supplier;
+    mean_in_use += supplier.MeanInUse(horizon);
+    server.refused_acquisitions += supplier.refused();
+    server.granted_acquisitions += supplier.acquired();
+  }
+  server.mean_reserve_in_use = mean_in_use;
+  // Barrier-sampled: the max over barriers of Σ held. In-window excursions
+  // between barriers are invisible by design (no cross-shard counter
+  // exists mid-window); per-movie peaks remain exact in the movie reports.
+  server.peak_reserve_in_use = peak_reserve;
+  const int64_t attempts =
+      server.refused_acquisitions + server.granted_acquisitions;
+  server.refusal_probability =
+      attempts > 0
+          ? static_cast<double>(server.refused_acquisitions) / attempts
+          : 0.0;
+
+  SimulationMetrics aggregate_metrics(base.warmup_minutes);
+  for (size_t i = 0; i < movie_count; ++i) {
+    ServerReport::PerMovie per_movie;
+    per_movie.name = movies[i].name;
+    const ServerShard::MovieSlot& slot = *refs[i].slot;
+    FillReportFromMetrics(*slot.metrics, horizon, &per_movie.report);
+    per_movie.report.max_wait_minutes = slot.world->max_wait_seen();
+    per_movie.report.abandonments = slot.world->abandonments();
+    server.total_blocked_vcr += per_movie.report.blocked_vcr_requests;
+    server.total_stalls += per_movie.report.stalled_resumes;
+    server.total_resumes += per_movie.report.total_resumes;
+    server.total_queued_vcr += per_movie.report.queued_vcr_requests;
+    server.total_forced_reclaims += per_movie.report.forced_reclaims;
+    server.movies.push_back(std::move(per_movie));
+    VOD_RETURN_IF_ERROR(aggregate_metrics.MergeFrom(*slot.metrics));
+  }
+  FillReportFromMetrics(aggregate_metrics, horizon, &report.aggregate);
+
+  if (base.faults.enabled) {
+    server.resilience_enabled = true;
+    ResilienceReport& rz = server.resilience;
+    rz.disk_failures = disk_failures;
+    rz.disk_repairs = disk_repairs;
+    rz.min_reserve_capacity = min_capacity_seen;
+    rz.max_oversubscription = std::max<int64_t>(0, max_oversubscription);
+    rz.final_level = DegradationLevel::kNormal;
+    rz.time_in_level[0] = horizon;
+  }
+  if (controller != nullptr) {
+    server.controller_enabled = true;
+    server.controller = controller->Report();
+  }
+
+  for (auto& shard : shards) {
+    report.executed_events += shard->queue().executed();
+  }
+  report.messages_posted = router.total_posted();
+  report.messages_drained = router.total_drained();
+  report.ledger_digest = digest;
+  return report;
+}
+
+}  // namespace vod

@@ -1,0 +1,137 @@
+// Sharded multi-core simulation of one giant server.
+//
+// The movies of one simulated server are partitioned across shards
+// (movie i -> shard i % shards); each shard owns its movies' event kernel,
+// viewer slabs, metrics, and stream-credit ledgers outright and runs them on
+// a worker thread. Simulated time advances in fixed windows: all shards run
+// their private EventQueues to the window end in parallel (the thread-pool
+// join is the barrier), then the single-threaded coordinator handles every
+// cross-movie interaction — disk-fault capacity changes, reserve-credit
+// redistribution, controller arrival replay / wakeups / layout commits,
+// conservation audits, and checkpoints — before releasing the next window.
+//
+// Determinism across shard counts is by construction, not by luck:
+//   * every movie's RNG stream derives from its *global* index (the same
+//     CellSeed discipline the experiment grid uses);
+//   * movies interact with nothing shard-local except their own per-movie
+//     supplier/metrics, so cross-movie event interleaving inside a shard
+//     cannot influence any number;
+//   * every coordinator computation iterates movies in global index order
+//     and every mailbox message is keyed by movie, making the message
+//     stream itself shard-count-invariant;
+//   * the windowed credit semantics below are *the* semantics of a sharded
+//     run — a one-shard run uses the identical barrier path, so reports are
+//     byte-identical for shards ∈ {1, 2, ..., N} and any thread count.
+//
+// Reserve semantics (vs. the live shared counter of RunServerSimulation):
+// the global reserve is lent to movies as per-window acquisition credits,
+// redistributed at each barrier by demand-weighted largest-remainder
+// apportionment. A movie that exhausts its credit mid-window is refused
+// (the same hard-refusal surface the seed model has); a fault that shrinks
+// capacity below what is already held converts the deficit into retirement
+// debt, repaid from releases before any stream is re-lent. The
+// shard-reserve-ledger audit law checks Σ(held + credit − debt) == capacity
+// at every barrier.
+
+#ifndef VOD_SIM_SHARDED_SERVER_H_
+#define VOD_SIM_SHARDED_SERVER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/server.h"
+
+namespace vod {
+
+/// Replay-verify checkpointing for a sharded run (see DESIGN.md §12.5):
+/// the checkpoint pins the run's identity (config fingerprint + shard
+/// count) and its trajectory (a ledger-digest chain sampled at barriers).
+/// Resume replays deterministically from t = 0 and *verifies* the digest at
+/// the checkpointed window — a divergence (corrupted state, changed binary,
+/// changed config) is an Internal error instead of a silently different
+/// report.
+struct ShardedCheckpointOptions {
+  /// Snapshot path; empty = checkpointing off.
+  std::string path;
+  /// Windows between snapshots.
+  int64_t every_windows = 8;
+  /// Resume from `path` if it exists (fresh run otherwise). The snapshot's
+  /// shard count must match the run's — a changed shard count is rejected
+  /// with InvalidArgument (determinism makes the restriction unnecessary in
+  /// principle, but a mismatch almost always means a mis-assembled resume
+  /// command, and refusing loudly beats re-running 10M viewers to discover
+  /// it).
+  bool resume = false;
+  /// Test hook: stop (with report.complete = false) after this many windows,
+  /// writing a final checkpoint — in-process crash emulation for the
+  /// round-trip tests. <= 0 runs to the horizon.
+  int64_t stop_after_windows = 0;
+};
+
+/// Knobs of a sharded run, wrapping the single-threaded server's options.
+struct ShardedServerOptions {
+  /// Base options. Sharded mode rejects (InvalidArgument, naming the knob):
+  /// degradation.enabled (the global ladder is inherently cross-shard-live),
+  /// obs.event_log and obs.metrics (telemetry buses are single-threaded).
+  /// Faults, audit, and the controller are supported.
+  ServerOptions base;
+  /// Shards the movie catalog is partitioned over (movie i -> i % shards).
+  int shards = 1;
+  /// Worker threads executing shard windows; results never depend on it.
+  int threads = 1;
+  /// Barrier cadence in simulated minutes.
+  double window_minutes = 60.0;
+  ShardedCheckpointOptions checkpoint;
+};
+
+/// Outcome of a sharded run. `server` carries the same per-movie and
+/// reserve aggregates RunServerSimulation reports; `aggregate` pools every
+/// movie's metrics through SimulationMetrics::MergeFrom (in global movie
+/// order) into one whole-server view.
+struct ShardedServerReport {
+  ServerReport server;
+  /// All movies' metrics merged into one report (hit probabilities with
+  /// exact per-stream batch-means uncertainty, pooled waits/quantiles).
+  SimulationReport aggregate;
+
+  int64_t windows = 0;
+  double window_minutes = 0.0;
+  /// Mailbox traffic totals; per-movie message keying makes them invariant
+  /// across shard counts, so they print in ToString as a free determinism
+  /// cross-check.
+  uint64_t messages_posted = 0;
+  uint64_t messages_drained = 0;
+  /// FNV-1a chain over every barrier's ledger (capacity + per-movie
+  /// held/credit/debt/entered/exited) — the run's trajectory fingerprint.
+  uint64_t ledger_digest = 0;
+
+  /// Execution-shape diagnostics, excluded from ToString: reports must be
+  /// byte-identical across shard/thread counts, and `complete` only varies
+  /// via the stop_after_windows test hook.
+  int shards = 0;
+  int threads = 0;
+  uint64_t executed_events = 0;
+  bool complete = true;
+
+  /// Deterministic full-precision serialization; byte-identical across
+  /// shard counts and thread counts for a fixed configuration.
+  std::string ToString() const;
+};
+
+/// Validates sharded options (on top of ValidateServerInputs on the base).
+Status ValidateShardedInputs(const std::vector<ServerMovieSpec>& movies,
+                             const ShardedServerOptions& options);
+
+/// \brief Runs the sharded simulation to the horizon.
+///
+/// Deterministic in options.base.seed; byte-identical for any
+/// (shards, threads) pair. With audit enabled, a violated conservation law
+/// (including the cross-shard laws) returns the auditor's error Status.
+Result<ShardedServerReport> RunShardedServerSimulation(
+    const std::vector<ServerMovieSpec>& movies,
+    const ShardedServerOptions& options);
+
+}  // namespace vod
+
+#endif  // VOD_SIM_SHARDED_SERVER_H_

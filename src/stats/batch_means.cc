@@ -46,18 +46,22 @@ Status BatchMeans::Merge(const BatchMeans& other) {
   batch_averages_.insert(batch_averages_.end(), other.batch_averages_.begin(),
                          other.batch_averages_.end());
   total_count_ += other.total_count_;
-  // Fold the two partial batches; the combined remainder closes a batch as
-  // soon as it fills, exactly as if the observations had streamed in.
-  batch_sum_ += other.batch_sum_;
-  in_batch_ += other.in_batch_;
-  if (in_batch_ >= batch_size_) {
-    // The fold never produces more than one closeable batch (each partial
-    // holds < batch_size_ observations).
-    batch_averages_.push_back(batch_sum_ / static_cast<double>(in_batch_));
-    batch_sum_ = 0.0;
-    in_batch_ = 0;
+  // Batches form per stream: adopt the other stream's partial remainder (and
+  // any remainders it carried from earlier merges) intact. Folding it into
+  // this stream's partial would close a batch mixing observations from two
+  // streams — a silent approximation sharded metrics must not make.
+  pending_.insert(pending_.end(), other.pending_.begin(),
+                  other.pending_.end());
+  if (other.in_batch_ > 0) {
+    pending_.emplace_back(other.batch_sum_, other.in_batch_);
   }
   return Status::OK();
+}
+
+int64_t BatchMeans::pending_count() const {
+  int64_t n = 0;
+  for (const auto& p : pending_) n += p.second;
+  return n;
 }
 
 BatchMeansInterval BatchMeans::Interval() const {

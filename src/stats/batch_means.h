@@ -10,6 +10,7 @@
 #define VOD_STATS_BATCH_MEANS_H_
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "common/status.h"
@@ -37,13 +38,18 @@ class BatchMeans {
 
   void Add(double x);
 
-  /// \brief Concatenation merge for per-shard collection: appends `other`'s
-  /// completed batches after this accumulator's, then folds the two partial
-  /// batches together (closing a batch whenever the combined partial
-  /// fills). Exact — identical to single-stream collection — when this
-  /// accumulator's partial batch is empty at merge time, i.e. when shard
-  /// boundaries align with batch boundaries. InvalidArgument on batch-size
-  /// mismatch.
+  /// \brief Exact merge for per-shard collection. Batches form *per stream*:
+  /// the merged accumulator's completed batches are exactly the union of the
+  /// two accumulators' completed batches (every one averages exactly
+  /// `batch_size` consecutive same-stream observations, preserving the
+  /// autocorrelation-absorption guarantee), and `other`'s partial remainder —
+  /// plus any remainders it carried from earlier merges — is carried intact
+  /// in a pending list, never folded across streams into a wrong-sized
+  /// batch. This accumulator's own partial batch keeps filling from
+  /// subsequent Add() calls as before. The result is independent of merge
+  /// order, and no observation is silently dropped or re-batched:
+  /// `total_count() == completed_batches()*batch_size + in_batch() +
+  /// pending_count()` always holds. InvalidArgument on batch-size mismatch.
   Status Merge(const BatchMeans& other);
 
   /// Number of completed batches.
@@ -51,12 +57,19 @@ class BatchMeans {
     return static_cast<int64_t>(batch_averages_.size());
   }
   int64_t total_count() const { return total_count_; }
+  /// Observations in this stream's own (still-filling) partial batch.
+  int64_t in_batch() const { return in_batch_; }
+  /// Observations carried from merged-in streams' partial batches. These
+  /// never close into a batch; they exist so merges are exact and auditable
+  /// rather than silently approximated.
+  int64_t pending_count() const;
   const std::vector<double>& batch_averages() const {
     return batch_averages_;
   }
 
-  /// 95% Student-t interval over the completed batch averages. The partial
-  /// final batch is ignored.
+  /// 95% Student-t interval over the completed batch averages. Partial
+  /// batches — this stream's own and any merge-carried remainders — are
+  /// ignored, exactly as in single-stream collection.
   BatchMeansInterval Interval() const;
 
  private:
@@ -65,6 +78,8 @@ class BatchMeans {
   double batch_sum_ = 0.0;
   int64_t total_count_ = 0;
   std::vector<double> batch_averages_;
+  /// (sum, count) remainders adopted from merged-in accumulators.
+  std::vector<std::pair<double, int64_t>> pending_;
 };
 
 /// Two-sided 97.5% Student-t quantile for `dof` degrees of freedom

@@ -203,7 +203,12 @@ TEST(ReserveManagerTest, QueueAccountingIdentity) {
     ASSERT_TRUE(mgr.TryQueueAcquire(
         static_cast<double>(i), [&decided](double, bool) { ++decided; }));
   }
-  mgr.Release(2.5);  // exactly one waiter can be re-offered
+  // Keep the manager's clock monotone: run the queue up to the release
+  // time first (those retries find no free stream), release, then let the
+  // next retry re-offer. Releasing at 2.5 with unexecuted earlier retry
+  // events still pending would step the time-weighted trackers backwards.
+  queue.RunUntil(2.5);
+  mgr.Release(2.5);  // exactly one waiter can be re-offered (at the 2.75 retry)
   queue.RunUntil(3.0);  // before the deadlines: expirations still pending
   mgr.Finalize(3.0);
   EXPECT_EQ(mgr.vcr_queued(), mgr.vcr_queue_grants() +

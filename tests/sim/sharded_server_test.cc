@@ -1,0 +1,188 @@
+#include "sim/sharded_server.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/mailbox.h"
+#include "obs/event_log.h"
+#include "sim/shard.h"
+#include "workload/paper_presets.h"
+
+namespace vod {
+namespace {
+
+PartitionLayout MakeLayout(double l, int n, double b) {
+  auto layout = PartitionLayout::FromBuffer(l, n, b);
+  EXPECT_TRUE(layout.ok());
+  return *layout;
+}
+
+std::vector<ServerMovieSpec> FourMovies() {
+  std::vector<ServerMovieSpec> movies;
+  movies.push_back({"alpha", MakeLayout(120.0, 40, 80.0), 0.5, nullptr,
+                    paper::Fig7MixedBehavior()});
+  movies.push_back({"beta", MakeLayout(90.0, 30, 45.0), 0.25, nullptr,
+                    paper::Fig7SingleOpBehavior(VcrOp::kFastForward)});
+  movies.push_back({"gamma", MakeLayout(100.0, 20, 50.0), 0.4, nullptr,
+                    paper::Fig7MixedBehavior()});
+  movies.push_back({"delta", MakeLayout(110.0, 25, 60.0), 0.3, nullptr,
+                    paper::Fig7MixedBehavior()});
+  return movies;
+}
+
+ShardedServerOptions BaseOptions(int shards, int threads) {
+  ShardedServerOptions options;
+  options.base.rates = paper::Rates();
+  options.base.dynamic_stream_reserve = 60;
+  options.base.warmup_minutes = 500.0;
+  options.base.measurement_minutes = 4000.0;
+  options.base.seed = 17;
+  options.shards = shards;
+  options.threads = threads;
+  options.window_minutes = 50.0;
+  return options;
+}
+
+TEST(ShardedServerTest, Validation) {
+  auto movies = FourMovies();
+  auto bad_shards = BaseOptions(0, 1);
+  EXPECT_TRUE(RunShardedServerSimulation(movies, bad_shards)
+                  .status()
+                  .IsInvalidArgument());
+  auto bad_window = BaseOptions(2, 1);
+  bad_window.window_minutes = 0.0;
+  EXPECT_TRUE(RunShardedServerSimulation(movies, bad_window)
+                  .status()
+                  .IsInvalidArgument());
+  auto degradation = BaseOptions(2, 1);
+  degradation.base.degradation.enabled = true;
+  const auto st = RunShardedServerSimulation(movies, degradation).status();
+  EXPECT_TRUE(st.IsInvalidArgument());
+  EXPECT_NE(st.message().find("degradation"), std::string::npos);
+  auto traced = BaseOptions(2, 1);
+  EventLog log;
+  traced.base.obs.event_log = &log;
+  EXPECT_TRUE(RunShardedServerSimulation(movies, traced)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(ShardedServerTest, RunsAndReportsEveryMovie) {
+  const auto report = RunShardedServerSimulation(FourMovies(),
+                                                 BaseOptions(2, 2));
+  ASSERT_TRUE(report.ok()) << report.status().message();
+  ASSERT_EQ(report->server.movies.size(), 4u);
+  EXPECT_EQ(report->server.movies[0].name, "alpha");
+  EXPECT_EQ(report->server.movies[3].name, "delta");
+  EXPECT_GT(report->server.movies[0].report.total_resumes, 0);
+  EXPECT_GT(report->aggregate.total_resumes,
+            report->server.movies[0].report.total_resumes);
+  EXPECT_GT(report->windows, 0);
+  EXPECT_TRUE(report->complete);
+  // Every cross-shard message is drained when the run ends.
+  EXPECT_EQ(report->messages_posted, report->messages_drained);
+  EXPECT_GT(report->messages_posted, 0u);
+}
+
+TEST(ShardedServerTest, AggregateMatchesSumOfMovies) {
+  const auto report = RunShardedServerSimulation(FourMovies(),
+                                                 BaseOptions(3, 2));
+  ASSERT_TRUE(report.ok()) << report.status().message();
+  int64_t resumes = 0;
+  int64_t admissions = 0;
+  for (const auto& m : report->server.movies) {
+    resumes += m.report.total_resumes;
+    admissions += m.report.admissions;
+  }
+  EXPECT_EQ(report->aggregate.total_resumes, resumes);
+  EXPECT_EQ(report->aggregate.admissions, admissions);
+}
+
+TEST(ShardedServerTest, ReportIndependentOfShardAndThreadCount) {
+  const auto golden = RunShardedServerSimulation(FourMovies(),
+                                                 BaseOptions(1, 1));
+  ASSERT_TRUE(golden.ok()) << golden.status().message();
+  const std::string golden_text = golden->ToString();
+  for (int shards : {2, 3, 4}) {
+    for (int threads : {1, 2}) {
+      const auto got = RunShardedServerSimulation(
+          FourMovies(), BaseOptions(shards, threads));
+      ASSERT_TRUE(got.ok()) << got.status().message();
+      EXPECT_EQ(got->ToString(), golden_text)
+          << "shards=" << shards << " threads=" << threads;
+    }
+  }
+}
+
+TEST(ShardedServerTest, ReserveLedgerConservedUnderAudit) {
+  auto options = BaseOptions(2, 2);
+  options.base.audit.enabled = true;
+  options.base.dynamic_stream_reserve = 10;  // scarce: credits matter
+  const auto report = RunShardedServerSimulation(FourMovies(), options);
+  ASSERT_TRUE(report.ok()) << report.status().message();
+  EXPECT_GT(report->server.refused_acquisitions, 0);
+}
+
+TEST(ShardedServerTest, ScarceReserveRefusesMoreThanAmpleReserve) {
+  auto scarce = BaseOptions(2, 1);
+  scarce.base.dynamic_stream_reserve = 5;
+  auto ample = BaseOptions(2, 1);
+  ample.base.dynamic_stream_reserve = 500;
+  const auto scarce_report = RunShardedServerSimulation(FourMovies(), scarce);
+  const auto ample_report = RunShardedServerSimulation(FourMovies(), ample);
+  ASSERT_TRUE(scarce_report.ok() && ample_report.ok());
+  EXPECT_GT(scarce_report->server.refusal_probability,
+            ample_report->server.refusal_probability);
+  EXPECT_LE(ample_report->server.refusal_probability, 0.01);
+}
+
+TEST(CreditStreamSupplierTest, CreditAndDebtLifecycle) {
+  CreditStreamSupplier supplier;
+  supplier.SetLedger(/*credit=*/2, /*debt=*/0);
+  EXPECT_TRUE(supplier.TryAcquire(1.0));
+  EXPECT_TRUE(supplier.TryAcquire(2.0));
+  EXPECT_FALSE(supplier.TryAcquire(3.0));  // credit exhausted
+  EXPECT_EQ(supplier.held(), 2);
+  EXPECT_EQ(supplier.refused(), 1);
+  // A fault assigns retirement debt: the next release retires instead of
+  // re-lending.
+  supplier.SetLedger(/*credit=*/0, /*debt=*/1);
+  supplier.Release(4.0);
+  EXPECT_EQ(supplier.held(), 1);
+  EXPECT_EQ(supplier.debt(), 0);
+  EXPECT_EQ(supplier.credit(), 0);
+  supplier.Release(5.0);
+  EXPECT_EQ(supplier.credit(), 1);
+  EXPECT_EQ(supplier.window_refused(), 1);
+  EXPECT_EQ(supplier.window_acquired(), 2);
+  supplier.ResetWindow();
+  EXPECT_EQ(supplier.window_refused(), 0);
+  EXPECT_EQ(supplier.window_acquired(), 0);
+}
+
+TEST(ShardMailboxTest, SequenceAccounting) {
+  ShardMailbox box;
+  for (int i = 0; i < 5; ++i) {
+    ShardMessage m;
+    m.kind = 1;
+    m.movie = i;
+    box.Post(m);
+  }
+  EXPECT_EQ(box.posted(), 5u);
+  const auto batch = box.Drain();
+  ASSERT_EQ(batch.size(), 5u);
+  for (size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_EQ(batch[i].seq, i);
+  }
+  EXPECT_EQ(box.drained(), 5u);
+  EXPECT_EQ(box.sequence_gaps(), 0u);
+  EXPECT_TRUE(box.empty());
+  // Draining an empty box is a no-op, not a gap.
+  EXPECT_TRUE(box.Drain().empty());
+  EXPECT_EQ(box.sequence_gaps(), 0u);
+}
+
+}  // namespace
+}  // namespace vod

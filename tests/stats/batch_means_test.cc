@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <vector>
 
 #include "common/rng.h"
 
@@ -86,6 +87,93 @@ TEST(BatchMeansTest, CorrelatedStreamWidensInterval) {
   const BatchMeansInterval interval = bm.Interval();
   ASSERT_TRUE(interval.valid);
   EXPECT_GT(interval.half_width, 2.0 * naive_half);
+}
+
+TEST(BatchMeansMergeTest, RejectsBatchSizeMismatch) {
+  BatchMeans a(10);
+  BatchMeans b(20);
+  EXPECT_FALSE(a.Merge(b).ok());
+}
+
+TEST(BatchMeansMergeTest, ExactWithNonEmptyPartials) {
+  // Regression for the old fold-the-partials merge, which closed a batch
+  // mixing observations from two streams (and of the wrong size). With
+  // per-stream batch formation the merged completed batches are exactly the
+  // union of the shards' batches, and both partial remainders survive as
+  // accountable observations.
+  BatchMeans a(10);
+  BatchMeans b(10);
+  for (int i = 0; i < 27; ++i) a.Add(1.0);   // 2 batches + 7 partial
+  for (int i = 0; i < 35; ++i) b.Add(5.0);   // 3 batches + 5 partial
+  ASSERT_TRUE(a.Merge(b).ok());
+
+  EXPECT_EQ(a.completed_batches(), 5);
+  EXPECT_EQ(a.total_count(), 62);
+  EXPECT_EQ(a.in_batch(), 7);       // a's own partial keeps filling
+  EXPECT_EQ(a.pending_count(), 5);  // b's remainder carried, not folded
+  EXPECT_EQ(a.total_count(),
+            a.completed_batches() * 10 + a.in_batch() + a.pending_count());
+  // The old merge would have closed a 12-observation batch averaging
+  // (7*1 + 5*5)/12 ≈ 2.67 here; every surviving batch average must be a
+  // pure per-stream value.
+  for (double avg : a.batch_averages()) {
+    EXPECT_TRUE(avg == 1.0 || avg == 5.0) << avg;
+  }
+  const BatchMeansInterval interval = a.Interval();
+  ASSERT_TRUE(interval.valid);
+  EXPECT_DOUBLE_EQ(interval.mean, (2 * 1.0 + 3 * 5.0) / 5.0);
+}
+
+TEST(BatchMeansMergeTest, OrderIndependentAcrossThreeShards) {
+  Rng rng(21);
+  std::vector<std::vector<double>> streams(3);
+  for (int s = 0; s < 3; ++s) {
+    const int n = 40 + static_cast<int>(rng.UniformInt(25));
+    for (int i = 0; i < n; ++i) streams[s].push_back(rng.Uniform(0.0, 1.0));
+  }
+  auto collect = [&](int s) {
+    BatchMeans bm(10);
+    for (double x : streams[s]) bm.Add(x);
+    return bm;
+  };
+  BatchMeans fwd = collect(0);
+  ASSERT_TRUE(fwd.Merge(collect(1)).ok());
+  ASSERT_TRUE(fwd.Merge(collect(2)).ok());
+  BatchMeans rev = collect(2);
+  ASSERT_TRUE(rev.Merge(collect(1)).ok());
+  ASSERT_TRUE(rev.Merge(collect(0)).ok());
+
+  EXPECT_EQ(fwd.total_count(), rev.total_count());
+  EXPECT_EQ(fwd.completed_batches(), rev.completed_batches());
+  EXPECT_EQ(fwd.in_batch() + fwd.pending_count(),
+            rev.in_batch() + rev.pending_count());
+  const BatchMeansInterval fi = fwd.Interval();
+  const BatchMeansInterval ri = rev.Interval();
+  ASSERT_TRUE(fi.valid);
+  EXPECT_DOUBLE_EQ(fi.mean, ri.mean);
+  EXPECT_DOUBLE_EQ(fi.half_width, ri.half_width);
+}
+
+TEST(BatchMeansMergeTest, AlignedShardsEqualSingleStream) {
+  // When shard boundaries align with batch boundaries, merge still equals
+  // single-stream collection exactly (the guarantee the old merge had only
+  // in this case must be preserved).
+  Rng rng(22);
+  std::vector<double> xs;
+  for (int i = 0; i < 60; ++i) xs.push_back(rng.Uniform(0.0, 2.0));
+  BatchMeans single(10);
+  for (double x : xs) single.Add(x);
+  BatchMeans a(10);
+  BatchMeans b(10);
+  for (int i = 0; i < 30; ++i) a.Add(xs[i]);
+  for (int i = 30; i < 60; ++i) b.Add(xs[i]);
+  ASSERT_TRUE(a.Merge(b).ok());
+  ASSERT_EQ(a.batch_averages().size(), single.batch_averages().size());
+  for (size_t i = 0; i < a.batch_averages().size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.batch_averages()[i], single.batch_averages()[i]);
+  }
+  EXPECT_EQ(a.pending_count(), 0);
+  EXPECT_EQ(a.in_batch(), 0);
 }
 
 TEST(BatchMeansTest, BernoulliStreamEstimatesProportion) {

@@ -36,6 +36,7 @@
 #include "sim/degradation.h"
 #include "sim/partition_schedule.h"
 #include "sim/server.h"
+#include "sim/sharded_server.h"
 #include "sim/simulator.h"
 #include "workload/catalog.h"
 #include "workload/paper_presets.h"
@@ -841,6 +842,102 @@ int TimelineCommand(int argc, char** argv) {
   return 0;
 }
 
+// ---- vodctl shard ----------------------------------------------------------
+//
+// The sharded multi-core server engine: one giant simulated server whose
+// movies are partitioned across per-core shards, coupled only at
+// deterministic window barriers (sim/sharded_server.h). The report is
+// byte-identical for any --shards/--threads combination, and --checkpoint
+// makes the run SIGKILL/resume-safe via replay-verified barrier snapshots.
+
+int ShardCommand(int argc, char** argv) {
+  FlagSet flags("vodctl shard");
+  flags.AddDouble("length", 120.0, "movie length (minutes)");
+  flags.AddInt64("streams", 40, "I/O stream budget split across --movies");
+  flags.AddDouble("buffer", 0.0, "buffer minutes B (overrides --wait; only "
+                  "used when --movies=1)");
+  flags.AddDouble("wait", 1.0, "max wait w sizing each movie's layout");
+  flags.AddString("duration", "gamma(2,4)", "VCR duration distribution");
+  flags.AddString("mix", "mixed", "ff|rw|pau|mixed or 'p_ff,p_rw,p_pau'");
+  flags.AddDouble("arrival_gap", 2.0, "mean inter-arrival time (minutes), "
+                  "split across the catalog");
+  flags.AddInt64("movies", 8, "catalog size: the arrival rate and --streams "
+                 "split across this many Zipf-ranked titles");
+  flags.AddDouble("zipf", 1.0, "popularity skew of the --movies split");
+  flags.AddString("flash", "", "flash crowd 'movie:start:duration:factor'");
+  flags.AddDouble("measure", 20000.0, "measured minutes");
+  flags.AddInt64("seed", 42, "RNG seed");
+  flags.AddInt64("reserve", 100, "shared dynamic stream reserve, distributed "
+                 "to movies as per-window credits");
+  flags.AddString("faults", "", "disk faults 'disks:mtbf:mttr' in minutes");
+  flags.AddBool("controller", false, "enable the buffer-reallocation control "
+                "plane above the barrier");
+  flags.AddBool("audit", false, "audit the cross-shard conservation laws at "
+                "every window barrier");
+  flags.AddBool("paranoid", false, "alias of --audit for this engine "
+                "(barrier cadence is already every window)");
+  flags.AddInt64("shards", 2, "shards the movies are partitioned across");
+  flags.AddInt64("threads", 2, "worker threads driving the shards");
+  flags.AddDouble("window", 60.0, "barrier window length (simulated minutes)");
+  flags.AddString("checkpoint", "", "replay-verify checkpoint file written "
+                  "at window barriers");
+  flags.AddInt64("checkpoint_every", 8, "windows between checkpoint saves");
+  flags.AddBool("resume", false, "resume from --checkpoint (replays from "
+                "t=0 and verifies the barrier-ledger digest)");
+  flags.AddInt64("stop_after_windows", 0, "stop (incomplete) after this many "
+                 "windows — in-process crash emulation for tests (0 = run to "
+                 "the horizon)");
+  flags.AddString("report_out", "", "also write the final report text to "
+                  "this file (byte-identical to stdout)");
+  const Status parsed = flags.Parse(argc, argv);
+  if (!parsed.ok()) return Fail(parsed);
+
+  const auto layout = LayoutFromFlags(flags);
+  if (!layout.ok()) return Fail(layout.status());
+  const auto duration = ParseDistributionSpec(flags.GetString("duration"));
+  if (!duration.ok()) return Fail(duration.status());
+  const auto mix = ParseMix(flags.GetString("mix"));
+  if (!mix.ok()) return Fail(mix.status());
+  const auto movies = ServerMoviesFromFlags(flags, *layout, *mix, *duration);
+  if (!movies.ok()) return Fail(movies.status());
+
+  ShardedServerOptions options;
+  options.base.rates = paper::Rates();
+  options.base.dynamic_stream_reserve = flags.GetInt64("reserve");
+  options.base.measurement_minutes = flags.GetDouble("measure");
+  options.base.warmup_minutes = options.base.measurement_minutes * 0.05;
+  options.base.seed = static_cast<uint64_t>(flags.GetInt64("seed"));
+  if (flags.WasSet("faults")) {
+    const auto faults = ParseFaultSpec(flags.GetString("faults"));
+    if (!faults.ok()) return Fail(faults.status());
+    options.base.faults = *faults;
+  }
+  options.base.controller.enabled = flags.GetBool("controller");
+  options.base.audit.enabled =
+      flags.GetBool("audit") || flags.GetBool("paranoid");
+  options.shards = static_cast<int>(flags.GetInt64("shards"));
+  options.threads = static_cast<int>(flags.GetInt64("threads"));
+  options.window_minutes = flags.GetDouble("window");
+  options.checkpoint.path = flags.GetString("checkpoint");
+  options.checkpoint.every_windows = flags.GetInt64("checkpoint_every");
+  options.checkpoint.resume = flags.GetBool("resume");
+  options.checkpoint.stop_after_windows =
+      flags.GetInt64("stop_after_windows");
+
+  const auto report = RunShardedServerSimulation(*movies, options);
+  if (!report.ok()) return Fail(report.status());
+  if (!report->complete) {
+    // Crash emulation: the run stopped at a barrier without reaching the
+    // horizon. Exit non-zero without emitting a report so a soak harness
+    // treats it like a killed child.
+    std::fprintf(stderr, "vodctl shard: stopped after %lld windows "
+                 "(incomplete; resume from the checkpoint)\n",
+                 static_cast<long long>(report->windows));
+    return 3;
+  }
+  return EmitReport(flags, report->ToString() + "\n");
+}
+
 // ---- vodctl soak -----------------------------------------------------------
 //
 // Chaos soak for crash recovery: runs `vodctl simulate` sweeps as child
@@ -914,6 +1011,11 @@ int SoakCommand(int argc, char** argv) {
   flags.AddBool("drift", false, "soak the whole-server drift stack instead "
                 "of the single-movie sweep: flash crowd + control plane + "
                 "disk faults, killed and resumed mid-migration");
+  flags.AddInt64("shards", 0, "soak the sharded multi-core server instead: "
+                 "`vodctl shard` children with this many shards, SIGKILLed "
+                 "between barriers and resumed from the replay-verify "
+                 "checkpoint (golden run uses 1 thread, chaos children "
+                 "--threads, proving the bytes are thread-independent too)");
   const Status parsed = flags.Parse(argc, argv);
   if (!parsed.ok()) return Fail(parsed);
   if (flags.GetInt64("cycles") < 1 ||
@@ -930,16 +1032,37 @@ int SoakCommand(int argc, char** argv) {
   std::remove(report_path.c_str());
   std::remove(ckpt_path.c_str());
 
-  std::vector<std::string> base_args = {
-      "simulate",
-      "--replications=" + std::to_string(flags.GetInt64("replications")),
-      "--measure=" + std::to_string(flags.GetDouble("measure")),
-      "--seed=" + std::to_string(flags.GetInt64("seed")),
-      "--threads=" + std::to_string(flags.GetInt64("threads")),
-      "--checkpoint_every=1",
-      "--audit",  // the soak audits invariants throughout every sweep
-  };
-  if (flags.GetBool("drift")) {
+  const int64_t soak_shards = flags.GetInt64("shards");
+  std::vector<std::string> base_args;
+  if (soak_shards > 0) {
+    // Sharded-server chaos leg: one giant server, barrier checkpoints,
+    // cross-shard conservation audited at every window. Threads are
+    // appended per-invocation below (golden 1, chaos children --threads)
+    // so a byte-identical recovery also proves thread-independence.
+    base_args = {
+        "shard",
+        "--movies=6",
+        "--shards=" + std::to_string(soak_shards),
+        "--measure=" + std::to_string(flags.GetDouble("measure")),
+        "--seed=" + std::to_string(flags.GetInt64("seed")),
+        "--window=50",
+        "--reserve=40",
+        "--faults=4:2000:120",
+        "--audit",
+        "--checkpoint_every=2",
+    };
+  } else {
+    base_args = {
+        "simulate",
+        "--replications=" + std::to_string(flags.GetInt64("replications")),
+        "--measure=" + std::to_string(flags.GetDouble("measure")),
+        "--seed=" + std::to_string(flags.GetInt64("seed")),
+        "--threads=" + std::to_string(flags.GetInt64("threads")),
+        "--checkpoint_every=1",
+        "--audit",  // the soak audits invariants throughout every sweep
+    };
+  }
+  if (soak_shards == 0 && flags.GetBool("drift")) {
     // Whole-server drift stack: a Zipf catalog with a flash crowd early in
     // the horizon, the controller re-planning through it, disk faults
     // shrinking the reserve, and the degradation ladder armed. SIGKILLs
@@ -956,11 +1079,17 @@ int SoakCommand(int argc, char** argv) {
   // events to a sink; only the report files are byte-compared.
   const std::string trace_path = prefix + ".trace.jsonl";
   if (flags.GetBool("trace")) {
+    if (soak_shards > 0) {
+      return Fail(Status::InvalidArgument(
+          "--trace is not supported with --shards (the sharded engine "
+          "rejects event tracing)"));
+    }
     base_args.push_back("--trace_out=" + trace_path);
   }
 
   // Golden run: same sweep, no checkpointing, never killed.
   std::vector<std::string> golden_args = base_args;
+  if (soak_shards > 0) golden_args.push_back("--threads=1");
   golden_args.push_back("--report_out=" + golden_path);
   std::printf("soak: golden uninterrupted run...\n");
   auto golden_exit = RunSelf(golden_args, /*kill_after_ms=*/-1);
@@ -978,6 +1107,9 @@ int SoakCommand(int argc, char** argv) {
   bool finished_early = false;
   for (int64_t cycle = 0; cycle < flags.GetInt64("cycles"); ++cycle) {
     std::vector<std::string> args = base_args;
+    if (soak_shards > 0) {
+      args.push_back("--threads=" + std::to_string(flags.GetInt64("threads")));
+    }
     args.push_back("--checkpoint=" + ckpt_path);
     args.push_back("--report_out=" + report_path);
     if (FileExists(ckpt_path)) args.push_back("--resume");
@@ -1005,6 +1137,9 @@ int SoakCommand(int argc, char** argv) {
   // Final resume: must complete and must reproduce the golden bytes.
   if (!finished_early) {
     std::vector<std::string> args = base_args;
+    if (soak_shards > 0) {
+      args.push_back("--threads=" + std::to_string(flags.GetInt64("threads")));
+    }
     args.push_back("--checkpoint=" + ckpt_path);
     args.push_back("--report_out=" + report_path);
     if (FileExists(ckpt_path)) args.push_back("--resume");
@@ -1125,6 +1260,7 @@ int Usage() {
       "  model     analytic P(hit) breakdown for one configuration\n"
       "  size      minimum-buffer sizing for QoS targets\n"
       "  simulate  discrete-event simulation of one movie\n"
+      "  shard     sharded multi-core simulation of one giant server\n"
       "  catalog   size a whole catalog from CSV\n"
       "  timeline  ASCII view of the partition windows and a FF trajectory\n"
       "  soak      SIGKILL/resume chaos soak of a checkpointed sweep\n"
@@ -1144,6 +1280,7 @@ int main(int argc, char** argv) {
   if (command == "model") return vod::ModelCommand(argc - 1, argv + 1);
   if (command == "size") return vod::SizeCommand(argc - 1, argv + 1);
   if (command == "simulate") return vod::SimulateCommand(argc - 1, argv + 1);
+  if (command == "shard") return vod::ShardCommand(argc - 1, argv + 1);
   if (command == "catalog") return vod::CatalogCommand(argc - 1, argv + 1);
   if (command == "timeline") return vod::TimelineCommand(argc - 1, argv + 1);
   if (command == "soak") return vod::SoakCommand(argc - 1, argv + 1);
