@@ -1,0 +1,8 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/bench
+# Build directory: /root/repo/build-review/bench
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(soak_crash_recovery "/root/repo/build-review/bench/soak_crash_recovery" "--cycles=3" "--seed=7" "--prefix=soak_ctest")
+set_tests_properties(soak_crash_recovery PROPERTIES  LABELS "integration" WORKING_DIRECTORY "/root/repo/build-review/bench" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;41;add_test;/root/repo/bench/CMakeLists.txt;0;")

@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build-review/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("numerics")
+subdirs("stats")
+subdirs("obs")
+subdirs("dist")
+subdirs("core")
+subdirs("ctrl")
+subdirs("workload")
+subdirs("storage")
+subdirs("sim")
+subdirs("exp")
