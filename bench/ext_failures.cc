@@ -26,6 +26,7 @@
 #include "core/erlang.h"
 #include "exp/experiment.h"
 #include "sim/server.h"
+#include "sim/sharded_server.h"
 #include "sim/simulator.h"
 #include "workload/paper_presets.h"
 
@@ -197,6 +198,91 @@ int main(int argc, char** argv) {
   } else {
     table.RenderText(std::cout);
   }
+
+  // ---- sharded leg: the windowed ladder at scale ---------------------------
+  //
+  // The same failure regimes on the sharded multi-core engine with the
+  // windowed degradation ladder armed: shards x fault intensity, 1 shard as
+  // the reference. Three checks ride along: the report must be
+  // byte-identical across shard counts (the ladder decision is a pure
+  // function of summed pressure at the barrier, so shard count cannot leak
+  // into it), the queue accounting must close, and the resilience view —
+  // time under degradation, blocked VCR work, P2 queued-wait quantiles
+  // pooled across every shard's queue — is the row payload.
+  std::printf("\nsharded windowed ladder (6 movies, shards x faults, "
+              "reserve=24):\n");
+  std::vector<ServerMovieSpec> sharded_movies;
+  for (int copy = 0; copy < 2; ++copy) {
+    for (const ServerMovieSpec& movie : movies) {
+      ServerMovieSpec spec = movie;
+      spec.arrival_rate_per_minute *= 0.5;
+      sharded_movies.push_back(spec);
+    }
+  }
+  const std::vector<FaultPoint> sharded_faults = {
+      {"mtbf=4000 mttr=240", true, 4000.0, 240.0},
+      {"mtbf=1000 mttr=480", true, 1000.0, 480.0},
+  };
+  TableWriter sharded_table({"faults", "shards", "windows", "blocked",
+                             "queued", "q-wait p50", "q-wait p99",
+                             "reclaims", "degraded %", "identical"});
+  bool all_identical = true;
+  for (const FaultPoint& point : sharded_faults) {
+    std::string reference;  // 1-shard report bytes
+    for (const int shards : {1, 4, 8}) {
+      ShardedServerOptions options;
+      options.base.rates = paper::Rates();
+      options.base.dynamic_stream_reserve = 24;
+      options.base.warmup_minutes = 1000.0;
+      options.base.measurement_minutes = measure;
+      options.base.seed = 555;
+      options.base.degradation.enabled = true;
+      options.base.degradation.queue_deadline_minutes = deadline;
+      options.base.faults.enabled = true;
+      options.base.faults.disks = kDisks;
+      options.base.faults.profile.mtbf_minutes = point.mtbf;
+      options.base.faults.profile.mttr_minutes = point.mttr;
+      options.base.audit.enabled = true;
+      options.shards = shards;
+      options.threads = shards;
+      const auto sharded = RunShardedServerSimulation(sharded_movies, options);
+      VOD_CHECK_OK(sharded.status());
+      const std::string bytes = sharded->ToString();
+      if (reference.empty()) reference = bytes;
+      const bool identical = bytes == reference;
+      all_identical = all_identical && identical;
+
+      const ResilienceReport& rz = sharded->server.resilience;
+      const double horizon = 1000.0 + measure;
+      const double degraded_fraction = 1.0 - rz.time_in_level[0] / horizon;
+      const bool queue_closed =
+          rz.vcr_queued == rz.vcr_queue_grants + rz.vcr_queue_expirations +
+                               rz.vcr_queue_pending;
+      all_closed = all_closed && queue_closed;
+      sharded_table.AddRow(
+          {point.label, std::to_string(shards),
+           std::to_string(sharded->windows),
+           std::to_string(sharded->server.total_blocked_vcr),
+           std::to_string(rz.vcr_queued),
+           FormatDouble(rz.p50_queued_wait_minutes, 2),
+           FormatDouble(rz.p99_queued_wait_minutes, 2),
+           std::to_string(rz.forced_reclaims),
+           FormatDouble(100.0 * degraded_fraction, 1),
+           identical && queue_closed ? "yes" : "DIVERGED"});
+    }
+  }
+  if (flags.GetBool("csv")) {
+    sharded_table.RenderCsv(std::cout);
+  } else {
+    sharded_table.RenderText(std::cout);
+  }
+  if (!all_identical) {
+    std::fprintf(stderr,
+                 "ext_failures: sharded ladder reports DIVERGED across "
+                 "shard counts\n");
+    return 1;
+  }
+
   std::printf("\nReading: the mtbf=1e12 and mttr~0 rows reproduce the "
               "fault-free row (convergence); harsher failure regimes raise "
               "refusals, queueing, and forced reclaims, and the "

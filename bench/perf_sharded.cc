@@ -9,6 +9,12 @@
 // speedup superlinear in cores. BENCH_simulator.json tracks
 // events_per_second for the default rows.
 //
+// BM_ShardedRunDegraded is the same catalog with disk faults and the
+// windowed degradation ladder armed — pressure mailboxes, the barrier's
+// rung step and quota apportionment, and the shards' queued-VCR retry
+// machinery all on the hot path — pricing graceful degradation against the
+// plain rows.
+//
 // BM_ShardedRunGiant is the 10M-viewer scaling run behind EXPERIMENTS.md's
 // shards-vs-throughput table: an 8192-movie catalog with ~450k concurrent
 // viewers, minutes of wall clock per row. It only registers when
@@ -63,8 +69,11 @@ std::vector<ServerMovieSpec> MixedCatalog(int count) {
 
 /// Runs the sharded server over `movie_count` movies at the benchmark's
 /// shard count, with one worker thread per shard up to the hardware limit.
+/// `degraded` arms faults plus the windowed degradation ladder, so the
+/// barrier's pressure fold / rung step / quota apportionment and the
+/// shards' queued-VCR machinery are all on the measured path.
 void RunSharded(benchmark::State& state, int movie_count,
-                double measurement_minutes) {
+                double measurement_minutes, bool degraded = false) {
   const int shards = static_cast<int>(state.range(0));
   const int hw = static_cast<int>(std::thread::hardware_concurrency());
   const auto movies = MixedCatalog(movie_count);
@@ -76,6 +85,14 @@ void RunSharded(benchmark::State& state, int movie_count,
   options.shards = shards;
   options.threads = shards < hw ? shards : hw;
   options.window_minutes = 60.0;
+  if (degraded) {
+    options.base.faults.enabled = true;
+    options.base.faults.disks = 4;
+    options.base.faults.profile.mtbf_minutes = 600.0;
+    options.base.faults.profile.mttr_minutes = 300.0;
+    options.base.degradation.enabled = true;
+    options.base.degradation.queue_deadline_minutes = 5.0;
+  }
   uint64_t seed = 1;
   uint64_t total_events = 0;
   int64_t total_viewers = 0;
@@ -106,6 +123,11 @@ void BM_ShardedRun(benchmark::State& state) {
   RunSharded(state, /*movie_count=*/384, /*measurement_minutes=*/3000.0);
 }
 
+void BM_ShardedRunDegraded(benchmark::State& state) {
+  RunSharded(state, /*movie_count=*/384, /*measurement_minutes=*/3000.0,
+             /*degraded=*/true);
+}
+
 void BM_ShardedRunGiant(benchmark::State& state) {
   // ~10.1M viewers admitted per measured iteration (8192 movies, mean rate
   // 0.375/min, 3300 measured minutes), ~450k concurrently live.
@@ -116,6 +138,12 @@ void RegisterBenches() {
   auto* smoke = benchmark::RegisterBenchmark("BM_ShardedRun", BM_ShardedRun);
   smoke->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime()->Unit(
       benchmark::kMillisecond);
+  // Faults + windowed ladder live: what graceful degradation costs at the
+  // barrier. Shares the BM_ShardedRun name prefix so the CI smoke filter
+  // picks it up.
+  auto* degraded = benchmark::RegisterBenchmark("BM_ShardedRunDegraded",
+                                                BM_ShardedRunDegraded);
+  degraded->Arg(1)->Arg(4)->UseRealTime()->Unit(benchmark::kMillisecond);
   if (std::getenv("VOD_BENCH_GIANT") != nullptr) {
     auto* giant =
         benchmark::RegisterBenchmark("BM_ShardedRunGiant", BM_ShardedRunGiant);

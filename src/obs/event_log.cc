@@ -11,7 +11,7 @@ namespace {
 constexpr const char* kCategoryNames[kNumEventCategories] = {
     "admission", "restart", "vcr_begin", "resume",      "stall",
     "queue",     "shed",    "reclaim",   "fault",       "degradation",
-    "session",   "cell",    "tick",      "controller",
+    "session",   "cell",    "tick",      "controller",  "barrier",
 };
 
 // Subtype vocabularies, indexed to match the emitting code:
@@ -84,6 +84,9 @@ const char* EventSubtypeName(EventCategory category, uint8_t subtype) {
       return Lookup(kCellSub, subtype);
     case EventCategory::kController:
       return Lookup(kControllerSub, subtype);
+    case EventCategory::kBarrier:
+      // Barrier records carry ladder rungs in sub/aux.
+      return Lookup(kDegradationSub, subtype);
     default:
       return "-";
   }

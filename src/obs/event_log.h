@@ -55,9 +55,12 @@ enum class EventCategory : uint8_t {
   kCell = 11,        ///< experiment-grid cell finished (id = cell index)
   kTick = 12,        ///< executed event-loop step (auditor trace tail)
   kController = 13,  ///< control-plane action (sub: ControllerEvent)
+  kBarrier = 14,     ///< sharded window barrier (sub = rung decided for the
+                     ///< next window, aux = rung during the window just
+                     ///< ended, id = window index, value = reserve capacity)
 };
 
-inline constexpr int kNumEventCategories = 14;
+inline constexpr int kNumEventCategories = 15;
 
 /// Subtype ids for EventCategory::kController records (ctrl/ emits these).
 enum class ControllerEvent : uint8_t {

@@ -216,7 +216,22 @@ std::vector<DegradationInterval> DegradationTimeline(
   double last_t = 0.0;
   for (const TraceEvent& event : events) {
     last_t = std::max(last_t, event.time);
-    if (event.category != EventCategory::kDegradation) continue;
+    if (event.category != EventCategory::kBarrier &&
+        event.category != EventCategory::kDegradation) {
+      continue;
+    }
+    // A sharded run announces its rung twice per transition — a
+    // kDegradation event and the same-window kBarrier — and once per calm
+    // window. Any announcement of the rung the open interval is already at
+    // merely extends its dwell; only a different rung opens a new interval.
+    if (!out.empty() && out.back().level == event.subtype) {
+      out.back().end = event.time;
+      continue;
+    }
+    if (event.category == EventCategory::kBarrier &&
+        event.subtype == event.aux && out.empty()) {
+      continue;  // calm barrier before any transition: still at the base rung
+    }
     if (!out.empty()) out.back().end = event.time;
     DegradationInterval interval;
     interval.start = event.time;

@@ -46,8 +46,11 @@ std::vector<CategorySummary> SummarizeTrace(
     const std::vector<TraceEvent>& events);
 
 /// One dwell interval at a degradation rung, reconstructed from the
-/// kDegradation events. `end` of the last interval is the trace's final
-/// event time (the level was still live).
+/// kDegradation events (single-server ladder) and/or the kBarrier events a
+/// sharded run emits (the windowed ladder announces its rung once per
+/// barrier; a barrier whose decided rung differs from the rung of the
+/// window just ended is a transition). `end` of the last interval is the
+/// trace's final event time (the level was still live).
 struct DegradationInterval {
   double start = 0.0;
   double end = 0.0;
@@ -56,7 +59,8 @@ struct DegradationInterval {
   int64_t capacity = 0;    ///< reserve capacity when the rung was entered
 };
 
-/// Degradation timeline. Empty when the trace has no kDegradation events.
+/// Degradation timeline. Empty when the trace has no kDegradation (or
+/// rung-changing kBarrier) events.
 std::vector<DegradationInterval> DegradationTimeline(
     const std::vector<TraceEvent>& events);
 

@@ -37,6 +37,15 @@
 //                         every barrier handoff
 //   shard-mailbox-conservation all posted messages drained, sequence
 //                         numbers gap-free (no lost/duplicated message)
+//   shard-ladder-rung     the windowed global rung is exactly the pure
+//                         StepWindowedLadder function of the previous state
+//                         and the summed pressure (no rung invented or
+//                         hysteresis skipped)
+//   shard-ladder-reclaim  per movie, forced reclaims applied <= quota, and
+//                         Σ echoed quotas == the quota the barrier issued
+//                         last window (no reclaim minted or lost)
+//   shard-ladder-queue    per movie, queued == grants + expirations +
+//                         pending across windows (no queued viewer lost)
 
 #ifndef VOD_SIM_AUDIT_H_
 #define VOD_SIM_AUDIT_H_
@@ -151,12 +160,44 @@ struct AuditSnapshot {
       int64_t entered = 0;
       int64_t exited = 0;
       int64_t live = 0;
+      // Windowed-ladder terms (meaningful when shard.ladder.enabled):
+      int64_t vcr_queued = 0;         ///< cumulative measured queue entries
+      int64_t queue_grants = 0;       ///< cumulative measured queue grants
+      int64_t queue_expirations = 0;  ///< cumulative measured expirations
+      int64_t queue_pending = 0;      ///< measured waiters still queued
+      int64_t reclaim_quota = 0;      ///< quota echoed for last window open
+      int64_t reclaim_applied = 0;    ///< streams reclaimed against it
     };
     std::vector<MovieLedger> movies;
 
     uint64_t messages_posted = 0;
     uint64_t messages_drained = 0;
     uint64_t sequence_gaps = 0;
+
+    /// \brief Windowed cross-shard ladder view (one decision per barrier).
+    ///
+    /// The barrier publishes its rung decision here so the auditor can
+    /// recompute it from first principles: next == StepWindowedLadder(prev,
+    /// pressure, policy, recover_windows), with pressure summed from the
+    /// per-movie ledgers above. Quota and queue conservation ride on the
+    /// MovieLedger ladder terms.
+    struct Ladder {
+      bool enabled = false;
+      int prev_level = 0;          ///< rung before this barrier's decision
+      int64_t prev_streak = 0;     ///< below-streak before the decision
+      int next_level = 0;          ///< rung the barrier decided
+      int64_t next_streak = 0;     ///< below-streak after the decision
+      int64_t nominal_capacity = 0;
+      int64_t sum_held = 0;        ///< pressure term the barrier summed
+      int64_t sum_queued = 0;      ///< pressure term the barrier summed
+      double shed_below_fraction = 0.0;
+      double batching_below_fraction = 0.0;
+      int64_t recover_windows = 1;
+      /// Total forced-reclaim quota the barrier issued at the *previous*
+      /// window close (what this window's echoes must sum to).
+      int64_t quota_issued_prev = 0;
+    };
+    Ladder ladder;
   };
   ShardState shard;
 };

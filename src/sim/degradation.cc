@@ -49,6 +49,42 @@ Status DegradationPolicy::Validate() const {
   return Status::OK();
 }
 
+DegradationLevel ComputeWindowedLevel(const WindowedPressure& pressure,
+                                      const DegradationPolicy& policy) {
+  const double nominal = pressure.nominal_capacity > 0
+                             ? static_cast<double>(pressure.nominal_capacity)
+                             : 1.0;
+  const double fraction = static_cast<double>(pressure.capacity) / nominal;
+  if (fraction < policy.batching_below_fraction) {
+    return DegradationLevel::kBatchingOnly;
+  }
+  if (pressure.sum_held > pressure.capacity) return DegradationLevel::kReclaim;
+  if (fraction < policy.shed_below_fraction) return DegradationLevel::kShedVcr;
+  if (pressure.sum_queued > 0) return DegradationLevel::kQueueing;
+  return DegradationLevel::kNormal;
+}
+
+WindowedLadderState StepWindowedLadder(const WindowedLadderState& state,
+                                       const WindowedPressure& pressure,
+                                       const DegradationPolicy& policy,
+                                       int64_t recover_windows) {
+  const DegradationLevel raw = ComputeWindowedLevel(pressure, policy);
+  WindowedLadderState next = state;
+  if (raw > state.level) {
+    next.level = raw;
+    next.below_streak = 0;
+  } else if (raw < state.level) {
+    next.below_streak = state.below_streak + 1;
+    if (next.below_streak >= std::max<int64_t>(1, recover_windows)) {
+      next.level = raw;
+      next.below_streak = 0;
+    }
+  } else {
+    next.below_streak = 0;
+  }
+  return next;
+}
+
 ReserveManager::ReserveManager(int64_t nominal_capacity,
                                const DegradationPolicy& policy,
                                EventQueue* queue, double measurement_start)

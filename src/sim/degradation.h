@@ -83,6 +83,45 @@ struct DegradationTransition {
   int64_t capacity = 0;  ///< reserve capacity when the transition fired
 };
 
+// ---- windowed cross-shard ladder -----------------------------------------
+//
+// The sharded coordinator (sim/sharded_server) cannot run ReserveManager:
+// the ladder there is inherently cross-shard-live, but shards only meet at
+// window barriers. Instead each shard accumulates pressure locally and the
+// barrier folds the per-movie sums into ONE global rung decision per window
+// using the pure functions below. They mirror ReserveManager::ComputeLevel
+// exactly, over summed state, and are shared with the auditor so the
+// `shard-ladder-rung` law can recompute the decision bit-for-bit.
+
+/// Global pressure summed across shards at a window barrier.
+struct WindowedPressure {
+  int64_t capacity = 0;          ///< current reserve capacity (post-faults)
+  int64_t nominal_capacity = 0;  ///< fault-free reserve capacity
+  int64_t sum_held = 0;          ///< Σ shard-held dedicated streams
+  int64_t sum_queued = 0;        ///< Σ shard queue depth (waiting FF/RW)
+};
+
+/// Barrier-owned ladder state. `below_streak` counts consecutive windows
+/// whose raw (memoryless) level sat strictly below the held level — the
+/// hysteresis that keeps one quiet window from instantly lifting a rung.
+struct WindowedLadderState {
+  DegradationLevel level = DegradationLevel::kNormal;
+  int64_t below_streak = 0;
+};
+
+/// Memoryless rung for the summed pressure — ReserveManager::ComputeLevel
+/// with (in_use, queue) replaced by the cross-shard sums.
+DegradationLevel ComputeWindowedLevel(const WindowedPressure& pressure,
+                                      const DegradationPolicy& policy);
+
+/// One barrier step of the windowed ladder: degradation (raw above held
+/// level) applies immediately; recovery (raw below) must persist for
+/// `recover_windows` consecutive windows before the rung drops to raw.
+WindowedLadderState StepWindowedLadder(const WindowedLadderState& state,
+                                       const WindowedPressure& pressure,
+                                       const DegradationPolicy& policy,
+                                       int64_t recover_windows);
+
 /// \brief Stream reserve with time-varying capacity and a degradation ladder.
 ///
 /// Implements StreamSupplier so MovieWorld uses it unchanged for the grant

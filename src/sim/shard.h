@@ -24,6 +24,7 @@
 #include "common/mailbox.h"
 #include "common/rng.h"
 #include "ctrl/admission_gate.h"
+#include "sim/degradation.h"
 #include "sim/event_queue.h"
 #include "sim/metrics.h"
 #include "sim/movie_world.h"
@@ -41,22 +42,35 @@ namespace vod {
 /// return to local credit. The coordinator's conservation law:
 /// Σ over movies of (held + credit - debt) == global capacity, at every
 /// barrier (the shard-reserve-ledger audit law).
+///
+/// When the degradation ladder is enabled (ArmLadder), the supplier also
+/// carries the shard-side half of the windowed cross-shard ladder
+/// (sim/degradation.h): the coordinator broadcasts a global rung once per
+/// window, and within the window the supplier enforces it locally —
+/// admission closes at >= kShedVcr, and refused FF/RW requests may queue
+/// with the same deadline + exponential-backoff re-offer semantics as
+/// ReserveManager, granted strictly from this movie's own credit. The
+/// queue outcome counters feed the barrier's pressure fold and the
+/// shard-ladder-queue conservation law. Unarmed (faults-only) sharded runs
+/// are bit-for-bit unchanged.
 class CreditStreamSupplier final : public StreamSupplier {
  public:
   CreditStreamSupplier() { usage_.Reset(0.0, 0.0); }
 
   bool TryAcquire(double t) override {
+    if (armed_ && rung_ >= DegradationLevel::kShedVcr) {
+      // The declared shedding order: a deep rung closes admission even if
+      // credit is available (mirrors ReserveManager's admission_closed).
+      ++refused_;
+      ++window_refused_;
+      return false;
+    }
     if (credit_ <= 0) {
       ++refused_;
       ++window_refused_;
       return false;
     }
-    --credit_;
-    ++held_;
-    ++acquired_;
-    ++window_acquired_;
-    if (held_ > peak_held_) peak_held_ = held_;
-    usage_.Set(t, static_cast<double>(held_));
+    GrantStream(t);
     return true;
   }
 
@@ -72,11 +86,46 @@ class CreditStreamSupplier final : public StreamSupplier {
 
   int64_t in_use() const override { return held_; }
 
+  /// Queues a refused FF/RW request for a deadline-bounded wait, exactly
+  /// like ReserveManager::TryQueueAcquire but gated by the windowed rung
+  /// instead of a live ladder. No-op (refusal) unless the ladder is armed.
+  bool TryQueueAcquire(
+      double t, std::function<void(double, bool)> on_decision) override;
+
   /// Barrier-side ledger rewrite (coordinator redistribution).
   void SetLedger(int64_t credit, int64_t debt) {
     credit_ = credit;
     debt_ = debt;
   }
+
+  // ---- windowed ladder (shard side) ---------------------------------------
+  /// Arms the shard-side ladder machinery. `queue` (the owning shard's
+  /// event kernel) must outlive the supplier; `measurement_start` scopes the
+  /// queue-outcome counters exactly like ReserveManager.
+  void ArmLadder(const DegradationPolicy& policy, EventQueue* queue,
+                 double measurement_start) {
+    armed_ = true;
+    policy_ = policy;
+    queue_ = queue;
+    measurement_start_ = measurement_start;
+  }
+  bool ladder_armed() const { return armed_; }
+
+  /// Coordinator rung broadcast, applied at the window open that drains it.
+  void SetRung(DegradationLevel rung) { rung_ = rung; }
+  DegradationLevel rung() const { return rung_; }
+
+  /// Records the barrier-issued reclaim quota and how much of it the shard
+  /// actually reclaimed at window open (echoed back for the
+  /// shard-ladder-reclaim audit law).
+  void NoteReclaim(int64_t quota, int64_t applied) {
+    window_quota_ = quota;
+    window_reclaimed_ = applied;
+  }
+
+  /// Window-open hook: re-offers queued requests against the fresh credit
+  /// grant and the just-applied rung.
+  void OpenWindow(double t);
 
   int64_t held() const { return held_; }
   int64_t credit() const { return credit_; }
@@ -86,16 +135,68 @@ class CreditStreamSupplier final : public StreamSupplier {
   int64_t peak_held() const { return peak_held_; }
   double MeanInUse(double t_end) const { return usage_.TimeAverage(t_end); }
 
+  // ---- queue accounting (measurement window only, ladder armed) -----------
+  int64_t queue_length() const {
+    return static_cast<int64_t>(waiting_.size());
+  }
+  int64_t vcr_queued() const { return vcr_queued_; }
+  int64_t vcr_queue_grants() const { return vcr_queue_grants_; }
+  int64_t vcr_queue_expirations() const { return vcr_queue_expirations_; }
+  int64_t vcr_denied() const { return vcr_denied_; }
+  /// Waiters still queued whose request arrived inside the measurement
+  /// window (the `pending` term of the queued-accounting identity).
+  int64_t measured_queue_pending() const {
+    int64_t n = 0;
+    for (const Waiter& w : waiting_) {
+      if (w.enqueued >= measurement_start_) ++n;
+    }
+    return n;
+  }
+  const RunningStats& queued_wait() const { return queued_wait_; }
+  const LatencyQuantiles& queued_wait_quantiles() const {
+    return queued_wait_quantiles_;
+  }
+
   /// Demand observed since the last barrier (refusals + grants); the
   /// coordinator weights next window's credit split by it, then resets.
   int64_t window_refused() const { return window_refused_; }
   int64_t window_acquired() const { return window_acquired_; }
+  /// Reclaim quota received / applied at this window's open (echo terms).
+  int64_t window_quota() const { return window_quota_; }
+  int64_t window_reclaimed() const { return window_reclaimed_; }
   void ResetWindow() {
     window_refused_ = 0;
     window_acquired_ = 0;
+    window_quota_ = 0;
+    window_reclaimed_ = 0;
   }
 
  private:
+  struct Waiter {
+    uint64_t id = 0;
+    double enqueued = 0.0;
+    double deadline = 0.0;
+    double backoff = 0.0;
+    std::function<void(double, bool)> on_decision;
+    EventToken deadline_token = kNoEvent;
+    EventToken retry_token = kNoEvent;
+  };
+
+  bool InMeasurement(double t) const { return t >= measurement_start_; }
+  void GrantStream(double t) {
+    --credit_;
+    ++held_;
+    ++acquired_;
+    ++window_acquired_;
+    if (held_ > peak_held_) peak_held_ = held_;
+    usage_.Set(t, static_cast<double>(held_));
+  }
+  void OnRetry(double t, uint64_t waiter_id);
+  void OnDeadline(double t, uint64_t waiter_id);
+  /// Grants to queued waiters FIFO while credit remains and the rung allows.
+  void DrainQueue(double t);
+  std::deque<Waiter>::iterator FindWaiter(uint64_t waiter_id);
+
   int64_t credit_ = 0;
   int64_t held_ = 0;
   int64_t debt_ = 0;
@@ -105,15 +206,34 @@ class CreditStreamSupplier final : public StreamSupplier {
   int64_t window_refused_ = 0;
   int64_t window_acquired_ = 0;
   TimeWeightedValue usage_{};
+
+  // Windowed-ladder state; inert until ArmLadder.
+  bool armed_ = false;
+  DegradationPolicy policy_;
+  EventQueue* queue_ = nullptr;
+  double measurement_start_ = 0.0;
+  DegradationLevel rung_ = DegradationLevel::kNormal;
+  std::deque<Waiter> waiting_;
+  uint64_t next_waiter_id_ = 0;
+  int64_t vcr_queued_ = 0;
+  int64_t vcr_queue_grants_ = 0;
+  int64_t vcr_queue_expirations_ = 0;
+  int64_t vcr_denied_ = 0;
+  int64_t window_quota_ = 0;
+  int64_t window_reclaimed_ = 0;
+  RunningStats queued_wait_;
+  LatencyQuantiles queued_wait_quantiles_;
 };
 
 /// \brief Admission gate that records offered arrivals instead of deciding.
 ///
 /// In sharded mode the controller lives above the barrier and cannot be
-/// consulted per arrival. Every arrival is admitted shard-side (consistent:
-/// with no degradation ladder the controller's traffic policy reports zero
-/// pressure and would admit everything too), and the (time, movie) record is
-/// replayed into the controller's rate estimators at the next barrier.
+/// consulted per arrival. Every arrival is admitted shard-side, and the
+/// (time, movie) record is replayed into the controller's rate estimators
+/// at the next barrier. Pressure-driven shedding still happens — but
+/// through the windowed rung the barrier broadcasts to every supplier
+/// (admission closes at >= kShedVcr), not per arrival; the decision lags
+/// live pressure by at most one window.
 class RecordingGate final : public AdmissionGate {
  public:
   struct Offered {
@@ -152,6 +272,18 @@ enum ShardMessageKind : uint32_t {
   /// coordinator -> shard: a=streams, x=movie_length, y=buffer_minutes
   /// (a controller layout commit, applied at the next window start).
   kShardMsgLayout = 4,
+  /// shard -> coordinator, one per movie per window when the ladder is
+  /// armed: a=queue_length, b=vcr_queued, c=vcr_queue_grants,
+  /// x=vcr_queue_expirations, y=measured_queue_pending. (The double fields
+  /// carry integer counts; they are exact well past any feasible count.)
+  kShardMsgLadderPressure = 5,
+  /// shard -> coordinator, one per movie per window when the ladder is
+  /// armed: a=reclaim quota received at window open, b=streams actually
+  /// reclaimed against it.
+  kShardMsgReclaimEcho = 6,
+  /// coordinator -> shard, one per movie per window when the ladder is
+  /// armed: a=global rung, b=this movie's forced-reclaim quota.
+  kShardMsgRung = 7,
 };
 
 /// \brief One shard: a private event kernel plus the movies it owns.
@@ -166,6 +298,8 @@ class ServerShard {
     std::unique_ptr<CreditStreamSupplier> supplier;
     std::unique_ptr<SimulationMetrics> metrics;
     std::unique_ptr<MovieWorld> world;
+    /// Reclaim quota from the latest rung message, consumed at window open.
+    int64_t pending_reclaim = 0;
   };
 
   ServerShard(int shard_index, ShardMailbox* inbox, ShardMailbox* outbox)
@@ -189,8 +323,11 @@ class ServerShard {
   }
 
   /// \brief Runs one window: drains the inbox (credit grants, layout
-  /// commits), executes all events up to and including `t_end`, then posts
-  /// one ledger and one viewer summary per owned movie.
+  /// commits, rung broadcasts), applies rung entry actions (forced reclaim
+  /// against the barrier quota, queued-request re-offers), executes all
+  /// events up to and including `t_end`, then posts one ledger and one
+  /// viewer summary — plus ladder pressure and reclaim-echo messages when
+  /// the ladder is armed — per owned movie.
   ///
   /// `t_start` is the barrier time the drained messages were posted at;
   /// layout commits re-anchor there (never in this window's past).

@@ -47,7 +47,14 @@ uint64_t FingerprintConfig(const std::vector<ServerMovieSpec>& movies,
      << " faults=" << b.faults.enabled << ":" << b.faults.disks << ":"
      << b.faults.profile.mtbf_minutes << ":" << b.faults.profile.mttr_minutes
      << " controller=" << b.controller.enabled << ":"
-     << b.controller.poll_interval_minutes;
+     << b.controller.poll_interval_minutes
+     << " ladder=" << b.degradation.enabled << ":"
+     << b.degradation.queue_deadline_minutes << ":"
+     << b.degradation.backoff_initial_minutes << ":"
+     << b.degradation.backoff_factor << ":"
+     << b.degradation.shed_below_fraction << ":"
+     << b.degradation.batching_below_fraction << ":"
+     << options.ladder_recover_windows;
   for (const ServerMovieSpec& spec : movies) {
     os << " movie=" << spec.name << ":" << spec.layout.movie_length() << ":"
        << spec.layout.buffer_minutes() << ":" << spec.layout.streams() << ":"
@@ -103,9 +110,11 @@ bool FileExists(const std::string& path) {
 // host keeps its own authoritative layout copies — they ARE the live
 // layouts as far as the control plane is concerned — and queues each commit
 // for mailbox delivery; the owning shard applies it at the next window
-// start. With no degradation ladder there is never reclaim pressure, so the
-// traffic policy admits everything — consistent with the shards' record-
-// and-admit gates.
+// start. Reclaim pressure comes from the windowed degradation rung the
+// barrier publishes after each decision (zero, i.e. admit-everything, when
+// the ladder is off — consistent with the shards' record-and-admit gates);
+// the controller replay at barrier w therefore sees the rung that was in
+// effect during window w.
 class ShardedControllerHost final : public ControllerHost {
  public:
   explicit ShardedControllerHost(std::vector<PartitionLayout> layouts)
@@ -120,8 +129,17 @@ class ShardedControllerHost final : public ControllerHost {
   const PartitionLayout& LiveLayout(int32_t movie) const override {
     return layouts_[static_cast<size_t>(movie)];
   }
-  bool ReclaimBlocked() const override { return false; }
-  int PressureLevel() const override { return 0; }
+  bool ReclaimBlocked() const override {
+    return rung_ >= DegradationLevel::kReclaim;
+  }
+  int PressureLevel() const override {
+    if (rung_ >= DegradationLevel::kReclaim) return 2;
+    if (rung_ >= DegradationLevel::kShedVcr) return 1;
+    return 0;
+  }
+
+  /// Barrier-side: publishes the windowed rung decided for the next window.
+  void set_rung(DegradationLevel rung) { rung_ = rung; }
 
   const std::vector<PartitionLayout>& layouts() const { return layouts_; }
   std::vector<int32_t> TakePendingCommits() {
@@ -133,6 +151,7 @@ class ShardedControllerHost final : public ControllerHost {
  private:
   std::vector<PartitionLayout> layouts_;
   std::vector<int32_t> pending_commits_;  ///< movies with uncommitted posts
+  DegradationLevel rung_ = DegradationLevel::kNormal;
 };
 
 /// Demand-weighted largest-remainder apportionment of `amount` over
@@ -196,21 +215,11 @@ Status ValidateShardedInputs(const std::vector<ServerMovieSpec>& movies,
         "sharded run needs a finite positive window_minutes, got " +
         std::to_string(options.window_minutes));
   }
-  if (options.base.degradation.enabled) {
+  if (options.base.degradation.enabled && options.ladder_recover_windows < 1) {
     return Status::InvalidArgument(
-        "sharded runs do not support the degradation ladder "
-        "(degradation.enabled): its queue/shed/reclaim decisions read the "
-        "live global reserve, which sharding quantizes to window barriers");
-  }
-  if (options.base.obs.event_log != nullptr) {
-    return Status::InvalidArgument(
-        "sharded runs do not support event tracing (obs.event_log): the "
-        "trace bus is single-threaded");
-  }
-  if (options.base.obs.metrics != nullptr) {
-    return Status::InvalidArgument(
-        "sharded runs do not support live metrics sampling (obs.metrics): "
-        "the registry is single-threaded");
+        "the windowed degradation ladder needs ladder_recover_windows >= 1, "
+        "got " +
+        std::to_string(options.ladder_recover_windows));
   }
   if (!options.checkpoint.path.empty() &&
       options.checkpoint.every_windows < 1) {
@@ -316,6 +325,10 @@ Result<ShardedServerReport> RunShardedServerSimulation(
     ServerShard::MovieSlot slot;
     slot.global_index = static_cast<int32_t>(i);
     slot.supplier = std::make_unique<CreditStreamSupplier>();
+    if (base.degradation.enabled) {
+      slot.supplier->ArmLadder(base.degradation, &shard->queue(),
+                               base.warmup_minutes);
+    }
     slot.metrics = std::make_unique<SimulationMetrics>(base.warmup_minutes);
     slot.world = std::make_unique<MovieWorld>(
         spec.layout, base.rates, config,
@@ -371,6 +384,40 @@ Result<ShardedServerReport> RunShardedServerSimulation(
   size_t fault_idx = 0;
   double ctrl_next_wakeup = base.controller.poll_interval_minutes;
 
+  // ---- windowed-ladder state (coordinator side) ---------------------------
+  const bool ladder_on = base.degradation.enabled;
+  WindowedLadderState ladder_state;  // every run opens at kNormal
+  double ladder_time_in_level[kNumDegradationLevels] = {0, 0, 0, 0, 0};
+  std::vector<DegradationTransition> ladder_transitions;
+  int64_t ladder_total_transitions = 0;
+  double ladder_excursion_start = 0.0;  ///< valid while level != kNormal
+  RunningStats ladder_recovery_times;
+  int64_t quota_issued_prev = 0;  ///< Σ quotas broadcast at the last barrier
+  std::vector<int64_t> reclaim_quota(movie_count, 0);
+  constexpr size_t kMaxStoredLadderTransitions = 10000;
+
+  // ---- observability (coordinator side only) ------------------------------
+  // Telemetry is emitted exclusively from the single-threaded barrier —
+  // faults, barrier/rung records, ladder transitions, reserve gauges — so
+  // the buses stay single-threaded while shards run in parallel. Per-event
+  // shard-side categories (admissions, VCR ops) stay dark by design.
+  EventLog* event_log = base.obs.event_log;
+  MetricsRegistry* registry = base.obs.metrics;
+  Gauge* g_in_use = nullptr;
+  Gauge* g_capacity = nullptr;
+  Gauge* g_level = nullptr;
+  if (registry != nullptr) {
+    if (base.obs.metrics_sample_minutes > 0.0) {
+      registry->set_sample_every(base.obs.metrics_sample_minutes);
+    }
+    g_in_use = registry->AddGauge("server_reserve_in_use",
+                                  "dynamic reserve streams handed out");
+    g_capacity = registry->AddGauge(
+        "server_reserve_capacity", "current reserve capacity under faults");
+    g_level = registry->AddGauge("server_degradation_level",
+                                 "degradation ladder rung (0 = normal)");
+  }
+
   struct MovieBarrier {
     int64_t held = 0;
     int64_t credit = 0;
@@ -379,12 +426,21 @@ Result<ShardedServerReport> RunShardedServerSimulation(
     int64_t exited = 0;
     int64_t live = 0;
     int64_t demand = 0;  ///< window refusals + grants
+    // Ladder terms (posted only when the ladder is armed):
+    int64_t queue_len = 0;           ///< waiters queued at the barrier
+    int64_t vcr_queued = 0;          ///< cumulative measured queue entries
+    int64_t queue_grants = 0;        ///< cumulative measured grants
+    int64_t queue_expirations = 0;   ///< cumulative measured expirations
+    int64_t queue_pending = 0;       ///< measured waiters still queued
+    int64_t echo_quota = 0;          ///< reclaim quota echoed this window
+    int64_t echo_applied = 0;        ///< reclaims applied against it
   };
   std::vector<MovieBarrier> ledger(movie_count);
 
   // Initial credit grant: the whole reserve, split evenly (no demand yet),
   // posted before the first window so shard 0's path is identical to the
-  // N-shard path.
+  // N-shard path. With the ladder on, an initial kNormal rung (quota 0)
+  // rides along so every window drains a uniform per-movie message set.
   {
     const std::vector<int64_t> weights(movie_count, 1);
     const std::vector<int64_t> credits = Apportion(capacity, weights);
@@ -396,6 +452,14 @@ Result<ShardedServerReport> RunShardedServerSimulation(
       m.b = 0;
       router.to_shard(refs[i].shard->shard_index()).Post(m);
       ledger[i].credit = credits[i];
+      if (ladder_on) {
+        ShardMessage rung;
+        rung.kind = kShardMsgRung;
+        rung.movie = static_cast<int32_t>(i);
+        rung.a = static_cast<int64_t>(DegradationLevel::kNormal);
+        rung.b = 0;
+        router.to_shard(refs[i].shard->shard_index()).Post(rung);
+      }
     }
   }
 
@@ -436,6 +500,17 @@ Result<ShardedServerReport> RunShardedServerSimulation(
             mb.exited = msg.b;
             mb.live = msg.c;
             break;
+          case kShardMsgLadderPressure:
+            mb.queue_len = msg.a;
+            mb.vcr_queued = msg.b;
+            mb.queue_grants = msg.c;
+            mb.queue_expirations = static_cast<int64_t>(msg.x);
+            mb.queue_pending = static_cast<int64_t>(msg.y);
+            break;
+          case kShardMsgReclaimEcho:
+            mb.echo_quota = msg.a;
+            mb.echo_applied = msg.b;
+            break;
           default:
             VOD_CHECK_MSG(false, "unknown shard->coordinator message kind");
         }
@@ -452,6 +527,12 @@ Result<ShardedServerReport> RunShardedServerSimulation(
         ++disk_failures;
       } else {
         ++disk_repairs;
+      }
+      if (ObsEnabled(event_log, EventCategory::kFault)) {
+        event_log->Emit(ev.time, EventCategory::kFault,
+                        /*subtype=*/ev.failure ? 0 : 1, /*movie=*/-1,
+                        /*id=*/ev.disk,
+                        static_cast<double>(ev.capacity_after));
       }
       capacity = ev.capacity_after;
       min_capacity_seen = std::min(min_capacity_seen, capacity);
@@ -518,6 +599,72 @@ Result<ShardedServerReport> RunShardedServerSimulation(
       }
     }
 
+    // 4b. Windowed ladder decision. Fold the summed pressure into one
+    //     global rung (pure function + hysteresis — the auditor recomputes
+    //     it), integrate the time the *outgoing* rung governed, and size
+    //     next window's forced-reclaim quotas by holdings. The controller
+    //     host is updated after stepping, so its replay at the next barrier
+    //     sees the rung that is actually in effect during that window.
+    const WindowedLadderState ladder_prev = ladder_state;
+    int64_t sum_queued = 0;
+    if (ladder_on) {
+      for (const MovieBarrier& mb : ledger) sum_queued += mb.queue_len;
+      ladder_time_in_level[static_cast<int>(ladder_state.level)] +=
+          t_end - t_start;
+      WindowedPressure pressure;
+      pressure.capacity = capacity;
+      pressure.nominal_capacity = base.dynamic_stream_reserve;
+      pressure.sum_held = sum_held;
+      pressure.sum_queued = sum_queued;
+      ladder_state = StepWindowedLadder(ladder_prev, pressure,
+                                        base.degradation,
+                                        options.ladder_recover_windows);
+      if (ladder_state.level != ladder_prev.level) {
+        if (ladder_transitions.size() < kMaxStoredLadderTransitions) {
+          ladder_transitions.push_back(
+              {t_end, ladder_prev.level, ladder_state.level, capacity});
+        }
+        ++ladder_total_transitions;
+        if (ladder_prev.level == DegradationLevel::kNormal) {
+          ladder_excursion_start = t_end;
+        } else if (ladder_state.level == DegradationLevel::kNormal) {
+          ladder_recovery_times.Add(t_end - ladder_excursion_start);
+        }
+        if (ObsEnabled(event_log, EventCategory::kDegradation)) {
+          event_log->Emit(t_end, EventCategory::kDegradation,
+                          static_cast<uint8_t>(ladder_state.level),
+                          /*movie=*/-1, /*id=*/-1,
+                          static_cast<double>(capacity),
+                          static_cast<uint8_t>(ladder_prev.level));
+        }
+      }
+      std::fill(reclaim_quota.begin(), reclaim_quota.end(), 0);
+      int64_t need = 0;
+      if (ladder_state.level == DegradationLevel::kBatchingOnly) {
+        need = sum_held;  // shed everything: pure batching until repairs
+      } else if (ladder_state.level == DegradationLevel::kReclaim) {
+        need = std::max<int64_t>(0, sum_held - capacity);
+      }
+      if (need > 0) {
+        std::vector<int64_t> holds(movie_count, 0);
+        for (size_t i = 0; i < movie_count; ++i) holds[i] = ledger[i].held;
+        reclaim_quota = Apportion(need, holds);
+      }
+      if (ctrl_host != nullptr) ctrl_host->set_rung(ladder_state.level);
+    }
+    if (ObsEnabled(event_log, EventCategory::kBarrier)) {
+      event_log->Emit(t_end, EventCategory::kBarrier,
+                      static_cast<uint8_t>(ladder_state.level),
+                      /*movie=*/-1, /*id=*/w, static_cast<double>(capacity),
+                      static_cast<uint8_t>(ladder_prev.level));
+    }
+    if (registry != nullptr) {
+      g_in_use->Set(static_cast<double>(sum_held));
+      g_capacity->Set(static_cast<double>(capacity));
+      g_level->Set(static_cast<double>(ladder_state.level));
+      registry->MaybeSample(t_end);
+    }
+
     // 5. Audit the barrier: cross-shard laws plus (when the controller is
     //    live) its resource ledger and the live partition geometry.
     if (auditor != nullptr) {
@@ -535,11 +682,34 @@ Result<ShardedServerReport> RunShardedServerSimulation(
         ml.entered = ledger[i].entered;
         ml.exited = ledger[i].exited;
         ml.live = ledger[i].live;
+        if (ladder_on) {
+          ml.vcr_queued = ledger[i].vcr_queued;
+          ml.queue_grants = ledger[i].queue_grants;
+          ml.queue_expirations = ledger[i].queue_expirations;
+          ml.queue_pending = ledger[i].queue_pending;
+          ml.reclaim_quota = ledger[i].echo_quota;
+          ml.reclaim_applied = ledger[i].echo_applied;
+        }
         sh.movies.push_back(ml);
       }
       sh.messages_posted = router.total_posted();
       sh.messages_drained = router.total_drained();
       sh.sequence_gaps = router.total_sequence_gaps();
+      if (ladder_on) {
+        auto& ld = sh.ladder;
+        ld.enabled = true;
+        ld.prev_level = static_cast<int>(ladder_prev.level);
+        ld.prev_streak = ladder_prev.below_streak;
+        ld.next_level = static_cast<int>(ladder_state.level);
+        ld.next_streak = ladder_state.below_streak;
+        ld.nominal_capacity = base.dynamic_stream_reserve;
+        ld.sum_held = sum_held;
+        ld.sum_queued = sum_queued;
+        ld.shed_below_fraction = base.degradation.shed_below_fraction;
+        ld.batching_below_fraction = base.degradation.batching_below_fraction;
+        ld.recover_windows = options.ladder_recover_windows;
+        ld.quota_issued_prev = quota_issued_prev;
+      }
       if (controller != nullptr) {
         auto& cs = audit_snapshot.controller;
         cs.enabled = true;
@@ -567,7 +737,9 @@ Result<ShardedServerReport> RunShardedServerSimulation(
       auditor->Audit(audit_snapshot);
     }
 
-    // 6. Extend the trajectory digest with this barrier's ledger.
+    // 6. Extend the trajectory digest with this barrier's ledger (and, with
+    //    the ladder on, its rung decision — replay-verify then covers the
+    //    whole control surface).
     digest = Fnv1a(digest, static_cast<uint64_t>(w));
     digest = Fnv1a(digest, static_cast<uint64_t>(capacity));
     for (const MovieBarrier& mb : ledger) {
@@ -576,6 +748,14 @@ Result<ShardedServerReport> RunShardedServerSimulation(
       digest = Fnv1a(digest, static_cast<uint64_t>(mb.debt));
       digest = Fnv1a(digest, static_cast<uint64_t>(mb.entered));
       digest = Fnv1a(digest, static_cast<uint64_t>(mb.exited));
+    }
+    if (ladder_on) {
+      digest = Fnv1a(digest, static_cast<uint64_t>(ladder_state.level));
+      digest = Fnv1a(digest, static_cast<uint64_t>(ladder_state.below_streak));
+      digest = Fnv1a(digest, static_cast<uint64_t>(sum_queued));
+      for (size_t i = 0; i < movie_count; ++i) {
+        digest = Fnv1a(digest, static_cast<uint64_t>(reclaim_quota[i]));
+      }
     }
 
     // 7. Replay verification: a resumed run must retrace the checkpointed
@@ -612,8 +792,10 @@ Result<ShardedServerReport> RunShardedServerSimulation(
       break;
     }
 
-    // 9. Release next window's credits (skipped after the last barrier so
-    //    every posted message is drained when the run ends).
+    // 9. Release next window's credits — and, with the ladder on, the rung
+    //    decision plus per-movie reclaim quotas — (skipped after the last
+    //    barrier so every posted message is drained when the run ends).
+    quota_issued_prev = 0;
     if (w < total_windows) {
       for (size_t i = 0; i < movie_count; ++i) {
         ShardMessage m;
@@ -622,6 +804,15 @@ Result<ShardedServerReport> RunShardedServerSimulation(
         m.a = ledger[i].credit;
         m.b = ledger[i].debt;
         router.to_shard(refs[i].shard->shard_index()).Post(m);
+        if (ladder_on) {
+          ShardMessage rung;
+          rung.kind = kShardMsgRung;
+          rung.movie = static_cast<int32_t>(i);
+          rung.a = static_cast<int64_t>(ladder_state.level);
+          rung.b = reclaim_quota[i];
+          router.to_shard(refs[i].shard->shard_index()).Post(rung);
+          quota_issued_prev += reclaim_quota[i];
+        }
       }
       if (ctrl_host != nullptr) {
         for (int32_t movie : ctrl_host->TakePendingCommits()) {
@@ -685,15 +876,52 @@ Result<ShardedServerReport> RunShardedServerSimulation(
   }
   FillReportFromMetrics(aggregate_metrics, horizon, &report.aggregate);
 
-  if (base.faults.enabled) {
+  if (base.faults.enabled || ladder_on) {
     server.resilience_enabled = true;
     ResilienceReport& rz = server.resilience;
     rz.disk_failures = disk_failures;
     rz.disk_repairs = disk_repairs;
     rz.min_reserve_capacity = min_capacity_seen;
     rz.max_oversubscription = std::max<int64_t>(0, max_oversubscription);
-    rz.final_level = DegradationLevel::kNormal;
-    rz.time_in_level[0] = horizon;
+    if (ladder_on) {
+      rz.final_level = ladder_state.level;
+      for (int i = 0; i < kNumDegradationLevels; ++i) {
+        rz.time_in_level[i] = ladder_time_in_level[i];
+      }
+      rz.total_transitions = ladder_total_transitions;
+      rz.transitions = ladder_transitions;
+      // Queue outcomes merge across movies in global order; the P2
+      // quantile marker merge keeps pooled tails deterministic.
+      RunningStats queued_wait;
+      LatencyQuantiles queued_wait_quantiles;
+      for (size_t i = 0; i < movie_count; ++i) {
+        const CreditStreamSupplier& supplier = *refs[i].slot->supplier;
+        rz.vcr_queued += supplier.vcr_queued();
+        rz.vcr_queue_grants += supplier.vcr_queue_grants();
+        rz.vcr_queue_expirations += supplier.vcr_queue_expirations();
+        rz.vcr_queue_pending += supplier.measured_queue_pending();
+        rz.vcr_denied += supplier.vcr_denied();
+        queued_wait.Merge(supplier.queued_wait());
+        queued_wait_quantiles.Merge(supplier.queued_wait_quantiles());
+      }
+      rz.mean_queued_wait_minutes = queued_wait.mean();
+      if (queued_wait_quantiles.count() > 0) {
+        rz.p50_queued_wait_minutes = queued_wait_quantiles.p50();
+        rz.p90_queued_wait_minutes = queued_wait_quantiles.p90();
+        rz.p99_queued_wait_minutes = queued_wait_quantiles.p99();
+      }
+      rz.forced_reclaims = server.total_forced_reclaims;
+      rz.recovery_episodes = ladder_recovery_times.count();
+      rz.mean_recovery_minutes = ladder_recovery_times.mean();
+      rz.max_recovery_minutes = rz.recovery_episodes > 0
+                                    ? ladder_recovery_times.max()
+                                    : 0.0;
+    } else {
+      // Faults without the ladder: capacity erodes but no policy reacts, so
+      // the run spends its whole horizon at the (only) normal rung.
+      rz.final_level = DegradationLevel::kNormal;
+      rz.time_in_level[0] = horizon;
+    }
   }
   if (controller != nullptr) {
     server.controller_enabled = true;

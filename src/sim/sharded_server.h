@@ -32,6 +32,20 @@
 // debt, repaid from releases before any stream is re-lent. The
 // shard-reserve-ledger audit law checks Σ(held + credit − debt) == capacity
 // at every barrier.
+//
+// Degradation semantics (base.degradation.enabled): the ladder is *windowed*
+// (sim/degradation.h, ComputeWindowedLevel/StepWindowedLadder). Shards
+// accumulate pressure locally — queue depth, queued-VCR outcomes, held
+// streams — and publish it through the mailboxes; the barrier sums it in
+// global movie order, steps the pure hysteresis ladder (degrading rungs
+// apply immediately, recovery needs ladder_recover_windows consecutive calm
+// windows), and broadcasts the new rung plus per-movie forced-reclaim quotas
+// (largest-remainder over holdings) that shards apply at the next window
+// open. The decision therefore lags live pressure by at most one window —
+// the quantified semantic delta vs. the single-server per-event ladder (see
+// EXPERIMENTS.md) — but it is a pure function of summed pressure, which the
+// shard-ladder-rung/-reclaim/-queue audit laws re-verify at every barrier,
+// and it folds into the ledger-digest chain so checkpoints replay-verify it.
 
 #ifndef VOD_SIM_SHARDED_SERVER_H_
 #define VOD_SIM_SHARDED_SERVER_H_
@@ -71,10 +85,10 @@ struct ShardedCheckpointOptions {
 
 /// Knobs of a sharded run, wrapping the single-threaded server's options.
 struct ShardedServerOptions {
-  /// Base options. Sharded mode rejects (InvalidArgument, naming the knob):
-  /// degradation.enabled (the global ladder is inherently cross-shard-live),
-  /// obs.event_log and obs.metrics (telemetry buses are single-threaded).
-  /// Faults, audit, and the controller are supported.
+  /// Base options. Faults, audit, the controller, the degradation ladder
+  /// (windowed — see the header comment), and observability (obs.event_log
+  /// / obs.metrics, emitted coordinator-side at barriers) are all
+  /// supported, simultaneously.
   ServerOptions base;
   /// Shards the movie catalog is partitioned over (movie i -> i % shards).
   int shards = 1;
@@ -82,6 +96,10 @@ struct ShardedServerOptions {
   int threads = 1;
   /// Barrier cadence in simulated minutes.
   double window_minutes = 60.0;
+  /// Consecutive calm windows (raw level below the held rung) before the
+  /// windowed ladder steps down — hysteresis against rung flapping. Only
+  /// read when base.degradation.enabled; must be >= 1.
+  int64_t ladder_recover_windows = 2;
   ShardedCheckpointOptions checkpoint;
 };
 

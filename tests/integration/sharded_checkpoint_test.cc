@@ -127,6 +127,67 @@ TEST(ShardedCheckpointTest, ResumeVerifiesEvenAtExactCheckpointBoundary) {
   EXPECT_EQ(resumed->ToString(), golden->ToString());
 }
 
+TEST(ShardedCheckpointTest, LadderCrashMidDegradationResumesByteIdentical) {
+  // The windowed ladder adds no checkpoint state — rungs, streaks, and
+  // reclaim quotas are replayed from t=0 and cross-checked through the
+  // digest chain (which folds the per-barrier ladder decision). A crash
+  // while rungs are moving must resume to the golden bytes, resilience
+  // block and all.
+  const auto movies = FourMovies();
+  auto ladder = BaseOptions(3, 2);
+  ladder.base.dynamic_stream_reserve = 24;
+  ladder.base.degradation.enabled = true;
+  ladder.base.degradation.queue_deadline_minutes = 5.0;
+  ladder.ladder_recover_windows = 2;
+  const auto golden = RunShardedServerSimulation(movies, ladder);
+  ASSERT_TRUE(golden.ok()) << golden.status().message();
+  ASSERT_GT(golden->server.resilience.total_transitions, 0)
+      << "the ladder never engaged; the crash would not land mid-degradation";
+
+  TempPath path("ladder");
+  auto crashed = ladder;
+  crashed.checkpoint.path = path.str();
+  crashed.checkpoint.every_windows = 4;
+  crashed.checkpoint.stop_after_windows = 17;
+  const auto partial = RunShardedServerSimulation(movies, crashed);
+  ASSERT_TRUE(partial.ok()) << partial.status().message();
+  EXPECT_FALSE(partial->complete);
+
+  auto resumed_options = ladder;
+  resumed_options.checkpoint.path = path.str();
+  resumed_options.checkpoint.every_windows = 4;
+  resumed_options.checkpoint.resume = true;
+  const auto resumed = RunShardedServerSimulation(movies, resumed_options);
+  ASSERT_TRUE(resumed.ok()) << resumed.status().message();
+  EXPECT_TRUE(resumed->complete);
+  EXPECT_EQ(resumed->ToString(), golden->ToString());
+  EXPECT_EQ(resumed->ledger_digest, golden->ledger_digest);
+}
+
+TEST(ShardedCheckpointTest, LadderPolicyChangeOnResumeIsRejected) {
+  // The ladder knobs are part of the config fingerprint: resuming a
+  // ladder-armed checkpoint with different thresholds (or with the ladder
+  // off) would silently change the trajectory, so it must refuse.
+  const auto movies = FourMovies();
+  TempPath path("ladder_policy");
+  auto crashed = BaseOptions(2, 1);
+  crashed.base.degradation.enabled = true;
+  crashed.base.degradation.queue_deadline_minutes = 5.0;
+  crashed.checkpoint.path = path.str();
+  crashed.checkpoint.every_windows = 4;
+  crashed.checkpoint.stop_after_windows = 8;
+  ASSERT_TRUE(RunShardedServerSimulation(movies, crashed).ok());
+
+  auto retuned = crashed;
+  retuned.checkpoint.stop_after_windows = 0;
+  retuned.checkpoint.resume = true;
+  retuned.base.degradation.shed_below_fraction = 0.6;
+  const auto status = RunShardedServerSimulation(movies, retuned).status();
+  ASSERT_TRUE(status.IsInvalidArgument()) << status.message();
+  EXPECT_NE(status.message().find("fingerprint"), std::string::npos)
+      << status.message();
+}
+
 TEST(ShardedCheckpointTest, ShardCountChangeOnResumeIsRejected) {
   const auto movies = FourMovies();
   TempPath path("reshard");

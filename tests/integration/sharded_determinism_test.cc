@@ -128,6 +128,116 @@ TEST(ShardedDeterminismTest, SeedsProduceDifferentRuns) {
   EXPECT_NE(a->ledger_digest, b->ledger_digest);
 }
 
+/// The full machine plus the windowed degradation ladder: scarce reserve,
+/// hard faults pushing capacity through the shed/batching thresholds, the
+/// controller, the paranoid auditor (now including the shard-ladder-rung /
+/// -reclaim / -queue laws), and the ladder deciding rungs and reclaim
+/// quotas at every barrier.
+ShardedServerOptions LadderMachineOptions(int shards, int threads,
+                                          uint64_t seed) {
+  ShardedServerOptions options = FullMachineOptions(shards, threads, seed);
+  options.base.dynamic_stream_reserve = 24;
+  options.base.degradation.enabled = true;
+  options.base.degradation.queue_deadline_minutes = 5.0;
+  options.ladder_recover_windows = 2;
+  return options;
+}
+
+TEST(ShardedDeterminismTest, LadderByteIdenticalAcrossShardAndThreadCounts) {
+  const auto movies = SixMovies();
+  for (uint64_t seed : {11u, 29u}) {
+    const auto golden =
+        RunShardedServerSimulation(movies, LadderMachineOptions(1, 1, seed));
+    ASSERT_TRUE(golden.ok()) << golden.status().message();
+    const std::string golden_text = golden->ToString();
+    // The wall is only meaningful if the ladder actually walks: rungs must
+    // move under this fault regime.
+    ASSERT_GT(golden->server.resilience.total_transitions, 0)
+        << "seed=" << seed << ": the ladder never engaged";
+    for (int shards : {2, 3, 8}) {
+      for (int threads : {1, 4}) {
+        const auto got = RunShardedServerSimulation(
+            movies, LadderMachineOptions(shards, threads, seed));
+        ASSERT_TRUE(got.ok()) << "seed=" << seed << " shards=" << shards
+                              << " threads=" << threads << ": "
+                              << got.status().message();
+        EXPECT_EQ(got->ToString(), golden_text)
+            << "seed=" << seed << " shards=" << shards
+            << " threads=" << threads;
+      }
+    }
+  }
+}
+
+TEST(ShardedDeterminismTest, LadderRepeatedRunIsBitStable) {
+  const auto movies = SixMovies();
+  const auto a =
+      RunShardedServerSimulation(movies, LadderMachineOptions(3, 4, 47));
+  const auto b =
+      RunShardedServerSimulation(movies, LadderMachineOptions(3, 4, 47));
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->ToString(), b->ToString());
+  EXPECT_EQ(a->ledger_digest, b->ledger_digest);
+}
+
+TEST(ShardedDeterminismTest, LadderChangesTheDigestChain) {
+  // The rung decisions fold into the ledger digest: the same run with and
+  // without the ladder must not share a trajectory fingerprint (otherwise
+  // a checkpoint could silently resume across the semantic change).
+  const auto movies = SixMovies();
+  const auto off =
+      RunShardedServerSimulation(movies, FullMachineOptions(2, 2, 11));
+  const auto on =
+      RunShardedServerSimulation(movies, LadderMachineOptions(2, 2, 11));
+  ASSERT_TRUE(off.ok() && on.ok());
+  EXPECT_NE(off->ledger_digest, on->ledger_digest);
+}
+
+TEST(ShardedDeterminismTest, WindowedLadderTracksLegacyPerEventLadder) {
+  // The semantic delta vs. the single-server per-event ladder, pinned
+  // down: the windowed ladder sees pressure only at barriers, so its
+  // decisions lag live pressure by at most one window — but both ladders
+  // must walk under the same fault regime, close the same queue
+  // accounting identity, and the windowed rungs may only move at barrier
+  // times. (EXPERIMENTS.md quantifies the dwell-time deltas.)
+  const auto movies = SixMovies();
+  ShardedServerOptions windowed = LadderMachineOptions(1, 1, 11);
+  windowed.base.controller.enabled = false;  // isolate the two ladders
+  ServerOptions legacy = windowed.base;
+  const auto legacy_report = RunServerSimulation(movies, legacy);
+  const auto windowed_report = RunShardedServerSimulation(movies, windowed);
+  ASSERT_TRUE(legacy_report.ok()) << legacy_report.status().message();
+  ASSERT_TRUE(windowed_report.ok()) << windowed_report.status().message();
+
+  const ResilienceReport& per_event = legacy_report->resilience;
+  const ResilienceReport& per_window = windowed_report->server.resilience;
+  EXPECT_GT(per_event.total_transitions, 0);
+  EXPECT_GT(per_window.total_transitions, 0);
+  EXPECT_EQ(per_window.vcr_queued,
+            per_window.vcr_queue_grants + per_window.vcr_queue_expirations +
+                per_window.vcr_queue_pending);
+  // Windowed decisions happen at barriers only: every recorded transition
+  // time is an exact multiple of window_minutes.
+  for (const DegradationTransition& tr : per_window.transitions) {
+    const double windows = tr.time / windowed.window_minutes;
+    EXPECT_DOUBLE_EQ(windows, std::floor(windows + 0.5))
+        << "transition at t=" << tr.time
+        << " is not on a window barrier";
+  }
+  // Both ladders must agree on the gross picture: time spent above normal
+  // within the same horizon (the windowed ladder quantizes dwells to
+  // windows, so agreement is coarse, not exact).
+  const auto above_normal = [](const ResilienceReport& rz) {
+    double total = 0.0;
+    for (int level = 1; level < kNumDegradationLevels; ++level) {
+      total += rz.time_in_level[level];
+    }
+    return total;
+  };
+  EXPECT_GT(above_normal(per_event), 0.0);
+  EXPECT_GT(above_normal(per_window), 0.0);
+}
+
 TEST(ShardedDeterminismTest, FaultsAndControllerActuallyEngaged) {
   // The wall is only as strong as the machinery it exercises: prove the
   // fault schedule fired and the controller planned under this workload.

@@ -219,5 +219,101 @@ TEST(ReserveManagerTest, QueueAccountingIdentity) {
   EXPECT_EQ(decided, 1);
 }
 
+// ---- windowed cross-shard ladder (pure functions) -------------------------
+
+WindowedPressure Pressure(int64_t capacity, int64_t nominal, int64_t held,
+                          int64_t queued) {
+  WindowedPressure p;
+  p.capacity = capacity;
+  p.nominal_capacity = nominal;
+  p.sum_held = held;
+  p.sum_queued = queued;
+  return p;
+}
+
+TEST(WindowedLadderTest, ComputeLevelMirrorsReserveManagerThresholds) {
+  const DegradationPolicy policy = EnabledPolicy();
+  // Full capacity, nothing held or queued: normal.
+  EXPECT_EQ(ComputeWindowedLevel(Pressure(50, 50, 10, 0), policy),
+            DegradationLevel::kNormal);
+  // Any queued demand raises kQueueing.
+  EXPECT_EQ(ComputeWindowedLevel(Pressure(50, 50, 10, 1), policy),
+            DegradationLevel::kQueueing);
+  // Below half of nominal: shed new VCR work (queued or not).
+  EXPECT_EQ(ComputeWindowedLevel(Pressure(24, 50, 10, 0), policy),
+            DegradationLevel::kShedVcr);
+  // Oversubscribed (held > capacity) outranks shed.
+  EXPECT_EQ(ComputeWindowedLevel(Pressure(24, 50, 30, 5), policy),
+            DegradationLevel::kReclaim);
+  // Below the batching fraction outranks everything.
+  EXPECT_EQ(ComputeWindowedLevel(Pressure(9, 50, 30, 5), policy),
+            DegradationLevel::kBatchingOnly);
+}
+
+TEST(WindowedLadderTest, DegradingStepsApplyImmediately) {
+  const DegradationPolicy policy = EnabledPolicy();
+  WindowedLadderState state;  // kNormal, streak 0
+  state = StepWindowedLadder(state, Pressure(9, 50, 30, 5), policy,
+                             /*recover_windows=*/3);
+  EXPECT_EQ(state.level, DegradationLevel::kBatchingOnly);
+  EXPECT_EQ(state.below_streak, 0);
+}
+
+TEST(WindowedLadderTest, RecoveryNeedsConsecutiveCalmWindows) {
+  const DegradationPolicy policy = EnabledPolicy();
+  WindowedLadderState state;
+  state.level = DegradationLevel::kShedVcr;
+  const WindowedPressure calm = Pressure(50, 50, 10, 0);  // raw = kNormal
+  // Two calm windows with recover_windows=3: rung held, streak counts up.
+  state = StepWindowedLadder(state, calm, policy, 3);
+  EXPECT_EQ(state.level, DegradationLevel::kShedVcr);
+  EXPECT_EQ(state.below_streak, 1);
+  state = StepWindowedLadder(state, calm, policy, 3);
+  EXPECT_EQ(state.level, DegradationLevel::kShedVcr);
+  EXPECT_EQ(state.below_streak, 2);
+  // Third calm window: the rung finally steps down, streak resets.
+  state = StepWindowedLadder(state, calm, policy, 3);
+  EXPECT_EQ(state.level, DegradationLevel::kNormal);
+  EXPECT_EQ(state.below_streak, 0);
+}
+
+TEST(WindowedLadderTest, PressureSpikeMidRecoveryResetsTheStreak) {
+  const DegradationPolicy policy = EnabledPolicy();
+  WindowedLadderState state;
+  state.level = DegradationLevel::kShedVcr;
+  state = StepWindowedLadder(state, Pressure(50, 50, 10, 0), policy, 2);
+  EXPECT_EQ(state.below_streak, 1);
+  // Raw pressure back at the held rung: the streak must restart from zero.
+  state = StepWindowedLadder(state, Pressure(24, 50, 10, 0), policy, 2);
+  EXPECT_EQ(state.level, DegradationLevel::kShedVcr);
+  EXPECT_EQ(state.below_streak, 0);
+  state = StepWindowedLadder(state, Pressure(50, 50, 10, 0), policy, 2);
+  EXPECT_EQ(state.below_streak, 1);
+  state = StepWindowedLadder(state, Pressure(50, 50, 10, 0), policy, 2);
+  EXPECT_EQ(state.level, DegradationLevel::kNormal);
+}
+
+TEST(WindowedLadderTest, RecoverWindowsBelowOneBehavesAsOne) {
+  const DegradationPolicy policy = EnabledPolicy();
+  WindowedLadderState state;
+  state.level = DegradationLevel::kQueueing;
+  state = StepWindowedLadder(state, Pressure(50, 50, 10, 0), policy,
+                             /*recover_windows=*/0);
+  EXPECT_EQ(state.level, DegradationLevel::kNormal);
+}
+
+TEST(WindowedLadderTest, RecoveryDescendsOneRawLevelAtATime) {
+  const DegradationPolicy policy = EnabledPolicy();
+  WindowedLadderState state;
+  state.level = DegradationLevel::kReclaim;
+  // Raw pressure at kQueueing: recovery lands there, not at kNormal.
+  const WindowedPressure queued = Pressure(50, 50, 10, 3);
+  state = StepWindowedLadder(state, queued, policy, 1);
+  EXPECT_EQ(state.level, DegradationLevel::kQueueing);
+  EXPECT_EQ(state.below_streak, 0);
+  state = StepWindowedLadder(state, queued, policy, 1);
+  EXPECT_EQ(state.level, DegradationLevel::kQueueing);
+}
+
 }  // namespace
 }  // namespace vod

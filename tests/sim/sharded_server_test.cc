@@ -56,17 +56,95 @@ TEST(ShardedServerTest, Validation) {
   EXPECT_TRUE(RunShardedServerSimulation(movies, bad_window)
                   .status()
                   .IsInvalidArgument());
-  auto degradation = BaseOptions(2, 1);
-  degradation.base.degradation.enabled = true;
-  const auto st = RunShardedServerSimulation(movies, degradation).status();
+  // The windowed ladder is supported, but its hysteresis knob must be sane.
+  auto bad_recover = BaseOptions(2, 1);
+  bad_recover.base.degradation.enabled = true;
+  bad_recover.ladder_recover_windows = 0;
+  const auto st = RunShardedServerSimulation(movies, bad_recover).status();
   EXPECT_TRUE(st.IsInvalidArgument());
-  EXPECT_NE(st.message().find("degradation"), std::string::npos);
-  auto traced = BaseOptions(2, 1);
-  EventLog log;
-  traced.base.obs.event_log = &log;
-  EXPECT_TRUE(RunShardedServerSimulation(movies, traced)
-                  .status()
-                  .IsInvalidArgument());
+  EXPECT_NE(st.message().find("ladder_recover_windows"), std::string::npos);
+  // recover_windows is only read when the ladder is armed: a bogus value
+  // with the ladder off must not reject a faults-only run.
+  auto ladder_off = BaseOptions(2, 1);
+  ladder_off.ladder_recover_windows = 0;
+  ladder_off.base.measurement_minutes = 500.0;
+  EXPECT_TRUE(RunShardedServerSimulation(movies, ladder_off).ok());
+}
+
+ShardedServerOptions LadderOptions(int shards, int threads) {
+  ShardedServerOptions options = BaseOptions(shards, threads);
+  options.base.dynamic_stream_reserve = 24;  // scarce: the ladder must work
+  options.base.degradation.enabled = true;
+  options.base.degradation.queue_deadline_minutes = 5.0;
+  options.base.faults.enabled = true;
+  options.base.faults.disks = 4;
+  options.base.faults.profile.mtbf_minutes = 700.0;
+  options.base.faults.profile.mttr_minutes = 350.0;
+  options.base.audit.enabled = true;
+  return options;
+}
+
+TEST(ShardedServerTest, WindowedLadderEngagesUnderFaults) {
+  const auto report =
+      RunShardedServerSimulation(FourMovies(), LadderOptions(2, 2));
+  ASSERT_TRUE(report.ok()) << report.status().message();
+  const ResilienceReport& rz = report->server.resilience;
+  // The run must actually walk the ladder: rungs above normal, queued VCR
+  // work, and a closed queue ledger.
+  EXPECT_GT(rz.total_transitions, 0);
+  double above_normal = 0.0;
+  for (int level = 1; level < kNumDegradationLevels; ++level) {
+    above_normal += rz.time_in_level[level];
+  }
+  EXPECT_GT(above_normal, 0.0);
+  EXPECT_GT(rz.vcr_queued, 0);
+  EXPECT_EQ(rz.vcr_queued, rz.vcr_queue_grants + rz.vcr_queue_expirations +
+                               rz.vcr_queue_pending);
+  // Dwell times integrate to the horizon exactly (the barrier integrates
+  // every window into the level it ran under): warmup + measurement.
+  double total = 0.0;
+  for (int level = 0; level < kNumDegradationLevels; ++level) {
+    total += rz.time_in_level[level];
+  }
+  EXPECT_DOUBLE_EQ(total, 500.0 + 4000.0);
+}
+
+TEST(ShardedServerTest, LadderReportIndependentOfShardAndThreadCount) {
+  // The acceptance matrix: ladder + faults + audit live, byte-identical
+  // across (shards, threads).
+  const auto golden =
+      RunShardedServerSimulation(FourMovies(), LadderOptions(1, 1));
+  ASSERT_TRUE(golden.ok()) << golden.status().message();
+  const std::string golden_text = golden->ToString();
+  EXPECT_GT(golden->server.resilience.total_transitions, 0);
+  for (int shards : {2, 3, 4}) {
+    for (int threads : {1, 2}) {
+      const auto got = RunShardedServerSimulation(FourMovies(),
+                                                  LadderOptions(shards, threads));
+      ASSERT_TRUE(got.ok()) << got.status().message();
+      EXPECT_EQ(got->ToString(), golden_text)
+          << "shards=" << shards << " threads=" << threads;
+    }
+  }
+}
+
+TEST(ShardedServerTest, LadderOffPreservesFaultsOnlyBytes) {
+  // Arming machinery must be inert when the ladder is off: a faults-only
+  // run reports the legacy hardcoded-normal resilience block and the same
+  // message totals as before the ladder existed (no pressure/echo/rung
+  // traffic).
+  auto faults_only = LadderOptions(2, 2);
+  faults_only.base.degradation.enabled = false;
+  const auto report = RunShardedServerSimulation(FourMovies(), faults_only);
+  ASSERT_TRUE(report.ok()) << report.status().message();
+  const ResilienceReport& rz = report->server.resilience;
+  EXPECT_EQ(rz.total_transitions, 0);
+  EXPECT_EQ(rz.final_level, DegradationLevel::kNormal);
+  EXPECT_EQ(rz.vcr_queued, 0);
+  const auto ladder_on = RunShardedServerSimulation(FourMovies(),
+                                                    LadderOptions(2, 2));
+  ASSERT_TRUE(ladder_on.ok());
+  EXPECT_LT(report->messages_posted, ladder_on->messages_posted);
 }
 
 TEST(ShardedServerTest, RunsAndReportsEveryMovie) {

@@ -849,6 +849,10 @@ int TimelineCommand(int argc, char** argv) {
 // deterministic window barriers (sim/sharded_server.h). The report is
 // byte-identical for any --shards/--threads combination, and --checkpoint
 // makes the run SIGKILL/resume-safe via replay-verified barrier snapshots.
+// --queue_deadline arms the windowed degradation ladder (graceful
+// degradation under faults: queueing, VCR shedding, forced reclaim,
+// batching-only — decided at barriers, applied at window opens), and the
+// observability flags attach coordinator-side tracing/metrics.
 
 int ShardCommand(int argc, char** argv) {
   FlagSet flags("vodctl shard");
@@ -870,6 +874,20 @@ int ShardCommand(int argc, char** argv) {
   flags.AddInt64("reserve", 100, "shared dynamic stream reserve, distributed "
                  "to movies as per-window credits");
   flags.AddString("faults", "", "disk faults 'disks:mtbf:mttr' in minutes");
+  flags.AddDouble("queue_deadline", 0.0, "arm the windowed degradation "
+                  "ladder: queue dry-reserve VCR requests up to this many "
+                  "minutes (0 = ladder off, hard refusal)");
+  flags.AddDouble("backoff", 0.25, "queued-request first re-offer delay in "
+                  "minutes (requires --queue_deadline)");
+  flags.AddDouble("backoff_factor", 2.0, "geometric retry backoff factor "
+                  "(requires --queue_deadline)");
+  flags.AddDouble("shed_below", 0.5, "capacity fraction below which the "
+                  "ladder sheds VCR requests (requires --queue_deadline)");
+  flags.AddDouble("batching_below", 0.2, "capacity fraction below which the "
+                  "ladder reclaims everything — batching-only mode "
+                  "(requires --queue_deadline)");
+  flags.AddInt64("recover_windows", 2, "consecutive calm windows before the "
+                 "ladder steps down a rung (requires --queue_deadline)");
   flags.AddBool("controller", false, "enable the buffer-reallocation control "
                 "plane above the barrier");
   flags.AddBool("audit", false, "audit the cross-shard conservation laws at "
@@ -889,8 +907,28 @@ int ShardCommand(int argc, char** argv) {
                  "the horizon)");
   flags.AddString("report_out", "", "also write the final report text to "
                   "this file (byte-identical to stdout)");
+  AddObsFlags(&flags);
   const Status parsed = flags.Parse(argc, argv);
   if (!parsed.ok()) return Fail(parsed);
+
+  // The ladder sub-knobs only mean something once --queue_deadline arms the
+  // ladder; a set-but-ignored flag is a mis-assembled command, so refuse it
+  // loudly instead of silently running un-degraded.
+  if (flags.GetDouble("queue_deadline") <= 0.0) {
+    for (const char* dep : {"backoff", "backoff_factor", "shed_below",
+                            "batching_below", "recover_windows"}) {
+      if (flags.WasSet(dep)) {
+        return Fail(Status::InvalidArgument(
+            std::string("--") + dep +
+            " requires the ladder armed via --queue_deadline > 0"));
+      }
+    }
+    if (flags.WasSet("queue_deadline")) {
+      return Fail(Status::InvalidArgument(
+          "--queue_deadline must be > 0 to arm the degradation ladder "
+          "(omit the flag to run without it)"));
+    }
+  }
 
   const auto layout = LayoutFromFlags(flags);
   if (!layout.ok()) return Fail(layout.status());
@@ -900,6 +938,10 @@ int ShardCommand(int argc, char** argv) {
   if (!mix.ok()) return Fail(mix.status());
   const auto movies = ServerMoviesFromFlags(flags, *layout, *mix, *duration);
   if (!movies.ok()) return Fail(movies.status());
+
+  ObsCli obs;
+  const Status obs_ready = obs.Init(flags);
+  if (!obs_ready.ok()) return Fail(obs_ready);
 
   ShardedServerOptions options;
   options.base.rates = paper::Rates();
@@ -912,6 +954,19 @@ int ShardCommand(int argc, char** argv) {
     if (!faults.ok()) return Fail(faults.status());
     options.base.faults = *faults;
   }
+  if (flags.GetDouble("queue_deadline") > 0.0) {
+    options.base.degradation.enabled = true;
+    options.base.degradation.queue_deadline_minutes =
+        flags.GetDouble("queue_deadline");
+    options.base.degradation.backoff_initial_minutes =
+        flags.GetDouble("backoff");
+    options.base.degradation.backoff_factor = flags.GetDouble("backoff_factor");
+    options.base.degradation.shed_below_fraction = flags.GetDouble("shed_below");
+    options.base.degradation.batching_below_fraction =
+        flags.GetDouble("batching_below");
+    options.ladder_recover_windows = flags.GetInt64("recover_windows");
+  }
+  options.base.obs = obs.RunOptions();
   options.base.controller.enabled = flags.GetBool("controller");
   options.base.audit.enabled =
       flags.GetBool("audit") || flags.GetBool("paranoid");
@@ -933,8 +988,12 @@ int ShardCommand(int argc, char** argv) {
     std::fprintf(stderr, "vodctl shard: stopped after %lld windows "
                  "(incomplete; resume from the checkpoint)\n",
                  static_cast<long long>(report->windows));
+    (void)obs.Finish();  // flush the partial trace; the exit code already
+                         // says the run is incomplete
     return 3;
   }
+  const Status finished = obs.Finish();
+  if (!finished.ok()) return Fail(finished);
   return EmitReport(flags, report->ToString() + "\n");
 }
 
@@ -1036,9 +1095,13 @@ int SoakCommand(int argc, char** argv) {
   std::vector<std::string> base_args;
   if (soak_shards > 0) {
     // Sharded-server chaos leg: one giant server, barrier checkpoints,
-    // cross-shard conservation audited at every window. Threads are
-    // appended per-invocation below (golden 1, chaos children --threads)
-    // so a byte-identical recovery also proves thread-independence.
+    // cross-shard conservation audited at every window, and the windowed
+    // degradation ladder armed so SIGKILLs land mid-degradation (faults
+    // shrink the reserve, rungs climb, forced reclaims fly) — recovery
+    // must still reproduce the golden bytes, resilience block included.
+    // Threads are appended per-invocation below (golden 1, chaos children
+    // --threads) so a byte-identical recovery also proves
+    // thread-independence.
     base_args = {
         "shard",
         "--movies=6",
@@ -1048,6 +1111,7 @@ int SoakCommand(int argc, char** argv) {
         "--window=50",
         "--reserve=40",
         "--faults=4:2000:120",
+        "--queue_deadline=5",
         "--audit",
         "--checkpoint_every=2",
     };
@@ -1079,11 +1143,6 @@ int SoakCommand(int argc, char** argv) {
   // events to a sink; only the report files are byte-compared.
   const std::string trace_path = prefix + ".trace.jsonl";
   if (flags.GetBool("trace")) {
-    if (soak_shards > 0) {
-      return Fail(Status::InvalidArgument(
-          "--trace is not supported with --shards (the sharded engine "
-          "rejects event tracing)"));
-    }
     base_args.push_back("--trace_out=" + trace_path);
   }
 
@@ -1182,9 +1241,11 @@ int SoakCommand(int, char**) {
 
 // ---- vodctl inspect --------------------------------------------------------
 //
-// Offline view of a trace file written by `simulate --trace_out=...`:
-// a per-category summary table plus, when the run walked the degradation
-// ladder, a reconstructed level-by-level timeline.
+// Offline view of a trace file written by `simulate --trace_out=...` or
+// `shard --trace_out=...`: a per-category summary table plus, when the run
+// walked the degradation ladder, a reconstructed level-by-level timeline
+// (kDegradation transitions and the barrier-emitted rung announcements of a
+// sharded run merge into one timeline), and the controller decision log.
 
 int InspectCommand(int argc, char** argv) {
   FlagSet flags("vodctl inspect");
@@ -1264,7 +1325,8 @@ int Usage() {
       "  catalog   size a whole catalog from CSV\n"
       "  timeline  ASCII view of the partition windows and a FF trajectory\n"
       "  soak      SIGKILL/resume chaos soak of a checkpointed sweep\n"
-      "  inspect   summarize a trace file written by simulate --trace_out\n"
+      "  inspect   summarize a trace file written by --trace_out "
+      "(simulate or shard)\n"
       "run 'vodctl <command> --help' for the command's flags\n",
       stderr);
   return 2;
