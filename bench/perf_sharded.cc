@@ -31,6 +31,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/event_log.h"
+#include "obs/metrics_registry.h"
 #include "sim/sharded_server.h"
 #include "workload/paper_presets.h"
 
@@ -67,13 +69,21 @@ std::vector<ServerMovieSpec> MixedCatalog(int count) {
   return movies;
 }
 
+/// Observability posture for a bench row (DESIGN.md §14).
+enum class BenchObs {
+  kOff,   ///< no bus at all — the historical baseline
+  kIdle,  ///< bus attached with no sinks: prices the dormant branches
+  kOn,    ///< ring-buffered trace + sampled metrics: full telemetry cost
+};
+
 /// Runs the sharded server over `movie_count` movies at the benchmark's
 /// shard count, with one worker thread per shard up to the hardware limit.
 /// `degraded` arms faults plus the windowed degradation ladder, so the
 /// barrier's pressure fold / rung step / quota apportionment and the
 /// shards' queued-VCR machinery are all on the measured path.
 void RunSharded(benchmark::State& state, int movie_count,
-                double measurement_minutes, bool degraded = false) {
+                double measurement_minutes, bool degraded = false,
+                BenchObs obs = BenchObs::kOff) {
   const int shards = static_cast<int>(state.range(0));
   const int hw = static_cast<int>(std::thread::hardware_concurrency());
   const auto movies = MixedCatalog(movie_count);
@@ -92,6 +102,20 @@ void RunSharded(benchmark::State& state, int movie_count,
     options.base.faults.profile.mttr_minutes = 300.0;
     options.base.degradation.enabled = true;
     options.base.degradation.queue_deadline_minutes = 5.0;
+  }
+  EventLog event_log;
+  EventRing trace_ring(1 << 16);
+  MetricsRegistry registry;
+  if (obs == BenchObs::kIdle) {
+    // Bus wired but sink-less: every emission site runs its ShouldEmit
+    // check and the shard lanes stay dark. This is the overhead a run pays
+    // for obs *capability* without a consumer — the ≤2% budget row.
+    options.base.obs.event_log = &event_log;
+  } else if (obs == BenchObs::kOn) {
+    event_log.AddSink(&trace_ring);
+    options.base.obs.event_log = &event_log;
+    options.base.obs.metrics = &registry;
+    options.base.obs.metrics_sample_minutes = 120.0;
   }
   uint64_t seed = 1;
   uint64_t total_events = 0;
@@ -128,6 +152,16 @@ void BM_ShardedRunDegraded(benchmark::State& state) {
              /*degraded=*/true);
 }
 
+void BM_ShardedRunObsIdle(benchmark::State& state) {
+  RunSharded(state, /*movie_count=*/384, /*measurement_minutes=*/3000.0,
+             /*degraded=*/false, BenchObs::kIdle);
+}
+
+void BM_ShardedRunTraced(benchmark::State& state) {
+  RunSharded(state, /*movie_count=*/384, /*measurement_minutes=*/3000.0,
+             /*degraded=*/false, BenchObs::kOn);
+}
+
 void BM_ShardedRunGiant(benchmark::State& state) {
   // ~10.1M viewers admitted per measured iteration (8192 movies, mean rate
   // 0.375/min, 3300 measured minutes), ~450k concurrently live.
@@ -144,6 +178,15 @@ void RegisterBenches() {
   auto* degraded = benchmark::RegisterBenchmark("BM_ShardedRunDegraded",
                                                 BM_ShardedRunDegraded);
   degraded->Arg(1)->Arg(4)->UseRealTime()->Unit(benchmark::kMillisecond);
+  // Obs postures at the 4-shard row (vs. the plain BM_ShardedRun/4 row):
+  // idle prices the dormant branches (the telemetry-only budget is ≤ ~2%),
+  // traced prices full per-shard lanes + barrier merge + sampled metrics.
+  auto* obs_idle = benchmark::RegisterBenchmark("BM_ShardedRunObsIdle",
+                                                BM_ShardedRunObsIdle);
+  obs_idle->Arg(4)->UseRealTime()->Unit(benchmark::kMillisecond);
+  auto* traced = benchmark::RegisterBenchmark("BM_ShardedRunTraced",
+                                              BM_ShardedRunTraced);
+  traced->Arg(4)->UseRealTime()->Unit(benchmark::kMillisecond);
   if (std::getenv("VOD_BENCH_GIANT") != nullptr) {
     auto* giant =
         benchmark::RegisterBenchmark("BM_ShardedRunGiant", BM_ShardedRunGiant);

@@ -15,6 +15,7 @@
 #ifndef VOD_COMMON_MAILBOX_H_
 #define VOD_COMMON_MAILBOX_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
@@ -51,6 +52,7 @@ class ShardMailbox {
     m.seq = next_seq_++;
     ++posted_;
     box_.push_back(m);
+    if (box_.size() > peak_depth_) peak_depth_ = box_.size();
   }
 
   /// \brief Moves out all queued messages and verifies sequence contiguity.
@@ -72,6 +74,9 @@ class ShardMailbox {
   uint64_t drained() const { return drained_; }
   uint64_t sequence_gaps() const { return sequence_gaps_; }
   bool empty() const { return box_.empty(); }
+  /// High-water queue depth over the box's lifetime (telemetry: how much a
+  /// barrier phase buffers before the other side drains).
+  uint64_t peak_depth() const { return peak_depth_; }
 
  private:
   std::vector<ShardMessage> box_;
@@ -79,6 +84,7 @@ class ShardMailbox {
   uint64_t posted_ = 0;
   uint64_t drained_ = 0;
   uint64_t sequence_gaps_ = 0;
+  uint64_t peak_depth_ = 0;
 };
 
 /// \brief The full mailbox fabric for an n-shard run: one coordinator-bound
@@ -122,6 +128,15 @@ class MailboxRouter {
   /// Messages posted but not yet drained, across every box. Zero at every
   /// barrier once both phases have run.
   uint64_t in_flight() const { return total_posted() - total_drained(); }
+
+  /// Deepest any single box has ever been (telemetry for the imbalance
+  /// gauges: the busiest shard's barrier backlog).
+  uint64_t max_peak_depth() const {
+    uint64_t n = 0;
+    for (const auto& b : to_coordinator_) n = std::max(n, b.peak_depth());
+    for (const auto& b : to_shard_) n = std::max(n, b.peak_depth());
+    return n;
+  }
 
  private:
   std::vector<ShardMailbox> to_coordinator_;

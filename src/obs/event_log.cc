@@ -12,6 +12,7 @@ constexpr const char* kCategoryNames[kNumEventCategories] = {
     "admission", "restart", "vcr_begin", "resume",      "stall",
     "queue",     "shed",    "reclaim",   "fault",       "degradation",
     "session",   "cell",    "tick",      "controller",  "barrier",
+    "shard",
 };
 
 // Subtype vocabularies, indexed to match the emitting code:
@@ -33,6 +34,9 @@ constexpr const char* kCellSub[] = {"done"};
 constexpr const char* kControllerSub[] = {"alarm",    "replan",  "reclaim",
                                           "grant",    "commit",  "rollback",
                                           "blocked",  "shed",    "class"};
+// ShardEvent order (obs/event_log.h).
+constexpr const char* kShardSub[] = {"window_open", "window_close", "pressure",
+                                     "quota_apply"};
 
 template <size_t N>
 const char* Lookup(const char* const (&table)[N], uint8_t i) {
@@ -87,6 +91,8 @@ const char* EventSubtypeName(EventCategory category, uint8_t subtype) {
     case EventCategory::kBarrier:
       // Barrier records carry ladder rungs in sub/aux.
       return Lookup(kDegradationSub, subtype);
+    case EventCategory::kShard:
+      return Lookup(kShardSub, subtype);
     default:
       return "-";
   }

@@ -58,9 +58,14 @@ enum class EventCategory : uint8_t {
   kBarrier = 14,     ///< sharded window barrier (sub = rung decided for the
                      ///< next window, aux = rung during the window just
                      ///< ended, id = window index, value = reserve capacity)
+  kShard = 15,       ///< per-shard lane record (sub: ShardEvent). Payloads
+                     ///< are deterministic by contract — executed-event
+                     ///< deltas, quotas, message counts, never wall clock —
+                     ///< so the merged trace is byte-stable for a fixed
+                     ///< shard count (DESIGN.md §14).
 };
 
-inline constexpr int kNumEventCategories = 15;
+inline constexpr int kNumEventCategories = 16;
 
 /// Subtype ids for EventCategory::kController records (ctrl/ emits these).
 enum class ControllerEvent : uint8_t {
@@ -73,6 +78,18 @@ enum class ControllerEvent : uint8_t {
   kBlocked = 6,   ///< step blocked, backing off (value = retry count)
   kShed = 7,      ///< arrival shed by the admission gate (aux = class)
   kClass = 8,     ///< movie priority class assigned (value = class)
+};
+
+/// Subtype ids for EventCategory::kShard records (the sharded engine's
+/// telemetry lanes, sim/shard.cc and sim/sharded_server.cc emit these).
+enum class ShardEvent : uint8_t {
+  kWindowOpen = 0,   ///< shard opened a window (id = shard, value = movies)
+  kWindowClose = 1,  ///< shard closed a window (id = shard, value =
+                     ///< executed-event delta for the window)
+  kPressure = 2,     ///< coordinator drained a shard's barrier mailbox
+                     ///< (id = shard, value = messages this window)
+  kQuotaApply = 3,   ///< window-open reclaim quota applied (movie, id =
+                     ///< quota, value = streams actually reclaimed)
 };
 
 /// Stable lower-case name ("admission", "resume", ...).
@@ -154,6 +171,30 @@ class EventRing final : public EventSink {
   std::vector<TraceEvent> events_;
   size_t next_ = 0;  ///< overwrite position once full
   uint64_t total_appended_ = 0;
+};
+
+/// \brief Unbounded buffer sink backing a per-shard telemetry lane: the
+/// shard's events accumulate here during a window and the coordinator
+/// Take()s them at the barrier for the deterministic cross-shard merge.
+///
+/// Not thread-safe by itself; the lane protocol guarantees single-owner
+/// access (the shard's worker thread during the window, the coordinator
+/// between windows, with the barrier join ordering the hand-off).
+class VectorSink final : public EventSink {
+ public:
+  void Append(const TraceEvent& event) override { events_.push_back(event); }
+
+  size_t size() const { return events_.size(); }
+
+  /// Drains the buffer, returning the events in emission order.
+  std::vector<TraceEvent> Take() {
+    std::vector<TraceEvent> out;
+    out.swap(events_);
+    return out;
+  }
+
+ private:
+  std::vector<TraceEvent> events_;
 };
 
 /// \brief Streaming JSONL sink (one object per line).

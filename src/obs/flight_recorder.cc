@@ -1,0 +1,275 @@
+#include "obs/flight_recorder.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "obs/trace_reader.h"
+
+namespace vod {
+
+namespace {
+
+constexpr const char* kBundleMagic = "vod-flight-recorder-v1";
+
+void AppendJsonEscaped(std::string* out, const std::string& s) {
+  for (char c : s) {
+    if (c == '"' || c == '\\') out->push_back('\\');
+    // The bundle is line-oriented; a newline inside `reason` would split the
+    // header, so flatten it.
+    out->push_back(c == '\n' ? ' ' : c);
+  }
+}
+
+void AppendJsonDouble(std::string* out, double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out->append(buf);
+}
+
+// Finds `"key":` in a single-line JSON object and returns the character
+// position just past the colon, or npos (same convention as trace_reader).
+size_t FindField(const std::string& line, const char* key) {
+  const std::string needle = std::string("\"") + key + "\":";
+  const size_t pos = line.find(needle);
+  return pos == std::string::npos ? std::string::npos : pos + needle.size();
+}
+
+Status LineError(size_t line_no, const std::string& why) {
+  return Status::InvalidArgument("postmortem line " + std::to_string(line_no) +
+                                 ": " + why);
+}
+
+Status ParseNumber(const std::string& line, size_t line_no, const char* key,
+                   double* out) {
+  const size_t pos = FindField(line, key);
+  if (pos == std::string::npos) {
+    return LineError(line_no, std::string("missing field \"") + key + "\"");
+  }
+  const char* begin = line.c_str() + pos;
+  char* end = nullptr;
+  const double v = std::strtod(begin, &end);
+  if (end == begin) {
+    return LineError(line_no,
+                     std::string("field \"") + key + "\" is not a number");
+  }
+  *out = v;
+  return Status::OK();
+}
+
+// Digests are full 64-bit FNV values; going through double would round
+// everything past 2^53, so they get a dedicated integer parse.
+Status ParseU64(const std::string& line, size_t line_no, const char* key,
+                uint64_t* out) {
+  const size_t pos = FindField(line, key);
+  if (pos == std::string::npos) {
+    return LineError(line_no, std::string("missing field \"") + key + "\"");
+  }
+  const char* begin = line.c_str() + pos;
+  char* end = nullptr;
+  const uint64_t v = std::strtoull(begin, &end, 10);
+  if (end == begin) {
+    return LineError(line_no,
+                     std::string("field \"") + key + "\" is not an integer");
+  }
+  *out = v;
+  return Status::OK();
+}
+
+Status ParseString(const std::string& line, size_t line_no, const char* key,
+                   std::string* out) {
+  size_t pos = FindField(line, key);
+  if (pos == std::string::npos) {
+    return LineError(line_no, std::string("missing field \"") + key + "\"");
+  }
+  if (pos >= line.size() || line[pos] != '"') {
+    return LineError(line_no,
+                     std::string("field \"") + key + "\" is not a string");
+  }
+  std::string value;
+  bool closed = false;
+  for (size_t i = pos + 1; i < line.size(); ++i) {
+    if (line[i] == '\\' && i + 1 < line.size()) {
+      value.push_back(line[++i]);
+      continue;
+    }
+    if (line[i] == '"') {
+      closed = true;
+      break;
+    }
+    value.push_back(line[i]);
+  }
+  if (!closed) {
+    return LineError(line_no,
+                     std::string("unterminated string for \"") + key + "\"");
+  }
+  *out = value;
+  return Status::OK();
+}
+
+}  // namespace
+
+FlightRecorder::FlightRecorder(int shards, size_t window_capacity,
+                               size_t events_per_shard)
+    : window_capacity_(window_capacity == 0 ? 1 : window_capacity) {
+  rings_.reserve(static_cast<size_t>(shards));
+  for (int s = 0; s < shards; ++s) rings_.emplace_back(events_per_shard);
+}
+
+void FlightRecorder::RecordWindow(FlightWindowRecord record) {
+  windows_.push_back(std::move(record));
+  while (windows_.size() > window_capacity_) windows_.pop_front();
+}
+
+Status FlightRecorder::Dump(const std::string& path,
+                            const std::string& reason) const {
+  std::ofstream out(path, std::ios::out | std::ios::trunc);
+  if (!out.is_open()) {
+    return Status::InvalidArgument("cannot open postmortem file '" + path +
+                                   "'");
+  }
+  std::string header = "{\"postmortem\":\"";
+  header += kBundleMagic;
+  header += "\",\"reason\":\"";
+  AppendJsonEscaped(&header, reason);
+  header += "\",\"shards\":" + std::to_string(rings_.size()) + "}";
+  out << header << '\n';
+  for (const FlightWindowRecord& rec : windows_) {
+    std::string line = "{\"window\":" + std::to_string(rec.window);
+    line += ",\"t_end\":";
+    AppendJsonDouble(&line, rec.t_end);
+    line += ",\"capacity\":" + std::to_string(rec.capacity);
+    line += ",\"rung\":" + std::to_string(rec.rung);
+    line += ",\"digest\":" + std::to_string(rec.digest);
+    line += ",\"sum_held\":" + std::to_string(rec.sum_held);
+    line += ",\"sum_credit\":" + std::to_string(rec.sum_credit);
+    line += ",\"sum_debt\":" + std::to_string(rec.sum_debt);
+    line += ",\"sum_queued\":" + std::to_string(rec.sum_queued);
+    line += ",\"quota_issued\":" + std::to_string(rec.quota_issued);
+    line += ",\"messages_posted\":" + std::to_string(rec.messages_posted);
+    line += ",\"messages_drained\":" + std::to_string(rec.messages_drained);
+    line += ",\"shard_events\":[";
+    for (size_t i = 0; i < rec.shard_events.size(); ++i) {
+      if (i > 0) line += ",";
+      line += std::to_string(rec.shard_events[i]);
+    }
+    line += "]}";
+    out << line << '\n';
+  }
+  for (size_t s = 0; s < rings_.size(); ++s) {
+    for (const TraceEvent& event : rings_[s].Snapshot()) {
+      out << "{\"shard\":" << s << ",\"event\":" << TraceEventToJson(event)
+          << "}" << '\n';
+    }
+  }
+  out.flush();
+  if (!out.good()) {
+    return Status::Internal("postmortem write failed for '" + path + "'");
+  }
+  return Status::OK();
+}
+
+Result<PostmortemBundle> ReadPostmortem(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return Status::NotFound("cannot open postmortem file '" + path + "'");
+  }
+  PostmortemBundle bundle;
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    if (line_no == 1) {
+      std::string magic;
+      VOD_RETURN_IF_ERROR(ParseString(line, line_no, "postmortem", &magic));
+      if (magic != kBundleMagic) {
+        return LineError(line_no, "unknown bundle format '" + magic + "'");
+      }
+      VOD_RETURN_IF_ERROR(ParseString(line, line_no, "reason",
+                                      &bundle.reason));
+      double shards = 0.0;
+      VOD_RETURN_IF_ERROR(ParseNumber(line, line_no, "shards", &shards));
+      bundle.shards = static_cast<int>(shards);
+      continue;
+    }
+    if (FindField(line, "window") != std::string::npos) {
+      FlightWindowRecord rec;
+      double v = 0.0;
+      VOD_RETURN_IF_ERROR(ParseNumber(line, line_no, "window", &v));
+      rec.window = static_cast<int64_t>(v);
+      VOD_RETURN_IF_ERROR(ParseNumber(line, line_no, "t_end", &rec.t_end));
+      VOD_RETURN_IF_ERROR(ParseNumber(line, line_no, "capacity", &v));
+      rec.capacity = static_cast<int64_t>(v);
+      VOD_RETURN_IF_ERROR(ParseNumber(line, line_no, "rung", &v));
+      rec.rung = static_cast<int>(v);
+      VOD_RETURN_IF_ERROR(ParseU64(line, line_no, "digest", &rec.digest));
+      VOD_RETURN_IF_ERROR(ParseNumber(line, line_no, "sum_held", &v));
+      rec.sum_held = static_cast<int64_t>(v);
+      VOD_RETURN_IF_ERROR(ParseNumber(line, line_no, "sum_credit", &v));
+      rec.sum_credit = static_cast<int64_t>(v);
+      VOD_RETURN_IF_ERROR(ParseNumber(line, line_no, "sum_debt", &v));
+      rec.sum_debt = static_cast<int64_t>(v);
+      VOD_RETURN_IF_ERROR(ParseNumber(line, line_no, "sum_queued", &v));
+      rec.sum_queued = static_cast<int64_t>(v);
+      VOD_RETURN_IF_ERROR(ParseNumber(line, line_no, "quota_issued", &v));
+      rec.quota_issued = static_cast<int64_t>(v);
+      VOD_RETURN_IF_ERROR(ParseNumber(line, line_no, "messages_posted", &v));
+      rec.messages_posted = static_cast<uint64_t>(v);
+      VOD_RETURN_IF_ERROR(ParseNumber(line, line_no, "messages_drained", &v));
+      rec.messages_drained = static_cast<uint64_t>(v);
+      const size_t arr = FindField(line, "shard_events");
+      if (arr == std::string::npos || arr >= line.size() ||
+          line[arr] != '[') {
+        return LineError(line_no, "missing field \"shard_events\"");
+      }
+      size_t pos = arr + 1;
+      while (pos < line.size() && line[pos] != ']') {
+        char* end = nullptr;
+        const double d = std::strtod(line.c_str() + pos, &end);
+        if (end == line.c_str() + pos) {
+          return LineError(line_no, "malformed shard_events array");
+        }
+        rec.shard_events.push_back(static_cast<int64_t>(d));
+        pos = static_cast<size_t>(end - line.c_str());
+        if (pos < line.size() && line[pos] == ',') ++pos;
+      }
+      bundle.windows.push_back(std::move(rec));
+      continue;
+    }
+    if (FindField(line, "shard") != std::string::npos) {
+      double shard = 0.0;
+      VOD_RETURN_IF_ERROR(ParseNumber(line, line_no, "shard", &shard));
+      const size_t obj = FindField(line, "event");
+      const size_t close = line.rfind('}');
+      if (obj == std::string::npos || close == std::string::npos ||
+          close <= obj) {
+        return LineError(line_no, "malformed event record");
+      }
+      // The embedded object is exactly one JSONL trace line; lean on the
+      // trace reader so binary/JSONL subtype recovery stays in one place.
+      std::istringstream event_line(line.substr(obj, close - obj));
+      auto parsed = ReadJsonlTrace(event_line);
+      if (!parsed.ok()) {
+        return LineError(line_no, parsed.status().message());
+      }
+      if (parsed->size() != 1) {
+        return LineError(line_no, "expected exactly one embedded event");
+      }
+      PostmortemEvent pe;
+      pe.shard = static_cast<int>(shard);
+      pe.event = parsed->front();
+      bundle.events.push_back(pe);
+      continue;
+    }
+    return LineError(line_no, "unrecognized record");
+  }
+  if (line_no == 0) {
+    return Status::InvalidArgument("postmortem file '" + path + "' is empty");
+  }
+  return bundle;
+}
+
+}  // namespace vod

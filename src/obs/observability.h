@@ -22,6 +22,11 @@ struct ObsOptions {
   /// Sampling cadence in simulated minutes (applied to `metrics`); <= 0
   /// leaves the registry's own cadence untouched.
   double metrics_sample_minutes = 0.0;
+  /// Wall-clock phase profiler. The sharded server records per-window shard
+  /// work / barrier-wait / coordinator-fold spans on named lanes; the
+  /// single-server path ignores it (its event loop has no phases worth
+  /// spans). Null = no spans.
+  PhaseProfiler* profiler = nullptr;
 };
 
 /// \brief Observability wiring for an experiment grid (exp/experiment.h,

@@ -11,9 +11,27 @@ int PhaseProfiler::TidForCurrentThreadLocked() {
   const auto id = std::this_thread::get_id();
   const auto it = thread_ids_.find(id);
   if (it != thread_ids_.end()) return it->second;
-  const int tid = static_cast<int>(thread_ids_.size());
+  const int tid = next_tid_++;
   thread_ids_.emplace(id, tid);
   return tid;
+}
+
+int PhaseProfiler::RegisterLane(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const int lane = next_tid_++;
+  lane_names_.emplace_back(lane, name);
+  return lane;
+}
+
+void PhaseProfiler::RecordSpanOnLane(int lane, const std::string& name,
+                                     double start_us, double end_us) {
+  Span span;
+  span.name = name;
+  span.start_us = start_us;
+  span.dur_us = end_us >= start_us ? end_us - start_us : 0.0;
+  span.tid = lane;
+  std::lock_guard<std::mutex> lock(mu_);
+  spans_.push_back(std::move(span));
 }
 
 void PhaseProfiler::RecordSpan(const std::string& name, double start_us,
@@ -80,24 +98,46 @@ std::string PhaseProfiler::SummaryTable() const {
   return os.str();
 }
 
+namespace {
+
+void WriteJsonEscaped(std::ostream& os, const std::string& s) {
+  // Names are library-generated (phase/cell/lane labels); escape the two
+  // JSON-breaking characters defensively anyway.
+  for (char c : s) {
+    if (c == '"' || c == '\\') os << '\\';
+    os << c;
+  }
+}
+
+}  // namespace
+
 void PhaseProfiler::WriteChromeTrace(std::ostream& os) const {
   std::vector<Span> spans;
+  std::vector<std::pair<int, std::string>> lanes;
   {
     std::lock_guard<std::mutex> lock(mu_);
     spans = spans_;
+    lanes = lane_names_;
   }
   os << "[";
   char buf[64];
+  bool first = true;
+  // thread_name metadata first, so viewers label the lanes ("shard 3",
+  // "coordinator") before any span referencing them streams in.
+  for (const auto& [lane, name] : lanes) {
+    if (!first) os << ",";
+    first = false;
+    os << "\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":" << lane
+       << ",\"args\":{\"name\":\"";
+    WriteJsonEscaped(os, name);
+    os << "\"}}";
+  }
   for (size_t i = 0; i < spans.size(); ++i) {
     const Span& span = spans[i];
-    if (i > 0) os << ",";
+    if (!first) os << ",";
+    first = false;
     os << "\n{\"name\":\"";
-    // Span names are library-generated (phase/cell labels); escape the two
-    // JSON-breaking characters defensively anyway.
-    for (char c : span.name) {
-      if (c == '"' || c == '\\') os << '\\';
-      os << c;
-    }
+    WriteJsonEscaped(os, span.name);
     os << "\",\"cat\":\"phase\",\"ph\":\"X\",\"pid\":0,\"tid\":" << span.tid;
     std::snprintf(buf, sizeof(buf), ",\"ts\":%.3f,\"dur\":%.3f}",
                   span.start_us, span.dur_us);

@@ -42,6 +42,19 @@ class PhaseProfiler {
   /// lane. Normally called by ~Scope.
   void RecordSpan(const std::string& name, double start_us, double end_us);
 
+  /// Registers a named virtual lane ("shard 3", "coordinator") and returns
+  /// its lane id for RecordSpanOnLane. Lanes share the dense id space with
+  /// the anonymous per-thread lanes; WriteChromeTrace emits thread_name
+  /// metadata for the named ones, so Perfetto shows the name instead of a
+  /// bare tid.
+  int RegisterLane(const std::string& name);
+
+  /// Records a completed span on an explicit lane regardless of the calling
+  /// thread. The sharded barrier uses this to attribute work to the shard
+  /// that did it rather than to whichever pool worker happened to run it.
+  void RecordSpanOnLane(int lane, const std::string& name, double start_us,
+                        double end_us);
+
   /// \brief RAII timer. `profiler` may be null — the scope is then free.
   class Scope {
    public:
@@ -99,6 +112,8 @@ class PhaseProfiler {
   mutable std::mutex mu_;
   std::vector<Span> spans_;
   std::unordered_map<std::thread::id, int> thread_ids_;
+  int next_tid_ = 0;  ///< shared by anonymous threads and named lanes
+  std::vector<std::pair<int, std::string>> lane_names_;
 };
 
 }  // namespace vod

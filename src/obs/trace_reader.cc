@@ -293,4 +293,47 @@ std::vector<ControllerDecision> ControllerTimeline(
   return out;
 }
 
+std::vector<ShardWindowSummary> ShardImbalanceTimeline(
+    const std::vector<TraceEvent>& events) {
+  std::vector<ShardWindowSummary> out;
+  // Rows are keyed by barrier time: every shard's window_close and the
+  // coordinator's pressure reports for one window carry the same t_end, and
+  // windows arrive in time order in a merged trace.
+  const auto row_for = [&out](double t) -> ShardWindowSummary& {
+    if (out.empty() || out.back().t_end != t) {
+      ShardWindowSummary row;
+      row.t_end = t;
+      out.push_back(row);
+    }
+    return out.back();
+  };
+  for (const TraceEvent& event : events) {
+    if (event.category != EventCategory::kShard) continue;
+    switch (static_cast<ShardEvent>(event.subtype)) {
+      case ShardEvent::kWindowClose: {
+        ShardWindowSummary& row = row_for(event.time);
+        const auto delta = static_cast<int64_t>(event.value);
+        const int shard = static_cast<int>(event.id);
+        if (row.shards == 0 || delta > row.max_events) {
+          row.max_events = delta;
+          row.critical_shard = shard;
+        }
+        if (row.shards == 0 || delta < row.min_events) {
+          row.min_events = delta;
+        }
+        row.total_events += delta;
+        ++row.shards;
+        break;
+      }
+      case ShardEvent::kPressure:
+        row_for(event.time).messages += static_cast<int64_t>(event.value);
+        break;
+      case ShardEvent::kWindowOpen:
+      case ShardEvent::kQuotaApply:
+        break;
+    }
+  }
+  return out;
+}
+
 }  // namespace vod

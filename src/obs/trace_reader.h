@@ -89,6 +89,25 @@ struct ControllerDecision {
 std::vector<ControllerDecision> ControllerTimeline(
     const std::vector<TraceEvent>& events);
 
+/// One barrier window's shard-imbalance view, reconstructed from the kShard
+/// records of a sharded trace. Work is measured in executed events — the
+/// deterministic shard-work measure the lanes carry; wall-clock work/wait
+/// breakdowns live in the profiler export (--profile_out), not the trace.
+struct ShardWindowSummary {
+  double t_end = 0.0;        ///< barrier time (window_close stamp)
+  int shards = 0;            ///< shards reporting in this window
+  int64_t total_events = 0;  ///< Σ executed-event deltas
+  int64_t max_events = 0;    ///< busiest shard's delta
+  int64_t min_events = 0;    ///< laziest shard's delta
+  int critical_shard = 0;    ///< argmax delta (lowest id on ties)
+  int64_t messages = 0;      ///< coordinator-drained mailbox messages
+};
+
+/// Per-window imbalance timeline, in trace order. Empty when the trace has
+/// no kShard events (non-sharded runs, or pre-lane traces).
+std::vector<ShardWindowSummary> ShardImbalanceTimeline(
+    const std::vector<TraceEvent>& events);
+
 }  // namespace vod
 
 #endif  // VOD_OBS_TRACE_READER_H_

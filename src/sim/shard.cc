@@ -92,6 +92,16 @@ void CreditStreamSupplier::OnDeadline(double t, uint64_t waiter_id) {
 void CreditStreamSupplier::OpenWindow(double t) { DrainQueue(t); }
 
 void ServerShard::RunWindow(double t_start, double t_end) {
+  // Lane records carry only deterministic payloads (movie counts,
+  // executed-event deltas, quotas) so the merged trace is byte-stable for a
+  // fixed shard count; wall-clock timing belongs to the profiler.
+  const uint64_t executed_at_open = queue_.executed();
+  if (lane_.ShouldEmit(EventCategory::kShard)) {
+    lane_.Emit(t_start, EventCategory::kShard,
+               static_cast<uint8_t>(ShardEvent::kWindowOpen),
+               /*movie=*/-1, /*id=*/shard_index_,
+               static_cast<double>(movies_.size()));
+  }
   for (const ShardMessage& msg : inbox_->Drain()) {
     // Find the owned slot for the message's movie. Shards own few movies,
     // so a linear scan beats a map and allocates nothing.
@@ -136,6 +146,11 @@ void ServerShard::RunWindow(double t_start, double t_end) {
     const int64_t applied =
         quota > 0 ? m.world->ReclaimDedicated(t_start, quota) : 0;
     m.supplier->NoteReclaim(quota, applied);
+    if (quota > 0 && lane_.ShouldEmit(EventCategory::kShard)) {
+      lane_.Emit(t_start, EventCategory::kShard,
+                 static_cast<uint8_t>(ShardEvent::kQuotaApply),
+                 m.global_index, /*id=*/quota, static_cast<double>(applied));
+    }
     m.supplier->OpenWindow(t_start);
   }
 
@@ -180,6 +195,13 @@ void ServerShard::RunWindow(double t_start, double t_end) {
     }
 
     m.supplier->ResetWindow();
+  }
+
+  if (lane_.ShouldEmit(EventCategory::kShard)) {
+    lane_.Emit(t_end, EventCategory::kShard,
+               static_cast<uint8_t>(ShardEvent::kWindowClose),
+               /*movie=*/-1, /*id=*/shard_index_,
+               static_cast<double>(queue_.executed() - executed_at_open));
   }
 }
 

@@ -24,6 +24,7 @@
 #include "common/mailbox.h"
 #include "common/rng.h"
 #include "ctrl/admission_gate.h"
+#include "obs/event_log.h"
 #include "sim/degradation.h"
 #include "sim/event_queue.h"
 #include "sim/metrics.h"
@@ -312,6 +313,17 @@ class ServerShard {
   RecordingGate& gate() { return gate_; }
   int shard_index() const { return shard_index_; }
 
+  /// \brief The shard's private telemetry lane (DESIGN.md §14).
+  ///
+  /// Movie worlds on this shard emit into the lane instead of the main bus;
+  /// with no sinks attached every emission site costs one branch, so a dark
+  /// run pays nothing. The coordinator arms the lane before the run (mask +
+  /// buffer/ring sinks) and drains lane_buffer() at each barrier for the
+  /// deterministic (window, shard, local-seq) merge into the main bus. Lane
+  /// payloads are deterministic by contract — never wall clock.
+  EventLog& lane() { return lane_; }
+  VectorSink& lane_buffer() { return lane_buffer_; }
+
   std::vector<MovieSlot>& movies() { return movies_; }
   const std::vector<MovieSlot>& movies() const { return movies_; }
 
@@ -339,6 +351,8 @@ class ServerShard {
   ShardMailbox* outbox_;  ///< this shard -> coordinator
   EventQueue queue_;
   RecordingGate gate_;
+  EventLog lane_;
+  VectorSink lane_buffer_;
   std::vector<MovieSlot> movies_;
 };
 

@@ -12,6 +12,7 @@
 #include "common/mailbox.h"
 #include "common/serialize.h"
 #include "common/thread_pool.h"
+#include "obs/flight_recorder.h"
 #include "sim/shard.h"
 
 namespace vod {
@@ -227,6 +228,21 @@ Status ValidateShardedInputs(const std::vector<ServerMovieSpec>& movies,
         "sharded checkpointing needs every_windows >= 1, got " +
         std::to_string(options.checkpoint.every_windows));
   }
+  if (options.postmortem.windows < 1) {
+    return Status::InvalidArgument(
+        "the flight recorder needs postmortem.windows >= 1, got " +
+        std::to_string(options.postmortem.windows));
+  }
+  if (options.postmortem.events_per_shard < 0) {
+    return Status::InvalidArgument(
+        "the flight recorder needs postmortem.events_per_shard >= 0, got " +
+        std::to_string(options.postmortem.events_per_shard));
+  }
+  if (options.corrupt_audit_window > 0 && !options.base.audit.enabled) {
+    return Status::InvalidArgument(
+        "corrupt_audit_window is an audit-injection hook; it requires "
+        "base.audit.enabled");
+  }
   return Status::OK();
 }
 
@@ -320,6 +336,9 @@ Result<ShardedServerReport> RunShardedServerSimulation(
     config.piggyback = base.piggyback;
     config.movie_id = static_cast<int32_t>(i);
     config.gate = controller != nullptr ? &shard->gate() : nullptr;
+    // Per-event telemetry goes to the owning shard's private lane, never
+    // the shared bus; with no sinks armed the lane is one dead branch.
+    config.event_log = &shard->lane();
     VOD_RETURN_IF_ERROR(ValidateMovieWorldInputs(base.rates, config));
 
     ServerShard::MovieSlot slot;
@@ -396,16 +415,65 @@ Result<ShardedServerReport> RunShardedServerSimulation(
   std::vector<int64_t> reclaim_quota(movie_count, 0);
   constexpr size_t kMaxStoredLadderTransitions = 10000;
 
-  // ---- observability (coordinator side only) ------------------------------
-  // Telemetry is emitted exclusively from the single-threaded barrier —
-  // faults, barrier/rung records, ladder transitions, reserve gauges — so
-  // the buses stay single-threaded while shards run in parallel. Per-event
-  // shard-side categories (admissions, VCR ops) stay dark by design.
+  // ---- observability (DESIGN.md §14) --------------------------------------
+  // Two tiers. Coordinator-side telemetry (faults, barrier/rung records,
+  // ladder transitions, reserve + imbalance gauges) is emitted from the
+  // single-threaded barrier directly onto the shared buses. Per-event
+  // shard-side telemetry (admissions, VCR ops, kShard window records) goes
+  // to each shard's *private* lane while the window runs in parallel, and
+  // the coordinator folds the lane buffers into the main bus at the barrier
+  // in shard-index order — the merged trace is therefore ordered by
+  // (window, shard, local seq), independent of thread count, and Emit's
+  // seq restamp keeps global sequence numbers dense. Lane payloads carry
+  // deterministic values only (never wall clock); wall-clock spans go to
+  // the profiler's named lanes instead.
   EventLog* event_log = base.obs.event_log;
   MetricsRegistry* registry = base.obs.metrics;
+  PhaseProfiler* profiler = base.obs.profiler;
+  const bool tracing = event_log != nullptr && event_log->has_sinks();
+  // The flight recorder itself (bounded window-record deque) is always on;
+  // the per-shard event rings fill only while the lanes are lit, so a dark
+  // run pays nothing per event.
+  FlightRecorder recorder(shard_count,
+                          static_cast<size_t>(options.postmortem.windows),
+                          static_cast<size_t>(
+                              options.postmortem.events_per_shard));
+  const bool lanes_lit = tracing || !options.postmortem.path.empty();
+  for (int s = 0; s < shard_count; ++s) {
+    ServerShard& shard = *shards[static_cast<size_t>(s)];
+    if (tracing) {
+      // Lanes see the user's category mask plus kShard (the imbalance
+      // timeline needs the window records); the merge re-filters through
+      // the main bus mask, so --trace_categories still governs the file.
+      shard.lane().set_mask(event_log->mask() |
+                            CategoryBit(EventCategory::kShard));
+      shard.lane().AddSink(&shard.lane_buffer());
+    } else if (lanes_lit) {
+      shard.lane().set_mask(CategoryBit(EventCategory::kShard));
+    }
+    if (lanes_lit) shard.lane().AddSink(recorder.shard_ring(s));
+  }
+  std::vector<int> shard_lanes;
+  int coordinator_lane = -1;
+  if (profiler != nullptr) {
+    // Named lanes make Perfetto traces attributable to shard ids even
+    // though pool workers migrate between shards across windows.
+    for (int s = 0; s < shard_count; ++s) {
+      shard_lanes.push_back(
+          profiler->RegisterLane("shard " + std::to_string(s)));
+    }
+    coordinator_lane = profiler->RegisterLane("coordinator");
+  }
   Gauge* g_in_use = nullptr;
   Gauge* g_capacity = nullptr;
   Gauge* g_level = nullptr;
+  Gauge* g_shard_max = nullptr;
+  Gauge* g_shard_min = nullptr;
+  Gauge* g_shard_critical = nullptr;
+  Gauge* g_mailbox_depth = nullptr;
+  Gauge* g_credit_granted = nullptr;
+  Gauge* g_debt_assigned = nullptr;
+  Counter* c_mailbox_messages = nullptr;
   if (registry != nullptr) {
     if (base.obs.metrics_sample_minutes > 0.0) {
       registry->set_sample_every(base.obs.metrics_sample_minutes);
@@ -416,7 +484,35 @@ Result<ShardedServerReport> RunShardedServerSimulation(
         "server_reserve_capacity", "current reserve capacity under faults");
     g_level = registry->AddGauge("server_degradation_level",
                                  "degradation ladder rung (0 = normal)");
+    g_shard_max = registry->AddGauge(
+        "shard_window_events_max",
+        "events executed by the busiest shard in the last window");
+    g_shard_min = registry->AddGauge(
+        "shard_window_events_min",
+        "events executed by the idlest shard in the last window");
+    g_shard_critical = registry->AddGauge(
+        "shard_critical_path",
+        "shard id holding the window's critical path (max events)");
+    g_mailbox_depth = registry->AddGauge(
+        "shard_mailbox_peak_depth",
+        "deepest any mailbox has been since the run started");
+    g_credit_granted = registry->AddGauge(
+        "shard_credit_granted", "acquisition credits lent for next window");
+    g_debt_assigned = registry->AddGauge(
+        "shard_debt_assigned", "retirement debt outstanding at the barrier");
+    c_mailbox_messages = registry->AddCounter(
+        "shard_mailbox_messages", "shard->coordinator messages drained");
   }
+  // Per-window imbalance working state (coordinator-only, reset implicitly
+  // each window by overwriting).
+  std::vector<uint64_t> shard_executed_prev(
+      static_cast<size_t>(shard_count), 0);
+  std::vector<int64_t> shard_window_events(
+      static_cast<size_t>(shard_count), 0);
+  std::vector<int64_t> shard_window_msgs(
+      static_cast<size_t>(shard_count), 0);
+  std::vector<double> work_begin_us(static_cast<size_t>(shard_count), 0.0);
+  std::vector<double> work_end_us(static_cast<size_t>(shard_count), 0.0);
 
   struct MovieBarrier {
     int64_t held = 0;
@@ -478,15 +574,67 @@ Result<ShardedServerReport> RunShardedServerSimulation(
         std::min(horizon, options.window_minutes * static_cast<double>(w));
 
     // ---- parallel phase: every shard runs its private kernel -------------
-    pool.ParallelFor(shard_count, [&shards, t_start, t_end](int64_t s) {
+    // Each worker writes only its own work_begin/end slot, so the
+    // instrumented lambda stays race-free; spans are recorded after the
+    // join to keep the profiler mutex out of the parallel phase.
+    pool.ParallelFor(shard_count, [&](int64_t s) {
+      const double begin_us = profiler != nullptr ? profiler->NowMicros() : 0.0;
       shards[static_cast<size_t>(s)]->RunWindow(t_start, t_end);
+      if (profiler != nullptr) {
+        work_begin_us[static_cast<size_t>(s)] = begin_us;
+        work_end_us[static_cast<size_t>(s)] = profiler->NowMicros();
+      }
     });
+    const double barrier_us =
+        profiler != nullptr ? profiler->NowMicros() : 0.0;
+    if (profiler != nullptr) {
+      for (int s = 0; s < shard_count; ++s) {
+        const auto lane = shard_lanes[static_cast<size_t>(s)];
+        profiler->RecordSpanOnLane(lane, "shard_work",
+                                   work_begin_us[static_cast<size_t>(s)],
+                                   work_end_us[static_cast<size_t>(s)]);
+        // A shard's barrier wait runs from its own finish to the join.
+        profiler->RecordSpanOnLane(lane, "barrier_wait",
+                                   work_end_us[static_cast<size_t>(s)],
+                                   barrier_us);
+      }
+    }
 
     // ---- barrier: single-threaded coordinator ----------------------------
+    // 0. Fold the per-shard telemetry lanes into the main bus, shard-index
+    //    order, and take each shard's executed-event delta for the
+    //    imbalance gauges. Emit restamps the global seq, so merged traces
+    //    are ordered (window, shard, local seq) for any thread count; the
+    //    main bus mask re-filters every record.
+    int64_t max_events = 0;
+    int64_t min_events = 0;
+    int critical_shard = 0;
+    for (int s = 0; s < shard_count; ++s) {
+      ServerShard& shard = *shards[static_cast<size_t>(s)];
+      const uint64_t executed = shard.queue().executed();
+      const auto delta = static_cast<int64_t>(
+          executed - shard_executed_prev[static_cast<size_t>(s)]);
+      shard_executed_prev[static_cast<size_t>(s)] = executed;
+      shard_window_events[static_cast<size_t>(s)] = delta;
+      if (s == 0 || delta > max_events) {
+        max_events = delta;
+        critical_shard = s;
+      }
+      if (s == 0 || delta < min_events) min_events = delta;
+      if (tracing) {
+        for (const TraceEvent& event : shard.lane_buffer().Take()) {
+          event_log->Emit(event);
+        }
+      }
+    }
+
     // 1. Drain summaries into the per-movie ledger (global movie order is
     //    restored by indexing, so shard layout cannot reorder anything).
     for (int s = 0; s < shard_count; ++s) {
-      for (const ShardMessage& msg : router.to_coordinator(s).Drain()) {
+      const std::vector<ShardMessage> msgs = router.to_coordinator(s).Drain();
+      shard_window_msgs[static_cast<size_t>(s)] =
+          static_cast<int64_t>(msgs.size());
+      for (const ShardMessage& msg : msgs) {
         MovieBarrier& mb = ledger[static_cast<size_t>(msg.movie)];
         switch (msg.kind) {
           case kShardMsgLedger:
@@ -514,6 +662,18 @@ Result<ShardedServerReport> RunShardedServerSimulation(
           default:
             VOD_CHECK_MSG(false, "unknown shard->coordinator message kind");
         }
+      }
+    }
+    if (ObsEnabled(event_log, EventCategory::kShard)) {
+      // Pressure report: one record per shard with its barrier-mailbox
+      // traffic. Message counts are shard-layout products, so these live
+      // under kShard (filterable) rather than the invariant categories.
+      for (int s = 0; s < shard_count; ++s) {
+        event_log->Emit(t_end, EventCategory::kShard,
+                        static_cast<uint8_t>(ShardEvent::kPressure),
+                        /*movie=*/-1, /*id=*/s,
+                        static_cast<double>(
+                            shard_window_msgs[static_cast<size_t>(s)]));
       }
     }
 
@@ -662,11 +822,27 @@ Result<ShardedServerReport> RunShardedServerSimulation(
       g_in_use->Set(static_cast<double>(sum_held));
       g_capacity->Set(static_cast<double>(capacity));
       g_level->Set(static_cast<double>(ladder_state.level));
+      g_shard_max->Set(static_cast<double>(max_events));
+      g_shard_min->Set(static_cast<double>(min_events));
+      g_shard_critical->Set(static_cast<double>(critical_shard));
+      g_mailbox_depth->Set(static_cast<double>(router.max_peak_depth()));
+      int64_t credit_granted = 0;
+      int64_t debt_assigned = 0;
+      for (const MovieBarrier& mb : ledger) {
+        credit_granted += mb.credit;
+        debt_assigned += mb.debt;
+      }
+      g_credit_granted->Set(static_cast<double>(credit_granted));
+      g_debt_assigned->Set(static_cast<double>(debt_assigned));
+      int64_t window_msgs = 0;
+      for (const int64_t n : shard_window_msgs) window_msgs += n;
+      c_mailbox_messages->Add(window_msgs);
       registry->MaybeSample(t_end);
     }
 
     // 5. Audit the barrier: cross-shard laws plus (when the controller is
     //    live) its resource ledger and the live partition geometry.
+    bool audit_tripped = false;
     if (auditor != nullptr) {
       audit_snapshot.time = t_end;
       auto& sh = audit_snapshot.shard;
@@ -734,7 +910,17 @@ Result<ShardedServerReport> RunShardedServerSimulation(
         cs.steps_applied = engine.steps_applied();
         cs.steps_planned = engine.steps_planned();
       }
+      if (options.corrupt_audit_window == w && !sh.movies.empty()) {
+        // Test hook: misstate movie 0's held count in the *snapshot copy*
+        // only — the simulation trajectory is untouched, but the
+        // shard-reserve-ledger law fires, exercising the flight-recorder
+        // dump path end to end.
+        sh.movies[0].held += 1;
+      }
+      const int64_t violations_before = auditor->total_violations();
       auditor->Audit(audit_snapshot);
+      audit_tripped =
+          violations_before == 0 && auditor->total_violations() > 0;
     }
 
     // 6. Extend the trajectory digest with this barrier's ledger (and, with
@@ -758,15 +944,48 @@ Result<ShardedServerReport> RunShardedServerSimulation(
       }
     }
 
+    // 6b. Feed the flight recorder — after the digest so the retained
+    //     record carries this window's chain value, and before any failure
+    //     return so a dumped bundle always ends at the violating window.
+    {
+      FlightWindowRecord fr;
+      fr.window = w;
+      fr.t_end = t_end;
+      fr.capacity = capacity;
+      fr.rung = static_cast<int>(ladder_state.level);
+      fr.digest = digest;
+      fr.sum_held = sum_held;
+      for (const MovieBarrier& mb : ledger) {
+        fr.sum_credit += mb.credit;
+        fr.sum_debt += mb.debt;
+      }
+      fr.sum_queued = sum_queued;
+      fr.quota_issued = quota_issued_prev;
+      fr.messages_posted = router.total_posted();
+      fr.messages_drained = router.total_drained();
+      fr.shard_events = shard_window_events;
+      recorder.RecordWindow(std::move(fr));
+    }
+    if (audit_tripped && !options.postmortem.path.empty()) {
+      // The run still finishes (the post-loop check returns the auditor's
+      // status); the bundle is on disk either way.
+      (void)recorder.Dump(options.postmortem.path,
+                          auditor->status().message());
+    }
+
     // 7. Replay verification: a resumed run must retrace the checkpointed
     //    trajectory exactly.
     if (w == verify_window && digest != expected_digest) {
-      return Status::Internal(
+      const std::string why =
           "sharded resume diverged from the checkpointed trajectory at "
           "window " +
           std::to_string(w) +
           " (ledger digest mismatch); the checkpoint does not describe "
-          "this binary/configuration");
+          "this binary/configuration";
+      if (!options.postmortem.path.empty()) {
+        (void)recorder.Dump(options.postmortem.path, why);
+      }
+      return Status::Internal(why);
     }
 
     const bool stopping = options.checkpoint.stop_after_windows > 0 &&
@@ -783,12 +1002,26 @@ Result<ShardedServerReport> RunShardedServerSimulation(
       st.windows_done = w;
       st.digest = digest;
       checkpoint_status = WriteShardedCheckpoint(options.checkpoint.path, st);
+      if (!checkpoint_status.ok() && !options.postmortem.path.empty()) {
+        (void)recorder.Dump(options.postmortem.path,
+                            checkpoint_status.message());
+      }
       VOD_RETURN_IF_ERROR(checkpoint_status);
     }
+
+    // Everything from the join to here (plus the credit release below) is
+    // the coordinator's fold; one span per window on its named lane.
+    const auto record_fold = [&] {
+      if (profiler != nullptr) {
+        profiler->RecordSpanOnLane(coordinator_lane, "coordinator_fold",
+                                   barrier_us, profiler->NowMicros());
+      }
+    };
 
     report.windows = w;
     if (stopping) {
       report.complete = false;
+      record_fold();
       break;
     }
 
@@ -830,6 +1063,7 @@ Result<ShardedServerReport> RunShardedServerSimulation(
         }
       }
     }
+    record_fold();
   }
 
   if (auditor != nullptr && auditor->total_violations() > 0) {

@@ -83,12 +83,30 @@ struct ShardedCheckpointOptions {
   int64_t stop_after_windows = 0;
 };
 
+/// Crash flight recorder wiring (obs/flight_recorder.h): the coordinator
+/// always retains a bounded ring of barrier-window ledger summaries plus
+/// one bounded event ring per shard, and dumps the whole context as a
+/// postmortem bundle when an audit law fails, a resumed run's
+/// replay-verify digest rejects, or a checkpoint write fails. Render the
+/// bundle with `vodctl inspect --postmortem=PATH`.
+struct ShardedPostmortemOptions {
+  /// Bundle path; empty = record (cheap, always-on) but never dump.
+  std::string path;
+  /// Barrier windows of ledger history retained.
+  int64_t windows = 16;
+  /// Per-shard trace events retained. The rings only fill while the shard
+  /// telemetry lanes are lit — tracing enabled or `path` non-empty — so a
+  /// dark run pays nothing per event.
+  int64_t events_per_shard = 256;
+};
+
 /// Knobs of a sharded run, wrapping the single-threaded server's options.
 struct ShardedServerOptions {
   /// Base options. Faults, audit, the controller, the degradation ladder
   /// (windowed — see the header comment), and observability (obs.event_log
-  /// / obs.metrics, emitted coordinator-side at barriers) are all
-  /// supported, simultaneously.
+  /// / obs.metrics / obs.profiler; see DESIGN.md §14 for the per-shard
+  /// telemetry lanes and the barrier merge) are all supported,
+  /// simultaneously.
   ServerOptions base;
   /// Shards the movie catalog is partitioned over (movie i -> i % shards).
   int shards = 1;
@@ -101,6 +119,13 @@ struct ShardedServerOptions {
   /// read when base.degradation.enabled; must be >= 1.
   int64_t ladder_recover_windows = 2;
   ShardedCheckpointOptions checkpoint;
+  ShardedPostmortemOptions postmortem;
+  /// Test hook: at this barrier window (1-based), misstate movie 0's held
+  /// count by +1 in the coordinator's *audit snapshot copy* — the
+  /// simulation trajectory is untouched, but the shard-reserve-ledger law
+  /// fires, proving an injected audit failure produces a postmortem bundle.
+  /// Requires base.audit.enabled; <= 0 = off.
+  int64_t corrupt_audit_window = 0;
 };
 
 /// Outcome of a sharded run. `server` carries the same per-movie and

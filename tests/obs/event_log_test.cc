@@ -24,6 +24,21 @@ TEST(EventTaxonomyTest, SubtypeNamesAreStable) {
   EXPECT_STREQ(EventSubtypeName(EventCategory::kResume, 3), "miss");
   EXPECT_STREQ(EventSubtypeName(EventCategory::kFault, 0), "down");
   EXPECT_STREQ(EventSubtypeName(EventCategory::kDegradation, 0), "normal");
+  EXPECT_STREQ(
+      EventSubtypeName(EventCategory::kShard,
+                       static_cast<uint8_t>(ShardEvent::kWindowOpen)),
+      "window_open");
+  EXPECT_STREQ(
+      EventSubtypeName(EventCategory::kShard,
+                       static_cast<uint8_t>(ShardEvent::kWindowClose)),
+      "window_close");
+  EXPECT_STREQ(EventSubtypeName(EventCategory::kShard,
+                                static_cast<uint8_t>(ShardEvent::kPressure)),
+               "pressure");
+  EXPECT_STREQ(
+      EventSubtypeName(EventCategory::kShard,
+                       static_cast<uint8_t>(ShardEvent::kQuotaApply)),
+      "quota_apply");
   // Out-of-range subtypes and subtype-less categories render as "-".
   EXPECT_STREQ(EventSubtypeName(EventCategory::kAdmission, 99), "-");
   EXPECT_STREQ(EventSubtypeName(EventCategory::kTick, 0), "-");
@@ -100,6 +115,37 @@ TEST(EventLogTest, NoSinksMeansNoEmission) {
   EXPECT_EQ(log.emitted(), 0u);
   EXPECT_FALSE(ObsEnabled(&log, EventCategory::kAdmission));
   EXPECT_FALSE(ObsEnabled(nullptr, EventCategory::kAdmission));
+}
+
+TEST(VectorSinkTest, BuffersAndTakeDrains) {
+  // VectorSink is the shard-lane buffer: the lane appends during a window,
+  // the coordinator Takes the batch at the barrier and re-emits it into the
+  // main bus, which restamps seq — the merge protocol of sharded tracing.
+  EventLog lane;
+  VectorSink buffer;
+  lane.AddSink(&buffer);
+  lane.Emit(1.0, EventCategory::kAdmission, 0, 3, 7, 0.5);
+  lane.Emit(2.0, EventCategory::kShard, 1, -1, 0, 42.0);
+  EXPECT_EQ(buffer.size(), 2u);
+
+  const std::vector<TraceEvent> batch = buffer.Take();
+  ASSERT_EQ(batch.size(), 2u);
+  EXPECT_EQ(buffer.size(), 0u);  // Take drains; the next window starts fresh
+  EXPECT_EQ(batch[0].category, EventCategory::kAdmission);
+  EXPECT_EQ(batch[1].category, EventCategory::kShard);
+
+  // Re-emission restamps the global sequence while preserving payloads.
+  EventLog bus;
+  EventRing out(8);
+  bus.AddSink(&out);
+  bus.Emit(0.5, EventCategory::kBarrier, 0, -1, 1, 0.0);
+  for (const TraceEvent& event : batch) bus.Emit(event);
+  const auto merged = out.Snapshot();
+  ASSERT_EQ(merged.size(), 3u);
+  EXPECT_EQ(merged[1].seq, 1u);
+  EXPECT_EQ(merged[2].seq, 2u);
+  EXPECT_EQ(merged[2].category, EventCategory::kShard);
+  EXPECT_DOUBLE_EQ(merged[2].value, 42.0);
 }
 
 TEST(EventLogTest, ScopedSinkDetachesOnExit) {

@@ -1,0 +1,156 @@
+// Unit tests for the crash flight recorder (obs/flight_recorder.h):
+// bounded window retention, bounded per-shard event rings, and the
+// Dump/ReadPostmortem bundle round-trip (full precision — the digest chain
+// is 64-bit and must survive the JSON round-trip exactly).
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "obs/event_log.h"
+#include "obs/flight_recorder.h"
+
+namespace vod {
+namespace {
+
+class TempPath {
+ public:
+  explicit TempPath(const std::string& name)
+      : path_("flight_recorder_test_" + name + ".jsonl") {
+    std::remove(path_.c_str());
+  }
+  ~TempPath() { std::remove(path_.c_str()); }
+  const std::string& str() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+FlightWindowRecord MakeWindow(int64_t w, int shards) {
+  FlightWindowRecord fr;
+  fr.window = w;
+  fr.t_end = 60.0 * static_cast<double>(w);
+  fr.capacity = 40 - w;
+  fr.rung = static_cast<int>(w % 3);
+  // Full 64-bit digest: round-tripping through a double would corrupt it.
+  fr.digest = 0x9e3779b97f4a7c15ULL + static_cast<uint64_t>(w);
+  fr.sum_held = 10 + w;
+  fr.sum_credit = 30 - w;
+  fr.sum_debt = w;
+  fr.sum_queued = 2 * w;
+  fr.quota_issued = w % 4;
+  fr.messages_posted = 100 + static_cast<uint64_t>(w);
+  fr.messages_drained = 90 + static_cast<uint64_t>(w);
+  for (int s = 0; s < shards; ++s) fr.shard_events.push_back(100 * w + s);
+  return fr;
+}
+
+TEST(FlightRecorderTest, RetainsOnlyTheLastWindows) {
+  FlightRecorder recorder(/*shards=*/2, /*window_capacity=*/4,
+                          /*events_per_shard=*/8);
+  for (int64_t w = 1; w <= 10; ++w) recorder.RecordWindow(MakeWindow(w, 2));
+  ASSERT_EQ(recorder.window_count(), 4u);
+  EXPECT_EQ(recorder.windows().front().window, 7);
+  EXPECT_EQ(recorder.windows().back().window, 10);
+}
+
+TEST(FlightRecorderTest, ShardRingsAreBounded) {
+  FlightRecorder recorder(/*shards=*/2, /*window_capacity=*/4,
+                          /*events_per_shard=*/3);
+  EventRing* ring = recorder.shard_ring(0);
+  for (int i = 0; i < 10; ++i) {
+    TraceEvent event{};
+    event.category = EventCategory::kShard;
+    event.id = i;
+    ring->Append(event);
+  }
+  const auto tail = recorder.shard_ring(0)->Snapshot();
+  ASSERT_EQ(tail.size(), 3u);
+  EXPECT_EQ(tail.front().id, 7);  // oldest retained
+  EXPECT_EQ(tail.back().id, 9);
+}
+
+TEST(FlightRecorderTest, DumpReadPostmortemRoundTrips) {
+  FlightRecorder recorder(/*shards=*/3, /*window_capacity=*/8,
+                          /*events_per_shard=*/4);
+  for (int64_t w = 1; w <= 5; ++w) recorder.RecordWindow(MakeWindow(w, 3));
+  for (int s = 0; s < 3; ++s) {
+    for (int i = 0; i < 2; ++i) {
+      TraceEvent event{};
+      event.time = 12.5 + s;
+      event.category = EventCategory::kShard;
+      event.subtype = static_cast<uint8_t>(ShardEvent::kWindowClose);
+      event.movie = -1;
+      event.id = s;
+      event.value = 42.0 + i;
+      recorder.shard_ring(s)->Append(event);
+    }
+  }
+
+  TempPath path("roundtrip");
+  const std::string reason =
+      "invariant 'shard-reserve-ledger' violated at t=180 \"quoted\"";
+  ASSERT_TRUE(recorder.Dump(path.str(), reason).ok());
+
+  const auto bundle = ReadPostmortem(path.str());
+  ASSERT_TRUE(bundle.ok()) << bundle.status().message();
+  EXPECT_EQ(bundle->reason, reason);
+  EXPECT_EQ(bundle->shards, 3);
+  ASSERT_EQ(bundle->windows.size(), 5u);
+  for (size_t i = 0; i < bundle->windows.size(); ++i) {
+    const FlightWindowRecord& got = bundle->windows[i];
+    const FlightWindowRecord want = MakeWindow(static_cast<int64_t>(i) + 1, 3);
+    EXPECT_EQ(got.window, want.window);
+    EXPECT_EQ(got.t_end, want.t_end);
+    EXPECT_EQ(got.capacity, want.capacity);
+    EXPECT_EQ(got.rung, want.rung);
+    EXPECT_EQ(got.digest, want.digest);  // exact, not double-rounded
+    EXPECT_EQ(got.sum_held, want.sum_held);
+    EXPECT_EQ(got.sum_credit, want.sum_credit);
+    EXPECT_EQ(got.sum_debt, want.sum_debt);
+    EXPECT_EQ(got.sum_queued, want.sum_queued);
+    EXPECT_EQ(got.quota_issued, want.quota_issued);
+    EXPECT_EQ(got.messages_posted, want.messages_posted);
+    EXPECT_EQ(got.messages_drained, want.messages_drained);
+    EXPECT_EQ(got.shard_events, want.shard_events);
+  }
+  ASSERT_EQ(bundle->events.size(), 6u);
+  for (size_t i = 0; i < bundle->events.size(); ++i) {
+    const PostmortemEvent& pe = bundle->events[i];
+    EXPECT_EQ(pe.shard, static_cast<int>(i / 2));
+    EXPECT_EQ(pe.event.category, EventCategory::kShard);
+    EXPECT_EQ(pe.event.id, static_cast<int64_t>(i / 2));
+    EXPECT_EQ(pe.event.value, 42.0 + static_cast<double>(i % 2));
+  }
+}
+
+TEST(FlightRecorderTest, ReadRejectsDamagedBundles) {
+  TempPath path("damaged");
+  {
+    std::FILE* f = std::fopen(path.str().c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fputs("{\"not\":\"a bundle\"}\n", f);
+    std::fclose(f);
+  }
+  EXPECT_FALSE(ReadPostmortem(path.str()).ok());
+  EXPECT_FALSE(ReadPostmortem("flight_recorder_test_nonexistent.jsonl").ok());
+}
+
+TEST(FlightRecorderTest, EmptyRecorderStillDumps) {
+  // A failure in window 1 dumps before anything accumulated much; the
+  // bundle must still parse.
+  FlightRecorder recorder(/*shards=*/1, /*window_capacity=*/4,
+                          /*events_per_shard=*/0);
+  TempPath path("empty");
+  ASSERT_TRUE(recorder.Dump(path.str(), "early failure").ok());
+  const auto bundle = ReadPostmortem(path.str());
+  ASSERT_TRUE(bundle.ok()) << bundle.status().message();
+  EXPECT_EQ(bundle->reason, "early failure");
+  EXPECT_TRUE(bundle->windows.empty());
+  EXPECT_TRUE(bundle->events.empty());
+}
+
+}  // namespace
+}  // namespace vod

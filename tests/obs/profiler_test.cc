@@ -106,5 +106,43 @@ TEST(PhaseProfilerTest, ThreadsGetDistinctLanes) {
   EXPECT_NE(json.find("\"tid\":1"), std::string::npos);
 }
 
+TEST(PhaseProfilerTest, NamedLanesEmitThreadNameMetadata) {
+  // RegisterLane claims a tid and names it; the Chrome trace carries the
+  // name as a thread_name metadata record, so Perfetto shows "shard 0"
+  // instead of an anonymous lane even though pool workers migrate between
+  // shards across windows.
+  PhaseProfiler profiler;
+  const int lane0 = profiler.RegisterLane("shard 0");
+  const int lane1 = profiler.RegisterLane("coordinator");
+  EXPECT_NE(lane0, lane1);
+  profiler.RecordSpanOnLane(lane0, "shard_work", 0.0, 50.0);
+  profiler.RecordSpanOnLane(lane1, "coordinator_fold", 50.0, 60.0);
+  EXPECT_EQ(profiler.span_count(), 2u);
+
+  std::ostringstream os;
+  profiler.WriteChromeTrace(os);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"name\":\"thread_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"name\":\"shard 0\"}"), std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"name\":\"coordinator\"}"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"shard_work\""), std::string::npos);
+  // Metadata records are "ph":"M"; spans stay "ph":"X".
+  EXPECT_NE(json.find("\"ph\":\"M\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+}
+
+TEST(PhaseProfilerTest, NamedLanesAndThreadLanesShareTheTidSpace) {
+  // A lane registered after a thread recorded keeps tids collision-free.
+  PhaseProfiler profiler;
+  { PhaseProfiler::Scope scope(&profiler, "main"); }  // claims tid 0
+  const int lane = profiler.RegisterLane("shard 0");
+  EXPECT_EQ(lane, 1);
+  profiler.RecordSpanOnLane(lane, "shard_work", 0.0, 10.0);
+  std::ostringstream os;
+  profiler.WriteChromeTrace(os);
+  EXPECT_NE(os.str().find("\"tid\":1"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace vod

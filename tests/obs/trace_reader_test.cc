@@ -180,5 +180,50 @@ TEST(TraceReaderTest, DegradationTimelineReconstructsDwells) {
                   .empty());
 }
 
+TEST(TraceReaderTest, ShardImbalanceTimelineFoldsWindowRecords) {
+  // A merged sharded trace carries, per window, each shard's window_close
+  // (id = shard, value = executed-event delta) and the coordinator's
+  // pressure reports (id = shard, value = messages) — all stamped with the
+  // barrier's t_end, shards in index order.
+  const auto shard_event = [](double t, ShardEvent sub, int shard,
+                              double value) {
+    TraceEvent event = MakeEvent(t, EventCategory::kShard, value,
+                                 static_cast<uint8_t>(sub));
+    event.movie = -1;
+    event.id = shard;
+    return event;
+  };
+  std::vector<TraceEvent> events;
+  // Interleave unrelated categories; the timeline must ignore them.
+  events.push_back(MakeEvent(0.0, EventCategory::kShard, 3.0,
+                             static_cast<uint8_t>(ShardEvent::kWindowOpen)));
+  events.push_back(MakeEvent(5.0, EventCategory::kAdmission, 1.0));
+  events.push_back(shard_event(60.0, ShardEvent::kWindowClose, 0, 120.0));
+  events.push_back(shard_event(60.0, ShardEvent::kWindowClose, 1, 80.0));
+  events.push_back(shard_event(60.0, ShardEvent::kPressure, 0, 12.0));
+  events.push_back(shard_event(60.0, ShardEvent::kPressure, 1, 12.0));
+  events.push_back(shard_event(120.0, ShardEvent::kWindowClose, 0, 50.0));
+  events.push_back(shard_event(120.0, ShardEvent::kWindowClose, 1, 50.0));
+  events.push_back(shard_event(120.0, ShardEvent::kPressure, 0, 10.0));
+
+  const auto timeline = ShardImbalanceTimeline(events);
+  ASSERT_EQ(timeline.size(), 2u);
+  EXPECT_DOUBLE_EQ(timeline[0].t_end, 60.0);
+  EXPECT_EQ(timeline[0].shards, 2);
+  EXPECT_EQ(timeline[0].total_events, 200);
+  EXPECT_EQ(timeline[0].max_events, 120);
+  EXPECT_EQ(timeline[0].min_events, 80);
+  EXPECT_EQ(timeline[0].critical_shard, 0);
+  EXPECT_EQ(timeline[0].messages, 24);
+  // An exact tie keeps the lowest shard id on the critical path (shards
+  // arrive in index order in a merged trace).
+  EXPECT_EQ(timeline[1].max_events, 50);
+  EXPECT_EQ(timeline[1].min_events, 50);
+  EXPECT_EQ(timeline[1].critical_shard, 0);
+  EXPECT_EQ(timeline[1].messages, 10);
+
+  EXPECT_TRUE(ShardImbalanceTimeline({}).empty());
+}
+
 }  // namespace
 }  // namespace vod

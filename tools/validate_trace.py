@@ -1,12 +1,16 @@
 #!/usr/bin/env python3
 """Validate a JSONL trace file against docs/trace_schema.json.
 
-Usage: validate_trace.py SCHEMA TRACE
+Usage: validate_trace.py SCHEMA TRACE [--require-cat=NAME[,NAME...]]
 
 Stdlib-only on purpose: CI and developer machines get line-accurate
 diagnostics without a jsonschema dependency. Implements the subset of JSON
 Schema the trace schema uses — required, additionalProperties, type
 (number/integer/string/object), enum, minimum, maximum.
+
+--require-cat asserts that at least one event of each named category is
+present — CI uses it to prove a traced sharded run actually produced its
+per-shard lane records ('shard') rather than silently tracing dark.
 
 Exits 0 when every line validates; exits 1 with one diagnostic per bad
 line (capped) otherwise. An empty trace file is an error: a traced run
@@ -62,15 +66,31 @@ def validate_object(obj, schema):
 
 
 def main(argv):
-    if len(argv) != 3:
+    required_cats = []
+    positional = []
+    for arg in argv[1:]:
+        if arg.startswith("--require-cat="):
+            required_cats.extend(
+                c for c in arg.split("=", 1)[1].split(",") if c)
+        else:
+            positional.append(arg)
+    if len(positional) != 2:
         print(__doc__.strip(), file=sys.stderr)
         return 2
-    schema_path, trace_path = argv[1], argv[2]
+    schema_path, trace_path = positional
     with open(schema_path, encoding="utf-8") as f:
         schema = json.load(f)
 
+    known_cats = schema["properties"]["cat"].get("enum", [])
+    for cat in required_cats:
+        if known_cats and cat not in known_cats:
+            print(f"--require-cat={cat}: not a category the schema knows",
+                  file=sys.stderr)
+            return 2
+
     problems = 0
     lines = 0
+    seen_cats = set()
     with open(trace_path, encoding="utf-8") as f:
         for line_no, line in enumerate(f, start=1):
             lines += 1
@@ -85,11 +105,21 @@ def main(argv):
                     found = [f"invalid JSON: {err}"]
                 else:
                     found = list(validate_object(obj, schema))
+                    if isinstance(obj, dict):
+                        cat = obj.get("cat")
+                        if isinstance(cat, str):
+                            seen_cats.add(cat)
             for problem in found:
                 problems += 1
                 if problems <= MAX_DIAGNOSTICS:
                     print(f"{trace_path}:{line_no}: {problem}",
                           file=sys.stderr)
+
+    for cat in required_cats:
+        if cat not in seen_cats:
+            problems += 1
+            print(f"{trace_path}: no {cat!r} events (required via "
+                  "--require-cat)", file=sys.stderr)
 
     if lines == 0:
         print(f"{trace_path}: empty trace (a traced run always emits "

@@ -11,6 +11,7 @@
 // Every subcommand prints an aligned table (add --csv for machine-readable
 // output) and exits non-zero on invalid input.
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <fstream>
@@ -30,6 +31,7 @@
 #include "exp/experiment.h"
 #include "exp/replication.h"
 #include "obs/event_log.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics_registry.h"
 #include "obs/profiler.h"
 #include "obs/trace_reader.h"
@@ -154,7 +156,9 @@ struct ObsCli {
     return Status::OK();
   }
 
-  /// Wiring for a single simulation run (simulated-minutes clock).
+  /// Wiring for a single simulation run (simulated-minutes clock). The
+  /// profiler rides along for engines that record internal lanes (the
+  /// sharded server's per-shard work / barrier-wait / fold spans).
   ObsOptions RunOptions() {
     ObsOptions obs;
     if (want_trace) obs.event_log = &event_log;
@@ -162,6 +166,7 @@ struct ObsCli {
       obs.metrics = &registry;
       obs.metrics_sample_minutes = metrics_every;
     }
+    if (want_profile) obs.profiler = &profiler;
     return obs;
   }
 
@@ -907,6 +912,18 @@ int ShardCommand(int argc, char** argv) {
                  "the horizon)");
   flags.AddString("report_out", "", "also write the final report text to "
                   "this file (byte-identical to stdout)");
+  flags.AddString("postmortem_out", "", "crash flight recorder: dump a "
+                  "postmortem bundle here when an audit law fails, a resume "
+                  "replay-verify rejects, or a checkpoint write fails "
+                  "(render with `vodctl inspect --postmortem=PATH`)");
+  flags.AddInt64("postmortem_windows", 16, "barrier windows of ledger "
+                 "history the flight recorder retains");
+  flags.AddInt64("postmortem_events", 256, "trace events retained per shard "
+                 "(the rings fill only while tracing or --postmortem_out is "
+                 "set)");
+  flags.AddInt64("corrupt_window", 0, "fault-injection hook: misstate one "
+                 "ledger entry in the audit snapshot at this barrier window "
+                 "to force an audit failure (requires --audit; 0 = off)");
   AddObsFlags(&flags);
   const Status parsed = flags.Parse(argc, argv);
   if (!parsed.ok()) return Fail(parsed);
@@ -978,9 +995,23 @@ int ShardCommand(int argc, char** argv) {
   options.checkpoint.resume = flags.GetBool("resume");
   options.checkpoint.stop_after_windows =
       flags.GetInt64("stop_after_windows");
+  options.postmortem.path = flags.GetString("postmortem_out");
+  options.postmortem.windows = flags.GetInt64("postmortem_windows");
+  options.postmortem.events_per_shard = flags.GetInt64("postmortem_events");
+  options.corrupt_audit_window = flags.GetInt64("corrupt_window");
 
-  const auto report = RunShardedServerSimulation(*movies, options);
-  if (!report.ok()) return Fail(report.status());
+  const auto report = [&] {
+    PhaseProfiler::Scope span(obs.want_profile ? &obs.profiler : nullptr,
+                              "sharded_simulation");
+    return RunShardedServerSimulation(*movies, options);
+  }();
+  if (!report.ok()) {
+    // Flush partial telemetry first: the failure modes this engine reports
+    // (audit violations, replay-verify rejections) are exactly the ones the
+    // trace, metrics, and postmortem bundle exist to explain.
+    (void)obs.Finish();
+    return Fail(report.status());
+  }
   if (!report->complete) {
     // Crash emulation: the run stopped at a barrier without reaching the
     // horizon. Exit non-zero without emitting a report so a soak harness
@@ -1247,15 +1278,79 @@ int SoakCommand(int, char**) {
 // (kDegradation transitions and the barrier-emitted rung announcements of a
 // sharded run merge into one timeline), and the controller decision log.
 
+/// Pretty-prints a flight-recorder bundle: the failure reason, the retained
+/// window ledger history (rung, digest chain, credit/debt, per-shard event
+/// deltas), and each shard's trailing events.
+int RenderPostmortem(const std::string& path, bool csv) {
+  const auto bundle = ReadPostmortem(path);
+  if (!bundle.ok()) return Fail(bundle.status());
+  std::printf("postmortem bundle: %s\n", path.c_str());
+  std::printf("reason: %s\n", bundle->reason.c_str());
+  std::printf("%d shards, %zu retained windows, %zu retained events\n",
+              bundle->shards, bundle->windows.size(),
+              bundle->events.size());
+
+  if (!bundle->windows.empty()) {
+    std::printf("\nwindow ledger history (oldest first):\n");
+    TableWriter table({"window", "t_end", "capacity", "rung", "held",
+                       "credit", "debt", "queued", "quota", "events/shard",
+                       "digest"});
+    for (const FlightWindowRecord& fw : bundle->windows) {
+      std::string per_shard;
+      for (size_t s = 0; s < fw.shard_events.size(); ++s) {
+        if (s > 0) per_shard += "/";
+        per_shard += std::to_string(fw.shard_events[s]);
+      }
+      char digest_hex[32];
+      std::snprintf(digest_hex, sizeof(digest_hex), "%016llx",
+                    static_cast<unsigned long long>(fw.digest));
+      table.AddRow({std::to_string(fw.window), FormatDouble(fw.t_end, 2),
+                    std::to_string(fw.capacity),
+                    DegradationLevelName(
+                        static_cast<DegradationLevel>(fw.rung)),
+                    std::to_string(fw.sum_held),
+                    std::to_string(fw.sum_credit),
+                    std::to_string(fw.sum_debt),
+                    std::to_string(fw.sum_queued),
+                    std::to_string(fw.quota_issued), per_shard, digest_hex});
+    }
+    RenderTable(table, csv);
+  }
+
+  if (!bundle->events.empty()) {
+    std::printf("\nper-shard event tails (oldest first):\n");
+    TableWriter table({"shard", "t", "category", "sub", "movie", "id",
+                       "value"});
+    for (const PostmortemEvent& pe : bundle->events) {
+      table.AddRow({std::to_string(pe.shard),
+                    FormatDouble(pe.event.time, 3),
+                    EventCategoryName(pe.event.category),
+                    EventSubtypeName(pe.event.category, pe.event.subtype),
+                    std::to_string(pe.event.movie),
+                    std::to_string(pe.event.id),
+                    FormatDouble(pe.event.value, 3)});
+    }
+    RenderTable(table, csv);
+  }
+  return 0;
+}
+
 int InspectCommand(int argc, char** argv) {
   FlagSet flags("vodctl inspect");
   flags.AddString("trace", "", "trace file to inspect (JSONL or binary "
                   "spill; the format is sniffed)");
+  flags.AddString("postmortem", "", "flight-recorder bundle to pretty-print "
+                  "(written by `vodctl shard --postmortem_out=...`)");
   flags.AddBool("csv", false, "CSV output");
   const Status parsed = flags.Parse(argc, argv);
   if (!parsed.ok()) return Fail(parsed);
+  if (!flags.GetString("postmortem").empty()) {
+    return RenderPostmortem(flags.GetString("postmortem"),
+                            flags.GetBool("csv"));
+  }
   if (flags.GetString("trace").empty()) {
-    return Fail(Status::InvalidArgument("--trace is required"));
+    return Fail(Status::InvalidArgument("--trace or --postmortem is "
+                                        "required"));
   }
 
   const auto events = ReadTraceFile(flags.GetString("trace"));
@@ -1311,6 +1406,44 @@ int InspectCommand(int argc, char** argv) {
     }
     RenderTable(ctrl, csv);
   }
+
+  // Sharded runs: fold the kShard window records into an imbalance view —
+  // an overall summary line plus the worst windows by max−min spread.
+  const auto shard_windows = ShardImbalanceTimeline(*events);
+  if (!shard_windows.empty()) {
+    int64_t total = 0;
+    int64_t worst_spread = 0;
+    for (const ShardWindowSummary& sw : shard_windows) {
+      total += sw.total_events;
+      worst_spread = std::max(worst_spread,
+                              sw.max_events - sw.min_events);
+    }
+    std::printf("\nshard imbalance (%zu windows, %lld events, worst "
+                "max-min spread %lld):\n",
+                shard_windows.size(), static_cast<long long>(total),
+                static_cast<long long>(worst_spread));
+    std::vector<ShardWindowSummary> worst = shard_windows;
+    std::stable_sort(worst.begin(), worst.end(),
+                     [](const ShardWindowSummary& a,
+                        const ShardWindowSummary& b) {
+                       return a.max_events - a.min_events >
+                              b.max_events - b.min_events;
+                     });
+    constexpr size_t kWorstWindows = 8;
+    if (worst.size() > kWorstWindows) worst.resize(kWorstWindows);
+    TableWriter imb({"t_end", "shards", "events", "max", "min", "spread",
+                     "critical shard", "messages"});
+    for (const ShardWindowSummary& sw : worst) {
+      imb.AddRow({FormatDouble(sw.t_end, 2), std::to_string(sw.shards),
+                  std::to_string(sw.total_events),
+                  std::to_string(sw.max_events),
+                  std::to_string(sw.min_events),
+                  std::to_string(sw.max_events - sw.min_events),
+                  std::to_string(sw.critical_shard),
+                  std::to_string(sw.messages)});
+    }
+    RenderTable(imb, csv);
+  }
   return 0;
 }
 
@@ -1325,8 +1458,8 @@ int Usage() {
       "  catalog   size a whole catalog from CSV\n"
       "  timeline  ASCII view of the partition windows and a FF trajectory\n"
       "  soak      SIGKILL/resume chaos soak of a checkpointed sweep\n"
-      "  inspect   summarize a trace file written by --trace_out "
-      "(simulate or shard)\n"
+      "  inspect   summarize a trace file written by --trace_out, or a "
+      "postmortem bundle\n"
       "run 'vodctl <command> --help' for the command's flags\n",
       stderr);
   return 2;
