@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <limits>
 #include <numeric>
 #include <string>
 
@@ -21,12 +22,55 @@ constexpr uint64_t kSnapshotMagicV2 = 0xFFF7'4551'4232'0002ULL;
 // they size the slab (real peaks are orders of magnitude below this).
 constexpr uint64_t kMaxRestoreSlot = 1ULL << 26;
 
+// Trampoline for the std::function handler compatibility overload.
+void BoxedHandlerTrampoline(void* ctx, uint64_t payload) {
+  (*static_cast<EventQueue::Handler*>(ctx))(payload);
+}
+
+// Trampoline for the std::function observer compatibility overload.
+void BoxedObserverTrampoline(void* ctx, double time) {
+  (*static_cast<std::function<void(double)>*>(ctx))(time);
+}
+
 }  // namespace
 
 uint64_t EventQueue::AddHandler(Handler handler) {
   VOD_CHECK_MSG(handler != nullptr, "event handler must be callable");
-  handlers_.push_back(std::move(handler));
+  boxed_handlers_.push_back(std::make_unique<Handler>(std::move(handler)));
+  return AddHandler(&BoxedHandlerTrampoline, boxed_handlers_.back().get());
+}
+
+uint64_t EventQueue::AddHandler(RawHandler fn, void* ctx) {
+  VOD_CHECK_MSG(fn != nullptr, "event handler must be callable");
+  handlers_.push_back(HandlerRec{fn, ctx});
+  batch_.push_back(BatchRec{});  // keep the batch table parallel
   return handlers_.size() - 1;
+}
+
+void EventQueue::AddBatchHandler(uint64_t kind, BatchHandler fn, void* ctx) {
+  VOD_CHECK_MSG(kind < handlers_.size(),
+                "batch handler requires a registered scalar kind");
+  VOD_CHECK_MSG(fn != nullptr, "batch handler must be callable");
+  batch_[kind] = BatchRec{fn, ctx};
+  have_batch_ = true;
+}
+
+void EventQueue::set_observer(std::function<void(double)> observer) {
+  if (observer) {
+    observer_boxed_ = std::move(observer);
+    observer_fn_ = &BoxedObserverTrampoline;
+    observer_ctx_ = &observer_boxed_;
+  } else {
+    observer_boxed_ = nullptr;
+    observer_fn_ = nullptr;
+    observer_ctx_ = nullptr;
+  }
+}
+
+void EventQueue::set_observer(RawObserver fn, void* ctx) {
+  observer_boxed_ = nullptr;
+  observer_fn_ = fn;
+  observer_ctx_ = fn != nullptr ? ctx : nullptr;
 }
 
 uint32_t EventQueue::AllocSlot() {
@@ -42,11 +86,16 @@ uint32_t EventQueue::AllocSlot() {
 
 void EventQueue::FreeSlot(uint32_t slot) {
   Slot& s = slots_[slot];
+  if (s.kind & kHasActionBit) {
+    actions_[slot] = nullptr;  // release any captured state promptly
+  }
   s.gen = kFreeGen;
-  s.kind = kUntagged;
-  s.action = nullptr;  // release any captured state promptly
   s.next_free = free_head_;
   free_head_ = slot;
+}
+
+void EventQueue::EnsureActionCapacity(uint32_t slot) {
+  if (actions_.size() <= slot) actions_.resize(slots_.size());
 }
 
 EventToken EventQueue::ScheduleSlot(double time, uint64_t kind,
@@ -60,7 +109,8 @@ EventToken EventQueue::ScheduleSlot(double time, uint64_t kind,
   s.gen = gen;
   s.kind = kind;
   s.payload = payload;
-  s.action = std::move(action);
+  EnsureActionCapacity(slot);
+  actions_[slot] = std::move(action);
   PushKey(HeapKey{time, gen, slot});
   ++live_;
   return (static_cast<uint64_t>(gen) << 32) | slot;
@@ -71,8 +121,8 @@ EventToken EventQueue::ScheduleHandler(double time, uint64_t kind,
   VOD_CHECK_MSG(kind < handlers_.size(), "unregistered event handler kind");
   VOD_CHECK_MSG(time >= now_, "cannot schedule an event in the past");
   // Steady-state fast path: identical to ScheduleSlot minus the action —
-  // free slots always hold an empty closure (FreeSlot clears it), so this
-  // never constructs, moves, or destroys a std::function.
+  // the side action column is never touched, so this never constructs,
+  // moves, or destroys a std::function.
   if (next_gen_ == kFreeGen) next_gen_ = 0;
   const uint32_t gen = next_gen_++;
   const uint32_t slot = AllocSlot();
@@ -86,14 +136,17 @@ EventToken EventQueue::ScheduleHandler(double time, uint64_t kind,
 }
 
 EventToken EventQueue::Schedule(double time, std::function<void()> action) {
+  // kUntagged carries kHasActionBit (it is all-ones).
   return ScheduleSlot(time, kUntagged, 0, std::move(action));
 }
 
 EventToken EventQueue::ScheduleTagged(double time, uint64_t kind,
                                       uint64_t payload,
                                       std::function<void()> action) {
-  VOD_CHECK_MSG(kind != kUntagged, "reserved event kind");
-  return ScheduleSlot(time, kind, payload, std::move(action));
+  // The tag must leave bit 63 free for the action marker and must not
+  // collide with kUntagged once the marker is set.
+  VOD_CHECK_MSG(kind < kHasActionBit - 1, "reserved event kind");
+  return ScheduleSlot(time, kind | kHasActionBit, payload, std::move(action));
 }
 
 void EventQueue::Cancel(EventToken token) {
@@ -112,21 +165,55 @@ void EventQueue::Cancel(EventToken token) {
   if (tombstones_ > heap_.size() / 2 && heap_.size() > 64) CompactHeap();
 }
 
-void EventQueue::PushKey(HeapKey key) {
+void EventQueue::AppendUnsifted(HeapKey key) {
+  if (heap_.size() == 1) {
+    // Crossing one element: insert the dead pads so level-1 starts at
+    // index 4 (one cache line per sibling group; see HeapChild).
+    heap_.resize(1 + kHeapPads,
+                 HeapKey{std::numeric_limits<double>::infinity(), 0, 0});
+  }
   heap_.push_back(key);
+}
+
+void EventQueue::HeapifyAll() {
+  // In the aligned layout children always sit at higher indices than their
+  // parent, so one descending SiftDown pass over the internal nodes (every
+  // index up to the last element's parent — HeapParent is monotone) is the
+  // standard O(n) heapify; leaves are skipped, not rewritten.
+  if (heap_.size() <= 1) return;
+  for (size_t i = HeapParent(heap_.size() - 1);; --i) {
+    if (!IsHeapPad(i)) SiftDown(i);
+    if (i == 0) break;
+  }
+}
+
+void EventQueue::PushKey(HeapKey key) {
+  AppendUnsifted(key);
   SiftUp(heap_.size() - 1);
 }
 
 void EventQueue::PopRoot() {
+  const size_t n = heap_.size();
+  if (n <= 1) {
+    heap_.clear();
+    return;
+  }
+  if (n == 2 + kHeapPads) {
+    // Dropping to one key: retire the pads too so physical size is again
+    // 0, 1, or keys + pads (PushKey's crossing test depends on it).
+    heap_[0] = heap_[1 + kHeapPads];
+    heap_.resize(1);
+    return;
+  }
   heap_.front() = heap_.back();
   heap_.pop_back();
-  if (!heap_.empty()) SiftDown(0);
+  SiftDown(0);
 }
 
 void EventQueue::SiftUp(size_t i) {
   const HeapKey key = heap_[i];
   while (i > 0) {
-    const size_t parent = (i - 1) >> 2;
+    const size_t parent = HeapParent(i);
     if (!RunsBefore(key, heap_[parent])) break;
     heap_[i] = heap_[parent];
     i = parent;
@@ -138,11 +225,27 @@ void EventQueue::SiftDown(size_t i) {
   const size_t n = heap_.size();
   const HeapKey key = heap_[i];
   for (;;) {
-    const size_t first = (i << 2) + 1;
+    const size_t first = HeapChild(i);
+    if (first + 4 <= n) {
+      // Full group of four: tournament min with branch-free comparisons
+      // and index arithmetic, so the only data-dependent branch per level
+      // is the loop exit. The naive scan's selection branches mispredict
+      // ~50% on random keys and dominated the pop cost.
+      const HeapKey* g = &heap_[first];
+      const size_t b01 = first + static_cast<size_t>(RunsBefore(g[1], g[0]));
+      const size_t b23 =
+          first + 2 + static_cast<size_t>(RunsBefore(g[3], g[2]));
+      const size_t best = RunsBefore(heap_[b23], heap_[b01]) ? b23 : b01;
+      if (!RunsBefore(heap_[best], key)) break;
+      heap_[i] = heap_[best];
+      i = best;
+      continue;
+    }
     if (first >= n) break;
-    const size_t last = std::min(first + 4, n);
+    // Partial trailing group (its members are leaves; one more level ends
+    // the walk).
     size_t best = first;
-    for (size_t c = first + 1; c < last; ++c) {
+    for (size_t c = first + 1; c < n; ++c) {
       if (RunsBefore(heap_[c], heap_[best])) best = c;
     }
     if (!RunsBefore(heap_[best], key)) break;
@@ -153,18 +256,24 @@ void EventQueue::SiftDown(size_t i) {
 }
 
 void EventQueue::CompactHeap() {
-  heap_.erase(std::remove_if(heap_.begin(), heap_.end(),
-                             [this](const HeapKey& key) {
-                               return slots_[key.slot].gen != key.gen;
-                             }),
-              heap_.end());
-  tombstones_ = 0;
-  if (heap_.size() > 1) {
-    for (size_t i = (heap_.size() - 2) >> 2; ; --i) {
-      SiftDown(i);
-      if (i == 0) break;
-    }
+  // In-place: slide the live keys down over the tombstones (the write
+  // cursor hops the pad indices, the read cursor skips them), truncate,
+  // and heapify bottom-up. No allocation — Cancel calls this from inside
+  // cancel-heavy bursts, where a scratch vector per compaction measurably
+  // drags the whole mix.
+  size_t write = 0;
+  for (size_t read = 0; read < heap_.size(); ++read) {
+    if (IsHeapPad(read)) continue;
+    const HeapKey key = heap_[read];
+    if (slots_[key.slot].gen != key.gen) continue;  // tombstone
+    heap_[write] = key;
+    write = (write == 0) ? 1 + kHeapPads : write + 1;
   }
+  // One live key leaves write just past the pads; physical size must be 1.
+  if (write == 1 + kHeapPads) write = 1;
+  heap_.resize(write);
+  tombstones_ = 0;
+  HeapifyAll();
 }
 
 void EventQueue::ExecuteHead(const HeapKey& head) {
@@ -173,17 +282,18 @@ void EventQueue::ExecuteHead(const HeapKey& head) {
   const uint64_t kind = s.kind;
   const uint64_t payload = s.payload;
   std::function<void()> action;
-  if (s.action) action = std::move(s.action);
+  if (kind & kHasActionBit) action = std::move(actions_[head.slot]);
   FreeSlot(head.slot);  // before dispatch: the action may reuse the slot
   --live_;
   now_ = head.time;
-  if (action) {
+  if (kind & kHasActionBit) {
     action();
   } else {
-    handlers_[kind](payload);
+    const HandlerRec h = handlers_[kind];
+    h.fn(h.ctx, payload);
   }
   ++executed_;
-  if (observer_) observer_(now_);
+  if (observer_fn_ != nullptr) observer_fn_(observer_ctx_, now_);
 }
 
 bool EventQueue::RunNext() {
@@ -200,18 +310,106 @@ bool EventQueue::RunNext() {
   return false;
 }
 
-void EventQueue::RunUntil(double horizon) {
+template <bool kObserved>
+void EventQueue::RunBatchHead(HeapKey head, uint64_t kind) {
+  // Extraction is safe for byte-identity precisely because the run shares
+  // one timestamp: any event a handler schedules during the run gets a
+  // strictly higher generation than every extracted entry, so the scalar
+  // loop would also have executed it after the whole run (DESIGN.md §15).
+  const double t = head.time;
+  run_buf_.clear();
+  for (;;) {
+    PopRoot();
+    Slot& s = slots_[head.slot];
+    run_buf_.push_back(RunEvent{t, s.payload});
+    // Inline slot free: run members are handler events, never closures,
+    // so the side action column is untouched.
+    s.gen = kFreeGen;
+    s.next_free = free_head_;
+    free_head_ = head.slot;
+    --live_;
+    // Advance to the next live root; the run ends on a time or kind
+    // change. Tombstones are discarded exactly where the scalar loop
+    // would have discarded them.
+    bool extend = false;
+    while (!heap_.empty()) {
+      const HeapKey next = heap_.front();
+      const Slot& ns = slots_[next.slot];
+      if (ns.gen != next.gen) {
+        PopRoot();
+        --tombstones_;
+        continue;
+      }
+      if (next.time == t && ns.kind == kind) {
+        head = next;
+        extend = true;
+      }
+      break;
+    }
+    if (!extend) break;
+  }
+  now_ = t;
+  const BatchRec rec = batch_[kind];
+  rec.fn(rec.ctx, std::span<const RunEvent>(run_buf_.data(), run_buf_.size()));
+  executed_ += run_buf_.size();
+  if constexpr (kObserved) {
+    // Per-event cadence is preserved: the observer fires once per run
+    // member, at the settled post-run state (all at the shared timestamp).
+    const size_t n = run_buf_.size();
+    for (size_t i = 0; i < n; ++i) observer_fn_(observer_ctx_, t);
+  }
+}
+
+template <bool kObserved, bool kBatched>
+void EventQueue::RunLoop(double horizon) {
   while (!heap_.empty()) {
     const HeapKey head = heap_.front();
-    if (slots_[head.slot].gen != head.gen) {  // tombstone: discard lazily
+    Slot& s = slots_[head.slot];
+    if (s.gen != head.gen) {  // tombstone: discard lazily
       PopRoot();
       --tombstones_;
       continue;
     }
     if (head.time > horizon) break;
-    ExecuteHead(head);  // one liveness compare per executed event, done above
+    const uint64_t kind = s.kind;
+    if (kind & kHasActionBit) {
+      // Closure event (faults, timers, tests): cold path, scalar dispatch;
+      // ExecuteHead fires the observer itself.
+      ExecuteHead(head);
+      continue;
+    }
+    if constexpr (kBatched) {
+      if (batch_[kind].fn != nullptr) {
+        RunBatchHead<kObserved>(head, kind);
+        continue;
+      }
+    }
+    // Scalar handler dispatch, inlined (no action column, no std::function).
+    PopRoot();
+    const uint64_t payload = s.payload;
+    s.gen = kFreeGen;
+    s.next_free = free_head_;
+    free_head_ = head.slot;
+    --live_;
+    now_ = head.time;
+    // Pull the next event's slab line in while this handler runs — one
+    // handler execution (~100 ns) of prefetch distance.
+    if (!heap_.empty()) __builtin_prefetch(&slots_[heap_.front().slot]);
+    const HandlerRec h = handlers_[kind];
+    h.fn(h.ctx, payload);
+    ++executed_;
+    if constexpr (kObserved) observer_fn_(observer_ctx_, now_);
   }
   if (now_ < horizon) now_ = horizon;
+}
+
+void EventQueue::RunUntil(double horizon) {
+  const bool batched = have_batch_ && !scalar_dispatch_;
+  if (observer_fn_ != nullptr) {
+    batched ? RunLoop<true, true>(horizon) : RunLoop<true, false>(horizon);
+  } else {
+    batched ? RunLoop<false, true>(horizon) : RunLoop<false, false>(horizon);
+  }
 }
 
 Status EventQueue::Snapshot(ByteWriter* out) const {
@@ -219,7 +417,9 @@ Status EventQueue::Snapshot(ByteWriter* out) const {
   // internal array order depends on the push/pop history.
   std::vector<HeapKey> pending_keys;
   pending_keys.reserve(live_);
-  for (const HeapKey& key : heap_) {
+  for (size_t i = 0; i < heap_.size(); ++i) {
+    if (IsHeapPad(i)) continue;
+    const HeapKey& key = heap_[i];
     const Slot& s = slots_[key.slot];
     if (s.gen != key.gen) continue;  // tombstone: will never run
     if (s.kind == kUntagged) {
@@ -241,7 +441,7 @@ Status EventQueue::Snapshot(ByteWriter* out) const {
     const Slot& s = slots_[key.slot];
     out->PutDouble(key.time);
     out->PutU64((static_cast<uint64_t>(key.gen) << 32) | key.slot);
-    out->PutU64(s.kind);
+    out->PutU64(s.kind & ~kHasActionBit);  // the marker is in-memory only
     out->PutU64(s.payload);
   }
   return Status::OK();
@@ -264,6 +464,7 @@ void EventQueue::CommitRestore(double now, uint32_t next_gen,
   executed_ = executed;
   heap_.clear();
   slots_.clear();
+  actions_.clear();
   free_head_ = kNilSlot;
   tombstones_ = 0;
   uint32_t max_slot = 0;
@@ -271,14 +472,19 @@ void EventQueue::CommitRestore(double now, uint32_t next_gen,
     max_slot = std::max(max_slot, entry.slot);
   }
   slots_.resize(entries.empty() ? 0 : static_cast<size_t>(max_slot) + 1);
-  heap_.reserve(entries.size());
+  heap_.reserve(entries.size() + kHeapPads);
   for (PendingRestore& entry : entries) {
     Slot& s = slots_[entry.slot];
     s.gen = entry.gen;
-    s.kind = entry.kind;
     s.payload = entry.payload;
-    s.action = std::move(entry.action);
-    heap_.push_back(HeapKey{entry.time, entry.gen, entry.slot});
+    if (entry.action) {
+      s.kind = entry.kind | kHasActionBit;
+      EnsureActionCapacity(entry.slot);
+      actions_[entry.slot] = std::move(entry.action);
+    } else {
+      s.kind = entry.kind;
+    }
+    AppendUnsifted(HeapKey{entry.time, entry.gen, entry.slot});
   }
   // Unoccupied slots join the free list lowest-index-first, keeping token
   // assignment after a restore deterministic.
@@ -289,12 +495,7 @@ void EventQueue::CommitRestore(double now, uint32_t next_gen,
     }
   }
   live_ = entries.size();
-  if (heap_.size() > 1) {
-    for (size_t i = (heap_.size() - 2) >> 2; ; --i) {
-      SiftDown(i);
-      if (i == 0) break;
-    }
-  }
+  HeapifyAll();
 }
 
 Status EventQueue::Restore(ByteReader* in, const ActionFactory& factory) {
@@ -358,7 +559,7 @@ Status EventQueue::Restore(ByteReader* in, const ActionFactory& factory) {
     dst.slot = static_cast<uint32_t>(rank);
     dst.kind = src.kind;
     dst.payload = src.payload;
-    if (!(src.kind < handlers_.size() && handlers_[src.kind] != nullptr)) {
+    if (!(src.kind < handlers_.size() && handlers_[src.kind].fn != nullptr)) {
       dst.action = factory(src.kind, src.payload, src.time);
       if (!dst.action) {
         return Status::InvalidArgument(
@@ -415,7 +616,7 @@ Status EventQueue::RestoreV2(ByteReader* in, const ActionFactory& factory) {
           "event queue snapshot corrupt: slot " +
           std::to_string(entry.slot) + " is implausibly large");
     }
-    if (!(kind < handlers_.size() && handlers_[kind] != nullptr)) {
+    if (!(kind < handlers_.size() && handlers_[kind].fn != nullptr)) {
       entry.action = factory(kind, entry.payload, entry.time);
       if (!entry.action) {
         return Status::InvalidArgument(

@@ -3,18 +3,30 @@
 // snapshot/restore path (for crash-recoverable runs).
 //
 // Internals are built for throughput: event payloads live in a slab of
-// generation-stamped slots threaded by an intrusive free list, the ordering
-// structure is a cache-friendly 4-ary implicit heap of 16-byte
+// generation-stamped 24-byte POD slots threaded by an intrusive free list,
+// the ordering structure is a cache-friendly 4-ary implicit heap of 16-byte
 // (time, gen, slot) keys, and steady-state events dispatch through a
-// registered (kind, payload) handler table so the hot path never allocates.
-// std::function closures remain supported for one-off events (fault
-// injection, tests); only those pay an allocation.
+// registered (kind, payload) handler table of raw function pointers so the
+// hot path never allocates and never touches a std::function. Closures
+// remain supported for one-off events (fault injection, tests); their
+// std::function state lives in a side column touched only by that cold path.
+//
+// Round 2 (DESIGN.md §15) adds *run extraction*: when consecutive heap roots
+// share one kind and one timestamp, RunUntil pops the whole run and hands it
+// to a registered batch handler as a span of (time, payload) entries, so
+// dispatch indirection, liveness checks, and observer gating amortize over
+// the run. The run loop itself is a template instantiated with and without
+// an observer, so an unobserved run carries no per-event observer branch.
 
 #ifndef VOD_SIM_EVENT_QUEUE_H_
 #define VOD_SIM_EVENT_QUEUE_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <memory>
+#include <new>
+#include <span>
 #include <vector>
 
 #include "common/status.h"
@@ -56,10 +68,49 @@ class EventQueue {
   /// of its kind — scheduling such events allocates nothing.
   using Handler = std::function<void(uint64_t payload)>;
 
+  /// The allocation- and indirection-free handler form: a raw function
+  /// pointer plus an opaque context (typically a static member trampoline
+  /// and the owning object). The std::function overload boxes into this.
+  using RawHandler = void (*)(void* ctx, uint64_t payload);
+
+  /// One entry of an extracted run, as handed to a batch handler. All
+  /// entries of one run share `time`; they are ordered by insertion
+  /// sequence, exactly as the scalar loop would have executed them.
+  struct RunEvent {
+    double time;
+    uint64_t payload;
+  };
+
+  /// A batch handler consumes a whole extracted run of same-kind,
+  /// same-timestamp events in one call. Contract (DESIGN.md §15): once
+  /// extraction begins the run is committed — the handler must not cancel
+  /// pending events of its own kind at the current timestamp (their slots
+  /// are already recycled; such a Cancel is a stale-token no-op, whereas
+  /// the scalar loop would have honored it). Cancelling any other event,
+  /// and scheduling new events, behaves identically to the scalar loop.
+  using BatchHandler = void (*)(void* ctx, std::span<const RunEvent> run);
+
+  /// Observer in raw form; see set_observer.
+  using RawObserver = void (*)(void* ctx, double time);
+
   /// Registers `handler` and returns its kind id. Kinds are assigned
   /// sequentially from 0 in registration order, so a deterministic
   /// construction order yields deterministic (snapshottable) kinds.
+  /// This overload boxes the std::function and dispatches it through a
+  /// trampoline; the RawHandler overload below avoids even that.
   uint64_t AddHandler(Handler handler);
+
+  /// Registers a raw handler: `fn(ctx, payload)` is called directly from
+  /// the run loop with zero indirection beyond the table load.
+  uint64_t AddHandler(RawHandler fn, void* ctx);
+
+  /// Attaches a batch handler to a registered kind. When the run loop finds
+  /// two or more (or even one) events of `kind` at the heap root sharing a
+  /// timestamp, it extracts the maximal run and calls `fn` once instead of
+  /// the scalar handler per event. The scalar handler registered for `kind`
+  /// still serves RunNext and non-batched loops, so both must implement
+  /// identical semantics (the differential tests pin this).
+  void AddBatchHandler(uint64_t kind, BatchHandler fn, void* ctx);
 
   /// Schedules the registered handler `kind` with `payload` at absolute time
   /// `time` (>= Now()). The fast path: no allocation, snapshot-compatible.
@@ -80,7 +131,7 @@ class EventQueue {
   /// events, so a run that stays under the estimate never grows kernel
   /// storage mid-simulation. Purely an optimization hint.
   void Reserve(size_t events) {
-    heap_.reserve(events);
+    heap_.reserve(events + kHeapPads);
     slots_.reserve(events);
   }
 
@@ -89,13 +140,22 @@ class EventQueue {
   void Cancel(EventToken token);
 
   /// Runs the earliest pending event, advancing Now(). Returns false when
-  /// the queue is empty.
+  /// the queue is empty. Always scalar — batch handlers never fire from
+  /// RunNext, so single-step drivers and tests see per-event granularity.
   bool RunNext();
 
   /// Runs events until the queue empties or the next event is after
   /// `horizon`; Now() ends at min(horizon, last event time). Events at
-  /// exactly `horizon` are executed.
+  /// exactly `horizon` are executed. Dispatches to one of four specialized
+  /// loop instantiations (observed × batched) selected once per call, so
+  /// the per-event path carries no observer or batching branches it does
+  /// not need.
   void RunUntil(double horizon);
+
+  /// Forces RunUntil onto the scalar (non-batched) loop even when batch
+  /// handlers are registered. For differential testing: the property suite
+  /// pins scalar and batched runs byte-identical.
+  void set_scalar_dispatch(bool scalar) { scalar_dispatch_ = scalar; }
 
   /// Current simulation time (time of the last executed event).
   double Now() const { return now_; }
@@ -116,11 +176,16 @@ class EventQueue {
 
   /// Installs an observer invoked after each executed event with the event
   /// time (state is settled when it fires — the auditor's hook point).
-  /// Pass nullptr to remove. The observer must not mutate the queue beyond
-  /// scheduling/cancelling (no nested RunNext).
-  void set_observer(std::function<void(double)> observer) {
-    observer_ = std::move(observer);
-  }
+  /// Pass an empty function to remove. The observer must not mutate the
+  /// queue beyond scheduling/cancelling (no nested RunNext); under batch
+  /// dispatch it fires once per event *after* the run settles, so it must
+  /// also not schedule new events (none of the in-tree observers do).
+  /// This overload boxes through a trampoline — it is the cold
+  /// configuration path. Hot callers install a raw observer below.
+  void set_observer(std::function<void(double)> observer);
+
+  /// Raw observer: called as `fn(ctx, time)`. Pass fn == nullptr to remove.
+  void set_observer(RawObserver fn, void* ctx);
 
   /// \brief Serializes clock, generation counter, and all pending events.
   ///
@@ -157,19 +222,27 @@ class EventQueue {
   /// Generation value of free slots; never issued to a live event, so a
   /// token or heap key can never match a freed slot.
   static constexpr uint32_t kFreeGen = 0xFFFFFFFFu;
-  /// Kind value marking a closure-only (untagged) event.
+  /// Kind value marking a closure-only (untagged) event. Note bit 63 is
+  /// set: kUntagged naturally carries kHasActionBit.
   static constexpr uint64_t kUntagged = ~uint64_t{0};
+  /// Bit 63 of Slot::kind marks "this slot has a closure in actions_".
+  /// Handler kinds are small sequential ids and tag enums are small values,
+  /// so the top bit is free; keeping the marker inside the kind word means
+  /// the hot loop classifies an event with one load and one mask.
+  static constexpr uint64_t kHasActionBit = uint64_t{1} << 63;
   /// Free-list terminator.
   static constexpr uint32_t kNilSlot = 0xFFFFFFFFu;
 
-  /// One slab slot: the event's payload stays put here while the heap
-  /// shuffles only 16-byte keys. `gen` is stamped from a global counter at
-  /// schedule time and reset to kFreeGen on free, so liveness of a heap key
-  /// or token is a single compare.
+  /// One slab slot: 24-byte POD. The event's payload stays put here while
+  /// the heap shuffles only 16-byte keys. `gen` is stamped from a global
+  /// counter at schedule time and reset to kFreeGen on free, so liveness of
+  /// a heap key or token is a single compare. Closure state lives in the
+  /// actions_ side column (indexed by slot), touched only when kind carries
+  /// kHasActionBit — the steady-state path never constructs, moves, or
+  /// destroys a std::function.
   struct Slot {
-    uint64_t kind = kUntagged;  ///< handler index, tag, or kUntagged
+    uint64_t kind = kUntagged;  ///< handler index or tag; bit 63 = has action
     uint64_t payload = 0;
-    std::function<void()> action;  ///< set iff untagged or legacy-tagged
     uint32_t gen = kFreeGen;
     uint32_t next_free = kNilSlot;
   };
@@ -186,17 +259,87 @@ class EventQueue {
     uint32_t slot;
   };
 
-  /// True when `a` must run before `b`.
+  /// Minimal over-aligning allocator for the heap array. Four 16-byte keys
+  /// are one 64-byte cache line; the aligned layout below only pays off if
+  /// index-group boundaries coincide with line boundaries, which needs the
+  /// base pointer itself line-aligned (std::allocator only guarantees 16).
+  template <typename T, std::size_t kAlign>
+  struct AlignedAlloc {
+    using value_type = T;
+    /// Explicit rebind: the default allocator_traits rebind cannot rewrite
+    /// the first argument past a non-type template parameter.
+    template <typename U>
+    struct rebind {
+      using other = AlignedAlloc<U, kAlign>;
+    };
+    AlignedAlloc() = default;
+    template <typename U>
+    AlignedAlloc(const AlignedAlloc<U, kAlign>&) {}
+    T* allocate(std::size_t n) {
+      return static_cast<T*>(
+          ::operator new(n * sizeof(T), std::align_val_t{kAlign}));
+    }
+    void deallocate(T* p, std::size_t n) {
+      ::operator delete(p, n * sizeof(T), std::align_val_t{kAlign});
+    }
+    template <typename U>
+    bool operator==(const AlignedAlloc<U, kAlign>&) const {
+      return true;
+    }
+  };
+
+  /// Cache-aligned 4-ary layout. The textbook children(i) = 4i+1 places
+  /// every sibling group astride a cache-line boundary (groups start at
+  /// odd offsets 1, 5, 9, ...), so each SiftDown level touches two lines.
+  /// Shifting the tree so groups start at multiples of 4 — root at 0,
+  /// indices 1..3 dead padding, level ℓ ≥ 1 packed contiguously — makes
+  /// every group exactly one line: children(0) = {4..7} and
+  /// children(i) = {4i-8 .. 4i-5} for i ≥ 4; parent(c) = 0 for c < 8,
+  /// (c >> 2) + 2 otherwise. Pads are never compared or iterated (index
+  /// checks, not sentinel values, keep them out of every walk).
+  static constexpr std::size_t kHeapPads = 3;
+  static std::size_t HeapChild(std::size_t i) {
+    return i == 0 ? 4 : (i << 2) - 8;
+  }
+  static std::size_t HeapParent(std::size_t i) {
+    return i < 8 ? 0 : (i >> 2) + 2;
+  }
+  static bool IsHeapPad(std::size_t i) { return i >= 1 && i <= kHeapPads; }
+
+  /// Raw handler record: one direct call, no virtual, no std::function.
+  struct HandlerRec {
+    RawHandler fn = nullptr;
+    void* ctx = nullptr;
+  };
+
+  /// Batch handler record, indexed by kind (parallel to handlers_).
+  struct BatchRec {
+    BatchHandler fn = nullptr;
+    void* ctx = nullptr;
+  };
+
+  /// True when `a` must run before `b`. Written branch-free on purpose
+  /// (setcc + bitwise ops, no jumps): SiftDown's min-of-4 selection runs
+  /// this on effectively random keys ~15 times per pop, and the
+  /// short-circuit form mispredicts about half of them — the single
+  /// largest cost in the whole kernel before this change.
   static bool RunsBefore(const HeapKey& a, const HeapKey& b) {
-    if (a.time != b.time) return a.time < b.time;
-    return a.gen < b.gen;
+    return (a.time < b.time) | ((a.time == b.time) & (a.gen < b.gen));
   }
 
   uint32_t AllocSlot();
   void FreeSlot(uint32_t slot);
+  /// Grows the side action column to cover `slot` (cold path only).
+  void EnsureActionCapacity(uint32_t slot);
   EventToken ScheduleSlot(double time, uint64_t kind, uint64_t payload,
                           std::function<void()> action);
   void PushKey(HeapKey key);
+  /// Appends without restoring heap order (bulk-build path); inserts the
+  /// alignment pads when the array crosses one element.
+  void AppendUnsifted(HeapKey key);
+  /// Bottom-up O(n) heapify over the aligned layout (children always have
+  /// higher indices than their parent, so one descending SiftDown pass).
+  void HeapifyAll();
   void PopRoot();
   void SiftUp(size_t i);
   void SiftDown(size_t i);
@@ -205,8 +348,20 @@ class EventQueue {
   /// (mass abandonment) cannot pin heap memory until pop time.
   void CompactHeap();
   /// Executes the live head key (caller validated liveness). Advances the
-  /// clock, dispatches, and fires the observer.
+  /// clock, dispatches, and fires the observer. Scalar — shared by RunNext
+  /// and the closure path of the run loops.
   void ExecuteHead(const HeapKey& head);
+
+  /// The specialized hot loop. kObserved bakes the observer call in or out;
+  /// kBatched bakes run extraction in or out. RunUntil picks one of the
+  /// four instantiations per call.
+  template <bool kObserved, bool kBatched>
+  void RunLoop(double horizon);
+
+  /// Extracts the maximal same-kind same-timestamp run starting at the
+  /// validated live head and dispatches it to the kind's batch handler.
+  template <bool kObserved>
+  void RunBatchHead(HeapKey head, uint64_t kind);
 
   Status RestoreV2(ByteReader* in, const ActionFactory& factory);
   /// Commits decoded entries: places them in the slab (at their stored slot
@@ -215,16 +370,30 @@ class EventQueue {
   void CommitRestore(double now, uint32_t next_gen, uint64_t executed,
                      std::vector<PendingRestore> entries);
 
-  std::vector<HeapKey> heap_;  ///< 4-ary implicit min-heap
-  std::vector<Slot> slots_;    ///< payload slab, indexed by HeapKey::slot
+  /// 4-ary implicit min-heap in the cache-aligned layout above: physical
+  /// size is 0, 1, or live-keys + kHeapPads.
+  std::vector<HeapKey, AlignedAlloc<HeapKey, 64>> heap_;
+  std::vector<Slot> slots_;    ///< POD payload slab, indexed by HeapKey::slot
+  /// Side column for closure events, indexed by slot. Sized lazily: a run
+  /// that never schedules a closure never allocates it.
+  std::vector<std::function<void()>> actions_;
   uint32_t free_head_ = kNilSlot;
   uint32_t next_gen_ = 0;   ///< monotone generation/sequence counter
   size_t live_ = 0;         ///< scheduled, not yet run or cancelled
   size_t tombstones_ = 0;   ///< cancelled keys still in heap_
   double now_ = 0.0;
   uint64_t executed_ = 0;
-  std::vector<Handler> handlers_;
-  std::function<void(double)> observer_;
+  bool scalar_dispatch_ = false;  ///< differential-test override
+  bool have_batch_ = false;       ///< any batch handler registered
+  std::vector<HandlerRec> handlers_;
+  std::vector<BatchRec> batch_;  ///< parallel to handlers_
+  /// Boxed std::function handlers (the compat AddHandler overload); heap
+  /// allocation keeps their addresses stable across vector growth.
+  std::vector<std::unique_ptr<Handler>> boxed_handlers_;
+  std::vector<RunEvent> run_buf_;  ///< scratch for run extraction
+  RawObserver observer_fn_ = nullptr;
+  void* observer_ctx_ = nullptr;
+  std::function<void(double)> observer_boxed_;  ///< backing for the overload
 };
 
 }  // namespace vod

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 #include <optional>
+#include <span>
 
 #include "common/check.h"
 #include "dist/exponential.h"
@@ -22,6 +23,11 @@ constexpr uint32_t kNilSlot = 0xFFFFFFFFu;
 // Initial viewer-slab capacity; covers the steady-state population of the
 // validation workloads so the hot path never reallocates.
 constexpr size_t kInitialViewerCapacity = 256;
+
+// "No home stream" sentinel for the SoA home-stream column. Stationary
+// schedules issue negative stream ids (k < 0 before the anchor), so -1 is a
+// legal id; INT64_MIN is unreachable by any schedule.
+constexpr int64_t kNoHomeStream = std::numeric_limits<int64_t>::min();
 }  // namespace
 
 Status ValidateMovieWorldInputs(const PlaybackRates& rates,
@@ -54,7 +60,7 @@ class MovieWorld::Impl {
         queue_(queue),
         supplier_(supplier),
         metrics_(metrics) {
-    viewers_.reserve(kInitialViewerCapacity);
+    ReserveViewers(kInitialViewerCapacity);
     // Devirtualized sampling fast path: the paper's workloads draw VCR
     // initiation gaps from an exponential clock, and
     // ExponentialDistribution::Sample is exactly rng->Exponential(mean), so
@@ -64,24 +70,25 @@ class MovieWorld::Impl {
       interactivity_exp_mean_ = exp->Mean();
     }
     // Steady-state event kinds, registered once per world: scheduling these
-    // goes through the queue's allocation-free handler path. The payload is
-    // the viewer's slab slot (unused for arrivals).
-    kind_arrival_ = queue_->AddHandler([this](uint64_t) { OnArrival(); });
-    kind_admit_ = queue_->AddHandler(
-        [this](uint64_t slot) { OnAdmitType1(static_cast<uint32_t>(slot)); });
-    kind_abandon_ = queue_->AddHandler(
-        [this](uint64_t slot) { OnAbandon(static_cast<uint32_t>(slot)); });
-    kind_vcr_initiate_ = queue_->AddHandler(
-        [this](uint64_t slot) { OnVcrInitiate(static_cast<uint32_t>(slot)); });
-    kind_merge_ = queue_->AddHandler([this](uint64_t slot) {
-      OnPiggybackMerge(static_cast<uint32_t>(slot));
-    });
-    kind_finish_ = queue_->AddHandler(
-        [this](uint64_t slot) { OnFinish(static_cast<uint32_t>(slot)); });
-    kind_vcr_complete_ = queue_->AddHandler(
-        [this](uint64_t slot) { OnVcrComplete(static_cast<uint32_t>(slot)); });
-    kind_stall_resume_ = queue_->AddHandler(
-        [this](uint64_t slot) { OnStallResume(static_cast<uint32_t>(slot)); });
+    // goes through the queue's allocation-free handler path, and dispatch is
+    // a raw function-pointer call into a static trampoline — no
+    // std::function on the hot path. The payload is the viewer's slab slot
+    // (unused for arrivals).
+    kind_arrival_ = queue_->AddHandler(&Impl::ArrivalThunk, this);
+    kind_admit_ = queue_->AddHandler(&Impl::AdmitThunk, this);
+    kind_abandon_ = queue_->AddHandler(&Impl::AbandonThunk, this);
+    kind_vcr_initiate_ = queue_->AddHandler(&Impl::VcrInitiateThunk, this);
+    kind_merge_ = queue_->AddHandler(&Impl::MergeThunk, this);
+    kind_finish_ = queue_->AddHandler(&Impl::FinishThunk, this);
+    kind_vcr_complete_ = queue_->AddHandler(&Impl::VcrCompleteThunk, this);
+    kind_stall_resume_ = queue_->AddHandler(&Impl::StallResumeThunk, this);
+    // Batch handlers for the two kinds that form same-timestamp runs: the
+    // batch restart admits every queued type-1 viewer at one instant, and a
+    // window edge resumes every viewer stalled on it at one instant. The
+    // run loop hands the whole run over in one call (DESIGN.md §15).
+    queue_->AddBatchHandler(kind_admit_, &Impl::AdmitBatchThunk, this);
+    queue_->AddBatchHandler(kind_stall_resume_, &Impl::StallResumeBatchThunk,
+                            this);
   }
 
   void Start() { ScheduleNextArrival(queue_->Now()); }
@@ -98,40 +105,57 @@ class MovieWorld::Impl {
   }
 
  private:
-  /// Internal per-viewer session state, held in a slab indexed by the slot
-  /// carried in event payloads. Invariant: at most one pending event per
-  /// viewer; every transition schedules the next one.
-  struct Viewer {
-    uint64_t id = 0;
+  // ---- viewer slab (structure-of-arrays) -----------------------------------
+  //
+  // Per-viewer session state lives in parallel columns indexed by the slot
+  // carried in event payloads, grouped by access affinity so each handler
+  // touches only the cache lines it needs: kinematics (every position query
+  // and playback transition), session identity/resources (admission,
+  // release, reclaim), the parked VCR outcome (only between BeginVcrOp and
+  // completion), and the per-viewer RNG (only when sampling). Batch handlers
+  // walk the columns contiguously and prefetch the next run member's lines.
+  // Invariant: at most one pending event per viewer; every transition
+  // schedules the next one.
+
+  /// Hot kinematics: 32 bytes, one cache line covers two viewers.
+  struct ViewerKin {
     double position = 0.0;    ///< at the last state change
     double state_time = 0.0;  ///< time of the last state change
-    double play_rate = 1.0;   ///< 1, or 1 ± Δ while piggybacking
-    bool active = false;      ///< slot holds a live session
-    bool dedicated = false;   ///< holds a stream from the supplier
-    double miss_time = 0.0;   ///< when the current dedicated stint began
+    double play_rate = 1.0;   ///< 1, or 1 ± Δ while piggybacking; 0 frozen
     /// Session deadline (abandonment); +inf when patience is unlimited.
     double abandon_at = std::numeric_limits<double>::infinity();
-    std::optional<int64_t> home_stream;
+  };
+
+  /// Session identity and resource state.
+  struct ViewerSess {
+    uint64_t id = 0;
     /// The single event this viewer is waiting on (invariant: at most one),
     /// tracked so forced reclaim can cancel it. kNoEvent while the viewer
     /// sits in the supplier's VCR queue (the supplier owns those timers).
     EventToken pending_event = kNoEvent;
-    /// In-flight VCR operation, parked here between BeginVcrOp and its
-    /// completion event (the payload only carries the slot).
-    VcrOp vcr_op = VcrOp::kPause;
-    double vcr_resume_position = 0.0;
-    bool vcr_reaches_end = false;
-    bool vcr_in_partition_before = false;
-    bool vcr_consuming = false;
+    double miss_time = 0.0;  ///< when the current dedicated stint began
+    int64_t home_stream = kNoHomeStream;
     uint32_t next_free = kNilSlot;  ///< free-list link while inactive
-    Rng rng{0};
-
-    double PositionAt(double t) const {
-      return position + (t - state_time) * play_rate;
-    }
+    bool active = false;            ///< slot holds a live session
+    bool dedicated = false;         ///< holds a stream from the supplier
   };
 
-  // ---- viewer slab ---------------------------------------------------------
+  /// In-flight VCR operation, parked between BeginVcrOp and its completion
+  /// event (the payload only carries the slot). Cold outside that span.
+  struct ViewerVcr {
+    double resume_position = 0.0;
+    VcrOp op = VcrOp::kPause;
+    bool reaches_end = false;
+    bool in_partition_before = false;
+    bool consuming = false;
+  };
+
+  void ReserveViewers(size_t n) {
+    kin_.reserve(n);
+    sess_.reserve(n);
+    vcr_.reserve(n);
+    rng_.reserve(n);
+  }
 
   /// Creates a session in a recycled (LIFO) or fresh slot. The recycling
   /// order is a pure function of the event sequence, so slot assignment is
@@ -140,38 +164,82 @@ class MovieWorld::Impl {
     uint32_t slot;
     if (free_head_ != kNilSlot) {
       slot = free_head_;
-      free_head_ = viewers_[slot].next_free;
-      viewers_[slot] = Viewer{};
+      free_head_ = sess_[slot].next_free;
     } else {
-      VOD_CHECK(viewers_.size() < kNilSlot);
-      slot = static_cast<uint32_t>(viewers_.size());
-      viewers_.emplace_back();
+      VOD_CHECK(sess_.size() < kNilSlot);
+      slot = static_cast<uint32_t>(sess_.size());
+      kin_.emplace_back();
+      sess_.emplace_back();
+      vcr_.emplace_back();
+      rng_.push_back(Rng{0});
     }
-    Viewer& viewer = viewers_[slot];
-    viewer.id = id;
-    viewer.active = true;
-    viewer.rng = base_rng_.MakeChild(kViewerStream, id);
+    kin_[slot] = ViewerKin{};
+    sess_[slot] = ViewerSess{};
+    vcr_[slot] = ViewerVcr{};
+    ViewerSess& sess = sess_[slot];
+    sess.id = id;
+    sess.active = true;
+    rng_[slot] = base_rng_.MakeChild(kViewerStream, id);
     return slot;
   }
 
   void FreeViewer(uint32_t slot) {
-    Viewer& viewer = viewers_[slot];
-    viewer.active = false;
-    viewer.next_free = free_head_;
+    ViewerSess& sess = sess_[slot];
+    sess.active = false;
+    sess.next_free = free_head_;
     free_head_ = slot;
     ++viewers_freed_;
   }
 
-  Viewer& Get(uint32_t slot) {
-    VOD_CHECK(slot < viewers_.size() && viewers_[slot].active);
-    return viewers_[slot];
+  void CheckLive(uint32_t slot) const {
+    VOD_CHECK(slot < sess_.size() && sess_[slot].active);
   }
 
-  uint32_t SlotOf(const Viewer& viewer) const {
-    return static_cast<uint32_t>(&viewer - viewers_.data());
+  double PositionAt(uint32_t slot, double t) const {
+    const ViewerKin& kin = kin_[slot];
+    return kin.position + (t - kin.state_time) * kin.play_rate;
+  }
+
+  // ---- handler trampolines -------------------------------------------------
+
+  static void ArrivalThunk(void* ctx, uint64_t) {
+    static_cast<Impl*>(ctx)->OnArrival();
+  }
+  static void AdmitThunk(void* ctx, uint64_t slot) {
+    static_cast<Impl*>(ctx)->OnAdmitType1(static_cast<uint32_t>(slot));
+  }
+  static void AbandonThunk(void* ctx, uint64_t slot) {
+    static_cast<Impl*>(ctx)->OnAbandon(static_cast<uint32_t>(slot));
+  }
+  static void VcrInitiateThunk(void* ctx, uint64_t slot) {
+    static_cast<Impl*>(ctx)->OnVcrInitiate(static_cast<uint32_t>(slot));
+  }
+  static void MergeThunk(void* ctx, uint64_t slot) {
+    static_cast<Impl*>(ctx)->OnPiggybackMerge(static_cast<uint32_t>(slot));
+  }
+  static void FinishThunk(void* ctx, uint64_t slot) {
+    static_cast<Impl*>(ctx)->OnFinish(static_cast<uint32_t>(slot));
+  }
+  static void VcrCompleteThunk(void* ctx, uint64_t slot) {
+    static_cast<Impl*>(ctx)->OnVcrComplete(static_cast<uint32_t>(slot));
+  }
+  static void StallResumeThunk(void* ctx, uint64_t slot) {
+    static_cast<Impl*>(ctx)->OnStallResume(static_cast<uint32_t>(slot));
+  }
+  static void AdmitBatchThunk(void* ctx,
+                              std::span<const EventQueue::RunEvent> run) {
+    static_cast<Impl*>(ctx)->OnAdmitBatch(run);
+  }
+  static void StallResumeBatchThunk(
+      void* ctx, std::span<const EventQueue::RunEvent> run) {
+    static_cast<Impl*>(ctx)->OnStallResumeBatch(run);
   }
 
   // ---- helpers -------------------------------------------------------------
+
+  static int64_t EncodeHome(const std::optional<int64_t>& stream) {
+    return stream.has_value() ? *stream : kNoHomeStream;
+  }
 
   /// Phase of movie position `pos` against the window pattern at time t:
   /// the result is in [0, T); values <= W mean "inside a window". Delegates
@@ -180,19 +248,19 @@ class MovieWorld::Impl {
     return schedule_.PatternPhase(t, pos);
   }
 
-  void AcquireDedicated(Viewer& viewer, double t) {
-    VOD_DCHECK(!viewer.dedicated);
+  void AcquireDedicated(uint32_t slot, double t) {
+    VOD_DCHECK(!sess_[slot].dedicated);
     // Callers check TryAcquire themselves when refusal is handled specially.
-    viewer.dedicated = true;
-    viewer.miss_time = t;
+    sess_[slot].dedicated = true;
+    sess_[slot].miss_time = t;
     ++dedicated_count_;
     metrics_->SetDedicatedStreams(t, dedicated_count_);
   }
 
-  void ReleaseDedicated(Viewer& viewer, double t) {
-    VOD_DCHECK(viewer.dedicated);
+  void ReleaseDedicated(uint32_t slot, double t) {
+    VOD_DCHECK(sess_[slot].dedicated);
     supplier_->Release(t);
-    viewer.dedicated = false;
+    sess_[slot].dedicated = false;
     --dedicated_count_;
     metrics_->SetDedicatedStreams(t, dedicated_count_);
   }
@@ -204,11 +272,11 @@ class MovieWorld::Impl {
   }
 
   /// Draws the time of the viewer's next VCR initiation after `t`.
-  double SampleVcrClock(Viewer& viewer, double t) {
+  double SampleVcrClock(uint32_t slot, double t) {
     if (interactivity_exp_mean_ > 0.0) {
-      return t + viewer.rng.Exponential(interactivity_exp_mean_);
+      return t + rng_[slot].Exponential(interactivity_exp_mean_);
     }
-    return t + config_.behavior.interactivity->Sample(&viewer.rng);
+    return t + config_.behavior.interactivity->Sample(&rng_[slot]);
   }
 
   // ---- observability -------------------------------------------------------
@@ -245,7 +313,6 @@ class MovieWorld::Impl {
     }
     const uint64_t id = next_viewer_id_++;
     const uint32_t slot = AllocViewer(id);
-    Viewer& viewer = viewers_[slot];
 
     const std::optional<int64_t> covering =
         schedule_.FindCoveringStream(t, 0.0);
@@ -253,61 +320,87 @@ class MovieWorld::Impl {
       // Type-2 viewer: enrollment window open; read from the buffer now.
       metrics_->RecordAdmission(t, 0.0, /*type2=*/true);
       EmitObs(t, EventCategory::kAdmission, 1, static_cast<int64_t>(id), 0.0);
-      viewer.home_stream = covering;
-      ArmPatience(viewer, t);
+      sess_[slot].home_stream = *covering;
+      ArmPatience(slot, t);
       SetConcurrent(t, +1);
-      SchedulePlayback(viewer, t, 0.0);
+      SchedulePlayback(slot, t, 0.0);
     } else {
       // Type-1 viewer: queue frozen at the entry point until the next
       // restart; state_time records the enqueue instant so the admission
       // handler can recover the wait.
       const double start = schedule_.NextRestart(t);
-      viewer.position = 0.0;
-      viewer.state_time = t;
-      viewer.play_rate = 0.0;
-      viewer.pending_event = queue_->ScheduleHandler(start, kind_admit_, slot);
+      ViewerKin& kin = kin_[slot];
+      kin.position = 0.0;
+      kin.state_time = t;
+      kin.play_rate = 0.0;
+      sess_[slot].pending_event =
+          queue_->ScheduleHandler(start, kind_admit_, slot);
     }
   }
 
-  /// A batch restart reached a queued type-1 viewer.
+  /// A batch restart reached a queued type-1 viewer (scalar path: RunNext
+  /// and non-batched loops).
   void OnAdmitType1(uint32_t slot) {
-    Viewer& viewer = Get(slot);
     const double now = queue_->Now();
-    const double wait = now - viewer.state_time;
+    AdmitType1At(slot, now, schedule_.FindCoveringStream(now, 0.0));
+  }
+
+  /// The batched form: every queued type-1 viewer admitted by one restart
+  /// shares the instant, so the coverage lookup (a pure function of time)
+  /// hoists out of the loop, and the next run member's columns prefetch
+  /// while the current viewer is processed.
+  void OnAdmitBatch(std::span<const EventQueue::RunEvent> run) {
+    const double now = queue_->Now();
+    const std::optional<int64_t> covering =
+        schedule_.FindCoveringStream(now, 0.0);
+    for (size_t i = 0; i < run.size(); ++i) {
+      if (i + 1 < run.size()) {
+        const uint32_t next = static_cast<uint32_t>(run[i + 1].payload);
+        __builtin_prefetch(&kin_[next]);
+        __builtin_prefetch(&sess_[next]);
+        __builtin_prefetch(&rng_[next]);
+      }
+      AdmitType1At(static_cast<uint32_t>(run[i].payload), now, covering);
+    }
+  }
+
+  void AdmitType1At(uint32_t slot, double now,
+                    const std::optional<int64_t>& covering) {
+    CheckLive(slot);
+    const double wait = now - kin_[slot].state_time;
     metrics_->RecordAdmission(now, wait, /*type2=*/false);
     if (now >= metrics_->measurement_start()) {
       max_wait_seen_ = std::max(max_wait_seen_, wait);
     }
-    viewer.home_stream = schedule_.FindCoveringStream(now, 0.0);
+    sess_[slot].home_stream = EncodeHome(covering);
     // One restart event per distinct batch-restart instant, carrying the
     // partition stream that started (the whole batch shares it).
     if (ObsEnabled(config_.event_log, EventCategory::kRestart) &&
         last_restart_emitted_ != now) {
       last_restart_emitted_ = now;
-      EmitObs(now, EventCategory::kRestart, 0,
-              viewer.home_stream.value_or(-1), 0.0);
+      EmitObs(now, EventCategory::kRestart, 0, covering.value_or(-1), 0.0);
     }
     EmitObs(now, EventCategory::kAdmission, 0,
-            static_cast<int64_t>(viewer.id), wait);
-    ArmPatience(viewer, now);
+            static_cast<int64_t>(sess_[slot].id), wait);
+    ArmPatience(slot, now);
     SetConcurrent(now, +1);
-    SchedulePlayback(viewer, now, 0.0);
+    SchedulePlayback(slot, now, 0.0);
   }
 
   /// Samples the viewer's session deadline at playback start.
-  void ArmPatience(Viewer& viewer, double t) {
+  void ArmPatience(uint32_t slot, double t) {
     if (config_.patience != nullptr) {
-      viewer.abandon_at = t + config_.patience->Sample(&viewer.rng);
+      kin_[slot].abandon_at = t + config_.patience->Sample(&rng_[slot]);
     }
   }
 
   /// The viewer walks away mid-session; all resources are released.
   void OnAbandon(uint32_t slot) {
-    Viewer& viewer = Get(slot);
+    CheckLive(slot);
     const double t = queue_->Now();
-    if (viewer.dedicated) ReleaseDedicated(viewer, t);
-    EmitObs(t, EventCategory::kSession, 1, static_cast<int64_t>(viewer.id),
-            viewer.PositionAt(t));
+    if (sess_[slot].dedicated) ReleaseDedicated(slot, t);
+    EmitObs(t, EventCategory::kSession, 1,
+            static_cast<int64_t>(sess_[slot].id), PositionAt(slot, t));
     SetConcurrent(t, -1);
     ++abandonments_;
     FreeViewer(slot);
@@ -319,80 +412,80 @@ class MovieWorld::Impl {
   /// dedicated and the merge policy is on) at `position`, and schedules the
   /// next event: VCR initiation, piggyback merge, or finish — whichever
   /// comes first.
-  void SchedulePlayback(Viewer& viewer, double t, double position,
+  void SchedulePlayback(uint32_t slot, double t, double position,
                         bool allow_piggyback = true) {
     const double l = layout_.movie_length();
-    viewer.position = position;
-    viewer.state_time = t;
-    viewer.play_rate = 1.0;
-    const uint32_t slot = SlotOf(viewer);
+    ViewerKin& kin = kin_[slot];
+    kin.position = position;
+    kin.state_time = t;
+    kin.play_rate = 1.0;
 
     double merge_at = std::numeric_limits<double>::infinity();
-    if (viewer.dedicated && allow_piggyback && config_.piggyback.enabled &&
-        layout_.window() > 0.0 &&
+    if (sess_[slot].dedicated && allow_piggyback &&
+        config_.piggyback.enabled && layout_.window() > 0.0 &&
         layout_.window() < layout_.restart_period() && position < l - 1e-9) {
       const double phase = PatternPhase(t, position);
       if (phase > layout_.window()) {
         const auto plan =
             PlanPiggybackMerge(layout_, phase, config_.piggyback);
         if (plan.ok()) {
-          viewer.play_rate = plan->rate_factor;
+          kin.play_rate = plan->rate_factor;
           merge_at = t + plan->merge_minutes;
         }
       }
     }
 
-    const double finish_at = t + (l - position) / viewer.play_rate;
+    const double finish_at = t + (l - position) / kin.play_rate;
     double vcr_at = std::numeric_limits<double>::infinity();
     if (!config_.behavior.passive()) {
-      vcr_at = SampleVcrClock(viewer, t);
+      vcr_at = SampleVcrClock(slot, t);
     }
 
     // The deadline may already have passed (e.g. during a VCR operation,
     // which is allowed to finish): abandon immediately in that case.
-    const double abandon_at = std::max(viewer.abandon_at, t);
+    const double abandon_at = std::max(kin.abandon_at, t);
     if (abandon_at <= vcr_at && abandon_at <= merge_at &&
         abandon_at <= finish_at) {
-      viewer.pending_event =
+      sess_[slot].pending_event =
           queue_->ScheduleHandler(abandon_at, kind_abandon_, slot);
     } else if (vcr_at <= merge_at && vcr_at <= finish_at) {
-      viewer.pending_event =
+      sess_[slot].pending_event =
           queue_->ScheduleHandler(vcr_at, kind_vcr_initiate_, slot);
     } else if (merge_at <= finish_at) {
-      viewer.pending_event =
+      sess_[slot].pending_event =
           queue_->ScheduleHandler(merge_at, kind_merge_, slot);
     } else {
-      viewer.pending_event =
+      sess_[slot].pending_event =
           queue_->ScheduleHandler(finish_at, kind_finish_, slot);
     }
   }
 
   void OnFinish(uint32_t slot) {
-    Viewer& viewer = Get(slot);
+    CheckLive(slot);
     const double t = queue_->Now();
-    if (viewer.dedicated) ReleaseDedicated(viewer, t);
-    EmitObs(t, EventCategory::kSession, 0, static_cast<int64_t>(viewer.id),
-            layout_.movie_length());
+    if (sess_[slot].dedicated) ReleaseDedicated(slot, t);
+    EmitObs(t, EventCategory::kSession, 0,
+            static_cast<int64_t>(sess_[slot].id), layout_.movie_length());
     SetConcurrent(t, -1);
     metrics_->RecordCompletion(t);
     FreeViewer(slot);
   }
 
   void OnPiggybackMerge(uint32_t slot) {
-    Viewer& viewer = Get(slot);
+    CheckLive(slot);
     const double t = queue_->Now();
-    const double position = viewer.PositionAt(t);
+    const double position = PositionAt(slot, t);
     const std::optional<int64_t> covering =
         schedule_.FindCoveringStream(t, position);
     if (covering.has_value()) {
-      metrics_->RecordPiggybackMerge(t, t - viewer.miss_time);
-      ReleaseDedicated(viewer, t);
-      viewer.home_stream = covering;
-      SchedulePlayback(viewer, t, position);
+      metrics_->RecordPiggybackMerge(t, t - sess_[slot].miss_time);
+      ReleaseDedicated(slot, t);
+      sess_[slot].home_stream = *covering;
+      SchedulePlayback(slot, t, position);
     } else {
       // Boundary corner (e.g. merged exactly at the movie end): keep the
       // stream and finish normally without re-planning a drift.
-      SchedulePlayback(viewer, t, position, /*allow_piggyback=*/false);
+      SchedulePlayback(slot, t, position, /*allow_piggyback=*/false);
     }
   }
 
@@ -434,61 +527,62 @@ class MovieWorld::Impl {
 
   /// Freezes the viewer, parks the operation's outcome on its slot, and
   /// schedules the completion event.
-  void BeginVcrOp(Viewer& viewer, double t, VcrOp op, const VcrPlan& plan,
+  void BeginVcrOp(uint32_t slot, double t, VcrOp op, const VcrPlan& plan,
                   bool in_partition_before, bool consumes_in_vcr) {
-    viewer.position = std::min(viewer.position, layout_.movie_length());
-    viewer.state_time = t;
-    viewer.play_rate = 0.0;  // position is explicit at completion
-    viewer.vcr_op = op;
-    viewer.vcr_resume_position = plan.resume_position;
-    viewer.vcr_reaches_end = plan.reaches_end;
-    viewer.vcr_in_partition_before = in_partition_before;
-    viewer.vcr_consuming = consumes_in_vcr;
-    viewer.pending_event =
-        queue_->ScheduleHandler(t + plan.wall, kind_vcr_complete_,
-                                SlotOf(viewer));
+    ViewerKin& kin = kin_[slot];
+    kin.position = std::min(kin.position, layout_.movie_length());
+    kin.state_time = t;
+    kin.play_rate = 0.0;  // position is explicit at completion
+    ViewerVcr& vcr = vcr_[slot];
+    vcr.op = op;
+    vcr.resume_position = plan.resume_position;
+    vcr.reaches_end = plan.reaches_end;
+    vcr.in_partition_before = in_partition_before;
+    vcr.consuming = consumes_in_vcr;
+    sess_[slot].pending_event =
+        queue_->ScheduleHandler(t + plan.wall, kind_vcr_complete_, slot);
   }
 
   /// Outcome of a queued phase-1 stream request (sim/degradation.h). The
-  /// viewer sat frozen at `viewer.position` since enqueue; on a grant the
+  /// viewer sat frozen at `position` since enqueue; on a grant the
   /// operation proceeds as if initiated now, on a refusal the viewer resumes
   /// normal playback — exactly the seed's blocked-VCR semantics, just later.
   void OnQueuedVcrDecision(uint32_t slot, uint64_t id, VcrOp op, double x,
                            double t, bool granted) {
-    Viewer& viewer = Get(slot);
-    VOD_CHECK(viewer.id == id);  // the slot cannot turn over while queued
-    VOD_DCHECK(viewer.play_rate == 0.0);
+    CheckLive(slot);
+    VOD_CHECK(sess_[slot].id == id);  // the slot cannot turn over while queued
+    VOD_DCHECK(kin_[slot].play_rate == 0.0);
     if (!granted) {
       // Attribute the blocked request to its enqueue time (the viewer froze
       // at state_time) so blocked == denied + expirations holds across the
       // warmup boundary.
-      metrics_->RecordBlockedVcr(viewer.state_time);
+      metrics_->RecordBlockedVcr(kin_[slot].state_time);
       EmitObs(t, EventCategory::kQueue, 2, static_cast<int64_t>(id),
-              t - viewer.state_time, static_cast<uint8_t>(op));
-      SchedulePlayback(viewer, t, viewer.position);
+              t - kin_[slot].state_time, static_cast<uint8_t>(op));
+      SchedulePlayback(slot, t, kin_[slot].position);
       return;
     }
     // The supplier already acquired the stream on our behalf.
     EmitObs(t, EventCategory::kQueue, 1, static_cast<int64_t>(id),
-            t - viewer.state_time, static_cast<uint8_t>(op));
-    AcquireDedicated(viewer, t);
-    const VcrPlan plan = PlanVcrOp(op, x, viewer.position);
-    BeginVcrOp(viewer, t, op, plan, /*in_partition_before=*/true,
+            t - kin_[slot].state_time, static_cast<uint8_t>(op));
+    AcquireDedicated(slot, t);
+    const VcrPlan plan = PlanVcrOp(op, x, kin_[slot].position);
+    BeginVcrOp(slot, t, op, plan, /*in_partition_before=*/true,
                /*consumes_in_vcr=*/true);
   }
 
   void OnVcrInitiate(uint32_t slot) {
-    Viewer& viewer = Get(slot);
+    CheckLive(slot);
     const double t = queue_->Now();
     const double position =
-        std::min(viewer.PositionAt(t), layout_.movie_length());
+        std::min(PositionAt(slot, t), layout_.movie_length());
 
-    const VcrOp op = config_.behavior.SampleOp(&viewer.rng);
-    const double x = config_.behavior.SampleDuration(op, &viewer.rng);
+    const VcrOp op = config_.behavior.SampleOp(&rng_[slot]);
+    const double x = config_.behavior.SampleDuration(op, &rng_[slot]);
     if (config_.trace != nullptr) config_.trace->Record(t, op, x);
     EmitObs(t, EventCategory::kVcrBegin, static_cast<uint8_t>(op),
-            static_cast<int64_t>(viewer.id), x);
-    const bool in_partition_before = !viewer.dedicated;
+            static_cast<int64_t>(sess_[slot].id), x);
+    const bool in_partition_before = !sess_[slot].dedicated;
     const VcrPlan plan = PlanVcrOp(op, x, position);
 
     // Phase-1 stream accounting. FF/RW display and need a dedicated stream;
@@ -497,9 +591,9 @@ class MovieWorld::Impl {
     // A pause consumes nothing; a stream held from an earlier miss is
     // returned during the pause.
     const bool consumes_in_vcr = op != VcrOp::kPause;
-    if (consumes_in_vcr && !viewer.dedicated) {
+    if (consumes_in_vcr && !sess_[slot].dedicated) {
       if (!supplier_->TryAcquire(t)) {
-        const uint64_t id = viewer.id;
+        const uint64_t id = sess_[slot].id;
         if (supplier_->TryQueueAcquire(
                 t, [this, slot, id, op, x](double decision_t, bool granted) {
                   OnQueuedVcrDecision(slot, id, op, x, decision_t, granted);
@@ -509,46 +603,49 @@ class MovieWorld::Impl {
           metrics_->RecordQueuedVcr(t);
           EmitObs(t, EventCategory::kQueue, 0, static_cast<int64_t>(id), 0.0,
                   static_cast<uint8_t>(op));
-          viewer.position = position;
-          viewer.state_time = t;
-          viewer.play_rate = 0.0;
-          viewer.pending_event = kNoEvent;
+          ViewerKin& kin = kin_[slot];
+          kin.position = position;
+          kin.state_time = t;
+          kin.play_rate = 0.0;
+          sess_[slot].pending_event = kNoEvent;
           return;
         }
         metrics_->RecordBlockedVcr(t);
-        EmitObs(t, EventCategory::kShed, 0, static_cast<int64_t>(viewer.id),
-                0.0, static_cast<uint8_t>(op));
-        SchedulePlayback(viewer, t, position);
+        EmitObs(t, EventCategory::kShed, 0,
+                static_cast<int64_t>(sess_[slot].id), 0.0,
+                static_cast<uint8_t>(op));
+        SchedulePlayback(slot, t, position);
         return;
       }
-      AcquireDedicated(viewer, t);
-    } else if (!consumes_in_vcr && viewer.dedicated) {
-      ReleaseDedicated(viewer, t);
+      AcquireDedicated(slot, t);
+    } else if (!consumes_in_vcr && sess_[slot].dedicated) {
+      ReleaseDedicated(slot, t);
     }
 
-    viewer.position = position;  // frozen during the operation
-    BeginVcrOp(viewer, t, op, plan, in_partition_before, consumes_in_vcr);
+    kin_[slot].position = position;  // frozen during the operation
+    BeginVcrOp(slot, t, op, plan, in_partition_before, consumes_in_vcr);
   }
 
   void OnVcrComplete(uint32_t slot) {
-    Viewer& viewer = Get(slot);
+    CheckLive(slot);
     const double t = queue_->Now();
-    const VcrOp op = viewer.vcr_op;
-    const double resume_position = viewer.vcr_resume_position;
-    const bool in_partition_before = viewer.vcr_in_partition_before;
+    const ViewerVcr& vcr = vcr_[slot];
+    const VcrOp op = vcr.op;
+    const double resume_position = vcr.resume_position;
+    const bool in_partition_before = vcr.in_partition_before;
 
-    if (viewer.vcr_reaches_end) {
+    if (vcr.reaches_end) {
       // Fast-forwarded to (or past) the end: the session terminates and all
       // resources are released — a release per the paper's Eq. (21).
       metrics_->RecordResume(t, op, ResumeOutcome::kEndOfMovie,
                              in_partition_before);
       EmitObs(t, EventCategory::kResume,
               static_cast<uint8_t>(ResumeOutcome::kEndOfMovie),
-              static_cast<int64_t>(viewer.id), resume_position,
+              static_cast<int64_t>(sess_[slot].id), resume_position,
               static_cast<uint8_t>(op));
-      if (viewer.dedicated) ReleaseDedicated(viewer, t);
-      EmitObs(t, EventCategory::kSession, 0, static_cast<int64_t>(viewer.id),
-              resume_position);
+      if (sess_[slot].dedicated) ReleaseDedicated(slot, t);
+      EmitObs(t, EventCategory::kSession, 0,
+              static_cast<int64_t>(sess_[slot].id), resume_position);
       SetConcurrent(t, -1);
       metrics_->RecordCompletion(t);
       FreeViewer(slot);
@@ -558,66 +655,89 @@ class MovieWorld::Impl {
     const std::optional<int64_t> covering =
         schedule_.FindCoveringStream(t, resume_position);
     if (covering.has_value()) {
-      const bool within = viewer.home_stream.has_value() &&
-                          *viewer.home_stream == *covering;
+      const bool within = sess_[slot].home_stream != kNoHomeStream &&
+                          sess_[slot].home_stream == *covering;
       metrics_->RecordResume(
           t, op, within ? ResumeOutcome::kHitWithin : ResumeOutcome::kHitJump,
           in_partition_before);
       EmitObs(t, EventCategory::kResume,
               static_cast<uint8_t>(within ? ResumeOutcome::kHitWithin
                                           : ResumeOutcome::kHitJump),
-              static_cast<int64_t>(viewer.id), resume_position,
+              static_cast<int64_t>(sess_[slot].id), resume_position,
               static_cast<uint8_t>(op));
-      if (viewer.dedicated) ReleaseDedicated(viewer, t);
-      viewer.home_stream = covering;
-      SchedulePlayback(viewer, t, resume_position);
+      if (sess_[slot].dedicated) ReleaseDedicated(slot, t);
+      sess_[slot].home_stream = *covering;
+      SchedulePlayback(slot, t, resume_position);
       return;
     }
 
     metrics_->RecordResume(t, op, ResumeOutcome::kMiss, in_partition_before);
     EmitObs(t, EventCategory::kResume,
             static_cast<uint8_t>(ResumeOutcome::kMiss),
-            static_cast<int64_t>(viewer.id), resume_position,
+            static_cast<int64_t>(sess_[slot].id), resume_position,
             static_cast<uint8_t>(op));
-    viewer.home_stream = std::nullopt;
-    if (!viewer.dedicated) {
-      VOD_DCHECK(!viewer.vcr_consuming);
+    sess_[slot].home_stream = kNoHomeStream;
+    if (!sess_[slot].dedicated) {
+      VOD_DCHECK(!vcr.consuming);
       if (!supplier_->TryAcquire(t)) {
         // No stream for the miss: the viewer stalls (a forced pause) until
         // the next partition window sweeps over his position, then joins it
         // at the leading edge.
-        StallUntilCovered(viewer, t, resume_position);
+        StallUntilCovered(slot, t, resume_position);
         return;
       }
-      AcquireDedicated(viewer, t);
+      AcquireDedicated(slot, t);
     } else {
-      viewer.miss_time = t;  // the dedicated stint continues from this miss
+      sess_[slot].miss_time = t;  // the dedicated stint continues from this miss
     }
-    SchedulePlayback(viewer, t, resume_position);
+    SchedulePlayback(slot, t, resume_position);
   }
 
-  void StallUntilCovered(Viewer& viewer, double t, double position) {
+  void StallUntilCovered(uint32_t slot, double t, double position) {
     const double period = layout_.restart_period();
     const double phase = PatternPhase(t, position);
     // The next leading edge reaches `position` when the phase wraps to 0.
     const double wait = period - phase;
     metrics_->RecordStall(t, wait);
-    EmitObs(t, EventCategory::kStall, 0, static_cast<int64_t>(viewer.id),
-            wait);
-    viewer.position = position;
-    viewer.state_time = t;
-    viewer.play_rate = 0.0;
-    viewer.pending_event =
-        queue_->ScheduleHandler(t + wait, kind_stall_resume_, SlotOf(viewer));
+    EmitObs(t, EventCategory::kStall, 0,
+            static_cast<int64_t>(sess_[slot].id), wait);
+    ViewerKin& kin = kin_[slot];
+    kin.position = position;
+    kin.state_time = t;
+    kin.play_rate = 0.0;
+    sess_[slot].pending_event =
+        queue_->ScheduleHandler(t + wait, kind_stall_resume_, slot);
   }
 
-  /// The partition window's leading edge swept over a stalled viewer.
+  /// The partition window's leading edge swept over a stalled viewer
+  /// (scalar path).
   void OnStallResume(uint32_t slot) {
-    Viewer& viewer = Get(slot);
+    StallResumeAt(slot, queue_->Now());
+  }
+
+  /// Batched form: every viewer stalled on one window edge resumes at the
+  /// same instant; the coverage lookup stays per-viewer (it depends on the
+  /// frozen position) but dispatch amortizes and the next member's columns
+  /// prefetch ahead.
+  void OnStallResumeBatch(std::span<const EventQueue::RunEvent> run) {
     const double now = queue_->Now();
-    const double position = viewer.position;  // frozen at the stall
-    viewer.home_stream = schedule_.FindCoveringStream(now, position);
-    SchedulePlayback(viewer, now, position);
+    for (size_t i = 0; i < run.size(); ++i) {
+      if (i + 1 < run.size()) {
+        const uint32_t next = static_cast<uint32_t>(run[i + 1].payload);
+        __builtin_prefetch(&kin_[next]);
+        __builtin_prefetch(&sess_[next]);
+        __builtin_prefetch(&rng_[next]);
+      }
+      StallResumeAt(static_cast<uint32_t>(run[i].payload), now);
+    }
+  }
+
+  void StallResumeAt(uint32_t slot, double now) {
+    CheckLive(slot);
+    const double position = kin_[slot].position;  // frozen at the stall
+    sess_[slot].home_stream =
+        EncodeHome(schedule_.FindCoveringStream(now, position));
+    SchedulePlayback(slot, now, position);
   }
 
  public:
@@ -626,28 +746,38 @@ class MovieWorld::Impl {
   /// See MovieWorld::ReclaimDedicated. Victims are viewers holding a
   /// dedicated stream during a playback/drift segment (play_rate > 0);
   /// viewers frozen mid-VCR-op or stalled are left alone. Lowest viewer id
-  /// first keeps the choice deterministic across runs.
+  /// first keeps the choice deterministic across runs. The scan walks the
+  /// session column (active/dedicated flags) and touches kinematics only
+  /// for candidates, so the SoA layout keeps it cache-dense.
   int64_t ReclaimDedicated(double t, int64_t max_count) {
     int64_t reclaimed = 0;
     while (reclaimed < max_count) {
-      Viewer* victim = nullptr;
-      for (Viewer& v : viewers_) {
-        if (!v.active || !v.dedicated || v.play_rate <= 0.0) continue;
-        if (v.PositionAt(t) >= layout_.movie_length() - 1e-9) continue;
-        if (victim == nullptr || v.id < victim->id) victim = &v;
+      uint32_t victim = kNilSlot;
+      uint64_t victim_id = 0;
+      const uint32_t n = static_cast<uint32_t>(sess_.size());
+      for (uint32_t i = 0; i < n; ++i) {
+        const ViewerSess& sess = sess_[i];
+        if (!sess.active || !sess.dedicated || kin_[i].play_rate <= 0.0) {
+          continue;
+        }
+        if (PositionAt(i, t) >= layout_.movie_length() - 1e-9) continue;
+        if (victim == kNilSlot || sess.id < victim_id) {
+          victim = i;
+          victim_id = sess.id;
+        }
       }
-      if (victim == nullptr) break;
+      if (victim == kNilSlot) break;
       const double position =
-          std::min(victim->PositionAt(t), layout_.movie_length());
-      queue_->Cancel(victim->pending_event);
-      victim->pending_event = kNoEvent;
-      ReleaseDedicated(*victim, t);
+          std::min(PositionAt(victim, t), layout_.movie_length());
+      queue_->Cancel(sess_[victim].pending_event);
+      sess_[victim].pending_event = kNoEvent;
+      ReleaseDedicated(victim, t);
       metrics_->RecordForcedReclaim(t);
       EmitObs(t, EventCategory::kReclaim, 0,
-              static_cast<int64_t>(victim->id), position);
+              static_cast<int64_t>(victim_id), position);
       // The victim falls back to pure-batching service: stall until the
       // next partition window sweeps over its position.
-      StallUntilCovered(*victim, t, position);
+      StallUntilCovered(victim, t, position);
       ++reclaimed;
     }
     return reclaimed;
@@ -663,8 +793,12 @@ class MovieWorld::Impl {
   EventQueue* queue_;
   StreamSupplier* supplier_;
   SimulationMetrics* metrics_;
-  /// Viewer slab: live sessions plus a LIFO free list of retired slots.
-  std::vector<Viewer> viewers_;
+  /// Viewer slab, structure-of-arrays: parallel columns indexed by slot,
+  /// plus a LIFO free list of retired slots threaded through sess_.
+  std::vector<ViewerKin> kin_;
+  std::vector<ViewerSess> sess_;
+  std::vector<ViewerVcr> vcr_;
+  std::vector<Rng> rng_;
   uint32_t free_head_ = kNilSlot;
   uint64_t next_viewer_id_ = 0;
   int64_t dedicated_count_ = 0;

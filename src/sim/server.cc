@@ -9,6 +9,7 @@
 
 #include "common/check.h"
 #include "sim/event_queue.h"
+#include "sim/run_loop.h"
 #include "sim/stream_supplier.h"
 
 namespace vod {
@@ -53,6 +54,158 @@ class WorldControllerHost final : public ControllerHost {
   std::vector<std::unique_ptr<MovieWorld>>* worlds_;
   const ReserveManager* manager_;
 };
+
+/// Everything the per-event observer touches, gathered into one POD so the
+/// specialized instantiations below share a single context pointer
+/// (DESIGN.md §15). Mutable emission state (the transition cursor) lives
+/// here too, not in a capturing closure.
+struct ServerObserverCtx {
+  InvariantAuditor* auditor = nullptr;
+  AuditSnapshot* audit_snapshot = nullptr;
+  StreamSupplier* supplier = nullptr;
+  ReserveManager* manager = nullptr;
+  FiniteStreamSupplier* finite = nullptr;
+  std::vector<std::unique_ptr<MovieWorld>>* worlds = nullptr;
+  const std::vector<ServerMovieSpec>* movies = nullptr;
+  Controller* controller = nullptr;
+  EventLog* event_log = nullptr;
+  size_t emitted_transitions = 0;
+  DegradationLevel last_emitted_level = DegradationLevel::kNormal;
+  MetricsRegistry* registry = nullptr;
+  Gauge* g_in_use = nullptr;
+  Gauge* g_capacity = nullptr;
+  Gauge* g_level = nullptr;
+  Gauge* g_ctrl_epoch = nullptr;
+  Gauge* g_ctrl_plan_age = nullptr;
+  Gauge* g_ctrl_migrations = nullptr;
+  Gauge* g_ctrl_rollbacks = nullptr;
+  Gauge* g_ctrl_alarms = nullptr;
+  Gauge* g_ctrl_sheds = nullptr;
+};
+
+/// One observer instantiation per RunLoopVariant: the audit and telemetry
+/// code is baked in or out at compile time; the kPlain variant installs no
+/// observer, so the kernel runs its unobserved loop.
+template <bool kAudit, bool kTraced>
+void ServerObserveTick(void* raw, double t) {
+  auto* ctx = static_cast<ServerObserverCtx*>(raw);
+  if constexpr (kAudit) {
+    InvariantAuditor* auditor = ctx->auditor;
+    auditor->RecordEvent(t);
+    if (auditor->AuditDue()) {
+      AuditSnapshot& snapshot = *ctx->audit_snapshot;
+      snapshot.time = t;
+      snapshot.supplier_in_use = ctx->supplier->in_use();
+      if (ctx->manager != nullptr) {
+        snapshot.supplier_capacity = ctx->manager->capacity();
+        snapshot.nominal_capacity = ctx->manager->nominal_capacity();
+        snapshot.degradation_level = static_cast<int>(ctx->manager->level());
+        snapshot.transitions = &ctx->manager->transitions();
+        snapshot.total_transitions = ctx->manager->total_transitions();
+      } else {
+        snapshot.supplier_capacity = ctx->finite->capacity();
+        snapshot.nominal_capacity = ctx->finite->capacity();
+      }
+      int64_t holds = 0;
+      for (const auto& world : *ctx->worlds) {
+        holds += world->dedicated_streams_held();
+      }
+      snapshot.sum_world_holds = holds;
+      if (ctx->controller != nullptr) {
+        // Migrations move partition geometry at runtime: refresh the
+        // buffer view from the live layouts and fill the resource
+        // ledger for the conservation laws.
+        auto& cs = snapshot.controller;
+        cs.enabled = true;
+        cs.sum_live_streams = 0;
+        cs.sum_live_buffer = 0.0;
+        for (size_t i = 0; i < ctx->worlds->size(); ++i) {
+          const PartitionLayout& live = (*ctx->worlds)[i]->layout();
+          cs.sum_live_streams += live.streams();
+          cs.sum_live_buffer += live.buffer_minutes();
+          snapshot.movies[i] =
+              BuildMovieAuditBuffers((*ctx->movies)[i].name, live);
+        }
+        const MigrationEngine& engine = ctx->controller->engine();
+        cs.stream_budget = engine.stream_budget();
+        cs.buffer_budget = engine.buffer_budget();
+        cs.free_streams = engine.free_streams();
+        cs.free_buffer = engine.free_buffer();
+        cs.inflight_streams = engine.inflight_streams();
+        cs.inflight_buffer = engine.inflight_buffer();
+        cs.epoch = ctx->controller->epoch();
+        cs.steps_applied = engine.steps_applied();
+        cs.steps_planned = engine.steps_planned();
+      }
+      auditor->Audit(snapshot);
+    }
+  }
+  if constexpr (kTraced) {
+    EventLog* event_log = ctx->event_log;
+    ReserveManager* manager = ctx->manager;
+    if (manager != nullptr &&
+        ObsEnabled(event_log, EventCategory::kDegradation)) {
+      const auto& trs = manager->transitions();
+      if (ctx->emitted_transitions < trs.size()) {
+        while (ctx->emitted_transitions < trs.size()) {
+          const DegradationTransition& tr = trs[ctx->emitted_transitions++];
+          event_log->Emit(tr.time, EventCategory::kDegradation,
+                          static_cast<uint8_t>(tr.to), /*movie=*/-1,
+                          /*id=*/-1, static_cast<double>(tr.capacity),
+                          static_cast<uint8_t>(tr.from));
+          ctx->last_emitted_level = tr.to;
+        }
+      } else if (manager->total_transitions() >
+                     static_cast<int64_t>(trs.size()) &&
+                 manager->level() != ctx->last_emitted_level) {
+        event_log->Emit(t, EventCategory::kDegradation,
+                        static_cast<uint8_t>(manager->level()), /*movie=*/-1,
+                        /*id=*/-1, static_cast<double>(manager->capacity()),
+                        static_cast<uint8_t>(ctx->last_emitted_level));
+        ctx->last_emitted_level = manager->level();
+      }
+    }
+    MetricsRegistry* registry = ctx->registry;
+    if (registry != nullptr) {
+      ctx->g_in_use->Set(static_cast<double>(ctx->supplier->in_use()));
+      if (manager != nullptr) {
+        ctx->g_capacity->Set(static_cast<double>(manager->capacity()));
+        ctx->g_level->Set(static_cast<double>(manager->level()));
+      } else {
+        ctx->g_capacity->Set(static_cast<double>(ctx->finite->capacity()));
+      }
+      if (ctx->controller != nullptr) {
+        const ControllerReport cr = ctx->controller->Report();
+        ctx->g_ctrl_epoch->Set(static_cast<double>(cr.final_epoch));
+        ctx->g_ctrl_plan_age->Set(
+            cr.last_commit_time >= 0.0 ? t - cr.last_commit_time : t);
+        ctx->g_ctrl_migrations->Set(
+            static_cast<double>(cr.migrations_started));
+        ctx->g_ctrl_rollbacks->Set(static_cast<double>(cr.rollbacks));
+        ctx->g_ctrl_alarms->Set(static_cast<double>(cr.drift_alarms));
+        ctx->g_ctrl_sheds->Set(static_cast<double>(cr.admission_sheds));
+      }
+      registry->MaybeSample(t);
+    }
+  }
+}
+
+void InstallServerObserver(EventQueue& queue, RunLoopVariant variant,
+                           ServerObserverCtx* ctx) {
+  switch (variant) {
+    case RunLoopVariant::kPlain:
+      break;  // no observer: the kernel's unobserved loop runs
+    case RunLoopVariant::kAudited:
+      queue.set_observer(&ServerObserveTick<true, false>, ctx);
+      break;
+    case RunLoopVariant::kTraced:
+      queue.set_observer(&ServerObserveTick<false, true>, ctx);
+      break;
+    case RunLoopVariant::kAuditedTraced:
+      queue.set_observer(&ServerObserveTick<true, true>, ctx);
+      break;
+  }
+}
 }  // namespace
 
 std::string ServerReport::ToString() const {
@@ -337,111 +490,41 @@ Result<ServerReport> RunServerSimulation(
   // Ladder transitions surface on the event bus as they are recorded. Once
   // the stored transition log caps, fall back to diffing the live rung.
   EventLog* event_log = options.obs.event_log;
-  size_t emitted_transitions = 0;
-  DegradationLevel last_emitted_level = DegradationLevel::kNormal;
 
   // With audit + tracing both on, the auditor's tail ring joins the bus so
   // violation diagnostics carry admission/fault/ladder context.
   ScopedEventSink lend_ring(
       event_log, auditor != nullptr ? auditor->trace_ring() : nullptr);
 
-  if (auditor != nullptr || registry != nullptr || event_log != nullptr) {
-    queue.set_observer([&](double t) {
-      if (auditor != nullptr) {
-        auditor->RecordEvent(t);
-        if (auditor->AuditDue()) {
-          audit_snapshot.time = t;
-          audit_snapshot.supplier_in_use = supplier->in_use();
-          if (manager != nullptr) {
-            audit_snapshot.supplier_capacity = manager->capacity();
-            audit_snapshot.nominal_capacity = manager->nominal_capacity();
-            audit_snapshot.degradation_level =
-                static_cast<int>(manager->level());
-            audit_snapshot.transitions = &manager->transitions();
-            audit_snapshot.total_transitions = manager->total_transitions();
-          } else {
-            audit_snapshot.supplier_capacity = finite->capacity();
-            audit_snapshot.nominal_capacity = finite->capacity();
-          }
-          int64_t holds = 0;
-          for (const auto& world : worlds) {
-            holds += world->dedicated_streams_held();
-          }
-          audit_snapshot.sum_world_holds = holds;
-          if (controller != nullptr) {
-            // Migrations move partition geometry at runtime: refresh the
-            // buffer view from the live layouts and fill the resource
-            // ledger for the conservation laws.
-            auto& cs = audit_snapshot.controller;
-            cs.enabled = true;
-            cs.sum_live_streams = 0;
-            cs.sum_live_buffer = 0.0;
-            for (size_t i = 0; i < worlds.size(); ++i) {
-              const PartitionLayout& live = worlds[i]->layout();
-              cs.sum_live_streams += live.streams();
-              cs.sum_live_buffer += live.buffer_minutes();
-              audit_snapshot.movies[i] =
-                  BuildMovieAuditBuffers(movies[i].name, live);
-            }
-            const MigrationEngine& engine = controller->engine();
-            cs.stream_budget = engine.stream_budget();
-            cs.buffer_budget = engine.buffer_budget();
-            cs.free_streams = engine.free_streams();
-            cs.free_buffer = engine.free_buffer();
-            cs.inflight_streams = engine.inflight_streams();
-            cs.inflight_buffer = engine.inflight_buffer();
-            cs.epoch = controller->epoch();
-            cs.steps_applied = engine.steps_applied();
-            cs.steps_planned = engine.steps_planned();
-          }
-          auditor->Audit(audit_snapshot);
-        }
-      }
-      if (manager != nullptr &&
-          ObsEnabled(event_log, EventCategory::kDegradation)) {
-        const auto& trs = manager->transitions();
-        if (emitted_transitions < trs.size()) {
-          while (emitted_transitions < trs.size()) {
-            const DegradationTransition& tr = trs[emitted_transitions++];
-            event_log->Emit(tr.time, EventCategory::kDegradation,
-                            static_cast<uint8_t>(tr.to), /*movie=*/-1,
-                            /*id=*/-1, static_cast<double>(tr.capacity),
-                            static_cast<uint8_t>(tr.from));
-            last_emitted_level = tr.to;
-          }
-        } else if (manager->total_transitions() >
-                       static_cast<int64_t>(trs.size()) &&
-                   manager->level() != last_emitted_level) {
-          event_log->Emit(t, EventCategory::kDegradation,
-                          static_cast<uint8_t>(manager->level()), /*movie=*/-1,
-                          /*id=*/-1, static_cast<double>(manager->capacity()),
-                          static_cast<uint8_t>(last_emitted_level));
-          last_emitted_level = manager->level();
-        }
-      }
-      if (registry != nullptr) {
-        g_in_use->Set(static_cast<double>(supplier->in_use()));
-        if (manager != nullptr) {
-          g_capacity->Set(static_cast<double>(manager->capacity()));
-          g_level->Set(static_cast<double>(manager->level()));
-        } else {
-          g_capacity->Set(static_cast<double>(finite->capacity()));
-        }
-        if (controller != nullptr) {
-          const ControllerReport cr = controller->Report();
-          g_ctrl_epoch->Set(static_cast<double>(cr.final_epoch));
-          g_ctrl_plan_age->Set(
-              cr.last_commit_time >= 0.0 ? t - cr.last_commit_time : t);
-          g_ctrl_migrations->Set(
-              static_cast<double>(cr.migrations_started));
-          g_ctrl_rollbacks->Set(static_cast<double>(cr.rollbacks));
-          g_ctrl_alarms->Set(static_cast<double>(cr.drift_alarms));
-          g_ctrl_sheds->Set(static_cast<double>(cr.admission_sheds));
-        }
-        registry->MaybeSample(t);
-      }
-    });
-  }
+  // Select the observer instantiation once per run (DESIGN.md §15): the
+  // audited/traced axes are baked in at compile time instead of being
+  // re-branched on every event. kPlain installs no observer at all.
+  ServerObserverCtx observer_ctx;
+  observer_ctx.auditor = auditor.get();
+  observer_ctx.audit_snapshot = &audit_snapshot;
+  observer_ctx.supplier = supplier;
+  observer_ctx.manager = manager.get();
+  observer_ctx.finite = finite.get();
+  observer_ctx.worlds = &worlds;
+  observer_ctx.movies = &movies;
+  observer_ctx.controller = controller.get();
+  observer_ctx.event_log = event_log;
+  observer_ctx.registry = registry;
+  observer_ctx.g_in_use = g_in_use;
+  observer_ctx.g_capacity = g_capacity;
+  observer_ctx.g_level = g_level;
+  observer_ctx.g_ctrl_epoch = g_ctrl_epoch;
+  observer_ctx.g_ctrl_plan_age = g_ctrl_plan_age;
+  observer_ctx.g_ctrl_migrations = g_ctrl_migrations;
+  observer_ctx.g_ctrl_rollbacks = g_ctrl_rollbacks;
+  observer_ctx.g_ctrl_alarms = g_ctrl_alarms;
+  observer_ctx.g_ctrl_sheds = g_ctrl_sheds;
+  InstallServerObserver(
+      queue,
+      ComposeRunLoopVariant(auditor != nullptr,
+                            registry != nullptr || event_log != nullptr),
+      &observer_ctx);
+  queue.set_scalar_dispatch(options.scalar_event_dispatch);
 
   const double horizon = options.warmup_minutes + options.measurement_minutes;
 

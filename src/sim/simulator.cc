@@ -6,9 +6,71 @@
 #include "common/check.h"
 #include "sim/event_queue.h"
 #include "sim/movie_world.h"
+#include "sim/run_loop.h"
 #include "sim/stream_supplier.h"
 
 namespace vod {
+
+namespace {
+
+/// Everything the per-event observer touches, gathered into one POD so the
+/// specialized instantiations below share a single context pointer.
+struct SimObserverCtx {
+  InvariantAuditor* auditor = nullptr;
+  AuditSnapshot* audit_snapshot = nullptr;
+  UnlimitedStreamSupplier* supplier = nullptr;
+  MovieWorld* world = nullptr;
+  SimulationMetrics* metrics = nullptr;
+  MetricsRegistry* registry = nullptr;
+  Gauge* g_dedicated = nullptr;
+  Gauge* g_admissions = nullptr;
+  Gauge* g_resumes = nullptr;
+};
+
+/// One observer instantiation per RunLoopVariant: the audit and telemetry
+/// branches are compile-time, so each variant carries only its own code and
+/// the kPlain variant installs nothing at all (the kernel then runs its
+/// unobserved loop — no per-event branch, no std::function).
+template <bool kAudit, bool kTraced>
+void SimObserveTick(void* raw, double t) {
+  auto* ctx = static_cast<SimObserverCtx*>(raw);
+  if constexpr (kAudit) {
+    ctx->auditor->RecordEvent(t);
+    if (ctx->auditor->AuditDue()) {
+      ctx->audit_snapshot->time = t;
+      ctx->audit_snapshot->supplier_in_use = ctx->supplier->in_use();
+      ctx->audit_snapshot->sum_world_holds =
+          ctx->world->dedicated_streams_held();
+      ctx->auditor->Audit(*ctx->audit_snapshot);
+    }
+  }
+  if constexpr (kTraced) {
+    ctx->g_dedicated->Set(
+        static_cast<double>(ctx->world->dedicated_streams_held()));
+    ctx->g_admissions->Set(static_cast<double>(ctx->metrics->admissions()));
+    ctx->g_resumes->Set(static_cast<double>(ctx->metrics->total_resumes()));
+    ctx->registry->MaybeSample(t);
+  }
+}
+
+void InstallSimObserver(EventQueue& queue, RunLoopVariant variant,
+                        SimObserverCtx* ctx) {
+  switch (variant) {
+    case RunLoopVariant::kPlain:
+      break;  // no observer: the kernel's unobserved loop runs
+    case RunLoopVariant::kAudited:
+      queue.set_observer(&SimObserveTick<true, false>, ctx);
+      break;
+    case RunLoopVariant::kTraced:
+      queue.set_observer(&SimObserveTick<false, true>, ctx);
+      break;
+    case RunLoopVariant::kAuditedTraced:
+      queue.set_observer(&SimObserveTick<true, true>, ctx);
+      break;
+  }
+}
+
+}  // namespace
 
 std::string SimulationReport::ToString() const {
   std::ostringstream os;
@@ -141,25 +203,24 @@ Result<SimulationReport> RunSimulation(const PartitionLayout& layout,
       options.obs.event_log,
       auditor != nullptr ? auditor->trace_ring() : nullptr);
 
-  if (auditor != nullptr || registry != nullptr) {
-    queue.set_observer([&](double t) {
-      if (auditor != nullptr) {
-        auditor->RecordEvent(t);
-        if (auditor->AuditDue()) {
-          audit_snapshot.time = t;
-          audit_snapshot.supplier_in_use = supplier.in_use();
-          audit_snapshot.sum_world_holds = world.dedicated_streams_held();
-          auditor->Audit(audit_snapshot);
-        }
-      }
-      if (registry != nullptr) {
-        g_dedicated->Set(static_cast<double>(world.dedicated_streams_held()));
-        g_admissions->Set(static_cast<double>(metrics.admissions()));
-        g_resumes->Set(static_cast<double>(metrics.total_resumes()));
-        registry->MaybeSample(t);
-      }
-    });
-  }
+  // Select the observer instantiation once per run (DESIGN.md §15): the
+  // audited/traced axes are baked in at compile time instead of being
+  // re-branched on every event.
+  SimObserverCtx observer_ctx;
+  observer_ctx.auditor = auditor.get();
+  observer_ctx.audit_snapshot = &audit_snapshot;
+  observer_ctx.supplier = &supplier;
+  observer_ctx.world = &world;
+  observer_ctx.metrics = &metrics;
+  observer_ctx.registry = registry;
+  observer_ctx.g_dedicated = g_dedicated;
+  observer_ctx.g_admissions = g_admissions;
+  observer_ctx.g_resumes = g_resumes;
+  InstallSimObserver(queue,
+                     ComposeRunLoopVariant(auditor != nullptr,
+                                           registry != nullptr),
+                     &observer_ctx);
+  queue.set_scalar_dispatch(options.scalar_event_dispatch);
 
   world.Start();
   const double horizon =

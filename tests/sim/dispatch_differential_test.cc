@@ -1,0 +1,174 @@
+// Differential wall for the batched event kernel (DESIGN.md §15): every
+// driver must produce a byte-identical report whether the kernel dispatches
+// events one at a time (scalar_event_dispatch = true) or extracts same-kind
+// same-time runs and hands them to batch handlers (the default). Batching is
+// a pure execution-strategy change — any report byte that moves is a kernel
+// bug, and this suite is the tripwire.
+//
+// Coverage matrix: single-movie basic, piggyback merging, server with
+// faults + degradation + paranoid audit, server with the reallocation
+// controller, and the sharded server at 1/4/8 shards (single- and
+// multi-threaded). The paranoid-audit leg additionally proves that observer
+// ticks fired after a batch (K ticks at the shared timestamp) still satisfy
+// every conservation law at the settled state.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/arrival_process.h"
+#include "sim/server.h"
+#include "sim/sharded_server.h"
+#include "sim/simulator.h"
+#include "workload/paper_presets.h"
+
+namespace vod {
+namespace {
+
+PartitionLayout MakeLayout(double l, int n, double b) {
+  auto layout = PartitionLayout::FromBuffer(l, n, b);
+  EXPECT_TRUE(layout.ok());
+  return *layout;
+}
+
+SimulationOptions BasicOptions(uint64_t seed) {
+  SimulationOptions options;
+  options.behavior = paper::Fig7MixedBehavior();
+  options.warmup_minutes = 200.0;
+  options.measurement_minutes = 6000.0;
+  options.seed = seed;
+  return options;
+}
+
+TEST(DispatchDifferentialTest, SingleMovieReportsAreByteIdentical) {
+  const PartitionLayout layout = MakeLayout(120.0, 40, 80.0);
+  for (uint64_t seed : {42u, 7u, 999u}) {
+    SimulationOptions batched = BasicOptions(seed);
+    SimulationOptions scalar = BasicOptions(seed);
+    scalar.scalar_event_dispatch = true;
+    const auto rb = RunSimulation(layout, paper::Rates(), batched);
+    const auto rs = RunSimulation(layout, paper::Rates(), scalar);
+    ASSERT_TRUE(rb.ok() && rs.ok());
+    EXPECT_EQ(rb->ToString(), rs->ToString()) << "seed " << seed;
+    // Both strategies execute the same logical events.
+    EXPECT_EQ(rb->executed_events, rs->executed_events) << "seed " << seed;
+  }
+}
+
+TEST(DispatchDifferentialTest, PiggybackReportsAreByteIdentical) {
+  const PartitionLayout layout = MakeLayout(120.0, 40, 80.0);
+  SimulationOptions batched = BasicOptions(42);
+  batched.piggyback.enabled = true;
+  batched.piggyback.speed_delta = 0.05;
+  SimulationOptions scalar = batched;
+  scalar.scalar_event_dispatch = true;
+  const auto rb = RunSimulation(layout, paper::Rates(), batched);
+  const auto rs = RunSimulation(layout, paper::Rates(), scalar);
+  ASSERT_TRUE(rb.ok() && rs.ok());
+  ASSERT_GT(rb->piggyback_merges, 0) << "leg must exercise merging";
+  EXPECT_EQ(rb->ToString(), rs->ToString());
+}
+
+std::vector<ServerMovieSpec> ThreeMovies() {
+  std::vector<ServerMovieSpec> movies;
+  movies.push_back({"alpha", MakeLayout(120.0, 40, 80.0), 0.5, nullptr,
+                    paper::Fig7MixedBehavior()});
+  movies.push_back({"beta", MakeLayout(90.0, 30, 45.0), 0.25, nullptr,
+                    paper::Fig7SingleOpBehavior(VcrOp::kFastForward)});
+  movies.push_back({"gamma", MakeLayout(100.0, 20, 50.0), 0.4, nullptr,
+                    paper::Fig7MixedBehavior()});
+  return movies;
+}
+
+ServerOptions ServerBase(uint64_t seed) {
+  ServerOptions options;
+  options.rates = paper::Rates();
+  options.dynamic_stream_reserve = 40;
+  options.warmup_minutes = 300.0;
+  options.measurement_minutes = 5000.0;
+  options.seed = seed;
+  return options;
+}
+
+TEST(DispatchDifferentialTest, FaultsAndParanoidAuditAreByteIdentical) {
+  ServerOptions batched = ServerBase(17);
+  batched.dynamic_stream_reserve = 24;  // scarce: the ladder must engage
+  batched.faults.enabled = true;
+  batched.faults.disks = 4;
+  batched.faults.profile.mtbf_minutes = 1500.0;
+  batched.faults.profile.mttr_minutes = 300.0;
+  batched.degradation.enabled = true;
+  batched.degradation.queue_deadline_minutes = 5.0;
+  batched.audit.enabled = true;
+  batched.audit.every_events = 1;  // paranoid: audit after every event
+  ServerOptions scalar = batched;
+  scalar.scalar_event_dispatch = true;
+  const auto rb = RunServerSimulation(ThreeMovies(), batched);
+  const auto rs = RunServerSimulation(ThreeMovies(), scalar);
+  ASSERT_TRUE(rb.ok()) << rb.status().ToString();
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  ASSERT_GT(rb->resilience.disk_failures, 0) << "leg must exercise faults";
+  EXPECT_EQ(rb->ToString(), rs->ToString());
+}
+
+TEST(DispatchDifferentialTest, ActiveControllerIsByteIdentical) {
+  std::vector<ServerMovieSpec> movies = ThreeMovies();
+  const auto flash = FlashArrivals::Create(
+      movies[0].arrival_rate_per_minute, /*peak_factor=*/4.0,
+      /*start_minutes=*/200.0, /*duration_minutes=*/1200.0);
+  ASSERT_TRUE(flash.ok());
+  movies[0].arrivals = std::make_shared<FlashArrivals>(*flash);
+
+  ServerOptions batched = ServerBase(42);
+  batched.dynamic_stream_reserve = 20;
+  batched.degradation.enabled = true;
+  batched.degradation.queue_deadline_minutes = 5.0;
+  batched.controller.enabled = true;
+  batched.audit.enabled = true;  // a violated law fails the run
+  ServerOptions scalar = batched;
+  scalar.scalar_event_dispatch = true;
+  const auto rb = RunServerSimulation(movies, batched);
+  const auto rs = RunServerSimulation(movies, scalar);
+  ASSERT_TRUE(rb.ok()) << rb.status().ToString();
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  ASSERT_TRUE(rb->controller.Active()) << "leg must exercise migrations";
+  EXPECT_EQ(rb->ToString(), rs->ToString());
+}
+
+std::vector<ServerMovieSpec> FourMovies() {
+  std::vector<ServerMovieSpec> movies = ThreeMovies();
+  movies.push_back({"delta", MakeLayout(110.0, 25, 60.0), 0.3, nullptr,
+                    paper::Fig7MixedBehavior()});
+  return movies;
+}
+
+ShardedServerOptions ShardedOptions(int shards, int threads) {
+  ShardedServerOptions options;
+  options.base.rates = paper::Rates();
+  options.base.dynamic_stream_reserve = 60;
+  options.base.warmup_minutes = 300.0;
+  options.base.measurement_minutes = 3000.0;
+  options.base.seed = 17;
+  options.shards = shards;
+  options.threads = threads;
+  options.window_minutes = 50.0;
+  return options;
+}
+
+TEST(DispatchDifferentialTest, ShardedReportsAreByteIdentical) {
+  for (int shards : {1, 4, 8}) {
+    ShardedServerOptions batched = ShardedOptions(shards, shards > 1 ? 2 : 1);
+    ShardedServerOptions scalar = batched;
+    scalar.base.scalar_event_dispatch = true;
+    const auto rb = RunShardedServerSimulation(FourMovies(), batched);
+    const auto rs = RunShardedServerSimulation(FourMovies(), scalar);
+    ASSERT_TRUE(rb.ok()) << rb.status().ToString();
+    ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+    EXPECT_EQ(rb->ToString(), rs->ToString()) << shards << " shards";
+  }
+}
+
+}  // namespace
+}  // namespace vod

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Appends one distilled line to the perf-trajectory log BENCH_history.jsonl.
+
+The committed BENCH_history.jsonl at the repo root is an append-only record
+of the kernel's performance across PRs: one JSON object per line, carrying
+the provenance stamp and the headline metrics of a make_bench_baseline.py
+document. Each perf-focused PR appends the line for its committed baseline;
+CI additionally appends the fresh run's line to its checked-out copy and
+uploads the result as an artifact, so the trajectory across a PR is visible
+from the workflow page without any external storage.
+
+Line schema (fields absent when the source document lacks them):
+
+    {"git_sha": ..., "date": ..., "build_type": ..., "compiler": ...,
+     "label": ...,
+     "benchmarks": {<name>: {"ns_per_event": ...} | {"ns_per_item": ...}
+                    | {"real_time_ns": ...}},
+     "peak_rss_kb": ...}
+
+Only the preferred metric per bench is kept (the full document remains the
+source of truth); lower is better for all of them.
+
+Stdlib only. Usage:
+
+    tools/append_bench_history.py BENCH_simulator.json BENCH_history.jsonl
+    tools/append_bench_history.py --label=pr10-ci build-rel/BENCH_simulator.json \
+        BENCH_history.jsonl
+"""
+
+import argparse
+import json
+
+METRICS = ("ns_per_event", "ns_per_item", "real_time_ns")
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Append a baseline document's headline to the "
+                    "perf-trajectory log."
+    )
+    parser.add_argument("baseline", help="make_bench_baseline.py document")
+    parser.add_argument("history", help="JSONL log to append to")
+    parser.add_argument(
+        "--label", default="",
+        help="free-form tag for the line (e.g. pr10, pr10-ci)",
+    )
+    args = parser.parse_args()
+
+    with open(args.baseline) as f:
+        doc = json.load(f)
+    if "benchmarks" not in doc:
+        raise SystemExit(
+            f"{args.baseline}: not a make_bench_baseline.py document")
+
+    prov = doc.get("provenance", {})
+    line = {
+        "git_sha": prov.get("git_sha", "unknown"),
+        "date": doc.get("context", {}).get("date", "unknown"),
+        "build_type": prov.get("build_type", "unknown"),
+        "compiler": prov.get("compiler", "unknown"),
+    }
+    if args.label:
+        line["label"] = args.label
+    line["benchmarks"] = {}
+    for name, entry in sorted(doc["benchmarks"].items()):
+        for metric in METRICS:
+            if metric in entry:
+                line["benchmarks"][name] = {metric: entry[metric]}
+                break
+    if "peak_rss_kb" in doc:
+        line["peak_rss_kb"] = doc["peak_rss_kb"]
+
+    with open(args.history, "a") as f:
+        json.dump(line, f, sort_keys=True)
+        f.write("\n")
+    print(f"appended {line['git_sha'][:12]} ({line['build_type']}, "
+          f"{len(line['benchmarks'])} benches) to {args.history}")
+
+
+if __name__ == "__main__":
+    main()

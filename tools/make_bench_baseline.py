@@ -7,6 +7,12 @@ document per invocation:
 
     {
       "context": {... host/build metadata from google-benchmark ...},
+      "provenance": {
+        "build_type": "Release",      # CMAKE_BUILD_TYPE of the build tree
+        "compiler": "/usr/bin/c++",   # CMAKE_CXX_COMPILER
+        "git_sha": "...",             # HEAD at generation time
+        "git_dirty": false            # uncommitted changes present?
+      },
       "benchmarks": {
         "BM_SimulationRun/10000": {
           "real_time_ns": ...,
@@ -19,6 +25,12 @@ document per invocation:
       },
       "peak_rss_kb": ...              # max resident set over all bench runs
     }
+
+The provenance block is what lets tools/compare_bench.py refuse a baseline
+captured from a Debug tree (google-benchmark's own "library_build_type"
+describes the *benchmark library*, not this repo's code, so it cannot serve
+that purpose). The build tree is located by walking up from the first
+benchmark binary to the nearest CMakeCache.txt.
 
 The committed BENCH_simulator.json at the repo root is the reference
 baseline; CI regenerates the document on every run and uploads it as an
@@ -72,6 +84,47 @@ def run_bench(binary, extra_flags):
 def to_ns(value, unit):
     scale = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
     return value * scale[unit]
+
+
+def find_cmake_cache(binary):
+    """Walks up from a benchmark binary to the build tree's CMakeCache.txt."""
+    d = os.path.dirname(os.path.abspath(binary))
+    while True:
+        cache = os.path.join(d, "CMakeCache.txt")
+        if os.path.isfile(cache):
+            return cache
+        parent = os.path.dirname(d)
+        if parent == d:
+            return None
+        d = parent
+
+
+def read_provenance(binary):
+    """Build/compiler/revision stamp for the baseline document."""
+    prov = {"build_type": "unknown", "compiler": "unknown"}
+    cache = find_cmake_cache(binary)
+    if cache:
+        with open(cache) as f:
+            for line in f:
+                line = line.strip()
+                if line.startswith("CMAKE_BUILD_TYPE:"):
+                    prov["build_type"] = line.split("=", 1)[1] or "unknown"
+                elif line.startswith("CMAKE_CXX_COMPILER:"):
+                    prov["compiler"] = line.split("=", 1)[1] or "unknown"
+    try:
+        prov["git_sha"] = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            stdout=subprocess.PIPE, stderr=subprocess.DEVNULL, text=True,
+            check=True,
+        ).stdout.strip()
+        prov["git_dirty"] = bool(subprocess.run(
+            ["git", "status", "--porcelain"],
+            stdout=subprocess.PIPE, stderr=subprocess.DEVNULL, text=True,
+            check=True,
+        ).stdout.strip())
+    except (OSError, subprocess.CalledProcessError):
+        prov["git_sha"] = "unknown"
+    return prov
 
 
 def distill(report, benchmarks):
@@ -140,6 +193,7 @@ def main():
             )
             if k in context
         },
+        "provenance": read_provenance(args.specs[0].partition("=")[0]),
         "benchmarks": benchmarks,
         "peak_rss_kb": peak_rss_kb,
     }
